@@ -1,0 +1,90 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation. Each BenchmarkFigXX / BenchmarkTableX runs the matching
+// experiment from internal/experiments at a scale set by WSMALLOC_SCALE
+// (smoke|quick|full, default quick) and reports headline numbers as
+// custom benchmark metrics. `go test -bench=. -benchmem` therefore
+// reproduces the paper end to end; cmd/experiments prints the full rows.
+package wsmalloc_test
+
+import (
+	"os"
+	"testing"
+
+	"wsmalloc"
+)
+
+func benchScale() wsmalloc.Scale {
+	switch os.Getenv("WSMALLOC_SCALE") {
+	case "full":
+		return wsmalloc.ScaleFull
+	case "smoke":
+		return wsmalloc.ScaleSmoke
+	default:
+		return wsmalloc.ScaleQuick
+	}
+}
+
+// benchExperiment runs one named experiment per benchmark iteration.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	runner, ok := wsmalloc.Experiment(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := runner.Run(uint64(i)+1, scale)
+		if len(rep.Lines) == 0 {
+			b.Fatalf("experiment %s produced no output", name)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkFig03BinaryCDF(b *testing.B)            { benchExperiment(b, "fig3") }
+func BenchmarkFig04TierLatency(b *testing.B)          { benchExperiment(b, "fig4") }
+func BenchmarkFig05MallocCycles(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig06Breakdowns(b *testing.B)           { benchExperiment(b, "fig6") }
+func BenchmarkFig07ObjectCDF(b *testing.B)            { benchExperiment(b, "fig7") }
+func BenchmarkFig08Lifetime(b *testing.B)             { benchExperiment(b, "fig8") }
+func BenchmarkFig09PerCPU(b *testing.B)               { benchExperiment(b, "fig9") }
+func BenchmarkFig10HeterogeneousCache(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11NUCALatency(b *testing.B)          { benchExperiment(b, "fig11") }
+func BenchmarkFig12NUCAStructure(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkTable1NUCATransferCache(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkFig13SpanReturn(b *testing.B)           { benchExperiment(b, "fig13") }
+func BenchmarkFig14SpanPrioritization(b *testing.B)   { benchExperiment(b, "fig14") }
+func BenchmarkFig15PageheapBreakdown(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkFig16SpanCapacity(b *testing.B)         { benchExperiment(b, "fig16") }
+func BenchmarkTable2LifetimeFiller(b *testing.B)      { benchExperiment(b, "table2") }
+func BenchmarkFig17HugepageCoverage(b *testing.B)     { benchExperiment(b, "fig17") }
+func BenchmarkCombinedRollout(b *testing.B)           { benchExperiment(b, "combined") }
+func BenchmarkAblationPriorityLists(b *testing.B)     { benchExperiment(b, "ablation-l") }
+func BenchmarkAblationCapacityThreshold(b *testing.B) { benchExperiment(b, "ablation-c") }
+func BenchmarkAblationPerCPUCapacity(b *testing.B)    { benchExperiment(b, "ablation-capacity") }
+
+// BenchmarkMallocFastPath measures the simulator's own throughput on the
+// allocator fast path (engineering metric, not a paper figure).
+func BenchmarkMallocFastPath(b *testing.B) {
+	alloc := wsmalloc.NewAllocator(wsmalloc.Optimized(), wsmalloc.DefaultPlatform())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, _ := alloc.Malloc(64, 0)
+		alloc.Free(addr, 64, 0)
+	}
+}
+
+// BenchmarkWorkloadDriver measures end-to-end simulation speed.
+func BenchmarkWorkloadDriver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := wsmalloc.DefaultRunOptions(uint64(i) + 1)
+		opts.Duration = 10_000_000 // 10ms virtual
+		res := wsmalloc.RunWorkloadOptions(wsmalloc.FleetMix(), wsmalloc.Baseline(), opts)
+		if res.Ops == 0 {
+			b.Fatal("no ops")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-seed N] [-scale smoke|quick|full] [all|<name>...]
+//
+// Names are fig3..fig17, table1, table2, combined, ablation-l,
+// ablation-c, ablation-capacity. With no arguments it lists the registry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsmalloc"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
+	scaleName := flag.String("scale", "quick", "experiment scale: smoke, quick, or full")
+	flag.Parse()
+
+	var scale wsmalloc.Scale
+	switch *scaleName {
+	case "smoke":
+		scale = wsmalloc.ScaleSmoke
+	case "quick":
+		scale = wsmalloc.ScaleQuick
+	case "full":
+		scale = wsmalloc.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Println("available experiments (pass names or 'all'):")
+		for _, r := range wsmalloc.Experiments() {
+			fmt.Printf("  %-18s %s\n", r.Name, r.Desc)
+		}
+		return
+	}
+
+	var names []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, r := range wsmalloc.Experiments() {
+			names = append(names, r.Name)
+		}
+	} else {
+		names = args
+	}
+
+	for _, name := range names {
+		runner, ok := wsmalloc.Experiment(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println(runner.Run(*seed, scale))
+	}
+}

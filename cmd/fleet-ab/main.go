@@ -1,0 +1,58 @@
+// Command fleet-ab runs a fleet-wide A/B experiment comparing two
+// allocator configurations across a synthetic machine population, the
+// §2.2 experimentation framework.
+//
+// Usage:
+//
+//	fleet-ab [-machines 400] [-feature all|<name>] [-seed 1]
+//	         [-duration-ms 250] [-sample 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsmalloc"
+)
+
+func main() {
+	machines := flag.Int("machines", 400, "fleet size")
+	feature := flag.String("feature", "all",
+		"all (full redesign) or one of: heterogeneous-percpu-cache, nuca-transfer-cache, span-prioritization, lifetime-aware-filler")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	durationMs := flag.Int64("duration-ms", 250, "virtual run length per machine")
+	sample := flag.Float64("sample", 0.01, "fraction of machines enrolled (paper: 1%)")
+	flag.Parse()
+
+	control := wsmalloc.Baseline()
+	experiment := control
+	switch *feature {
+	case "all":
+		experiment = wsmalloc.Optimized()
+	case "heterogeneous-percpu-cache":
+		experiment = control.WithFeature(wsmalloc.FeatureHeterogeneousPerCPU)
+	case "nuca-transfer-cache":
+		experiment = control.WithFeature(wsmalloc.FeatureNUCATransferCache)
+	case "span-prioritization":
+		experiment = control.WithFeature(wsmalloc.FeatureSpanPrioritization)
+	case "lifetime-aware-filler":
+		experiment = control.WithFeature(wsmalloc.FeatureLifetimeAwareFiller)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown feature %q\n", *feature)
+		os.Exit(2)
+	}
+
+	f := wsmalloc.NewFleet(*machines, *seed)
+	opts := wsmalloc.DefaultABOptions()
+	opts.SampleFraction = *sample
+	opts.DurationNs = *durationMs * 1_000_000
+
+	fmt.Printf("fleet A/B: %d machines, feature=%s, %.1f%% sampled, %dms virtual each\n",
+		*machines, *feature, *sample*100, *durationMs)
+	res := f.ABTest(control, experiment, opts)
+	fmt.Println(res.Fleet.String())
+	for _, row := range res.PerApp {
+		fmt.Println(row.String())
+	}
+}

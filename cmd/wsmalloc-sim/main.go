@@ -1,0 +1,107 @@
+// Command wsmalloc-sim runs one workload profile against the allocator
+// and dumps the full telemetry: per-tier cycle breakdown, fragmentation
+// breakdown, hugepage coverage, cache statistics.
+//
+// Usage:
+//
+//	wsmalloc-sim [-profile fleet] [-config baseline|optimized|<feature>]
+//	             [-duration-ms 200] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"wsmalloc"
+)
+
+func main() {
+	profileName := flag.String("profile", "fleet", "workload profile (see -list)")
+	configName := flag.String("config", "baseline",
+		"baseline, optimized, or one redesign: heterogeneous-percpu-cache, nuca-transfer-cache, span-prioritization, lifetime-aware-filler")
+	durationMs := flag.Int64("duration-ms", 200, "virtual run length in milliseconds")
+	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
+	list := flag.Bool("list", false, "list profiles and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range wsmalloc.AllProfiles() {
+			fmt.Printf("  %-18s malloc %4.1f%%  threads ~%d  cpus %d\n",
+				p.Name, p.MallocFraction*100, p.Threads.Base, p.CPUSet)
+		}
+		return
+	}
+
+	profile, ok := wsmalloc.ProfileByName(*profileName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q (try -list)\n", *profileName)
+		os.Exit(2)
+	}
+
+	cfg := wsmalloc.Baseline()
+	switch *configName {
+	case "baseline":
+	case "optimized":
+		cfg = wsmalloc.Optimized()
+	case "heterogeneous-percpu-cache":
+		cfg = cfg.WithFeature(wsmalloc.FeatureHeterogeneousPerCPU)
+	case "nuca-transfer-cache":
+		cfg = cfg.WithFeature(wsmalloc.FeatureNUCATransferCache)
+	case "span-prioritization":
+		cfg = cfg.WithFeature(wsmalloc.FeatureSpanPrioritization)
+	case "lifetime-aware-filler":
+		cfg = cfg.WithFeature(wsmalloc.FeatureLifetimeAwareFiller)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *configName)
+		os.Exit(2)
+	}
+
+	opts := wsmalloc.DefaultRunOptions(*seed)
+	opts.Duration = *durationMs * 1_000_000
+	res := wsmalloc.RunWorkloadOptions(profile, cfg, opts)
+	st := res.Stats
+
+	fmt.Printf("profile %s under %s for %dms virtual (seed %d)\n",
+		profile.Name, *configName, *durationMs, *seed)
+	fmt.Printf("  ops            %d allocs, %d frees (%.1fM ops/s virtual)\n",
+		res.Ops, res.Frees, res.OpsPerSecond()/1e6)
+	fmt.Printf("  malloc time    %.2f ms modeled (%.2f%% of app CPU)\n",
+		res.MallocNs/1e6, res.MallocNs/res.TotalCPUNs*100)
+	fmt.Printf("  live heap      %.1f MiB requested, %.1f MiB rounded, %.1f MiB mapped\n",
+		f(st.LiveRequestedBytes), f(st.LiveRoundedBytes), f(st.HeapBytes))
+	fmt.Printf("  fragmentation  %.1f%% of live (ext %.1f MiB + int %.1f MiB)\n",
+		st.FragmentationRatio()*100, f(st.ExternalFragBytes()), f(st.InternalFragBytes()))
+	fmt.Printf("  hugepages      coverage %.2f%%\n", st.HugepageCoverage*100)
+	fmt.Printf("  front-end      %d vCPU caches, %.1f MiB cached, hit rate %.3f%%\n",
+		st.FrontEnd.PopulatedCaches, f(st.FrontEnd.CachedBytes),
+		pct(st.FrontEnd.AllocHits, st.FrontEnd.AllocHits+st.FrontEnd.AllocMisses))
+	fmt.Printf("  transfer       %.1f MiB cached; reuse intra %d / inter %d / cold %d\n",
+		f(st.Transfer.CachedBytes), st.Transfer.IntraDomain, st.Transfer.InterDomain, st.Transfer.Cold)
+	fmt.Printf("  central lists  %d spans (%d created, %d released)\n",
+		st.CFLSpans, st.CFLSpansCreated, st.CFLSpansReleased)
+	fmt.Printf("  pageheap       filler %.1f/%.1f MiB used/free, region %.1f/%.1f, cache %.1f free\n",
+		f(st.Heap.FillerUsed), f(st.Heap.FillerFree), f(st.Heap.RegionUsed),
+		f(st.Heap.RegionFree), f(st.Heap.CacheFree))
+
+	fmt.Println("  cycle breakdown:")
+	shares := st.Time.Shares()
+	keys := make([]string, 0, len(shares))
+	for k := range shares {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return shares[keys[i]] > shares[keys[j]] })
+	for _, k := range keys {
+		fmt.Printf("    %-16s %6.2f%%\n", k, shares[k]*100)
+	}
+}
+
+func f(b int64) float64 { return float64(b) / (1 << 20) }
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

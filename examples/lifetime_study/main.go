@@ -1,0 +1,52 @@
+// Lifetime study: run the GWP-style sampling profiler over synthetic
+// workloads to reproduce the paper's Fig. 7/8 characterization — object
+// size CDFs and the size-conditioned lifetime spectrum that motivates the
+// lifetime-aware hugepage filler.
+package main
+
+import (
+	"fmt"
+
+	"wsmalloc/internal/profiler"
+	"wsmalloc/internal/rng"
+	"wsmalloc/internal/workload"
+)
+
+func main() {
+	study := func(p workload.Profile) *profiler.Profiler {
+		// Sample one allocation per 2 MiB allocated, exactly like the
+		// production allocator's heap sampling.
+		prof := profiler.New(2 << 20)
+		r := rng.New(42)
+		for i := 0; i < 3_000_000; i++ {
+			size := int(p.SizeDist.Sample(r))
+			if size < 1 {
+				size = 1
+			}
+			prof.Observe(size, p.Lifetime.Sample(r, size))
+		}
+		return prof
+	}
+
+	fleet := study(workload.Fleet())
+	fmt.Printf("fleet: %d allocations observed, %d sampled (1 per 2 MiB)\n",
+		fleet.Seen(), fleet.Samples())
+
+	points := []float64{1 << 10, 8 << 10, 256 << 10}
+	byCount, byBytes := fleet.SizeCDF(points)
+	fmt.Printf("<=1KiB:   %5.1f%% of objects, %5.1f%% of bytes (paper: 98%% / 28%%)\n",
+		byCount[0]*100, byBytes[0]*100)
+	fmt.Printf(">8KiB:    %5.1f%% of bytes (paper: 50%%)\n", (1-byBytes[1])*100)
+	fmt.Printf(">256KiB:  %5.1f%% of bytes (paper: 22%%)\n", (1-byBytes[2])*100)
+	fmt.Printf("<1ms for <=1KiB objects: %5.1f%% (paper: 46%%)\n",
+		fleet.ShortLivedFraction(1<<10, 1_000_000)*100)
+
+	fmt.Println("\nfleet lifetime-by-size matrix (rows: size, cols: decades from 1µs):")
+	fmt.Print(fleet.String())
+
+	spec := study(workload.SPECLike())
+	fmt.Println("SPEC CPU2006-like matrix (note the bimodal shape):")
+	fmt.Print(spec.String())
+	fmt.Printf("lifetime entropy: fleet %.2f bits vs SPEC %.2f bits\n",
+		fleet.LifetimeEntropyBits(), spec.LifetimeEntropyBits())
+}

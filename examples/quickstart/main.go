@@ -1,0 +1,53 @@
+// Quickstart: allocate and free through the simulated TCMalloc, inspect
+// per-operation costs and allocator telemetry.
+package main
+
+import (
+	"fmt"
+
+	"wsmalloc"
+)
+
+func main() {
+	// Build the paper's fully-redesigned allocator on the newest chiplet
+	// platform.
+	alloc := wsmalloc.NewAllocator(wsmalloc.Optimized(), wsmalloc.DefaultPlatform())
+
+	// First allocation is cold: it faults a 2 MiB hugepage in from the
+	// OS and threads it through the pageheap and central free list.
+	addr, cost := alloc.Malloc(128, 0)
+	fmt.Printf("cold allocation:  %#x  cost %.1f ns (includes mmap)\n", addr, cost)
+	alloc.Free(addr, 128, 0)
+
+	// The second hit rides the per-CPU cache fast path: ~40 hand-coded
+	// instructions in the real allocator, 3.1 ns in the paper's Fig. 4.
+	addr, cost = alloc.Malloc(128, 0)
+	fmt.Printf("warm allocation:  %#x  cost %.1f ns (per-CPU cache hit)\n", addr, cost)
+	alloc.Free(addr, 128, 0)
+
+	// Freeing on one CPU and allocating on another flows through the
+	// transfer cache; on a chiplet platform the NUCA-aware design keeps
+	// that flow LLC-domain-local.
+	addr, _ = alloc.Malloc(128, 0)
+	alloc.Free(addr, 128, 9) // freed by a thread on CPU 9
+	addr, cost = alloc.Malloc(128, 9)
+	fmt.Printf("cross-CPU reuse:  %#x  cost %.1f ns\n", addr, cost)
+	alloc.Free(addr, 128, 9)
+
+	// A 300 KiB request exceeds the largest size class (256 KiB) and
+	// goes straight to the hugepage-aware pageheap.
+	big, cost := alloc.Malloc(300<<10, 0)
+	fmt.Printf("large allocation: %#x  cost %.1f ns (pageheap direct)\n", big, cost)
+	alloc.Free(big, 300<<10, 0)
+
+	st := alloc.Stats()
+	fmt.Printf("\nheap: %d bytes mapped, hugepage coverage %.1f%%\n",
+		st.HeapBytes, st.HugepageCoverage*100)
+	fmt.Printf("ops:  %d mallocs / %d frees, %d sampled for profiling\n",
+		st.Mallocs, st.Frees, st.SampledAllocs)
+	for name, share := range st.Time.Shares() {
+		if share > 0.01 {
+			fmt.Printf("  %-16s %5.1f%% of malloc time\n", name, share*100)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module wsmalloc
+
+go 1.22

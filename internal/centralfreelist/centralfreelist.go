@@ -1,0 +1,253 @@
+// Package centralfreelist implements TCMalloc's central free list (§2.1
+// item 3, §4.3): the per-size-class span manager that feeds the transfer
+// caches. It supports both the legacy singleton span list and the paper's
+// span prioritization redesign, which tracks spans in L occupancy-indexed
+// lists and serves allocations from the fullest spans — the spans least
+// likely to be released — so that lightly-used spans drain and return to
+// the pageheap (Fig. 13, Fig. 14).
+package centralfreelist
+
+import (
+	"fmt"
+	"math/bits"
+
+	"wsmalloc/internal/mem"
+	"wsmalloc/internal/pageheap"
+	"wsmalloc/internal/sizeclass"
+	"wsmalloc/internal/span"
+)
+
+// Config controls central free list behaviour.
+type Config struct {
+	// Prioritize enables span prioritization (§4.3). When false, a
+	// singleton list is used and allocations come from its front.
+	Prioritize bool
+	// NumLists is L, the number of occupancy-indexed lists (paper: 8).
+	NumLists int
+	// SpanLifetimeThreshold is C: spans with capacity < C are classified
+	// short-lived for the lifetime-aware hugepage filler (paper: 16).
+	SpanLifetimeThreshold int
+}
+
+// DefaultConfig returns the redesigned configuration from the paper.
+func DefaultConfig() Config {
+	return Config{Prioritize: true, NumLists: 8, SpanLifetimeThreshold: 16}
+}
+
+// LegacyConfig returns the pre-redesign singleton-list configuration.
+func LegacyConfig() Config {
+	return Config{Prioritize: false, NumLists: 1, SpanLifetimeThreshold: 16}
+}
+
+// Stats captures per-class central free list telemetry.
+type Stats struct {
+	// Spans is the number of spans currently owned.
+	Spans int
+	// LiveObjects counts objects allocated out of this free list
+	// (including ones cached by upper tiers).
+	LiveObjects int64
+	// FreeObjects counts free slots across owned spans — the central
+	// free list's external fragmentation (Fig. 6b).
+	FreeObjects int64
+	// FreeBytes is FreeObjects*objectSize plus span tail waste.
+	FreeBytes int64
+	// SpansCreated and SpansReleased count pageheap round trips; their
+	// ratio is the span return rate of Fig. 16.
+	SpansCreated, SpansReleased int64
+}
+
+// List is the central free list for one size class.
+type List struct {
+	class sizeclass.Class
+	cfg   Config
+	ph    *pageheap.PageHeap
+	pm    *mem.PageMap[*span.Span]
+
+	// nonempty[i] holds partially-filled spans; with prioritization,
+	// index 0 holds the fullest spans. Full spans are parked in full.
+	nonempty []span.List
+	full     span.List
+
+	liveObjects   int64
+	spansCreated  int64
+	spansReleased int64
+	lifetime      pageheap.Lifetime
+	nextSeq       int64
+}
+
+// New creates a central free list for class c, drawing spans from ph and
+// registering object pages in pm.
+func New(c sizeclass.Class, cfg Config, ph *pageheap.PageHeap, pm *mem.PageMap[*span.Span]) *List {
+	if cfg.NumLists < 1 {
+		panic(fmt.Sprintf("centralfreelist: NumLists = %d", cfg.NumLists))
+	}
+	n := cfg.NumLists
+	if !cfg.Prioritize {
+		n = 1
+	}
+	lt := pageheap.LifetimeLong
+	if c.ObjectsPerSpan < cfg.SpanLifetimeThreshold {
+		lt = pageheap.LifetimeShort
+	}
+	return &List{
+		class:    c,
+		cfg:      cfg,
+		ph:       ph,
+		pm:       pm,
+		nonempty: make([]span.List, n),
+		lifetime: lt,
+	}
+}
+
+// Class returns the size class served.
+func (l *List) Class() sizeclass.Class { return l.class }
+
+// Lifetime returns the lifetime classification passed to the pageheap.
+func (l *List) Lifetime() pageheap.Lifetime { return l.lifetime }
+
+// listIndexFor maps a span's live allocation count to its list, following
+// the paper's max(0, L-log2(A)) rule (clamped into [0, L-1]): more live
+// allocations mean a lower index, and allocations are served from the
+// lowest-indexed nonempty list.
+func (l *List) listIndexFor(live int) int {
+	if !l.cfg.Prioritize {
+		return 0
+	}
+	if live <= 0 {
+		return len(l.nonempty) - 1
+	}
+	idx := l.cfg.NumLists - 1 - (bits.Len(uint(live)) - 1)
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+// relink places s in the correct occupancy list (or full parking).
+func (l *List) relink(s *span.Span) {
+	if s.Full() {
+		l.full.PushFront(s)
+		return
+	}
+	l.nonempty[l.listIndexFor(s.Live())].PushFront(s)
+}
+
+// AllocBatch fills out with newly allocated object addresses and returns
+// the count (always len(out) — the list grows on demand).
+func (l *List) AllocBatch(out []uint64) int {
+	filled := 0
+	for filled < len(out) {
+		s := l.pickSpan()
+		for filled < len(out) {
+			addr, ok := s.Allocate()
+			if !ok {
+				break
+			}
+			out[filled] = addr
+			filled++
+			l.liveObjects++
+		}
+		if s.InList() {
+			panic("centralfreelist: picked span still linked")
+		}
+		l.relink(s)
+	}
+	return filled
+}
+
+// pickSpan returns a span with free capacity, unlinked from its list.
+func (l *List) pickSpan() *span.Span {
+	for i := 0; i < len(l.nonempty); i++ {
+		if s := l.nonempty[i].Front(); s != nil {
+			l.nonempty[i].Remove(s)
+			return s
+		}
+	}
+	return l.growSpan()
+}
+
+// growSpan fetches a fresh span from the pageheap.
+func (l *List) growSpan() *span.Span {
+	start := l.ph.Alloc(l.class.Pages, l.lifetime)
+	s := span.New(start, l.class.Pages, l.class.Index, l.class.Size, l.class.ObjectsPerSpan)
+	l.nextSeq++
+	s.Seq = l.nextSeq
+	l.pm.SetRange(start, l.class.Pages, s)
+	l.spansCreated++
+	return s
+}
+
+// FreeBatch returns objects to their spans. Spans that drain completely
+// are unregistered and returned to the pageheap. Each object must belong
+// to this free list's size class.
+func (l *List) FreeBatch(objs []uint64) {
+	for _, addr := range objs {
+		p := mem.PageID(addr >> mem.PageShift)
+		s, ok := l.pm.Get(p)
+		if !ok {
+			panic(fmt.Sprintf("centralfreelist: free of unmapped address %#x", addr))
+		}
+		if s.ClassIndex != l.class.Index {
+			panic(fmt.Sprintf("centralfreelist: object %#x belongs to class %d, not %d",
+				addr, s.ClassIndex, l.class.Index))
+		}
+		wasFull := s.Full()
+		oldIdx := -1
+		if !wasFull {
+			oldIdx = l.listIndexFor(s.Live())
+		}
+		s.FreeAddr(addr)
+		l.liveObjects--
+		switch {
+		case s.Empty():
+			// Every object returned: give the span back to the pageheap.
+			l.unlinkFor(s, wasFull, oldIdx)
+			l.pm.ClearRange(s.Start, s.Pages)
+			l.ph.Free(s.Start, s.Pages)
+			l.spansReleased++
+		case wasFull:
+			l.full.Remove(s)
+			l.relink(s)
+		default:
+			if newIdx := l.listIndexFor(s.Live()); newIdx != oldIdx {
+				l.nonempty[oldIdx].Remove(s)
+				l.relink(s)
+			}
+		}
+	}
+}
+
+func (l *List) unlinkFor(s *span.Span, wasFull bool, oldIdx int) {
+	if wasFull {
+		l.full.Remove(s)
+		return
+	}
+	l.nonempty[oldIdx].Remove(s)
+}
+
+// Stats returns a snapshot.
+func (l *List) Stats() Stats {
+	spans := l.full.Len()
+	for i := range l.nonempty {
+		spans += l.nonempty[i].Len()
+	}
+	totalSlots := int64(spans) * int64(l.class.ObjectsPerSpan)
+	free := totalSlots - l.liveObjects
+	return Stats{
+		Spans:         spans,
+		LiveObjects:   l.liveObjects,
+		FreeObjects:   free,
+		FreeBytes:     free*int64(l.class.Size) + int64(spans)*int64(l.class.TailWaste()),
+		SpansCreated:  l.spansCreated,
+		SpansReleased: l.spansReleased,
+	}
+}
+
+// EachSpan visits every owned span; fn must not allocate or free through
+// this list. Used by the span return-rate studies (Fig. 13).
+func (l *List) EachSpan(fn func(*span.Span)) {
+	for i := range l.nonempty {
+		l.nonempty[i].Each(fn)
+	}
+	l.full.Each(fn)
+}

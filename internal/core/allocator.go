@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+
+	"wsmalloc/internal/centralfreelist"
+	"wsmalloc/internal/mem"
+	"wsmalloc/internal/pageheap"
+	"wsmalloc/internal/percpu"
+	"wsmalloc/internal/sizeclass"
+	"wsmalloc/internal/span"
+	"wsmalloc/internal/topology"
+	"wsmalloc/internal/transfercache"
+)
+
+// SampleFunc observes sampled allocations (one per SampleIntervalBytes),
+// mirroring TCMalloc's production heap sampling that feeds Google-Wide
+// Profiling. size is the requested size; now is virtual time in ns.
+type SampleFunc func(addr uint64, size int, now int64)
+
+// Allocator is the composed TCMalloc model for one process on one
+// machine.
+type Allocator struct {
+	cfg   Config
+	topo  *topology.Topology
+	vmap  *topology.VCPUMap
+	table *sizeclass.Table
+
+	os       *mem.OS
+	pagemap  *mem.PageMap[*span.Span]
+	heap     *pageheap.PageHeap
+	cfls     []*centralfreelist.List
+	transfer *transfercache.TransferCaches
+	front    *percpu.Caches
+
+	now int64
+
+	onSample         SampleFunc
+	bytesUntilSample int64
+
+	lastPlunder, lastRelease int64
+
+	t telemetry
+}
+
+// telemetry accumulates cost-model time and operation counts.
+type telemetry struct {
+	timeCPUCache float64
+	timeTransfer float64
+	timeCFL      float64
+	timePageHeap float64
+	timeMmap     float64
+	timePrefetch float64
+	timeSampled  float64
+	timeOther    float64
+
+	mallocs, frees int64
+	sampled        int64
+
+	liveObjects       int64
+	liveRequested     int64
+	liveRounded       int64
+	peakLiveRequested int64
+	largeLiveBytes    int64
+	cumAllocatedBytes int64
+	cumAllocatedObjs  int64
+}
+
+// New builds an allocator on the given machine topology.
+func New(cfg Config, topo *topology.Topology) *Allocator {
+	a := &Allocator{
+		cfg:     cfg,
+		topo:    topo,
+		vmap:    topology.NewVCPUMap(topo),
+		table:   sizeclass.NewTable(),
+		os:      mem.NewOS(),
+		pagemap: mem.NewPageMap[*span.Span](),
+	}
+	a.heap = pageheap.New(a.os, cfg.PageHeap)
+	n := a.table.NumClasses()
+	a.cfls = make([]*centralfreelist.List, n)
+	for i := 0; i < n; i++ {
+		a.cfls[i] = centralfreelist.New(a.table.Class(i), cfg.CFL, a.heap, a.pagemap)
+	}
+	tcfg := cfg.Transfer
+	if tcfg.NUCAAware {
+		tcfg.NumDomains = topo.NumDomains()
+	}
+	a.transfer = transfercache.New(tcfg, n, func(c int) int { return a.table.Class(c).Size },
+		cflBacking{a})
+	a.front = percpu.New(cfg.PerCPU, n,
+		func(c int) int { return a.table.Class(c).Size },
+		func(c int) int { return a.table.Class(c).BatchSize },
+		func(vcpu int) int { return a.vmap.DomainOfVCPU(vcpu) },
+		frontBacking{a})
+	a.bytesUntilSample = cfg.SampleIntervalBytes
+	return a
+}
+
+// cflBacking adapts the central free lists to the transfer cache's
+// Backing interface, charging CFL time (and pageheap/mmap time when the
+// request reaches those tiers).
+type cflBacking struct{ a *Allocator }
+
+func (b cflBacking) AllocBatch(class int, out []uint64) int {
+	a := b.a
+	heapAllocs := a.heap.Stats().Allocs
+	mmaps := a.os.MmapCalls()
+	n := a.cfls[class].AllocBatch(out)
+	a.t.timeCFL += a.cfg.Latency.CentralFreeList
+	if d := a.heap.Stats().Allocs - heapAllocs; d > 0 {
+		a.t.timePageHeap += a.cfg.Latency.PageHeap * float64(d)
+	}
+	if d := a.os.MmapCalls() - mmaps; d > 0 {
+		a.t.timeMmap += a.cfg.Latency.Mmap * float64(d)
+	}
+	return n
+}
+
+func (b cflBacking) FreeBatch(class int, objs []uint64) {
+	a := b.a
+	a.cfls[class].FreeBatch(objs)
+	a.t.timeCFL += a.cfg.Latency.CentralFreeList
+}
+
+// frontBacking adapts the transfer cache layer to the per-CPU cache's
+// Backing interface, charging transfer-cache time.
+type frontBacking struct{ a *Allocator }
+
+func (b frontBacking) Alloc(class, domain int, out []uint64) {
+	b.a.transfer.Alloc(class, domain, out)
+	b.a.t.timeTransfer += b.a.cfg.Latency.Transfer
+}
+
+func (b frontBacking) Free(class, domain int, objs []uint64) {
+	b.a.transfer.Free(class, domain, objs)
+	b.a.t.timeTransfer += b.a.cfg.Latency.Transfer
+}
+
+// SetSampleFunc installs the sampled-allocation observer.
+func (a *Allocator) SetSampleFunc(fn SampleFunc) { a.onSample = fn }
+
+// Now returns the allocator's virtual time.
+func (a *Allocator) Now() int64 { return a.now }
+
+// Table exposes the size-class table.
+func (a *Allocator) Table() *sizeclass.Table { return a.table }
+
+// Topology returns the machine topology.
+func (a *Allocator) Topology() *topology.Topology { return a.topo }
+
+// Malloc allocates size bytes from a thread running on physical CPU cpu,
+// returning the object address and the modeled cost in nanoseconds.
+func (a *Allocator) Malloc(size, cpu int) (uint64, float64) {
+	return a.malloc(size, cpu, pageheap.LifetimeLong)
+}
+
+// MallocHinted is the §5 extension ("object lifetime and access density"):
+// an application- or profile-guided lifetime annotation. Large
+// allocations carry the hint straight to the hugepage filler, so
+// short-hinted buffers are packed on the dedicated short-lived hugepage
+// set even though their size alone would classify them long-lived. Small
+// allocations are unaffected (their spans are classified by capacity).
+func (a *Allocator) MallocHinted(size, cpu int, shortLived bool) (uint64, float64) {
+	lt := pageheap.LifetimeLong
+	if shortLived {
+		lt = pageheap.LifetimeShort
+	}
+	return a.malloc(size, cpu, lt)
+}
+
+func (a *Allocator) malloc(size, cpu int, largeLT pageheap.Lifetime) (uint64, float64) {
+	a.t.mallocs++
+	lat := &a.cfg.Latency
+	cost := lat.Other
+	a.t.timeOther += lat.Other
+
+	var addr uint64
+	class, small := a.table.ClassFor(size)
+	if small {
+		vcpu := a.vmap.Assign(cpu)
+		start := a.timeSnapshot()
+		got, hit := a.front.Alloc(vcpu, class.Index)
+		addr = got
+		a.t.timeCPUCache += lat.CPUCache
+		cost += lat.CPUCache
+		if !hit {
+			cost += a.timeSnapshot() - start
+		}
+		// TCMalloc prefetches the next object of the same class on every
+		// allocation; costly (16% of malloc cycles) but key for data
+		// cache locality (§3).
+		a.t.timePrefetch += lat.Prefetch
+		cost += lat.Prefetch
+		a.t.liveRounded += int64(class.Size)
+	} else {
+		pages := (size + mem.PageSize - 1) / mem.PageSize
+		mmaps := a.os.MmapCalls()
+		start := a.heap.Alloc(pages, largeLT)
+		s := span.New(start, pages, span.LargeClass, pages*mem.PageSize, 1)
+		s.BornAt = a.now
+		got, ok := s.Allocate()
+		if !ok {
+			panic("core: fresh large span full")
+		}
+		addr = got
+		a.pagemap.SetRange(start, pages, s)
+		a.t.timePageHeap += lat.PageHeap
+		cost += lat.PageHeap
+		if d := a.os.MmapCalls() - mmaps; d > 0 {
+			a.t.timeMmap += lat.Mmap * float64(d)
+			cost += lat.Mmap * float64(d)
+		}
+		a.t.liveRounded += int64(pages) * mem.PageSize
+	}
+
+	a.t.liveObjects++
+	a.t.liveRequested += int64(size)
+	if a.t.liveRequested > a.t.peakLiveRequested {
+		a.t.peakLiveRequested = a.t.liveRequested
+	}
+	if !small {
+		a.t.largeLiveBytes += int64(size)
+	}
+	a.t.cumAllocatedBytes += int64(size)
+	a.t.cumAllocatedObjs++
+
+	if a.cfg.SampleIntervalBytes > 0 {
+		a.bytesUntilSample -= int64(size)
+		if a.bytesUntilSample <= 0 {
+			a.bytesUntilSample += a.cfg.SampleIntervalBytes
+			a.t.sampled++
+			a.t.timeSampled += lat.Sampled
+			cost += lat.Sampled
+			if a.onSample != nil {
+				a.onSample(addr, size, a.now)
+			}
+		}
+	}
+	return addr, cost
+}
+
+// Free releases an object allocated with Malloc. size must be the
+// original requested size (the caller always knows it; real malloc
+// derives it from the span, which is exactly what the class check below
+// validates). cpu is the physical CPU of the freeing thread.
+func (a *Allocator) Free(addr uint64, size, cpu int) float64 {
+	a.t.frees++
+	lat := &a.cfg.Latency
+	cost := lat.Other
+	a.t.timeOther += lat.Other
+
+	p := mem.PageID(addr >> mem.PageShift)
+	s, ok := a.pagemap.Get(p)
+	if !ok {
+		panic(fmt.Sprintf("core: free of unknown address %#x", addr))
+	}
+	if s.ClassIndex == span.LargeClass {
+		s.FreeAddr(addr)
+		a.pagemap.ClearRange(s.Start, s.Pages)
+		a.heap.Free(s.Start, s.Pages)
+		a.t.timePageHeap += lat.PageHeap
+		cost += lat.PageHeap
+		a.t.liveRounded -= s.Bytes()
+		a.t.largeLiveBytes -= int64(size)
+	} else {
+		class := a.table.Class(s.ClassIndex)
+		if size > class.Size {
+			panic(fmt.Sprintf("core: free size %d exceeds class size %d", size, class.Size))
+		}
+		vcpu := a.vmap.Assign(cpu)
+		start := a.timeSnapshot()
+		hit := a.front.Free(vcpu, s.ClassIndex, addr)
+		a.t.timeCPUCache += lat.CPUCache
+		cost += lat.CPUCache
+		if !hit {
+			cost += a.timeSnapshot() - start
+		}
+		a.t.liveRounded -= int64(class.Size)
+	}
+	a.t.liveObjects--
+	a.t.liveRequested -= int64(size)
+	return cost
+}
+
+// timeSnapshot sums the tier-time accumulators touched by slow paths;
+// used to attribute slow-path cost to the triggering operation.
+func (a *Allocator) timeSnapshot() float64 {
+	return a.t.timeTransfer + a.t.timeCFL + a.t.timePageHeap + a.t.timeMmap
+}
+
+// Tick advances virtual time and runs background duties: the per-CPU
+// cache resizer (§4.1), transfer cache plunder (§4.2), and the gradual
+// release of free memory to the OS.
+func (a *Allocator) Tick(now int64) {
+	if now < a.now {
+		panic("core: time went backwards")
+	}
+	a.now = now
+	a.front.MaybeResize(now)
+	a.front.MaybeDecay(now)
+	if a.cfg.PlunderIntervalNs > 0 && now-a.lastPlunder >= a.cfg.PlunderIntervalNs {
+		a.lastPlunder = now
+		a.transfer.Plunder()
+	}
+	if a.cfg.ReleaseIntervalNs > 0 && now-a.lastRelease >= a.cfg.ReleaseIntervalNs {
+		a.lastRelease = now
+		hs := a.heap.Stats()
+		slack := int64(a.cfg.ReleaseSlackFraction * float64(hs.UsedBytes))
+		if excess := hs.FreeBytes - slack; excess > 0 {
+			if excess > a.cfg.ReleaseBytesPerInterval {
+				excess = a.cfg.ReleaseBytesPerInterval
+			}
+			a.heap.ReleaseAtLeast(excess)
+		}
+	}
+}
+
+// DrainCaches flushes the front-end and middle-tier caches back to the
+// central free lists (used by tests and teardown accounting).
+func (a *Allocator) DrainCaches() {
+	a.front.DrainAll()
+	a.transfer.Drain()
+}
+
+// FrontEnd exposes the per-CPU cache layer for white-box telemetry.
+func (a *Allocator) FrontEnd() *percpu.Caches { return a.front }
+
+// TransferLayer exposes the transfer caches for white-box telemetry.
+func (a *Allocator) TransferLayer() *transfercache.TransferCaches { return a.transfer }
+
+// CentralFreeList returns the per-class central free list.
+func (a *Allocator) CentralFreeList(class int) *centralfreelist.List { return a.cfls[class] }
+
+// PageHeap exposes the back-end.
+func (a *Allocator) PageHeap() *pageheap.PageHeap { return a.heap }
+
+// OS exposes the simulated operating system.
+func (a *Allocator) OS() *mem.OS { return a.os }
+
+// VCPUs returns the number of populated virtual CPUs.
+func (a *Allocator) VCPUs() int { return a.vmap.Len() }

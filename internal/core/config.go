@@ -1,0 +1,160 @@
+// Package core composes the full TCMalloc model from its tiers: size
+// classes, per-CPU front-end caches, the transfer-cache middle tier, the
+// central free lists, and the hugepage-aware pageheap over the simulated
+// OS (Fig. 1). It exposes the malloc/free API that workloads drive, a
+// per-tier cycle cost model calibrated to the paper's Fig. 4 latencies,
+// and the telemetry behind the characterization figures (cycles
+// breakdown, fragmentation breakdown, hugepage coverage).
+package core
+
+import (
+	"wsmalloc/internal/centralfreelist"
+	"wsmalloc/internal/pageheap"
+	"wsmalloc/internal/percpu"
+	"wsmalloc/internal/transfercache"
+)
+
+// TierLatencyNs holds the cost model constants, calibrated to the mean
+// allocation latencies the paper measures per cache tier (Fig. 4).
+type TierLatencyNs struct {
+	// CPUCache is the restartable-sequence fast path (~40 instructions).
+	CPUCache float64
+	// Transfer is a mutex-protected transfer cache interaction.
+	Transfer float64
+	// CentralFreeList is a span-list interaction.
+	CentralFreeList float64
+	// PageHeap is a hugepage-filler interaction.
+	PageHeap float64
+	// Mmap is a zero-filled 2 MiB hugepage request from the OS.
+	Mmap float64
+	// Prefetch is the next-object prefetch issued on every allocation.
+	Prefetch float64
+	// Sampled is the extra cost of recording a sampled allocation's
+	// stack trace.
+	Sampled float64
+	// Other covers unclassified bookkeeping per operation.
+	Other float64
+}
+
+// DefaultTierLatency returns the Fig. 4 calibration.
+func DefaultTierLatency() TierLatencyNs {
+	return TierLatencyNs{
+		CPUCache:        3.1,
+		Transfer:        21.4,
+		CentralFreeList: 59.3,
+		PageHeap:        137.4,
+		Mmap:            12916.7,
+		Prefetch:        1.85,
+		Sampled:         2600,
+		Other:           0.25,
+	}
+}
+
+// Config selects the design point: each of the paper's four redesigns can
+// be toggled independently, which is how the fleet A/B experiments are
+// expressed.
+type Config struct {
+	// PerCPU configures the front-end (static vs heterogeneous, §4.1).
+	PerCPU percpu.Config
+	// Transfer configures the middle tier (NUCA-aware or not, §4.2).
+	// NumDomains is filled in from the machine topology at New.
+	Transfer transfercache.Config
+	// CFL configures the central free lists (span prioritization, §4.3).
+	CFL centralfreelist.Config
+	// PageHeap configures the back-end (lifetime-aware filler, §4.4).
+	PageHeap pageheap.Config
+
+	// Latency is the tier cost model.
+	Latency TierLatencyNs
+
+	// SampleIntervalBytes triggers one sampled allocation per this many
+	// allocated bytes (the paper: 2 MiB). Zero disables sampling.
+	SampleIntervalBytes int64
+
+	// PlunderIntervalNs is how often idle NUCA transfer caches are
+	// plundered.
+	PlunderIntervalNs int64
+	// ReleaseIntervalNs and ReleaseBytesPerInterval implement the
+	// gradual background release to the OS: every interval, free memory
+	// beyond ReleaseSlackFraction of in-use memory is released, at most
+	// ReleaseBytesPerInterval at a time (the paper: TCMalloc releases
+	// memory gradually, prioritizing whole hugepages, §3).
+	ReleaseIntervalNs       int64
+	ReleaseBytesPerInterval int64
+	ReleaseSlackFraction    float64
+}
+
+// BaselineConfig returns the pre-redesign TCMalloc: static 3 MiB per-CPU
+// caches, a centralized transfer cache, a singleton-list CFL, and the
+// hugepage-aware pageheap of Hunter et al. without lifetime awareness.
+func BaselineConfig() Config {
+	return Config{
+		PerCPU:                  percpu.StaticConfig(),
+		Transfer:                transfercache.DefaultConfig(),
+		CFL:                     centralfreelist.LegacyConfig(),
+		PageHeap:                pageheap.DefaultConfig(),
+		Latency:                 DefaultTierLatency(),
+		SampleIntervalBytes:     2 << 20,
+		PlunderIntervalNs:       10e6,
+		ReleaseIntervalNs:       5e6,
+		ReleaseBytesPerInterval: 64 << 20,
+		ReleaseSlackFraction:    0.10,
+	}
+}
+
+// OptimizedConfig returns the paper's full redesign: heterogeneous
+// per-CPU caches, NUCA-aware transfer caches, span prioritization, and
+// the lifetime-aware hugepage filler (§4.5).
+func OptimizedConfig() Config {
+	c := BaselineConfig()
+	c.PerCPU = percpu.HeterogeneousConfig()
+	c.Transfer.NUCAAware = true
+	c.CFL = centralfreelist.DefaultConfig()
+	c.PageHeap.LifetimeAware = true
+	return c
+}
+
+// Feature identifies one of the paper's four redesigns for A/B toggling.
+type Feature int
+
+const (
+	// FeatureHeterogeneousPerCPU is §4.1.
+	FeatureHeterogeneousPerCPU Feature = iota
+	// FeatureNUCATransferCache is §4.2.
+	FeatureNUCATransferCache
+	// FeatureSpanPrioritization is §4.3.
+	FeatureSpanPrioritization
+	// FeatureLifetimeAwareFiller is §4.4.
+	FeatureLifetimeAwareFiller
+)
+
+// String names the feature as in the paper.
+func (f Feature) String() string {
+	switch f {
+	case FeatureHeterogeneousPerCPU:
+		return "heterogeneous-percpu-cache"
+	case FeatureNUCATransferCache:
+		return "nuca-transfer-cache"
+	case FeatureSpanPrioritization:
+		return "span-prioritization"
+	case FeatureLifetimeAwareFiller:
+		return "lifetime-aware-filler"
+	default:
+		return "unknown-feature"
+	}
+}
+
+// WithFeature returns a copy of c with the given redesign enabled.
+func (c Config) WithFeature(f Feature) Config {
+	switch f {
+	case FeatureHeterogeneousPerCPU:
+		c.PerCPU = percpu.HeterogeneousConfig()
+	case FeatureNUCATransferCache:
+		c.Transfer.NUCAAware = true
+	case FeatureSpanPrioritization:
+		c.CFL = centralfreelist.DefaultConfig()
+	case FeatureLifetimeAwareFiller:
+		c.PageHeap.LifetimeAware = true
+	}
+	return c
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"wsmalloc/internal/pageheap"
+	"wsmalloc/internal/percpu"
+	"wsmalloc/internal/span"
+	"wsmalloc/internal/transfercache"
+)
+
+// TimeBreakdown is the cost-model time spent per allocator component, in
+// nanoseconds — the simulation's version of the paper's Fig. 6a malloc
+// cycle breakdown.
+type TimeBreakdown struct {
+	CPUCache, Transfer, CentralFreeList, PageHeap float64
+	Mmap, Prefetch, Sampled, Other                float64
+}
+
+// Sub returns the component-wise difference t - o; used to exclude a
+// warm-up window from cycle-share reports.
+func (t TimeBreakdown) Sub(o TimeBreakdown) TimeBreakdown {
+	return TimeBreakdown{
+		CPUCache:        t.CPUCache - o.CPUCache,
+		Transfer:        t.Transfer - o.Transfer,
+		CentralFreeList: t.CentralFreeList - o.CentralFreeList,
+		PageHeap:        t.PageHeap - o.PageHeap,
+		Mmap:            t.Mmap - o.Mmap,
+		Prefetch:        t.Prefetch - o.Prefetch,
+		Sampled:         t.Sampled - o.Sampled,
+		Other:           t.Other - o.Other,
+	}
+}
+
+// Total returns the summed component time.
+func (t TimeBreakdown) Total() float64 {
+	return t.CPUCache + t.Transfer + t.CentralFreeList + t.PageHeap +
+		t.Mmap + t.Prefetch + t.Sampled + t.Other
+}
+
+// Shares returns each component as a fraction of Total, in the order
+// CPUCache, Transfer, CFL, PageHeap, Mmap, Prefetch, Sampled, Other.
+func (t TimeBreakdown) Shares() map[string]float64 {
+	total := t.Total()
+	if total == 0 {
+		return map[string]float64{}
+	}
+	return map[string]float64{
+		"CPUCache":        t.CPUCache / total,
+		"TransferCache":   t.Transfer / total,
+		"CentralFreeList": t.CentralFreeList / total,
+		"PageHeap":        t.PageHeap / total,
+		"Mmap":            t.Mmap / total,
+		"Prefetch":        t.Prefetch / total,
+		"Sampled":         t.Sampled / total,
+		"Other":           t.Other / total,
+	}
+}
+
+// FragBreakdown decomposes external fragmentation by cache tier, the
+// quantity behind Fig. 6b.
+type FragBreakdown struct {
+	CPUCache, TransferCache, CentralFreeList, PageHeap, Internal int64
+}
+
+// Total returns total fragmentation bytes (external + internal).
+func (f FragBreakdown) Total() int64 {
+	return f.CPUCache + f.TransferCache + f.CentralFreeList + f.PageHeap + f.Internal
+}
+
+// Stats is a full telemetry snapshot of the allocator.
+type Stats struct {
+	// LiveObjects is the number of outstanding allocations.
+	LiveObjects int64
+	// LiveRequestedBytes is application-requested live bytes.
+	LiveRequestedBytes int64
+	// LiveRoundedBytes is live bytes after size-class rounding; the
+	// difference is internal fragmentation (§2.1).
+	LiveRoundedBytes int64
+	// PeakLiveRequestedBytes is the high-water mark.
+	PeakLiveRequestedBytes int64
+	// HeapBytes is all memory obtained from the OS and still mapped.
+	HeapBytes int64
+
+	// Mallocs, Frees, SampledAllocs count operations.
+	Mallocs, Frees, SampledAllocs int64
+	// CumAllocatedBytes and CumAllocatedObjects accumulate over time.
+	CumAllocatedBytes   int64
+	CumAllocatedObjects int64
+
+	// Time is the per-component cost-model breakdown.
+	Time TimeBreakdown
+	// Frag is the fragmentation breakdown.
+	Frag FragBreakdown
+
+	// FrontEnd, Transfer and Heap are the per-tier snapshots.
+	FrontEnd percpu.Stats
+	Transfer transfercache.Stats
+	Heap     pageheap.Stats
+
+	// CFLSpans / CFLSpansCreated / CFLSpansReleased aggregate the
+	// central free lists.
+	CFLSpans         int
+	CFLSpansCreated  int64
+	CFLSpansReleased int64
+
+	// HugepageCoverage is the fraction of in-use bytes on intact
+	// hugepages (Fig. 17a).
+	HugepageCoverage float64
+}
+
+// ExternalFragBytes is allocator-cached but unallocated memory.
+func (s Stats) ExternalFragBytes() int64 {
+	return s.Frag.CPUCache + s.Frag.TransferCache + s.Frag.CentralFreeList + s.Frag.PageHeap
+}
+
+// InternalFragBytes is size-class rounding slack on live objects.
+func (s Stats) InternalFragBytes() int64 { return s.Frag.Internal }
+
+// FragmentationRatio is total fragmentation over live requested bytes,
+// the paper's Fig. 5b metric.
+func (s Stats) FragmentationRatio() float64 {
+	if s.LiveRequestedBytes == 0 {
+		return 0
+	}
+	return float64(s.Frag.Total()) / float64(s.LiveRequestedBytes)
+}
+
+// Stats computes a snapshot.
+func (a *Allocator) Stats() Stats {
+	s := Stats{
+		LiveObjects:            a.t.liveObjects,
+		LiveRequestedBytes:     a.t.liveRequested,
+		LiveRoundedBytes:       a.t.liveRounded,
+		PeakLiveRequestedBytes: a.t.peakLiveRequested,
+		HeapBytes:              a.os.MappedBytes(),
+		Mallocs:                a.t.mallocs,
+		Frees:                  a.t.frees,
+		SampledAllocs:          a.t.sampled,
+		CumAllocatedBytes:      a.t.cumAllocatedBytes,
+		CumAllocatedObjects:    a.t.cumAllocatedObjs,
+		Time: TimeBreakdown{
+			CPUCache:        a.t.timeCPUCache,
+			Transfer:        a.t.timeTransfer,
+			CentralFreeList: a.t.timeCFL,
+			PageHeap:        a.t.timePageHeap,
+			Mmap:            a.t.timeMmap,
+			Prefetch:        a.t.timePrefetch,
+			Sampled:         a.t.timeSampled,
+			Other:           a.t.timeOther,
+		},
+		FrontEnd: a.front.Stats(),
+		Transfer: a.transfer.Stats(),
+		Heap:     a.heap.Stats(),
+	}
+	var cflFree int64
+	for _, l := range a.cfls {
+		ls := l.Stats()
+		cflFree += ls.FreeBytes
+		s.CFLSpans += ls.Spans
+		s.CFLSpansCreated += ls.SpansCreated
+		s.CFLSpansReleased += ls.SpansReleased
+	}
+	s.Frag = FragBreakdown{
+		CPUCache:        s.FrontEnd.CachedBytes,
+		TransferCache:   s.Transfer.CachedBytes,
+		CentralFreeList: cflFree,
+		PageHeap:        s.Heap.FreeBytes,
+		Internal:        s.LiveRoundedBytes - s.LiveRequestedBytes,
+	}
+	s.HugepageCoverage = s.Heap.HugepageCoverage
+	return s
+}
+
+// EachSpan visits every span owned by the central free lists.
+func (a *Allocator) EachSpan(fn func(class int, s *span.Span)) {
+	for i, l := range a.cfls {
+		l.EachSpan(func(s *span.Span) { fn(i, s) })
+	}
+}

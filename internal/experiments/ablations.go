@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/fleet"
+	"wsmalloc/internal/percpu"
+	"wsmalloc/internal/topology"
+	"wsmalloc/internal/workload"
+)
+
+// AblationL sweeps the number of occupancy-indexed lists L in the central
+// free list; the paper states L=8 suffices to differentiate spans.
+func AblationL(seed uint64, scale Scale) Report {
+	r := Report{
+		ID:         "ablation-l",
+		Title:      "span prioritization: sweep of list count L",
+		PaperClaim: "L=8 lists are sufficient to differentiate spans (§4.3)",
+	}
+	dur := scale.duration(250 * workload.Millisecond)
+	m := fleet.Machine{ID: 0, Platform: topology.Default(), App: workload.Monarch(), Seed: seed}
+	for _, l := range []int{1, 2, 4, 8, 16} {
+		cfg := core.BaselineConfig().WithFeature(core.FeatureSpanPrioritization)
+		cfg.CFL.NumLists = l
+		rm := fleet.RunMachine(m, cfg, dur)
+		st := rm.Result.Stats
+		r.addf("L=%-3d CFL frag %8.2f MiB   spans %6d   avg heap %7.1f MiB",
+			l, float64(st.Frag.CentralFreeList)/(1<<20), st.CFLSpans,
+			float64(rm.AvgHeapBytes)/(1<<20))
+	}
+	return r
+}
+
+// AblationC sweeps the lifetime capacity threshold C that splits spans
+// between the short- and long-lived hugepage sets; the paper picks C=16.
+func AblationC(seed uint64, scale Scale) Report {
+	r := Report{
+		ID:         "ablation-c",
+		Title:      "lifetime-aware filler: sweep of capacity threshold C",
+		PaperClaim: "C=16 is an acceptable threshold for separating span allocations (§4.4)",
+	}
+	dur := scale.duration(250 * workload.Millisecond)
+	m := fleet.Machine{ID: 0, Platform: topology.Default(), App: workload.F1Query(), Seed: seed}
+	wopts := workload.DefaultOptions(m.Seed)
+	wopts.Duration = dur
+	wopts.TimeWarpGamma = 0.15
+	for _, c := range []int{2, 4, 8, 16, 32, 64} {
+		cfg := core.BaselineConfig().WithFeature(core.FeatureLifetimeAwareFiller)
+		cfg.CFL.SpanLifetimeThreshold = c
+		rm := fleet.RunMachineOpts(m, cfg, wopts)
+		r.addf("C=%-3d hugepage coverage %6.2f%%   avg heap %7.1f MiB",
+			c, rm.Coverage*100, float64(rm.AvgHeapBytes)/(1<<20))
+	}
+	return r
+}
+
+// AblationCapacity sweeps the per-CPU cache capacity with and without
+// dynamic resizing; the paper halves 3 MiB to 1.5 MiB once resizing is on.
+func AblationCapacity(seed uint64, scale Scale) Report {
+	r := Report{
+		ID:         "ablation-capacity",
+		Title:      "per-CPU cache capacity x dynamic resizing",
+		PaperClaim: "with dynamic resizing, halving the 3 MiB default costs no performance and saves memory (§4.1)",
+	}
+	dur := scale.duration(250 * workload.Millisecond)
+	m := fleet.Machine{ID: 0, Platform: topology.Default(), App: workload.Monarch(), Seed: seed}
+	for _, dynamic := range []bool{false, true} {
+		for _, capMiB := range []float64{0.75, 1.5, 3.0} {
+			cfg := core.BaselineConfig()
+			if dynamic {
+				cfg.PerCPU = percpu.HeterogeneousConfig()
+			}
+			cfg.PerCPU.CapacityBytes = int64(capMiB * (1 << 20))
+			rm := fleet.RunMachine(m, cfg, dur)
+			st := rm.Result.Stats
+			missRate := 0.0
+			ops := st.FrontEnd.AllocHits + st.FrontEnd.AllocMisses
+			if ops > 0 {
+				missRate = float64(st.FrontEnd.AllocMisses) / float64(ops) * 100
+			}
+			r.addf("dynamic=%-5v cap=%.2fMiB  front-end bytes %7.2f MiB  miss rate %5.2f%%  avg heap %7.1f MiB",
+				dynamic, capMiB, float64(st.FrontEnd.CachedBytes)/(1<<20), missRate,
+				float64(rm.AvgHeapBytes)/(1<<20))
+		}
+	}
+	return r
+}

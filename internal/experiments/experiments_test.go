@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryCoversPaper ensures every evaluation figure and table has a
+// runner.
+func TestRegistryCoversPaper(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "table1", "fig13", "fig14",
+		"fig15", "fig16", "table2", "fig17", "combined",
+		"ablation-l", "ablation-c", "ablation-capacity",
+	}
+	got := map[string]bool{}
+	for _, r := range Registry() {
+		if r.Name == "" || r.Run == nil || r.Desc == "" {
+			t.Fatalf("malformed runner %+v", r)
+		}
+		got[r.Name] = true
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("experiment %s missing from registry", name)
+		}
+	}
+	if _, ok := ByName("fig10"); !ok {
+		t.Fatal("ByName failed")
+	}
+	if _, ok := ByName("fig99"); ok {
+		t.Fatal("ByName false positive")
+	}
+}
+
+// TestAllExperimentsRunAtSmokeScale executes every experiment end to end.
+func TestAllExperimentsRunAtSmokeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke sweep skipped in -short mode")
+	}
+	for _, runner := range Registry() {
+		runner := runner
+		t.Run(runner.Name, func(t *testing.T) {
+			rep := runner.Run(1, ScaleSmoke)
+			if rep.ID != runner.Name {
+				t.Fatalf("report ID %q != runner name %q", rep.ID, runner.Name)
+			}
+			if len(rep.Lines) == 0 {
+				t.Fatal("empty report")
+			}
+			if rep.PaperClaim == "" || rep.Title == "" {
+				t.Fatal("report missing title or paper claim")
+			}
+			if s := rep.String(); !strings.Contains(s, rep.ID) {
+				t.Fatal("render missing ID")
+			}
+		})
+	}
+}
+
+func TestFig3TopSharesMatchPaper(t *testing.T) {
+	rep := Fig3(1, ScaleSmoke)
+	var top50 string
+	for _, l := range rep.Lines {
+		if strings.Contains(l, "top 50 ") {
+			top50 = l
+		}
+	}
+	if top50 == "" {
+		t.Fatal("no top-50 line")
+	}
+}
+
+func TestFig4LatencyOrdering(t *testing.T) {
+	rep := Fig4(1, ScaleSmoke)
+	// Extract the numbers in order: CPUCache < TC < CFL < PageHeap < mmap.
+	var vals []float64
+	for _, l := range rep.Lines {
+		var name string
+		var v float64
+		if _, err := parseTwo(l, &name, &v); err == nil {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) != 5 {
+		t.Fatalf("expected 5 tiers, got %d: %v", len(vals), rep.Lines)
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] {
+			t.Fatalf("tier latency not increasing at %d: %v", i, vals)
+		}
+	}
+}
+
+func parseTwo(line string, name *string, v *float64) (int, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return 0, errNoMatch
+	}
+	*name = fields[0]
+	_, err := scan(fields[1], v)
+	return 2, err
+}
+
+var errNoMatch = errString("no match")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func scan(s string, v *float64) (int, error) {
+	var x float64
+	neg := false
+	i := 0
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		neg = s[i] == '-'
+		i++
+	}
+	seen := false
+	for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		x = x*10 + float64(s[i]-'0')
+		seen = true
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		frac := 0.1
+		for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+			x += float64(s[i]-'0') * frac
+			frac /= 10
+			seen = true
+		}
+	}
+	if !seen {
+		return 0, errNoMatch
+	}
+	if neg {
+		x = -x
+	}
+	*v = x
+	return 1, nil
+}

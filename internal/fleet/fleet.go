@@ -1,0 +1,382 @@
+// Package fleet models the warehouse-scale deployment the paper evaluates
+// on: a fleet of machines spread across heterogeneous platform
+// generations running a diverse binary population, the Fig. 3 popularity
+// catalog, and the A/B experimentation framework of §2.2 (1% experiment /
+// 1% control machine groups, per-application productivity metrics,
+// fleet-aggregated deltas).
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/perfmodel"
+	"wsmalloc/internal/rng"
+	"wsmalloc/internal/stats"
+	"wsmalloc/internal/topology"
+	"wsmalloc/internal/workload"
+)
+
+// BinaryCatalog models the fleet's binary population for Fig. 3: the
+// malloc-cycle and allocated-memory shares of each binary, Zipf-like with
+// exponents chosen so the top 50 binaries cover ~50% of malloc cycles and
+// ~65% of allocated memory.
+type BinaryCatalog struct {
+	// CycleShare[i] is binary i's share of fleet malloc cycles
+	// (descending, sums to 1).
+	CycleShare []float64
+	// MemoryShare[i] is binary i's share of fleet allocated memory.
+	MemoryShare []float64
+}
+
+// NewBinaryCatalog builds a catalog of n binaries.
+func NewBinaryCatalog(n int, seed uint64) BinaryCatalog {
+	r := rng.New(seed)
+	cycles := zipfWeights(r, n, 0.95, 0.25)
+	memory := zipfWeights(r, n, 1.12, 0.25)
+	return BinaryCatalog{CycleShare: cycles, MemoryShare: memory}
+}
+
+// zipfWeights returns normalized, descending rank weights 1/(i+1)^s with
+// multiplicative jitter.
+func zipfWeights(r *rng.RNG, n int, s, jitter float64) []float64 {
+	w := make([]float64, n)
+	total := 0.0
+	for i := range w {
+		v := 1 / math.Pow(float64(i+1), s)
+		v *= 1 + jitter*r.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		w[i] = v
+		total += v
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(w)))
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// TopCycleShare returns the share of malloc cycles covered by the top k
+// binaries.
+func (c BinaryCatalog) TopCycleShare(k int) float64 { return stats.TopShare(c.CycleShare, k) }
+
+// TopMemoryShare returns the share of allocated memory covered by the top
+// k binaries.
+func (c BinaryCatalog) TopMemoryShare(k int) float64 { return stats.TopShare(c.MemoryShare, k) }
+
+// CDF returns cumulative shares over ranks 1..k for plotting Fig. 3.
+func (c BinaryCatalog) CDF(weights []float64, k int) []float64 {
+	out := make([]float64, k)
+	acc := 0.0
+	for i := 0; i < k && i < len(weights); i++ {
+		acc += weights[i]
+		out[i] = acc
+	}
+	return out
+}
+
+// Machine is one server in the fleet.
+type Machine struct {
+	ID       int
+	Platform topology.Platform
+	App      workload.Profile
+	Seed     uint64
+}
+
+// Fleet is the machine population.
+type Fleet struct {
+	Machines []Machine
+	Catalog  BinaryCatalog
+}
+
+// New builds a fleet of n machines: platforms sampled by fleet share,
+// applications sampled by profile weight.
+func New(n int, seed uint64) *Fleet {
+	r := rng.New(seed)
+	apps := workload.ProductionProfiles()
+	var appWeights []float64
+	for _, a := range apps {
+		appWeights = append(appWeights, a.FleetWeight)
+	}
+	appPick := rng.NewDiscrete(indices(len(apps)), appWeights)
+
+	var platWeights []float64
+	for _, p := range topology.Catalog {
+		platWeights = append(platWeights, p.FleetShare)
+	}
+	platPick := rng.NewDiscrete(indices(len(topology.Catalog)), platWeights)
+
+	f := &Fleet{Catalog: NewBinaryCatalog(2000, seed^0xfeed)}
+	for i := 0; i < n; i++ {
+		f.Machines = append(f.Machines, Machine{
+			ID:       i,
+			Platform: topology.Catalog[int(platPick.Sample(r))],
+			App:      apps[int(appPick.Sample(r))],
+			Seed:     r.Uint64(),
+		})
+	}
+	return f
+}
+
+func indices(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+// RunMetrics is the telemetry of one machine run under one configuration.
+type RunMetrics struct {
+	App string
+	// Result is the raw workload outcome.
+	Result workload.Result
+	// AvgHeapBytes is the time-averaged mapped heap (the RAM metric).
+	AvgHeapBytes int64
+	// InterDomainShare, Coverage and CacheBytes feed the perf model.
+	InterDomainShare float64
+	Coverage         float64
+	CacheBytes       int64
+}
+
+// RunMachine executes one machine's workload under cfg for the given
+// virtual duration.
+func RunMachine(m Machine, cfg core.Config, duration int64) RunMetrics {
+	opts := workload.DefaultOptions(m.Seed)
+	opts.Duration = duration
+	return RunMachineOpts(m, cfg, opts)
+}
+
+// RunMachineOpts executes one machine run with explicit workload options.
+func RunMachineOpts(m Machine, cfg core.Config, opts workload.Options) RunMetrics {
+	topo := topology.New(m.Platform)
+	alloc := core.New(cfg, topo)
+	duration := opts.Duration
+
+	// Time-average the telemetry over snapshots: end-of-run snapshots
+	// are dominated by wherever the diurnal phase happens to stop.
+	var heapSum, cacheSum, snaps int64
+	var covSum float64
+	opts.SnapshotEveryNs = duration / 50
+	opts.Snapshot = func(now int64) {
+		st := alloc.Stats()
+		heapSum += st.HeapBytes
+		cacheSum += st.FrontEnd.CachedBytes + st.Transfer.CachedBytes
+		covSum += st.HugepageCoverage
+		snaps++
+	}
+
+	res := workload.Run(m.App, alloc, opts)
+	st := res.Stats
+
+	rm := RunMetrics{App: m.App.Name, Result: res}
+	if snaps > 0 {
+		rm.AvgHeapBytes = heapSum / snaps
+		rm.CacheBytes = cacheSum / snaps
+		rm.Coverage = covSum / float64(snaps)
+	} else {
+		rm.AvgHeapBytes = st.HeapBytes
+		rm.CacheBytes = st.FrontEnd.CachedBytes + st.Transfer.CachedBytes
+		rm.Coverage = st.HugepageCoverage
+	}
+	// Cross-domain share of *reused* objects: cold objects come from
+	// spans (DRAM) and miss regardless of domain.
+	reuse := st.Transfer.IntraDomain + st.Transfer.InterDomain
+	if reuse > 0 {
+		rm.InterDomainShare = float64(st.Transfer.InterDomain) / float64(reuse)
+	}
+	return rm
+}
+
+// Row is one table row of an A/B experiment, matching the columns of the
+// paper's Tables 1 and 2.
+type Row struct {
+	App           string
+	Machines      int
+	ThroughputPct float64
+	MemoryPct     float64
+	CPIPct        float64
+	LLCBefore     float64
+	LLCAfter      float64
+	WalkBeforePct float64
+	WalkAfterPct  float64
+}
+
+func (r Row) String() string {
+	return fmt.Sprintf("%-18s thr %+6.2f%%  mem %+6.2f%%  CPI %+6.2f%%  LLC %.2f->%.2f  dTLB %.2f%%->%.2f%%  (n=%d)",
+		r.App, r.ThroughputPct, r.MemoryPct, r.CPIPct,
+		r.LLCBefore, r.LLCAfter, r.WalkBeforePct, r.WalkAfterPct, r.Machines)
+}
+
+// ABResult is a full experiment outcome.
+type ABResult struct {
+	// Fleet is the machine-weighted aggregate row.
+	Fleet Row
+	// PerApp holds one row per application, sorted by name.
+	PerApp []Row
+}
+
+// ABOptions tune an experiment.
+type ABOptions struct {
+	// SampleFraction of machines to enrol (the paper uses 1% + 1%;
+	// the simulation runs paired control/experiment on each sampled
+	// machine, which removes inter-group noise).
+	SampleFraction float64
+	// MinMachines floors the enrolment for small fleets.
+	MinMachines int
+	// DurationNs is the virtual run length per machine.
+	DurationNs int64
+	// TimeWarpGamma compresses lifetimes so that multi-hour behaviour
+	// (decline phases, whole-hugepage drains) happens in-run.
+	TimeWarpGamma float64
+	// Params is the performance model calibration.
+	Params perfmodel.Params
+}
+
+// DefaultABOptions returns the standard experiment setup.
+func DefaultABOptions() ABOptions {
+	return ABOptions{
+		SampleFraction: 0.01,
+		MinMachines:    12,
+		DurationNs:     250 * workload.Millisecond,
+		TimeWarpGamma:  0.15,
+		Params:         perfmodel.DefaultParams(),
+	}
+}
+
+// ABTest runs a paired fleet experiment comparing two configurations.
+func (f *Fleet) ABTest(control, experiment core.Config, opts ABOptions) ABResult {
+	n := int(float64(len(f.Machines)) * opts.SampleFraction)
+	if n < opts.MinMachines {
+		n = opts.MinMachines
+	}
+	if n > len(f.Machines) {
+		n = len(f.Machines)
+	}
+	// Deterministic sample: stride through the fleet.
+	stride := len(f.Machines) / n
+	if stride < 1 {
+		stride = 1
+	}
+
+	type pair struct {
+		app          string
+		dThr, dMem   float64
+		dCPI         float64
+		llcB, llcA   float64
+		walkB, walkA float64
+	}
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		m := f.Machines[(i*stride)%len(f.Machines)]
+		wopts := workload.DefaultOptions(m.Seed)
+		wopts.Duration = opts.DurationNs
+		if opts.TimeWarpGamma > 0 {
+			wopts.TimeWarpGamma = opts.TimeWarpGamma
+		}
+		c := RunMachineOpts(m, control, wopts)
+		e := RunMachineOpts(m, experiment, wopts)
+
+		// Application work per op is config-independent; derive it from
+		// the control run and the profile's malloc fraction, then
+		// compute each side's malloc share against the same work.
+		workPerOp := 0.0
+		if c.Result.Ops > 0 && m.App.MallocFraction > 0 {
+			mallocPerOp := c.Result.MallocNs / float64(c.Result.Ops)
+			workPerOp = mallocPerOp * (1 - m.App.MallocFraction) / m.App.MallocFraction
+		}
+		share := func(rm RunMetrics) float64 {
+			total := workPerOp*float64(rm.Result.Ops) + rm.Result.MallocNs
+			if total == 0 {
+				return 0
+			}
+			return rm.Result.MallocNs / total
+		}
+
+		base := perfmodel.AppMPKIBaselines[m.App.Name]
+		if base == 0 {
+			base = perfmodel.AppMPKIBaselines["fleet"]
+		}
+		// Anchor coverage at the model's reference point for the control
+		// and apply only the measured delta for the experiment: absolute
+		// simulated coverage is not comparable to the fleet's.
+		inC := perfmodel.Inputs{
+			BaseMPKI:            base,
+			InterDomainShare:    c.InterDomainShare,
+			AllocatorCacheBytes: c.CacheBytes,
+			HugepageCoverage:    opts.Params.RefCoverage,
+			MallocTimeShare:     share(c),
+			Ops:                 c.Result.Ops,
+			DurationNs:          opts.DurationNs,
+		}
+		inE := inC
+		inE.InterDomainShare = e.InterDomainShare
+		inE.AllocatorCacheBytes = e.CacheBytes
+		inE.HugepageCoverage = opts.Params.RefCoverage + (e.Coverage - c.Coverage)
+		inE.MallocTimeShare = share(e)
+		inE.Ops = e.Result.Ops
+
+		// Per-app dTLB anchoring (Table 2 rows differ by app).
+		mc := perfmodel.Evaluate(opts.Params, inC)
+		me := perfmodel.Evaluate(opts.Params, inE)
+		walkB, walkA := perfmodel.WalkPctPair(opts.Params, m.App.Name, c.Coverage, e.Coverage)
+
+		dMem := 0.0
+		if c.AvgHeapBytes > 0 {
+			dMem = (float64(e.AvgHeapBytes) - float64(c.AvgHeapBytes)) / float64(c.AvgHeapBytes) * 100
+		}
+		pairs = append(pairs, pair{
+			app:   m.App.Name,
+			dThr:  (me.ThroughputIndex - mc.ThroughputIndex) / mc.ThroughputIndex * 100,
+			dMem:  dMem,
+			dCPI:  (me.CPI - mc.CPI) / mc.CPI * 100,
+			llcB:  mc.LLCLoadMPKI,
+			llcA:  me.LLCLoadMPKI,
+			walkB: walkB,
+			walkA: walkA,
+		})
+	}
+
+	aggregate := func(ps []pair, name string) Row {
+		row := Row{App: name, Machines: len(ps)}
+		for _, p := range ps {
+			row.ThroughputPct += p.dThr
+			row.MemoryPct += p.dMem
+			row.CPIPct += p.dCPI
+			row.LLCBefore += p.llcB
+			row.LLCAfter += p.llcA
+			row.WalkBeforePct += p.walkB
+			row.WalkAfterPct += p.walkA
+		}
+		n := float64(len(ps))
+		if n > 0 {
+			row.ThroughputPct /= n
+			row.MemoryPct /= n
+			row.CPIPct /= n
+			row.LLCBefore /= n
+			row.LLCAfter /= n
+			row.WalkBeforePct /= n
+			row.WalkAfterPct /= n
+		}
+		return row
+	}
+
+	byApp := map[string][]pair{}
+	for _, p := range pairs {
+		byApp[p.app] = append(byApp[p.app], p)
+	}
+	res := ABResult{Fleet: aggregate(pairs, "fleet")}
+	var names []string
+	for name := range byApp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res.PerApp = append(res.PerApp, aggregate(byApp[name], name))
+	}
+	return res
+}

@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/workload"
+)
+
+func TestBinaryCatalogFig3Shape(t *testing.T) {
+	c := NewBinaryCatalog(2000, 1)
+	top50Cycles := c.TopCycleShare(50)
+	top50Memory := c.TopMemoryShare(50)
+	// Fig. 3: top 50 binaries cover ~50% of malloc cycles, ~65% of
+	// allocated memory.
+	if top50Cycles < 0.42 || top50Cycles > 0.60 {
+		t.Errorf("top-50 cycle share %.3f, want ~0.50", top50Cycles)
+	}
+	if top50Memory < 0.55 || top50Memory > 0.75 {
+		t.Errorf("top-50 memory share %.3f, want ~0.65", top50Memory)
+	}
+	if c.TopCycleShare(2000) < 0.999 {
+		t.Error("full catalog share must be 1")
+	}
+	cdf := c.CDF(c.CycleShare, 50)
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestFleetComposition(t *testing.T) {
+	f := New(500, 7)
+	if len(f.Machines) != 500 {
+		t.Fatalf("machines = %d", len(f.Machines))
+	}
+	apps := map[string]int{}
+	plats := map[string]int{}
+	for _, m := range f.Machines {
+		apps[m.App.Name]++
+		plats[m.Platform.Name]++
+	}
+	if len(apps) != 5 {
+		t.Fatalf("expected all 5 production apps, got %v", apps)
+	}
+	if len(plats) < 4 {
+		t.Fatalf("expected >=4 platform generations, got %v", plats)
+	}
+}
+
+func TestRunMachineProducesTelemetry(t *testing.T) {
+	f := New(10, 3)
+	m := f.Machines[0]
+	rm := RunMachine(m, core.BaselineConfig(), 20*workload.Millisecond)
+	if rm.Result.Ops == 0 {
+		t.Fatal("no operations")
+	}
+	if rm.AvgHeapBytes <= 0 {
+		t.Fatal("no heap average")
+	}
+	if rm.Coverage <= 0 || rm.Coverage > 1 {
+		t.Fatalf("coverage = %v", rm.Coverage)
+	}
+	if rm.CacheBytes <= 0 {
+		t.Fatal("no cached bytes")
+	}
+}
+
+func TestRunMachineDeterministic(t *testing.T) {
+	f := New(4, 11)
+	m := f.Machines[1]
+	a := RunMachine(m, core.OptimizedConfig(), 10*workload.Millisecond)
+	b := RunMachine(m, core.OptimizedConfig(), 10*workload.Millisecond)
+	if a.Result.Ops != b.Result.Ops || a.AvgHeapBytes != b.AvgHeapBytes {
+		t.Fatal("machine runs not deterministic")
+	}
+}
+
+func TestABTestProducesRows(t *testing.T) {
+	f := New(60, 21)
+	opts := DefaultABOptions()
+	opts.MinMachines = 6
+	opts.DurationNs = 15 * workload.Millisecond
+	res := f.ABTest(core.BaselineConfig(), core.OptimizedConfig(), opts)
+	if res.Fleet.Machines != 6 {
+		t.Fatalf("fleet row machines = %d", res.Fleet.Machines)
+	}
+	if len(res.PerApp) == 0 {
+		t.Fatal("no per-app rows")
+	}
+	total := 0
+	for _, row := range res.PerApp {
+		total += row.Machines
+		if row.App == "" {
+			t.Fatal("unnamed row")
+		}
+	}
+	if total != res.Fleet.Machines {
+		t.Fatalf("per-app machines %d != fleet %d", total, res.Fleet.Machines)
+	}
+	if s := res.Fleet.String(); len(s) == 0 {
+		t.Fatal("row renders empty")
+	}
+}
+
+func TestABIdenticalConfigsNearZero(t *testing.T) {
+	f := New(30, 31)
+	opts := DefaultABOptions()
+	opts.MinMachines = 4
+	opts.DurationNs = 10 * workload.Millisecond
+	res := f.ABTest(core.BaselineConfig(), core.BaselineConfig(), opts)
+	if math.Abs(res.Fleet.ThroughputPct) > 1e-9 || math.Abs(res.Fleet.MemoryPct) > 1e-9 {
+		t.Fatalf("identical configs must show zero delta: %+v", res.Fleet)
+	}
+}
+
+func TestABNUCAImprovesLocality(t *testing.T) {
+	f := New(40, 41)
+	opts := DefaultABOptions()
+	opts.MinMachines = 8
+	opts.DurationNs = 25 * workload.Millisecond
+	base := core.BaselineConfig()
+	res := f.ABTest(base, base.WithFeature(core.FeatureNUCATransferCache), opts)
+	if res.Fleet.LLCAfter >= res.Fleet.LLCBefore {
+		t.Fatalf("NUCA should cut LLC misses: %.3f -> %.3f",
+			res.Fleet.LLCBefore, res.Fleet.LLCAfter)
+	}
+	if res.Fleet.ThroughputPct <= 0 {
+		t.Fatalf("NUCA throughput delta %v, want positive", res.Fleet.ThroughputPct)
+	}
+}

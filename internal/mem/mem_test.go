@@ -1,0 +1,263 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageAddressArithmetic(t *testing.T) {
+	p := PageID(1<<20 + 3)
+	if p.Addr() != uint64(p)<<PageShift {
+		t.Fatal("Addr mismatch")
+	}
+	if PagesPerHugePage != 256 {
+		t.Fatalf("PagesPerHugePage = %d", PagesPerHugePage)
+	}
+	h := p.HugePage()
+	if h.FirstPage() > p || h.FirstPage()+PagesPerHugePage <= p {
+		t.Fatal("page not inside its hugepage")
+	}
+	if got := p.IndexInHugePage(); PageID(got) != p-h.FirstPage() {
+		t.Fatalf("IndexInHugePage = %d", got)
+	}
+	if h.Addr() != uint64(h)<<HugePageShift {
+		t.Fatal("hugepage Addr mismatch")
+	}
+}
+
+func TestOSMapRelease(t *testing.T) {
+	o := NewOS()
+	h := o.MapHuge(3)
+	for i := 0; i < 3; i++ {
+		if !o.IsMapped(h + HugePageID(i)) {
+			t.Fatalf("hugepage %d not mapped", i)
+		}
+		if !o.IsIntact(h + HugePageID(i)) {
+			t.Fatalf("hugepage %d not intact", i)
+		}
+	}
+	if o.MappedBytes() != 3*HugePageSize {
+		t.Fatalf("MappedBytes = %d", o.MappedBytes())
+	}
+	if o.IntactHugeBytes() != 3*HugePageSize {
+		t.Fatalf("IntactHugeBytes = %d", o.IntactHugeBytes())
+	}
+	o.ReleaseHuge(h + 1)
+	if o.IsMapped(h + 1) {
+		t.Fatal("released hugepage still mapped")
+	}
+	if o.MappedBytes() != 2*HugePageSize {
+		t.Fatalf("MappedBytes after release = %d", o.MappedBytes())
+	}
+	if o.MmapCalls() != 1 || o.ReleaseCalls() != 1 {
+		t.Fatalf("call counts: mmap=%d release=%d", o.MmapCalls(), o.ReleaseCalls())
+	}
+}
+
+func TestOSDistinctRegions(t *testing.T) {
+	o := NewOS()
+	a := o.MapHuge(2)
+	b := o.MapHuge(2)
+	if b < a+2 {
+		t.Fatalf("regions overlap: a=%d b=%d", a, b)
+	}
+}
+
+func TestSubreleaseBreaksHugepage(t *testing.T) {
+	o := NewOS()
+	h := o.MapHuge(1)
+	o.Subrelease(h, 10)
+	if o.IsIntact(h) {
+		t.Fatal("subreleased hugepage still intact")
+	}
+	if !o.IsMapped(h) {
+		t.Fatal("partially subreleased hugepage unmapped")
+	}
+	if got := o.ReleasedPages(h); got != 10 {
+		t.Fatalf("ReleasedPages = %d", got)
+	}
+	want := int64(HugePageSize - 10*PageSize)
+	if o.MappedBytes() != want {
+		t.Fatalf("MappedBytes = %d, want %d", o.MappedBytes(), want)
+	}
+	if o.BrokenBytes() != want {
+		t.Fatalf("BrokenBytes = %d, want %d", o.BrokenBytes(), want)
+	}
+	if o.IntactHugeBytes() != 0 {
+		t.Fatalf("IntactHugeBytes = %d", o.IntactHugeBytes())
+	}
+}
+
+func TestSubreleaseAllUnmaps(t *testing.T) {
+	o := NewOS()
+	h := o.MapHuge(1)
+	o.Subrelease(h, 100)
+	o.Subrelease(h, 156)
+	if o.IsMapped(h) {
+		t.Fatal("fully subreleased hugepage still mapped")
+	}
+	if o.ReleaseCalls() != 1 {
+		t.Fatalf("ReleaseCalls = %d", o.ReleaseCalls())
+	}
+}
+
+func TestRemapRestoresIntact(t *testing.T) {
+	o := NewOS()
+	h := o.MapHuge(1)
+	o.Subrelease(h, 5)
+	o.Remap(h)
+	if !o.IsIntact(h) {
+		t.Fatal("remapped hugepage not intact")
+	}
+	if o.MappedBytes() != HugePageSize {
+		t.Fatalf("MappedBytes = %d", o.MappedBytes())
+	}
+}
+
+func TestOSPanicsOnMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(o *OS)
+	}{
+		{"release unmapped", func(o *OS) { o.ReleaseHuge(12345) }},
+		{"subrelease unmapped", func(o *OS) { o.Subrelease(12345, 1) }},
+		{"subrelease zero", func(o *OS) { h := o.MapHuge(1); o.Subrelease(h, 0) }},
+		{"subrelease too many", func(o *OS) { h := o.MapHuge(1); o.Subrelease(h, PagesPerHugePage+1) }},
+		{"map zero", func(o *OS) { o.MapHuge(0) }},
+		{"remap unmapped", func(o *OS) { o.Remap(777) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", c.name)
+				}
+			}()
+			c.fn(NewOS())
+		})
+	}
+}
+
+func TestPageMapSetGetClear(t *testing.T) {
+	m := NewPageMap[int]()
+	p := PageID(0x123456)
+	if _, ok := m.Get(p); ok {
+		t.Fatal("empty map returned a value")
+	}
+	m.Set(p, 42)
+	if v, ok := m.Get(p); !ok || v != 42 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	m.Set(p, 43) // overwrite must not double count
+	if m.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d", m.Len())
+	}
+	m.Clear(p)
+	if _, ok := m.Get(p); ok {
+		t.Fatal("cleared entry still present")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after clear = %d", m.Len())
+	}
+	m.Clear(p) // idempotent
+	if m.Len() != 0 {
+		t.Fatalf("Len after double clear = %d", m.Len())
+	}
+}
+
+func TestPageMapZeroValueDistinguishable(t *testing.T) {
+	m := NewPageMap[int]()
+	m.Set(7, 0)
+	if v, ok := m.Get(7); !ok || v != 0 {
+		t.Fatal("stored zero value must be present")
+	}
+}
+
+func TestPageMapRange(t *testing.T) {
+	m := NewPageMap[string]()
+	m.SetRange(100, 50, "span-a")
+	for i := PageID(100); i < 150; i++ {
+		if v, ok := m.Get(i); !ok || v != "span-a" {
+			t.Fatalf("page %d missing", i)
+		}
+	}
+	if _, ok := m.Get(99); ok {
+		t.Fatal("page 99 unexpectedly set")
+	}
+	if _, ok := m.Get(150); ok {
+		t.Fatal("page 150 unexpectedly set")
+	}
+	m.ClearRange(100, 50)
+	if m.Len() != 0 {
+		t.Fatalf("Len after ClearRange = %d", m.Len())
+	}
+}
+
+func TestPageMapSparseSpread(t *testing.T) {
+	m := NewPageMap[uint64]()
+	// Touch pages across the whole simulated space to exercise all radix
+	// levels.
+	for i := 0; i < 1000; i++ {
+		p := PageID(uint64(i) * 0x2000037)
+		if uint64(p) >= 1<<pmPageBits {
+			p = PageID(uint64(p) % (1 << pmPageBits))
+		}
+		m.Set(p, uint64(i))
+	}
+	for i := 0; i < 1000; i++ {
+		p := PageID(uint64(i) * 0x2000037)
+		if uint64(p) >= 1<<pmPageBits {
+			p = PageID(uint64(p) % (1 << pmPageBits))
+		}
+		if v, ok := m.Get(p); !ok || v != uint64(i) {
+			t.Fatalf("page %d: got %d,%v", p, v, ok)
+		}
+	}
+}
+
+func TestPageMapOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range page")
+		}
+	}()
+	NewPageMap[int]().Set(PageID(1<<pmPageBits), 1)
+}
+
+func TestPageMapProperty(t *testing.T) {
+	m := NewPageMap[uint16]()
+	shadow := map[PageID]uint16{}
+	f := func(rawPage uint32, val uint16, del bool) bool {
+		p := PageID(rawPage)
+		if del {
+			m.Clear(p)
+			delete(shadow, p)
+		} else {
+			m.Set(p, val)
+			shadow[p] = val
+		}
+		got, ok := m.Get(p)
+		want, wantOK := shadow[p]
+		return ok == wantOK && got == want && m.Len() == int64(len(shadow))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPageMapGet(b *testing.B) {
+	m := NewPageMap[uint64]()
+	for i := PageID(0); i < 1<<16; i++ {
+		m.Set(i, uint64(i))
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, _ := m.Get(PageID(i & 0xffff))
+		sink += v
+	}
+	_ = sink
+}

@@ -1,0 +1,126 @@
+package mem
+
+// PageMap is a three-level radix tree from PageID to a value of type T,
+// mirroring TCMalloc's PageMap that resolves any address to its owning
+// span during free(). With a 48-bit address space and 13-bit pages there
+// are 35 bits of page number, split 12/11/12 across the levels; interior
+// nodes are allocated lazily so sparse heaps stay small.
+//
+// The zero value is not usable; call NewPageMap.
+type PageMap[T any] struct {
+	root  []*pmMid[T]
+	count int64
+}
+
+const (
+	pmRootBits = 12
+	pmMidBits  = 11
+	pmLeafBits = 12
+
+	pmRootSize = 1 << pmRootBits
+	pmMidSize  = 1 << pmMidBits
+	pmLeafSize = 1 << pmLeafBits
+
+	pmPageBits = pmRootBits + pmMidBits + pmLeafBits // 35
+)
+
+type pmMid[T any] struct {
+	leaves []*pmLeaf[T]
+}
+
+type pmLeaf[T any] struct {
+	values [pmLeafSize]T
+	set    [pmLeafSize / 64]uint64
+}
+
+// NewPageMap returns an empty pagemap.
+func NewPageMap[T any]() *PageMap[T] {
+	return &PageMap[T]{root: make([]*pmMid[T], pmRootSize)}
+}
+
+func pmIndices(p PageID) (int, int, int) {
+	if uint64(p) >= 1<<pmPageBits {
+		panic("mem: page id outside simulated address space")
+	}
+	leaf := int(p) & (pmLeafSize - 1)
+	mid := int(p>>pmLeafBits) & (pmMidSize - 1)
+	root := int(p >> (pmLeafBits + pmMidBits))
+	return root, mid, leaf
+}
+
+// Set records v as the value for page p.
+func (m *PageMap[T]) Set(p PageID, v T) {
+	ri, mi, li := pmIndices(p)
+	mid := m.root[ri]
+	if mid == nil {
+		mid = &pmMid[T]{leaves: make([]*pmLeaf[T], pmMidSize)}
+		m.root[ri] = mid
+	}
+	leaf := mid.leaves[mi]
+	if leaf == nil {
+		leaf = &pmLeaf[T]{}
+		mid.leaves[mi] = leaf
+	}
+	word, bit := li/64, uint(li%64)
+	if leaf.set[word]&(1<<bit) == 0 {
+		leaf.set[word] |= 1 << bit
+		m.count++
+	}
+	leaf.values[li] = v
+}
+
+// SetRange records v for n consecutive pages starting at p.
+func (m *PageMap[T]) SetRange(p PageID, n int, v T) {
+	for i := 0; i < n; i++ {
+		m.Set(p+PageID(i), v)
+	}
+}
+
+// Get returns the value for page p and whether one is set.
+func (m *PageMap[T]) Get(p PageID) (T, bool) {
+	var zero T
+	ri, mi, li := pmIndices(p)
+	mid := m.root[ri]
+	if mid == nil {
+		return zero, false
+	}
+	leaf := mid.leaves[mi]
+	if leaf == nil {
+		return zero, false
+	}
+	word, bit := li/64, uint(li%64)
+	if leaf.set[word]&(1<<bit) == 0 {
+		return zero, false
+	}
+	return leaf.values[li], true
+}
+
+// Clear removes the mapping for page p if present.
+func (m *PageMap[T]) Clear(p PageID) {
+	ri, mi, li := pmIndices(p)
+	mid := m.root[ri]
+	if mid == nil {
+		return
+	}
+	leaf := mid.leaves[mi]
+	if leaf == nil {
+		return
+	}
+	word, bit := li/64, uint(li%64)
+	if leaf.set[word]&(1<<bit) != 0 {
+		leaf.set[word] &^= 1 << bit
+		var zero T
+		leaf.values[li] = zero
+		m.count--
+	}
+}
+
+// ClearRange removes mappings for n consecutive pages starting at p.
+func (m *PageMap[T]) ClearRange(p PageID, n int) {
+	for i := 0; i < n; i++ {
+		m.Clear(p + PageID(i))
+	}
+}
+
+// Len returns the number of mapped pages.
+func (m *PageMap[T]) Len() int64 { return m.count }

@@ -1,0 +1,83 @@
+// Package pageheap implements TCMalloc's hugepage-aware back-end (§2.1
+// item 4, §4.4): the HugeFiller that packs sub-hugepage spans onto 2 MiB
+// hugepages, the HugeRegion that packs allocations slightly exceeding a
+// hugepage onto contiguous hugepage runs, the HugeCache that retains free
+// hugepages for large allocations, and the gradual release/subrelease
+// policy that trades idle memory against hugepage coverage.
+//
+// The package also implements the paper's lifetime-aware hugepage filler:
+// spans whose capacity marks them short-lived are packed onto a dedicated
+// hugepage set so those hugepages drain completely and can be released
+// whole, preserving hugepage coverage (Table 2, Fig. 17).
+package pageheap
+
+import "math/bits"
+
+// bitmap256 tracks the 256 TCMalloc pages of one hugepage.
+type bitmap256 [4]uint64
+
+func (b *bitmap256) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+func (b *bitmap256) clear(i int)    { b[i>>6] &^= 1 << uint(i&63) }
+func (b *bitmap256) get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b *bitmap256) setRange(start, n int) {
+	for i := start; i < start+n; i++ {
+		b.set(i)
+	}
+}
+
+func (b *bitmap256) clearRange(start, n int) {
+	for i := start; i < start+n; i++ {
+		b.clear(i)
+	}
+}
+
+// count returns the number of set bits.
+func (b *bitmap256) count() int {
+	return bits.OnesCount64(b[0]) + bits.OnesCount64(b[1]) +
+		bits.OnesCount64(b[2]) + bits.OnesCount64(b[3])
+}
+
+// countRange returns the set bits within [start, start+n).
+func (b *bitmap256) countRange(start, n int) int {
+	c := 0
+	for i := start; i < start+n; i++ {
+		if b.get(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// findFreeRun returns the index of the first run of n clear bits, or -1.
+func (b *bitmap256) findFreeRun(n int) int {
+	run, start := 0, 0
+	for i := 0; i < 256; i++ {
+		if b.get(i) {
+			run = 0
+			start = i + 1
+			continue
+		}
+		run++
+		if run == n {
+			return start
+		}
+	}
+	return -1
+}
+
+// longestFreeRun returns the length of the longest run of clear bits.
+func (b *bitmap256) longestFreeRun() int {
+	best, run := 0, 0
+	for i := 0; i < 256; i++ {
+		if b.get(i) {
+			run = 0
+			continue
+		}
+		run++
+		if run > best {
+			best = run
+		}
+	}
+	return best
+}

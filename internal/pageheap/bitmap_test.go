@@ -1,0 +1,117 @@
+package pageheap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapSetClearGet(t *testing.T) {
+	var b bitmap256
+	b.set(0)
+	b.set(63)
+	b.set(64)
+	b.set(255)
+	for _, i := range []int{0, 63, 64, 255} {
+		if !b.get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.count() != 4 {
+		t.Fatalf("count = %d", b.count())
+	}
+	b.clear(64)
+	if b.get(64) || b.count() != 3 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestBitmapRanges(t *testing.T) {
+	var b bitmap256
+	b.setRange(10, 20)
+	if b.count() != 20 {
+		t.Fatalf("count = %d", b.count())
+	}
+	if b.countRange(0, 10) != 0 || b.countRange(10, 20) != 20 || b.countRange(5, 10) != 5 {
+		t.Fatal("countRange wrong")
+	}
+	b.clearRange(15, 5)
+	if b.count() != 15 {
+		t.Fatalf("count after clearRange = %d", b.count())
+	}
+}
+
+func TestFindFreeRun(t *testing.T) {
+	var b bitmap256
+	if got := b.findFreeRun(256); got != 0 {
+		t.Fatalf("empty bitmap findFreeRun(256) = %d", got)
+	}
+	b.setRange(0, 100)
+	if got := b.findFreeRun(156); got != 100 {
+		t.Fatalf("findFreeRun(156) = %d", got)
+	}
+	if got := b.findFreeRun(157); got != -1 {
+		t.Fatalf("findFreeRun(157) = %d, want -1", got)
+	}
+	b.setRange(150, 106)
+	// Free gap now [100,150).
+	if got := b.findFreeRun(50); got != 100 {
+		t.Fatalf("findFreeRun(50) = %d", got)
+	}
+	if got := b.findFreeRun(51); got != -1 {
+		t.Fatalf("findFreeRun(51) = %d", got)
+	}
+}
+
+func TestLongestFreeRun(t *testing.T) {
+	var b bitmap256
+	if b.longestFreeRun() != 256 {
+		t.Fatal("empty longest run")
+	}
+	b.setRange(0, 256)
+	if b.longestFreeRun() != 0 {
+		t.Fatal("full longest run")
+	}
+	b.clearRange(10, 30)
+	b.clearRange(100, 45)
+	if got := b.longestFreeRun(); got != 45 {
+		t.Fatalf("longestFreeRun = %d", got)
+	}
+}
+
+func TestBitmapProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var b bitmap256
+		shadow := map[int]bool{}
+		for _, op := range ops {
+			i := int(op % 256)
+			if op&0x8000 != 0 {
+				b.clear(i)
+				delete(shadow, i)
+			} else {
+				b.set(i)
+				shadow[i] = true
+			}
+		}
+		if b.count() != len(shadow) {
+			return false
+		}
+		for i := 0; i < 256; i++ {
+			if b.get(i) != shadow[i] {
+				return false
+			}
+		}
+		// longestFreeRun must match a brute-force scan.
+		best, run := 0, 0
+		for i := 0; i < 256; i++ {
+			if shadow[i] {
+				run = 0
+			} else if run++; run > best {
+				best = run
+			}
+		}
+		return b.longestFreeRun() == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,345 @@
+package pageheap
+
+import (
+	"fmt"
+
+	"wsmalloc/internal/mem"
+)
+
+// Lifetime classifies a span allocation for the lifetime-aware filler.
+// The classification is static: the paper uses span capacity as the
+// lifetime proxy (capacity < C means the span dies quickly, Fig. 16).
+type Lifetime int
+
+const (
+	// LifetimeLong marks spans expected to live long (high capacity).
+	LifetimeLong Lifetime = iota
+	// LifetimeShort marks spans expected to be returned soon.
+	LifetimeShort
+	numLifetimes
+)
+
+func (l Lifetime) String() string {
+	if l == LifetimeShort {
+		return "short"
+	}
+	return "long"
+}
+
+// hpTracker records the page-level state of one hugepage owned by the
+// filler.
+type hpTracker struct {
+	id mem.HugePageID
+	// used marks pages currently allocated to spans.
+	used bitmap256
+	// released marks free pages that were subreleased to the OS.
+	released      bitmap256
+	usedCount     int
+	releasedCount int
+	longestFree   int
+	// donated is true for tail hugepages donated by large allocations;
+	// the filler avoids them unless nothing else fits.
+	donated bool
+
+	prev, next *hpTracker
+	list       *trackerList
+}
+
+// freePages returns pages available for allocation (mapped or refaultable).
+func (t *hpTracker) freePages() int { return mem.PagesPerHugePage - t.usedCount }
+
+type trackerList struct {
+	head, tail *hpTracker
+	size       int
+}
+
+func (l *trackerList) pushFront(t *hpTracker) {
+	if t.list != nil {
+		panic("pageheap: tracker already listed")
+	}
+	t.list = l
+	t.next = l.head
+	if l.head != nil {
+		l.head.prev = t
+	} else {
+		l.tail = t
+	}
+	l.head = t
+	l.size++
+}
+
+func (l *trackerList) remove(t *hpTracker) {
+	if t.list != l {
+		panic("pageheap: tracker not in this list")
+	}
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		l.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	} else {
+		l.tail = t.prev
+	}
+	t.prev, t.next, t.list = nil, nil, nil
+	l.size--
+}
+
+// fillerChunks sub-orders trackers with equal longest-free-range by
+// allocation density; chunk 0 is reserved for donated hugepages.
+const fillerChunks = 8
+
+// Filler packs sub-hugepage span allocations onto hugepages, always
+// preferring the most-allocated hugepage that can fit the request so that
+// lightly-used hugepages drain and become releasable (§4.4).
+type Filler struct {
+	os *mem.OS
+	// lists[lfr][chunk]: trackers whose longest free run is lfr.
+	lists [mem.PagesPerHugePage + 1][fillerChunks + 1]trackerList
+	byID  map[mem.HugePageID]*hpTracker
+	// onEmpty is called when a hugepage becomes completely free and
+	// intact; ownership passes back to the caller (the HugeCache).
+	onEmpty func(mem.HugePageID)
+
+	usedPages     int64
+	releasedTotal int64 // cumulative pages subreleased
+	refaults      int64
+	hugesReturned int64 // whole hugepages handed back via onEmpty
+	brokenDrained int64 // broken hugepages fully subreleased on drain
+}
+
+// NewFiller creates a filler over os. onEmpty receives hugepages that
+// became completely free while still intact.
+func NewFiller(o *mem.OS, onEmpty func(mem.HugePageID)) *Filler {
+	return &Filler{os: o, byID: make(map[mem.HugePageID]*hpTracker), onEmpty: onEmpty}
+}
+
+// chunkOf buckets a tracker by allocation density (denser = higher).
+func chunkOf(t *hpTracker) int {
+	if t.donated {
+		return 0
+	}
+	return 1 + t.usedCount*(fillerChunks-1)/mem.PagesPerHugePage
+}
+
+func (f *Filler) insert(t *hpTracker) {
+	f.lists[t.longestFree][chunkOf(t)].pushFront(t)
+}
+
+func (f *Filler) unlink(t *hpTracker) {
+	t.list.remove(t)
+}
+
+// AddHugePage introduces a fresh, fully-free hugepage to the filler.
+func (f *Filler) AddHugePage(h mem.HugePageID) {
+	if _, ok := f.byID[h]; ok {
+		panic(fmt.Sprintf("pageheap: hugepage %#x already in filler", h.Addr()))
+	}
+	t := &hpTracker{id: h, longestFree: mem.PagesPerHugePage}
+	f.byID[h] = t
+	f.insert(t)
+}
+
+// AddDonated introduces the tail hugepage of a large allocation: its first
+// leadingUsed pages belong to that allocation, the rest become filler
+// capacity. The donated pages are freed later through Free.
+func (f *Filler) AddDonated(h mem.HugePageID, leadingUsed int) {
+	if leadingUsed <= 0 || leadingUsed >= mem.PagesPerHugePage {
+		panic(fmt.Sprintf("pageheap: AddDonated with %d leading pages", leadingUsed))
+	}
+	if _, ok := f.byID[h]; ok {
+		panic(fmt.Sprintf("pageheap: hugepage %#x already in filler", h.Addr()))
+	}
+	t := &hpTracker{id: h, donated: true}
+	t.used.setRange(0, leadingUsed)
+	t.usedCount = leadingUsed
+	t.longestFree = t.used.longestFreeRun()
+	f.byID[h] = t
+	f.insert(t)
+	f.usedPages += int64(leadingUsed)
+}
+
+// Alloc carves n pages out of an existing filler hugepage. ok is false
+// when no tracked hugepage has a free run of n pages; the caller then maps
+// a new hugepage and calls AddHugePage first.
+func (f *Filler) Alloc(n int) (mem.PageID, bool) {
+	if n <= 0 || n > mem.PagesPerHugePage {
+		panic(fmt.Sprintf("pageheap: filler alloc of %d pages", n))
+	}
+	// Tightest adequate free run first (densest hugepages), densest chunk
+	// first, donated last.
+	for lfr := n; lfr <= mem.PagesPerHugePage; lfr++ {
+		for chunk := fillerChunks; chunk >= 0; chunk-- {
+			t := f.lists[lfr][chunk].head
+			if t == nil {
+				continue
+			}
+			return f.allocFrom(t, n), true
+		}
+	}
+	return 0, false
+}
+
+func (f *Filler) allocFrom(t *hpTracker, n int) mem.PageID {
+	idx := t.used.findFreeRun(n)
+	if idx < 0 {
+		panic("pageheap: tracker listed with stale longest-free-range")
+	}
+	// Refault any subreleased pages inside the chosen run.
+	refault := t.released.countRange(idx, n)
+	if refault > 0 {
+		f.os.Refault(t.id, refault)
+		t.released.clearRange(idx, n)
+		t.releasedCount -= refault
+		f.refaults += int64(refault)
+	}
+	f.unlink(t)
+	t.used.setRange(idx, n)
+	t.usedCount += n
+	t.longestFree = t.used.longestFreeRun()
+	// Once a donated hugepage receives a filler allocation it behaves
+	// like a regular one.
+	t.donated = false
+	f.insert(t)
+	f.usedPages += int64(n)
+	return t.id.FirstPage() + mem.PageID(idx)
+}
+
+// Owns reports whether the filler manages the hugepage containing p.
+func (f *Filler) Owns(p mem.PageID) bool {
+	_, ok := f.byID[p.HugePage()]
+	return ok
+}
+
+// Free returns n pages starting at p to the filler. When the hugepage
+// becomes completely free it leaves the filler: intact hugepages are
+// passed to onEmpty, broken ones are fully subreleased to the OS.
+func (f *Filler) Free(p mem.PageID, n int) {
+	h := p.HugePage()
+	t, ok := f.byID[h]
+	if !ok {
+		panic(fmt.Sprintf("pageheap: free of pages not owned by filler (page %#x)", p.Addr()))
+	}
+	idx := p.IndexInHugePage()
+	if idx+n > mem.PagesPerHugePage {
+		panic("pageheap: free range crosses hugepage boundary")
+	}
+	if t.used.countRange(idx, n) != n {
+		panic("pageheap: freeing pages that are not allocated")
+	}
+	f.unlink(t)
+	t.used.clearRange(idx, n)
+	t.usedCount -= n
+	f.usedPages -= int64(n)
+	if t.usedCount == 0 {
+		delete(f.byID, h)
+		if t.releasedCount > 0 {
+			// Broken hugepage: subrelease the remainder; the mapping
+			// disappears entirely.
+			f.os.Subrelease(h, mem.PagesPerHugePage-t.releasedCount)
+			f.releasedTotal += int64(mem.PagesPerHugePage - t.releasedCount)
+			f.brokenDrained++
+		} else {
+			f.hugesReturned++
+			f.onEmpty(h)
+		}
+		return
+	}
+	t.longestFree = t.used.longestFreeRun()
+	f.insert(t)
+}
+
+// ReleasePages subreleases up to target free pages back to the OS,
+// starting from the sparsest (most-free, least-allocated) hugepages so
+// that dense hugepages keep their TLB benefit. Hugepages whose allocation
+// density exceeds maxDensity are never broken (the skip-subrelease
+// policy of Maas et al. [49]: breaking a dense hugepage trades a little
+// memory for a permanent TLB loss). It returns the number of pages
+// actually released.
+func (f *Filler) ReleasePages(target int, maxDensity float64) int {
+	limit := int(maxDensity * mem.PagesPerHugePage)
+	released := 0
+	for lfr := mem.PagesPerHugePage; lfr >= 1 && released < target; lfr-- {
+		for chunk := 0; chunk <= fillerChunks && released < target; chunk++ {
+			for t := f.lists[lfr][chunk].head; t != nil && released < target; {
+				next := t.next
+				if t.usedCount <= limit {
+					released += f.subreleaseFree(t)
+				}
+				t = next
+			}
+		}
+	}
+	return released
+}
+
+// subreleaseFree releases every free-and-mapped page of t.
+func (f *Filler) subreleaseFree(t *hpTracker) int {
+	n := 0
+	for i := 0; i < mem.PagesPerHugePage; i++ {
+		if !t.used.get(i) && !t.released.get(i) {
+			t.released.set(i)
+			t.releasedCount++
+			n++
+		}
+	}
+	if n > 0 {
+		f.os.Subrelease(t.id, n)
+		f.releasedTotal += int64(n)
+	}
+	if t.releasedCount == mem.PagesPerHugePage {
+		// The whole hugepage was free: the OS has unmapped it; drop the
+		// tracker so nothing tries to refault a dead mapping.
+		f.unlink(t)
+		delete(f.byID, t.id)
+		f.brokenDrained++
+	}
+	return n
+}
+
+// FillerStats summarizes filler state.
+type FillerStats struct {
+	// HugePages is the number of hugepages currently tracked.
+	HugePages int
+	// UsedBytes is memory allocated to spans.
+	UsedBytes int64
+	// FreeBytes is mapped-but-free memory (external fragmentation held
+	// by the filler).
+	FreeBytes int64
+	// ReleasedBytes is subreleased (unmapped) memory inside tracked
+	// hugepages.
+	ReleasedBytes int64
+	// UsedOnIntact is the portion of UsedBytes living on intact
+	// (hugepage-backed) hugepages; the numerator of hugepage coverage.
+	UsedOnIntact int64
+	// Refaults counts pages re-mapped after subrelease.
+	Refaults int64
+	// HugesReturned counts intact hugepages drained and handed back.
+	HugesReturned int64
+	// BrokenDrained counts broken hugepages drained and fully released.
+	BrokenDrained int64
+	// CumulativeReleased counts pages ever subreleased.
+	CumulativeReleased int64
+}
+
+// Stats computes current filler statistics.
+func (f *Filler) Stats() FillerStats {
+	s := FillerStats{
+		HugePages:          len(f.byID),
+		UsedBytes:          f.usedPages * mem.PageSize,
+		Refaults:           f.refaults,
+		HugesReturned:      f.hugesReturned,
+		BrokenDrained:      f.brokenDrained,
+		CumulativeReleased: f.releasedTotal,
+	}
+	for _, t := range f.byID {
+		free := mem.PagesPerHugePage - t.usedCount - t.releasedCount
+		s.FreeBytes += int64(free) * mem.PageSize
+		s.ReleasedBytes += int64(t.releasedCount) * mem.PageSize
+		if f.os.IsIntact(t.id) {
+			s.UsedOnIntact += int64(t.usedCount) * mem.PageSize
+		}
+	}
+	return s
+}

@@ -1,0 +1,244 @@
+package pageheap
+
+import (
+	"testing"
+
+	"wsmalloc/internal/mem"
+)
+
+type emptySink struct {
+	got []mem.HugePageID
+}
+
+func (e *emptySink) fn(h mem.HugePageID) { e.got = append(e.got, h) }
+
+func newTestFiller(t *testing.T) (*mem.OS, *Filler, *emptySink) {
+	t.Helper()
+	o := mem.NewOS()
+	sink := &emptySink{}
+	return o, NewFiller(o, sink.fn), sink
+}
+
+func TestFillerAllocFromFreshHugepage(t *testing.T) {
+	o, f, _ := newTestFiller(t)
+	if _, ok := f.Alloc(10); ok {
+		t.Fatal("empty filler satisfied an allocation")
+	}
+	h := o.MapHuge(1)
+	f.AddHugePage(h)
+	p, ok := f.Alloc(10)
+	if !ok {
+		t.Fatal("alloc failed after AddHugePage")
+	}
+	if p.HugePage() != h {
+		t.Fatal("allocation outside the added hugepage")
+	}
+	st := f.Stats()
+	if st.UsedBytes != 10*mem.PageSize {
+		t.Fatalf("UsedBytes = %d", st.UsedBytes)
+	}
+	if st.FreeBytes != (mem.PagesPerHugePage-10)*mem.PageSize {
+		t.Fatalf("FreeBytes = %d", st.FreeBytes)
+	}
+}
+
+func TestFillerPrefersDensestHugepage(t *testing.T) {
+	o, f, _ := newTestFiller(t)
+	h1 := o.MapHuge(1)
+	h2 := o.MapHuge(1)
+	f.AddHugePage(h1)
+	f.AddHugePage(h2)
+	// Make one hugepage dense (200/256 used) and the other sparse
+	// (100/256): the second allocation cannot fit in the first's 56-page
+	// remainder, so it must open the other hugepage.
+	p1, _ := f.Alloc(200)
+	dense := p1.HugePage()
+	var sparse mem.HugePageID
+	if dense == h1 {
+		sparse = h2
+	} else {
+		sparse = h1
+	}
+	p2, _ := f.Alloc(100)
+	if p2.HugePage() != sparse {
+		t.Fatal("test setup: 100-page alloc should spill to the other hugepage")
+	}
+	// A request fitting in both must go to the dense one (tightest fit).
+	p3, ok := f.Alloc(20)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if p3.HugePage() != dense {
+		t.Fatalf("allocation landed on sparse hugepage; want dense-first packing")
+	}
+}
+
+func TestFillerWholeHugepageReturn(t *testing.T) {
+	o, f, sink := newTestFiller(t)
+	h := o.MapHuge(1)
+	f.AddHugePage(h)
+	p, _ := f.Alloc(100)
+	q, _ := f.Alloc(50)
+	f.Free(p, 100)
+	if len(sink.got) != 0 {
+		t.Fatal("hugepage returned while still occupied")
+	}
+	f.Free(q, 50)
+	if len(sink.got) != 1 || sink.got[0] != h {
+		t.Fatalf("drained hugepage not returned: %v", sink.got)
+	}
+	if f.Stats().HugePages != 0 {
+		t.Fatal("tracker not removed")
+	}
+	if !o.IsMapped(h) {
+		t.Fatal("returned hugepage should remain mapped (owned by cache now)")
+	}
+}
+
+func TestFillerSubreleaseSparsestFirst(t *testing.T) {
+	o, f, _ := newTestFiller(t)
+	h1 := o.MapHuge(1)
+	h2 := o.MapHuge(1)
+	f.AddHugePage(h1)
+	p1, _ := f.Alloc(250) // dense
+	f.AddHugePage(h2)
+	var dense, sparse mem.HugePageID
+	dense = p1.HugePage()
+	if dense == h1 {
+		sparse = h2
+	} else {
+		sparse = h1
+	}
+	p2, ok := f.Alloc(6) // fits in dense remainder (6 free)
+	if !ok || p2.HugePage() != dense {
+		t.Fatalf("expected tight fit on dense hugepage")
+	}
+	p3, _ := f.Alloc(10) // must go to sparse
+	if p3.HugePage() != sparse {
+		t.Fatal("expected allocation on sparse hugepage")
+	}
+	// Release a little: should break only the sparse hugepage.
+	released := f.ReleasePages(100, 1)
+	if released != 246 {
+		t.Fatalf("released %d pages, want 246 (sparse free pages)", released)
+	}
+	if o.IsIntact(sparse) {
+		t.Fatal("sparse hugepage should be broken")
+	}
+	if !o.IsIntact(dense) {
+		t.Fatal("dense hugepage should remain intact")
+	}
+}
+
+func TestFillerRefaultAfterSubrelease(t *testing.T) {
+	o, f, _ := newTestFiller(t)
+	h := o.MapHuge(1)
+	f.AddHugePage(h)
+	p, _ := f.Alloc(10)
+	f.ReleasePages(1000, 1) // subrelease the 246 free pages
+	if o.ReleasedPages(h) != 246 {
+		t.Fatalf("ReleasedPages = %d", o.ReleasedPages(h))
+	}
+	// Allocating again must refault.
+	q, ok := f.Alloc(50)
+	if !ok {
+		t.Fatal("alloc after subrelease failed")
+	}
+	if q.HugePage() != h {
+		t.Fatal("alloc landed elsewhere")
+	}
+	if got := o.ReleasedPages(h); got != 246-50 {
+		t.Fatalf("ReleasedPages after refault = %d", got)
+	}
+	if f.Stats().Refaults != 50 {
+		t.Fatalf("Refaults = %d", f.Stats().Refaults)
+	}
+	f.Free(p, 10)
+	f.Free(q, 50)
+	// Draining a broken hugepage must fully subrelease it, not recycle it.
+	if o.IsMapped(h) {
+		t.Fatal("broken drained hugepage still mapped")
+	}
+}
+
+func TestFillerDonated(t *testing.T) {
+	o, f, _ := newTestFiller(t)
+	h1 := o.MapHuge(1)
+	f.AddDonated(h1, 100) // 100 leading pages used by a large allocation
+	st := f.Stats()
+	if st.UsedBytes != 100*mem.PageSize {
+		t.Fatalf("donated UsedBytes = %d", st.UsedBytes)
+	}
+	// A regular hugepage with any allocation is preferred over donated.
+	h2 := o.MapHuge(1)
+	f.AddHugePage(h2)
+	p, _ := f.Alloc(10)
+	if p.HugePage() != h2 {
+		t.Skip("tight-fit policy chose donated hugepage; acceptable but not expected")
+	}
+	// Freeing the donated lead pages drains the donated hugepage.
+	f.Free(h1.FirstPage(), 100)
+	if f.Owns(h1.FirstPage()) {
+		t.Fatal("donated hugepage not drained")
+	}
+}
+
+func TestFillerFreePanics(t *testing.T) {
+	o, f, _ := newTestFiller(t)
+	h := o.MapHuge(1)
+	f.AddHugePage(h)
+	p, _ := f.Alloc(10)
+	cases := map[string]func(){
+		"unowned":   func() { f.Free(p+100000, 1) },
+		"not-alloc": func() { f.Free(p+mem.PageID(10), 5) },
+		"crossing":  func() { f.Free(h.FirstPage()+250, 10) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestFillerManyAllocationsConservation(t *testing.T) {
+	o, f, _ := newTestFiller(t)
+	type alloc struct {
+		p mem.PageID
+		n int
+	}
+	var live []alloc
+	usedPages := 0
+	for i := 0; i < 500; i++ {
+		n := 1 + (i*7)%63
+		p, ok := f.Alloc(n)
+		if !ok {
+			f.AddHugePage(o.MapHuge(1))
+			p, ok = f.Alloc(n)
+			if !ok {
+				t.Fatal("fresh hugepage insufficient")
+			}
+		}
+		live = append(live, alloc{p, n})
+		usedPages += n
+		if i%3 == 0 && len(live) > 2 {
+			victim := live[0]
+			live = live[1:]
+			f.Free(victim.p, victim.n)
+			usedPages -= victim.n
+		}
+	}
+	if got := f.Stats().UsedBytes; got != int64(usedPages)*mem.PageSize {
+		t.Fatalf("UsedBytes = %d, want %d", got, int64(usedPages)*mem.PageSize)
+	}
+	for _, a := range live {
+		f.Free(a.p, a.n)
+	}
+	if st := f.Stats(); st.UsedBytes != 0 || st.HugePages != 0 {
+		t.Fatalf("filler not drained: %+v", st)
+	}
+}

@@ -1,0 +1,174 @@
+package pageheap
+
+import (
+	"fmt"
+	"sort"
+
+	"wsmalloc/internal/mem"
+)
+
+// hugeRange is a run of free, contiguous, intact hugepages.
+type hugeRange struct {
+	start mem.HugePageID
+	n     int
+}
+
+// HugeCache retains free hugepage runs so that large allocations can be
+// satisfied without new mmap calls, and releases overflow back to the OS
+// in whole hugepages (the release path that preserves hugepage coverage).
+type HugeCache struct {
+	os     *mem.OS
+	ranges []hugeRange // sorted by start, coalesced
+	bytes  int64
+	// MaxBytes bounds cached memory; overflow is released to the OS.
+	maxBytes int64
+
+	hits, misses   int64
+	releasedBytes  int64
+	everMappedHere int64
+}
+
+// NewHugeCache creates a cache bounded at maxBytes (0 means unbounded).
+func NewHugeCache(o *mem.OS, maxBytes int64) *HugeCache {
+	return &HugeCache{os: o, maxBytes: maxBytes}
+}
+
+// Alloc returns n contiguous hugepages, reusing cached ranges best-fit
+// first and mapping fresh memory from the OS on a miss.
+func (c *HugeCache) Alloc(n int) mem.HugePageID {
+	if n <= 0 {
+		panic("pageheap: HugeCache.Alloc with non-positive count")
+	}
+	best := -1
+	for i, r := range c.ranges {
+		if r.n >= n && (best < 0 || r.n < c.ranges[best].n) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		r := c.ranges[best]
+		h := r.start
+		if r.n == n {
+			c.ranges = append(c.ranges[:best], c.ranges[best+1:]...)
+		} else {
+			c.ranges[best] = hugeRange{start: r.start + mem.HugePageID(n), n: r.n - n}
+		}
+		c.bytes -= int64(n) * mem.HugePageSize
+		c.hits++
+		return h
+	}
+	c.misses++
+	c.everMappedHere += int64(n)
+	return c.os.MapHuge(n)
+}
+
+// Free returns n contiguous hugepages to the cache, coalescing with
+// neighbours and trimming the cache to its bound.
+func (c *HugeCache) Free(start mem.HugePageID, n int) {
+	if n <= 0 {
+		panic("pageheap: HugeCache.Free with non-positive count")
+	}
+	i := sort.Search(len(c.ranges), func(i int) bool { return c.ranges[i].start >= start })
+	// Guard against overlap corruption.
+	if i > 0 && c.ranges[i-1].start+mem.HugePageID(c.ranges[i-1].n) > start {
+		panic(fmt.Sprintf("pageheap: HugeCache.Free overlaps cached range at %#x", start.Addr()))
+	}
+	if i < len(c.ranges) && start+mem.HugePageID(n) > c.ranges[i].start {
+		panic(fmt.Sprintf("pageheap: HugeCache.Free overlaps cached range at %#x", start.Addr()))
+	}
+	c.ranges = append(c.ranges, hugeRange{})
+	copy(c.ranges[i+1:], c.ranges[i:])
+	c.ranges[i] = hugeRange{start: start, n: n}
+	c.bytes += int64(n) * mem.HugePageSize
+	// Coalesce with successor then predecessor.
+	if i+1 < len(c.ranges) && c.ranges[i].start+mem.HugePageID(c.ranges[i].n) == c.ranges[i+1].start {
+		c.ranges[i].n += c.ranges[i+1].n
+		c.ranges = append(c.ranges[:i+1], c.ranges[i+2:]...)
+	}
+	if i > 0 && c.ranges[i-1].start+mem.HugePageID(c.ranges[i-1].n) == c.ranges[i].start {
+		c.ranges[i-1].n += c.ranges[i].n
+		c.ranges = append(c.ranges[:i], c.ranges[i+1:]...)
+	}
+	c.trim()
+}
+
+// trim releases cached hugepages above the bound, largest ranges first.
+func (c *HugeCache) trim() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.maxBytes {
+		// Release from the largest range.
+		largest := 0
+		for i, r := range c.ranges {
+			if r.n > c.ranges[largest].n {
+				largest = i
+			}
+		}
+		r := &c.ranges[largest]
+		c.os.ReleaseHuge(r.start + mem.HugePageID(r.n-1))
+		r.n--
+		c.bytes -= mem.HugePageSize
+		c.releasedBytes += mem.HugePageSize
+		if r.n == 0 {
+			c.ranges = append(c.ranges[:largest], c.ranges[largest+1:]...)
+		}
+	}
+}
+
+// ReleaseAll releases every cached hugepage to the OS and returns the
+// bytes released.
+func (c *HugeCache) ReleaseAll() int64 {
+	released := int64(0)
+	for _, r := range c.ranges {
+		for i := 0; i < r.n; i++ {
+			c.os.ReleaseHuge(r.start + mem.HugePageID(i))
+		}
+		released += int64(r.n) * mem.HugePageSize
+	}
+	c.ranges = nil
+	c.releasedBytes += released
+	c.bytes = 0
+	return released
+}
+
+// ReleaseAtLeast releases up to want bytes of cached hugepages and
+// returns the bytes actually released.
+func (c *HugeCache) ReleaseAtLeast(want int64) int64 {
+	released := int64(0)
+	for released < want && len(c.ranges) > 0 {
+		last := len(c.ranges) - 1
+		r := &c.ranges[last]
+		c.os.ReleaseHuge(r.start + mem.HugePageID(r.n-1))
+		r.n--
+		c.bytes -= mem.HugePageSize
+		released += mem.HugePageSize
+		if r.n == 0 {
+			c.ranges = c.ranges[:last]
+		}
+	}
+	c.releasedBytes += released
+	return released
+}
+
+// CachedBytes returns memory currently held by the cache.
+func (c *HugeCache) CachedBytes() int64 { return c.bytes }
+
+// HugeCacheStats summarizes cache behaviour.
+type HugeCacheStats struct {
+	CachedBytes   int64
+	Hits, Misses  int64
+	ReleasedBytes int64
+	Ranges        int
+}
+
+// Stats returns current statistics.
+func (c *HugeCache) Stats() HugeCacheStats {
+	return HugeCacheStats{
+		CachedBytes:   c.bytes,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		ReleasedBytes: c.releasedBytes,
+		Ranges:        len(c.ranges),
+	}
+}

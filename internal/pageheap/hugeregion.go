@@ -1,0 +1,181 @@
+package pageheap
+
+import (
+	"fmt"
+
+	"wsmalloc/internal/mem"
+)
+
+// regionHugePages is the size of one HugeRegion in hugepages. Allocations
+// that slightly exceed a hugepage (e.g. 2.1 MiB) are packed together onto
+// these contiguous runs so their slack overlaps instead of wasting a
+// mostly-empty trailing hugepage each (§4.4). Regions are kept small so
+// a lightly-used region does not itself become the fragmentation story.
+const regionHugePages = 4
+
+// regionPages is the region size in TCMalloc pages.
+const regionPages = regionHugePages * mem.PagesPerHugePage
+
+// region tracks one contiguous run of hugepages with page-granularity
+// occupancy.
+type region struct {
+	start     mem.HugePageID
+	used      []uint64 // regionPages bits
+	usedCount int
+}
+
+func newRegion(start mem.HugePageID) *region {
+	return &region{start: start, used: make([]uint64, regionPages/64)}
+}
+
+func (r *region) get(i int) bool { return r.used[i>>6]&(1<<uint(i&63)) != 0 }
+func (r *region) set(i int)      { r.used[i>>6] |= 1 << uint(i&63) }
+func (r *region) clearBit(i int) { r.used[i>>6] &^= 1 << uint(i&63) }
+func (r *region) firstPage() mem.PageID {
+	return r.start.FirstPage()
+}
+
+// findFreeRun returns the first run of n free pages, or -1.
+func (r *region) findFreeRun(n int) int {
+	run, start := 0, 0
+	for i := 0; i < regionPages; i++ {
+		if r.get(i) {
+			run = 0
+			start = i + 1
+			continue
+		}
+		run++
+		if run == n {
+			return start
+		}
+	}
+	return -1
+}
+
+// HugeRegion packs allocations of one-to-several hugepages with large
+// slack onto shared contiguous hugepage runs. Regions are mapped whole
+// and released whole, so they never break hugepages.
+type HugeRegion struct {
+	os      *mem.OS
+	regions []*region
+	byHuge  map[mem.HugePageID]*region
+	// onRelease receives the hugepages of a drained region; when nil
+	// they are released straight to the OS.
+	onRelease func(start mem.HugePageID, n int)
+
+	usedPages int64
+	allocs    int64
+	frees     int64
+}
+
+// NewHugeRegion creates an empty region allocator. onRelease, when
+// non-nil, receives drained regions' hugepages (typically the HugeCache)
+// instead of returning them to the OS.
+func NewHugeRegion(o *mem.OS, onRelease func(start mem.HugePageID, n int)) *HugeRegion {
+	return &HugeRegion{os: o, byHuge: make(map[mem.HugePageID]*region), onRelease: onRelease}
+}
+
+// Alloc places an n-page allocation in a region, creating a new region
+// when none has room. n must fit in one region.
+func (h *HugeRegion) Alloc(n int) mem.PageID {
+	if n <= 0 || n > regionPages {
+		panic(fmt.Sprintf("pageheap: region alloc of %d pages", n))
+	}
+	var target *region
+	idx := -1
+	// Densest-region-first keeps sparse regions drainable.
+	for _, r := range h.regions {
+		if i := r.findFreeRun(n); i >= 0 {
+			if target == nil || r.usedCount > target.usedCount {
+				target, idx = r, i
+			}
+		}
+	}
+	if target == nil {
+		start := h.os.MapHuge(regionHugePages)
+		target = newRegion(start)
+		h.regions = append(h.regions, target)
+		for i := 0; i < regionHugePages; i++ {
+			h.byHuge[start+mem.HugePageID(i)] = target
+		}
+		idx = 0
+	}
+	for i := idx; i < idx+n; i++ {
+		target.set(i)
+	}
+	target.usedCount += n
+	h.usedPages += int64(n)
+	h.allocs++
+	return target.firstPage() + mem.PageID(idx)
+}
+
+// Owns reports whether p lies in a live region.
+func (h *HugeRegion) Owns(p mem.PageID) bool {
+	_, ok := h.byHuge[p.HugePage()]
+	return ok
+}
+
+// Free releases n pages starting at p. A region whose last allocation is
+// freed is unmapped whole.
+func (h *HugeRegion) Free(p mem.PageID, n int) {
+	r, ok := h.byHuge[p.HugePage()]
+	if !ok {
+		panic(fmt.Sprintf("pageheap: region free of unowned page %#x", p.Addr()))
+	}
+	offset := int(p - r.firstPage())
+	if offset < 0 || offset+n > regionPages {
+		panic("pageheap: region free out of range")
+	}
+	for i := offset; i < offset+n; i++ {
+		if !r.get(i) {
+			panic("pageheap: region double free")
+		}
+		r.clearBit(i)
+	}
+	r.usedCount -= n
+	h.usedPages -= int64(n)
+	h.frees++
+	if r.usedCount == 0 {
+		h.releaseRegion(r)
+	}
+}
+
+func (h *HugeRegion) releaseRegion(r *region) {
+	for i := 0; i < regionHugePages; i++ {
+		delete(h.byHuge, r.start+mem.HugePageID(i))
+	}
+	if h.onRelease != nil {
+		h.onRelease(r.start, regionHugePages)
+	} else {
+		for i := 0; i < regionHugePages; i++ {
+			h.os.ReleaseHuge(r.start + mem.HugePageID(i))
+		}
+	}
+	for i, cand := range h.regions {
+		if cand == r {
+			h.regions = append(h.regions[:i], h.regions[i+1:]...)
+			return
+		}
+	}
+	panic("pageheap: releasing unknown region")
+}
+
+// HugeRegionStats summarizes region state.
+type HugeRegionStats struct {
+	Regions   int
+	UsedBytes int64
+	FreeBytes int64
+	Allocs    int64
+	Frees     int64
+}
+
+// Stats returns current statistics.
+func (h *HugeRegion) Stats() HugeRegionStats {
+	return HugeRegionStats{
+		Regions:   len(h.regions),
+		UsedBytes: h.usedPages * mem.PageSize,
+		FreeBytes: int64(len(h.regions))*regionPages*mem.PageSize - h.usedPages*mem.PageSize,
+		Allocs:    h.allocs,
+		Frees:     h.frees,
+	}
+}

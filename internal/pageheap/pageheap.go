@@ -1,0 +1,264 @@
+package pageheap
+
+import (
+	"fmt"
+
+	"wsmalloc/internal/mem"
+)
+
+// Config controls pageheap behaviour.
+type Config struct {
+	// LifetimeAware enables the paper's lifetime-aware hugepage filler:
+	// short-lived spans are packed on a dedicated hugepage set (§4.4).
+	LifetimeAware bool
+	// MaxHugeCacheBytes bounds the HugeCache (0 = unbounded).
+	MaxHugeCacheBytes int64
+	// SubreleaseDensityLimit protects hugepages above this allocation
+	// density from subrelease (skip-subrelease, Maas et al.). Zero means
+	// the default of 0.7.
+	SubreleaseDensityLimit float64
+}
+
+// DefaultConfig returns the baseline configuration (lifetime-aware filler
+// off, 256 MiB hugepage cache).
+func DefaultConfig() Config {
+	return Config{MaxHugeCacheBytes: 1 << 30, SubreleaseDensityLimit: 0.7}
+}
+
+type placementKind uint8
+
+const (
+	placeFiller placementKind = iota
+	placeRegion
+	placeCache
+	placeDonated
+)
+
+type placement struct {
+	kind     placementKind
+	pages    int
+	lifetime Lifetime
+	// hugepages and tailUsed describe placeDonated/placeCache layouts.
+	hugepages int
+	tailUsed  int
+}
+
+// PageHeap is the hugepage-aware back-end: it routes span allocations to
+// the HugeFiller, HugeRegion, or HugeCache exactly as TCMalloc's
+// HugePageAwareAllocator does, and implements the gradual release policy.
+type PageHeap struct {
+	os      *mem.OS
+	cfg     Config
+	fillers [numLifetimes]*Filler
+	region  *HugeRegion
+	cache   *HugeCache
+
+	live map[mem.PageID]placement
+
+	// largeUsedPages tracks pages used by cache-backed large allocations
+	// (excluding donated tails, which the filler accounts).
+	largeUsedPages int64
+
+	allocs, frees int64
+}
+
+// New creates a pageheap over the simulated OS.
+func New(o *mem.OS, cfg Config) *PageHeap {
+	p := &PageHeap{
+		os:   o,
+		cfg:  cfg,
+		live: make(map[mem.PageID]placement),
+	}
+	p.cache = NewHugeCache(o, cfg.MaxHugeCacheBytes)
+	p.region = NewHugeRegion(o, func(start mem.HugePageID, n int) { p.cache.Free(start, n) })
+	for i := range p.fillers {
+		p.fillers[i] = NewFiller(o, func(h mem.HugePageID) { p.cache.Free(h, 1) })
+	}
+	return p
+}
+
+// fillerFor selects the filler set for a lifetime class.
+func (p *PageHeap) fillerFor(lt Lifetime) *Filler {
+	if !p.cfg.LifetimeAware {
+		return p.fillers[LifetimeLong]
+	}
+	return p.fillers[lt]
+}
+
+// Alloc obtains pages contiguous TCMalloc pages. lt classifies the
+// expected span lifetime (ignored unless the lifetime-aware filler is
+// enabled). The returned range is tracked until freed with Free.
+func (p *PageHeap) Alloc(pages int, lt Lifetime) mem.PageID {
+	if pages <= 0 {
+		panic(fmt.Sprintf("pageheap: alloc of %d pages", pages))
+	}
+	p.allocs++
+	var start mem.PageID
+	var pl placement
+	switch {
+	case pages < mem.PagesPerHugePage:
+		start = p.allocFiller(pages, lt)
+		pl = placement{kind: placeFiller, pages: pages, lifetime: lt}
+	default:
+		huges := (pages + mem.PagesPerHugePage - 1) / mem.PagesPerHugePage
+		slack := huges*mem.PagesPerHugePage - pages
+		switch {
+		case slack == 0:
+			h := p.cache.Alloc(huges)
+			start = h.FirstPage()
+			p.largeUsedPages += int64(pages)
+			pl = placement{kind: placeCache, pages: pages, hugepages: huges}
+		case huges <= 2 && slack >= mem.PagesPerHugePage/4:
+			// Slightly exceeding a hugepage with substantial slack: pack
+			// into a shared region so slack overlaps (e.g. the paper's
+			// 2.1 MiB example).
+			start = p.region.Alloc(pages)
+			pl = placement{kind: placeRegion, pages: pages}
+		default:
+			// Whole hugepages plus a tail remainder donated to the
+			// filler (e.g. 4.5 MiB donates 1.5 MiB of slack).
+			h := p.cache.Alloc(huges)
+			start = h.FirstPage()
+			tailUsed := pages - (huges-1)*mem.PagesPerHugePage
+			p.fillers[LifetimeLong].AddDonated(h+mem.HugePageID(huges-1), tailUsed)
+			p.largeUsedPages += int64((huges - 1) * mem.PagesPerHugePage)
+			pl = placement{kind: placeDonated, pages: pages, hugepages: huges, tailUsed: tailUsed}
+		}
+	}
+	if _, dup := p.live[start]; dup {
+		panic(fmt.Sprintf("pageheap: duplicate allocation at page %#x", start.Addr()))
+	}
+	p.live[start] = pl
+	return start
+}
+
+func (p *PageHeap) allocFiller(pages int, lt Lifetime) mem.PageID {
+	f := p.fillerFor(lt)
+	if start, ok := f.Alloc(pages); ok {
+		return start
+	}
+	h := p.cache.Alloc(1)
+	f.AddHugePage(h)
+	start, ok := f.Alloc(pages)
+	if !ok {
+		panic("pageheap: fresh hugepage cannot satisfy sub-hugepage allocation")
+	}
+	return start
+}
+
+// Free returns a range previously obtained from Alloc.
+func (p *PageHeap) Free(start mem.PageID, pages int) {
+	pl, ok := p.live[start]
+	if !ok {
+		panic(fmt.Sprintf("pageheap: free of untracked range at page %#x", start.Addr()))
+	}
+	if pl.pages != pages {
+		panic(fmt.Sprintf("pageheap: free of %d pages, allocated %d", pages, pl.pages))
+	}
+	delete(p.live, start)
+	p.frees++
+	switch pl.kind {
+	case placeFiller:
+		p.fillerFor(pl.lifetime).Free(start, pages)
+	case placeRegion:
+		p.region.Free(start, pages)
+	case placeCache:
+		p.cache.Free(start.HugePage(), pl.hugepages)
+		p.largeUsedPages -= int64(pages)
+	case placeDonated:
+		lead := pl.hugepages - 1
+		p.cache.Free(start.HugePage(), lead)
+		tail := start.HugePage() + mem.HugePageID(lead)
+		p.fillers[LifetimeLong].Free(tail.FirstPage(), pl.tailUsed)
+		p.largeUsedPages -= int64(lead * mem.PagesPerHugePage)
+	}
+}
+
+// ReleaseAtLeast releases at least want bytes back to the OS when
+// possible: first whole free hugepages from the cache (coverage
+// preserving), then subrelease from the sparsest filler hugepages. It
+// returns the bytes actually released.
+func (p *PageHeap) ReleaseAtLeast(want int64) int64 {
+	released := p.cache.ReleaseAtLeast(want)
+	limit := p.cfg.SubreleaseDensityLimit
+	if limit == 0 {
+		limit = 0.7
+	}
+	if released < want && p.cfg.LifetimeAware {
+		// Break short-lifetime hugepages first: they drain and unmap
+		// whole soon, so the damage is transient, while a broken
+		// long-lifetime hugepage loses its TLB benefit indefinitely.
+		pages := int((want - released + mem.PageSize - 1) / mem.PageSize)
+		released += int64(p.fillers[LifetimeShort].ReleasePages(pages, limit)) * mem.PageSize
+	}
+	if released < want {
+		pages := int((want - released + mem.PageSize - 1) / mem.PageSize)
+		released += int64(p.fillers[LifetimeLong].ReleasePages(pages, limit)) * mem.PageSize
+	}
+	return released
+}
+
+// Stats aggregates pageheap telemetry; the per-component split feeds
+// Fig. 15 and the coverage number feeds Fig. 17a.
+type Stats struct {
+	// Per-component in-use bytes.
+	FillerUsed, RegionUsed, LargeUsed int64
+	// Per-component mapped-but-free bytes (external fragmentation).
+	FillerFree, RegionFree, CacheFree int64
+	// Subreleased bytes still inside filler hugepages.
+	FillerReleased int64
+	// UsedBytes and FreeBytes are component totals.
+	UsedBytes, FreeBytes int64
+	// HugepageCoverage is the fraction of in-use bytes backed by intact
+	// hugepages.
+	HugepageCoverage float64
+	// Allocs and Frees count pageheap operations.
+	Allocs, Frees int64
+	// Cache hit statistics.
+	CacheHits, CacheMisses int64
+}
+
+// Stats computes a snapshot.
+func (p *PageHeap) Stats() Stats {
+	var fUsed, fFree, fReleased, fIntact int64
+	for _, f := range p.fillers {
+		fs := f.Stats()
+		fUsed += fs.UsedBytes
+		fFree += fs.FreeBytes
+		fReleased += fs.ReleasedBytes
+		fIntact += fs.UsedOnIntact
+	}
+	rs := p.region.Stats()
+	cs := p.cache.Stats()
+	s := Stats{
+		FillerUsed:     fUsed,
+		RegionUsed:     rs.UsedBytes,
+		LargeUsed:      p.largeUsedPages * mem.PageSize,
+		FillerFree:     fFree,
+		RegionFree:     rs.FreeBytes,
+		CacheFree:      cs.CachedBytes,
+		FillerReleased: fReleased,
+		Allocs:         p.allocs,
+		Frees:          p.frees,
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+	}
+	s.UsedBytes = s.FillerUsed + s.RegionUsed + s.LargeUsed
+	s.FreeBytes = s.FillerFree + s.RegionFree + s.CacheFree
+	// Regions and cache-backed large allocations never subrelease, so
+	// their used bytes are always hugepage-backed.
+	intact := fIntact + s.RegionUsed + s.LargeUsed
+	if s.UsedBytes > 0 {
+		s.HugepageCoverage = float64(intact) / float64(s.UsedBytes)
+	}
+	return s
+}
+
+// Fillers exposes the filler set for white-box telemetry (tests and the
+// experiment harness).
+func (p *PageHeap) Fillers() []*Filler {
+	return []*Filler{p.fillers[LifetimeLong], p.fillers[LifetimeShort]}
+}
+
+// LiveRanges returns the number of outstanding allocations.
+func (p *PageHeap) LiveRanges() int { return len(p.live) }

@@ -1,0 +1,471 @@
+// Package percpu implements TCMalloc's front-end per-CPU caches (§2.1
+// item 1, §4.1): per-virtual-CPU object stacks with a byte-capacity
+// budget, indexed by the dense vCPU IDs the kernel's rseq extension
+// provides. It supports the legacy statically-sized layout (3 MiB per
+// vCPU) and the paper's heterogeneous design, where a background resizer
+// periodically steals capacity from low-miss caches and grants it to the
+// top-K highest-miss caches (Fig. 9b, Fig. 10).
+package percpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Backing is the middle tier (the transfer cache layer).
+type Backing interface {
+	// Alloc fills out with objects of a class for an LLC domain.
+	Alloc(class, domain int, out []uint64)
+	// Free returns objects of a class freed by an LLC domain.
+	Free(class, domain int, objs []uint64)
+}
+
+// Config controls the front-end.
+type Config struct {
+	// Heterogeneous enables usage-based dynamic cache sizing (§4.1).
+	Heterogeneous bool
+	// CapacityBytes is the per-vCPU cache bound. The paper uses 3 MiB
+	// for the static design and halves it to 1.5 MiB with dynamic
+	// resizing enabled. Caches start at InitialCapacityBytes and grow
+	// toward the bound on misses (TCMalloc's slow start), so idle vCPUs
+	// never hold the full budget.
+	CapacityBytes int64
+	// InitialCapacityBytes is the starting per-vCPU capacity.
+	InitialCapacityBytes int64
+	// GrowStepBytes is how much a miss grows the capacity (up to the
+	// CapacityBytes bound).
+	GrowStepBytes int64
+	// MinCapacityBytes bounds how far the resizer may shrink a cache.
+	MinCapacityBytes int64
+	// ResizeIntervalNs is the period of the background resizer. The
+	// paper uses 5 s of wall time; simulation runs compress hours into
+	// hundreds of milliseconds, so the default is 10 ms of virtual time.
+	ResizeIntervalNs int64
+	// TopK is how many highest-miss caches grow per resize interval.
+	TopK int
+	// StepBytes is the capacity moved per steal.
+	StepBytes int64
+	// PerClassBytesCap bounds how many bytes of one size class a single
+	// vCPU cache may hold (TCMalloc bounds per-class capacity so one
+	// class cannot monopolize the slab). Zero disables the cap.
+	PerClassBytesCap int64
+	// DecayIntervalNs is the period of the idle-class reclaim
+	// (TCMalloc's per-CPU cache shuffle): a class slot with no activity
+	// since the previous pass returns half its objects to the middle
+	// tier, so stack bottoms do not pin spans forever. Zero disables.
+	DecayIntervalNs int64
+}
+
+// StaticConfig is the legacy front-end: fixed 3 MiB per vCPU.
+func StaticConfig() Config {
+	return Config{
+		CapacityBytes:        3 << 20,
+		InitialCapacityBytes: 256 << 10,
+		GrowStepBytes:        64 << 10,
+		MinCapacityBytes:     128 << 10,
+		ResizeIntervalNs:     10e6,
+		TopK:                 5,
+		StepBytes:            256 << 10,
+		PerClassBytesCap:     96 << 10,
+		DecayIntervalNs:      20e6,
+	}
+}
+
+// HeterogeneousConfig is the paper's redesign: dynamic sizing with the
+// default halved to 1.5 MiB.
+func HeterogeneousConfig() Config {
+	c := StaticConfig()
+	c.Heterogeneous = true
+	c.CapacityBytes = 3 << 19 // 1.5 MiB
+	return c
+}
+
+// cpuCache is the cache of one virtual CPU.
+type cpuCache struct {
+	slots    [][]uint64
+	used     int64
+	capacity int64
+	// bound is the maximum capacity slow-start growth may reach.
+	bound int64
+
+	allocHits, allocMisses int64
+	freeHits, freeMisses   int64
+	missWindow             int64
+
+	// classOps and classOpsAtDecay drive idle-class reclaim.
+	classOps        []int64
+	classOpsAtDecay []int64
+}
+
+// Stats summarizes the front-end.
+type Stats struct {
+	// PopulatedCaches is the number of vCPU caches in use.
+	PopulatedCaches int
+	// CachedBytes is memory held across all per-CPU caches (front-end
+	// external fragmentation, Fig. 6b).
+	CachedBytes int64
+	// CapacityBytes is the summed capacity of populated caches.
+	CapacityBytes int64
+	// AllocHits/AllocMisses count fast-path allocations vs underflows.
+	AllocHits, AllocMisses int64
+	// FreeHits/FreeMisses count fast-path frees vs overflow spills.
+	FreeHits, FreeMisses int64
+	// Resizes counts capacity-steal operations performed.
+	Resizes int64
+}
+
+// Caches is the front-end layer across all vCPUs.
+type Caches struct {
+	cfg        Config
+	numClasses int
+	objSize    func(class int) int
+	batchSize  func(class int) int
+	domainOf   func(vcpu int) int
+	backing    Backing
+
+	caches []*cpuCache
+
+	lastResize  int64
+	lastDecay   int64
+	stealCursor int
+	resizes     int64
+}
+
+// New creates the front-end. domainOf maps a vCPU to its LLC domain for
+// middle-tier calls.
+func New(cfg Config, numClasses int, objSize, batchSize func(int) int,
+	domainOf func(int) int, backing Backing) *Caches {
+	if cfg.CapacityBytes <= 0 {
+		panic("percpu: non-positive capacity")
+	}
+	return &Caches{
+		cfg:        cfg,
+		numClasses: numClasses,
+		objSize:    objSize,
+		batchSize:  batchSize,
+		domainOf:   domainOf,
+		backing:    backing,
+	}
+}
+
+func (c *Caches) cache(vcpu int) *cpuCache {
+	for vcpu >= len(c.caches) {
+		c.caches = append(c.caches, nil)
+	}
+	if c.caches[vcpu] == nil {
+		initial := c.cfg.InitialCapacityBytes
+		if initial <= 0 || initial > c.cfg.CapacityBytes {
+			initial = c.cfg.CapacityBytes
+		}
+		c.caches[vcpu] = &cpuCache{
+			slots:           make([][]uint64, c.numClasses),
+			capacity:        initial,
+			bound:           c.cfg.CapacityBytes,
+			classOps:        make([]int64, c.numClasses),
+			classOpsAtDecay: make([]int64, c.numClasses),
+		}
+	}
+	return c.caches[vcpu]
+}
+
+// Alloc returns one object of the given class for a thread running on
+// vcpu. hit reports whether the fast path (cache) served it.
+func (c *Caches) Alloc(vcpu, class int) (addr uint64, hit bool) {
+	cc := c.cache(vcpu)
+	cc.classOps[class]++
+	if s := cc.slots[class]; len(s) > 0 {
+		addr = s[len(s)-1]
+		cc.slots[class] = s[:len(s)-1]
+		cc.used -= int64(c.objSize(class))
+		cc.allocHits++
+		return addr, true
+	}
+	// Underflow: refill a batch from the middle tier, growing the
+	// capacity toward its bound (slow start).
+	cc.allocMisses++
+	cc.missWindow++
+	c.grow(cc)
+	batch := c.batchSize(class)
+	size := int64(c.objSize(class))
+	// Keep the refill within the capacity budget and the per-class cap
+	// (always at least one object).
+	if room := (cc.capacity - cc.used) / size; room < int64(batch) {
+		batch = int(room)
+	}
+	if cap := c.cfg.PerClassBytesCap; cap > 0 {
+		if room := int(cap/size) - len(cc.slots[class]); room < batch {
+			batch = room
+		}
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	buf := make([]uint64, batch)
+	c.backing.Alloc(class, c.domainOf(vcpu), buf)
+	addr = buf[0]
+	if batch > 1 {
+		cc.slots[class] = append(cc.slots[class], buf[1:]...)
+		cc.used += int64(batch-1) * size
+	}
+	return addr, false
+}
+
+// Free returns one object of the given class from a thread on vcpu. hit
+// reports whether the cache absorbed it without spilling.
+func (c *Caches) Free(vcpu, class int, addr uint64) (hit bool) {
+	cc := c.cache(vcpu)
+	cc.classOps[class]++
+	size := int64(c.objSize(class))
+	if cap := c.cfg.PerClassBytesCap; cap > 0 &&
+		(int64(len(cc.slots[class]))+1)*size > cap {
+		// Per-class cap reached: spill a batch of this class.
+		cc.freeMisses++
+		cc.missWindow++
+		c.spill(cc, vcpu, class, addr)
+		return false
+	}
+	if cc.used+size > cc.capacity {
+		// Overflow: grow toward the bound; if the object still does not
+		// fit, spill a batch of this class (including addr).
+		cc.freeMisses++
+		cc.missWindow++
+		c.grow(cc)
+		if cc.used+size > cc.capacity {
+			c.spill(cc, vcpu, class, addr)
+			return false
+		}
+		cc.slots[class] = append(cc.slots[class], addr)
+		cc.used += size
+		return false
+	}
+	cc.slots[class] = append(cc.slots[class], addr)
+	cc.used += size
+	cc.freeHits++
+	return true
+}
+
+// spill pushes addr plus up to batch-1 cached objects of class to the
+// middle tier.
+func (c *Caches) spill(cc *cpuCache, vcpu, class int, addr uint64) {
+	batch := c.batchSize(class)
+	s := cc.slots[class]
+	take := batch - 1
+	if take > len(s) {
+		take = len(s)
+	}
+	objs := make([]uint64, 0, take+1)
+	objs = append(objs, addr)
+	objs = append(objs, s[len(s)-take:]...)
+	cc.slots[class] = s[:len(s)-take]
+	cc.used -= int64(take) * int64(c.objSize(class))
+	c.backing.Free(class, c.domainOf(vcpu), objs)
+}
+
+// grow raises a cache's capacity by one slow-start step, capped at the
+// bound.
+func (c *Caches) grow(cc *cpuCache) {
+	if c.cfg.GrowStepBytes <= 0 || cc.capacity >= cc.bound {
+		return
+	}
+	cc.capacity += c.cfg.GrowStepBytes
+	if cc.capacity > cc.bound {
+		cc.capacity = cc.bound
+	}
+}
+
+// MaybeDecay runs the idle-class reclaim if the interval elapsed: every
+// (vcpu, class) slot untouched since the previous pass returns half its
+// objects to the middle tier. Returns the number of objects released.
+func (c *Caches) MaybeDecay(now int64) int {
+	if c.cfg.DecayIntervalNs <= 0 || now-c.lastDecay < c.cfg.DecayIntervalNs {
+		return 0
+	}
+	c.lastDecay = now
+	released := 0
+	for vcpu, cc := range c.caches {
+		if cc == nil {
+			continue
+		}
+		for class := 0; class < c.numClasses; class++ {
+			idle := cc.classOps[class] == cc.classOpsAtDecay[class]
+			cc.classOpsAtDecay[class] = cc.classOps[class]
+			if !idle || len(cc.slots[class]) == 0 {
+				continue
+			}
+			s := cc.slots[class]
+			drop := (len(s) + 1) / 2
+			objs := append([]uint64(nil), s[len(s)-drop:]...)
+			cc.slots[class] = s[:len(s)-drop]
+			cc.used -= int64(drop) * int64(c.objSize(class))
+			c.backing.Free(class, c.domainOf(vcpu), objs)
+			released += drop
+		}
+	}
+	return released
+}
+
+// MaybeResize runs the heterogeneous resizer if the interval elapsed.
+// now is simulation time in nanoseconds. Returns whether a resize pass
+// ran.
+func (c *Caches) MaybeResize(now int64) bool {
+	if !c.cfg.Heterogeneous || now-c.lastResize < c.cfg.ResizeIntervalNs {
+		return false
+	}
+	c.lastResize = now
+	c.resizePass()
+	return true
+}
+
+// resizePass identifies the TopK caches with the most misses in the last
+// window and grows them with capacity stolen round-robin from the rest,
+// shrinking larger size classes first when eviction is needed (§4.1).
+func (c *Caches) resizePass() {
+	type cand struct {
+		idx    int
+		misses int64
+	}
+	var pop []cand
+	for i, cc := range c.caches {
+		if cc != nil {
+			pop = append(pop, cand{i, cc.missWindow})
+		}
+	}
+	if len(pop) < 2 {
+		for _, p := range pop {
+			c.caches[p.idx].missWindow = 0
+		}
+		return
+	}
+	// Top K by window misses; caches with no misses never grow.
+	ranked := append([]cand(nil), pop...)
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].misses > ranked[j].misses })
+	k := c.cfg.TopK
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	grow := map[int]bool{}
+	var growList []int
+	for _, p := range ranked[:k] {
+		if p.misses > 0 {
+			grow[p.idx] = true
+			growList = append(growList, p.idx)
+		}
+	}
+	// Steal capacity round-robin from non-growing caches, serving the
+	// highest-miss cache first (deterministic order).
+	for _, target := range growList {
+		moved := int64(0)
+		for scan := 0; scan < len(pop) && moved < c.cfg.StepBytes; scan++ {
+			c.stealCursor = (c.stealCursor + 1) % len(pop)
+			victim := pop[c.stealCursor].idx
+			if grow[victim] {
+				continue
+			}
+			vc := c.caches[victim]
+			avail := vc.capacity - c.cfg.MinCapacityBytes
+			if avail <= 0 {
+				continue
+			}
+			step := c.cfg.StepBytes - moved
+			if step > avail {
+				step = avail
+			}
+			vc.capacity -= step
+			c.evictToCapacity(vc, victim)
+			c.caches[target].capacity += step
+			moved += step
+			c.resizes++
+		}
+	}
+	for _, p := range pop {
+		c.caches[p.idx].missWindow = 0
+	}
+}
+
+// evictToCapacity sheds objects (largest size classes first, since most
+// allocations are small, §4.1) until the cache fits its capacity.
+func (c *Caches) evictToCapacity(cc *cpuCache, vcpu int) {
+	for class := c.numClasses - 1; class >= 0 && cc.used > cc.capacity; class-- {
+		size := int64(c.objSize(class))
+		for len(cc.slots[class]) > 0 && cc.used > cc.capacity {
+			batch := c.batchSize(class)
+			s := cc.slots[class]
+			if batch > len(s) {
+				batch = len(s)
+			}
+			objs := append([]uint64(nil), s[len(s)-batch:]...)
+			cc.slots[class] = s[:len(s)-batch]
+			cc.used -= int64(batch) * size
+			c.backing.Free(class, c.domainOf(vcpu), objs)
+		}
+	}
+}
+
+// Drain evicts every object of a vCPU cache back to the middle tier
+// (e.g. when the control plane deschedules the application from a CPU).
+func (c *Caches) Drain(vcpu int) {
+	if vcpu >= len(c.caches) || c.caches[vcpu] == nil {
+		return
+	}
+	cc := c.caches[vcpu]
+	for class := 0; class < c.numClasses; class++ {
+		if len(cc.slots[class]) == 0 {
+			continue
+		}
+		c.backing.Free(class, c.domainOf(vcpu), cc.slots[class])
+		cc.used -= int64(len(cc.slots[class])) * int64(c.objSize(class))
+		cc.slots[class] = nil
+	}
+	if cc.used != 0 {
+		panic(fmt.Sprintf("percpu: drain accounting mismatch: %d bytes", cc.used))
+	}
+}
+
+// DrainAll drains every populated cache.
+func (c *Caches) DrainAll() {
+	for v := range c.caches {
+		c.Drain(v)
+	}
+}
+
+// MissCounts returns total (alloc+free) misses per vCPU — Fig. 9b's
+// disparity metric.
+func (c *Caches) MissCounts() []int64 {
+	out := make([]int64, len(c.caches))
+	for i, cc := range c.caches {
+		if cc != nil {
+			out[i] = cc.allocMisses + cc.freeMisses
+		}
+	}
+	return out
+}
+
+// Capacities returns the current capacity of each populated vCPU cache.
+func (c *Caches) Capacities() []int64 {
+	out := make([]int64, len(c.caches))
+	for i, cc := range c.caches {
+		if cc != nil {
+			out[i] = cc.capacity
+		}
+	}
+	return out
+}
+
+// Stats returns a snapshot.
+func (c *Caches) Stats() Stats {
+	var s Stats
+	s.Resizes = c.resizes
+	for _, cc := range c.caches {
+		if cc == nil {
+			continue
+		}
+		s.PopulatedCaches++
+		s.CachedBytes += cc.used
+		s.CapacityBytes += cc.capacity
+		s.AllocHits += cc.allocHits
+		s.AllocMisses += cc.allocMisses
+		s.FreeHits += cc.freeHits
+		s.FreeMisses += cc.freeMisses
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func baseInputs() Inputs {
+	return Inputs{
+		BaseMPKI:            2.52,
+		InterDomainShare:    0.05,
+		AllocatorCacheBytes: 64 << 20,
+		HugepageCoverage:    0.544,
+		MallocTimeShare:     0.043,
+		Ops:                 1e6,
+		DurationNs:          1e9,
+	}
+}
+
+func TestWalkFitMatchesPaperAnchors(t *testing.T) {
+	p := DefaultParams()
+	in := baseInputs()
+	m := Evaluate(p, in)
+	if math.Abs(m.DTLBWalkPct-9.16) > 0.01 {
+		t.Fatalf("walk at ref coverage = %v, want 9.16", m.DTLBWalkPct)
+	}
+	in.HugepageCoverage = 0.562
+	m = Evaluate(p, in)
+	if math.Abs(m.DTLBWalkPct-6.22) > 0.15 {
+		t.Fatalf("walk at 56.2%% coverage = %v, want ~6.22 (Table 2)", m.DTLBWalkPct)
+	}
+}
+
+func TestHigherCoverageImprovesEverything(t *testing.T) {
+	p := DefaultParams()
+	lo := baseInputs()
+	hi := baseInputs()
+	hi.HugepageCoverage = 0.60
+	mLo, mHi := Evaluate(p, lo), Evaluate(p, hi)
+	if !(mHi.DTLBWalkPct < mLo.DTLBWalkPct && mHi.CPI < mLo.CPI &&
+		mHi.ThroughputIndex > mLo.ThroughputIndex) {
+		t.Fatalf("coverage improvement not monotone: %+v vs %+v", mLo, mHi)
+	}
+}
+
+func TestInterDomainShareHurtsLLC(t *testing.T) {
+	p := DefaultParams()
+	local := baseInputs()
+	local.InterDomainShare = 0
+	remote := baseInputs()
+	remote.InterDomainShare = 0.5
+	mLocal, mRemote := Evaluate(p, local), Evaluate(p, remote)
+	if mRemote.LLCLoadMPKI <= mLocal.LLCLoadMPKI {
+		t.Fatal("inter-domain share must inflate MPKI")
+	}
+	if mRemote.ThroughputIndex >= mLocal.ThroughputIndex {
+		t.Fatal("inter-domain share must reduce throughput")
+	}
+}
+
+func TestCacheFootprintAddsPressure(t *testing.T) {
+	p := DefaultParams()
+	small := baseInputs()
+	small.AllocatorCacheBytes = 1 << 20
+	big := baseInputs()
+	big.AllocatorCacheBytes = 512 << 20
+	if Evaluate(p, big).LLCLoadMPKI <= Evaluate(p, small).LLCLoadMPKI {
+		t.Fatal("footprint must add MPKI")
+	}
+}
+
+func TestMallocShareTax(t *testing.T) {
+	p := DefaultParams()
+	lean := baseInputs()
+	lean.MallocTimeShare = 0.01
+	fat := baseInputs()
+	fat.MallocTimeShare = 0.10
+	if Evaluate(p, fat).ThroughputIndex >= Evaluate(p, lean).ThroughputIndex {
+		t.Fatal("malloc share must tax throughput")
+	}
+}
+
+func TestCompareDirection(t *testing.T) {
+	p := DefaultParams()
+	control := baseInputs()
+	experiment := baseInputs()
+	experiment.InterDomainShare = 0.01
+	experiment.HugepageCoverage = 0.562
+	d := Compare(p, control, experiment)
+	if d.ThroughputPct <= 0 {
+		t.Fatalf("throughput delta %v, want positive", d.ThroughputPct)
+	}
+	if d.CPIPct >= 0 {
+		t.Fatalf("CPI delta %v, want negative", d.CPIPct)
+	}
+	if d.LLCAfter >= d.LLCBefore {
+		t.Fatal("LLC must improve")
+	}
+	if d.WalkAfterPct >= d.WalkBeforePct {
+		t.Fatal("walk must improve")
+	}
+}
+
+func TestNUCAFleetMagnitude(t *testing.T) {
+	// Table 1, fleet row: removing most cross-domain reuse should move
+	// throughput by a fraction of a percent and LLC by a few percent —
+	// small, like the paper's +0.32% / 2.52->2.41.
+	p := DefaultParams()
+	control := baseInputs()
+	control.InterDomainShare = 0.176
+	experiment := baseInputs()
+	experiment.InterDomainShare = 0.0
+	d := Compare(p, control, experiment)
+	if d.ThroughputPct < 0.05 || d.ThroughputPct > 3 {
+		t.Fatalf("fleet-scale NUCA throughput delta %v%% implausible", d.ThroughputPct)
+	}
+	llcDrop := (d.LLCBefore - d.LLCAfter) / d.LLCBefore * 100
+	if llcDrop < 1 || llcDrop > 15 {
+		t.Fatalf("LLC drop %v%% implausible vs paper's 4.37%%", llcDrop)
+	}
+}
+
+func TestAppBaselinesComplete(t *testing.T) {
+	apps := []string{"fleet", "spanner", "monarch", "bigtable", "f1-query", "disk",
+		"redis", "data-pipeline", "image-processing", "tensorflow"}
+	for _, app := range apps {
+		if _, ok := AppMPKIBaselines[app]; !ok {
+			t.Errorf("no MPKI baseline for %s", app)
+		}
+		if _, ok := AppWalkBaselines[app]; !ok {
+			t.Errorf("no walk baseline for %s", app)
+		}
+	}
+	in := InputsForApp("monarch", DefaultParams())
+	if in.BaseMPKI != 2.64 {
+		t.Fatalf("monarch MPKI = %v", in.BaseMPKI)
+	}
+	if in := InputsForApp("unknown-app", DefaultParams()); in.BaseMPKI != 2.52 {
+		t.Fatalf("unknown app should fall back to fleet")
+	}
+}
+
+func TestWalkPctForAppAnchors(t *testing.T) {
+	p := DefaultParams()
+	if got := WalkPctForApp(p, "monarch", p.RefCoverage); math.Abs(got-20.34) > 1e-9 {
+		t.Fatalf("monarch anchor = %v", got)
+	}
+	if got := WalkPctForApp(p, "monarch", 0.60); got >= 20.34 {
+		t.Fatal("higher coverage should cut monarch walks")
+	}
+	if got := WalkPctForApp(p, "never-heard-of-it", p.RefCoverage); math.Abs(got-9.16) > 1e-9 {
+		t.Fatalf("fallback anchor = %v", got)
+	}
+}
+
+func TestWalkClamped(t *testing.T) {
+	p := DefaultParams()
+	in := baseInputs()
+	in.HugepageCoverage = 0
+	if m := Evaluate(p, in); m.DTLBWalkPct > 60 {
+		t.Fatalf("walk %v not clamped", m.DTLBWalkPct)
+	}
+}

@@ -1,0 +1,213 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf draws integers in [0, n) with probability proportional to
+// 1/(rank+1)^s. It precomputes the CDF, so construction is O(n) and each
+// draw is O(log n). Warehouse binary popularity and allocation-site
+// popularity are both approximately Zipfian, which is what produces the
+// "top 50 binaries cover only ~50% of malloc cycles" shape in Fig. 3.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s > 0.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: r}
+}
+
+// Draw returns the next rank.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Weights returns the probability mass of each rank.
+func (z *Zipf) Weights() []float64 {
+	w := make([]float64, len(z.cdf))
+	prev := 0.0
+	for i, c := range z.cdf {
+		w[i] = c - prev
+		prev = c
+	}
+	return w
+}
+
+// Dist is a sampler of float64 values; all workload size and lifetime
+// models satisfy it.
+type Dist interface {
+	// Sample draws the next value using the provided generator.
+	Sample(r *RNG) float64
+}
+
+// Constant is a Dist that always returns V.
+type Constant float64
+
+// Sample implements Dist.
+func (c Constant) Sample(*RNG) float64 { return float64(c) }
+
+// Uniform is a Dist over [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+// LogNormalDist is a Dist with underlying normal (Mu, Sigma); values are
+// optionally clamped to [Min, Max] when those bounds are non-zero.
+type LogNormalDist struct {
+	Mu, Sigma float64
+	Min, Max  float64
+}
+
+// Sample implements Dist.
+func (d LogNormalDist) Sample(r *RNG) float64 {
+	v := r.LogNormal(d.Mu, d.Sigma)
+	if d.Min != 0 && v < d.Min {
+		v = d.Min
+	}
+	if d.Max != 0 && v > d.Max {
+		v = d.Max
+	}
+	return v
+}
+
+// ParetoDist is a Dist with scale Xm and shape Alpha, optionally capped at
+// Max when Max > 0. Heavy-tailed object lifetimes are Pareto-like.
+type ParetoDist struct {
+	Xm, Alpha float64
+	Max       float64
+}
+
+// Sample implements Dist.
+func (d ParetoDist) Sample(r *RNG) float64 {
+	v := r.Pareto(d.Xm, d.Alpha)
+	if d.Max > 0 && v > d.Max {
+		v = d.Max
+	}
+	return v
+}
+
+// ExpDist is an exponential Dist with the given Mean.
+type ExpDist struct{ Mean float64 }
+
+// Sample implements Dist.
+func (d ExpDist) Sample(r *RNG) float64 { return d.Mean * r.ExpFloat64() }
+
+// Component is one branch of a Mixture.
+type Component struct {
+	Weight float64
+	Dist   Dist
+}
+
+// Mixture is a weighted mixture of distributions. The fleet object-size
+// distribution (Fig. 7) and the per-size-band lifetime distributions
+// (Fig. 8) are modeled as mixtures.
+type Mixture struct {
+	components []Component
+	cdf        []float64
+}
+
+// NewMixture builds a mixture; weights are normalized and must sum to a
+// positive value.
+func NewMixture(components ...Component) *Mixture {
+	if len(components) == 0 {
+		panic("rng: empty mixture")
+	}
+	total := 0.0
+	for _, c := range components {
+		if c.Weight < 0 {
+			panic(fmt.Sprintf("rng: negative mixture weight %v", c.Weight))
+		}
+		total += c.Weight
+	}
+	if total <= 0 {
+		panic("rng: mixture weights sum to zero")
+	}
+	m := &Mixture{components: components, cdf: make([]float64, len(components))}
+	acc := 0.0
+	for i, c := range components {
+		acc += c.Weight / total
+		m.cdf[i] = acc
+	}
+	return m
+}
+
+// Sample implements Dist.
+func (m *Mixture) Sample(r *RNG) float64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(m.cdf, u)
+	if i >= len(m.components) {
+		i = len(m.components) - 1
+	}
+	return m.components[i].Dist.Sample(r)
+}
+
+// Components returns the mixture branches (normalized weights).
+func (m *Mixture) Components() []Component {
+	out := make([]Component, len(m.components))
+	prev := 0.0
+	for i, c := range m.components {
+		out[i] = Component{Weight: m.cdf[i] - prev, Dist: c.Dist}
+		prev = m.cdf[i]
+	}
+	return out
+}
+
+// Discrete samples from an explicit finite distribution of (value, weight)
+// pairs; used for size-class-aligned object size models.
+type Discrete struct {
+	values []float64
+	cdf    []float64
+}
+
+// NewDiscrete builds a Discrete sampler. len(values) must equal
+// len(weights) and weights must sum to a positive value.
+func NewDiscrete(values, weights []float64) *Discrete {
+	if len(values) != len(weights) || len(values) == 0 {
+		panic("rng: mismatched discrete distribution")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative discrete weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: discrete weights sum to zero")
+	}
+	d := &Discrete{values: append([]float64(nil), values...), cdf: make([]float64, len(weights))}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		d.cdf[i] = acc
+	}
+	return d
+}
+
+// Sample implements Dist.
+func (d *Discrete) Sample(r *RNG) float64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(d.cdf, u)
+	if i >= len(d.values) {
+		i = len(d.values) - 1
+	}
+	return d.values[i]
+}

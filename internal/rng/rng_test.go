@@ -1,0 +1,300 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	matches := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Fatalf("split stream tracks parent: %d matches", matches)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(11)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUniformMean(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v, want ~1", mean)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	xm, alpha := 2.0, 1.5
+	below := 0
+	for i := 0; i < n; i++ {
+		v := r.Pareto(xm, alpha)
+		if v < xm {
+			t.Fatalf("Pareto value %v below scale %v", v, xm)
+		}
+		// P(X <= 2*xm) = 1 - 2^-alpha
+		if v <= 2*xm {
+			below++
+		}
+	}
+	want := 1 - math.Pow(2, -alpha)
+	got := float64(below) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("Pareto CDF at 2xm: got %v want %v", got, want)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(23)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate %v", p)
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	f := func(n uint8) bool {
+		size := int(n%64) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(31)
+	z := NewZipf(r, 1000, 1.0)
+	const n = 200000
+	counts := make([]int, 1000)
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[10] {
+		t.Fatalf("rank 0 (%d) not more popular than rank 10 (%d)", counts[0], counts[10])
+	}
+	// With s=1 over 1000 items, rank 0 holds ~13% of mass.
+	if frac := float64(counts[0]) / n; frac < 0.10 || frac > 0.17 {
+		t.Fatalf("rank-0 mass %v outside [0.10, 0.17]", frac)
+	}
+}
+
+func TestZipfWeightsSumToOne(t *testing.T) {
+	z := NewZipf(New(1), 50, 1.2)
+	sum := 0.0
+	for _, w := range z.Weights() {
+		if w <= 0 {
+			t.Fatal("non-positive zipf weight")
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum %v", sum)
+	}
+}
+
+func TestMixtureSelectsAllComponents(t *testing.T) {
+	r := New(37)
+	m := NewMixture(
+		Component{Weight: 1, Dist: Constant(1)},
+		Component{Weight: 1, Dist: Constant(2)},
+		Component{Weight: 2, Dist: Constant(3)},
+	)
+	counts := map[float64]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(r)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("expected 3 distinct outcomes, got %v", counts)
+	}
+	if p := float64(counts[3]) / n; math.Abs(p-0.5) > 0.02 {
+		t.Fatalf("component-3 rate %v, want ~0.5", p)
+	}
+}
+
+func TestMixtureComponentsNormalized(t *testing.T) {
+	m := NewMixture(
+		Component{Weight: 3, Dist: Constant(1)},
+		Component{Weight: 1, Dist: Constant(2)},
+	)
+	comps := m.Components()
+	if math.Abs(comps[0].Weight-0.75) > 1e-9 || math.Abs(comps[1].Weight-0.25) > 1e-9 {
+		t.Fatalf("normalized weights wrong: %+v", comps)
+	}
+}
+
+func TestDiscreteRespectsWeights(t *testing.T) {
+	r := New(41)
+	d := NewDiscrete([]float64{8, 16, 32}, []float64{8, 1, 1})
+	const n = 50000
+	counts := map[float64]int{}
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	if p := float64(counts[8]) / n; math.Abs(p-0.8) > 0.02 {
+		t.Fatalf("value 8 rate %v, want ~0.8", p)
+	}
+}
+
+func TestLogNormalClamp(t *testing.T) {
+	r := New(43)
+	d := LogNormalDist{Mu: 5, Sigma: 3, Min: 8, Max: 1024}
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(r)
+		if v < 8 || v > 1024 {
+			t.Fatalf("clamped lognormal out of range: %v", v)
+		}
+	}
+}
+
+func TestParetoDistCap(t *testing.T) {
+	r := New(47)
+	d := ParetoDist{Xm: 1, Alpha: 0.5, Max: 100}
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(r); v > 100 {
+			t.Fatalf("capped pareto exceeded max: %v", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkMixtureSample(b *testing.B) {
+	r := New(1)
+	m := NewMixture(
+		Component{Weight: 0.7, Dist: LogNormalDist{Mu: 4, Sigma: 1.5}},
+		Component{Weight: 0.3, Dist: ParetoDist{Xm: 1024, Alpha: 1.1, Max: 1 << 30}},
+	)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.Sample(r)
+	}
+	_ = sink
+}

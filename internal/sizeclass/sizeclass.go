@@ -1,0 +1,236 @@
+// Package sizeclass implements TCMalloc's size-class machinery: the
+// rounding of small allocation requests (<= 256 KiB) to one of ~85
+// discrete size classes, the pages-per-span choice for each class, the
+// batch size used to move objects between cache tiers, and the
+// internal-fragmentation math that the paper's Fig. 5b/6b decompose.
+//
+// The table is generated with the classic TCMalloc construction: the gap
+// between adjacent classes grows with size (bounding worst-case internal
+// fragmentation at ~12.5%), spans are sized so that span-tail waste stays
+// under 1/8, and classes that would manage identical spans are merged.
+package sizeclass
+
+import "fmt"
+
+const (
+	// MinAlign is the minimum object alignment.
+	MinAlign = 8
+	// MaxSmallSize is the largest size served through the cache
+	// hierarchy; larger requests go straight to the pageheap (§2.1).
+	MaxSmallSize = 256 << 10
+	// PageSize must match mem.PageSize; duplicated here to keep the
+	// package dependency-free.
+	PageSize = 8 << 10
+	// maxPagesPerSpan bounds span growth for big size classes.
+	maxPagesPerSpan = 32
+	// batchBytes targets ~64 KiB moved per middle-tier interaction.
+	batchBytes = 64 << 10
+	// maxBatch and minBatch clamp the per-class batch size.
+	maxBatch = 32
+	minBatch = 2
+)
+
+// Class describes one size class.
+type Class struct {
+	// Index is the position in the table (0-based).
+	Index int
+	// Size is the object size in bytes; requests in
+	// (previous.Size, Size] round up to it.
+	Size int
+	// Pages is the span length, in TCMalloc pages, used for this class.
+	Pages int
+	// ObjectsPerSpan is the span capacity: Pages*PageSize/Size. The
+	// paper uses this as the static lifetime proxy for the
+	// lifetime-aware hugepage filler (§4.4, Fig. 16).
+	ObjectsPerSpan int
+	// BatchSize is the number of objects moved at once between the
+	// per-CPU cache, transfer cache, and central free list.
+	BatchSize int
+}
+
+// SpanBytes returns the span size in bytes.
+func (c Class) SpanBytes() int { return c.Pages * PageSize }
+
+// TailWaste returns the unusable bytes at the end of a span.
+func (c Class) TailWaste() int { return c.SpanBytes() - c.ObjectsPerSpan*c.Size }
+
+// Table is an immutable size-class table with O(1) size lookup.
+type Table struct {
+	classes []Class
+	// lookup8 maps ceil(size/8) -> class index for size <= smallCut.
+	// lookup128 maps sizes above smallCut in 128-byte steps.
+	lookup8   []int
+	lookup128 []int
+}
+
+const smallCut = 1024
+
+// alignmentFor returns the class spacing at a given size, following the
+// TCMalloc rule: fragmentation ratio is bounded because spacing grows as
+// size/8 once sizes pass 128 bytes.
+func alignmentFor(size int) int {
+	switch {
+	case size >= 2048:
+		a := 256
+		for a < size/8 {
+			a *= 2
+		}
+		if a > PageSize {
+			a = PageSize
+		}
+		return a
+	case size >= 128:
+		// 2^floor(log2 size) / 8: 128->16, 256->32, 512->64, 1024->128.
+		p := 128
+		for p*2 <= size {
+			p *= 2
+		}
+		return p / 8
+	case size >= 16:
+		return 16
+	default:
+		return MinAlign
+	}
+}
+
+// pagesFor picks the span length for an object size: the smallest page
+// count keeping span-tail waste under 1/8, capped at maxPagesPerSpan.
+func pagesFor(size int) int {
+	for pages := 1; ; pages++ {
+		spanBytes := pages * PageSize
+		if spanBytes < size {
+			continue
+		}
+		objects := spanBytes / size
+		waste := spanBytes - objects*size
+		if waste*8 <= spanBytes {
+			return pages
+		}
+		if pages >= maxPagesPerSpan {
+			return pages
+		}
+	}
+}
+
+// batchFor picks how many objects move per middle-tier interaction.
+func batchFor(size int) int {
+	b := batchBytes / size
+	if b < minBatch {
+		b = minBatch
+	}
+	if b > maxBatch {
+		b = maxBatch
+	}
+	return b
+}
+
+// NewTable generates the default size-class table.
+func NewTable() *Table {
+	var classes []Class
+	size := MinAlign
+	for size <= MaxSmallSize {
+		pages := pagesFor(size)
+		objects := pages * PageSize / size
+		c := Class{
+			Size:           size,
+			Pages:          pages,
+			ObjectsPerSpan: objects,
+			BatchSize:      batchFor(size),
+		}
+		// Merge with the previous class when both would manage identical
+		// spans (same page count and object count): the smaller class is
+		// redundant.
+		if n := len(classes); n > 0 && classes[n-1].Pages == c.Pages &&
+			classes[n-1].ObjectsPerSpan == c.ObjectsPerSpan {
+			classes[n-1] = c
+		} else {
+			classes = append(classes, c)
+		}
+		next := size + alignmentFor(size)
+		// The stride can step over the exact MaxSmallSize endpoint; the
+		// table must end precisely there so 256 KiB requests stay small.
+		if next > MaxSmallSize && size < MaxSmallSize {
+			next = MaxSmallSize
+		}
+		size = next
+	}
+	for i := range classes {
+		classes[i].Index = i
+	}
+	t := &Table{classes: classes}
+	t.buildLookup()
+	return t
+}
+
+func (t *Table) buildLookup() {
+	// lookup8[k] covers sizes (8(k-1), 8k]; lookup128[k] covers the
+	// 128-byte grid point smallCut + 128k.
+	t.lookup8 = make([]int, smallCut/8+1)
+	ci := 0
+	for k := 1; k < len(t.lookup8); k++ {
+		s := k * 8
+		for t.classes[ci].Size < s {
+			ci++
+		}
+		t.lookup8[k] = ci
+	}
+	t.lookup128 = make([]int, (MaxSmallSize-smallCut)/128+1)
+	ci = 0
+	for k := 0; k < len(t.lookup128); k++ {
+		s := smallCut + k*128
+		for ci < len(t.classes) && t.classes[ci].Size < s {
+			ci++
+		}
+		t.lookup128[k] = ci
+	}
+}
+
+// NumClasses returns the number of size classes.
+func (t *Table) NumClasses() int { return len(t.classes) }
+
+// Class returns the class at index i.
+func (t *Table) Class(i int) Class { return t.classes[i] }
+
+// Classes returns the full table (shared slice; callers must not modify).
+func (t *Table) Classes() []Class { return t.classes }
+
+// ClassFor maps a requested size to its size class. ok is false when the
+// request exceeds MaxSmallSize and must be served by the pageheap
+// directly. Zero-byte requests round up to the smallest class, as malloc
+// must return a unique pointer.
+func (t *Table) ClassFor(size int) (Class, bool) {
+	if size < 0 {
+		panic(fmt.Sprintf("sizeclass: negative size %d", size))
+	}
+	if size > MaxSmallSize {
+		return Class{}, false
+	}
+	if size <= smallCut {
+		idx := (size + 7) / 8
+		return t.classes[t.lookup8[idx]], true
+	}
+	k := (size - smallCut + 127) / 128
+	ci := t.lookup128[k]
+	// The 128-byte grid may land one class early for sizes inside the
+	// step; advance if needed (at most once).
+	for t.classes[ci].Size < size {
+		ci++
+	}
+	return t.classes[ci], true
+}
+
+// InternalFragmentation returns the slack bytes for a request of the given
+// size: the difference between the allocated class size and the request.
+// Requests above MaxSmallSize round to whole TCMalloc pages.
+func (t *Table) InternalFragmentation(size int) int {
+	if c, ok := t.ClassFor(size); ok {
+		return c.Size - size
+	}
+	pages := (size + PageSize - 1) / PageSize
+	return pages*PageSize - size
+}
+
+// AllocatedSize returns the usable size actually allocated for a request.
+func (t *Table) AllocatedSize(size int) int {
+	return size + t.InternalFragmentation(size)
+}

@@ -1,0 +1,208 @@
+package sizeclass
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableShape(t *testing.T) {
+	tab := NewTable()
+	n := tab.NumClasses()
+	// The paper says TCMalloc uses 80-90 size classes.
+	if n < 60 || n > 100 {
+		t.Fatalf("NumClasses = %d, want roughly 80-90", n)
+	}
+	if tab.Class(0).Size != MinAlign {
+		t.Fatalf("smallest class = %d, want %d", tab.Class(0).Size, MinAlign)
+	}
+	if last := tab.Class(n - 1); last.Size != MaxSmallSize {
+		t.Fatalf("largest class = %d, want %d", last.Size, MaxSmallSize)
+	}
+}
+
+func TestClassesStrictlyIncreasing(t *testing.T) {
+	tab := NewTable()
+	for i := 1; i < tab.NumClasses(); i++ {
+		prev, cur := tab.Class(i-1), tab.Class(i)
+		if cur.Size <= prev.Size {
+			t.Fatalf("class %d size %d not above previous %d", i, cur.Size, prev.Size)
+		}
+		if cur.Index != i {
+			t.Fatalf("class %d has index %d", i, cur.Index)
+		}
+	}
+}
+
+func TestNoDuplicateSpanShapes(t *testing.T) {
+	tab := NewTable()
+	type shape struct{ pages, objects int }
+	seen := map[shape]int{}
+	for _, c := range tab.Classes() {
+		s := shape{c.Pages, c.ObjectsPerSpan}
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("classes %d and %d share span shape %+v", prev, c.Index, s)
+		}
+		seen[s] = c.Index
+	}
+}
+
+func TestClassForRoundsUp(t *testing.T) {
+	tab := NewTable()
+	cases := []struct{ req, want int }{
+		{0, 8}, {1, 8}, {8, 8}, {9, 16}, {16, 16}, {17, 32},
+		{100, 112}, {1024, 1024}, {1025, 1152},
+	}
+	for _, c := range cases {
+		got, ok := tab.ClassFor(c.req)
+		if !ok {
+			t.Fatalf("ClassFor(%d) not ok", c.req)
+		}
+		if got.Size != c.want {
+			t.Errorf("ClassFor(%d).Size = %d, want %d", c.req, got.Size, c.want)
+		}
+	}
+}
+
+func TestClassForLargeRequests(t *testing.T) {
+	tab := NewTable()
+	if _, ok := tab.ClassFor(MaxSmallSize); !ok {
+		t.Fatal("MaxSmallSize must be cacheable")
+	}
+	if _, ok := tab.ClassFor(MaxSmallSize + 1); ok {
+		t.Fatal("request above MaxSmallSize must bypass the cache hierarchy")
+	}
+}
+
+func TestClassForProperty(t *testing.T) {
+	tab := NewTable()
+	f := func(raw uint32) bool {
+		size := int(raw % (MaxSmallSize + 1))
+		c, ok := tab.ClassFor(size)
+		if !ok {
+			return false
+		}
+		if c.Size < size {
+			return false // must round up, never down
+		}
+		// The class must be the smallest that fits.
+		if c.Index > 0 && tab.Class(c.Index-1).Size >= size && size > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInternalFragmentationBounded(t *testing.T) {
+	tab := NewTable()
+	for size := 1; size <= MaxSmallSize; size += 7 {
+		frag := tab.InternalFragmentation(size)
+		if frag < 0 {
+			t.Fatalf("negative fragmentation for %d", size)
+		}
+		// TCMalloc's construction bounds slack at ~12.5% of the class
+		// size before merging; merging same-shape classes can push the
+		// worst case slightly higher.
+		if size >= 64 && float64(frag) > 0.25*float64(size)+float64(MinAlign) {
+			t.Fatalf("size %d: fragmentation %d exceeds bound", size, frag)
+		}
+	}
+}
+
+func TestInternalFragmentationLarge(t *testing.T) {
+	tab := NewTable()
+	// 300 KiB rounds to whole pages: 38 pages = 311296 bytes.
+	size := 300 << 10
+	pages := (size + PageSize - 1) / PageSize
+	want := pages*PageSize - size
+	if got := tab.InternalFragmentation(size); got != want {
+		t.Fatalf("large fragmentation = %d, want %d", got, want)
+	}
+}
+
+func TestAllocatedSize(t *testing.T) {
+	tab := NewTable()
+	if got := tab.AllocatedSize(10); got != 16 {
+		t.Fatalf("AllocatedSize(10) = %d", got)
+	}
+	if got := tab.AllocatedSize(MaxSmallSize + 1); got != (MaxSmallSize/PageSize+1)*PageSize {
+		t.Fatalf("AllocatedSize(big) = %d", got)
+	}
+}
+
+func TestSpanTailWasteBounded(t *testing.T) {
+	tab := NewTable()
+	for _, c := range tab.Classes() {
+		if c.ObjectsPerSpan < 1 {
+			t.Fatalf("class %d holds %d objects", c.Index, c.ObjectsPerSpan)
+		}
+		if c.TailWaste() < 0 {
+			t.Fatalf("class %d negative tail waste", c.Index)
+		}
+		if c.Pages <= maxPagesPerSpan-1 && c.TailWaste()*8 > c.SpanBytes() {
+			t.Errorf("class %d (size %d): tail waste %d over 1/8 of span %d",
+				c.Index, c.Size, c.TailWaste(), c.SpanBytes())
+		}
+	}
+}
+
+func TestBatchSizes(t *testing.T) {
+	tab := NewTable()
+	for _, c := range tab.Classes() {
+		if c.BatchSize < minBatch || c.BatchSize > maxBatch {
+			t.Fatalf("class %d batch %d outside [%d,%d]", c.Index, c.BatchSize, minBatch, maxBatch)
+		}
+	}
+	// Small classes move the full 32-object batches; the largest only 2.
+	small, _ := tab.ClassFor(8)
+	if small.BatchSize != maxBatch {
+		t.Errorf("8B batch = %d, want %d", small.BatchSize, maxBatch)
+	}
+	big, _ := tab.ClassFor(MaxSmallSize)
+	if big.BatchSize != minBatch {
+		t.Errorf("256KB batch = %d, want %d", big.BatchSize, minBatch)
+	}
+}
+
+func TestSpanCapacitySpectrum(t *testing.T) {
+	tab := NewTable()
+	// The lifetime-aware filler (§4.4) splits spans at capacity C=16;
+	// both sides of the split must be populated by the table.
+	below, above := 0, 0
+	for _, c := range tab.Classes() {
+		if c.ObjectsPerSpan < 16 {
+			below++
+		} else {
+			above++
+		}
+	}
+	if below == 0 || above == 0 {
+		t.Fatalf("span capacities don't straddle C=16: below=%d above=%d", below, above)
+	}
+	// An 8 KiB span of 16B objects must hold 512 objects (paper §4.3).
+	c, _ := tab.ClassFor(16)
+	if c.ObjectsPerSpan != 512 || c.Pages != 1 {
+		t.Fatalf("16B class: %d objects in %d pages, want 512 in 1", c.ObjectsPerSpan, c.Pages)
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable().ClassFor(-1)
+}
+
+func BenchmarkClassFor(b *testing.B) {
+	tab := NewTable()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		c, _ := tab.ClassFor(i & 0xffff)
+		sink += c.Size
+	}
+	_ = sink
+}

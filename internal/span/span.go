@@ -1,0 +1,254 @@
+// Package span implements TCMalloc spans: runs of contiguous 8 KiB pages
+// that carve out fixed-size objects of a single size class (Fig. 2). The
+// central free list manages spans in intrusive linked lists; the hugepage
+// filler packs them onto hugepages. A span can return to the pageheap only
+// when every object on it has been freed — the root cause of the central
+// free list fragmentation the paper measures (Fig. 6b, Fig. 13).
+package span
+
+import (
+	"fmt"
+	"math/bits"
+
+	"wsmalloc/internal/mem"
+)
+
+// LargeClass is the ClassIndex of spans allocated directly from the
+// pageheap for requests above the largest size class.
+const LargeClass = -1
+
+// Span is a contiguous run of TCMalloc pages dedicated to one size class.
+type Span struct {
+	// Start is the first page of the span.
+	Start mem.PageID
+	// Pages is the span length in TCMalloc pages.
+	Pages int
+	// ClassIndex identifies the size class, or LargeClass for direct
+	// pageheap allocations.
+	ClassIndex int
+	// ObjSize is the object size in bytes (the full span size for large
+	// spans).
+	ObjSize int
+
+	// capacity is the number of object slots.
+	capacity int
+	// live is the number of currently allocated objects.
+	live int
+	// bitmap marks allocated slots, one bit per object.
+	bitmap []uint64
+	// hint is the word index where the last allocation found space.
+	hint int
+
+	// BornAt is the simulation time (ns) the span was created; used by
+	// lifetime studies.
+	BornAt int64
+	// Seq is a unique sequence number assigned by the central free list;
+	// it identifies a span across telemetry snapshots (the Go runtime
+	// may reuse the struct's memory for a new span after release).
+	Seq int64
+
+	// prev/next link the span into an intrusive List; list is the owner.
+	prev, next *Span
+	list       *List
+}
+
+// New creates an empty span. capacity is the number of object slots
+// (pages*pagesize/objSize for small classes, 1 for large spans).
+func New(start mem.PageID, pages, classIndex, objSize, capacity int) *Span {
+	if pages <= 0 || objSize <= 0 || capacity <= 0 {
+		panic(fmt.Sprintf("span: invalid span pages=%d objSize=%d capacity=%d", pages, objSize, capacity))
+	}
+	return &Span{
+		Start:      start,
+		Pages:      pages,
+		ClassIndex: classIndex,
+		ObjSize:    objSize,
+		capacity:   capacity,
+		bitmap:     make([]uint64, (capacity+63)/64),
+	}
+}
+
+// Capacity returns the total object slots — the paper's span-capacity
+// lifetime proxy (Fig. 16).
+func (s *Span) Capacity() int { return s.capacity }
+
+// Live returns the number of currently allocated objects (the paper's
+// "live allocations", Fig. 13).
+func (s *Span) Live() int { return s.live }
+
+// Free reports how many slots are available.
+func (s *Span) FreeSlots() int { return s.capacity - s.live }
+
+// Empty reports whether no objects are allocated, i.e. the span may be
+// returned to the pageheap.
+func (s *Span) Empty() bool { return s.live == 0 }
+
+// Full reports whether every slot is allocated.
+func (s *Span) Full() bool { return s.live == s.capacity }
+
+// Bytes returns the span size in bytes.
+func (s *Span) Bytes() int64 { return int64(s.Pages) * mem.PageSize }
+
+// LiveBytes returns bytes occupied by allocated objects.
+func (s *Span) LiveBytes() int64 { return int64(s.live) * int64(s.ObjSize) }
+
+// Allocate claims a free slot and returns its object address. ok is false
+// when the span is full.
+func (s *Span) Allocate() (addr uint64, ok bool) {
+	if s.Full() {
+		return 0, false
+	}
+	n := len(s.bitmap)
+	for i := 0; i < n; i++ {
+		w := (s.hint + i) % n
+		word := s.bitmap[w]
+		if word == ^uint64(0) {
+			continue
+		}
+		bit := bits.TrailingZeros64(^word)
+		idx := w*64 + bit
+		if idx >= s.capacity {
+			continue // padding bits in the last word
+		}
+		s.bitmap[w] |= 1 << uint(bit)
+		s.live++
+		s.hint = w
+		return s.addrOf(idx), true
+	}
+	// live < capacity guarantees a free slot exists; reaching here means
+	// corrupted accounting.
+	panic("span: bitmap/live accounting mismatch")
+}
+
+// FreeAddr releases the object at addr back to the span. It panics if
+// addr is not an allocated object of this span — a double free or a wild
+// pointer, both programming errors the real allocator also aborts on.
+func (s *Span) FreeAddr(addr uint64) {
+	idx := s.indexOf(addr)
+	w, bit := idx/64, uint(idx%64)
+	if s.bitmap[w]&(1<<bit) == 0 {
+		panic(fmt.Sprintf("span: double free of object %#x", addr))
+	}
+	s.bitmap[w] &^= 1 << bit
+	s.live--
+	s.hint = w
+}
+
+// Contains reports whether addr falls inside the span.
+func (s *Span) Contains(addr uint64) bool {
+	base := s.Start.Addr()
+	return addr >= base && addr < base+uint64(s.Pages)*mem.PageSize
+}
+
+// IsAllocated reports whether the object at addr is currently live.
+func (s *Span) IsAllocated(addr uint64) bool {
+	idx := s.indexOf(addr)
+	return s.bitmap[idx/64]&(1<<uint(idx%64)) != 0
+}
+
+func (s *Span) addrOf(idx int) uint64 {
+	return s.Start.Addr() + uint64(idx)*uint64(s.ObjSize)
+}
+
+func (s *Span) indexOf(addr uint64) int {
+	base := s.Start.Addr()
+	if addr < base {
+		panic(fmt.Sprintf("span: address %#x below span base %#x", addr, base))
+	}
+	off := addr - base
+	idx := int(off / uint64(s.ObjSize))
+	if idx >= s.capacity || off%uint64(s.ObjSize) != 0 {
+		panic(fmt.Sprintf("span: address %#x is not an object of this span", addr))
+	}
+	return idx
+}
+
+// InList reports whether the span is currently linked into a List.
+func (s *Span) InList() bool { return s.list != nil }
+
+// List is an intrusive doubly-linked list of spans. The zero value is an
+// empty list.
+type List struct {
+	head, tail *Span
+	size       int
+}
+
+// Len returns the number of spans in the list.
+func (l *List) Len() int { return l.size }
+
+// Empty reports whether the list has no spans.
+func (l *List) Empty() bool { return l.size == 0 }
+
+// Front returns the first span, or nil.
+func (l *List) Front() *Span { return l.head }
+
+// PushFront inserts s at the head. s must not be in any list.
+func (l *List) PushFront(s *Span) {
+	if s.list != nil {
+		panic("span: PushFront of span already in a list")
+	}
+	s.list = l
+	s.next = l.head
+	s.prev = nil
+	if l.head != nil {
+		l.head.prev = s
+	} else {
+		l.tail = s
+	}
+	l.head = s
+	l.size++
+}
+
+// PushBack appends s at the tail. s must not be in any list.
+func (l *List) PushBack(s *Span) {
+	if s.list != nil {
+		panic("span: PushBack of span already in a list")
+	}
+	s.list = l
+	s.prev = l.tail
+	s.next = nil
+	if l.tail != nil {
+		l.tail.next = s
+	} else {
+		l.head = s
+	}
+	l.tail = s
+	l.size++
+}
+
+// Remove unlinks s from the list it is in. It panics if s is not in this
+// list.
+func (l *List) Remove(s *Span) {
+	if s.list != l {
+		panic("span: Remove of span not in this list")
+	}
+	if s.prev != nil {
+		s.prev.next = s.next
+	} else {
+		l.head = s.next
+	}
+	if s.next != nil {
+		s.next.prev = s.prev
+	} else {
+		l.tail = s.prev
+	}
+	s.prev, s.next, s.list = nil, nil, nil
+	l.size--
+}
+
+// PopFront removes and returns the first span, or nil.
+func (l *List) PopFront() *Span {
+	s := l.head
+	if s != nil {
+		l.Remove(s)
+	}
+	return s
+}
+
+// Each calls fn for every span in list order; fn must not mutate the
+// list.
+func (l *List) Each(fn func(*Span)) {
+	for s := l.head; s != nil; s = s.next {
+		fn(s)
+	}
+}

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// LogHistogram buckets positive values into power-of-two bins, the layout
+// used throughout the paper's size and lifetime figures (binned object
+// sizes 2^3..2^38 in Fig. 8, size axis in Fig. 7). Bucket i covers
+// [2^(minExp+i), 2^(minExp+i+1)). Values below/above the range clamp into
+// the first/last bucket. Counts may be weighted.
+type LogHistogram struct {
+	minExp, maxExp int
+	counts         []float64
+	total          float64
+}
+
+// NewLogHistogram creates a histogram over exponents [minExp, maxExp].
+func NewLogHistogram(minExp, maxExp int) *LogHistogram {
+	if maxExp <= minExp {
+		panic("stats: invalid log histogram range")
+	}
+	return &LogHistogram{
+		minExp: minExp,
+		maxExp: maxExp,
+		counts: make([]float64, maxExp-minExp+1),
+	}
+}
+
+// BucketIndex returns the bucket index for value v.
+func (h *LogHistogram) BucketIndex(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	e := int(math.Floor(math.Log2(v)))
+	if e < h.minExp {
+		e = h.minExp
+	}
+	if e > h.maxExp {
+		e = h.maxExp
+	}
+	return e - h.minExp
+}
+
+// Add records v with weight 1.
+func (h *LogHistogram) Add(v float64) { h.AddWeighted(v, 1) }
+
+// AddWeighted records v with weight w.
+func (h *LogHistogram) AddWeighted(v, w float64) {
+	h.counts[h.BucketIndex(v)] += w
+	h.total += w
+}
+
+// Total returns the accumulated weight.
+func (h *LogHistogram) Total() float64 { return h.total }
+
+// Buckets returns (lowerBound, weight) pairs for every bucket.
+func (h *LogHistogram) Buckets() []Bucket {
+	out := make([]Bucket, len(h.counts))
+	for i, c := range h.counts {
+		out[i] = Bucket{Lo: math.Pow(2, float64(h.minExp+i)), Weight: c}
+	}
+	return out
+}
+
+// CDFAt returns the cumulative fraction of weight at values <= v.
+func (h *LogHistogram) CDFAt(v float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	idx := h.BucketIndex(v)
+	sum := 0.0
+	for i := 0; i <= idx; i++ {
+		sum += h.counts[i]
+	}
+	return sum / h.total
+}
+
+// FractionAbove returns the fraction of weight in buckets whose lower
+// bound is >= v.
+func (h *LogHistogram) FractionAbove(v float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	idx := h.BucketIndex(v)
+	sum := 0.0
+	for i := idx; i < len(h.counts); i++ {
+		sum += h.counts[i]
+	}
+	return sum / h.total
+}
+
+// Bucket is one histogram bin.
+type Bucket struct {
+	Lo     float64
+	Weight float64
+}
+
+// String renders a compact ASCII sketch, handy in example programs.
+func (h *LogHistogram) String() string {
+	var b strings.Builder
+	maxW := 0.0
+	for _, c := range h.counts {
+		if c > maxW {
+			maxW = c
+		}
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		bar := 0
+		if maxW > 0 {
+			bar = int(40 * c / maxW)
+		}
+		fmt.Fprintf(&b, "2^%-3d %10.4g %s\n", h.minExp+i, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// CDF is an empirical cumulative distribution over weighted points.
+type CDF struct {
+	points []cdfPoint
+	sorted bool
+	total  float64
+}
+
+type cdfPoint struct {
+	v, w float64
+}
+
+// NewCDF returns an empty CDF.
+func NewCDF() *CDF { return &CDF{} }
+
+// Add records value v with weight w (w must be >= 0).
+func (c *CDF) Add(v, w float64) {
+	if w < 0 {
+		panic("stats: negative CDF weight")
+	}
+	c.points = append(c.points, cdfPoint{v, w})
+	c.total += w
+	c.sorted = false
+}
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Slice(c.points, func(i, j int) bool { return c.points[i].v < c.points[j].v })
+		c.sorted = true
+	}
+}
+
+// At returns P(X <= v).
+func (c *CDF) At(v float64) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	sum := 0.0
+	for _, p := range c.points {
+		if p.v > v {
+			break
+		}
+		sum += p.w
+	}
+	return sum / c.total
+}
+
+// Quantile returns the smallest value v with P(X <= v) >= q.
+func (c *CDF) Quantile(q float64) float64 {
+	if c.total == 0 || len(c.points) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	target := q * c.total
+	sum := 0.0
+	for _, p := range c.points {
+		sum += p.w
+		if sum >= target {
+			return p.v
+		}
+	}
+	return c.points[len(c.points)-1].v
+}
+
+// Total returns the accumulated weight.
+func (c *CDF) Total() float64 { return c.total }
+
+// Series evaluates the CDF at each of the given x values, returning
+// cumulative fractions — the exact shape plotted in the paper's CDF
+// figures.
+func (c *CDF) Series(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = c.At(x)
+	}
+	return out
+}
+
+// TopShare reports the cumulative share of total weight held by the k
+// largest-weight items of vs; used for the "top 50 binaries cover ~50% of
+// malloc cycles" style of statements around Fig. 3.
+func TopShare(weights []float64, k int) float64 {
+	if len(weights) == 0 || k <= 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), weights...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	total, top := 0.0, 0.0
+	for i, w := range sorted {
+		total += w
+		if i < k {
+			top += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}

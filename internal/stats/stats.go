@@ -1,0 +1,207 @@
+// Package stats provides the statistics toolkit used by the
+// characterization and experiment harnesses: streaming moments, weighted
+// summaries, quantiles, empirical CDFs, log-scaled histograms, and rank
+// correlation (Spearman's rho, used by the paper for the span-capacity vs.
+// return-rate study in Fig. 16).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming count/mean/variance/min/max using
+// Welford's algorithm. The zero value is ready to use.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// Variance returns the unbiased sample variance (0 if n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Merge folds other into s, as if every observation had been Added to s.
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	delta := other.mean - s.mean
+	mean := s.mean + delta*float64(other.n)/float64(n)
+	m2 := s.m2 + other.m2 + delta*delta*float64(s.n)*float64(other.n)/float64(n)
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WeightedMean returns sum(x*w)/sum(w); 0 when weights sum to 0.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: mismatched weighted mean inputs")
+	}
+	num, den := 0.0, 0.0
+	for i, x := range xs {
+		num += x * ws[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Spearman returns Spearman's rank correlation coefficient between xs and
+// ys, handling ties by average ranks. It returns 0 for degenerate inputs
+// (fewer than 2 points or zero variance in ranks).
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: mismatched Spearman inputs")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	return pearson(rx, ry)
+}
+
+// ranks assigns average ranks (1-based) to xs, averaging over ties.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	r := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+func pearson(xs, ys []float64) float64 {
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Pearson returns the Pearson product-moment correlation of xs and ys.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: mismatched Pearson inputs")
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	return pearson(xs, ys)
+}

@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wsmalloc/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almostEqual(s.Mean(), 3, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if !almostEqual(s.Variance(), 2.5, 1e-12) {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if !almostEqual(s.Sum(), 15, 1e-12) {
+		t.Fatalf("sum = %v", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+}
+
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	r := rng.New(1)
+	f := func(na, nb uint8) bool {
+		var a, b, all Summary
+		for i := 0; i < int(na); i++ {
+			v := r.NormFloat64() * 10
+			a.Add(v)
+			all.Add(v)
+		}
+		for i := 0; i < int(nb); i++ {
+			v := r.NormFloat64()*3 + 7
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			almostEqual(a.Mean(), all.Mean(), 1e-9) &&
+			almostEqual(a.Variance(), all.Variance(), 1e-6) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 10}, []float64{9, 1})
+	if !almostEqual(got, 1.9, 1e-12) {
+		t.Fatalf("weighted mean = %v", got)
+	}
+	if WeightedMean(nil, nil) != 0 {
+		t.Fatal("empty weighted mean should be 0")
+	}
+}
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 9, 16, 100} // monotone increasing, nonlinear
+	if rho := Spearman(xs, ys); !almostEqual(rho, 1, 1e-12) {
+		t.Fatalf("rho = %v, want 1", rho)
+	}
+	desc := []float64{5, 4, 3, 2, 1}
+	if rho := Spearman(xs, desc); !almostEqual(rho, -1, 1e-12) {
+		t.Fatalf("rho = %v, want -1", rho)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 1, 2, 2}
+	ys := []float64{3, 3, 5, 5}
+	if rho := Spearman(xs, ys); !almostEqual(rho, 1, 1e-12) {
+		t.Fatalf("rho with ties = %v", rho)
+	}
+}
+
+func TestSpearmanIndependent(t *testing.T) {
+	r := rng.New(99)
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	if rho := Spearman(xs, ys); math.Abs(rho) > 0.06 {
+		t.Fatalf("independent rho = %v, want ~0", rho)
+	}
+}
+
+func TestPearsonLinear(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9}
+	if rho := Pearson(xs, ys); !almostEqual(rho, 1, 1e-12) {
+		t.Fatalf("pearson = %v", rho)
+	}
+}
+
+func TestLogHistogramBuckets(t *testing.T) {
+	h := NewLogHistogram(3, 10) // 8..1024
+	h.Add(8)
+	h.Add(9)
+	h.Add(1024)
+	h.Add(4)       // clamps to first bucket
+	h.Add(1 << 20) // clamps to last bucket
+	buckets := h.Buckets()
+	if buckets[0].Lo != 8 {
+		t.Fatalf("first bucket lo = %v", buckets[0].Lo)
+	}
+	if buckets[0].Weight != 3 { // 8, 9, 4
+		t.Fatalf("first bucket weight = %v", buckets[0].Weight)
+	}
+	if last := buckets[len(buckets)-1]; last.Weight != 2 { // 1024, 1<<20
+		t.Fatalf("last bucket weight = %v", last.Weight)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %v", h.Total())
+	}
+}
+
+func TestLogHistogramCDF(t *testing.T) {
+	h := NewLogHistogram(0, 10)
+	for i := 0; i < 50; i++ {
+		h.Add(2) // bucket exp 1
+	}
+	for i := 0; i < 50; i++ {
+		h.Add(512) // bucket exp 9
+	}
+	if got := h.CDFAt(2); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("CDFAt(2) = %v", got)
+	}
+	if got := h.CDFAt(1024); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("CDFAt(1024) = %v", got)
+	}
+	if got := h.FractionAbove(512); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("FractionAbove(512) = %v", got)
+	}
+}
+
+func TestLogHistogramWeighted(t *testing.T) {
+	h := NewLogHistogram(0, 4)
+	h.AddWeighted(2, 10)
+	h.AddWeighted(8, 30)
+	if got := h.CDFAt(2); !almostEqual(got, 0.25, 1e-12) {
+		t.Fatalf("weighted CDF = %v", got)
+	}
+}
+
+func TestCDFQuantileAndAt(t *testing.T) {
+	c := NewCDF()
+	c.Add(100, 1)
+	c.Add(10, 1)
+	c.Add(50, 2)
+	if got := c.At(10); !almostEqual(got, 0.25, 1e-12) {
+		t.Fatalf("At(10) = %v", got)
+	}
+	if got := c.At(50); !almostEqual(got, 0.75, 1e-12) {
+		t.Fatalf("At(50) = %v", got)
+	}
+	if got := c.Quantile(0.5); got != 50 {
+		t.Fatalf("Quantile(0.5) = %v", got)
+	}
+	if got := c.Quantile(1); got != 100 {
+		t.Fatalf("Quantile(1) = %v", got)
+	}
+}
+
+func TestCDFSeriesMonotone(t *testing.T) {
+	r := rng.New(5)
+	c := NewCDF()
+	for i := 0; i < 1000; i++ {
+		c.Add(r.Float64()*100, 1+r.Float64())
+	}
+	xs := []float64{0, 10, 25, 50, 75, 90, 100}
+	series := c.Series(xs)
+	for i := 1; i < len(series); i++ {
+		if series[i] < series[i-1] {
+			t.Fatalf("CDF not monotone at %d: %v", i, series)
+		}
+	}
+	if !almostEqual(series[len(series)-1], 1, 1e-12) {
+		t.Fatalf("CDF at max = %v", series[len(series)-1])
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	weights := []float64{50, 30, 10, 5, 5}
+	if got := TopShare(weights, 1); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("TopShare(1) = %v", got)
+	}
+	if got := TopShare(weights, 2); !almostEqual(got, 0.8, 1e-12) {
+		t.Fatalf("TopShare(2) = %v", got)
+	}
+	if got := TopShare(weights, 10); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("TopShare(10) = %v", got)
+	}
+	if TopShare(nil, 3) != 0 {
+		t.Fatal("empty TopShare should be 0")
+	}
+}
+
+func TestQuantilePropertyWithinRange(t *testing.T) {
+	r := rng.New(7)
+	f := func(n uint8, qRaw uint16) bool {
+		size := int(n%100) + 1
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		q := float64(qRaw) / math.MaxUint16
+		v := Quantile(xs, q)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearmanRangeProperty(t *testing.T) {
+	r := rng.New(21)
+	f := func(n uint8) bool {
+		size := int(n%50) + 2
+		xs := make([]float64, size)
+		ys := make([]float64, size)
+		for i := range xs {
+			xs[i] = r.Float64()
+			ys[i] = r.Float64()
+		}
+		rho := Spearman(xs, ys)
+		return rho >= -1-1e-9 && rho <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

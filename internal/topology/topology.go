@@ -1,0 +1,264 @@
+// Package topology models the heterogeneous server hardware that a
+// warehouse-scale allocator must adapt to: platform generations with
+// growing hyperthread counts, chiplet architectures with multiple
+// last-level-cache (NUCA) domains per socket, and the non-uniform
+// core-to-core transfer latencies the paper measures with Intel MLC in
+// Fig. 11.
+//
+// A Topology maps hardware thread (CPU) IDs to cores, LLC domains, and
+// sockets, and prices a cache-to-cache transfer between any two CPUs.
+// Platform generations in Catalog reproduce the paper's observation of a
+// 4x increase in hyperthreads per server across five generations.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Platform describes one server platform generation.
+type Platform struct {
+	// Name identifies the platform, e.g. "gen5-chiplet".
+	Name string
+	// Generation orders platforms oldest (1) to newest.
+	Generation int
+	// Sockets is the number of CPU sockets.
+	Sockets int
+	// LLCDomainsPerSocket is the number of last-level-cache domains
+	// (chiplets/CCXes) per socket; 1 means a monolithic die.
+	LLCDomainsPerSocket int
+	// CoresPerDomain is the number of physical cores per LLC domain.
+	CoresPerDomain int
+	// ThreadsPerCore is the SMT width (usually 2).
+	ThreadsPerCore int
+	// IntraDomainLatencyNs is the cache-to-cache transfer latency between
+	// cores sharing an LLC domain.
+	IntraDomainLatencyNs float64
+	// InterDomainLatencyNs is the transfer latency between cores in
+	// different LLC domains on the same socket. The paper measures this
+	// as 2.07x the intra-domain latency.
+	InterDomainLatencyNs float64
+	// InterSocketLatencyNs is the transfer latency across sockets.
+	InterSocketLatencyNs float64
+	// LLCBytes is the capacity of one LLC domain.
+	LLCBytes int64
+	// FleetShare is the fraction of fleet machines on this platform.
+	FleetShare float64
+}
+
+// NumCPUs returns the number of hardware threads on the platform.
+func (p Platform) NumCPUs() int {
+	return p.Sockets * p.LLCDomainsPerSocket * p.CoresPerDomain * p.ThreadsPerCore
+}
+
+// NumDomains returns the total number of LLC domains.
+func (p Platform) NumDomains() int {
+	return p.Sockets * p.LLCDomainsPerSocket
+}
+
+// Validate reports whether the platform description is self-consistent.
+func (p Platform) Validate() error {
+	switch {
+	case p.Sockets <= 0:
+		return fmt.Errorf("topology: platform %q has %d sockets", p.Name, p.Sockets)
+	case p.LLCDomainsPerSocket <= 0:
+		return fmt.Errorf("topology: platform %q has %d LLC domains/socket", p.Name, p.LLCDomainsPerSocket)
+	case p.CoresPerDomain <= 0:
+		return fmt.Errorf("topology: platform %q has %d cores/domain", p.Name, p.CoresPerDomain)
+	case p.ThreadsPerCore <= 0:
+		return fmt.Errorf("topology: platform %q has %d threads/core", p.Name, p.ThreadsPerCore)
+	case p.IntraDomainLatencyNs <= 0 || p.InterDomainLatencyNs < p.IntraDomainLatencyNs:
+		return fmt.Errorf("topology: platform %q has inconsistent latencies", p.Name)
+	case p.InterSocketLatencyNs < p.InterDomainLatencyNs:
+		return fmt.Errorf("topology: platform %q inter-socket latency below inter-domain", p.Name)
+	}
+	return nil
+}
+
+// Catalog lists the five platform generations used by the fleet
+// simulation. Hyperthread counts grow 4x from gen1 to gen5, matching the
+// paper's §4.1 observation; later generations are chiplet-based with
+// multiple NUCA domains per socket. Latencies are calibrated so that the
+// chiplet platforms show the 2.07x inter/intra-domain ratio of Fig. 11.
+var Catalog = []Platform{
+	{
+		Name: "gen1-monolithic", Generation: 1,
+		Sockets: 2, LLCDomainsPerSocket: 1, CoresPerDomain: 8, ThreadsPerCore: 2,
+		IntraDomainLatencyNs: 42, InterDomainLatencyNs: 42, InterSocketLatencyNs: 131,
+		LLCBytes: 20 << 20, FleetShare: 0.08,
+	},
+	{
+		Name: "gen2-monolithic", Generation: 2,
+		Sockets: 2, LLCDomainsPerSocket: 1, CoresPerDomain: 12, ThreadsPerCore: 2,
+		IntraDomainLatencyNs: 41, InterDomainLatencyNs: 41, InterSocketLatencyNs: 124,
+		LLCBytes: 30 << 20, FleetShare: 0.14,
+	},
+	{
+		Name: "gen3-dual-die", Generation: 3,
+		Sockets: 2, LLCDomainsPerSocket: 2, CoresPerDomain: 9, ThreadsPerCore: 2,
+		IntraDomainLatencyNs: 40, InterDomainLatencyNs: 76, InterSocketLatencyNs: 138,
+		LLCBytes: 24 << 20, FleetShare: 0.22,
+	},
+	{
+		Name: "gen4-chiplet", Generation: 4,
+		Sockets: 2, LLCDomainsPerSocket: 4, CoresPerDomain: 6, ThreadsPerCore: 2,
+		IntraDomainLatencyNs: 40, InterDomainLatencyNs: 82.8, InterSocketLatencyNs: 142,
+		LLCBytes: 16 << 20, FleetShare: 0.31,
+	},
+	{
+		Name: "gen5-chiplet", Generation: 5,
+		Sockets: 2, LLCDomainsPerSocket: 8, CoresPerDomain: 4, ThreadsPerCore: 2,
+		IntraDomainLatencyNs: 40, InterDomainLatencyNs: 82.8, InterSocketLatencyNs: 145,
+		LLCBytes: 16 << 20, FleetShare: 0.25,
+	},
+}
+
+// Default returns the platform used by single-machine benchmarks: the
+// newest chiplet generation.
+func Default() Platform { return Catalog[len(Catalog)-1] }
+
+// ByName looks a platform up in the Catalog.
+func ByName(name string) (Platform, bool) {
+	for _, p := range Catalog {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Platform{}, false
+}
+
+// Topology precomputes the CPU -> core/domain/socket maps for a platform.
+// CPU IDs are dense in [0, NumCPUs()); sibling hyperthreads share a core,
+// and cores are numbered domain-major so that CPUs [0, CoresPerDomain*
+// ThreadsPerCore) share domain 0, and so on.
+type Topology struct {
+	platform Platform
+	domainOf []int
+	socketOf []int
+	coreOf   []int
+}
+
+// New builds the topology for p. It panics if p fails Validate; platform
+// descriptions are static program data, so a bad one is a programming
+// error.
+func New(p Platform) *Topology {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	n := p.NumCPUs()
+	t := &Topology{
+		platform: p,
+		domainOf: make([]int, n),
+		socketOf: make([]int, n),
+		coreOf:   make([]int, n),
+	}
+	cpusPerDomain := p.CoresPerDomain * p.ThreadsPerCore
+	domainsPerSocket := p.LLCDomainsPerSocket
+	for cpu := 0; cpu < n; cpu++ {
+		domain := cpu / cpusPerDomain
+		t.domainOf[cpu] = domain
+		t.socketOf[cpu] = domain / domainsPerSocket
+		t.coreOf[cpu] = cpu / p.ThreadsPerCore
+	}
+	return t
+}
+
+// Platform returns the platform description.
+func (t *Topology) Platform() Platform { return t.platform }
+
+// NumCPUs returns the number of hardware threads.
+func (t *Topology) NumCPUs() int { return len(t.domainOf) }
+
+// NumDomains returns the number of LLC domains.
+func (t *Topology) NumDomains() int { return t.platform.NumDomains() }
+
+// DomainOf returns the LLC domain of a CPU.
+func (t *Topology) DomainOf(cpu int) int { return t.domainOf[cpu] }
+
+// SocketOf returns the socket of a CPU.
+func (t *Topology) SocketOf(cpu int) int { return t.socketOf[cpu] }
+
+// CoreOf returns the physical core of a CPU.
+func (t *Topology) CoreOf(cpu int) int { return t.coreOf[cpu] }
+
+// CPUsInDomain returns the CPU IDs belonging to an LLC domain, ascending.
+func (t *Topology) CPUsInDomain(domain int) []int {
+	var out []int
+	for cpu, d := range t.domainOf {
+		if d == domain {
+			out = append(out, cpu)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TransferLatencyNs prices a cache-to-cache transfer of one line between
+// two CPUs: zero on the same core, intra-domain within one LLC domain,
+// inter-domain within a socket, inter-socket otherwise. This is the
+// quantity the paper measures in Fig. 11.
+func (t *Topology) TransferLatencyNs(a, b int) float64 {
+	p := t.platform
+	switch {
+	case t.coreOf[a] == t.coreOf[b]:
+		return 0
+	case t.domainOf[a] == t.domainOf[b]:
+		return p.IntraDomainLatencyNs
+	case t.socketOf[a] == t.socketOf[b]:
+		return p.InterDomainLatencyNs
+	default:
+		return p.InterSocketLatencyNs
+	}
+}
+
+// InterIntraRatio returns the ratio of inter- to intra-domain transfer
+// latency (2.07 for the chiplet platforms, per Fig. 11).
+func (t *Topology) InterIntraRatio() float64 {
+	return t.platform.InterDomainLatencyNs / t.platform.IntraDomainLatencyNs
+}
+
+// VCPUMap assigns dense virtual CPU IDs to the physical CPUs an
+// application actually runs on, mirroring the kernel's per-process virtual
+// CPU ID space (rseq vcpu_id). Dense IDs keep the allocator from
+// populating per-CPU caches for every CPU on ever-larger platforms.
+type VCPUMap struct {
+	toVCPU   map[int]int
+	toPhys   []int
+	topology *Topology
+}
+
+// NewVCPUMap creates an empty map over t.
+func NewVCPUMap(t *Topology) *VCPUMap {
+	return &VCPUMap{toVCPU: make(map[int]int), topology: t}
+}
+
+// Assign returns the dense vCPU ID for physical CPU phys, allocating the
+// next free ID on first use. IDs are assigned in first-touch order, which
+// biases low-indexed vCPUs toward the application's steady-state threads —
+// the effect behind the per-vCPU miss disparity of Fig. 9b.
+func (m *VCPUMap) Assign(phys int) int {
+	if v, ok := m.toVCPU[phys]; ok {
+		return v
+	}
+	v := len(m.toPhys)
+	m.toVCPU[phys] = v
+	m.toPhys = append(m.toPhys, phys)
+	return v
+}
+
+// Lookup returns the vCPU for phys without allocating.
+func (m *VCPUMap) Lookup(phys int) (int, bool) {
+	v, ok := m.toVCPU[phys]
+	return v, ok
+}
+
+// Physical returns the physical CPU backing vcpu.
+func (m *VCPUMap) Physical(vcpu int) int { return m.toPhys[vcpu] }
+
+// Len returns the number of populated vCPUs.
+func (m *VCPUMap) Len() int { return len(m.toPhys) }
+
+// DomainOfVCPU returns the LLC domain of the physical CPU backing vcpu.
+func (m *VCPUMap) DomainOfVCPU(vcpu int) int {
+	return m.topology.DomainOf(m.toPhys[vcpu])
+}

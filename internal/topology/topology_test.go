@@ -1,0 +1,203 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogValid(t *testing.T) {
+	share := 0.0
+	for _, p := range Catalog {
+		if err := p.Validate(); err != nil {
+			t.Errorf("platform %s invalid: %v", p.Name, err)
+		}
+		share += p.FleetShare
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Errorf("fleet shares sum to %v, want 1", share)
+	}
+}
+
+func TestHyperthreadGrowth4x(t *testing.T) {
+	first := Catalog[0].NumCPUs()
+	last := Catalog[len(Catalog)-1].NumCPUs()
+	if ratio := float64(last) / float64(first); ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("hyperthread growth gen1->gen5 = %vx, paper reports 4x", ratio)
+	}
+}
+
+func TestChipletInterIntraRatio(t *testing.T) {
+	p, ok := ByName("gen5-chiplet")
+	if !ok {
+		t.Fatal("gen5-chiplet missing")
+	}
+	topo := New(p)
+	if r := topo.InterIntraRatio(); math.Abs(r-2.07) > 0.01 {
+		t.Fatalf("inter/intra ratio = %v, paper reports 2.07", r)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("no-such-platform"); ok {
+		t.Fatal("unexpected hit")
+	}
+	p, ok := ByName("gen3-dual-die")
+	if !ok || p.Generation != 3 {
+		t.Fatalf("lookup failed: %+v ok=%v", p, ok)
+	}
+}
+
+func TestTopologyMapping(t *testing.T) {
+	p := Platform{
+		Name: "test", Generation: 1,
+		Sockets: 2, LLCDomainsPerSocket: 2, CoresPerDomain: 2, ThreadsPerCore: 2,
+		IntraDomainLatencyNs: 10, InterDomainLatencyNs: 20, InterSocketLatencyNs: 40,
+		LLCBytes: 1 << 20,
+	}
+	topo := New(p)
+	if topo.NumCPUs() != 16 {
+		t.Fatalf("NumCPUs = %d", topo.NumCPUs())
+	}
+	if topo.NumDomains() != 4 {
+		t.Fatalf("NumDomains = %d", topo.NumDomains())
+	}
+	// CPUs 0..3 in domain 0, 4..7 in domain 1, etc.
+	for cpu := 0; cpu < 16; cpu++ {
+		wantDomain := cpu / 4
+		if topo.DomainOf(cpu) != wantDomain {
+			t.Errorf("DomainOf(%d) = %d, want %d", cpu, topo.DomainOf(cpu), wantDomain)
+		}
+		wantSocket := cpu / 8
+		if topo.SocketOf(cpu) != wantSocket {
+			t.Errorf("SocketOf(%d) = %d, want %d", cpu, topo.SocketOf(cpu), wantSocket)
+		}
+		if topo.CoreOf(cpu) != cpu/2 {
+			t.Errorf("CoreOf(%d) = %d", cpu, topo.CoreOf(cpu))
+		}
+	}
+}
+
+func TestTransferLatency(t *testing.T) {
+	p := Platform{
+		Name: "test", Generation: 1,
+		Sockets: 2, LLCDomainsPerSocket: 2, CoresPerDomain: 2, ThreadsPerCore: 2,
+		IntraDomainLatencyNs: 10, InterDomainLatencyNs: 20, InterSocketLatencyNs: 40,
+		LLCBytes: 1 << 20,
+	}
+	topo := New(p)
+	cases := []struct {
+		a, b int
+		want float64
+	}{
+		{0, 1, 0},   // same core (siblings)
+		{0, 2, 10},  // same domain, different core
+		{0, 4, 20},  // same socket, different domain
+		{0, 8, 40},  // different socket
+		{0, 15, 40}, // different socket
+	}
+	for _, c := range cases {
+		if got := topo.TransferLatencyNs(c.a, c.b); got != c.want {
+			t.Errorf("TransferLatencyNs(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := topo.TransferLatencyNs(c.b, c.a); got != c.want {
+			t.Errorf("latency not symmetric for (%d,%d)", c.a, c.b)
+		}
+	}
+}
+
+func TestCPUsInDomain(t *testing.T) {
+	topo := New(Default())
+	seen := map[int]bool{}
+	total := 0
+	for d := 0; d < topo.NumDomains(); d++ {
+		cpus := topo.CPUsInDomain(d)
+		total += len(cpus)
+		for _, c := range cpus {
+			if seen[c] {
+				t.Fatalf("cpu %d in two domains", c)
+			}
+			seen[c] = true
+			if topo.DomainOf(c) != d {
+				t.Fatalf("cpu %d domain mismatch", c)
+			}
+		}
+	}
+	if total != topo.NumCPUs() {
+		t.Fatalf("domains cover %d cpus, want %d", total, topo.NumCPUs())
+	}
+}
+
+func TestValidateRejectsBadPlatforms(t *testing.T) {
+	good := Platform{
+		Name: "x", Sockets: 1, LLCDomainsPerSocket: 1, CoresPerDomain: 1, ThreadsPerCore: 1,
+		IntraDomainLatencyNs: 10, InterDomainLatencyNs: 10, InterSocketLatencyNs: 10,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good platform rejected: %v", err)
+	}
+	bad := []Platform{
+		{Name: "s", Sockets: 0, LLCDomainsPerSocket: 1, CoresPerDomain: 1, ThreadsPerCore: 1, IntraDomainLatencyNs: 1, InterDomainLatencyNs: 1, InterSocketLatencyNs: 1},
+		{Name: "d", Sockets: 1, LLCDomainsPerSocket: 0, CoresPerDomain: 1, ThreadsPerCore: 1, IntraDomainLatencyNs: 1, InterDomainLatencyNs: 1, InterSocketLatencyNs: 1},
+		{Name: "c", Sockets: 1, LLCDomainsPerSocket: 1, CoresPerDomain: 0, ThreadsPerCore: 1, IntraDomainLatencyNs: 1, InterDomainLatencyNs: 1, InterSocketLatencyNs: 1},
+		{Name: "t", Sockets: 1, LLCDomainsPerSocket: 1, CoresPerDomain: 1, ThreadsPerCore: 0, IntraDomainLatencyNs: 1, InterDomainLatencyNs: 1, InterSocketLatencyNs: 1},
+		{Name: "lat", Sockets: 1, LLCDomainsPerSocket: 1, CoresPerDomain: 1, ThreadsPerCore: 1, IntraDomainLatencyNs: 10, InterDomainLatencyNs: 5, InterSocketLatencyNs: 20},
+		{Name: "sock", Sockets: 1, LLCDomainsPerSocket: 1, CoresPerDomain: 1, ThreadsPerCore: 1, IntraDomainLatencyNs: 10, InterDomainLatencyNs: 20, InterSocketLatencyNs: 15},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("platform %q should be invalid", p.Name)
+		}
+	}
+}
+
+func TestVCPUMapDense(t *testing.T) {
+	topo := New(Default())
+	m := NewVCPUMap(topo)
+	// First-touch assignment is dense regardless of physical IDs.
+	physical := []int{37, 5, 62, 5, 37, 11}
+	want := []int{0, 1, 2, 1, 0, 3}
+	for i, phys := range physical {
+		if got := m.Assign(phys); got != want[i] {
+			t.Fatalf("Assign(%d) = %d, want %d", phys, got, want[i])
+		}
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if m.Physical(2) != 62 {
+		t.Fatalf("Physical(2) = %d", m.Physical(2))
+	}
+	if v, ok := m.Lookup(11); !ok || v != 3 {
+		t.Fatalf("Lookup(11) = %d,%v", v, ok)
+	}
+	if _, ok := m.Lookup(99); ok {
+		t.Fatal("Lookup(99) should miss")
+	}
+	if m.DomainOfVCPU(0) != topo.DomainOf(37) {
+		t.Fatal("DomainOfVCPU mismatch")
+	}
+}
+
+func TestVCPUMapProperty(t *testing.T) {
+	topo := New(Default())
+	f := func(cpus []uint8) bool {
+		m := NewVCPUMap(topo)
+		seen := map[int]int{}
+		for _, raw := range cpus {
+			phys := int(raw) % topo.NumCPUs()
+			v := m.Assign(phys)
+			if prev, ok := seen[phys]; ok && prev != v {
+				return false // must be stable
+			}
+			seen[phys] = v
+			if v >= m.Len() {
+				return false // dense
+			}
+		}
+		return m.Len() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

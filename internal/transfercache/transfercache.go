@@ -1,0 +1,357 @@
+// Package transfercache implements TCMalloc's middle-tier transfer cache
+// (§2.1 item 2, §4.2): flat arrays of free objects that let memory flow
+// rapidly between per-CPU caches. It provides both the legacy centralized
+// cache and the paper's NUCA-aware redesign, where each last-level-cache
+// domain gets its own transfer cache backed by the legacy one, so objects
+// freed by a core are preferentially re-allocated within the same LLC
+// domain (Table 1).
+//
+// Every cached object remembers which LLC domain freed it, which lets the
+// allocator price each reuse as an intra- or inter-domain cache-to-cache
+// transfer — the quantity behind the paper's Fig. 11 measurement and the
+// LLC miss-rate improvements in Table 1.
+package transfercache
+
+import "fmt"
+
+// Backing is the next tier down (the central free lists).
+type Backing interface {
+	// AllocBatch fills out with objects of the given size class.
+	AllocBatch(class int, out []uint64) int
+	// FreeBatch returns objects of the given size class.
+	FreeBatch(class int, objs []uint64)
+}
+
+// Config controls the transfer cache layer.
+type Config struct {
+	// NUCAAware enables per-LLC-domain transfer caches (§4.2).
+	NUCAAware bool
+	// NumDomains is the number of LLC domains with active caches; only
+	// meaningful when NUCAAware is set.
+	NumDomains int
+	// LegacyObjectsPerClass caps the centralized cache per size class.
+	LegacyObjectsPerClass int
+	// DomainObjectsPerClass caps each per-domain cache per size class.
+	DomainObjectsPerClass int
+	// LegacyBytesPerClass / DomainBytesPerClass additionally cap each
+	// class by bytes, so large size classes cannot strand megabytes in
+	// the middle tier (the object caps alone would let a 256 KiB class
+	// park hundreds of MiB).
+	LegacyBytesPerClass int64
+	DomainBytesPerClass int64
+}
+
+// DefaultConfig returns the legacy (centralized-only) configuration.
+func DefaultConfig() Config {
+	return Config{
+		LegacyObjectsPerClass: 1024,
+		DomainObjectsPerClass: 256,
+		LegacyBytesPerClass:   512 << 10,
+		DomainBytesPerClass:   128 << 10,
+	}
+}
+
+// NUCAConfig returns a NUCA-aware configuration for n domains.
+func NUCAConfig(n int) Config {
+	c := DefaultConfig()
+	c.NUCAAware = true
+	c.NumDomains = n
+	return c
+}
+
+// entry is one cached object plus the LLC domain whose core freed it.
+// Objects sourced from the central free list carry domain = coldDomain.
+type entry struct {
+	addr   uint64
+	domain int16
+}
+
+const coldDomain = -1
+
+// cache is one flat-array object cache for one size class.
+type cache struct {
+	entries []entry
+	max     int
+	hits    int64
+	misses  int64
+	// opsAtLastPlunder supports idle detection.
+	opsAtLastPlunder int64
+	ops              int64
+}
+
+func (c *cache) len() int { return len(c.entries) }
+
+// Stats aggregates transfer cache telemetry.
+type Stats struct {
+	// Hits and Misses count allocation requests served/not served by
+	// this layer (legacy and domain caches combined).
+	Hits, Misses int64
+	// DomainHits counts allocations served by a NUCA domain cache.
+	DomainHits int64
+	// LegacyHits counts allocations served by the centralized cache.
+	LegacyHits int64
+	// IntraDomain / InterDomain / Cold classify every object handed out:
+	// freed by the same LLC domain, freed by a different domain, or
+	// fetched cold from the central free list.
+	IntraDomain, InterDomain, Cold int64
+	// Overflows counts objects pushed through to the backing tier
+	// because every cache level was full.
+	Overflows int64
+	// CachedObjects is the current object count across all caches.
+	CachedObjects int64
+	// CachedBytes is the memory held by this layer.
+	CachedBytes int64
+	// Plundered counts objects moved out of idle domain caches.
+	Plundered int64
+}
+
+// TransferCaches is the full middle-tier cache layer for all size classes.
+type TransferCaches struct {
+	cfg        Config
+	numClasses int
+	objSize    func(class int) int
+	backing    Backing
+
+	legacy []cache
+	// domains[d][class]
+	domains [][]cache
+
+	stats Stats
+}
+
+// New creates the layer. objSize maps a class index to its object size
+// (for byte accounting).
+func New(cfg Config, numClasses int, objSize func(int) int, backing Backing) *TransferCaches {
+	if cfg.NUCAAware && cfg.NumDomains <= 0 {
+		panic(fmt.Sprintf("transfercache: NUCA-aware with %d domains", cfg.NumDomains))
+	}
+	t := &TransferCaches{
+		cfg:        cfg,
+		numClasses: numClasses,
+		objSize:    objSize,
+		backing:    backing,
+		legacy:     make([]cache, numClasses),
+	}
+	capFor := func(objects int, bytes int64, class int) int {
+		max := objects
+		if bytes > 0 {
+			if byObj := int(bytes / int64(objSize(class))); byObj < max {
+				max = byObj
+			}
+		}
+		if max < 1 {
+			max = 1
+		}
+		return max
+	}
+	for i := range t.legacy {
+		t.legacy[i].max = capFor(cfg.LegacyObjectsPerClass, cfg.LegacyBytesPerClass, i)
+	}
+	if cfg.NUCAAware {
+		t.domains = make([][]cache, cfg.NumDomains)
+		for d := range t.domains {
+			t.domains[d] = make([]cache, numClasses)
+			for i := range t.domains[d] {
+				t.domains[d][i].max = capFor(cfg.DomainObjectsPerClass, cfg.DomainBytesPerClass, i)
+			}
+		}
+	}
+	return t
+}
+
+// Alloc fills out with objects of the given class for a request issued
+// from the given LLC domain. It tries the domain cache, then the legacy
+// cache, then the backing tier, and records the transfer classification
+// of every object handed out.
+func (t *TransferCaches) Alloc(class, domain int, out []uint64) {
+	filled := 0
+	if t.cfg.NUCAAware {
+		dc := &t.domains[t.domainIndex(domain)][class]
+		filled += t.take(dc, domain, out[filled:])
+		if filled > 0 {
+			dc.hits++
+			t.stats.DomainHits++
+		}
+	}
+	if filled < len(out) {
+		lc := &t.legacy[class]
+		n := t.take(lc, domain, out[filled:])
+		if n > 0 {
+			lc.hits++
+			t.stats.LegacyHits++
+		}
+		filled += n
+	}
+	if filled < len(out) {
+		// Miss: fetch cold objects from the central free list.
+		t.stats.Misses++
+		n := t.backing.AllocBatch(class, out[filled:])
+		t.stats.Cold += int64(n)
+		filled += n
+	} else {
+		t.stats.Hits++
+	}
+	if filled != len(out) {
+		panic("transfercache: backing tier under-filled a batch")
+	}
+}
+
+// take pops up to len(out) objects from c, classifying their provenance
+// against the requesting domain.
+func (t *TransferCaches) take(c *cache, domain int, out []uint64) int {
+	c.ops++
+	n := len(c.entries)
+	want := len(out)
+	if want > n {
+		want = n
+	}
+	for i := 0; i < want; i++ {
+		e := c.entries[n-1-i]
+		out[i] = e.addr
+		switch {
+		case e.domain == coldDomain:
+			t.stats.Cold++
+		case int(e.domain) == domain:
+			t.stats.IntraDomain++
+		default:
+			t.stats.InterDomain++
+		}
+	}
+	c.entries = c.entries[:n-want]
+	return want
+}
+
+// Free returns objects of the given class freed by the given LLC domain.
+// Objects go to the domain cache first, overflow to the legacy cache, and
+// spill to the backing tier when both are full.
+func (t *TransferCaches) Free(class, domain int, objs []uint64) {
+	rest := objs
+	if t.cfg.NUCAAware {
+		dc := &t.domains[t.domainIndex(domain)][class]
+		rest = t.put(dc, domain, rest)
+	}
+	if len(rest) > 0 {
+		rest = t.put(&t.legacy[class], domain, rest)
+	}
+	if len(rest) > 0 {
+		t.stats.Overflows += int64(len(rest))
+		t.backing.FreeBatch(class, rest)
+	}
+}
+
+// put pushes as many objects as fit, returning the overflow.
+func (t *TransferCaches) put(c *cache, domain int, objs []uint64) []uint64 {
+	c.ops++
+	room := c.max - len(c.entries)
+	n := len(objs)
+	if n > room {
+		n = room
+	}
+	for _, a := range objs[:n] {
+		c.entries = append(c.entries, entry{addr: a, domain: int16(domain)})
+	}
+	return objs[n:]
+}
+
+func (t *TransferCaches) domainIndex(domain int) int {
+	if domain < 0 || domain >= len(t.domains) {
+		panic(fmt.Sprintf("transfercache: domain %d outside [0,%d)", domain, len(t.domains)))
+	}
+	return domain
+}
+
+// Plunder moves every object out of domain caches that saw no activity
+// since the previous Plunder call into the legacy cache (overflowing to
+// the backing tier), preventing memory from stranding in idle domains
+// (§4.2). Idle legacy classes are likewise returned to the central free
+// lists (TCMalloc sizes its transfer caches dynamically and shrinks the
+// unused ones). It returns the number of objects moved.
+func (t *TransferCaches) Plunder() int64 {
+	var moved int64
+	for class := range t.legacy {
+		lc := &t.legacy[class]
+		if lc.ops != lc.opsAtLastPlunder || lc.len() == 0 {
+			lc.opsAtLastPlunder = lc.ops
+			continue
+		}
+		objs := make([]uint64, len(lc.entries))
+		for i, e := range lc.entries {
+			objs[i] = e.addr
+		}
+		lc.entries = lc.entries[:0]
+		lc.opsAtLastPlunder = lc.ops
+		t.backing.FreeBatch(class, objs)
+		moved += int64(len(objs))
+	}
+	if !t.cfg.NUCAAware {
+		t.stats.Plundered += moved
+		return moved
+	}
+	for d := range t.domains {
+		for class := range t.domains[d] {
+			c := &t.domains[d][class]
+			if c.ops != c.opsAtLastPlunder || c.len() == 0 {
+				c.opsAtLastPlunder = c.ops
+				continue
+			}
+			// Idle since last plunder: evict everything, preserving the
+			// freeing-domain tags by moving entries wholesale.
+			for _, e := range c.entries {
+				lc := &t.legacy[class]
+				if len(lc.entries) < lc.max {
+					lc.entries = append(lc.entries, e)
+				} else {
+					t.stats.Overflows++
+					t.backing.FreeBatch(class, []uint64{e.addr})
+				}
+				moved++
+			}
+			c.entries = c.entries[:0]
+			c.opsAtLastPlunder = c.ops
+		}
+	}
+	t.stats.Plundered += moved
+	return moved
+}
+
+// Drain flushes every cached object back to the backing tier; used at
+// simulation teardown so span accounting balances.
+func (t *TransferCaches) Drain() {
+	flush := func(class int, c *cache) {
+		if len(c.entries) == 0 {
+			return
+		}
+		objs := make([]uint64, len(c.entries))
+		for i, e := range c.entries {
+			objs[i] = e.addr
+		}
+		c.entries = c.entries[:0]
+		t.backing.FreeBatch(class, objs)
+	}
+	for d := range t.domains {
+		for class := range t.domains[d] {
+			flush(class, &t.domains[d][class])
+		}
+	}
+	for class := range t.legacy {
+		flush(class, &t.legacy[class])
+	}
+}
+
+// Stats returns a snapshot including current occupancy.
+func (t *TransferCaches) Stats() Stats {
+	s := t.stats
+	count := func(c *cache, class int) {
+		s.CachedObjects += int64(len(c.entries))
+		s.CachedBytes += int64(len(c.entries)) * int64(t.objSize(class))
+	}
+	for class := range t.legacy {
+		count(&t.legacy[class], class)
+	}
+	for d := range t.domains {
+		for class := range t.domains[d] {
+			count(&t.domains[d][class], class)
+		}
+	}
+	return s
+}

@@ -1,0 +1,263 @@
+package transfercache
+
+import (
+	"testing"
+)
+
+// fakeBacking is a deterministic stand-in for the central free lists: it
+// hands out ascending addresses per class and records frees.
+type fakeBacking struct {
+	next   map[int]uint64
+	freed  map[int][]uint64
+	allocs int
+}
+
+func newFakeBacking() *fakeBacking {
+	return &fakeBacking{next: map[int]uint64{}, freed: map[int][]uint64{}}
+}
+
+func (f *fakeBacking) AllocBatch(class int, out []uint64) int {
+	f.allocs++
+	base := f.next[class]
+	for i := range out {
+		out[i] = uint64(class)<<32 | (base + uint64(i))
+	}
+	f.next[class] = base + uint64(len(out))
+	return len(out)
+}
+
+func (f *fakeBacking) FreeBatch(class int, objs []uint64) {
+	f.freed[class] = append(f.freed[class], objs...)
+}
+
+func objSize(int) int { return 64 }
+
+func TestLegacyRoundTrip(t *testing.T) {
+	b := newFakeBacking()
+	tc := New(DefaultConfig(), 4, objSize, b)
+	out := make([]uint64, 8)
+	tc.Alloc(1, 0, out)
+	if b.allocs != 1 {
+		t.Fatal("first alloc should hit the backing tier")
+	}
+	st := tc.Stats()
+	if st.Cold != 8 || st.Misses != 1 {
+		t.Fatalf("cold=%d misses=%d", st.Cold, st.Misses)
+	}
+	tc.Free(1, 0, out)
+	if st := tc.Stats(); st.CachedObjects != 8 {
+		t.Fatalf("CachedObjects = %d", st.CachedObjects)
+	}
+	got := make([]uint64, 8)
+	tc.Alloc(1, 0, got)
+	if b.allocs != 1 {
+		t.Fatal("second alloc should be served from the transfer cache")
+	}
+	st = tc.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("Hits = %d", st.Hits)
+	}
+	if st.IntraDomain != 8 {
+		t.Fatalf("IntraDomain = %d", st.IntraDomain)
+	}
+}
+
+func TestCrossDomainFlowClassified(t *testing.T) {
+	b := newFakeBacking()
+	tc := New(DefaultConfig(), 2, objSize, b) // legacy only
+	out := make([]uint64, 4)
+	tc.Alloc(0, 0, out)
+	tc.Free(0, 0, out) // freed by domain 0
+	got := make([]uint64, 4)
+	tc.Alloc(0, 1, got) // allocated by domain 1
+	st := tc.Stats()
+	if st.InterDomain != 4 {
+		t.Fatalf("InterDomain = %d, want 4", st.InterDomain)
+	}
+	if st.IntraDomain != 0 {
+		t.Fatalf("IntraDomain = %d", st.IntraDomain)
+	}
+}
+
+func TestNUCAKeepsFlowLocal(t *testing.T) {
+	b := newFakeBacking()
+	tc := New(NUCAConfig(4), 2, objSize, b)
+	// Domain 2 frees objects; domain 2 reallocates them: intra-domain.
+	out := make([]uint64, 8)
+	tc.Alloc(0, 2, out)
+	tc.Free(0, 2, out)
+	got := make([]uint64, 8)
+	tc.Alloc(0, 2, got)
+	st := tc.Stats()
+	if st.DomainHits == 0 {
+		t.Fatal("domain cache never hit")
+	}
+	if st.IntraDomain != 8 || st.InterDomain != 0 {
+		t.Fatalf("intra=%d inter=%d", st.IntraDomain, st.InterDomain)
+	}
+	// Another domain's request does not see domain 2's objects while the
+	// legacy cache is empty: it goes cold.
+	tc.Free(0, 2, got)
+	other := make([]uint64, 8)
+	tc.Alloc(0, 3, other)
+	st = tc.Stats()
+	if st.InterDomain != 0 {
+		t.Fatalf("NUCA-aware alloc pulled remote objects: inter=%d", st.InterDomain)
+	}
+}
+
+func TestNUCAReducesInterDomainVsLegacy(t *testing.T) {
+	// Producer/consumer on different domains with occasional local reuse:
+	// the NUCA-aware layout must classify strictly fewer transfers as
+	// inter-domain than the centralized one.
+	run := func(cfg Config) Stats {
+		b := newFakeBacking()
+		tc := New(cfg, 1, objSize, b)
+		buf := make([]uint64, 16)
+		for round := 0; round < 200; round++ {
+			d := round % 4
+			// Local churn: alloc/free/realloc within domain d.
+			tc.Alloc(0, d, buf)
+			tc.Free(0, d, buf)
+			tc.Alloc(0, d, buf)
+			// Leave the objects freed by d for the next round's domain:
+			// the centralized cache hands them out cross-domain, the
+			// NUCA-aware one keeps them domain-local.
+			tc.Free(0, d, buf)
+		}
+		return tc.Stats()
+	}
+	legacy := run(DefaultConfig())
+	nuca := run(NUCAConfig(4))
+	legacyRatio := float64(legacy.InterDomain) / float64(legacy.InterDomain+legacy.IntraDomain)
+	nucaRatio := float64(nuca.InterDomain) / float64(nuca.InterDomain+nuca.IntraDomain)
+	if nucaRatio >= legacyRatio {
+		t.Fatalf("NUCA-aware inter-domain ratio %.3f should beat legacy %.3f", nucaRatio, legacyRatio)
+	}
+}
+
+func TestOverflowSpillsToBacking(t *testing.T) {
+	b := newFakeBacking()
+	cfg := DefaultConfig()
+	cfg.LegacyObjectsPerClass = 4
+	tc := New(cfg, 1, objSize, b)
+	objs := make([]uint64, 10)
+	tc.Alloc(0, 0, objs)
+	tc.Free(0, 0, objs)
+	st := tc.Stats()
+	if st.CachedObjects != 4 {
+		t.Fatalf("CachedObjects = %d, want 4 (cap)", st.CachedObjects)
+	}
+	if st.Overflows != 6 {
+		t.Fatalf("Overflows = %d, want 6", st.Overflows)
+	}
+	if len(b.freed[0]) != 6 {
+		t.Fatalf("backing received %d objects", len(b.freed[0]))
+	}
+}
+
+func TestPlunderMovesIdleDomainObjects(t *testing.T) {
+	b := newFakeBacking()
+	tc := New(NUCAConfig(2), 1, objSize, b)
+	objs := make([]uint64, 8)
+	tc.Alloc(0, 0, objs)
+	tc.Free(0, 0, objs)
+	// First plunder observes activity (the Free); nothing moves.
+	if moved := tc.Plunder(); moved != 0 {
+		t.Fatalf("first plunder moved %d", moved)
+	}
+	// No activity since: second plunder evicts to the legacy cache.
+	if moved := tc.Plunder(); moved != 8 {
+		t.Fatalf("second plunder moved %d, want 8", moved)
+	}
+	// Objects are now visible to every domain through the legacy cache.
+	got := make([]uint64, 8)
+	tc.Alloc(0, 1, got)
+	st := tc.Stats()
+	if st.LegacyHits != 1 {
+		t.Fatalf("LegacyHits = %d", st.LegacyHits)
+	}
+	if st.InterDomain != 8 {
+		t.Fatalf("InterDomain = %d (plunder must preserve provenance)", st.InterDomain)
+	}
+}
+
+func TestDrainReturnsEverything(t *testing.T) {
+	b := newFakeBacking()
+	tc := New(NUCAConfig(2), 2, objSize, b)
+	objs := make([]uint64, 8)
+	tc.Alloc(1, 0, objs)
+	tc.Free(1, 0, objs)
+	tc.Drain()
+	if st := tc.Stats(); st.CachedObjects != 0 {
+		t.Fatalf("CachedObjects after drain = %d", st.CachedObjects)
+	}
+	if len(b.freed[1]) != 8 {
+		t.Fatalf("backing got %d objects", len(b.freed[1]))
+	}
+}
+
+func TestCachedBytesUsesObjectSize(t *testing.T) {
+	b := newFakeBacking()
+	tc := New(DefaultConfig(), 2, func(class int) int { return 32 * (class + 1) }, b)
+	objs := make([]uint64, 4)
+	tc.Alloc(1, 0, objs)
+	tc.Free(1, 0, objs)
+	if st := tc.Stats(); st.CachedBytes != 4*64 {
+		t.Fatalf("CachedBytes = %d", st.CachedBytes)
+	}
+}
+
+func TestInvalidDomainPanics(t *testing.T) {
+	b := newFakeBacking()
+	tc := New(NUCAConfig(2), 1, objSize, b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tc.Alloc(0, 5, make([]uint64, 1))
+}
+
+func TestByteCapLimitsLargeClasses(t *testing.T) {
+	b := newFakeBacking()
+	cfg := DefaultConfig()
+	cfg.LegacyBytesPerClass = 256 // 4 objects of 64B
+	tc := New(cfg, 1, objSize, b)
+	objs := make([]uint64, 10)
+	tc.Alloc(0, 0, objs)
+	tc.Free(0, 0, objs)
+	if st := tc.Stats(); st.CachedObjects != 4 {
+		t.Fatalf("CachedObjects = %d, want byte-capped 4", st.CachedObjects)
+	}
+}
+
+func TestByteCapNeverBelowOne(t *testing.T) {
+	b := newFakeBacking()
+	cfg := DefaultConfig()
+	cfg.LegacyBytesPerClass = 1 // smaller than one object
+	tc := New(cfg, 1, objSize, b)
+	objs := make([]uint64, 2)
+	tc.Alloc(0, 0, objs)
+	tc.Free(0, 0, objs)
+	if st := tc.Stats(); st.CachedObjects != 1 {
+		t.Fatalf("CachedObjects = %d, want 1", st.CachedObjects)
+	}
+}
+
+func TestPlunderEvictsIdleLegacy(t *testing.T) {
+	b := newFakeBacking()
+	tc := New(DefaultConfig(), 1, objSize, b) // centralized only
+	objs := make([]uint64, 8)
+	tc.Alloc(0, 0, objs)
+	tc.Free(0, 0, objs)
+	if moved := tc.Plunder(); moved != 0 {
+		t.Fatalf("first plunder moved %d", moved)
+	}
+	if moved := tc.Plunder(); moved != 8 {
+		t.Fatalf("second plunder moved %d, want 8", moved)
+	}
+	if len(b.freed[0]) != 8 {
+		t.Fatalf("backing received %d", len(b.freed[0]))
+	}
+}

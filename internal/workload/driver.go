@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"math"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/rng"
+)
+
+// Options control a workload run.
+type Options struct {
+	// Duration is the virtual run length in ns.
+	Duration int64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// TimeWarpCutoffNs and TimeWarpGamma compress long lifetimes so that
+	// hour/day-scale behaviour folds into a sub-second virtual run while
+	// preserving the short-lifetime structure: lifetimes below the
+	// cutoff are kept, longer ones become cutoff*(life/cutoff)^gamma.
+	TimeWarpCutoffNs int64
+	TimeWarpGamma    float64
+	// DynamicsPeriodNs overrides the profile's diurnal period so thread
+	// fluctuation happens within the run (default Duration/4).
+	DynamicsPeriodNs int64
+	// TickEveryNs is the allocator background-work cadence.
+	TickEveryNs int64
+	// ThreadUpdateEveryNs is how often the thread count is re-evaluated.
+	ThreadUpdateEveryNs int64
+	// Snapshot, when non-nil, is called every SnapshotEveryNs.
+	Snapshot        func(now int64)
+	SnapshotEveryNs int64
+}
+
+// DefaultOptions returns options suitable for experiment runs.
+func DefaultOptions(seed uint64) Options {
+	return Options{
+		Duration:            200 * Millisecond,
+		Seed:                seed,
+		TimeWarpCutoffNs:    20 * Millisecond,
+		TimeWarpGamma:       0.22,
+		TickEveryNs:         Millisecond,
+		ThreadUpdateEveryNs: 2 * Millisecond,
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Ops is the number of allocations performed (frees are equal for
+	// objects that died in-run).
+	Ops int64
+	// Frees is the number of frees performed.
+	Frees int64
+	// MallocNs is the total modeled allocator time.
+	MallocNs float64
+	// TotalCPUNs is the implied application CPU time, derived from the
+	// profile's malloc fraction: malloc cycles are MallocFraction of all
+	// cycles (Fig. 5a).
+	TotalCPUNs float64
+	// AllocatedBytes accumulates requested bytes.
+	AllocatedBytes int64
+	// Duration is the virtual run length.
+	Duration int64
+	// ThreadSeries samples the active thread count every
+	// ThreadUpdateEveryNs (Fig. 9a).
+	ThreadSeries []int
+	// Stats is the allocator snapshot at the end of the run (before any
+	// teardown).
+	Stats core.Stats
+}
+
+// OpsPerSecond is the workload-visible operation rate.
+func (r Result) OpsPerSecond() float64 {
+	if r.Duration == 0 {
+		return 0
+	}
+	return float64(r.Ops) / (float64(r.Duration) / 1e9)
+}
+
+// object tracks one live allocation.
+type object struct {
+	addr uint64
+	size int
+}
+
+// deathBucketNs is the granularity of the death wheel.
+const deathBucketNs = 100 * Microsecond
+
+// Driver runs a profile against an allocator.
+type Driver struct {
+	profile Profile
+	alloc   *core.Allocator
+	opts    Options
+	r       *rng.RNG
+
+	now       int64
+	threads   int
+	wheel     map[int64][]object
+	curBucket int64
+	liveCount int64
+	preloaded []object
+
+	res Result
+}
+
+// NewDriver prepares a run.
+func NewDriver(p Profile, a *core.Allocator, opts Options) *Driver {
+	if opts.Duration <= 0 {
+		panic("workload: non-positive duration")
+	}
+	if opts.DynamicsPeriodNs == 0 {
+		opts.DynamicsPeriodNs = opts.Duration / 4
+	}
+	if opts.TimeWarpCutoffNs == 0 {
+		opts.TimeWarpCutoffNs = 20 * Millisecond
+	}
+	if opts.TimeWarpGamma == 0 {
+		opts.TimeWarpGamma = 0.22
+	}
+	if opts.TickEveryNs == 0 {
+		opts.TickEveryNs = Millisecond
+	}
+	if opts.ThreadUpdateEveryNs == 0 {
+		opts.ThreadUpdateEveryNs = 2 * Millisecond
+	}
+	return &Driver{
+		profile: p,
+		alloc:   a,
+		opts:    opts,
+		r:       rng.New(opts.Seed),
+		wheel:   make(map[int64][]object),
+	}
+}
+
+// warp compresses a lifetime per the options.
+func (d *Driver) warp(life int64) int64 {
+	if life <= d.opts.TimeWarpCutoffNs {
+		if life < 1 {
+			return 1
+		}
+		return life
+	}
+	c := float64(d.opts.TimeWarpCutoffNs)
+	return int64(c * math.Pow(float64(life)/c, d.opts.TimeWarpGamma))
+}
+
+// pickThread selects the worker issuing the next operation. Thread pools
+// hand work to recently-idle workers first (LIFO), so low-index threads
+// carry more traffic — the source of the per-vCPU usage bias in Fig. 9b.
+func (d *Driver) pickThread() int {
+	u := d.r.Float64()
+	return int(u * u * float64(d.threads))
+}
+
+// cpuForThread maps a worker thread to a physical CPU within the
+// application's CPU set.
+func (d *Driver) cpuForThread(thread int) int {
+	set := d.profile.CPUSet
+	if max := d.alloc.Topology().NumCPUs(); set > max {
+		set = max
+	}
+	if set < 1 {
+		set = 1
+	}
+	return thread % set
+}
+
+// preload builds the profile's resident heap before the measured window.
+func (d *Driver) preload() {
+	dist := d.profile.PreloadDist
+	if dist == nil {
+		dist = DefaultPreloadDist()
+	}
+	var total int64
+	for total < d.profile.PreloadBytes {
+		size := int(dist.Sample(d.r))
+		if size < 1 {
+			size = 1
+		}
+		cpu := d.cpuForThread(d.r.Intn(d.threads))
+		addr, _ := d.alloc.Malloc(size, cpu)
+		d.preloaded = append(d.preloaded, object{addr, size})
+		total += int64(size)
+	}
+}
+
+// Run executes the workload and returns the result.
+func (d *Driver) Run() Result {
+	p := d.profile
+	dyn := p.Threads
+	dyn.PeriodNs = d.opts.DynamicsPeriodNs
+
+	d.threads = dyn.Count(d.r, 0)
+	d.res.ThreadSeries = append(d.res.ThreadSeries, d.threads)
+	d.preload()
+
+	nextThreadUpdate := d.opts.ThreadUpdateEveryNs
+	nextTick := d.opts.TickEveryNs
+	nextSnapshot := int64(math.MaxInt64)
+	if d.opts.Snapshot != nil && d.opts.SnapshotEveryNs > 0 {
+		nextSnapshot = d.opts.SnapshotEveryNs
+	}
+
+	for d.now < d.opts.Duration {
+		// Next allocation arrival: exponential with rate threads/gap.
+		gap := p.MeanAllocGapNs / float64(d.threads)
+		dt := int64(gap * d.r.ExpFloat64())
+		if dt < 1 {
+			dt = 1
+		}
+		d.now += dt
+
+		d.processDeaths(d.now)
+
+		if d.now >= nextTick {
+			d.alloc.Tick(d.now)
+			nextTick += d.opts.TickEveryNs
+		}
+		if d.now >= nextThreadUpdate {
+			d.threads = dyn.Count(d.r, d.now)
+			d.res.ThreadSeries = append(d.res.ThreadSeries, d.threads)
+			nextThreadUpdate += d.opts.ThreadUpdateEveryNs
+		}
+		if d.now >= nextSnapshot {
+			d.opts.Snapshot(d.now)
+			nextSnapshot += d.opts.SnapshotEveryNs
+		}
+		if d.now >= d.opts.Duration {
+			break
+		}
+
+		size := int(p.SizeDist.Sample(d.r))
+		if size < 1 {
+			size = 1
+		}
+		cpu := d.cpuForThread(d.pickThread())
+		addr, cost := d.alloc.Malloc(size, cpu)
+		d.res.Ops++
+		d.res.MallocNs += cost
+		d.res.AllocatedBytes += int64(size)
+		d.liveCount++
+
+		life := d.warp(p.Lifetime.Sample(d.r, size))
+		die := d.now + life
+		bucket := die / deathBucketNs
+		d.wheel[bucket] = append(d.wheel[bucket], object{addr, size})
+	}
+
+	d.res.Duration = d.opts.Duration
+	d.res.Stats = d.alloc.Stats()
+	if p.MallocFraction > 0 {
+		d.res.TotalCPUNs = d.res.MallocNs / p.MallocFraction
+	}
+	return d.res
+}
+
+// processDeaths frees every object whose death bucket has passed. The
+// freeing CPU is a random currently-active thread's CPU, so objects
+// regularly die on a different CPU (and LLC domain) than they were
+// allocated on — the cross-CPU flow the transfer cache exists for.
+func (d *Driver) processDeaths(now int64) {
+	for b := d.curBucket; b <= now/deathBucketNs; b++ {
+		objs := d.wheel[b]
+		if objs == nil {
+			d.curBucket = b
+			continue
+		}
+		delete(d.wheel, b)
+		for _, o := range objs {
+			cpu := d.cpuForThread(d.pickThread())
+			cost := d.alloc.Free(o.addr, o.size, cpu)
+			d.res.Frees++
+			d.res.MallocNs += cost
+			d.liveCount--
+		}
+		d.curBucket = b
+	}
+}
+
+// DrainRemaining frees every object still scheduled in the wheel plus
+// the preloaded resident heap (used for teardown accounting in tests).
+func (d *Driver) DrainRemaining() {
+	for b, objs := range d.wheel {
+		for _, o := range objs {
+			d.alloc.Free(o.addr, o.size, 0)
+			d.liveCount--
+		}
+		delete(d.wheel, b)
+	}
+	for _, o := range d.preloaded {
+		d.alloc.Free(o.addr, o.size, 0)
+	}
+	d.preloaded = nil
+	if d.liveCount != 0 {
+		panic("workload: live-object accounting mismatch")
+	}
+}
+
+// LiveObjects returns the number of objects the driver still holds.
+func (d *Driver) LiveObjects() int64 { return d.liveCount }
+
+// Run is a convenience wrapper: build a driver and run it.
+func Run(p Profile, a *core.Allocator, opts Options) Result {
+	return NewDriver(p, a, opts).Run()
+}

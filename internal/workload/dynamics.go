@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"math"
+
+	"wsmalloc/internal/rng"
+)
+
+// ThreadDynamics models the worker-thread count of a WSC application over
+// time: a diurnal sine around a base level, multiplicative jitter, and
+// occasional load spikes — the constantly-fluctuating shape of Fig. 9a
+// that motivates heterogeneous per-CPU caches.
+type ThreadDynamics struct {
+	// Base is the steady-state thread count.
+	Base int
+	// Amplitude is the diurnal swing (threads).
+	Amplitude float64
+	// PeriodNs is the diurnal period.
+	PeriodNs int64
+	// Jitter is the multiplicative noise std-dev (0.15 = ±15%).
+	Jitter float64
+	// SpikeProb is the per-evaluation probability of a load spike.
+	SpikeProb float64
+	// SpikeBoost is the extra threads a spike adds.
+	SpikeBoost int
+}
+
+// Count returns the active thread count at virtual time t. It always
+// returns at least 1.
+func (d ThreadDynamics) Count(r *rng.RNG, t int64) int {
+	n := float64(d.Base)
+	if d.Amplitude > 0 && d.PeriodNs > 0 {
+		phase := 2 * math.Pi * float64(t%d.PeriodNs) / float64(d.PeriodNs)
+		n += d.Amplitude * math.Sin(phase)
+	}
+	if d.Jitter > 0 {
+		n *= 1 + d.Jitter*r.NormFloat64()
+	}
+	if d.SpikeProb > 0 && r.Bool(d.SpikeProb) {
+		n += float64(d.SpikeBoost)
+	}
+	if n < 1 {
+		return 1
+	}
+	return int(n)
+}
+
+// Series evaluates the thread count at fixed intervals over a duration —
+// the data series behind Fig. 9a.
+func (d ThreadDynamics) Series(r *rng.RNG, duration, step int64) []int {
+	var out []int
+	for t := int64(0); t < duration; t += step {
+		out = append(out, d.Count(r, t))
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package wsmalloc is a warehouse-scale memory-allocator laboratory: a
+// faithful structural simulation of TCMalloc's cache hierarchy (per-CPU
+// caches, transfer caches, central free lists, hugepage-aware pageheap)
+// together with the four redesigns from "Characterizing a Memory
+// Allocator at Warehouse Scale" (ASPLOS '24) — heterogeneous per-CPU
+// caches, NUCA-aware transfer caches, span prioritization, and the
+// lifetime-aware hugepage filler — plus the workload generators, fleet
+// A/B experiment framework, and experiment harness that regenerate every
+// table and figure in the paper's evaluation.
+//
+// Quick start:
+//
+//	alloc := wsmalloc.NewAllocator(wsmalloc.Optimized(), wsmalloc.DefaultPlatform())
+//	addr, cost := alloc.Malloc(128, 0) // 128 bytes from a thread on CPU 0
+//	alloc.Free(addr, 128, 0)
+//	fmt.Println(alloc.Stats().FragmentationRatio(), cost)
+//
+// Run a synthetic production workload:
+//
+//	res := wsmalloc.RunWorkload(wsmalloc.Spanner(), wsmalloc.Baseline(), 42)
+//
+// Reproduce a paper experiment:
+//
+//	rep, _ := wsmalloc.Experiment("table2")
+//	fmt.Println(rep.Run(1, wsmalloc.ScaleQuick))
+package wsmalloc
+
+import (
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/experiments"
+	"wsmalloc/internal/fleet"
+	"wsmalloc/internal/topology"
+	"wsmalloc/internal/workload"
+)
+
+// Core allocator types.
+type (
+	// Allocator is the composed TCMalloc model for one process.
+	Allocator = core.Allocator
+	// Config selects the allocator design point.
+	Config = core.Config
+	// Stats is a full allocator telemetry snapshot.
+	Stats = core.Stats
+	// Feature identifies one of the paper's four redesigns.
+	Feature = core.Feature
+	// TimeBreakdown is the per-component cycle accounting (Fig. 6a).
+	TimeBreakdown = core.TimeBreakdown
+)
+
+// Hardware and workload types.
+type (
+	// Platform describes a server platform generation.
+	Platform = topology.Platform
+	// Topology maps CPUs to cores, LLC domains and sockets.
+	Topology = topology.Topology
+	// Profile describes one application's allocation behaviour.
+	Profile = workload.Profile
+	// RunOptions controls a workload run.
+	RunOptions = workload.Options
+	// RunResult summarizes a workload run.
+	RunResult = workload.Result
+)
+
+// Fleet experimentation types.
+type (
+	// Fleet is a population of machines for A/B experiments.
+	Fleet = fleet.Fleet
+	// ABOptions tunes a fleet experiment.
+	ABOptions = fleet.ABOptions
+	// ABResult is a fleet experiment outcome.
+	ABResult = fleet.ABResult
+	// Report is a printable experiment outcome.
+	Report = experiments.Report
+	// Scale trades experiment fidelity for wall-clock time.
+	Scale = experiments.Scale
+)
+
+// The paper's four redesigns (§4.1-§4.4).
+const (
+	FeatureHeterogeneousPerCPU = core.FeatureHeterogeneousPerCPU
+	FeatureNUCATransferCache   = core.FeatureNUCATransferCache
+	FeatureSpanPrioritization  = core.FeatureSpanPrioritization
+	FeatureLifetimeAwareFiller = core.FeatureLifetimeAwareFiller
+)
+
+// Experiment scales.
+const (
+	ScaleFull  = experiments.ScaleFull
+	ScaleQuick = experiments.ScaleQuick
+	ScaleSmoke = experiments.ScaleSmoke
+)
+
+// Baseline returns the pre-redesign TCMalloc configuration.
+func Baseline() Config { return core.BaselineConfig() }
+
+// Optimized returns the paper's full redesign (§4.5).
+func Optimized() Config { return core.OptimizedConfig() }
+
+// NewAllocator builds an allocator on the given platform.
+func NewAllocator(cfg Config, p Platform) *Allocator {
+	return core.New(cfg, topology.New(p))
+}
+
+// DefaultPlatform returns the newest chiplet platform generation.
+func DefaultPlatform() Platform { return topology.Default() }
+
+// Platforms lists the fleet's platform generations.
+func Platforms() []Platform { return topology.Catalog }
+
+// Production workload profiles (§2.3).
+func Spanner() Profile  { return workload.Spanner() }
+func Monarch() Profile  { return workload.Monarch() }
+func Bigtable() Profile { return workload.Bigtable() }
+func F1Query() Profile  { return workload.F1Query() }
+func Disk() Profile     { return workload.Disk() }
+
+// Benchmark and control profiles (§2.3, §3).
+func Redis() Profile           { return workload.Redis() }
+func DataPipeline() Profile    { return workload.DataPipeline() }
+func ImageProcessing() Profile { return workload.ImageProcessing() }
+func Tensorflow() Profile      { return workload.Tensorflow() }
+func SPECLike() Profile        { return workload.SPECLike() }
+
+// FleetMix returns the aggregate fleet profile.
+func FleetMix() Profile { return workload.Fleet() }
+
+// AllProfiles lists every built-in profile.
+func AllProfiles() []Profile { return workload.AllProfiles() }
+
+// ProfileByName looks a profile up by name.
+func ProfileByName(name string) (Profile, bool) { return workload.ByName(name) }
+
+// RunWorkload drives a profile against a fresh allocator on the default
+// platform for the default duration.
+func RunWorkload(p Profile, cfg Config, seed uint64) RunResult {
+	alloc := NewAllocator(cfg, DefaultPlatform())
+	return workload.Run(p, alloc, workload.DefaultOptions(seed))
+}
+
+// RunWorkloadOptions drives a profile with explicit options.
+func RunWorkloadOptions(p Profile, cfg Config, opts RunOptions) RunResult {
+	alloc := NewAllocator(cfg, DefaultPlatform())
+	return workload.Run(p, alloc, opts)
+}
+
+// DefaultRunOptions returns workload options for a seed.
+func DefaultRunOptions(seed uint64) RunOptions { return workload.DefaultOptions(seed) }
+
+// NewFleet builds a synthetic fleet of n machines.
+func NewFleet(n int, seed uint64) *Fleet { return fleet.New(n, seed) }
+
+// DefaultABOptions returns the standard fleet experiment setup.
+func DefaultABOptions() ABOptions { return fleet.DefaultABOptions() }
+
+// Experiment returns the named paper experiment ("fig3".."fig17",
+// "table1", "table2", "combined", "ablation-*").
+func Experiment(name string) (experiments.Runner, bool) {
+	return experiments.ByName(name)
+}
+
+// Experiments lists every experiment in paper order.
+func Experiments() []experiments.Runner { return experiments.Registry() }

@@ -2,10 +2,16 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale smoke|quick|full] [all|<name>...]
+//	experiments [-seed N] [-scale smoke|quick|full] [-audit] [-chaos] [all|<name>...]
 //
 // Names are fig3..fig17, table1, table2, combined, ablation-l,
-// ablation-c, ablation-capacity. With no arguments it lists the registry.
+// ablation-c, ablation-capacity, selftest, chaos. With no arguments it
+// lists the registry.
+//
+// -audit runs every profile under the full shadow-heap sanitizer with
+// periodic invariant audits; -chaos additionally injects a deterministic
+// mmap failure rate. The command exits non-zero if any audit trips or a
+// self-checking experiment fails.
 package main
 
 import (
@@ -19,7 +25,11 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	scaleName := flag.String("scale", "quick", "experiment scale: smoke, quick, or full")
+	audit := flag.Bool("audit", false, "run profiles under the shadow-heap sanitizer with periodic invariant audits")
+	chaos := flag.Bool("chaos", false, "inject a deterministic mmap failure rate into every profile run")
 	flag.Parse()
+
+	wsmalloc.SetHardening(wsmalloc.Hardening{Audit: *audit, Chaos: *chaos})
 
 	var scale wsmalloc.Scale
 	switch *scaleName {
@@ -52,12 +62,24 @@ func main() {
 		names = args
 	}
 
+	failed := false
 	for _, name := range names {
 		runner, ok := wsmalloc.Experiment(name)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
 		}
-		fmt.Println(runner.Run(*seed, scale))
+		rep := runner.Run(*seed, scale)
+		fmt.Println(rep)
+		if rep.Failed {
+			failed = true
+		}
+	}
+	if trips := wsmalloc.AuditTrips(); trips > 0 {
+		fmt.Fprintf(os.Stderr, "audit: %d run(s) ended with invariant violations\n", trips)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -6,6 +6,13 @@
 //
 //	fleet-ab [-machines 400] [-feature all|<name>] [-seed 1]
 //	         [-duration-ms 250] [-sample 0.01]
+//	         [-chaos-mmap-rate 0] [-chaos-budget-mb 0] [-audit-every-ms 0]
+//
+// The chaos flags install a deterministic per-machine fault plan in every
+// enrolled run (seeded mmap failures and/or a committed-byte budget);
+// -audit-every-ms runs the allocator invariant auditor at that virtual
+// cadence. The command prints the chaos/audit summary and exits non-zero
+// if any audit reported violations.
 package main
 
 import (
@@ -23,6 +30,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	durationMs := flag.Int64("duration-ms", 250, "virtual run length per machine")
 	sample := flag.Float64("sample", 0.01, "fraction of machines enrolled (paper: 1%)")
+	chaosRate := flag.Float64("chaos-mmap-rate", 0, "injected mmap failure probability per MapHuge (0 disables)")
+	chaosBudgetMB := flag.Int64("chaos-budget-mb", 0, "per-machine committed-byte budget in MiB (0 = unlimited)")
+	auditEveryMs := flag.Int64("audit-every-ms", 0, "virtual cadence of invariant audits (0 disables)")
 	flag.Parse()
 
 	control := wsmalloc.Baseline()
@@ -47,6 +57,12 @@ func main() {
 	opts := wsmalloc.DefaultABOptions()
 	opts.SampleFraction = *sample
 	opts.DurationNs = *durationMs * 1_000_000
+	opts.Chaos = wsmalloc.FaultPlan{
+		Seed:              *seed ^ 0xc4a05c4a,
+		MmapFailureRate:   *chaosRate,
+		MappedBytesBudget: *chaosBudgetMB << 20,
+	}
+	opts.AuditEveryNs = *auditEveryMs * 1_000_000
 
 	fmt.Printf("fleet A/B: %d machines, feature=%s, %.1f%% sampled, %dms virtual each\n",
 		*machines, *feature, *sample*100, *durationMs)
@@ -54,5 +70,17 @@ func main() {
 	fmt.Println(res.Fleet.String())
 	for _, row := range res.PerApp {
 		fmt.Println(row.String())
+	}
+	ch := res.Chaos
+	if opts.Chaos.Enabled() {
+		fmt.Printf("chaos: %d mmap failures + %d budget rejections injected; %d OOMs, %d ops dropped, %d pressure releases (%d MiB returned)\n",
+			ch.InjectedFailures, ch.BudgetFailures, ch.OOMErrors, ch.AllocFailures,
+			ch.PressureEvents, ch.PressureReleasedBytes>>20)
+	}
+	if opts.AuditEveryNs > 0 {
+		fmt.Printf("audit: %d runs, %d violations\n", ch.Audits, ch.Violations)
+		if ch.Violations > 0 {
+			os.Exit(1)
+		}
 	}
 }

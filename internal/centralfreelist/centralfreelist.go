@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"wsmalloc/internal/check"
 	"wsmalloc/internal/mem"
 	"wsmalloc/internal/pageheap"
 	"wsmalloc/internal/sizeclass"
@@ -133,11 +134,17 @@ func (l *List) relink(s *span.Span) {
 }
 
 // AllocBatch fills out with newly allocated object addresses and returns
-// the count (always len(out) — the list grows on demand).
-func (l *List) AllocBatch(out []uint64) int {
+// the count. The list grows on demand, so the count is len(out) unless
+// the pageheap cannot map a fresh span; the partial fill is then returned
+// together with the allocation error, and the objects already in out
+// remain valid.
+func (l *List) AllocBatch(out []uint64) (int, error) {
 	filled := 0
 	for filled < len(out) {
-		s := l.pickSpan()
+		s, err := l.pickSpan()
+		if err != nil {
+			return filled, err
+		}
 		for filled < len(out) {
 			addr, ok := s.Allocate()
 			if !ok {
@@ -152,29 +159,33 @@ func (l *List) AllocBatch(out []uint64) int {
 		}
 		l.relink(s)
 	}
-	return filled
+	return filled, nil
 }
 
 // pickSpan returns a span with free capacity, unlinked from its list.
-func (l *List) pickSpan() *span.Span {
+func (l *List) pickSpan() (*span.Span, error) {
 	for i := 0; i < len(l.nonempty); i++ {
 		if s := l.nonempty[i].Front(); s != nil {
 			l.nonempty[i].Remove(s)
-			return s
+			return s, nil
 		}
 	}
 	return l.growSpan()
 }
 
-// growSpan fetches a fresh span from the pageheap.
-func (l *List) growSpan() *span.Span {
-	start := l.ph.Alloc(l.class.Pages, l.lifetime)
+// growSpan fetches a fresh span from the pageheap, propagating its
+// allocation failure.
+func (l *List) growSpan() (*span.Span, error) {
+	start, err := l.ph.Alloc(l.class.Pages, l.lifetime)
+	if err != nil {
+		return nil, err
+	}
 	s := span.New(start, l.class.Pages, l.class.Index, l.class.Size, l.class.ObjectsPerSpan)
 	l.nextSeq++
 	s.Seq = l.nextSeq
 	l.pm.SetRange(start, l.class.Pages, s)
 	l.spansCreated++
-	return s
+	return s, nil
 }
 
 // FreeBatch returns objects to their spans. Spans that drain completely
@@ -250,4 +261,58 @@ func (l *List) EachSpan(fn func(*span.Span)) {
 		l.nonempty[i].Each(fn)
 	}
 	l.full.Each(fn)
+}
+
+// CheckInvariants audits the free list: every span filed in the right
+// occupancy list for its live count, full spans parked in full, live
+// counts within capacity, the pagemap resolving every span page back to
+// its span, and the aggregate live-object counter against a per-span
+// recount.
+func (l *List) CheckInvariants() []check.Violation {
+	var vs []check.Violation
+	var liveRecount int64
+	audit := func(s *span.Span, wantFull bool, listIdx int) {
+		if s.Live() < 0 || s.Live() > l.class.ObjectsPerSpan {
+			vs = append(vs, check.Violationf("centralfreelist", check.KindStructure,
+				"class %d span at %#x has %d live objects of capacity %d",
+				l.class.Index, s.Start.Addr(), s.Live(), l.class.ObjectsPerSpan))
+		}
+		liveRecount += int64(s.Live())
+		if wantFull != s.Full() {
+			vs = append(vs, check.Violationf("centralfreelist", check.KindStructure,
+				"class %d span at %#x full=%v filed in full=%v list",
+				l.class.Index, s.Start.Addr(), s.Full(), wantFull))
+		}
+		if !wantFull && listIdx != l.listIndexFor(s.Live()) {
+			vs = append(vs, check.Violationf("centralfreelist", check.KindStructure,
+				"class %d span at %#x with %d live filed in list %d, belongs in %d",
+				l.class.Index, s.Start.Addr(), s.Live(), listIdx, l.listIndexFor(s.Live())))
+		}
+		for i := 0; i < s.Pages; i++ {
+			if got, ok := l.pm.Get(s.Start + mem.PageID(i)); !ok || got != s {
+				vs = append(vs, check.Violationf("centralfreelist", check.KindStructure,
+					"pagemap does not resolve page %#x back to its class-%d span",
+					(s.Start + mem.PageID(i)).Addr(), l.class.Index))
+				break
+			}
+		}
+	}
+	for i := range l.nonempty {
+		idx := i
+		l.nonempty[i].Each(func(s *span.Span) { audit(s, false, idx) })
+	}
+	l.full.Each(func(s *span.Span) { audit(s, true, -1) })
+	if liveRecount != l.liveObjects {
+		vs = append(vs, check.Violationf("centralfreelist", check.KindAccounting,
+			"class %d live-object counter %d disagrees with span recount %d",
+			l.class.Index, l.liveObjects, liveRecount))
+	}
+	return vs
+}
+
+// CorruptLiveObjectsForTest skews the live-object counter by delta. It
+// exists solely so the corruption self-test can prove the auditor
+// detects span-accounting drift; production code never calls it.
+func (l *List) CorruptLiveObjectsForTest(delta int64) {
+	l.liveObjects += delta
 }

@@ -26,7 +26,7 @@ func newEnv(t *testing.T, cfg Config, size int) (*List, *pageheap.PageHeap, size
 func TestAllocBatchGrows(t *testing.T) {
 	l, ph, c := newEnv(t, DefaultConfig(), 16)
 	out := make([]uint64, 100)
-	if n := l.AllocBatch(out); n != 100 {
+	if n, _ := l.AllocBatch(out); n != 100 {
 		t.Fatalf("AllocBatch = %d", n)
 	}
 	seen := map[uint64]bool{}

@@ -1,0 +1,74 @@
+// Package check is the heap-integrity sanitizer for the allocator
+// simulation: a shadow heap that independently records every allocation
+// and verifies every free (the GWP-ASan-style layer Google runs in the
+// fleet this paper characterizes), plus the shared violation vocabulary
+// used by the per-tier structural invariant auditors (CheckInvariants
+// hooks in percpu, transfercache, centralfreelist, pageheap, and mem).
+//
+// The sanitizer never panics: it reports. Each detected inconsistency
+// becomes a Violation; callers decide whether to abort (tests, the
+// corruption self-test) or to surface the violations in run statistics
+// (fleet chaos experiments).
+package check
+
+import "fmt"
+
+// Kind classifies a violation.
+type Kind string
+
+// Violation kinds. The first four are shadow-heap (object-granularity)
+// findings; the rest come from the structural auditors.
+const (
+	// KindDoubleFree is a free of an object already freed.
+	KindDoubleFree Kind = "double-free"
+	// KindUnknownFree is a free of an address never allocated.
+	KindUnknownFree Kind = "unknown-free"
+	// KindSizeMismatch is a free whose size disagrees with the
+	// allocation, or an object whose recorded size class disagrees with
+	// its span.
+	KindSizeMismatch Kind = "size-mismatch"
+	// KindOverlap is an allocation overlapping a live one.
+	KindOverlap Kind = "overlapping-alloc"
+	// KindAccounting is a counter that disagrees with ground truth
+	// recomputed from the underlying structures (span-accounting drift,
+	// byte-conservation failures).
+	KindAccounting Kind = "accounting-drift"
+	// KindStructure is a malformed data structure (occupancy list holding
+	// a span of the wrong fullness, cache above its byte bound,
+	// un-coalesced or overlapping cached ranges).
+	KindStructure Kind = "structural"
+	// KindConservation is a cross-tier byte-conservation failure (tier
+	// totals not summing to OS-mapped bytes).
+	KindConservation Kind = "conservation"
+)
+
+// Violation is one detected integrity failure.
+type Violation struct {
+	// Tier names the component that failed ("shadow", "percpu",
+	// "transfercache", "centralfreelist", "pageheap", "mem", "core").
+	Tier string
+	// Kind classifies the failure.
+	Kind Kind
+	// Detail is a human-readable description with the offending values.
+	Detail string
+}
+
+// String renders the violation for reports and logs.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s/%s] %s", v.Tier, v.Kind, v.Detail)
+}
+
+// Violationf builds a violation with a formatted detail string.
+func Violationf(tier string, kind Kind, format string, args ...interface{}) Violation {
+	return Violation{Tier: tier, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CountByKind tallies violations per kind; used by the corruption
+// self-test to assert every injected violation class was detected.
+func CountByKind(vs []Violation) map[Kind]int {
+	out := make(map[Kind]int)
+	for _, v := range vs {
+		out[v.Kind]++
+	}
+	return out
+}

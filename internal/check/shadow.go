@@ -1,0 +1,184 @@
+package check
+
+// Mode selects shadow-heap coverage.
+type Mode int
+
+const (
+	// ModeOff disables the shadow heap.
+	ModeOff Mode = iota
+	// ModeSampled tracks one in every SampleEvery allocations, the
+	// production GWP-ASan-style deployment: cheap, catches corruption
+	// probabilistically, and never reports an untracked free.
+	ModeSampled
+	// ModeFull tracks every allocation and verifies every free; used by
+	// tests, fuzzing, and the corruption self-test.
+	ModeFull
+)
+
+// Config controls the shadow heap.
+type Config struct {
+	// Mode selects off / sampled / full coverage.
+	Mode Mode
+	// SampleEvery is the sampling period in ModeSampled (default 64).
+	SampleEvery int64
+	// MaxViolations caps stored violations so a corrupted run cannot
+	// balloon memory; further violations are counted but not stored
+	// (default 64).
+	MaxViolations int
+}
+
+// DefaultConfig returns full-coverage checking, the right default for
+// tests and self-checks; production-shaped runs should use ModeSampled.
+func DefaultConfig() Config {
+	return Config{Mode: ModeFull, SampleEvery: 64, MaxViolations: 64}
+}
+
+// record is the shadow heap's note about one live allocation.
+type record struct {
+	size  int
+	class int
+}
+
+// ShadowHeap independently mirrors the allocator's view of the heap. It
+// shares no state with the allocator: addresses are recorded when malloc
+// returns them and verified when free receives them, so any disagreement
+// is real corruption in one of the two bookkeeping systems.
+type ShadowHeap struct {
+	cfg Config
+
+	live  *treap
+	freed map[uint64]record // tombstones: freed and not yet reallocated
+
+	sampleCountdown int64
+
+	tracked    int64 // allocations recorded
+	checked    int64 // frees verified
+	violations []Violation
+	vioCount   int64
+}
+
+// NewShadowHeap builds a shadow heap; returns nil when cfg.Mode is
+// ModeOff so callers can simply nil-check.
+func NewShadowHeap(cfg Config) *ShadowHeap {
+	if cfg.Mode == ModeOff {
+		return nil
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 64
+	}
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 64
+	}
+	return &ShadowHeap{cfg: cfg, live: &treap{}, freed: make(map[uint64]record)}
+}
+
+// Full reports whether every allocation is tracked (ModeFull), i.e.
+// whether an untracked free is itself a violation.
+func (s *ShadowHeap) Full() bool { return s.cfg.Mode == ModeFull }
+
+func (s *ShadowHeap) report(v Violation) *Violation {
+	s.vioCount++
+	if len(s.violations) < s.cfg.MaxViolations {
+		s.violations = append(s.violations, v)
+	}
+	return &v
+}
+
+// RecordAlloc notes a new allocation of size bytes (size class `class`,
+// or a negative class for large allocations) at addr. It returns a
+// violation when the address overlaps an allocation the shadow heap
+// believes is still live.
+func (s *ShadowHeap) RecordAlloc(addr uint64, size, class int) *Violation {
+	if s.cfg.Mode == ModeSampled {
+		s.sampleCountdown--
+		if s.sampleCountdown > 0 {
+			return nil
+		}
+		s.sampleCountdown = s.cfg.SampleEvery
+	}
+	s.tracked++
+	delete(s.freed, addr)
+
+	// Overlap detection against tracked live allocations: the nearest
+	// recorded allocation at or below addr must end before addr, and the
+	// nearest one above must start at or after addr+size.
+	if pk, pr, ok := s.live.floor(addr); ok {
+		if pk == addr {
+			v := s.report(Violationf("shadow", KindOverlap,
+				"allocator returned address %#x which is already live (%d bytes, class %d)",
+				addr, pr.size, pr.class))
+			// Re-record with the new identity so later frees validate
+			// against the latest allocation.
+			s.live.insert(addr, record{size: size, class: class})
+			return v
+		}
+		if pk+uint64(pr.size) > addr {
+			s.live.insert(addr, record{size: size, class: class})
+			return s.report(Violationf("shadow", KindOverlap,
+				"allocation [%#x,+%d) overlaps live allocation [%#x,+%d)",
+				addr, size, pk, pr.size))
+		}
+	}
+	if nk, nr, ok := s.live.ceiling(addr + 1); ok && addr+uint64(size) > nk {
+		s.live.insert(addr, record{size: size, class: class})
+		return s.report(Violationf("shadow", KindOverlap,
+			"allocation [%#x,+%d) overlaps live allocation [%#x,+%d)",
+			addr, size, nk, nr.size))
+	}
+	s.live.insert(addr, record{size: size, class: class})
+	return nil
+}
+
+// CheckFree verifies a free of size bytes at addr, where spanClass is the
+// size class the allocator's own metadata (the pagemap span) attributes
+// to the address. tracked reports whether the shadow heap had recorded
+// the allocation; when false (possible only in sampled mode) no
+// verification happened and v is nil. On success the record is retired to
+// a tombstone so a second free of the same address is classified as a
+// double free rather than an unknown pointer.
+func (s *ShadowHeap) CheckFree(addr uint64, size, spanClass int) (v *Violation, tracked bool) {
+	rec, ok := s.live.lookup(addr)
+	if !ok {
+		if s.cfg.Mode != ModeFull {
+			return nil, false
+		}
+		s.checked++
+		if _, wasFreed := s.freed[addr]; wasFreed {
+			return s.report(Violationf("shadow", KindDoubleFree,
+				"double free of object %#x (%d bytes)", addr, size)), true
+		}
+		return s.report(Violationf("shadow", KindUnknownFree,
+			"free of unknown address %#x (%d bytes)", addr, size)), true
+	}
+	s.checked++
+	s.live.remove(addr)
+	s.freed[addr] = rec
+	if rec.size != size {
+		return s.report(Violationf("shadow", KindSizeMismatch,
+			"free of %#x with size %d, allocated %d", addr, size, rec.size)), true
+	}
+	if rec.class != spanClass {
+		return s.report(Violationf("shadow", KindSizeMismatch,
+			"object %#x allocated in class %d but its span says class %d",
+			addr, rec.class, spanClass)), true
+	}
+	return nil, true
+}
+
+// LiveTracked returns how many tracked allocations are currently live —
+// in ModeFull this must equal the allocator's own live-object count, a
+// cross-check the core auditor performs.
+func (s *ShadowHeap) LiveTracked() int64 { return int64(s.live.size) }
+
+// Tracked returns the number of allocations ever recorded.
+func (s *ShadowHeap) Tracked() int64 { return s.tracked }
+
+// CheckedFrees returns the number of frees verified.
+func (s *ShadowHeap) CheckedFrees() int64 { return s.checked }
+
+// ViolationCount returns the total violations detected (including ones
+// dropped past MaxViolations).
+func (s *ShadowHeap) ViolationCount() int64 { return s.vioCount }
+
+// Violations returns the stored violations (capped at MaxViolations).
+func (s *ShadowHeap) Violations() []Violation { return s.violations }

@@ -1,0 +1,163 @@
+package check
+
+// treap is an ordered map from address to allocation record, used by the
+// shadow heap for O(log n) insert/remove plus the floor/ceiling queries
+// that overlap detection needs. Priorities are a hash of the key, so the
+// structure is deterministic for a given key set regardless of insertion
+// order — a requirement for reproducible simulations.
+type treap struct {
+	root *tnode
+	size int
+}
+
+type tnode struct {
+	key         uint64
+	rec         record
+	prio        uint64
+	left, right *tnode
+}
+
+// prioOf derives a node priority from its key (splitmix64 finalizer).
+func prioOf(key uint64) uint64 {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (t *treap) lookup(key uint64) (record, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.rec, true
+		}
+	}
+	return record{}, false
+}
+
+// floor returns the largest key <= key.
+func (t *treap) floor(key uint64) (uint64, record, bool) {
+	var best *tnode
+	n := t.root
+	for n != nil {
+		if n.key == key {
+			return n.key, n.rec, true
+		}
+		if n.key < key {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best == nil {
+		return 0, record{}, false
+	}
+	return best.key, best.rec, true
+}
+
+// ceiling returns the smallest key >= key.
+func (t *treap) ceiling(key uint64) (uint64, record, bool) {
+	var best *tnode
+	n := t.root
+	for n != nil {
+		if n.key == key {
+			return n.key, n.rec, true
+		}
+		if n.key > key {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil {
+		return 0, record{}, false
+	}
+	return best.key, best.rec, true
+}
+
+func (t *treap) insert(key uint64, rec record) {
+	inserted := false
+	t.root = treapInsert(t.root, key, rec, &inserted)
+	if inserted {
+		t.size++
+	}
+}
+
+func treapInsert(n *tnode, key uint64, rec record, inserted *bool) *tnode {
+	if n == nil {
+		*inserted = true
+		return &tnode{key: key, rec: rec, prio: prioOf(key)}
+	}
+	switch {
+	case key < n.key:
+		n.left = treapInsert(n.left, key, rec, inserted)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		}
+	case key > n.key:
+		n.right = treapInsert(n.right, key, rec, inserted)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	default:
+		n.rec = rec
+	}
+	return n
+}
+
+func (t *treap) remove(key uint64) {
+	removed := false
+	t.root = treapRemove(t.root, key, &removed)
+	if removed {
+		t.size--
+	}
+}
+
+func treapRemove(n *tnode, key uint64, removed *bool) *tnode {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case key < n.key:
+		n.left = treapRemove(n.left, key, removed)
+	case key > n.key:
+		n.right = treapRemove(n.right, key, removed)
+	default:
+		*removed = true
+		// Rotate the node down until it is a leaf, then drop it.
+		switch {
+		case n.left == nil:
+			return n.right
+		case n.right == nil:
+			return n.left
+		case n.left.prio > n.right.prio:
+			n = rotateRight(n)
+			n.right = treapRemove(n.right, key, removed)
+		default:
+			n = rotateLeft(n)
+			n.left = treapRemove(n.left, key, removed)
+		}
+	}
+	return n
+}
+
+func rotateRight(n *tnode) *tnode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft(n *tnode) *tnode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
+}

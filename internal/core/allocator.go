@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"wsmalloc/internal/centralfreelist"
+	"wsmalloc/internal/check"
 	"wsmalloc/internal/mem"
 	"wsmalloc/internal/pageheap"
 	"wsmalloc/internal/percpu"
@@ -12,6 +14,17 @@ import (
 	"wsmalloc/internal/topology"
 	"wsmalloc/internal/transfercache"
 )
+
+// ErrNoMemory is returned by TryMalloc when an allocation cannot be
+// satisfied even after draining caches and releasing free memory. It
+// aliases the simulated OS's sentinel so errors.Is works across layers.
+var ErrNoMemory = mem.ErrNoMemory
+
+// ErrBadFree is returned by TryFree for an invalid free: an unknown
+// pointer, a double free caught by the shadow heap, or a size that does
+// not fit the owning span's class. The allocator's state is left
+// unmodified by a rejected free.
+var ErrBadFree = errors.New("core: invalid free")
 
 // SampleFunc observes sampled allocations (one per SampleIntervalBytes),
 // mirroring TCMalloc's production heap sampling that feeds Google-Wide
@@ -32,6 +45,7 @@ type Allocator struct {
 	cfls     []*centralfreelist.List
 	transfer *transfercache.TransferCaches
 	front    *percpu.Caches
+	shadow   *check.ShadowHeap
 
 	now int64
 
@@ -62,8 +76,12 @@ type telemetry struct {
 	liveRounded       int64
 	peakLiveRequested int64
 	largeLiveBytes    int64
+	largeLiveRounded  int64
 	cumAllocatedBytes int64
 	cumAllocatedObjs  int64
+
+	oomErrors  int64
+	freeErrors int64
 }
 
 // New builds an allocator on the given machine topology.
@@ -94,6 +112,8 @@ func New(cfg Config, topo *topology.Topology) *Allocator {
 		func(vcpu int) int { return a.vmap.DomainOfVCPU(vcpu) },
 		frontBacking{a})
 	a.bytesUntilSample = cfg.SampleIntervalBytes
+	a.os.SetFaultPlan(cfg.Faults)
+	a.shadow = check.NewShadowHeap(cfg.Check)
 	return a
 }
 
@@ -102,11 +122,11 @@ func New(cfg Config, topo *topology.Topology) *Allocator {
 // request reaches those tiers).
 type cflBacking struct{ a *Allocator }
 
-func (b cflBacking) AllocBatch(class int, out []uint64) int {
+func (b cflBacking) AllocBatch(class int, out []uint64) (int, error) {
 	a := b.a
 	heapAllocs := a.heap.Stats().Allocs
 	mmaps := a.os.MmapCalls()
-	n := a.cfls[class].AllocBatch(out)
+	n, err := a.cfls[class].AllocBatch(out)
 	a.t.timeCFL += a.cfg.Latency.CentralFreeList
 	if d := a.heap.Stats().Allocs - heapAllocs; d > 0 {
 		a.t.timePageHeap += a.cfg.Latency.PageHeap * float64(d)
@@ -114,7 +134,7 @@ func (b cflBacking) AllocBatch(class int, out []uint64) int {
 	if d := a.os.MmapCalls() - mmaps; d > 0 {
 		a.t.timeMmap += a.cfg.Latency.Mmap * float64(d)
 	}
-	return n
+	return n, err
 }
 
 func (b cflBacking) FreeBatch(class int, objs []uint64) {
@@ -127,9 +147,10 @@ func (b cflBacking) FreeBatch(class int, objs []uint64) {
 // Backing interface, charging transfer-cache time.
 type frontBacking struct{ a *Allocator }
 
-func (b frontBacking) Alloc(class, domain int, out []uint64) {
-	b.a.transfer.Alloc(class, domain, out)
+func (b frontBacking) Alloc(class, domain int, out []uint64) (int, error) {
+	n, err := b.a.transfer.Alloc(class, domain, out)
 	b.a.t.timeTransfer += b.a.cfg.Latency.Transfer
+	return n, err
 }
 
 func (b frontBacking) Free(class, domain int, objs []uint64) {
@@ -150,8 +171,22 @@ func (a *Allocator) Table() *sizeclass.Table { return a.table }
 func (a *Allocator) Topology() *topology.Topology { return a.topo }
 
 // Malloc allocates size bytes from a thread running on physical CPU cpu,
-// returning the object address and the modeled cost in nanoseconds.
+// returning the object address and the modeled cost in nanoseconds. It
+// panics if the simulated OS cannot supply memory; callers that want
+// allocation failure as a value (fault-injection runs) use TryMalloc.
 func (a *Allocator) Malloc(size, cpu int) (uint64, float64) {
+	addr, cost, err := a.TryMalloc(size, cpu)
+	if err != nil {
+		panic(fmt.Sprintf("core: Malloc(%d) failed: %v", size, err))
+	}
+	return addr, cost
+}
+
+// TryMalloc is Malloc with allocation failure as a first-class outcome:
+// it returns an error satisfying errors.Is(err, ErrNoMemory) when the OS
+// cannot supply memory even after the allocator drains its caches and
+// the pageheap releases everything it can spare.
+func (a *Allocator) TryMalloc(size, cpu int) (uint64, float64, error) {
 	return a.malloc(size, cpu, pageheap.LifetimeLong)
 }
 
@@ -162,6 +197,15 @@ func (a *Allocator) Malloc(size, cpu int) (uint64, float64) {
 // set even though their size alone would classify them long-lived. Small
 // allocations are unaffected (their spans are classified by capacity).
 func (a *Allocator) MallocHinted(size, cpu int, shortLived bool) (uint64, float64) {
+	addr, cost, err := a.TryMallocHinted(size, cpu, shortLived)
+	if err != nil {
+		panic(fmt.Sprintf("core: MallocHinted(%d) failed: %v", size, err))
+	}
+	return addr, cost
+}
+
+// TryMallocHinted is MallocHinted with allocation failure as an error.
+func (a *Allocator) TryMallocHinted(size, cpu int, shortLived bool) (uint64, float64, error) {
 	lt := pageheap.LifetimeLong
 	if shortLived {
 		lt = pageheap.LifetimeShort
@@ -169,8 +213,7 @@ func (a *Allocator) MallocHinted(size, cpu int, shortLived bool) (uint64, float6
 	return a.malloc(size, cpu, lt)
 }
 
-func (a *Allocator) malloc(size, cpu int, largeLT pageheap.Lifetime) (uint64, float64) {
-	a.t.mallocs++
+func (a *Allocator) malloc(size, cpu int, largeLT pageheap.Lifetime) (uint64, float64, error) {
 	lat := &a.cfg.Latency
 	cost := lat.Other
 	a.t.timeOther += lat.Other
@@ -180,7 +223,20 @@ func (a *Allocator) malloc(size, cpu int, largeLT pageheap.Lifetime) (uint64, fl
 	if small {
 		vcpu := a.vmap.Assign(cpu)
 		start := a.timeSnapshot()
-		got, hit := a.front.Alloc(vcpu, class.Index)
+		got, hit, err := a.front.Alloc(vcpu, class.Index)
+		if err != nil {
+			// The OS refused new mappings and the caches are empty for
+			// this class. Flush every cached object back toward the
+			// central free lists — a partially-used span there can
+			// satisfy the refill without any new mapping — and retry.
+			a.DrainCaches()
+			got, hit, err = a.front.Alloc(vcpu, class.Index)
+			if err != nil {
+				a.t.oomErrors++
+				return 0, cost, fmt.Errorf("core: malloc of %d bytes (class %d): %w",
+					size, class.Index, err)
+			}
+		}
 		addr = got
 		a.t.timeCPUCache += lat.CPUCache
 		cost += lat.CPUCache
@@ -196,7 +252,12 @@ func (a *Allocator) malloc(size, cpu int, largeLT pageheap.Lifetime) (uint64, fl
 	} else {
 		pages := (size + mem.PageSize - 1) / mem.PageSize
 		mmaps := a.os.MmapCalls()
-		start := a.heap.Alloc(pages, largeLT)
+		start, err := a.heap.Alloc(pages, largeLT)
+		if err != nil {
+			a.t.oomErrors++
+			return 0, cost, fmt.Errorf("core: malloc of %d bytes (%d pages): %w",
+				size, pages, err)
+		}
 		s := span.New(start, pages, span.LargeClass, pages*mem.PageSize, 1)
 		s.BornAt = a.now
 		got, ok := s.Allocate()
@@ -212,8 +273,18 @@ func (a *Allocator) malloc(size, cpu int, largeLT pageheap.Lifetime) (uint64, fl
 			cost += lat.Mmap * float64(d)
 		}
 		a.t.liveRounded += int64(pages) * mem.PageSize
+		a.t.largeLiveRounded += int64(pages) * mem.PageSize
 	}
 
+	if a.shadow != nil {
+		classIdx := span.LargeClass
+		if small {
+			classIdx = class.Index
+		}
+		a.shadow.RecordAlloc(addr, size, classIdx)
+	}
+
+	a.t.mallocs++
 	a.t.liveObjects++
 	a.t.liveRequested += int64(size)
 	if a.t.liveRequested > a.t.peakLiveRequested {
@@ -237,24 +308,57 @@ func (a *Allocator) malloc(size, cpu int, largeLT pageheap.Lifetime) (uint64, fl
 			}
 		}
 	}
-	return addr, cost
+	return addr, cost, nil
 }
 
 // Free releases an object allocated with Malloc. size must be the
 // original requested size (the caller always knows it; real malloc
 // derives it from the span, which is exactly what the class check below
 // validates). cpu is the physical CPU of the freeing thread.
+//
+// Free panics on an invalid free (unknown pointer, double free caught by
+// the shadow heap, size exceeding the owning class) — the behaviour
+// TestFreeUnknownAddressPanics and TestDoubleFreePanics pin down.
+// Library code that must survive hostile input uses TryFree.
 func (a *Allocator) Free(addr uint64, size, cpu int) float64 {
-	a.t.frees++
+	cost, err := a.TryFree(addr, size, cpu)
+	if err != nil {
+		panic(err.Error())
+	}
+	return cost
+}
+
+// TryFree is Free with invalid frees as first-class errors satisfying
+// errors.Is(err, ErrBadFree). A rejected free leaves every allocator
+// tier unmodified, which is the point: with the shadow heap enabled, a
+// double free is stopped before it can corrupt a cache or span. (The
+// shadow's record of the address is consumed by the rejected free, so a
+// later free of the same address reports double-free.)
+func (a *Allocator) TryFree(addr uint64, size, cpu int) (float64, error) {
 	lat := &a.cfg.Latency
-	cost := lat.Other
-	a.t.timeOther += lat.Other
 
 	p := mem.PageID(addr >> mem.PageShift)
 	s, ok := a.pagemap.Get(p)
 	if !ok {
-		panic(fmt.Sprintf("core: free of unknown address %#x", addr))
+		kind := check.KindUnknownFree
+		if a.shadow != nil {
+			if v, tracked := a.shadow.CheckFree(addr, size, span.LargeClass); v != nil && tracked {
+				kind = v.Kind
+			}
+		}
+		a.t.freeErrors++
+		return 0, fmt.Errorf("core: free of unknown address %#x (%s): %w", addr, kind, ErrBadFree)
 	}
+	if a.shadow != nil {
+		if v, tracked := a.shadow.CheckFree(addr, size, s.ClassIndex); v != nil && tracked {
+			a.t.freeErrors++
+			return 0, fmt.Errorf("core: free of %#x rejected (%s): %w", addr, v.Kind, ErrBadFree)
+		}
+	}
+
+	cost := lat.Other
+	a.t.timeOther += lat.Other
+	a.t.frees++
 	if s.ClassIndex == span.LargeClass {
 		s.FreeAddr(addr)
 		a.pagemap.ClearRange(s.Start, s.Pages)
@@ -262,11 +366,15 @@ func (a *Allocator) Free(addr uint64, size, cpu int) float64 {
 		a.t.timePageHeap += lat.PageHeap
 		cost += lat.PageHeap
 		a.t.liveRounded -= s.Bytes()
+		a.t.largeLiveRounded -= s.Bytes()
 		a.t.largeLiveBytes -= int64(size)
 	} else {
 		class := a.table.Class(s.ClassIndex)
 		if size > class.Size {
-			panic(fmt.Sprintf("core: free size %d exceeds class size %d", size, class.Size))
+			a.t.frees--
+			a.t.freeErrors++
+			return 0, fmt.Errorf("core: free size %d exceeds class size %d at %#x: %w",
+				size, class.Size, addr, ErrBadFree)
 		}
 		vcpu := a.vmap.Assign(cpu)
 		start := a.timeSnapshot()
@@ -280,7 +388,7 @@ func (a *Allocator) Free(addr uint64, size, cpu int) float64 {
 	}
 	a.t.liveObjects--
 	a.t.liveRequested -= int64(size)
-	return cost
+	return cost, nil
 }
 
 // timeSnapshot sums the tier-time accumulators touched by slow paths;

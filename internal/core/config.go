@@ -9,6 +9,8 @@ package core
 
 import (
 	"wsmalloc/internal/centralfreelist"
+	"wsmalloc/internal/check"
+	"wsmalloc/internal/mem"
 	"wsmalloc/internal/pageheap"
 	"wsmalloc/internal/percpu"
 	"wsmalloc/internal/transfercache"
@@ -82,6 +84,18 @@ type Config struct {
 	ReleaseIntervalNs       int64
 	ReleaseBytesPerInterval int64
 	ReleaseSlackFraction    float64
+
+	// Check configures the heap-integrity sanitizer: a shadow heap that
+	// independently records every allocation and verifies every free
+	// (double-free, unknown-pointer, size/class mismatch, overlap). The
+	// zero value disables it; check.DefaultConfig() enables full
+	// coverage. Violations never panic — they are reported through
+	// Stats and CheckInvariants.
+	Check check.Config
+	// Faults installs a deterministic fault plan in the simulated OS
+	// (seeded mmap failures, mapped-byte budget). The zero value injects
+	// nothing.
+	Faults mem.FaultPlan
 }
 
 // BaselineConfig returns the pre-redesign TCMalloc: static 3 MiB per-CPU

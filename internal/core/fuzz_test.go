@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"wsmalloc/internal/check"
+	"wsmalloc/internal/topology"
+)
+
+// FuzzAllocFree drives the full allocator with an arbitrary operation
+// tape under the full-coverage shadow heap and asserts that every valid
+// sequence leaves the allocator consistent: the sanitizer records no
+// violations, every structural and conservation audit passes, and
+// invalid frees are rejected without corrupting subsequent operations.
+func FuzzAllocFree(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0x80, 0x10, 0x80, 0x20, 0x00, 0x00, 0xff, 0xfe, 0x40})
+	f.Add([]byte("alloc-free-alloc-free"))
+
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) > 4096 {
+			t.Skip()
+		}
+		cfg := OptimizedConfig()
+		cfg.Check = check.DefaultConfig()
+		a := New(cfg, topology.New(topology.Default()))
+
+		type obj struct {
+			addr uint64
+			size int
+		}
+		var live []obj
+		now := int64(0)
+
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], int(tape[i+1])
+			switch op % 8 {
+			case 0, 1, 2: // small alloc, size spread across classes
+				size := 1 + arg*97%8192
+				addr, _, err := a.TryMalloc(size, arg%4)
+				if err != nil {
+					t.Fatalf("op %d: TryMalloc(%d) failed without fault injection: %v", i, size, err)
+				}
+				live = append(live, obj{addr, size})
+			case 3: // large alloc
+				size := (1 + arg%8) << 18
+				addr, _, err := a.TryMalloc(size, arg%4)
+				if err != nil {
+					t.Fatalf("op %d: large TryMalloc(%d) failed: %v", i, size, err)
+				}
+				live = append(live, obj{addr, size})
+			case 4, 5: // free a live object, any CPU
+				if len(live) == 0 {
+					continue
+				}
+				j := arg % len(live)
+				o := live[j]
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if _, err := a.TryFree(o.addr, o.size, arg%4); err != nil {
+					t.Fatalf("op %d: valid TryFree(%#x, %d) rejected: %v", i, o.addr, o.size, err)
+				}
+			case 6: // invalid free: must be rejected, must not corrupt
+				if _, err := a.TryFree(1<<45+uint64(arg)<<13, 8, 0); err == nil {
+					t.Fatalf("op %d: foreign free accepted", i)
+				}
+			case 7: // background work
+				now += 1e6
+				a.Tick(now)
+			}
+		}
+
+		// The tape above contains deliberate invalid frees (case 6); the
+		// shadow heap records them. Everything else must be clean:
+		// structural audits, conservation, and live-object agreement.
+		vs := a.CheckInvariants()
+		byKind := check.CountByKind(vs)
+		for kind, n := range byKind {
+			if kind != check.KindUnknownFree {
+				t.Fatalf("audit reported %d %s violations: %v", n, kind, vs)
+			}
+		}
+		st := a.Stats()
+		if st.LiveObjects != int64(len(live)) {
+			t.Fatalf("allocator counts %d live objects, model has %d", st.LiveObjects, len(live))
+		}
+
+		// Drain the model; the heap must return to empty.
+		for _, o := range live {
+			if _, err := a.TryFree(o.addr, o.size, 0); err != nil {
+				t.Fatalf("teardown TryFree(%#x, %d): %v", o.addr, o.size, err)
+			}
+		}
+		if st := a.Stats(); st.LiveObjects != 0 || st.LiveRequestedBytes != 0 {
+			t.Fatalf("heap not empty after teardown: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"wsmalloc/internal/check"
+	"wsmalloc/internal/mem"
+	"wsmalloc/internal/sizeclass"
+)
+
+func newCheckedAlloc() *Allocator {
+	cfg := OptimizedConfig()
+	cfg.Check = check.DefaultConfig()
+	return newAlloc(cfg)
+}
+
+// TestCorruptionSelfTest is the sanitizer self-test: it injects one
+// instance of each violation class and asserts the shadow heap or the
+// structural auditors detect every one of them. This is the in-repo
+// counterpart of the "selftest" experiment runner.
+func TestCorruptionSelfTest(t *testing.T) {
+	a := newCheckedAlloc()
+	type obj struct {
+		addr uint64
+		size int
+	}
+	var live []obj
+	for i := 0; i < 2048; i++ {
+		size := 16 << (uint(i) % 5)
+		addr, _, err := a.TryMalloc(size, i%4)
+		if err != nil {
+			t.Fatalf("warmup alloc: %v", err)
+		}
+		live = append(live, obj{addr, size})
+	}
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("pre-corruption audit not clean: %v", vs)
+	}
+
+	count := func(kind check.Kind) int {
+		return check.CountByKind(a.CheckInvariants())[kind]
+	}
+
+	// Class 1: double free.
+	o := live[0]
+	if _, err := a.TryFree(o.addr, o.size, 0); err != nil {
+		t.Fatalf("setup free: %v", err)
+	}
+	if _, err := a.TryFree(o.addr, o.size, 0); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free returned %v, want ErrBadFree", err)
+	}
+	if count(check.KindDoubleFree) == 0 {
+		t.Fatal("double free not recorded by the shadow heap")
+	}
+
+	// Class 2: free of a pointer never allocated.
+	if _, err := a.TryFree(1<<46, 64, 0); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("foreign free returned %v, want ErrBadFree", err)
+	}
+	if count(check.KindUnknownFree) == 0 {
+		t.Fatal("unknown free not recorded by the shadow heap")
+	}
+
+	// Class 3: span-accounting drift in a central free list.
+	tab := sizeclass.NewTable()
+	c16, _ := tab.ClassFor(16)
+	before := count(check.KindAccounting)
+	a.CorruptSpanAccountingForTest(c16.Index, 3)
+	if count(check.KindAccounting) <= before {
+		t.Fatal("span-accounting drift not detected")
+	}
+	a.CorruptSpanAccountingForTest(c16.Index, -3) // restore
+
+	// Class 4: transfer cache stuffed past its byte bound.
+	before = count(check.KindStructure)
+	addrs := make([]uint64, 1100)
+	for i := range addrs {
+		addrs[i] = uint64(1<<45) + uint64(i*16)
+	}
+	a.OverstuffTransferForTest(c16.Index, addrs)
+	if count(check.KindStructure) <= before {
+		t.Fatal("cache byte-bound overflow not detected")
+	}
+}
+
+// TestTryFreeDoubleFreeFromCache pins the shadow heap's object-level
+// detection: a double free is caught immediately, even while the object
+// still sits in a per-CPU cache where the span layer cannot see it.
+func TestTryFreeDoubleFreeFromCache(t *testing.T) {
+	a := newCheckedAlloc()
+	addr, _, _ := a.TryMalloc(64, 0)
+	if _, err := a.TryFree(addr, 64, 0); err != nil {
+		t.Fatalf("first free: %v", err)
+	}
+	// No DrainCaches here: without the shadow heap this free would reach
+	// the front-end and corrupt it (compare TestDoubleFreePanics, which
+	// needs a drain for the span layer to notice).
+	if _, err := a.TryFree(addr, 64, 0); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free returned %v, want ErrBadFree", err)
+	}
+	st := a.Stats()
+	if st.FreeErrors != 1 {
+		t.Fatalf("FreeErrors = %d, want 1", st.FreeErrors)
+	}
+	if st.ShadowViolations == 0 {
+		t.Fatal("shadow heap recorded nothing")
+	}
+	// The allocator must remain usable after the rejected free.
+	addr2, _, err := a.TryMalloc(64, 0)
+	if err != nil {
+		t.Fatalf("alloc after rejected free: %v", err)
+	}
+	if _, err := a.TryFree(addr2, 64, 0); err != nil {
+		t.Fatalf("free after rejected free: %v", err)
+	}
+}
+
+// TestTryFreeOversized pins the size check: freeing with a size larger
+// than the owning class is rejected as an error, not a panic.
+func TestTryFreeOversized(t *testing.T) {
+	a := newAlloc(BaselineConfig())
+	addr, _, _ := a.TryMalloc(16, 0)
+	if _, err := a.TryFree(addr, 4096, 0); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("oversized free returned %v, want ErrBadFree", err)
+	}
+}
+
+// TestTryMallocOOMUnderBudget pins allocation failure as a first-class
+// error path: with a committed-byte budget the allocator returns
+// ErrNoMemory instead of panicking, counts the failure, and recovers as
+// soon as memory is freed.
+func TestTryMallocOOMUnderBudget(t *testing.T) {
+	cfg := BaselineConfig()
+	cfg.Faults = mem.FaultPlan{MappedBytesBudget: 8 << 21} // 8 hugepages
+	a := newAlloc(cfg)
+
+	var held []uint64
+	const size = sizeclass.MaxSmallSize // large enough to consume pages fast
+	for {
+		addr, _, err := a.TryMalloc(size, 0)
+		if err != nil {
+			if !errors.Is(err, ErrNoMemory) {
+				t.Fatalf("allocation failed with %v, want ErrNoMemory", err)
+			}
+			break
+		}
+		held = append(held, addr)
+		if len(held) > 1000 {
+			t.Fatal("budget never enforced")
+		}
+	}
+	st := a.Stats()
+	if st.OOMErrors == 0 {
+		t.Fatal("OOMErrors not counted")
+	}
+	if st.Faults.BudgetFailures == 0 {
+		t.Fatal("budget failures not counted at the OS layer")
+	}
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("allocator inconsistent after OOM: %v", vs)
+	}
+
+	// Freeing memory must make allocation succeed again: the budget is
+	// returned on whole-hugepage release, which the pressure path forces.
+	for _, addr := range held {
+		if _, err := a.TryFree(addr, size, 0); err != nil {
+			t.Fatalf("free under pressure: %v", err)
+		}
+	}
+	if _, _, err := a.TryMalloc(size, 0); err != nil {
+		t.Fatalf("allocation still failing after frees: %v", err)
+	}
+}
+
+// TestMallocPanicsOnOOM pins the legacy wrapper contract: Malloc panics
+// where TryMalloc errors, mirroring Free vs TryFree.
+func TestMallocPanicsOnOOM(t *testing.T) {
+	cfg := BaselineConfig()
+	cfg.Faults = mem.FaultPlan{MmapFailureRate: 1.0} // every mapping fails
+	a := newAlloc(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Malloc(64, 0) // cold start must map, and every map fails
+}
+
+// TestPressureReleaseRecoversFromTransientFaults asserts graceful
+// degradation under a random mmap failure rate: with frees in the mix
+// the allocator keeps making progress, and its books stay balanced.
+func TestPressureReleaseRecoversFromTransientFaults(t *testing.T) {
+	cfg := BaselineConfig()
+	cfg.Faults = mem.FaultPlan{Seed: 7, MmapFailureRate: 0.3}
+	cfg.Check = check.DefaultConfig()
+	a := newAlloc(cfg)
+
+	var live []uint64
+	failures := 0
+	for i := 0; i < 5000; i++ {
+		addr, _, err := a.TryMalloc(8192, i%4)
+		if err != nil {
+			failures++
+			continue
+		}
+		live = append(live, addr)
+		if len(live) > 64 { // steady churn keeps the heap small
+			if _, err := a.TryFree(live[0], 8192, 0); err != nil {
+				t.Fatalf("churn free: %v", err)
+			}
+			live = live[1:]
+		}
+	}
+	st := a.Stats()
+	if st.Faults.InjectedFailures == 0 {
+		t.Fatal("no faults injected at 30% rate")
+	}
+	if st.Mallocs < 4000 {
+		t.Fatalf("only %d of 5000 allocations succeeded; caching should absorb most mmap faults", st.Mallocs)
+	}
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("audit after faulty run: %v", vs)
+	}
+}

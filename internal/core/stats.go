@@ -1,6 +1,7 @@
 package core
 
 import (
+	"wsmalloc/internal/mem"
 	"wsmalloc/internal/pageheap"
 	"wsmalloc/internal/percpu"
 	"wsmalloc/internal/span"
@@ -105,6 +106,18 @@ type Stats struct {
 	// HugepageCoverage is the fraction of in-use bytes on intact
 	// hugepages (Fig. 17a).
 	HugepageCoverage float64
+
+	// OOMErrors counts allocations that failed even after the cache
+	// drain and pageheap pressure-release retries; FreeErrors counts
+	// frees rejected as invalid (unknown pointer, shadow-detected
+	// double free, oversized free).
+	OOMErrors, FreeErrors int64
+	// ShadowViolations counts heap-integrity violations the shadow heap
+	// has detected (zero when the sanitizer is off).
+	ShadowViolations int64
+	// Faults reports the OS fault-injection counters (zero without a
+	// fault plan).
+	Faults mem.FaultStats
 }
 
 // ExternalFragBytes is allocator-cached but unallocated memory.
@@ -147,9 +160,15 @@ func (a *Allocator) Stats() Stats {
 			Sampled:         a.t.timeSampled,
 			Other:           a.t.timeOther,
 		},
-		FrontEnd: a.front.Stats(),
-		Transfer: a.transfer.Stats(),
-		Heap:     a.heap.Stats(),
+		FrontEnd:   a.front.Stats(),
+		Transfer:   a.transfer.Stats(),
+		Heap:       a.heap.Stats(),
+		OOMErrors:  a.t.oomErrors,
+		FreeErrors: a.t.freeErrors,
+		Faults:     a.os.FaultStats(),
+	}
+	if a.shadow != nil {
+		s.ShadowViolations = a.shadow.ViolationCount()
 	}
 	var cflFree int64
 	for _, l := range a.cfls {

@@ -12,8 +12,10 @@ import (
 	"sort"
 	"strings"
 
+	"wsmalloc/internal/check"
 	"wsmalloc/internal/core"
 	"wsmalloc/internal/fleet"
+	"wsmalloc/internal/mem"
 	"wsmalloc/internal/topology"
 	"wsmalloc/internal/workload"
 )
@@ -47,12 +49,19 @@ type Report struct {
 	PaperClaim string
 	// Lines are the measured rows.
 	Lines []string
+	// Failed marks a self-checking experiment (selftest, chaos) whose
+	// assertion tripped; cmd/experiments exits non-zero on it.
+	Failed bool
 }
 
 // String renders the report.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "== %s: %s\n", r.ID, r.Title)
+	status := ""
+	if r.Failed {
+		status = " [FAILED]"
+	}
+	fmt.Fprintf(&b, "== %s: %s%s\n", r.ID, r.Title, status)
 	fmt.Fprintf(&b, "   paper: %s\n", r.PaperClaim)
 	for _, l := range r.Lines {
 		fmt.Fprintf(&b, "   %s\n", l)
@@ -95,6 +104,8 @@ func Registry() []Runner {
 		{"ablation-l", "sweep of span-priority list count L", AblationL},
 		{"ablation-c", "sweep of lifetime capacity threshold C", AblationC},
 		{"ablation-capacity", "per-CPU cache capacity and resizing sweep", AblationCapacity},
+		{"selftest", "heap-integrity sanitizer corruption self-test", SelfTest},
+		{"chaos", "fleet A/B under deterministic fault injection", ChaosFleet},
 	}
 }
 
@@ -108,13 +119,26 @@ func ByName(name string) (Runner, bool) {
 	return Runner{}, false
 }
 
-// runProfile executes one profile on a fresh allocator/machine.
+// runProfile executes one profile on a fresh allocator/machine, applying
+// any Hardening instrumentation (sanitizer, fault injection) in force.
 func runProfile(p workload.Profile, cfg core.Config, seed uint64, duration int64) (workload.Result, *core.Allocator) {
 	topo := topology.New(topology.Default())
+	if hardening.Chaos {
+		cfg.Faults = mem.FaultPlan{Seed: seed ^ 0x5eed, MmapFailureRate: 0.005}
+	}
+	if hardening.Audit {
+		cfg.Check = check.DefaultConfig()
+	}
 	alloc := core.New(cfg, topo)
 	opts := workload.DefaultOptions(seed)
 	opts.Duration = duration
+	if hardening.Audit {
+		opts.AuditEveryNs = duration / 8
+	}
 	res := workload.Run(p, alloc, opts)
+	if len(res.Violations) > 0 {
+		auditTrips++
+	}
 	return res, alloc
 }
 

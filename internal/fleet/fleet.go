@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"wsmalloc/internal/core"
+	"wsmalloc/internal/mem"
 	"wsmalloc/internal/perfmodel"
 	"wsmalloc/internal/rng"
 	"wsmalloc/internal/stats"
@@ -212,12 +213,34 @@ func (r Row) String() string {
 		r.LLCBefore, r.LLCAfter, r.WalkBeforePct, r.WalkAfterPct, r.Machines)
 }
 
+// ChaosStats aggregates fault-injection outcomes across every enrolled
+// machine run (both arms). A chaos A/B is judged healthy when the fleet
+// absorbed injected failures — OOMErrors and AllocFailures may be non-zero
+// — while Violations stays zero and every run completes.
+type ChaosStats struct {
+	// InjectedFailures and BudgetFailures are the OS-level fault counts
+	// (random mmap failures and mapped-byte budget rejections).
+	InjectedFailures, BudgetFailures int64
+	// OOMErrors counts allocations that failed after all retries;
+	// AllocFailures is the driver-side view (ops dropped gracefully).
+	OOMErrors, AllocFailures int64
+	// PressureEvents and PressureReleasedBytes record the pageheap's
+	// emergency release-and-retry responses.
+	PressureEvents, PressureReleasedBytes int64
+	// Audits is the total number of invariant audits run; Violations is
+	// the total count of violations those audits reported.
+	Audits, Violations int64
+}
+
 // ABResult is a full experiment outcome.
 type ABResult struct {
 	// Fleet is the machine-weighted aggregate row.
 	Fleet Row
 	// PerApp holds one row per application, sorted by name.
 	PerApp []Row
+	// Chaos aggregates fault-injection and audit outcomes (zero unless
+	// ABOptions enabled chaos or auditing).
+	Chaos ChaosStats
 }
 
 // ABOptions tune an experiment.
@@ -235,6 +258,14 @@ type ABOptions struct {
 	TimeWarpGamma float64
 	// Params is the performance model calibration.
 	Params perfmodel.Params
+	// Chaos, when Enabled, installs a deterministic fault plan in every
+	// enrolled machine's simulated OS. The plan's Seed is mixed with each
+	// machine's own seed, so different machines fail at different —
+	// reproducible — points.
+	Chaos mem.FaultPlan
+	// AuditEveryNs, when positive, runs the allocator invariant auditor
+	// at this virtual-time cadence on every enrolled run.
+	AuditEveryNs int64
 }
 
 // DefaultABOptions returns the standard experiment setup.
@@ -271,6 +302,7 @@ func (f *Fleet) ABTest(control, experiment core.Config, opts ABOptions) ABResult
 		walkB, walkA float64
 	}
 	var pairs []pair
+	var chaos ChaosStats
 	for i := 0; i < n; i++ {
 		m := f.Machines[(i*stride)%len(f.Machines)]
 		wopts := workload.DefaultOptions(m.Seed)
@@ -278,8 +310,26 @@ func (f *Fleet) ABTest(control, experiment core.Config, opts ABOptions) ABResult
 		if opts.TimeWarpGamma > 0 {
 			wopts.TimeWarpGamma = opts.TimeWarpGamma
 		}
-		c := RunMachineOpts(m, control, wopts)
-		e := RunMachineOpts(m, experiment, wopts)
+		wopts.AuditEveryNs = opts.AuditEveryNs
+		cfgC, cfgE := control, experiment
+		if opts.Chaos.Enabled() {
+			plan := opts.Chaos
+			plan.Seed ^= m.Seed // per-machine, reproducible failure points
+			cfgC.Faults, cfgE.Faults = plan, plan
+		}
+		c := RunMachineOpts(m, cfgC, wopts)
+		e := RunMachineOpts(m, cfgE, wopts)
+		for _, rm := range []RunMetrics{c, e} {
+			st := rm.Result.Stats
+			chaos.InjectedFailures += st.Faults.InjectedFailures
+			chaos.BudgetFailures += st.Faults.BudgetFailures
+			chaos.OOMErrors += st.OOMErrors
+			chaos.AllocFailures += rm.Result.AllocFailures
+			chaos.PressureEvents += st.Heap.PressureEvents
+			chaos.PressureReleasedBytes += st.Heap.PressureReleasedBytes
+			chaos.Audits += rm.Result.Audits
+			chaos.Violations += int64(len(rm.Result.Violations))
+		}
 
 		// Application work per op is config-independent; derive it from
 		// the control run and the profile's malloc fraction, then
@@ -369,7 +419,7 @@ func (f *Fleet) ABTest(control, experiment core.Config, opts ABOptions) ABResult
 	for _, p := range pairs {
 		byApp[p.app] = append(byApp[p.app], p)
 	}
-	res := ABResult{Fleet: aggregate(pairs, "fleet")}
+	res := ABResult{Fleet: aggregate(pairs, "fleet"), Chaos: chaos}
 	var names []string
 	for name := range byApp {
 		names = append(names, name)

@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoMemory is the sentinel wrapped by every allocation failure the
+// simulated OS can produce: an injected mmap fault, an exhausted
+// mapped-byte budget, or (theoretically) address-space exhaustion.
+// Callers test with errors.Is(err, ErrNoMemory).
+var ErrNoMemory = errors.New("mem: cannot map memory")
+
+// FaultPlan deterministically injects degraded-OS conditions. The zero
+// value injects nothing. Plans are seeded so a fleet chaos run is exactly
+// reproducible: the same seed yields the same mmap failures at the same
+// points in the allocation stream.
+type FaultPlan struct {
+	// Seed drives the failure stream; two OSes with the same plan fail
+	// identically.
+	Seed uint64
+	// MmapFailureRate is the probability in [0,1] that any MapHuge call
+	// fails, modeling transient kernel allocation failures.
+	MmapFailureRate float64
+	// MappedBytesBudget caps total committed bytes — mapped plus
+	// subreleased-but-refaultable — modeling a container memory limit: a
+	// mapping that would exceed it fails with ErrNoMemory (0 =
+	// unlimited). Budget is charged per hugepage at map time and only
+	// returned by whole-hugepage release, because Refault has no failure
+	// path. The allocator's pressure path releases memory and retries,
+	// which is exactly the graceful degradation the chaos harness
+	// exercises.
+	MappedBytesBudget int64
+}
+
+// Enabled reports whether the plan injects anything.
+func (p FaultPlan) Enabled() bool {
+	return p.MmapFailureRate > 0 || p.MappedBytesBudget > 0
+}
+
+// faultState is the OS-side instantiation of a FaultPlan.
+type faultState struct {
+	plan FaultPlan
+	rng  uint64 // splitmix64 state
+
+	injectedFailures int64
+	budgetFailures   int64
+}
+
+func newFaultState(p FaultPlan) *faultState {
+	return &faultState{plan: p, rng: p.Seed ^ 0x6d656d666175 /* "memfau" */}
+}
+
+// nextFloat returns a deterministic uniform value in [0,1).
+func (f *faultState) nextFloat() float64 {
+	f.rng += 0x9e3779b97f4a7c15
+	z := f.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// SetFaultPlan installs (or, with a zero plan, clears) fault injection.
+// Installing a plan mid-run restarts its failure stream from the seed.
+func (o *OS) SetFaultPlan(p FaultPlan) {
+	if !p.Enabled() {
+		o.faults = nil
+		return
+	}
+	o.faults = newFaultState(p)
+}
+
+// FaultStats reports the injected-failure counters.
+type FaultStats struct {
+	// InjectedFailures counts MapHuge calls failed by MmapFailureRate.
+	InjectedFailures int64
+	// BudgetFailures counts MapHuge calls rejected by the budget.
+	BudgetFailures int64
+}
+
+// FaultStats returns the fault-injection counters (zero when no plan is
+// installed).
+func (o *OS) FaultStats() FaultStats {
+	if o.faults == nil {
+		return FaultStats{}
+	}
+	return FaultStats{
+		InjectedFailures: o.faults.injectedFailures,
+		BudgetFailures:   o.faults.budgetFailures,
+	}
+}
+
+// checkMapFaults vets one MapHuge(n) call against the installed plan.
+func (o *OS) checkMapFaults(n int) error {
+	if o.faults == nil {
+		return nil
+	}
+	p := o.faults.plan
+	if p.MmapFailureRate > 0 && o.faults.nextFloat() < p.MmapFailureRate {
+		o.faults.injectedFailures++
+		return fmt.Errorf("injected mmap failure (%d hugepages): %w", n, ErrNoMemory)
+	}
+	// The budget bounds committed bytes (mapped + subreleased-but-still-
+	// mapped): Refault and Remap bring subreleased pages back without a
+	// failure path, so their worst case is reserved here, at map time.
+	committed := o.mappedBytes + o.releasedBytes
+	if p.MappedBytesBudget > 0 && committed+int64(n)*HugePageSize > p.MappedBytesBudget {
+		o.faults.budgetFailures++
+		return fmt.Errorf("mapped-byte budget exceeded: %d committed + %d requested > %d budget: %w",
+			committed, int64(n)*HugePageSize, p.MappedBytesBudget, ErrNoMemory)
+	}
+	return nil
+}

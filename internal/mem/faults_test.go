@@ -1,0 +1,162 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultPlanDeterminism pins the chaos harness's reproducibility
+// contract: two OSes with the same plan fail at exactly the same points
+// in the mapping stream, and a different seed yields a different stream.
+func TestFaultPlanDeterminism(t *testing.T) {
+	run := func(seed uint64) []bool {
+		o := NewOS()
+		o.SetFaultPlan(FaultPlan{Seed: seed, MmapFailureRate: 0.25})
+		outcomes := make([]bool, 200)
+		for i := range outcomes {
+			_, err := o.MapHuge(1)
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 200-call failure stream")
+	}
+}
+
+// TestFaultPlanFailureRate sanity-checks the injected rate and the
+// counters over a long stream.
+func TestFaultPlanFailureRate(t *testing.T) {
+	o := NewOS()
+	o.SetFaultPlan(FaultPlan{Seed: 1, MmapFailureRate: 0.3})
+	failures := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if _, err := o.MapHuge(1); err != nil {
+			if !errors.Is(err, ErrNoMemory) {
+				t.Fatalf("fault not wrapped in ErrNoMemory: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures < n*25/100 || failures > n*35/100 {
+		t.Fatalf("%d/%d failures at rate 0.3", failures, n)
+	}
+	if got := o.FaultStats().InjectedFailures; got != int64(failures) {
+		t.Fatalf("InjectedFailures = %d, observed %d", got, failures)
+	}
+}
+
+// TestMappedBytesBudget pins the committed-bytes semantics: the budget
+// is charged per hugepage at map time, NOT returned by subrelease (the
+// pages stay refaultable), and returned in full by whole-hugepage
+// release.
+func TestMappedBytesBudget(t *testing.T) {
+	o := NewOS()
+	o.SetFaultPlan(FaultPlan{MappedBytesBudget: 4 * HugePageSize})
+
+	ids := make([]HugePageID, 4)
+	for i := range ids {
+		h, err := o.MapHuge(1)
+		if err != nil {
+			t.Fatalf("map %d within budget: %v", i, err)
+		}
+		ids[i] = h
+	}
+	if _, err := o.MapHuge(1); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("map over budget returned %v, want ErrNoMemory", err)
+	}
+	if got := o.FaultStats().BudgetFailures; got != 1 {
+		t.Fatalf("BudgetFailures = %d, want 1", got)
+	}
+
+	// Subreleasing pages lowers mappedBytes but not committed bytes:
+	// the pages can refault without a failure path, so the budget must
+	// keep them reserved.
+	o.Subrelease(ids[0], 64) // quarter of the hugepage's 256 pages
+	if _, err := o.MapHuge(1); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("subrelease returned budget headroom: map got %v, want ErrNoMemory", err)
+	}
+	o.Refault(ids[0], 64) // bring them back; still exactly 4 hugepages committed
+	if _, err := o.MapHuge(1); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("refault double-counted: map got %v, want ErrNoMemory", err)
+	}
+
+	// Whole-hugepage release does return headroom.
+	o.ReleaseHuge(ids[3])
+	if _, err := o.MapHuge(1); err != nil {
+		t.Fatalf("map after release: %v", err)
+	}
+
+	if vs := o.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("OS invariants after budget churn: %v", vs)
+	}
+}
+
+// TestBudgetReleasedBytesAccounting exercises the releasedBytes counter
+// through the partial-release lifecycle: subrelease, refault, remap, and
+// release of a partially-subreleased hugepage all keep the committed
+// total and the invariant auditor in agreement.
+func TestBudgetReleasedBytesAccounting(t *testing.T) {
+	o := NewOS()
+	o.SetFaultPlan(FaultPlan{MappedBytesBudget: 16 * HugePageSize})
+
+	h1, _ := o.MapHuge(1)
+	h2, _ := o.MapHuge(1)
+
+	o.Subrelease(h1, 100)
+	o.Subrelease(h2, 256) // full subrelease deletes the hugepage
+	if vs := o.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("after subrelease: %v", vs)
+	}
+
+	o.Remap(h1) // restore h1 wholesale
+	if o.ReleasedPages(h1) != 0 {
+		t.Fatal("remap left released pages")
+	}
+	o.Subrelease(h1, 30)
+	o.ReleaseHuge(h1) // release while partially subreleased
+	if vs := o.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("after release of partially-subreleased page: %v", vs)
+	}
+
+	// All committed bytes are back: the full budget must be available.
+	for i := 0; i < 16; i++ {
+		if _, err := o.MapHuge(1); err != nil {
+			t.Fatalf("map %d after full teardown: %v (budget not returned)", i, err)
+		}
+	}
+}
+
+// TestSetFaultPlanClears verifies a zero plan removes injection and that
+// installing a plan mid-run restarts the stream from the seed.
+func TestSetFaultPlanClears(t *testing.T) {
+	o := NewOS()
+	o.SetFaultPlan(FaultPlan{Seed: 9, MmapFailureRate: 1.0})
+	if _, err := o.MapHuge(1); err == nil {
+		t.Fatal("rate 1.0 did not fail")
+	}
+	o.SetFaultPlan(FaultPlan{})
+	for i := 0; i < 100; i++ {
+		if _, err := o.MapHuge(1); err != nil {
+			t.Fatalf("cleared plan still failing: %v", err)
+		}
+	}
+	if o.FaultStats() != (FaultStats{}) {
+		t.Fatal("cleared plan reports stats")
+	}
+}

@@ -13,7 +13,11 @@
 // released bytes, fragmentation) depends only on the bookkeeping.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"wsmalloc/internal/check"
+)
 
 const (
 	// PageShift is log2 of the TCMalloc page size. The default TCMalloc
@@ -79,6 +83,20 @@ type OS struct {
 	next   HugePageID
 	mapped map[HugePageID]*hugeState
 
+	// mappedBytes is the running total of mapped (non-subreleased)
+	// bytes, maintained incrementally so budget checks are O(1); the
+	// invariant auditor recomputes it from `mapped` to detect drift.
+	mappedBytes int64
+	// releasedBytes is the running total of subreleased-but-still-mapped
+	// bytes — memory the allocator can Refault back in without asking the
+	// OS for a new mapping. The fault-plan budget bounds mappedBytes +
+	// releasedBytes (committed bytes): refault has no failure path, so
+	// the budget must be reserved when the hugepage is mapped, not when
+	// its pages are re-touched.
+	releasedBytes int64
+
+	faults *faultState
+
 	mmapCalls      int64
 	releaseCalls   int64
 	subreleaseOps  int64
@@ -96,22 +114,31 @@ func NewOS() *OS {
 
 // MapHuge maps n contiguous, zeroed, hugepage-aligned hugepages and
 // returns the first one. It is the analogue of mmap(MAP_ANONYMOUS) with
-// THP enabled: each returned hugepage starts intact.
-func (o *OS) MapHuge(n int) HugePageID {
+// THP enabled: each returned hugepage starts intact. Allocation failure
+// is a first-class outcome, not a panic: MapHuge returns an error
+// wrapping ErrNoMemory when the address space is exhausted, when an
+// installed FaultPlan injects an mmap failure, or when the mapping would
+// exceed the plan's mapped-byte budget.
+func (o *OS) MapHuge(n int) (HugePageID, error) {
 	if n <= 0 {
 		panic("mem: MapHuge with non-positive count")
 	}
 	start := o.next
 	if uint64(start.Addr())+uint64(n)<<HugePageShift >= 1<<addressBits {
-		panic("mem: simulated address space exhausted")
+		return 0, fmt.Errorf("simulated %d-bit address space exhausted at %#x: %w",
+			addressBits, start.Addr(), ErrNoMemory)
+	}
+	if err := o.checkMapFaults(n); err != nil {
+		return 0, err
 	}
 	o.next += HugePageID(n)
 	for i := 0; i < n; i++ {
 		o.mapped[start+HugePageID(i)] = &hugeState{}
 	}
+	o.mappedBytes += int64(n) * HugePageSize
 	o.mmapCalls++
 	o.everMappedHuge += int64(n)
-	return start
+	return start, nil
 }
 
 // ReleaseHuge returns an entire hugepage to the OS (munmap/MADV_DONTNEED
@@ -119,9 +146,12 @@ func (o *OS) MapHuge(n int) HugePageID {
 // release is the "good" release path: it frees memory without creating a
 // broken region.
 func (o *OS) ReleaseHuge(h HugePageID) {
-	if _, ok := o.mapped[h]; !ok {
+	st, ok := o.mapped[h]
+	if !ok {
 		panic(fmt.Sprintf("mem: ReleaseHuge of unmapped hugepage %#x", h.Addr()))
 	}
+	o.mappedBytes -= HugePageSize - int64(st.releasedPages)*PageSize
+	o.releasedBytes -= int64(st.releasedPages) * PageSize
 	delete(o.mapped, h)
 	o.releaseCalls++
 }
@@ -141,8 +171,11 @@ func (o *OS) Subrelease(h HugePageID, pages int) {
 	}
 	st.broken = true
 	st.releasedPages += pages
+	o.mappedBytes -= int64(pages) * PageSize
+	o.releasedBytes += int64(pages) * PageSize
 	o.subreleaseOps++
 	if st.releasedPages == PagesPerHugePage {
+		o.releasedBytes -= HugePageSize
 		delete(o.mapped, h)
 		o.releaseCalls++
 	}
@@ -161,6 +194,8 @@ func (o *OS) Refault(h HugePageID, pages int) {
 		panic(fmt.Sprintf("mem: Refault of %d pages (only %d released)", pages, st.releasedPages))
 	}
 	st.releasedPages -= pages
+	o.mappedBytes += int64(pages) * PageSize
+	o.releasedBytes -= int64(pages) * PageSize
 }
 
 // Remap restores a previously broken hugepage to intact state, modeling
@@ -171,6 +206,8 @@ func (o *OS) Remap(h HugePageID) {
 	if !ok {
 		panic(fmt.Sprintf("mem: Remap of unmapped hugepage %#x", h.Addr()))
 	}
+	o.mappedBytes += int64(st.releasedPages) * PageSize
+	o.releasedBytes -= int64(st.releasedPages) * PageSize
 	st.broken = false
 	st.releasedPages = 0
 }
@@ -197,14 +234,9 @@ func (o *OS) ReleasedPages(h HugePageID) int {
 }
 
 // MappedBytes returns the total bytes currently mapped (excluding
-// subreleased pages).
-func (o *OS) MappedBytes() int64 {
-	var total int64
-	for _, st := range o.mapped {
-		total += HugePageSize - int64(st.releasedPages)*PageSize
-	}
-	return total
-}
+// subreleased pages). It is O(1): the counter is maintained
+// incrementally and audited against a full recount by CheckInvariants.
+func (o *OS) MappedBytes() int64 { return o.mappedBytes }
 
 // IntactHugeBytes returns the bytes mapped in intact (hugepage-backed)
 // regions.
@@ -241,3 +273,42 @@ func (o *OS) SubreleaseOps() int64 { return o.subreleaseOps }
 
 // EverMappedHugePages returns the cumulative number of hugepages mapped.
 func (o *OS) EverMappedHugePages() int64 { return o.everMappedHuge }
+
+// CheckInvariants audits the OS bookkeeping: per-hugepage state sanity,
+// the incremental mapped-byte counter against a full recount, and the
+// fault plan's budget (a mapping that slipped past the budget is exactly
+// the unchecked growth this auditor exists to catch).
+func (o *OS) CheckInvariants() []check.Violation {
+	var vs []check.Violation
+	var recount, recountReleased int64
+	for h, st := range o.mapped {
+		if st.releasedPages < 0 || st.releasedPages > PagesPerHugePage {
+			vs = append(vs, check.Violationf("mem", check.KindStructure,
+				"hugepage %#x has %d released pages outside [0,%d]",
+				h.Addr(), st.releasedPages, PagesPerHugePage))
+		}
+		if st.releasedPages > 0 && !st.broken {
+			vs = append(vs, check.Violationf("mem", check.KindStructure,
+				"hugepage %#x has %d subreleased pages but is not marked broken",
+				h.Addr(), st.releasedPages))
+		}
+		recount += HugePageSize - int64(st.releasedPages)*PageSize
+		recountReleased += int64(st.releasedPages) * PageSize
+	}
+	if recount != o.mappedBytes {
+		vs = append(vs, check.Violationf("mem", check.KindAccounting,
+			"mapped-byte counter %d disagrees with recount %d", o.mappedBytes, recount))
+	}
+	if recountReleased != o.releasedBytes {
+		vs = append(vs, check.Violationf("mem", check.KindAccounting,
+			"released-byte counter %d disagrees with recount %d", o.releasedBytes, recountReleased))
+	}
+	if o.faults != nil {
+		if budget := o.faults.plan.MappedBytesBudget; budget > 0 && o.mappedBytes+o.releasedBytes > budget {
+			vs = append(vs, check.Violationf("mem", check.KindAccounting,
+				"committed bytes %d (%d mapped + %d refaultable) exceed fault-plan budget %d",
+				o.mappedBytes+o.releasedBytes, o.mappedBytes, o.releasedBytes, budget))
+		}
+	}
+	return vs
+}

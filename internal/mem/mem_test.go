@@ -27,7 +27,7 @@ func TestPageAddressArithmetic(t *testing.T) {
 
 func TestOSMapRelease(t *testing.T) {
 	o := NewOS()
-	h := o.MapHuge(3)
+	h := mustMap(o, 3)
 	for i := 0; i < 3; i++ {
 		if !o.IsMapped(h + HugePageID(i)) {
 			t.Fatalf("hugepage %d not mapped", i)
@@ -56,8 +56,8 @@ func TestOSMapRelease(t *testing.T) {
 
 func TestOSDistinctRegions(t *testing.T) {
 	o := NewOS()
-	a := o.MapHuge(2)
-	b := o.MapHuge(2)
+	a := mustMap(o, 2)
+	b := mustMap(o, 2)
 	if b < a+2 {
 		t.Fatalf("regions overlap: a=%d b=%d", a, b)
 	}
@@ -65,7 +65,7 @@ func TestOSDistinctRegions(t *testing.T) {
 
 func TestSubreleaseBreaksHugepage(t *testing.T) {
 	o := NewOS()
-	h := o.MapHuge(1)
+	h := mustMap(o, 1)
 	o.Subrelease(h, 10)
 	if o.IsIntact(h) {
 		t.Fatal("subreleased hugepage still intact")
@@ -90,7 +90,7 @@ func TestSubreleaseBreaksHugepage(t *testing.T) {
 
 func TestSubreleaseAllUnmaps(t *testing.T) {
 	o := NewOS()
-	h := o.MapHuge(1)
+	h := mustMap(o, 1)
 	o.Subrelease(h, 100)
 	o.Subrelease(h, 156)
 	if o.IsMapped(h) {
@@ -103,7 +103,7 @@ func TestSubreleaseAllUnmaps(t *testing.T) {
 
 func TestRemapRestoresIntact(t *testing.T) {
 	o := NewOS()
-	h := o.MapHuge(1)
+	h := mustMap(o, 1)
 	o.Subrelease(h, 5)
 	o.Remap(h)
 	if !o.IsIntact(h) {
@@ -121,8 +121,8 @@ func TestOSPanicsOnMisuse(t *testing.T) {
 	}{
 		{"release unmapped", func(o *OS) { o.ReleaseHuge(12345) }},
 		{"subrelease unmapped", func(o *OS) { o.Subrelease(12345, 1) }},
-		{"subrelease zero", func(o *OS) { h := o.MapHuge(1); o.Subrelease(h, 0) }},
-		{"subrelease too many", func(o *OS) { h := o.MapHuge(1); o.Subrelease(h, PagesPerHugePage+1) }},
+		{"subrelease zero", func(o *OS) { h := mustMap(o, 1); o.Subrelease(h, 0) }},
+		{"subrelease too many", func(o *OS) { h := mustMap(o, 1); o.Subrelease(h, PagesPerHugePage+1) }},
 		{"map zero", func(o *OS) { o.MapHuge(0) }},
 		{"remap unmapped", func(o *OS) { o.Remap(777) }},
 	}
@@ -260,4 +260,14 @@ func BenchmarkPageMapGet(b *testing.B) {
 		sink += v
 	}
 	_ = sink
+}
+
+// mustMap maps n hugepages or fails the test setup via panic; tests that
+// exercise the error path call MapHuge directly.
+func mustMap(o *OS, n int) HugePageID {
+	h, err := o.MapHuge(n)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }

@@ -3,6 +3,7 @@ package pageheap
 import (
 	"fmt"
 
+	"wsmalloc/internal/check"
 	"wsmalloc/internal/mem"
 )
 
@@ -342,4 +343,79 @@ func (f *Filler) Stats() FillerStats {
 		}
 	}
 	return s
+}
+
+// CheckInvariants audits the filler: per-tracker counters against bitmap
+// recounts, agreement with the OS on subreleased pages, correct placement
+// in the longest-free-run/density lists, and the aggregate used-page
+// counter.
+func (f *Filler) CheckInvariants() []check.Violation {
+	var vs []check.Violation
+	var usedTotal int64
+	for h, t := range f.byID {
+		if t.id != h {
+			vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+				"filler tracker filed under %#x claims hugepage %#x", h.Addr(), t.id.Addr()))
+		}
+		if got := t.used.count(); got != t.usedCount {
+			vs = append(vs, check.Violationf("pageheap", check.KindAccounting,
+				"filler hugepage %#x counts %d used pages, bitmap holds %d",
+				h.Addr(), t.usedCount, got))
+		}
+		if got := t.released.count(); got != t.releasedCount {
+			vs = append(vs, check.Violationf("pageheap", check.KindAccounting,
+				"filler hugepage %#x counts %d released pages, bitmap holds %d",
+				h.Addr(), t.releasedCount, got))
+		}
+		if got := t.used.longestFreeRun(); got != t.longestFree {
+			vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+				"filler hugepage %#x cached longest-free-run %d, bitmap says %d",
+				h.Addr(), t.longestFree, got))
+		}
+		for i := 0; i < mem.PagesPerHugePage; i++ {
+			if t.used.get(i) && t.released.get(i) {
+				vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+					"filler hugepage %#x page %d both used and subreleased", h.Addr(), i))
+				break
+			}
+		}
+		if !f.os.IsMapped(h) {
+			vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+				"filler holds unmapped hugepage %#x", h.Addr()))
+		} else if got := f.os.ReleasedPages(h); got != t.releasedCount {
+			vs = append(vs, check.Violationf("pageheap", check.KindAccounting,
+				"filler hugepage %#x tracks %d subreleased pages, OS says %d",
+				h.Addr(), t.releasedCount, got))
+		}
+		if t.list == nil {
+			vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+				"filler hugepage %#x is not on any list", h.Addr()))
+		} else if t.list != &f.lists[t.longestFree][chunkOf(t)] {
+			vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+				"filler hugepage %#x listed under wrong longest-free-run/density bucket", h.Addr()))
+		}
+		usedTotal += int64(t.usedCount)
+	}
+	listed := 0
+	for lfr := 0; lfr <= mem.PagesPerHugePage; lfr++ {
+		for chunk := 0; chunk <= fillerChunks; chunk++ {
+			for t := f.lists[lfr][chunk].head; t != nil; t = t.next {
+				listed++
+				if f.byID[t.id] != t {
+					vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+						"filler list holds tracker for %#x unknown to the index", t.id.Addr()))
+				}
+			}
+		}
+	}
+	if listed != len(f.byID) {
+		vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+			"filler lists hold %d trackers, index holds %d", listed, len(f.byID)))
+	}
+	if usedTotal != f.usedPages {
+		vs = append(vs, check.Violationf("pageheap", check.KindAccounting,
+			"filler used-page counter %d disagrees with per-hugepage total %d",
+			f.usedPages, usedTotal))
+	}
+	return vs
 }

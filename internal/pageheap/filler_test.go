@@ -24,7 +24,7 @@ func TestFillerAllocFromFreshHugepage(t *testing.T) {
 	if _, ok := f.Alloc(10); ok {
 		t.Fatal("empty filler satisfied an allocation")
 	}
-	h := o.MapHuge(1)
+	h := mustMap(o, 1)
 	f.AddHugePage(h)
 	p, ok := f.Alloc(10)
 	if !ok {
@@ -44,8 +44,8 @@ func TestFillerAllocFromFreshHugepage(t *testing.T) {
 
 func TestFillerPrefersDensestHugepage(t *testing.T) {
 	o, f, _ := newTestFiller(t)
-	h1 := o.MapHuge(1)
-	h2 := o.MapHuge(1)
+	h1 := mustMap(o, 1)
+	h2 := mustMap(o, 1)
 	f.AddHugePage(h1)
 	f.AddHugePage(h2)
 	// Make one hugepage dense (200/256 used) and the other sparse
@@ -75,7 +75,7 @@ func TestFillerPrefersDensestHugepage(t *testing.T) {
 
 func TestFillerWholeHugepageReturn(t *testing.T) {
 	o, f, sink := newTestFiller(t)
-	h := o.MapHuge(1)
+	h := mustMap(o, 1)
 	f.AddHugePage(h)
 	p, _ := f.Alloc(100)
 	q, _ := f.Alloc(50)
@@ -97,8 +97,8 @@ func TestFillerWholeHugepageReturn(t *testing.T) {
 
 func TestFillerSubreleaseSparsestFirst(t *testing.T) {
 	o, f, _ := newTestFiller(t)
-	h1 := o.MapHuge(1)
-	h2 := o.MapHuge(1)
+	h1 := mustMap(o, 1)
+	h2 := mustMap(o, 1)
 	f.AddHugePage(h1)
 	p1, _ := f.Alloc(250) // dense
 	f.AddHugePage(h2)
@@ -132,7 +132,7 @@ func TestFillerSubreleaseSparsestFirst(t *testing.T) {
 
 func TestFillerRefaultAfterSubrelease(t *testing.T) {
 	o, f, _ := newTestFiller(t)
-	h := o.MapHuge(1)
+	h := mustMap(o, 1)
 	f.AddHugePage(h)
 	p, _ := f.Alloc(10)
 	f.ReleasePages(1000, 1) // subrelease the 246 free pages
@@ -163,14 +163,14 @@ func TestFillerRefaultAfterSubrelease(t *testing.T) {
 
 func TestFillerDonated(t *testing.T) {
 	o, f, _ := newTestFiller(t)
-	h1 := o.MapHuge(1)
+	h1 := mustMap(o, 1)
 	f.AddDonated(h1, 100) // 100 leading pages used by a large allocation
 	st := f.Stats()
 	if st.UsedBytes != 100*mem.PageSize {
 		t.Fatalf("donated UsedBytes = %d", st.UsedBytes)
 	}
 	// A regular hugepage with any allocation is preferred over donated.
-	h2 := o.MapHuge(1)
+	h2 := mustMap(o, 1)
 	f.AddHugePage(h2)
 	p, _ := f.Alloc(10)
 	if p.HugePage() != h2 {
@@ -185,7 +185,7 @@ func TestFillerDonated(t *testing.T) {
 
 func TestFillerFreePanics(t *testing.T) {
 	o, f, _ := newTestFiller(t)
-	h := o.MapHuge(1)
+	h := mustMap(o, 1)
 	f.AddHugePage(h)
 	p, _ := f.Alloc(10)
 	cases := map[string]func(){
@@ -217,7 +217,7 @@ func TestFillerManyAllocationsConservation(t *testing.T) {
 		n := 1 + (i*7)%63
 		p, ok := f.Alloc(n)
 		if !ok {
-			f.AddHugePage(o.MapHuge(1))
+			f.AddHugePage(mustMap(o, 1))
 			p, ok = f.Alloc(n)
 			if !ok {
 				t.Fatal("fresh hugepage insufficient")

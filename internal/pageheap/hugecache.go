@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"wsmalloc/internal/check"
 	"wsmalloc/internal/mem"
 )
 
@@ -34,8 +35,11 @@ func NewHugeCache(o *mem.OS, maxBytes int64) *HugeCache {
 }
 
 // Alloc returns n contiguous hugepages, reusing cached ranges best-fit
-// first and mapping fresh memory from the OS on a miss.
-func (c *HugeCache) Alloc(n int) mem.HugePageID {
+// first and mapping fresh memory from the OS on a miss. A cache hit never
+// fails; a miss propagates the OS's allocation error (injected fault or
+// memory budget) to the caller, whose pressure path may release memory
+// and retry.
+func (c *HugeCache) Alloc(n int) (mem.HugePageID, error) {
 	if n <= 0 {
 		panic("pageheap: HugeCache.Alloc with non-positive count")
 	}
@@ -55,11 +59,15 @@ func (c *HugeCache) Alloc(n int) mem.HugePageID {
 		}
 		c.bytes -= int64(n) * mem.HugePageSize
 		c.hits++
-		return h
+		return h, nil
+	}
+	h, err := c.os.MapHuge(n)
+	if err != nil {
+		return 0, err
 	}
 	c.misses++
 	c.everMappedHere += int64(n)
-	return c.os.MapHuge(n)
+	return h, nil
 }
 
 // Free returns n contiguous hugepages to the cache, coalescing with
@@ -171,4 +179,50 @@ func (c *HugeCache) Stats() HugeCacheStats {
 		ReleasedBytes: c.releasedBytes,
 		Ranges:        len(c.ranges),
 	}
+}
+
+// CheckInvariants audits the cache: ranges sorted, coalesced and
+// non-overlapping; every cached hugepage still mapped and intact; the
+// byte counter matching the ranges; and the configured bound respected.
+func (c *HugeCache) CheckInvariants() []check.Violation {
+	var vs []check.Violation
+	var recount int64
+	for i, r := range c.ranges {
+		if r.n <= 0 {
+			vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+				"hugecache range %d at %#x has non-positive length %d", i, r.start.Addr(), r.n))
+			continue
+		}
+		recount += int64(r.n) * mem.HugePageSize
+		if i > 0 {
+			prev := c.ranges[i-1]
+			end := prev.start + mem.HugePageID(prev.n)
+			if r.start < end {
+				vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+					"hugecache ranges overlap or are unsorted at %#x", r.start.Addr()))
+			} else if r.start == end {
+				vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+					"hugecache ranges at %#x and %#x not coalesced", prev.start.Addr(), r.start.Addr()))
+			}
+		}
+		for j := 0; j < r.n; j++ {
+			h := r.start + mem.HugePageID(j)
+			if !c.os.IsMapped(h) {
+				vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+					"hugecache holds unmapped hugepage %#x", h.Addr()))
+			} else if !c.os.IsIntact(h) {
+				vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+					"hugecache holds broken hugepage %#x", h.Addr()))
+			}
+		}
+	}
+	if recount != c.bytes {
+		vs = append(vs, check.Violationf("pageheap", check.KindAccounting,
+			"hugecache byte counter %d disagrees with ranges total %d", c.bytes, recount))
+	}
+	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+		vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+			"hugecache holds %d bytes above its %d-byte bound", c.bytes, c.maxBytes))
+	}
+	return vs
 }

@@ -3,6 +3,7 @@ package pageheap
 import (
 	"fmt"
 
+	"wsmalloc/internal/check"
 	"wsmalloc/internal/mem"
 )
 
@@ -76,8 +77,9 @@ func NewHugeRegion(o *mem.OS, onRelease func(start mem.HugePageID, n int)) *Huge
 }
 
 // Alloc places an n-page allocation in a region, creating a new region
-// when none has room. n must fit in one region.
-func (h *HugeRegion) Alloc(n int) mem.PageID {
+// when none has room. n must fit in one region. Mapping a fresh region
+// can fail under fault injection; the error propagates to the caller.
+func (h *HugeRegion) Alloc(n int) (mem.PageID, error) {
 	if n <= 0 || n > regionPages {
 		panic(fmt.Sprintf("pageheap: region alloc of %d pages", n))
 	}
@@ -92,7 +94,10 @@ func (h *HugeRegion) Alloc(n int) mem.PageID {
 		}
 	}
 	if target == nil {
-		start := h.os.MapHuge(regionHugePages)
+		start, err := h.os.MapHuge(regionHugePages)
+		if err != nil {
+			return 0, err
+		}
 		target = newRegion(start)
 		h.regions = append(h.regions, target)
 		for i := 0; i < regionHugePages; i++ {
@@ -106,7 +111,7 @@ func (h *HugeRegion) Alloc(n int) mem.PageID {
 	target.usedCount += n
 	h.usedPages += int64(n)
 	h.allocs++
-	return target.firstPage() + mem.PageID(idx)
+	return target.firstPage() + mem.PageID(idx), nil
 }
 
 // Owns reports whether p lies in a live region.
@@ -178,4 +183,50 @@ func (h *HugeRegion) Stats() HugeRegionStats {
 		Allocs:    h.allocs,
 		Frees:     h.frees,
 	}
+}
+
+// CheckInvariants audits the region allocator: per-region used counters
+// against bitmap popcounts, the hugepage index, mapped-and-intact status
+// (regions never break hugepages), and the aggregate used-page counter.
+func (h *HugeRegion) CheckInvariants() []check.Violation {
+	var vs []check.Violation
+	var usedTotal int64
+	for _, r := range h.regions {
+		recount := 0
+		for j := 0; j < regionPages; j++ {
+			if r.get(j) {
+				recount++
+			}
+		}
+		if recount != r.usedCount {
+			vs = append(vs, check.Violationf("pageheap", check.KindAccounting,
+				"region at %#x counts %d used pages, bitmap holds %d",
+				r.start.Addr(), r.usedCount, recount))
+		}
+		usedTotal += int64(r.usedCount)
+		for j := 0; j < regionHugePages; j++ {
+			hp := r.start + mem.HugePageID(j)
+			if h.byHuge[hp] != r {
+				vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+					"region hugepage %#x missing from or misfiled in index", hp.Addr()))
+			}
+			if !h.os.IsMapped(hp) {
+				vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+					"region holds unmapped hugepage %#x", hp.Addr()))
+			} else if !h.os.IsIntact(hp) {
+				vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+					"region hugepage %#x is broken; regions never subrelease", hp.Addr()))
+			}
+		}
+	}
+	if usedTotal != h.usedPages {
+		vs = append(vs, check.Violationf("pageheap", check.KindAccounting,
+			"region used-page counter %d disagrees with per-region total %d",
+			h.usedPages, usedTotal))
+	}
+	if len(h.byHuge) != len(h.regions)*regionHugePages {
+		vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+			"region index has %d hugepages for %d regions", len(h.byHuge), len(h.regions)))
+	}
+	return vs
 }

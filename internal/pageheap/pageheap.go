@@ -1,8 +1,11 @@
 package pageheap
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
+	"wsmalloc/internal/check"
 	"wsmalloc/internal/mem"
 )
 
@@ -60,6 +63,11 @@ type PageHeap struct {
 	largeUsedPages int64
 
 	allocs, frees int64
+
+	// Graceful-degradation counters for the fault-injection harness.
+	pressureEvents        int64
+	pressureReleasedBytes int64
+	oomFailures           int64
 }
 
 // New creates a pageheap over the simulated OS.
@@ -88,62 +96,103 @@ func (p *PageHeap) fillerFor(lt Lifetime) *Filler {
 // Alloc obtains pages contiguous TCMalloc pages. lt classifies the
 // expected span lifetime (ignored unless the lifetime-aware filler is
 // enabled). The returned range is tracked until freed with Free.
-func (p *PageHeap) Alloc(pages int, lt Lifetime) mem.PageID {
+//
+// Allocation failure (an injected fault or an exhausted memory budget in
+// the simulated OS) is a first-class outcome: on the first ErrNoMemory
+// the heap sheds every byte it can spare — the whole hugepage cache, then
+// subrelease of all free filler pages with the skip-subrelease density
+// limit suspended — and retries once before surfacing the error.
+func (p *PageHeap) Alloc(pages int, lt Lifetime) (mem.PageID, error) {
 	if pages <= 0 {
 		panic(fmt.Sprintf("pageheap: alloc of %d pages", pages))
 	}
-	p.allocs++
-	var start mem.PageID
-	var pl placement
-	switch {
-	case pages < mem.PagesPerHugePage:
-		start = p.allocFiller(pages, lt)
-		pl = placement{kind: placeFiller, pages: pages, lifetime: lt}
-	default:
-		huges := (pages + mem.PagesPerHugePage - 1) / mem.PagesPerHugePage
-		slack := huges*mem.PagesPerHugePage - pages
-		switch {
-		case slack == 0:
-			h := p.cache.Alloc(huges)
-			start = h.FirstPage()
-			p.largeUsedPages += int64(pages)
-			pl = placement{kind: placeCache, pages: pages, hugepages: huges}
-		case huges <= 2 && slack >= mem.PagesPerHugePage/4:
-			// Slightly exceeding a hugepage with substantial slack: pack
-			// into a shared region so slack overlaps (e.g. the paper's
-			// 2.1 MiB example).
-			start = p.region.Alloc(pages)
-			pl = placement{kind: placeRegion, pages: pages}
-		default:
-			// Whole hugepages plus a tail remainder donated to the
-			// filler (e.g. 4.5 MiB donates 1.5 MiB of slack).
-			h := p.cache.Alloc(huges)
-			start = h.FirstPage()
-			tailUsed := pages - (huges-1)*mem.PagesPerHugePage
-			p.fillers[LifetimeLong].AddDonated(h+mem.HugePageID(huges-1), tailUsed)
-			p.largeUsedPages += int64((huges - 1) * mem.PagesPerHugePage)
-			pl = placement{kind: placeDonated, pages: pages, hugepages: huges, tailUsed: tailUsed}
+	start, pl, err := p.place(pages, lt)
+	if err != nil {
+		if errors.Is(err, mem.ErrNoMemory) {
+			p.releaseUnderPressure()
+			start, pl, err = p.place(pages, lt)
+		}
+		if err != nil {
+			p.oomFailures++
+			return 0, err
 		}
 	}
+	p.allocs++
 	if _, dup := p.live[start]; dup {
 		panic(fmt.Sprintf("pageheap: duplicate allocation at page %#x", start.Addr()))
 	}
 	p.live[start] = pl
-	return start
+	return start, nil
 }
 
-func (p *PageHeap) allocFiller(pages int, lt Lifetime) mem.PageID {
+// place routes one allocation to a back-end without the pressure retry.
+func (p *PageHeap) place(pages int, lt Lifetime) (mem.PageID, placement, error) {
+	if pages < mem.PagesPerHugePage {
+		start, err := p.allocFiller(pages, lt)
+		return start, placement{kind: placeFiller, pages: pages, lifetime: lt}, err
+	}
+	huges := (pages + mem.PagesPerHugePage - 1) / mem.PagesPerHugePage
+	slack := huges*mem.PagesPerHugePage - pages
+	switch {
+	case slack == 0:
+		h, err := p.cache.Alloc(huges)
+		if err != nil {
+			return 0, placement{}, err
+		}
+		p.largeUsedPages += int64(pages)
+		return h.FirstPage(), placement{kind: placeCache, pages: pages, hugepages: huges}, nil
+	case huges <= 2 && slack >= mem.PagesPerHugePage/4:
+		// Slightly exceeding a hugepage with substantial slack: pack
+		// into a shared region so slack overlaps (e.g. the paper's
+		// 2.1 MiB example).
+		start, err := p.region.Alloc(pages)
+		if err != nil {
+			return 0, placement{}, err
+		}
+		return start, placement{kind: placeRegion, pages: pages}, nil
+	default:
+		// Whole hugepages plus a tail remainder donated to the
+		// filler (e.g. 4.5 MiB donates 1.5 MiB of slack).
+		h, err := p.cache.Alloc(huges)
+		if err != nil {
+			return 0, placement{}, err
+		}
+		tailUsed := pages - (huges-1)*mem.PagesPerHugePage
+		p.fillers[LifetimeLong].AddDonated(h+mem.HugePageID(huges-1), tailUsed)
+		p.largeUsedPages += int64((huges - 1) * mem.PagesPerHugePage)
+		return h.FirstPage(), placement{kind: placeDonated, pages: pages, hugepages: huges, tailUsed: tailUsed}, nil
+	}
+}
+
+func (p *PageHeap) allocFiller(pages int, lt Lifetime) (mem.PageID, error) {
 	f := p.fillerFor(lt)
 	if start, ok := f.Alloc(pages); ok {
-		return start
+		return start, nil
 	}
-	h := p.cache.Alloc(1)
+	h, err := p.cache.Alloc(1)
+	if err != nil {
+		return 0, err
+	}
 	f.AddHugePage(h)
 	start, ok := f.Alloc(pages)
 	if !ok {
 		panic("pageheap: fresh hugepage cannot satisfy sub-hugepage allocation")
 	}
-	return start
+	return start, nil
+}
+
+// releaseUnderPressure sheds every releasable byte: the whole hugepage
+// cache plus subrelease of all free filler pages, ignoring the
+// skip-subrelease density limit. Breaking dense hugepages costs TLB
+// benefit, but under memory pressure staying alive beats staying fast.
+func (p *PageHeap) releaseUnderPressure() int64 {
+	p.pressureEvents++
+	released := p.cache.ReleaseAll()
+	for _, f := range p.fillers {
+		released += int64(f.ReleasePages(math.MaxInt32, 1.0)) * mem.PageSize
+	}
+	p.pressureReleasedBytes += released
+	return released
 }
 
 // Free returns a range previously obtained from Alloc.
@@ -216,6 +265,12 @@ type Stats struct {
 	Allocs, Frees int64
 	// Cache hit statistics.
 	CacheHits, CacheMisses int64
+	// PressureEvents counts OOM-triggered emergency release passes;
+	// PressureReleasedBytes is what they shed. OOMFailures counts Alloc
+	// calls that still failed after the pressure retry.
+	PressureEvents        int64
+	PressureReleasedBytes int64
+	OOMFailures           int64
 }
 
 // Stats computes a snapshot.
@@ -242,6 +297,10 @@ func (p *PageHeap) Stats() Stats {
 		Frees:          p.frees,
 		CacheHits:      cs.Hits,
 		CacheMisses:    cs.Misses,
+
+		PressureEvents:        p.pressureEvents,
+		PressureReleasedBytes: p.pressureReleasedBytes,
+		OOMFailures:           p.oomFailures,
 	}
 	s.UsedBytes = s.FillerUsed + s.RegionUsed + s.LargeUsed
 	s.FreeBytes = s.FillerFree + s.RegionFree + s.CacheFree
@@ -262,3 +321,43 @@ func (p *PageHeap) Fillers() []*Filler {
 
 // LiveRanges returns the number of outstanding allocations.
 func (p *PageHeap) LiveRanges() int { return len(p.live) }
+
+// CheckInvariants audits every back-end tier plus the simulated OS, then
+// verifies byte conservation across them: each mapped byte must be
+// accounted by exactly one tier, so filler used+free, region used+free,
+// cached bytes and cache-backed large allocations must sum to exactly the
+// OS's mapped bytes. It also recounts live placements against the
+// per-tier used-byte totals.
+func (p *PageHeap) CheckInvariants() []check.Violation {
+	var vs []check.Violation
+	for _, f := range p.fillers {
+		vs = append(vs, f.CheckInvariants()...)
+	}
+	vs = append(vs, p.region.CheckInvariants()...)
+	vs = append(vs, p.cache.CheckInvariants()...)
+	vs = append(vs, p.os.CheckInvariants()...)
+
+	s := p.Stats()
+	accounted := s.FillerUsed + s.FillerFree + s.RegionUsed + s.RegionFree +
+		s.CacheFree + s.LargeUsed
+	if mapped := p.os.MappedBytes(); accounted != mapped {
+		vs = append(vs, check.Violationf("pageheap", check.KindConservation,
+			"tiers account for %d bytes but the OS has %d mapped (drift %+d)",
+			accounted, mapped, accounted-mapped))
+	}
+
+	var livePages int64
+	for start, pl := range p.live {
+		if pl.pages <= 0 {
+			vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+				"live placement at page %#x spans %d pages", start.Addr(), pl.pages))
+		}
+		livePages += int64(pl.pages)
+	}
+	if liveBytes := livePages * mem.PageSize; liveBytes != s.UsedBytes {
+		vs = append(vs, check.Violationf("pageheap", check.KindConservation,
+			"live placements total %d bytes but tiers report %d used",
+			liveBytes, s.UsedBytes))
+	}
+	return vs
+}

@@ -10,7 +10,7 @@ import (
 func TestHugeCacheReuse(t *testing.T) {
 	o := mem.NewOS()
 	c := NewHugeCache(o, 0)
-	h := c.Alloc(3)
+	h := cacheAlloc(c, 3)
 	if c.Stats().Misses != 1 {
 		t.Fatal("first alloc should miss")
 	}
@@ -18,7 +18,7 @@ func TestHugeCacheReuse(t *testing.T) {
 	if c.CachedBytes() != 3*mem.HugePageSize {
 		t.Fatalf("CachedBytes = %d", c.CachedBytes())
 	}
-	h2 := c.Alloc(2)
+	h2 := cacheAlloc(c, 2)
 	if c.Stats().Hits != 1 {
 		t.Fatal("second alloc should hit")
 	}
@@ -33,14 +33,14 @@ func TestHugeCacheReuse(t *testing.T) {
 func TestHugeCacheBestFit(t *testing.T) {
 	o := mem.NewOS()
 	c := NewHugeCache(o, 0)
-	a := c.Alloc(10)
-	spacer := c.Alloc(1) // keeps a and b from coalescing
-	b := c.Alloc(2)
+	a := cacheAlloc(c, 10)
+	spacer := cacheAlloc(c, 1) // keeps a and b from coalescing
+	b := cacheAlloc(c, 2)
 	c.Free(a, 10)
 	c.Free(b, 2)
 	defer c.Free(spacer, 1)
 	// Request 2: best fit is the 2-range, not the 10-range.
-	got := c.Alloc(2)
+	got := cacheAlloc(c, 2)
 	if got != b {
 		t.Fatalf("best fit failed: got %v want %v", got, b)
 	}
@@ -49,7 +49,7 @@ func TestHugeCacheBestFit(t *testing.T) {
 func TestHugeCacheCoalesce(t *testing.T) {
 	o := mem.NewOS()
 	c := NewHugeCache(o, 0)
-	h := c.Alloc(4)
+	h := cacheAlloc(c, 4)
 	c.Free(h, 1)
 	c.Free(h+2, 1)
 	c.Free(h+1, 1) // bridges the two
@@ -57,7 +57,7 @@ func TestHugeCacheCoalesce(t *testing.T) {
 	if st := c.Stats(); st.Ranges != 1 {
 		t.Fatalf("ranges = %d, want 1 after coalescing", st.Ranges)
 	}
-	if got := c.Alloc(4); got != h {
+	if got := cacheAlloc(c, 4); got != h {
 		t.Fatalf("coalesced range not reusable as a whole")
 	}
 }
@@ -65,7 +65,7 @@ func TestHugeCacheCoalesce(t *testing.T) {
 func TestHugeCacheOverlapPanics(t *testing.T) {
 	o := mem.NewOS()
 	c := NewHugeCache(o, 0)
-	h := c.Alloc(2)
+	h := cacheAlloc(c, 2)
 	c.Free(h, 2)
 	defer func() {
 		if recover() == nil {
@@ -78,7 +78,7 @@ func TestHugeCacheOverlapPanics(t *testing.T) {
 func TestHugeCacheTrim(t *testing.T) {
 	o := mem.NewOS()
 	c := NewHugeCache(o, 2*mem.HugePageSize)
-	h := c.Alloc(5)
+	h := cacheAlloc(c, 5)
 	c.Free(h, 5)
 	if c.CachedBytes() > 2*mem.HugePageSize {
 		t.Fatalf("cache over bound: %d", c.CachedBytes())
@@ -91,7 +91,7 @@ func TestHugeCacheTrim(t *testing.T) {
 func TestHugeCacheReleaseAtLeast(t *testing.T) {
 	o := mem.NewOS()
 	c := NewHugeCache(o, 0)
-	h := c.Alloc(4)
+	h := cacheAlloc(c, 4)
 	c.Free(h, 4)
 	got := c.ReleaseAtLeast(3 * mem.HugePageSize)
 	if got != 3*mem.HugePageSize {
@@ -110,8 +110,8 @@ func TestHugeRegionPacksSlack(t *testing.T) {
 	r := NewHugeRegion(o, nil)
 	// 2.1 MiB ~ 269 pages: two such allocations share one multi-hugepage
 	// region instead of taking 2 hugepages each.
-	p1 := r.Alloc(269)
-	p2 := r.Alloc(269)
+	p1 := regionAlloc(r, 269)
+	p2 := regionAlloc(r, 269)
 	if o.MmapCalls() != 1 {
 		t.Fatalf("expected one region mmap, got %d", o.MmapCalls())
 	}
@@ -138,8 +138,8 @@ func TestHugeRegionPacksSlack(t *testing.T) {
 func TestHugeRegionDoubleFreePanics(t *testing.T) {
 	o := mem.NewOS()
 	r := NewHugeRegion(o, nil)
-	p := r.Alloc(300)
-	q := r.Alloc(10) // keep region alive after first free
+	p := regionAlloc(r, 300)
+	q := regionAlloc(r, 10) // keep region alive after first free
 	_ = q
 	r.Free(p, 300)
 	defer func() {
@@ -155,22 +155,22 @@ func TestPageHeapRouting(t *testing.T) {
 	ph := New(o, DefaultConfig())
 
 	// Sub-hugepage -> filler.
-	small := ph.Alloc(4, LifetimeLong)
+	small := heapAlloc(ph, 4, LifetimeLong)
 	if !ph.fillers[LifetimeLong].Owns(small) {
 		t.Fatal("small alloc not in filler")
 	}
 	// Exactly two hugepages -> cache (no slack).
-	exact := ph.Alloc(512, LifetimeLong)
+	exact := heapAlloc(ph, 512, LifetimeLong)
 	if ph.fillers[LifetimeLong].Owns(exact) || ph.region.Owns(exact) {
 		t.Fatal("exact alloc misrouted")
 	}
 	// Slightly exceeding one hugepage -> region.
-	slightly := ph.Alloc(269, LifetimeLong)
+	slightly := heapAlloc(ph, 269, LifetimeLong)
 	if !ph.region.Owns(slightly) {
 		t.Fatal("2.1MiB-style alloc not in region")
 	}
 	// Large with slack -> cache with donated tail (4.5 MiB = 576 pages).
-	big := ph.Alloc(576, LifetimeLong)
+	big := heapAlloc(ph, 576, LifetimeLong)
 	tail := big.HugePage() + 2
 	if !ph.fillers[LifetimeLong].Owns(tail.FirstPage()) {
 		t.Fatal("tail hugepage not donated to filler")
@@ -209,7 +209,7 @@ func TestPageHeapMappedConservation(t *testing.T) {
 		if r.Bool(0.6) || len(live) == 0 {
 			n := 1 + r.Intn(700)
 			lt := Lifetime(r.Intn(2))
-			live = append(live, alloc{ph.Alloc(n, lt), n, lt})
+			live = append(live, alloc{heapAlloc(ph, n, lt), n, lt})
 		} else {
 			i := r.Intn(len(live))
 			v := live[i]
@@ -247,7 +247,7 @@ func TestPageHeapReleaseLowersCoverage(t *testing.T) {
 	// these hugepages are legal subrelease targets once half-drained.
 	var allocs []mem.PageID
 	for i := 0; i < 64; i++ {
-		allocs = append(allocs, ph.Alloc(150, LifetimeLong))
+		allocs = append(allocs, heapAlloc(ph, 150, LifetimeLong))
 	}
 	// Free half: alternating, so hugepages stay partially full.
 	for i := 0; i < 64; i += 2 {
@@ -273,8 +273,8 @@ func TestPageHeapReleaseLowersCoverage(t *testing.T) {
 func TestPageHeapLifetimeSeparation(t *testing.T) {
 	o := mem.NewOS()
 	ph := New(o, Config{LifetimeAware: true, MaxHugeCacheBytes: 256 << 20})
-	long := ph.Alloc(10, LifetimeLong)
-	short := ph.Alloc(10, LifetimeShort)
+	long := heapAlloc(ph, 10, LifetimeLong)
+	short := heapAlloc(ph, 10, LifetimeShort)
 	if long.HugePage() == short.HugePage() {
 		t.Fatal("lifetime classes share a hugepage")
 	}
@@ -286,8 +286,8 @@ func TestPageHeapLifetimeSeparation(t *testing.T) {
 	}
 	// Without lifetime awareness both land in the same filler.
 	ph2 := New(mem.NewOS(), DefaultConfig())
-	a := ph2.Alloc(10, LifetimeLong)
-	b := ph2.Alloc(10, LifetimeShort)
+	a := heapAlloc(ph2, 10, LifetimeLong)
+	b := heapAlloc(ph2, 10, LifetimeShort)
 	if a.HugePage() != b.HugePage() {
 		t.Fatal("baseline should share hugepages across lifetimes")
 	}
@@ -295,7 +295,7 @@ func TestPageHeapLifetimeSeparation(t *testing.T) {
 
 func TestPageHeapFreePanics(t *testing.T) {
 	ph := New(mem.NewOS(), DefaultConfig())
-	p := ph.Alloc(10, LifetimeLong)
+	p := heapAlloc(ph, 10, LifetimeLong)
 	t.Run("untracked", func(t *testing.T) {
 		defer func() {
 			if recover() == nil {
@@ -317,10 +317,10 @@ func TestPageHeapFreePanics(t *testing.T) {
 func TestPageHeapStatsComponentsSum(t *testing.T) {
 	o := mem.NewOS()
 	ph := New(o, DefaultConfig())
-	ph.Alloc(100, LifetimeLong) // filler
-	ph.Alloc(269, LifetimeLong) // region
-	ph.Alloc(512, LifetimeLong) // cache
-	ph.Alloc(600, LifetimeLong) // donated
+	heapAlloc(ph, 100, LifetimeLong) // filler
+	heapAlloc(ph, 269, LifetimeLong) // region
+	heapAlloc(ph, 512, LifetimeLong) // cache
+	heapAlloc(ph, 600, LifetimeLong) // donated
 	st := ph.Stats()
 	if st.UsedBytes != st.FillerUsed+st.RegionUsed+st.LargeUsed {
 		t.Fatal("used components don't sum")
@@ -349,7 +349,7 @@ func TestPageHeapPropertyWithInterleavedRelease(t *testing.T) {
 		case r.Bool(0.55) || len(live) == 0:
 			n := 1 + r.Intn(600)
 			lt := Lifetime(r.Intn(2))
-			live = append(live, alloc{ph.Alloc(n, lt), n, lt})
+			live = append(live, alloc{heapAlloc(ph, n, lt), n, lt})
 			usedPages += int64(n)
 		case r.Bool(0.05):
 			ph.ReleaseAtLeast(int64(r.Intn(32)) << 20)
@@ -380,4 +380,38 @@ func TestPageHeapPropertyWithInterleavedRelease(t *testing.T) {
 	if st := ph.Stats(); st.UsedBytes != 0 {
 		t.Fatalf("drain residue: %+v", st)
 	}
+}
+
+// Test helpers: the error paths of Alloc are exercised by the fault
+// tests; everything else treats allocation failure as a fatal setup bug.
+func mustMap(o *mem.OS, n int) mem.HugePageID {
+	h, err := o.MapHuge(n)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func cacheAlloc(c *HugeCache, n int) mem.HugePageID {
+	h, err := c.Alloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func regionAlloc(r *HugeRegion, n int) mem.PageID {
+	p, err := r.Alloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func heapAlloc(ph *PageHeap, n int, lt Lifetime) mem.PageID {
+	p, err := ph.Alloc(n, lt)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }

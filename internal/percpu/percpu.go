@@ -10,12 +10,16 @@ package percpu
 import (
 	"fmt"
 	"sort"
+
+	"wsmalloc/internal/check"
 )
 
 // Backing is the middle tier (the transfer cache layer).
 type Backing interface {
-	// Alloc fills out with objects of a class for an LLC domain.
-	Alloc(class, domain int, out []uint64)
+	// Alloc fills out with objects of a class for an LLC domain,
+	// returning the count filled. A short fill is always accompanied by
+	// the allocation error that caused it.
+	Alloc(class, domain int, out []uint64) (int, error)
 	// Free returns objects of a class freed by an LLC domain.
 	Free(class, domain int, objs []uint64)
 }
@@ -169,8 +173,11 @@ func (c *Caches) cache(vcpu int) *cpuCache {
 }
 
 // Alloc returns one object of the given class for a thread running on
-// vcpu. hit reports whether the fast path (cache) served it.
-func (c *Caches) Alloc(vcpu, class int) (addr uint64, hit bool) {
+// vcpu. hit reports whether the fast path (cache) served it. When the
+// refill batch comes back short but non-empty, the request still
+// succeeds (the shortfall only thins the cache); only a completely
+// failed refill surfaces the middle tier's error.
+func (c *Caches) Alloc(vcpu, class int) (addr uint64, hit bool, err error) {
 	cc := c.cache(vcpu)
 	cc.classOps[class]++
 	if s := cc.slots[class]; len(s) > 0 {
@@ -178,7 +185,7 @@ func (c *Caches) Alloc(vcpu, class int) (addr uint64, hit bool) {
 		cc.slots[class] = s[:len(s)-1]
 		cc.used -= int64(c.objSize(class))
 		cc.allocHits++
-		return addr, true
+		return addr, true, nil
 	}
 	// Underflow: refill a batch from the middle tier, growing the
 	// capacity toward its bound (slow start).
@@ -201,13 +208,16 @@ func (c *Caches) Alloc(vcpu, class int) (addr uint64, hit bool) {
 		batch = 1
 	}
 	buf := make([]uint64, batch)
-	c.backing.Alloc(class, c.domainOf(vcpu), buf)
-	addr = buf[0]
-	if batch > 1 {
-		cc.slots[class] = append(cc.slots[class], buf[1:]...)
-		cc.used += int64(batch-1) * size
+	n, err := c.backing.Alloc(class, c.domainOf(vcpu), buf)
+	if n == 0 {
+		return 0, false, err
 	}
-	return addr, false
+	addr = buf[0]
+	if n > 1 {
+		cc.slots[class] = append(cc.slots[class], buf[1:n]...)
+		cc.used += int64(n-1) * size
+	}
+	return addr, false, nil
 }
 
 // Free returns one object of the given class from a thread on vcpu. hit
@@ -370,9 +380,15 @@ func (c *Caches) resizePass() {
 			if step > avail {
 				step = avail
 			}
+			// Move the slow-start bound together with the capacity:
+			// otherwise the victim regrows its loss on later misses
+			// while the target keeps the stolen excess, inflating the
+			// summed capacity past the configured budget.
 			vc.capacity -= step
+			vc.bound -= step
 			c.evictToCapacity(vc, victim)
 			c.caches[target].capacity += step
+			c.caches[target].bound += step
 			moved += step
 			c.resizes++
 		}
@@ -449,6 +465,56 @@ func (c *Caches) Capacities() []int64 {
 		}
 	}
 	return out
+}
+
+// CheckInvariants audits the front-end: each populated cache's used-byte
+// counter against a recount of its slots, usage within capacity, and
+// capacity within the cache's slow-start bound. The heterogeneous
+// resizer (§4.1) relocates bound together with capacity, so per-cache
+// capacity ≤ bound holds in both designs and the summed bound is
+// conserved at one configured budget per populated vCPU — capacity can
+// move, never be created.
+func (c *Caches) CheckInvariants() []check.Violation {
+	var vs []check.Violation
+	var boundTotal, populated int64
+	for vcpu, cc := range c.caches {
+		if cc == nil {
+			continue
+		}
+		var recount int64
+		for class := 0; class < c.numClasses; class++ {
+			recount += int64(len(cc.slots[class])) * int64(c.objSize(class))
+		}
+		if recount != cc.used {
+			vs = append(vs, check.Violationf("percpu", check.KindAccounting,
+				"vcpu %d used-byte counter %d disagrees with slot recount %d",
+				vcpu, cc.used, recount))
+		}
+		if cc.used > cc.capacity {
+			vs = append(vs, check.Violationf("percpu", check.KindStructure,
+				"vcpu %d cache holds %d bytes above its %d-byte capacity",
+				vcpu, cc.used, cc.capacity))
+		}
+		if cc.capacity > cc.bound {
+			vs = append(vs, check.Violationf("percpu", check.KindStructure,
+				"vcpu %d capacity %d exceeds its bound %d", vcpu, cc.capacity, cc.bound))
+		}
+		boundTotal += cc.bound
+		populated++
+	}
+	if want := populated * c.cfg.CapacityBytes; boundTotal != want {
+		vs = append(vs, check.Violationf("percpu", check.KindConservation,
+			"summed capacity bound %d differs from the configured budget %d (%d caches x %d)",
+			boundTotal, want, populated, c.cfg.CapacityBytes))
+	}
+	return vs
+}
+
+// CorruptUsedForTest skews the used-byte counter of one vCPU cache. It
+// exists solely so the corruption self-test can prove the auditor
+// detects front-end accounting drift; production code never calls it.
+func (c *Caches) CorruptUsedForTest(vcpu int, delta int64) {
+	c.cache(vcpu).used += delta
 }
 
 // Stats returns a snapshot.

@@ -11,12 +11,13 @@ type fakeBacking struct {
 	inflow  int64 // objects returned
 }
 
-func (f *fakeBacking) Alloc(class, domain int, out []uint64) {
+func (f *fakeBacking) Alloc(class, domain int, out []uint64) (int, error) {
 	for i := range out {
 		out[i] = f.next
 		f.next++
 	}
 	f.outflow += int64(len(out))
+	return len(out), nil
 }
 
 func (f *fakeBacking) Free(class, domain int, objs []uint64) {
@@ -36,7 +37,7 @@ func newCaches(cfg Config) (*Caches, *fakeBacking) {
 
 func TestAllocMissThenHits(t *testing.T) {
 	c, b := newCaches(StaticConfig())
-	a1, hit := c.Alloc(0, 1)
+	a1, hit, _ := c.Alloc(0, 1)
 	if hit {
 		t.Fatal("first alloc cannot hit")
 	}
@@ -44,12 +45,12 @@ func TestAllocMissThenHits(t *testing.T) {
 		t.Fatalf("refill fetched %d objects, want batch of 8", b.outflow)
 	}
 	for i := 0; i < 7; i++ {
-		_, hit := c.Alloc(0, 1)
+		_, hit, _ := c.Alloc(0, 1)
 		if !hit {
 			t.Fatalf("alloc %d should hit the refilled cache", i)
 		}
 	}
-	_, hit = c.Alloc(0, 1)
+	_, hit, _ = c.Alloc(0, 1)
 	if hit {
 		t.Fatal("ninth alloc should miss again")
 	}
@@ -88,7 +89,7 @@ func TestFreeHitAndOverflow(t *testing.T) {
 func TestLIFOReuse(t *testing.T) {
 	c, _ := newCaches(StaticConfig())
 	c.Free(0, 0, 42)
-	addr, hit := c.Alloc(0, 0)
+	addr, hit, _ := c.Alloc(0, 0)
 	if !hit || addr != 42 {
 		t.Fatalf("expected LIFO reuse of 42, got %d hit=%v", addr, hit)
 	}
@@ -97,7 +98,7 @@ func TestLIFOReuse(t *testing.T) {
 func TestCachesAreIndependentPerVCPU(t *testing.T) {
 	c, _ := newCaches(StaticConfig())
 	c.Free(3, 0, 42)
-	if _, hit := c.Alloc(1, 0); hit {
+	if _, hit, _ := c.Alloc(1, 0); hit {
 		t.Fatal("vCPU 1 must not see vCPU 3's objects")
 	}
 	if st := c.Stats(); st.PopulatedCaches != 2 {
@@ -109,7 +110,7 @@ func TestRefillRespectsCapacity(t *testing.T) {
 	cfg := StaticConfig()
 	cfg.CapacityBytes = 64 * 3 // room for only 3 class-0 objects
 	c, b := newCaches(cfg)
-	_, _ = c.Alloc(0, 0)
+	_, _, _ = c.Alloc(0, 0)
 	// Batch is 8 but capacity is 3: fetch 1 returned + at most 2 cached.
 	if b.outflow > 3 {
 		t.Fatalf("refill fetched %d objects beyond capacity", b.outflow)
@@ -233,9 +234,9 @@ func TestMissCountsDisparity(t *testing.T) {
 	c, _ := newCaches(StaticConfig())
 	// vCPU 0 does lots of work, vCPU 5 a little (Fig. 9b shape).
 	for i := 0; i < 100; i++ {
-		a, _ := c.Alloc(0, 0)
+		a, _, _ := c.Alloc(0, 0)
 		c.Free(0, 0, a)
-		_, _ = c.Alloc(0, 3)
+		_, _, _ = c.Alloc(0, 3)
 	}
 	c.Alloc(5, 0)
 	misses := c.MissCounts()
@@ -251,7 +252,7 @@ func TestHeterogeneousReducesFootprintUnderSkew(t *testing.T) {
 	// vCPUs stay at their slow-start size in both.
 	workload := func(c *Caches) {
 		for v := 1; v < 8; v++ { // populate idle vCPUs
-			a, _ := c.Alloc(v, 0)
+			a, _, _ := c.Alloc(v, 0)
 			c.Free(v, 0, a)
 		}
 		// vCPU 0 frees far more class-3 (512 B) objects than any bound

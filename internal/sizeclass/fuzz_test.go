@@ -1,0 +1,68 @@
+package sizeclass
+
+import "testing"
+
+// FuzzSizeClassRoundTrip asserts, for any request size, the properties
+// the rest of the allocator relies on: rounding never shrinks a request,
+// worst-case internal fragmentation stays bounded, the lookup tables
+// agree with a linear table scan, and AllocatedSize is consistent with
+// ClassFor on both sides of the small/large boundary.
+func FuzzSizeClassRoundTrip(f *testing.F) {
+	f.Add(1)
+	f.Add(8)
+	f.Add(100)
+	f.Add(1024)
+	f.Add(MaxSmallSize)
+	f.Add(MaxSmallSize + 1)
+	f.Add(1 << 20)
+
+	tab := NewTable()
+	f.Fuzz(func(t *testing.T, size int) {
+		if size < 1 || size > 8<<20 {
+			t.Skip()
+		}
+		c, ok := tab.ClassFor(size)
+		if size > MaxSmallSize {
+			if ok {
+				t.Fatalf("ClassFor(%d) = class %d above MaxSmallSize", size, c.Index)
+			}
+			// Large requests round to whole pages.
+			want := (size + PageSize - 1) / PageSize * PageSize
+			if got := tab.AllocatedSize(size); got != want {
+				t.Fatalf("AllocatedSize(%d) = %d, want page-rounded %d", size, got, want)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("no class for small size %d", size)
+		}
+		if c.Size < size {
+			t.Fatalf("class size %d below request %d", c.Size, size)
+		}
+		if got := tab.AllocatedSize(size); got != c.Size {
+			t.Fatalf("AllocatedSize(%d) = %d, class says %d", size, got, c.Size)
+		}
+		if got := tab.InternalFragmentation(size); got != c.Size-size {
+			t.Fatalf("InternalFragmentation(%d) = %d, want %d", size, got, c.Size-size)
+		}
+		// The lookup must pick the first class that fits — compare with
+		// a linear scan over the table.
+		for _, cand := range tab.Classes() {
+			if cand.Size >= size {
+				if cand.Index != c.Index {
+					t.Fatalf("ClassFor(%d) = class %d (size %d), linear scan says %d (size %d)",
+						size, c.Index, c.Size, cand.Index, cand.Size)
+				}
+				break
+			}
+		}
+		// Bounded internal fragmentation: beyond the dense 8-byte-stride
+		// region the table guarantees <= ~12.5% + alignment slack.
+		if size >= 128 && float64(c.Size-size) > 0.13*float64(size)+float64(alignmentFor(size)) {
+			t.Fatalf("fragmentation %d on request %d exceeds the construction bound", c.Size-size, size)
+		}
+		if c.ObjectsPerSpan < 1 || c.ObjectsPerSpan != c.SpanBytes()/c.Size {
+			t.Fatalf("class %d span shape inconsistent: %+v", c.Index, c)
+		}
+	})
+}

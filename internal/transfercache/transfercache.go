@@ -12,12 +12,18 @@
 // LLC miss-rate improvements in Table 1.
 package transfercache
 
-import "fmt"
+import (
+	"fmt"
+
+	"wsmalloc/internal/check"
+)
 
 // Backing is the next tier down (the central free lists).
 type Backing interface {
-	// AllocBatch fills out with objects of the given size class.
-	AllocBatch(class int, out []uint64) int
+	// AllocBatch fills out with objects of the given size class,
+	// returning the count filled. A short fill is always accompanied by
+	// the allocation error that caused it.
+	AllocBatch(class int, out []uint64) (int, error)
 	// FreeBatch returns objects of the given size class.
 	FreeBatch(class int, objs []uint64)
 }
@@ -162,8 +168,10 @@ func New(cfg Config, numClasses int, objSize func(int) int, backing Backing) *Tr
 // Alloc fills out with objects of the given class for a request issued
 // from the given LLC domain. It tries the domain cache, then the legacy
 // cache, then the backing tier, and records the transfer classification
-// of every object handed out.
-func (t *TransferCaches) Alloc(class, domain int, out []uint64) {
+// of every object handed out. It returns the count filled; a short fill
+// is always accompanied by the backing tier's allocation error, and the
+// objects already in out remain valid.
+func (t *TransferCaches) Alloc(class, domain int, out []uint64) (int, error) {
 	filled := 0
 	if t.cfg.NUCAAware {
 		dc := &t.domains[t.domainIndex(domain)][class]
@@ -185,15 +193,19 @@ func (t *TransferCaches) Alloc(class, domain int, out []uint64) {
 	if filled < len(out) {
 		// Miss: fetch cold objects from the central free list.
 		t.stats.Misses++
-		n := t.backing.AllocBatch(class, out[filled:])
+		n, err := t.backing.AllocBatch(class, out[filled:])
 		t.stats.Cold += int64(n)
 		filled += n
+		if err != nil {
+			return filled, err
+		}
 	} else {
 		t.stats.Hits++
 	}
 	if filled != len(out) {
-		panic("transfercache: backing tier under-filled a batch")
+		panic("transfercache: backing tier under-filled a batch without reporting an error")
 	}
+	return filled, nil
 }
 
 // take pops up to len(out) objects from c, classifying their provenance
@@ -335,6 +347,50 @@ func (t *TransferCaches) Drain() {
 	}
 	for class := range t.legacy {
 		flush(class, &t.legacy[class])
+	}
+}
+
+// CheckInvariants audits the layer: no cache may hold more objects than
+// its bound (the byte caps are folded into max at construction, so an
+// over-full cache is exactly a byte-bound overflow), and entry domains
+// must be valid.
+func (t *TransferCaches) CheckInvariants() []check.Violation {
+	var vs []check.Violation
+	audit := func(where string, class int, c *cache) {
+		if len(c.entries) > c.max {
+			vs = append(vs, check.Violationf("transfercache", check.KindStructure,
+				"%s cache class %d holds %d objects (%d bytes) above its bound of %d",
+				where, class, len(c.entries),
+				int64(len(c.entries))*int64(t.objSize(class)), c.max))
+		}
+		for _, e := range c.entries {
+			if e.domain != coldDomain && (int(e.domain) < 0 || (t.cfg.NUCAAware && int(e.domain) >= t.cfg.NumDomains)) {
+				vs = append(vs, check.Violationf("transfercache", check.KindStructure,
+					"%s cache class %d entry %#x tagged with invalid domain %d",
+					where, class, e.addr, e.domain))
+				break
+			}
+		}
+	}
+	for class := range t.legacy {
+		audit("legacy", class, &t.legacy[class])
+	}
+	for d := range t.domains {
+		for class := range t.domains[d] {
+			audit(fmt.Sprintf("domain-%d", d), class, &t.domains[d][class])
+		}
+	}
+	return vs
+}
+
+// OverstuffLegacyForTest forces objects into the legacy cache of a class
+// past its bound, bypassing the overflow spill. It exists solely so the
+// corruption self-test can prove the auditor detects cache byte-bound
+// overflow; production code never calls it.
+func (t *TransferCaches) OverstuffLegacyForTest(class int, addrs []uint64) {
+	c := &t.legacy[class]
+	for _, a := range addrs {
+		c.entries = append(c.entries, entry{addr: a, domain: coldDomain})
 	}
 }
 

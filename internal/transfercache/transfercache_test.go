@@ -16,14 +16,14 @@ func newFakeBacking() *fakeBacking {
 	return &fakeBacking{next: map[int]uint64{}, freed: map[int][]uint64{}}
 }
 
-func (f *fakeBacking) AllocBatch(class int, out []uint64) int {
+func (f *fakeBacking) AllocBatch(class int, out []uint64) (int, error) {
 	f.allocs++
 	base := f.next[class]
 	for i := range out {
 		out[i] = uint64(class)<<32 | (base + uint64(i))
 	}
 	f.next[class] = base + uint64(len(out))
-	return len(out)
+	return len(out), nil
 }
 
 func (f *fakeBacking) FreeBatch(class int, objs []uint64) {

@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 
+	"wsmalloc/internal/check"
 	"wsmalloc/internal/core"
 	"wsmalloc/internal/rng"
 )
@@ -29,6 +30,11 @@ type Options struct {
 	// Snapshot, when non-nil, is called every SnapshotEveryNs.
 	Snapshot        func(now int64)
 	SnapshotEveryNs int64
+	// AuditEveryNs, when positive, runs the allocator's full invariant
+	// auditor (core.CheckInvariants) every AuditEveryNs of virtual time
+	// and once more at the end of the run. Violations land in
+	// Result.Violations.
+	AuditEveryNs int64
 }
 
 // DefaultOptions returns options suitable for experiment runs.
@@ -66,6 +72,19 @@ type Result struct {
 	// Stats is the allocator snapshot at the end of the run (before any
 	// teardown).
 	Stats core.Stats
+	// AllocFailures counts allocations the allocator refused (OOM under
+	// fault injection even after its drain-and-retry paths). Failed
+	// allocations are dropped: the workload carries on without the
+	// object, which is the graceful-degradation behaviour chaos runs
+	// assert.
+	AllocFailures int64
+	// Audits is the number of invariant audits performed (see
+	// Options.AuditEveryNs).
+	Audits int64
+	// Violations holds the outcome of the most recent audit. Structural
+	// violations are recomputed per audit; shadow-heap violations
+	// accumulate over the run, so the final audit subsumes earlier ones.
+	Violations []check.Violation
 }
 
 // OpsPerSecond is the workload-visible operation rate.
@@ -171,13 +190,26 @@ func (d *Driver) preload() {
 		dist = DefaultPreloadDist()
 	}
 	var total int64
+	consecutiveFailures := 0
 	for total < d.profile.PreloadBytes {
 		size := int(dist.Sample(d.r))
 		if size < 1 {
 			size = 1
 		}
 		cpu := d.cpuForThread(d.r.Intn(d.threads))
-		addr, _ := d.alloc.Malloc(size, cpu)
+		addr, _, err := d.alloc.TryMalloc(size, cpu)
+		if err != nil {
+			// Under an injected mapped-byte budget the resident heap may
+			// simply not fit; preloading retries past transient mmap
+			// failures but gives up once the allocator is firmly out of
+			// memory (nothing is freed during preload).
+			d.res.AllocFailures++
+			if consecutiveFailures++; consecutiveFailures >= 8 {
+				return
+			}
+			continue
+		}
+		consecutiveFailures = 0
 		d.preloaded = append(d.preloaded, object{addr, size})
 		total += int64(size)
 	}
@@ -198,6 +230,10 @@ func (d *Driver) Run() Result {
 	nextSnapshot := int64(math.MaxInt64)
 	if d.opts.Snapshot != nil && d.opts.SnapshotEveryNs > 0 {
 		nextSnapshot = d.opts.SnapshotEveryNs
+	}
+	nextAudit := int64(math.MaxInt64)
+	if d.opts.AuditEveryNs > 0 {
+		nextAudit = d.opts.AuditEveryNs
 	}
 
 	for d.now < d.opts.Duration {
@@ -224,6 +260,10 @@ func (d *Driver) Run() Result {
 			d.opts.Snapshot(d.now)
 			nextSnapshot += d.opts.SnapshotEveryNs
 		}
+		if d.now >= nextAudit {
+			d.audit()
+			nextAudit += d.opts.AuditEveryNs
+		}
 		if d.now >= d.opts.Duration {
 			break
 		}
@@ -233,9 +273,15 @@ func (d *Driver) Run() Result {
 			size = 1
 		}
 		cpu := d.cpuForThread(d.pickThread())
-		addr, cost := d.alloc.Malloc(size, cpu)
-		d.res.Ops++
+		addr, cost, err := d.alloc.TryMalloc(size, cpu)
 		d.res.MallocNs += cost
+		if err != nil {
+			// Degrade gracefully: the op is dropped and the workload
+			// proceeds. Frees keep running, so memory pressure can clear.
+			d.res.AllocFailures++
+			continue
+		}
+		d.res.Ops++
 		d.res.AllocatedBytes += int64(size)
 		d.liveCount++
 
@@ -245,12 +291,24 @@ func (d *Driver) Run() Result {
 		d.wheel[bucket] = append(d.wheel[bucket], object{addr, size})
 	}
 
+	if d.opts.AuditEveryNs > 0 {
+		d.audit()
+	}
 	d.res.Duration = d.opts.Duration
 	d.res.Stats = d.alloc.Stats()
 	if p.MallocFraction > 0 {
 		d.res.TotalCPUNs = d.res.MallocNs / p.MallocFraction
 	}
 	return d.res
+}
+
+// audit runs the allocator-wide invariant check and records the outcome.
+// Each audit replaces Result.Violations: structural checks are recomputed
+// from scratch, and shadow-heap violations accumulate inside the
+// allocator, so the latest audit is always the most complete.
+func (d *Driver) audit() {
+	d.res.Audits++
+	d.res.Violations = d.alloc.CheckInvariants()
 }
 
 // processDeaths frees every object whose death bucket has passed. The

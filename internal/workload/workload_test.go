@@ -3,7 +3,9 @@ package workload
 import (
 	"testing"
 
+	"wsmalloc/internal/check"
 	"wsmalloc/internal/core"
+	"wsmalloc/internal/mem"
 	"wsmalloc/internal/rng"
 	"wsmalloc/internal/stats"
 	"wsmalloc/internal/topology"
@@ -234,5 +236,41 @@ func TestDriverSnapshotCallback(t *testing.T) {
 	Run(Fleet(), a, opts)
 	if calls < 8 || calls > 11 {
 		t.Fatalf("snapshot calls = %d, want ~10", calls)
+	}
+}
+
+// TestDriverChaosGracefulDegradation runs a profile under an aggressive
+// fault plan with periodic audits and asserts the driver degrades
+// gracefully: failed allocations are dropped and counted, never
+// panicked on, frees keep flowing so pressure can clear, and the
+// periodic invariant audits stay clean throughout.
+func TestDriverChaosGracefulDegradation(t *testing.T) {
+	cfg := core.OptimizedConfig()
+	cfg.Faults = mem.FaultPlan{Seed: 3, MmapFailureRate: 0.05, MappedBytesBudget: 512 << 20}
+	cfg.Check = check.Config{Mode: check.ModeSampled, SampleEvery: 64, MaxViolations: 64}
+	a := core.New(cfg, topology.New(topology.Default()))
+
+	opts := DefaultOptions(21)
+	opts.Duration = 30 * Millisecond
+	opts.AuditEveryNs = 5 * Millisecond
+	res := Run(Bigtable(), a, opts)
+
+	if res.Ops < 1000 {
+		t.Fatalf("driver made no progress under chaos: %d ops", res.Ops)
+	}
+	st := a.Stats()
+	if st.Faults.InjectedFailures == 0 && st.Faults.BudgetFailures == 0 {
+		t.Fatal("fault plan injected nothing")
+	}
+	if res.Audits < 5 {
+		t.Fatalf("expected >= 5 audits (periodic + final), got %d", res.Audits)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("audit violations under chaos: %v", res.Violations)
+	}
+	// Under a 512 MiB budget and bigtable's preload, some allocations
+	// should actually have failed and been absorbed.
+	if st.OOMErrors > 0 && res.AllocFailures == 0 {
+		t.Fatal("allocator saw OOMs the driver did not record")
 	}
 }

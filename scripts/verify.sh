@@ -1,0 +1,31 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate.
+#
+# Runs vet, build, the unit/property tests under the race detector, a
+# short fuzz smoke on both fuzz targets, and the hardening self-tests
+# (sanitizer corruption detection + fleet chaos run). Exits non-zero on
+# the first failure.
+#
+# Usage: ./scripts/verify.sh [fuzztime]   (default fuzz smoke: 5s each)
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${1:-5s}"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz smoke (${FUZZTIME} each)"
+go test ./internal/sizeclass/ -run '^$' -fuzz FuzzSizeClassRoundTrip -fuzztime "$FUZZTIME"
+go test ./internal/core/ -run '^$' -fuzz FuzzAllocFree -fuzztime "$FUZZTIME"
+
+echo "==> hardening self-tests (sanitizer detection + fleet chaos)"
+go run ./cmd/experiments -scale smoke selftest chaos
+
+echo "verify: OK"

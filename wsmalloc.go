@@ -26,9 +26,11 @@
 package wsmalloc
 
 import (
+	"wsmalloc/internal/check"
 	"wsmalloc/internal/core"
 	"wsmalloc/internal/experiments"
 	"wsmalloc/internal/fleet"
+	"wsmalloc/internal/mem"
 	"wsmalloc/internal/topology"
 	"wsmalloc/internal/workload"
 )
@@ -74,6 +76,40 @@ type (
 	// Scale trades experiment fidelity for wall-clock time.
 	Scale = experiments.Scale
 )
+
+// Heap-integrity sanitizer and fault-injection types.
+type (
+	// CheckConfig configures the shadow-heap sanitizer (Config.Check).
+	CheckConfig = check.Config
+	// Violation is one detected integrity failure.
+	Violation = check.Violation
+	// FaultPlan is a deterministic OS fault-injection plan
+	// (Config.Faults, ABOptions.Chaos).
+	FaultPlan = mem.FaultPlan
+	// ChaosStats aggregates fault-injection outcomes over a fleet A/B.
+	ChaosStats = fleet.ChaosStats
+	// Hardening selects sanitizer/chaos instrumentation for experiments.
+	Hardening = experiments.Hardening
+)
+
+// Allocation-failure sentinels: errors.Is(err, ErrNoMemory) identifies an
+// out-of-memory failure from TryMalloc; ErrBadFree an invalid TryFree.
+var (
+	ErrNoMemory = core.ErrNoMemory
+	ErrBadFree  = core.ErrBadFree
+)
+
+// FullCheckConfig returns the full-coverage sanitizer configuration:
+// every allocation shadow-tracked, every free verified.
+func FullCheckConfig() CheckConfig { return check.DefaultConfig() }
+
+// SetHardening applies sanitizer/fault-injection instrumentation to every
+// subsequent profile-driven experiment run (the -audit/-chaos flags).
+func SetHardening(h Hardening) { experiments.SetHardening(h) }
+
+// AuditTrips reports how many experiment runs ended with audit violations
+// since SetHardening.
+func AuditTrips() int64 { return experiments.AuditTrips() }
 
 // The paper's four redesigns (§4.1-§4.4).
 const (

@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale smoke|quick|full] [-audit] [-chaos] [all|<name>...]
+//	experiments [-seed N] [-scale smoke|quick|full] [-j N] [-audit] [-chaos] [all|<name>...]
 //
 // Names are fig3..fig17, table1, table2, combined, ablation-l,
 // ablation-c, ablation-capacity, selftest, chaos. With no arguments it
 // lists the registry.
+//
+// -j bounds the worker pool that experiments fan out over (machines in
+// fleet A/Bs, profiles in benchmark sweeps, the experiments themselves);
+// the default is all cores, -j 1 is the sequential legacy path, and the
+// output is bit-identical at any -j for the same seed.
 //
 // -audit runs every profile under the full shadow-heap sanitizer with
 // periodic invariant audits; -chaos additionally injects a deterministic
@@ -25,11 +30,13 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	scaleName := flag.String("scale", "quick", "experiment scale: smoke, quick, or full")
+	workers := flag.Int("j", 0, "worker pool size for parallel execution (0 = all cores, 1 = sequential)")
 	audit := flag.Bool("audit", false, "run profiles under the shadow-heap sanitizer with periodic invariant audits")
 	chaos := flag.Bool("chaos", false, "inject a deterministic mmap failure rate into every profile run")
 	flag.Parse()
 
 	wsmalloc.SetHardening(wsmalloc.Hardening{Audit: *audit, Chaos: *chaos})
+	wsmalloc.SetExperimentWorkers(*workers)
 
 	var scale wsmalloc.Scale
 	switch *scaleName {
@@ -62,14 +69,13 @@ func main() {
 		names = args
 	}
 
+	reports, err := wsmalloc.RunExperiments(names, *seed, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	failed := false
-	for _, name := range names {
-		runner, ok := wsmalloc.Experiment(name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			os.Exit(2)
-		}
-		rep := runner.Run(*seed, scale)
+	for _, rep := range reports {
 		fmt.Println(rep)
 		if rep.Failed {
 			failed = true

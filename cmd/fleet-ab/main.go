@@ -5,23 +5,144 @@
 // Usage:
 //
 //	fleet-ab [-machines 400] [-feature all|<name>] [-seed 1]
-//	         [-duration-ms 250] [-sample 0.01]
+//	         [-duration-ms 250] [-sample 0.01] [-j N]
 //	         [-chaos-mmap-rate 0] [-chaos-budget-mb 0] [-audit-every-ms 0]
+//	         [-bench-sweep 1,2,4,max] [-bench-out BENCH_fleet.json]
+//
+// -j bounds how many enrolled machines are simulated concurrently
+// (default: all cores; -j 1 is the sequential legacy path). Results are
+// bit-identical at any -j for the same seed.
 //
 // The chaos flags install a deterministic per-machine fault plan in every
 // enrolled run (seeded mmap failures and/or a committed-byte budget);
 // -audit-every-ms runs the allocator invariant auditor at that virtual
 // cadence. The command prints the chaos/audit summary and exits non-zero
 // if any audit reported violations.
+//
+// -bench-sweep benchmarks the execution engine instead of printing
+// tables: it runs the same A/B once per listed -j value ("max" = all
+// cores), verifies each parallel result is bit-identical to -j 1, and
+// writes machines/sec plus speedup-vs-j1 to -bench-out as JSON
+// (scripts/bench_fleet.sh wraps this).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
 	"wsmalloc"
 )
+
+// benchEntry is one sweep point of the engine benchmark.
+type benchEntry struct {
+	J              int     `json:"j"`
+	WallMs         float64 `json:"wall_ms"`
+	MachinesPerSec float64 `json:"machines_per_sec"`
+	SpeedupVsJ1    float64 `json:"speedup_vs_j1"`
+	IdenticalToJ1  bool    `json:"identical_to_j1"`
+}
+
+// benchDoc is the BENCH_fleet.json schema.
+type benchDoc struct {
+	Benchmark         string       `json:"benchmark"`
+	FleetMachines     int          `json:"fleet_machines"`
+	EnrolledMachines  int          `json:"enrolled_machines"`
+	RunsPerMachine    int          `json:"runs_per_machine"`
+	VirtualDurationMs int64        `json:"virtual_duration_ms"`
+	Seed              uint64       `json:"seed"`
+	NumCPU            int          `json:"num_cpu"`
+	Sweep             []benchEntry `json:"sweep"`
+}
+
+// runBench sweeps -j over the same experiment, checks bit-identical
+// results against -j 1, and writes the JSON report. Returns false if any
+// parallel result diverged from the sequential one.
+func runBench(f *wsmalloc.Fleet, control, experiment wsmalloc.Config, opts wsmalloc.ABOptions,
+	sweep string, out string, seed uint64) bool {
+	var js []int
+	for _, tok := range strings.Split(sweep, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if tok == "max" {
+			js = append(js, runtime.NumCPU())
+			continue
+		}
+		j, err := strconv.Atoi(tok)
+		if err != nil || j < 1 {
+			fmt.Fprintf(os.Stderr, "bad -bench-sweep entry %q\n", tok)
+			os.Exit(2)
+		}
+		js = append(js, j)
+	}
+	if len(js) == 0 || js[0] != 1 {
+		js = append([]int{1}, js...) // speedups are measured against -j 1
+	}
+	seen := map[int]bool{}
+	uniq := js[:0]
+	for _, j := range js {
+		if !seen[j] {
+			seen[j] = true
+			uniq = append(uniq, j)
+		}
+	}
+	js = uniq
+
+	doc := benchDoc{
+		Benchmark:         "fleet-ab",
+		FleetMachines:     len(f.Machines),
+		RunsPerMachine:    2, // paired control + experiment
+		VirtualDurationMs: opts.DurationNs / 1_000_000,
+		Seed:              seed,
+		NumCPU:            runtime.NumCPU(),
+	}
+	var baseWall float64
+	var baseline string
+	ok := true
+	for _, j := range js {
+		opts.Workers = j
+		start := time.Now()
+		res := f.ABTest(control, experiment, opts)
+		wall := time.Since(start)
+		fp := fmt.Sprintf("%#v", res)
+		if j == 1 && baseline == "" {
+			baseline = fp
+			baseWall = wall.Seconds()
+		}
+		doc.EnrolledMachines = res.Fleet.Machines
+		e := benchEntry{
+			J:              j,
+			WallMs:         float64(wall.Microseconds()) / 1000,
+			MachinesPerSec: float64(2*res.Fleet.Machines) / wall.Seconds(),
+			SpeedupVsJ1:    baseWall / wall.Seconds(),
+			IdenticalToJ1:  fp == baseline,
+		}
+		if !e.IdenticalToJ1 {
+			ok = false
+		}
+		doc.Sweep = append(doc.Sweep, e)
+		fmt.Printf("-j %-3d %8.1f ms  %7.1f machines/s  speedup %.2fx  identical=%v\n",
+			e.J, e.WallMs, e.MachinesPerSec, e.SpeedupVsJ1, e.IdenticalToJ1)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err == nil {
+		err = os.WriteFile(out, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+	return ok
+}
 
 func main() {
 	machines := flag.Int("machines", 400, "fleet size")
@@ -33,6 +154,9 @@ func main() {
 	chaosRate := flag.Float64("chaos-mmap-rate", 0, "injected mmap failure probability per MapHuge (0 disables)")
 	chaosBudgetMB := flag.Int64("chaos-budget-mb", 0, "per-machine committed-byte budget in MiB (0 = unlimited)")
 	auditEveryMs := flag.Int64("audit-every-ms", 0, "virtual cadence of invariant audits (0 disables)")
+	workers := flag.Int("j", 0, "concurrent machine simulations (0 = all cores, 1 = sequential)")
+	benchSweep := flag.String("bench-sweep", "", "comma-separated -j values to benchmark (e.g. 1,2,4,max); writes JSON and exits")
+	benchOut := flag.String("bench-out", "BENCH_fleet.json", "benchmark JSON output path (with -bench-sweep)")
 	flag.Parse()
 
 	control := wsmalloc.Baseline()
@@ -63,6 +187,15 @@ func main() {
 		MappedBytesBudget: *chaosBudgetMB << 20,
 	}
 	opts.AuditEveryNs = *auditEveryMs * 1_000_000
+	opts.Workers = *workers
+
+	if *benchSweep != "" {
+		if !runBench(f, control, experiment, opts, *benchSweep, *benchOut, *seed) {
+			fmt.Fprintln(os.Stderr, "bench: parallel result diverged from -j 1")
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("fleet A/B: %d machines, feature=%s, %.1f%% sampled, %dms virtual each\n",
 		*machines, *feature, *sample*100, *durationMs)

@@ -31,6 +31,9 @@ func main() {
 	opts := wsmalloc.DefaultABOptions()
 	opts.MinMachines = 8
 	opts.DurationNs = 100 * 1_000_000
+	// Enrolled machines fan out over the worker pool (0 = all cores);
+	// results are bit-identical to Workers=1 for the same seed.
+	opts.Workers = 0
 
 	// Experiment 1: NUCA-aware transfer caches (paper Table 1).
 	base := wsmalloc.Baseline()

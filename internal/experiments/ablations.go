@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"wsmalloc/internal/core"
 	"wsmalloc/internal/fleet"
 	"wsmalloc/internal/percpu"
@@ -18,15 +20,19 @@ func AblationL(seed uint64, scale Scale) Report {
 	}
 	dur := scale.duration(250 * workload.Millisecond)
 	m := fleet.Machine{ID: 0, Platform: topology.Default(), App: workload.Monarch(), Seed: seed}
-	for _, l := range []int{1, 2, 4, 8, 16} {
+	ls := []int{1, 2, 4, 8, 16}
+	lines := make([]string, len(ls))
+	fanOut(len(ls), func(i int) error {
 		cfg := core.BaselineConfig().WithFeature(core.FeatureSpanPrioritization)
-		cfg.CFL.NumLists = l
+		cfg.CFL.NumLists = ls[i]
 		rm := fleet.RunMachine(m, cfg, dur)
 		st := rm.Result.Stats
-		r.addf("L=%-3d CFL frag %8.2f MiB   spans %6d   avg heap %7.1f MiB",
-			l, float64(st.Frag.CentralFreeList)/(1<<20), st.CFLSpans,
+		lines[i] = fmt.Sprintf("L=%-3d CFL frag %8.2f MiB   spans %6d   avg heap %7.1f MiB",
+			ls[i], float64(st.Frag.CentralFreeList)/(1<<20), st.CFLSpans,
 			float64(rm.AvgHeapBytes)/(1<<20))
-	}
+		return nil
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 
@@ -43,13 +49,17 @@ func AblationC(seed uint64, scale Scale) Report {
 	wopts := workload.DefaultOptions(m.Seed)
 	wopts.Duration = dur
 	wopts.TimeWarpGamma = 0.15
-	for _, c := range []int{2, 4, 8, 16, 32, 64} {
+	cs := []int{2, 4, 8, 16, 32, 64}
+	lines := make([]string, len(cs))
+	fanOut(len(cs), func(i int) error {
 		cfg := core.BaselineConfig().WithFeature(core.FeatureLifetimeAwareFiller)
-		cfg.CFL.SpanLifetimeThreshold = c
+		cfg.CFL.SpanLifetimeThreshold = cs[i]
 		rm := fleet.RunMachineOpts(m, cfg, wopts)
-		r.addf("C=%-3d hugepage coverage %6.2f%%   avg heap %7.1f MiB",
-			c, rm.Coverage*100, float64(rm.AvgHeapBytes)/(1<<20))
-	}
+		lines[i] = fmt.Sprintf("C=%-3d hugepage coverage %6.2f%%   avg heap %7.1f MiB",
+			cs[i], rm.Coverage*100, float64(rm.AvgHeapBytes)/(1<<20))
+		return nil
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 
@@ -63,24 +73,35 @@ func AblationCapacity(seed uint64, scale Scale) Report {
 	}
 	dur := scale.duration(250 * workload.Millisecond)
 	m := fleet.Machine{ID: 0, Platform: topology.Default(), App: workload.Monarch(), Seed: seed}
+	type point struct {
+		dynamic bool
+		capMiB  float64
+	}
+	var pts []point
 	for _, dynamic := range []bool{false, true} {
 		for _, capMiB := range []float64{0.75, 1.5, 3.0} {
-			cfg := core.BaselineConfig()
-			if dynamic {
-				cfg.PerCPU = percpu.HeterogeneousConfig()
-			}
-			cfg.PerCPU.CapacityBytes = int64(capMiB * (1 << 20))
-			rm := fleet.RunMachine(m, cfg, dur)
-			st := rm.Result.Stats
-			missRate := 0.0
-			ops := st.FrontEnd.AllocHits + st.FrontEnd.AllocMisses
-			if ops > 0 {
-				missRate = float64(st.FrontEnd.AllocMisses) / float64(ops) * 100
-			}
-			r.addf("dynamic=%-5v cap=%.2fMiB  front-end bytes %7.2f MiB  miss rate %5.2f%%  avg heap %7.1f MiB",
-				dynamic, capMiB, float64(st.FrontEnd.CachedBytes)/(1<<20), missRate,
-				float64(rm.AvgHeapBytes)/(1<<20))
+			pts = append(pts, point{dynamic, capMiB})
 		}
 	}
+	lines := make([]string, len(pts))
+	fanOut(len(pts), func(i int) error {
+		cfg := core.BaselineConfig()
+		if pts[i].dynamic {
+			cfg.PerCPU = percpu.HeterogeneousConfig()
+		}
+		cfg.PerCPU.CapacityBytes = int64(pts[i].capMiB * (1 << 20))
+		rm := fleet.RunMachine(m, cfg, dur)
+		st := rm.Result.Stats
+		missRate := 0.0
+		ops := st.FrontEnd.AllocHits + st.FrontEnd.AllocMisses
+		if ops > 0 {
+			missRate = float64(st.FrontEnd.AllocMisses) / float64(ops) * 100
+		}
+		lines[i] = fmt.Sprintf("dynamic=%-5v cap=%.2fMiB  front-end bytes %7.2f MiB  miss rate %5.2f%%  avg heap %7.1f MiB",
+			pts[i].dynamic, pts[i].capMiB, float64(st.FrontEnd.CachedBytes)/(1<<20), missRate,
+			float64(rm.AvgHeapBytes)/(1<<20))
+		return nil
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }

@@ -137,7 +137,7 @@ func runProfile(p workload.Profile, cfg core.Config, seed uint64, duration int64
 	}
 	res := workload.Run(p, alloc, opts)
 	if len(res.Violations) > 0 {
-		auditTrips++
+		auditTrips.Add(1)
 	}
 	return res, alloc
 }

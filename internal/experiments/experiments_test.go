@@ -59,6 +59,41 @@ func TestAllExperimentsRunAtSmokeScale(t *testing.T) {
 	}
 }
 
+// TestRunManyMatchesSequential checks the experiment-level fan-out:
+// RunMany returns reports in argument order, each byte-identical to a
+// direct sequential Run, regardless of the worker bound.
+func TestRunManyMatchesSequential(t *testing.T) {
+	names := []string{"fig3", "fig11", "fig12"}
+	var want []string
+	for _, name := range names {
+		r, ok := ByName(name)
+		if !ok {
+			t.Fatalf("unknown experiment %q", name)
+		}
+		want = append(want, r.Run(1, ScaleSmoke).String())
+	}
+	for _, j := range []int{1, 4} {
+		SetWorkers(j)
+		reps, err := RunMany(names, 1, ScaleSmoke)
+		SetWorkers(0)
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		if len(reps) != len(names) {
+			t.Fatalf("j=%d: got %d reports", j, len(reps))
+		}
+		for i, rep := range reps {
+			if rep.String() != want[i] {
+				t.Fatalf("j=%d: report %s differs from sequential run:\n%s\nvs\n%s",
+					j, names[i], rep.String(), want[i])
+			}
+		}
+	}
+	if _, err := RunMany([]string{"fig3", "nope"}, 1, ScaleSmoke); err == nil {
+		t.Fatal("unknown experiment name must fail before running")
+	}
+}
+
 func TestFig3TopSharesMatchPaper(t *testing.T) {
 	rep := Fig3(1, ScaleSmoke)
 	var top50 string

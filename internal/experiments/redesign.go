@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"wsmalloc/internal/core"
 	"wsmalloc/internal/fleet"
 	"wsmalloc/internal/rng"
@@ -21,6 +23,9 @@ func abOptions(scale Scale) fleet.ABOptions {
 	if scale < ScaleFull {
 		opts.MinMachines = 6
 	}
+	// Fan enrolled machines out over the experiment worker pool; the
+	// deterministic reducer keeps results identical to -j 1.
+	opts.Workers = Workers()
 	return opts
 }
 
@@ -46,14 +51,19 @@ func Fig10(seed uint64, scale Scale) Report {
 			row.App, row.MemoryPct, row.ThroughputPct, row.Machines)
 	}
 	dur := scale.duration(250 * workload.Millisecond)
-	for _, p := range workload.BenchmarkProfiles() {
+	profs := workload.BenchmarkProfiles()
+	lines := make([]string, len(profs))
+	fanOut(len(profs), func(i int) error {
+		p := profs[i]
 		if p.Name == "redis" {
-			r.addf("%-18s skipped: single-threaded, uses one per-CPU cache (§4.1)", p.Name)
-			continue
+			lines[i] = fmt.Sprintf("%-18s skipped: single-threaded, uses one per-CPU cache (§4.1)", p.Name)
+			return nil
 		}
 		d := benchMemoryDelta(p, base, base.WithFeature(core.FeatureHeterogeneousPerCPU), seed+7, dur)
-		r.addf("%-18s memory %+6.2f%%", p.Name, d)
-	}
+		lines[i] = fmt.Sprintf("%-18s memory %+6.2f%%", p.Name, d)
+		return nil
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 
@@ -134,10 +144,13 @@ func Table1(seed uint64, scale Scale) Report {
 		r.addf("%s", row.String())
 	}
 	dur := scale.duration(250 * workload.Millisecond)
-	for _, p := range workload.BenchmarkProfiles() {
+	profs := workload.BenchmarkProfiles()
+	lines := make([]string, len(profs))
+	fanOut(len(profs), func(i int) error {
+		p := profs[i]
 		if p.Name == "redis" {
-			r.addf("%-18s skipped: single-threaded (§4.2)", p.Name)
-			continue
+			lines[i] = fmt.Sprintf("%-18s skipped: single-threaded (§4.2)", p.Name)
+			return nil
 		}
 		mini := fleet.Fleet{Machines: []fleet.Machine{{ID: 0, Platform: topology.Default(), App: p, Seed: seed + 13}}}
 		opts := abOptions(scale)
@@ -145,8 +158,10 @@ func Table1(seed uint64, scale Scale) Report {
 		opts.DurationNs = dur
 		row := mini.ABTest(base, nuca, opts).Fleet
 		row.App = p.Name
-		r.addf("%s", row.String())
-	}
+		lines[i] = row.String()
+		return nil
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 
@@ -258,10 +273,14 @@ func Fig14(seed uint64, scale Scale) Report {
 		r.addf("%-18s memory %+6.3f%%  (n=%d)", row.App, row.MemoryPct, row.Machines)
 	}
 	dur := scale.duration(250 * workload.Millisecond)
-	for _, p := range workload.BenchmarkProfiles() {
-		d := benchMemoryDelta(p, base, prio, seed+3, dur)
-		r.addf("%-18s memory %+6.3f%%", p.Name, d)
-	}
+	profs := workload.BenchmarkProfiles()
+	lines := make([]string, len(profs))
+	fanOut(len(profs), func(i int) error {
+		d := benchMemoryDelta(profs[i], base, prio, seed+3, dur)
+		lines[i] = fmt.Sprintf("%-18s memory %+6.3f%%", profs[i].Name, d)
+		return nil
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 
@@ -334,15 +353,19 @@ func Table2(seed uint64, scale Scale) Report {
 		r.addf("%s", row.String())
 	}
 	dur := scale.duration(250 * workload.Millisecond)
-	for _, p := range workload.BenchmarkProfiles() {
-		mini := fleet.Fleet{Machines: []fleet.Machine{{ID: 0, Platform: topology.Default(), App: p, Seed: seed + 17}}}
+	profs := workload.BenchmarkProfiles()
+	lines := make([]string, len(profs))
+	fanOut(len(profs), func(i int) error {
+		mini := fleet.Fleet{Machines: []fleet.Machine{{ID: 0, Platform: topology.Default(), App: profs[i], Seed: seed + 17}}}
 		opts := abOptions(scale)
 		opts.MinMachines = 1
 		opts.DurationNs = dur
 		row := mini.ABTest(base, lt, opts).Fleet
-		row.App = p.Name
-		r.addf("%s", row.String())
-	}
+		row.App = profs[i].Name
+		lines[i] = row.String()
+		return nil
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 
@@ -360,17 +383,25 @@ func Fig17(seed uint64, scale Scale) Report {
 	lt := base.WithFeature(core.FeatureLifetimeAwareFiller)
 	// Reuse the AB machinery but report coverage directly.
 	n := opts.MinMachines
-	var covB, covA float64
 	stride := maxInt(1, len(f.Machines)/n)
-	for i := 0; i < n; i++ {
+	covBs := make([]float64, n)
+	covAs := make([]float64, n)
+	fanOut(n, func(i int) error {
 		m := f.Machines[(i*stride)%len(f.Machines)]
 		wopts := workload.DefaultOptions(m.Seed)
 		wopts.Duration = opts.DurationNs
 		wopts.TimeWarpGamma = opts.TimeWarpGamma
 		cb := fleet.RunMachineOpts(m, base, wopts)
 		ca := fleet.RunMachineOpts(m, lt, wopts)
-		covB += cb.Coverage
-		covA += ca.Coverage
+		covBs[i] = cb.Coverage
+		covAs[i] = ca.Coverage
+		return nil
+	})
+	// Reduce in machine order so the mean is bit-identical at any -j.
+	var covB, covA float64
+	for i := 0; i < n; i++ {
+		covB += covBs[i]
+		covA += covAs[i]
 	}
 	covB /= float64(n)
 	covA /= float64(n)

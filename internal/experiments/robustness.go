@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sync/atomic"
+
 	"wsmalloc/internal/check"
 	"wsmalloc/internal/core"
 	"wsmalloc/internal/fleet"
@@ -22,21 +24,23 @@ type Hardening struct {
 }
 
 var (
-	hardening  Hardening
-	auditTrips int64
+	hardening Hardening
+	// auditTrips is bumped by concurrent profile runs when experiments
+	// fan out over the worker pool, hence atomic.
+	auditTrips atomic.Int64
 )
 
 // SetHardening installs the instrumentation mode and resets the trip
 // counter.
 func SetHardening(h Hardening) {
 	hardening = h
-	auditTrips = 0
+	auditTrips.Store(0)
 }
 
 // AuditTrips returns how many profile runs ended with audit violations
 // since SetHardening. cmd/experiments exits non-zero when this is
 // positive.
-func AuditTrips() int64 { return auditTrips }
+func AuditTrips() int64 { return auditTrips.Load() }
 
 // SelfTest is the sanitizer corruption self-test, runnable as the
 // "selftest" experiment: it injects one instance of each violation class

@@ -1,0 +1,42 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/workload"
+)
+
+// BenchmarkFleetAB sweeps the worker count over the fleet A/B engine.
+// The per-iteration work is fixed (same machines, same virtual
+// duration), so ns/op across sub-benchmarks is the parallel speedup;
+// machines/s is the headline scheduling metric that
+// scripts/bench_fleet.sh records in BENCH_fleet.json.
+func BenchmarkFleetAB(b *testing.B) {
+	js := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		js = append(js, n)
+	}
+	f := New(200, 1)
+	for _, j := range js {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			opts := DefaultABOptions()
+			opts.MinMachines = 8
+			opts.DurationNs = 10 * workload.Millisecond
+			opts.Workers = j
+			var machines int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := f.ABTest(core.BaselineConfig(), core.OptimizedConfig(), opts)
+				if res.Fleet.Machines == 0 {
+					b.Fatal("no machines enrolled")
+				}
+				machines = res.Fleet.Machines
+			}
+			// Two runs (control + experiment) per enrolled machine.
+			b.ReportMetric(float64(2*machines*b.N)/b.Elapsed().Seconds(), "machines/s")
+		})
+	}
+}

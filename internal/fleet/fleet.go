@@ -7,6 +7,8 @@
 package fleet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -15,6 +17,7 @@ import (
 	"wsmalloc/internal/mem"
 	"wsmalloc/internal/perfmodel"
 	"wsmalloc/internal/rng"
+	"wsmalloc/internal/sched"
 	"wsmalloc/internal/stats"
 	"wsmalloc/internal/topology"
 	"wsmalloc/internal/workload"
@@ -266,6 +269,14 @@ type ABOptions struct {
 	// AuditEveryNs, when positive, runs the allocator invariant auditor
 	// at this virtual-time cadence on every enrolled run.
 	AuditEveryNs int64
+	// Workers bounds how many enrolled machines are simulated
+	// concurrently (the CLIs' -j flag). 0 selects GOMAXPROCS; 1 runs
+	// the legacy sequential path on the caller's goroutine. The
+	// parallel path is bit-identical to Workers=1 for the same options:
+	// every machine is independently seeded, per-machine outcomes land
+	// in index-addressed slots, and the reducer merges them in
+	// enrolment order regardless of completion order.
+	Workers int
 }
 
 // DefaultABOptions returns the standard experiment setup.
@@ -279,116 +290,170 @@ func DefaultABOptions() ABOptions {
 	}
 }
 
-// ABTest runs a paired fleet experiment comparing two configurations.
-func (f *Fleet) ABTest(control, experiment core.Config, opts ABOptions) ABResult {
-	n := int(float64(len(f.Machines)) * opts.SampleFraction)
+// runMachineOpts is the machine-run entry point used by A/B experiments.
+// It is a variable so tests can swap in a failing machine and assert the
+// engine propagates the panic with the machine's seed attached.
+var runMachineOpts = RunMachineOpts
+
+// sampleIndices picks the enrolled machines for an experiment: n
+// distinct indices strided evenly across the fleet, where n is
+// SampleFraction of the fleet floored by MinMachines and capped at the
+// fleet size. Indices are strictly increasing — i*stride with
+// stride = total/n never reaches total when n <= total — so no machine
+// is ever silently enrolled twice (the old (i*stride)%total walk relied
+// on a wraparound that would re-run machines if the clamps were ever
+// loosened). An empty fleet enrols nothing instead of dividing by zero.
+func sampleIndices(total int, opts ABOptions) []int {
+	if total == 0 {
+		return nil
+	}
+	n := int(float64(total) * opts.SampleFraction)
 	if n < opts.MinMachines {
 		n = opts.MinMachines
 	}
-	if n > len(f.Machines) {
-		n = len(f.Machines)
+	if n > total {
+		n = total
 	}
-	// Deterministic sample: stride through the fleet.
-	stride := len(f.Machines) / n
-	if stride < 1 {
-		stride = 1
+	if n <= 0 {
+		return nil
+	}
+	stride := total / n
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i * stride
+	}
+	return idx
+}
+
+// pair is one enrolled machine's paired control/experiment deltas.
+type pair struct {
+	app          string
+	dThr, dMem   float64
+	dCPI         float64
+	llcB, llcA   float64
+	walkB, walkA float64
+}
+
+// machineOutcome is everything one enrolled machine contributes to an
+// ABResult. Outcomes are produced in index-addressed slots by the worker
+// pool and merged in enrolment order by mergeOutcomes.
+type machineOutcome struct {
+	pair  pair
+	chaos ChaosStats
+}
+
+// runPair executes one machine's paired control/experiment runs and
+// derives its deltas. It touches no Fleet state besides the (read-only)
+// machine descriptor, which is what makes the A/B loop embarrassingly
+// parallel.
+func runPair(m Machine, control, experiment core.Config, opts ABOptions) machineOutcome {
+	wopts := workload.DefaultOptions(m.Seed)
+	wopts.Duration = opts.DurationNs
+	if opts.TimeWarpGamma > 0 {
+		wopts.TimeWarpGamma = opts.TimeWarpGamma
+	}
+	wopts.AuditEveryNs = opts.AuditEveryNs
+	cfgC, cfgE := control, experiment
+	if opts.Chaos.Enabled() {
+		plan := opts.Chaos
+		plan.Seed ^= m.Seed // per-machine, reproducible failure points
+		cfgC.Faults, cfgE.Faults = plan, plan
+	}
+	c := runMachineOpts(m, cfgC, wopts)
+	e := runMachineOpts(m, cfgE, wopts)
+	var out machineOutcome
+	for _, rm := range []RunMetrics{c, e} {
+		st := rm.Result.Stats
+		out.chaos.InjectedFailures += st.Faults.InjectedFailures
+		out.chaos.BudgetFailures += st.Faults.BudgetFailures
+		out.chaos.OOMErrors += st.OOMErrors
+		out.chaos.AllocFailures += rm.Result.AllocFailures
+		out.chaos.PressureEvents += st.Heap.PressureEvents
+		out.chaos.PressureReleasedBytes += st.Heap.PressureReleasedBytes
+		out.chaos.Audits += rm.Result.Audits
+		out.chaos.Violations += int64(len(rm.Result.Violations))
 	}
 
-	type pair struct {
-		app          string
-		dThr, dMem   float64
-		dCPI         float64
-		llcB, llcA   float64
-		walkB, walkA float64
+	// Application work per op is config-independent; derive it from
+	// the control run and the profile's malloc fraction, then
+	// compute each side's malloc share against the same work.
+	workPerOp := 0.0
+	if c.Result.Ops > 0 && m.App.MallocFraction > 0 {
+		mallocPerOp := c.Result.MallocNs / float64(c.Result.Ops)
+		workPerOp = mallocPerOp * (1 - m.App.MallocFraction) / m.App.MallocFraction
 	}
-	var pairs []pair
+	share := func(rm RunMetrics) float64 {
+		total := workPerOp*float64(rm.Result.Ops) + rm.Result.MallocNs
+		if total == 0 {
+			return 0
+		}
+		return rm.Result.MallocNs / total
+	}
+
+	base := perfmodel.AppMPKIBaselines[m.App.Name]
+	if base == 0 {
+		base = perfmodel.AppMPKIBaselines["fleet"]
+	}
+	// Anchor coverage at the model's reference point for the control
+	// and apply only the measured delta for the experiment: absolute
+	// simulated coverage is not comparable to the fleet's.
+	inC := perfmodel.Inputs{
+		BaseMPKI:            base,
+		InterDomainShare:    c.InterDomainShare,
+		AllocatorCacheBytes: c.CacheBytes,
+		HugepageCoverage:    opts.Params.RefCoverage,
+		MallocTimeShare:     share(c),
+		Ops:                 c.Result.Ops,
+		DurationNs:          opts.DurationNs,
+	}
+	inE := inC
+	inE.InterDomainShare = e.InterDomainShare
+	inE.AllocatorCacheBytes = e.CacheBytes
+	inE.HugepageCoverage = opts.Params.RefCoverage + (e.Coverage - c.Coverage)
+	inE.MallocTimeShare = share(e)
+	inE.Ops = e.Result.Ops
+
+	// Per-app dTLB anchoring (Table 2 rows differ by app).
+	mc := perfmodel.Evaluate(opts.Params, inC)
+	me := perfmodel.Evaluate(opts.Params, inE)
+	walkB, walkA := perfmodel.WalkPctPair(opts.Params, m.App.Name, c.Coverage, e.Coverage)
+
+	dMem := 0.0
+	if c.AvgHeapBytes > 0 {
+		dMem = (float64(e.AvgHeapBytes) - float64(c.AvgHeapBytes)) / float64(c.AvgHeapBytes) * 100
+	}
+	out.pair = pair{
+		app:   m.App.Name,
+		dThr:  (me.ThroughputIndex - mc.ThroughputIndex) / mc.ThroughputIndex * 100,
+		dMem:  dMem,
+		dCPI:  (me.CPI - mc.CPI) / mc.CPI * 100,
+		llcB:  mc.LLCLoadMPKI,
+		llcA:  me.LLCLoadMPKI,
+		walkB: walkB,
+		walkA: walkA,
+	}
+	return out
+}
+
+// mergeOutcomes is the deterministic reducer: it folds per-machine
+// outcomes into an ABResult by walking them in enrolment order, so the
+// merged result is independent of worker count and completion order.
+// The chaos counters are integer sums (commutative exactly); the row
+// aggregation sums floats, whose grouping is fixed by the enrolment
+// order rather than by whichever machine finished first.
+func mergeOutcomes(outcomes []machineOutcome) ABResult {
+	pairs := make([]pair, 0, len(outcomes))
 	var chaos ChaosStats
-	for i := 0; i < n; i++ {
-		m := f.Machines[(i*stride)%len(f.Machines)]
-		wopts := workload.DefaultOptions(m.Seed)
-		wopts.Duration = opts.DurationNs
-		if opts.TimeWarpGamma > 0 {
-			wopts.TimeWarpGamma = opts.TimeWarpGamma
-		}
-		wopts.AuditEveryNs = opts.AuditEveryNs
-		cfgC, cfgE := control, experiment
-		if opts.Chaos.Enabled() {
-			plan := opts.Chaos
-			plan.Seed ^= m.Seed // per-machine, reproducible failure points
-			cfgC.Faults, cfgE.Faults = plan, plan
-		}
-		c := RunMachineOpts(m, cfgC, wopts)
-		e := RunMachineOpts(m, cfgE, wopts)
-		for _, rm := range []RunMetrics{c, e} {
-			st := rm.Result.Stats
-			chaos.InjectedFailures += st.Faults.InjectedFailures
-			chaos.BudgetFailures += st.Faults.BudgetFailures
-			chaos.OOMErrors += st.OOMErrors
-			chaos.AllocFailures += rm.Result.AllocFailures
-			chaos.PressureEvents += st.Heap.PressureEvents
-			chaos.PressureReleasedBytes += st.Heap.PressureReleasedBytes
-			chaos.Audits += rm.Result.Audits
-			chaos.Violations += int64(len(rm.Result.Violations))
-		}
-
-		// Application work per op is config-independent; derive it from
-		// the control run and the profile's malloc fraction, then
-		// compute each side's malloc share against the same work.
-		workPerOp := 0.0
-		if c.Result.Ops > 0 && m.App.MallocFraction > 0 {
-			mallocPerOp := c.Result.MallocNs / float64(c.Result.Ops)
-			workPerOp = mallocPerOp * (1 - m.App.MallocFraction) / m.App.MallocFraction
-		}
-		share := func(rm RunMetrics) float64 {
-			total := workPerOp*float64(rm.Result.Ops) + rm.Result.MallocNs
-			if total == 0 {
-				return 0
-			}
-			return rm.Result.MallocNs / total
-		}
-
-		base := perfmodel.AppMPKIBaselines[m.App.Name]
-		if base == 0 {
-			base = perfmodel.AppMPKIBaselines["fleet"]
-		}
-		// Anchor coverage at the model's reference point for the control
-		// and apply only the measured delta for the experiment: absolute
-		// simulated coverage is not comparable to the fleet's.
-		inC := perfmodel.Inputs{
-			BaseMPKI:            base,
-			InterDomainShare:    c.InterDomainShare,
-			AllocatorCacheBytes: c.CacheBytes,
-			HugepageCoverage:    opts.Params.RefCoverage,
-			MallocTimeShare:     share(c),
-			Ops:                 c.Result.Ops,
-			DurationNs:          opts.DurationNs,
-		}
-		inE := inC
-		inE.InterDomainShare = e.InterDomainShare
-		inE.AllocatorCacheBytes = e.CacheBytes
-		inE.HugepageCoverage = opts.Params.RefCoverage + (e.Coverage - c.Coverage)
-		inE.MallocTimeShare = share(e)
-		inE.Ops = e.Result.Ops
-
-		// Per-app dTLB anchoring (Table 2 rows differ by app).
-		mc := perfmodel.Evaluate(opts.Params, inC)
-		me := perfmodel.Evaluate(opts.Params, inE)
-		walkB, walkA := perfmodel.WalkPctPair(opts.Params, m.App.Name, c.Coverage, e.Coverage)
-
-		dMem := 0.0
-		if c.AvgHeapBytes > 0 {
-			dMem = (float64(e.AvgHeapBytes) - float64(c.AvgHeapBytes)) / float64(c.AvgHeapBytes) * 100
-		}
-		pairs = append(pairs, pair{
-			app:   m.App.Name,
-			dThr:  (me.ThroughputIndex - mc.ThroughputIndex) / mc.ThroughputIndex * 100,
-			dMem:  dMem,
-			dCPI:  (me.CPI - mc.CPI) / mc.CPI * 100,
-			llcB:  mc.LLCLoadMPKI,
-			llcA:  me.LLCLoadMPKI,
-			walkB: walkB,
-			walkA: walkA,
-		})
+	for _, o := range outcomes {
+		pairs = append(pairs, o.pair)
+		chaos.InjectedFailures += o.chaos.InjectedFailures
+		chaos.BudgetFailures += o.chaos.BudgetFailures
+		chaos.OOMErrors += o.chaos.OOMErrors
+		chaos.AllocFailures += o.chaos.AllocFailures
+		chaos.PressureEvents += o.chaos.PressureEvents
+		chaos.PressureReleasedBytes += o.chaos.PressureReleasedBytes
+		chaos.Audits += o.chaos.Audits
+		chaos.Violations += o.chaos.Violations
 	}
 
 	aggregate := func(ps []pair, name string) Row {
@@ -427,6 +492,41 @@ func (f *Fleet) ABTest(control, experiment core.Config, opts ABOptions) ABResult
 	sort.Strings(names)
 	for _, name := range names {
 		res.PerApp = append(res.PerApp, aggregate(byApp[name], name))
+	}
+	return res
+}
+
+// ABTestErr runs a paired fleet experiment comparing two configurations,
+// fanning the enrolled machines out over opts.Workers goroutines. A
+// panicking machine run fails the whole experiment with an error naming
+// the machine and its seed (so the failure is reproducible with
+// -j 1) instead of killing the process or deadlocking the pool.
+func (f *Fleet) ABTestErr(control, experiment core.Config, opts ABOptions) (ABResult, error) {
+	idx := sampleIndices(len(f.Machines), opts)
+	outcomes := make([]machineOutcome, len(idx))
+	err := sched.Map(context.Background(), len(idx), opts.Workers, func(i int) error {
+		outcomes[i] = runPair(f.Machines[idx[i]], control, experiment, opts)
+		return nil
+	})
+	if err != nil {
+		var pe *sched.PanicError
+		if errors.As(err, &pe) && pe.Index >= 0 && pe.Index < len(idx) {
+			m := f.Machines[idx[pe.Index]]
+			return ABResult{}, fmt.Errorf("fleet: machine %d (seed %#x, app %s) panicked: %v",
+				m.ID, m.Seed, m.App.Name, pe.Value)
+		}
+		return ABResult{}, err
+	}
+	return mergeOutcomes(outcomes), nil
+}
+
+// ABTest runs a paired fleet experiment comparing two configurations.
+// It is ABTestErr with error propagation by panic, for callers (the
+// experiment runners) that treat a failed machine run as fatal.
+func (f *Fleet) ABTest(control, experiment core.Config, opts ABOptions) ABResult {
+	res, err := f.ABTestErr(control, experiment, opts)
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

@@ -1,0 +1,139 @@
+// Package sched is the parallel execution engine behind fleet and
+// experiment runs: a bounded worker pool that fans an index space out
+// over a fixed number of goroutines, captures worker panics as errors,
+// honours context cancellation, and keeps every result index-addressed
+// so callers can merge them in a deterministic order.
+//
+// The determinism contract (see DESIGN.md, "Parallel execution engine"):
+// Map(ctx, n, workers, fn) calls fn(i) exactly once for every i in
+// [0, n) unless a task fails or the context is cancelled. fn writes its
+// result into a slot the caller owns (typically results[i]), so a merge
+// that walks slots 0..n-1 after Map returns is independent of both the
+// worker count and the order in which tasks happened to complete.
+// Parallel output is therefore bit-identical to sequential output for
+// the same inputs; worker count is a wall-clock knob, never a results
+// knob.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// DefaultWorkers resolves a worker-count request, the CLIs' -j flag:
+// values <= 0 select GOMAXPROCS; anything else is returned unchanged.
+func DefaultWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// PanicError is a worker panic captured by Map: the index of the task
+// that panicked, the recovered value, and the worker's stack trace. One
+// bad task fails the run loudly instead of killing the process or
+// deadlocking the pool; callers unwrap it with errors.As to attach
+// task-level context (the fleet attaches the machine seed).
+type PanicError struct {
+	// Index is the task index whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the panicking worker's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: task %d panicked: %v", e.Index, e.Value)
+}
+
+// Map runs fn(0), fn(1), ... fn(n-1) on at most workers goroutines and
+// returns once every started task has finished. workers <= 0 selects
+// GOMAXPROCS; workers == 1 runs every task inline on the caller's
+// goroutine in index order (the legacy sequential path — no goroutines,
+// no locks).
+//
+// On the first task error (including a captured panic) no further tasks
+// are started; in-flight tasks run to completion. When several tasks
+// fail, the error of the lowest task index is returned so the reported
+// failure does not depend on goroutine scheduling. A cancelled context
+// likewise stops dispatch and returns ctx.Err() if no task failed.
+func Map(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	run := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return fn(i)
+	}
+
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Index-claiming pool: each worker pulls the next unclaimed index
+	// under a mutex, so tasks start in index order even though they
+	// finish in any order. errs is index-addressed for the same reason
+	// results are: the winning error must not depend on scheduling.
+	errs := make([]error, n)
+	var (
+		mu     sync.Mutex
+		next   int
+		failed bool
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed || next >= n || ctx.Err() != nil {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				if err := run(i); err != nil {
+					mu.Lock()
+					errs[i] = err
+					failed = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

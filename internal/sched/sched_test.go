@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		counts := make([]int32, n)
+		err := Map(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapSequentialPathRunsInIndexOrder(t *testing.T) {
+	var order []int
+	err := Map(context.Background(), 20, 1, func(i int) error {
+		order = append(order, i) // no lock: workers=1 must be inline
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential path out of order: %v", order)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	err := Map(context.Background(), 24, workers, func(i int) error {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", peak, workers)
+	}
+}
+
+func TestMapCapturesPanicWithIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Map(context.Background(), 10, workers, func(i int) error {
+			if i == 6 {
+				panic("boom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v, want PanicError", workers, err)
+		}
+		if pe.Index != 6 || fmt.Sprint(pe.Value) != "boom" {
+			t.Fatalf("workers=%d: PanicError = %+v", workers, pe)
+		}
+		if !strings.Contains(err.Error(), "task 6") {
+			t.Fatalf("workers=%d: error %q missing task index", workers, err)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	// Make two tasks fail with the higher index finishing first; the
+	// lower-index error must win regardless of completion order.
+	errLo, errHi := errors.New("lo"), errors.New("hi")
+	err := Map(context.Background(), 2, 2, func(i int) error {
+		if i == 0 {
+			time.Sleep(20 * time.Millisecond)
+			return errLo
+		}
+		return errHi
+	})
+	if err != errLo {
+		t.Fatalf("got %v, want the lowest-index error", err)
+	}
+}
+
+func TestMapStopsDispatchAfterError(t *testing.T) {
+	var started int32
+	sentinel := errors.New("stop")
+	_ = Map(context.Background(), 1000, 2, func(i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 0 {
+			return sentinel
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if n := atomic.LoadInt32(&started); n == 1000 {
+		t.Fatal("every task ran despite an early error")
+	}
+}
+
+func TestMapHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	err := Map(ctx, 1000, 2, func(i int) error {
+		if atomic.AddInt32(&started, 1) == 1 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&started); n == 1000 {
+		t.Fatal("every task ran despite cancellation")
+	}
+}
+
+func TestMapEmptyAndDefaultWorkers(t *testing.T) {
+	if err := Map(context.Background(), 0, 4, func(int) error { return errors.New("no") }); err != nil {
+		t.Fatalf("n=0 must be a no-op, got %v", err)
+	}
+	if got := DefaultWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := DefaultWorkers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := DefaultWorkers(5); got != 5 {
+		t.Fatalf("DefaultWorkers(5) = %d", got)
+	}
+}

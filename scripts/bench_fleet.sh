@@ -1,0 +1,20 @@
+#!/bin/sh
+# bench_fleet.sh — benchmark the parallel fleet execution engine.
+#
+# Runs the quick-scale fleet A/B once per -j in {1, 2, 4, all cores},
+# verifies every parallel result is bit-identical to -j 1 (the
+# determinism contract), and writes BENCH_fleet.json with wall time,
+# machines/sec, and speedup-vs-j1 per sweep point. Speedup tracks the
+# core count of the host: on a 1-core box it stays ~1x; on >= 4 cores
+# the -j 4 point is expected to reach >= 2x (the A/B loop is
+# embarrassingly parallel — every machine is independently seeded).
+#
+# Usage: ./scripts/bench_fleet.sh [out.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_fleet.json}"
+
+go run ./cmd/fleet-ab \
+  -machines 400 -sample 0.04 -duration-ms 100 -seed 1 \
+  -bench-sweep 1,2,4,max -bench-out "$OUT"

@@ -1,10 +1,13 @@
 #!/bin/sh
 # verify.sh — the repo's full verification gate.
 #
-# Runs vet, build, the unit/property tests under the race detector, a
-# short fuzz smoke on both fuzz targets, and the hardening self-tests
-# (sanitizer corruption detection + fleet chaos run). Exits non-zero on
-# the first failure.
+# Runs vet, build, the unit/property tests under the race detector
+# (which now covers the parallel fleet/experiment execution engine and
+# its determinism-equivalence tests), a short fuzz smoke on both fuzz
+# targets, and the hardening self-tests (sanitizer corruption detection
+# + fleet chaos run) — themselves compiled with -race and fanned out
+# over the worker pool so shared stats aggregation is race-checked under
+# real parallelism. Exits non-zero on the first failure.
 #
 # Usage: ./scripts/verify.sh [fuzztime]   (default fuzz smoke: 5s each)
 set -eu
@@ -25,7 +28,7 @@ echo "==> fuzz smoke (${FUZZTIME} each)"
 go test ./internal/sizeclass/ -run '^$' -fuzz FuzzSizeClassRoundTrip -fuzztime "$FUZZTIME"
 go test ./internal/core/ -run '^$' -fuzz FuzzAllocFree -fuzztime "$FUZZTIME"
 
-echo "==> hardening self-tests (sanitizer detection + fleet chaos)"
-go run ./cmd/experiments -scale smoke selftest chaos
+echo "==> hardening self-tests under -race (sanitizer detection + parallel fleet chaos)"
+go run -race ./cmd/experiments -scale smoke -j 4 selftest chaos
 
 echo "verify: OK"

@@ -196,3 +196,17 @@ func Experiment(name string) (experiments.Runner, bool) {
 
 // Experiments lists every experiment in paper order.
 func Experiments() []experiments.Runner { return experiments.Registry() }
+
+// SetExperimentWorkers bounds intra-experiment parallelism — fleet A/B
+// machine fan-out, per-profile benchmark sweeps, ablation sweeps — for
+// every subsequent experiment run (the cmd/experiments -j flag). n <= 0
+// selects GOMAXPROCS; 1 restores the fully sequential legacy path.
+// Parallel results are bit-identical to sequential for the same seed.
+func SetExperimentWorkers(n int) { experiments.SetWorkers(n) }
+
+// RunExperiments executes the named experiments over the worker pool and
+// returns their reports in argument order, independent of completion
+// order.
+func RunExperiments(names []string, seed uint64, scale Scale) ([]Report, error) {
+	return experiments.RunMany(names, seed, scale)
+}

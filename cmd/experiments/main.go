@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale smoke|quick|full] [-j N] [-audit] [-chaos] [all|<name>...]
+//	experiments [-seed N] [-scale smoke|quick|full] [-j N] [-audit] [-chaos]
+//	            [-telemetry] [-metrics-out BASE] [all|<name>...]
 //
 // Names are fig3..fig17, table1, table2, combined, ablation-l,
 // ablation-c, ablation-capacity, selftest, chaos. With no arguments it
@@ -17,6 +18,10 @@
 // periodic invariant audits; -chaos additionally injects a deterministic
 // mmap failure rate. The command exits non-zero if any audit trips or a
 // self-checking experiment fails.
+//
+// -telemetry instruments every profile-driven run and folds the metrics
+// registries into one aggregate, dumped mallocz-style after the reports;
+// -metrics-out writes BASE.prom, BASE.json and BASE.mallocz instead.
 package main
 
 import (
@@ -33,10 +38,20 @@ func main() {
 	workers := flag.Int("j", 0, "worker pool size for parallel execution (0 = all cores, 1 = sequential)")
 	audit := flag.Bool("audit", false, "run profiles under the shadow-heap sanitizer with periodic invariant audits")
 	chaos := flag.Bool("chaos", false, "inject a deterministic mmap failure rate into every profile run")
+	telemetryOn := flag.Bool("telemetry", false, "instrument every profile run and dump the aggregate metrics registry")
+	metricsOut := flag.String("metrics-out", "", "write aggregated telemetry to BASE.prom, BASE.json and BASE.mallocz (implies -telemetry)")
 	flag.Parse()
 
 	wsmalloc.SetHardening(wsmalloc.Hardening{Audit: *audit, Chaos: *chaos})
 	wsmalloc.SetExperimentWorkers(*workers)
+	if *metricsOut != "" {
+		*telemetryOn = true
+	}
+	if *telemetryOn {
+		// Registries merge commutatively across the worker pool; traces
+		// do not, so only the mergeable metrics are aggregated.
+		wsmalloc.SetExperimentTelemetry(wsmalloc.TelemetryConfig{Enabled: true})
+	}
 
 	var scale wsmalloc.Scale
 	switch *scaleName {
@@ -84,6 +99,22 @@ func main() {
 	if trips := wsmalloc.AuditTrips(); trips > 0 {
 		fmt.Fprintf(os.Stderr, "audit: %d run(s) ended with invariant violations\n", trips)
 		failed = true
+	}
+	if reg := wsmalloc.ExperimentTelemetry(); reg != nil {
+		snaps := []wsmalloc.TelemetrySnapshot{reg.Snapshot("experiments", 0)}
+		if *metricsOut != "" {
+			paths, err := wsmalloc.WriteTelemetryFiles(*metricsOut, snaps, nil, nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "write telemetry: %v\n", err)
+				os.Exit(1)
+			}
+			for _, p := range paths {
+				fmt.Printf("wrote %s\n", p)
+			}
+		} else if err := wsmalloc.WriteTelemetryMallocz(os.Stdout, snaps...); err != nil {
+			fmt.Fprintf(os.Stderr, "mallocz: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if failed {
 		os.Exit(1)

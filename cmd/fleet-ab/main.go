@@ -7,6 +7,7 @@
 //	fleet-ab [-machines 400] [-feature all|<name>] [-seed 1]
 //	         [-duration-ms 250] [-sample 0.01] [-j N]
 //	         [-chaos-mmap-rate 0] [-chaos-budget-mb 0] [-audit-every-ms 0]
+//	         [-telemetry] [-metrics-out BASE] [-serve :8080]
 //	         [-bench-sweep 1,2,4,max] [-bench-out BENCH_fleet.json]
 //
 // -j bounds how many enrolled machines are simulated concurrently
@@ -18,6 +19,12 @@
 // -audit-every-ms runs the allocator invariant auditor at that virtual
 // cadence. The command prints the chaos/audit summary and exits non-zero
 // if any audit reported violations.
+//
+// -telemetry instruments every enrolled machine run and merges both
+// arms' metrics registries deterministically (the export is
+// byte-identical at any -j). -metrics-out writes BASE.prom, BASE.json
+// and BASE.mallocz; -serve keeps the process alive serving /metricsz
+// over HTTP.
 //
 // -bench-sweep benchmarks the execution engine instead of printing
 // tables: it runs the same A/B once per listed -j value ("max" = all
@@ -95,6 +102,11 @@ func runBench(f *wsmalloc.Fleet, control, experiment wsmalloc.Config, opts wsmal
 	}
 	js = uniq
 
+	// The bench fingerprint renders every ABResult field with %#v, so the
+	// result must stay pointer-free: telemetry registries would differ by
+	// address across runs and falsely report divergence.
+	opts.Telemetry = wsmalloc.TelemetryConfig{}
+
 	doc := benchDoc{
 		Benchmark:         "fleet-ab",
 		FleetMachines:     len(f.Machines),
@@ -154,6 +166,9 @@ func main() {
 	chaosRate := flag.Float64("chaos-mmap-rate", 0, "injected mmap failure probability per MapHuge (0 disables)")
 	chaosBudgetMB := flag.Int64("chaos-budget-mb", 0, "per-machine committed-byte budget in MiB (0 = unlimited)")
 	auditEveryMs := flag.Int64("audit-every-ms", 0, "virtual cadence of invariant audits (0 disables)")
+	telemetryOn := flag.Bool("telemetry", false, "instrument enrolled runs and aggregate per-arm metrics registries")
+	metricsOut := flag.String("metrics-out", "", "write aggregated telemetry to BASE.prom, BASE.json and BASE.mallocz (implies -telemetry)")
+	serveAddr := flag.String("serve", "", "serve /metricsz on this address after the run (implies -telemetry, blocks)")
 	workers := flag.Int("j", 0, "concurrent machine simulations (0 = all cores, 1 = sequential)")
 	benchSweep := flag.String("bench-sweep", "", "comma-separated -j values to benchmark (e.g. 1,2,4,max); writes JSON and exits")
 	benchOut := flag.String("bench-out", "BENCH_fleet.json", "benchmark JSON output path (with -bench-sweep)")
@@ -188,6 +203,14 @@ func main() {
 	}
 	opts.AuditEveryNs = *auditEveryMs * 1_000_000
 	opts.Workers = *workers
+	if *metricsOut != "" || *serveAddr != "" {
+		*telemetryOn = true
+	}
+	if *telemetryOn {
+		// Per-machine trace rings are not aggregated across a fleet, so
+		// leave them off and keep only the mergeable registries.
+		opts.Telemetry = wsmalloc.TelemetryConfig{Enabled: true}
+	}
 
 	if *benchSweep != "" {
 		if !runBench(f, control, experiment, opts, *benchSweep, *benchOut, *seed) {
@@ -214,6 +237,33 @@ func main() {
 		fmt.Printf("audit: %d runs, %d violations\n", ch.Audits, ch.Violations)
 		if ch.Violations > 0 {
 			os.Exit(1)
+		}
+	}
+	if res.Telemetry != nil {
+		snaps := res.Telemetry.Snapshots(opts.DurationNs)
+		if *metricsOut != "" {
+			paths, err := wsmalloc.WriteTelemetryFiles(*metricsOut, snaps, nil, nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "write telemetry: %v\n", err)
+				os.Exit(1)
+			}
+			for _, p := range paths {
+				fmt.Printf("wrote %s\n", p)
+			}
+		} else {
+			fmt.Println()
+			if err := wsmalloc.WriteTelemetryMallocz(os.Stdout, snaps...); err != nil {
+				fmt.Fprintf(os.Stderr, "mallocz: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *serveAddr != "" {
+			fmt.Printf("serving /metricsz on %s\n", *serveAddr)
+			if err := wsmalloc.ServeTelemetry(*serveAddr,
+				func() []wsmalloc.TelemetrySnapshot { return snaps }, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 }

@@ -6,6 +6,15 @@
 //
 //	wsmalloc-sim [-profile fleet] [-config baseline|optimized|<feature>]
 //	             [-duration-ms 200] [-seed 1]
+//	             [-telemetry] [-metrics-out BASE] [-sample-every-ms 10]
+//	             [-serve :8080]
+//
+// -telemetry instruments every allocator tier with the metrics registry
+// and event tracer and appends a mallocz-style dump to the report.
+// -metrics-out writes BASE.prom (Prometheus text), BASE.json (snapshot +
+// time series + trace) and BASE.mallocz instead; -sample-every-ms sets
+// the virtual-time cadence of the time-series sampler. -serve keeps the
+// process alive serving /metricsz and /tracez over HTTP.
 package main
 
 import (
@@ -24,6 +33,10 @@ func main() {
 	durationMs := flag.Int64("duration-ms", 200, "virtual run length in milliseconds")
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	list := flag.Bool("list", false, "list profiles and exit")
+	telemetryOn := flag.Bool("telemetry", false, "instrument the allocator and dump a mallocz-style report")
+	metricsOut := flag.String("metrics-out", "", "write telemetry to BASE.prom, BASE.json and BASE.mallocz (implies -telemetry)")
+	sampleEveryMs := flag.Int64("sample-every-ms", 10, "virtual cadence of the telemetry time-series sampler (0 disables)")
+	serveAddr := flag.String("serve", "", "serve /metricsz and /tracez on this address after the run (implies -telemetry, blocks)")
 	flag.Parse()
 
 	if *list {
@@ -58,9 +71,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *metricsOut != "" || *serveAddr != "" {
+		*telemetryOn = true
+	}
+	if *telemetryOn {
+		tcfg := wsmalloc.DefaultTelemetryConfig()
+		tcfg.SampleEveryNs = *sampleEveryMs * 1_000_000
+		cfg.Telemetry = tcfg
+	}
+
 	opts := wsmalloc.DefaultRunOptions(*seed)
 	opts.Duration = *durationMs * 1_000_000
-	res := wsmalloc.RunWorkloadOptions(profile, cfg, opts)
+	alloc := wsmalloc.NewAllocator(cfg, wsmalloc.DefaultPlatform())
+	res := wsmalloc.RunWorkloadOn(profile, alloc, opts)
 	st := res.Stats
 
 	fmt.Printf("profile %s under %s for %dms virtual (seed %d)\n",
@@ -94,6 +117,37 @@ func main() {
 	sort.Slice(keys, func(i, j int) bool { return shares[keys[i]] > shares[keys[j]] })
 	for _, k := range keys {
 		fmt.Printf("    %-16s %6.2f%%\n", k, shares[k]*100)
+	}
+
+	if tel := alloc.Telemetry(); tel != nil {
+		snaps := []wsmalloc.TelemetrySnapshot{tel.Snapshot(*configName, alloc.Now())}
+		series := tel.Samples()
+		trace := tel.Tracer().Events()
+		if *metricsOut != "" {
+			paths, err := wsmalloc.WriteTelemetryFiles(*metricsOut, snaps, series, trace)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "write telemetry: %v\n", err)
+				os.Exit(1)
+			}
+			for _, p := range paths {
+				fmt.Printf("wrote %s\n", p)
+			}
+		} else {
+			fmt.Println()
+			if err := wsmalloc.WriteTelemetryMallocz(os.Stdout, snaps...); err != nil {
+				fmt.Fprintf(os.Stderr, "mallocz: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *serveAddr != "" {
+			fmt.Printf("serving /metricsz and /tracez on %s\n", *serveAddr)
+			if err := wsmalloc.ServeTelemetry(*serveAddr,
+				func() []wsmalloc.TelemetrySnapshot { return snaps },
+				func() []wsmalloc.TraceEvent { return trace }); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 }
 

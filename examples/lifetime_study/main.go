@@ -5,7 +5,9 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"wsmalloc/internal/profiler"
 	"wsmalloc/internal/rng"
@@ -13,6 +15,9 @@ import (
 )
 
 func main() {
+	jsonOut := flag.String("json-out", "", "write the fleet profile as JSON to this path")
+	flag.Parse()
+
 	study := func(p workload.Profile) *profiler.Profiler {
 		// Sample one allocation per 2 MiB allocated, exactly like the
 		// production allocator's heap sampling.
@@ -49,4 +54,19 @@ func main() {
 	fmt.Print(spec.String())
 	fmt.Printf("lifetime entropy: fleet %.2f bits vs SPEC %.2f bits\n",
 		fleet.LifetimeEntropyBits(), spec.LifetimeEntropyBits())
+
+	if *jsonOut != "" {
+		out, err := os.Create(*jsonOut)
+		if err == nil {
+			err = fleet.WriteJSON(out, "fleet")
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
 }

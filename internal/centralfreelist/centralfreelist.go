@@ -16,6 +16,7 @@ import (
 	"wsmalloc/internal/pageheap"
 	"wsmalloc/internal/sizeclass"
 	"wsmalloc/internal/span"
+	"wsmalloc/internal/telemetry"
 )
 
 // Config controls central free list behaviour.
@@ -74,7 +75,12 @@ type List struct {
 	spansReleased int64
 	lifetime      pageheap.Lifetime
 	nextSeq       int64
+
+	tel *telemetry.Sink
 }
+
+// SetTelemetry installs the telemetry sink (nil disables).
+func (l *List) SetTelemetry(s *telemetry.Sink) { l.tel = s }
 
 // New creates a central free list for class c, drawing spans from ph and
 // registering object pages in pm.
@@ -141,7 +147,7 @@ func (l *List) relink(s *span.Span) {
 func (l *List) AllocBatch(out []uint64) (int, error) {
 	filled := 0
 	for filled < len(out) {
-		s, err := l.pickSpan()
+		s, srcIdx, err := l.pickSpan()
 		if err != nil {
 			return filled, err
 		}
@@ -158,19 +164,35 @@ func (l *List) AllocBatch(out []uint64) (int, error) {
 			panic("centralfreelist: picked span still linked")
 		}
 		l.relink(s)
+		// A span that changed occupancy list while being filled is the
+		// structural transition span prioritization reasons about
+		// (srcIdx >= 0 excludes fresh spans, which EvCFLSpanCreate
+		// already records; destination -1 is the full parking list).
+		if srcIdx >= 0 {
+			dst := -1
+			if !s.Full() {
+				dst = l.listIndexFor(s.Live())
+			}
+			if dst != srcIdx {
+				l.tel.Event(telemetry.EvCFLSpanMove, int64(l.class.Index), int64(dst))
+			}
+		}
 	}
 	return filled, nil
 }
 
-// pickSpan returns a span with free capacity, unlinked from its list.
-func (l *List) pickSpan() (*span.Span, error) {
+// pickSpan returns a span with free capacity, unlinked from its list,
+// plus the occupancy-list index it came from (-1 for a freshly grown
+// span).
+func (l *List) pickSpan() (*span.Span, int, error) {
 	for i := 0; i < len(l.nonempty); i++ {
 		if s := l.nonempty[i].Front(); s != nil {
 			l.nonempty[i].Remove(s)
-			return s, nil
+			return s, i, nil
 		}
 	}
-	return l.growSpan()
+	s, err := l.growSpan()
+	return s, -1, err
 }
 
 // growSpan fetches a fresh span from the pageheap, propagating its
@@ -185,6 +207,7 @@ func (l *List) growSpan() (*span.Span, error) {
 	s.Seq = l.nextSeq
 	l.pm.SetRange(start, l.class.Pages, s)
 	l.spansCreated++
+	l.tel.Event(telemetry.EvCFLSpanCreate, int64(l.class.Index), s.Seq)
 	return s, nil
 }
 
@@ -216,13 +239,16 @@ func (l *List) FreeBatch(objs []uint64) {
 			l.pm.ClearRange(s.Start, s.Pages)
 			l.ph.Free(s.Start, s.Pages)
 			l.spansReleased++
+			l.tel.Event(telemetry.EvCFLSpanRelease, int64(l.class.Index), s.Seq)
 		case wasFull:
 			l.full.Remove(s)
 			l.relink(s)
+			l.tel.Event(telemetry.EvCFLSpanMove, int64(l.class.Index), int64(l.listIndexFor(s.Live())))
 		default:
 			if newIdx := l.listIndexFor(s.Live()); newIdx != oldIdx {
 				l.nonempty[oldIdx].Remove(s)
 				l.relink(s)
+				l.tel.Event(telemetry.EvCFLSpanMove, int64(l.class.Index), int64(newIdx))
 			}
 		}
 	}
@@ -292,7 +318,7 @@ func (l *List) CheckInvariants() []check.Violation {
 			if got, ok := l.pm.Get(s.Start + mem.PageID(i)); !ok || got != s {
 				vs = append(vs, check.Violationf("centralfreelist", check.KindStructure,
 					"pagemap does not resolve page %#x back to its class-%d span",
-					(s.Start + mem.PageID(i)).Addr(), l.class.Index))
+					(s.Start+mem.PageID(i)).Addr(), l.class.Index))
 				break
 			}
 		}

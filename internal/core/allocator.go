@@ -11,6 +11,7 @@ import (
 	"wsmalloc/internal/percpu"
 	"wsmalloc/internal/sizeclass"
 	"wsmalloc/internal/span"
+	"wsmalloc/internal/telemetry"
 	"wsmalloc/internal/topology"
 	"wsmalloc/internal/transfercache"
 )
@@ -54,11 +55,14 @@ type Allocator struct {
 
 	lastPlunder, lastRelease int64
 
-	t telemetry
+	t costCounters
+
+	tel           *telemetry.Sink
+	allocSizeHist *telemetry.Histogram
 }
 
-// telemetry accumulates cost-model time and operation counts.
-type telemetry struct {
+// costCounters accumulates cost-model time and operation counts.
+type costCounters struct {
 	timeCPUCache float64
 	timeTransfer float64
 	timeCFL      float64
@@ -114,7 +118,63 @@ func New(cfg Config, topo *topology.Topology) *Allocator {
 	a.bytesUntilSample = cfg.SampleIntervalBytes
 	a.os.SetFaultPlan(cfg.Faults)
 	a.shadow = check.NewShadowHeap(cfg.Check)
+	if cfg.Telemetry.Enabled {
+		a.tel = telemetry.NewSink(cfg.Telemetry, func() int64 { return a.now })
+		a.tel.SetGaugeFill(a.fillGauges)
+		// Requested sizes span 8 B .. 2 GiB.
+		a.allocSizeHist = a.tel.Registry().Histogram("alloc_size_bytes", 3, 31)
+		a.front.SetTelemetry(a.tel)
+		a.transfer.SetTelemetry(a.tel)
+		for _, l := range a.cfls {
+			l.SetTelemetry(a.tel)
+		}
+		a.heap.SetTelemetry(a.tel)
+		a.os.SetTelemetry(a.tel)
+	}
 	return a
+}
+
+// Telemetry returns the allocator's metrics sink (nil when disabled).
+func (a *Allocator) Telemetry() *telemetry.Sink { return a.tel }
+
+// fillGauges projects the Stats snapshot into registry gauges so exports
+// carry the characterization metrics alongside the event counters. All
+// values are integral (ppm for ratios, whole ns for cost-model time) so
+// fleet-level merges stay exact.
+func (a *Allocator) fillGauges(reg *telemetry.Registry) {
+	s := a.Stats()
+	set := func(name string, v int64) { reg.Gauge(name).Set(v) }
+	set("heap_bytes", s.HeapBytes)
+	set("live_objects", s.LiveObjects)
+	set("live_requested_bytes", s.LiveRequestedBytes)
+	set("live_rounded_bytes", s.LiveRoundedBytes)
+	set("peak_live_requested_bytes", s.PeakLiveRequestedBytes)
+	set("mallocs", s.Mallocs)
+	set("frees", s.Frees)
+	set("sampled_allocs", s.SampledAllocs)
+	set("cum_allocated_bytes", s.CumAllocatedBytes)
+	set("oom_errors", s.OOMErrors)
+	set("free_errors", s.FreeErrors)
+	set("shadow_violations", s.ShadowViolations)
+	set("frag_external_bytes", s.ExternalFragBytes())
+	set("frag_internal_bytes", s.InternalFragBytes())
+	set("frag_percpu_bytes", s.Frag.CPUCache)
+	set("frag_transfer_bytes", s.Frag.TransferCache)
+	set("frag_cfl_bytes", s.Frag.CentralFreeList)
+	set("frag_pageheap_bytes", s.Frag.PageHeap)
+	set("fragmentation_ratio_ppm", int64(s.FragmentationRatio()*1e6))
+	set("hugepage_coverage_ppm", int64(s.HugepageCoverage*1e6))
+	set("cfl_spans", int64(s.CFLSpans))
+	set("cfl_spans_created", s.CFLSpansCreated)
+	set("cfl_spans_released", s.CFLSpansReleased)
+	set("time_cpucache_ns", int64(s.Time.CPUCache))
+	set("time_transfer_ns", int64(s.Time.Transfer))
+	set("time_cfl_ns", int64(s.Time.CentralFreeList))
+	set("time_pageheap_ns", int64(s.Time.PageHeap))
+	set("time_mmap_ns", int64(s.Time.Mmap))
+	set("time_prefetch_ns", int64(s.Time.Prefetch))
+	set("time_sampled_ns", int64(s.Time.Sampled))
+	set("time_other_ns", int64(s.Time.Other))
 }
 
 // cflBacking adapts the central free lists to the transfer cache's
@@ -295,6 +355,9 @@ func (a *Allocator) malloc(size, cpu int, largeLT pageheap.Lifetime) (uint64, fl
 	}
 	a.t.cumAllocatedBytes += int64(size)
 	a.t.cumAllocatedObjs++
+	if a.allocSizeHist != nil {
+		a.allocSizeHist.Observe(float64(size))
+	}
 
 	if a.cfg.SampleIntervalBytes > 0 {
 		a.bytesUntilSample -= int64(size)
@@ -422,6 +485,7 @@ func (a *Allocator) Tick(now int64) {
 			a.heap.ReleaseAtLeast(excess)
 		}
 	}
+	a.tel.MaybeSample(now)
 }
 
 // DrainCaches flushes the front-end and middle-tier caches back to the

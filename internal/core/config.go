@@ -13,6 +13,7 @@ import (
 	"wsmalloc/internal/mem"
 	"wsmalloc/internal/pageheap"
 	"wsmalloc/internal/percpu"
+	"wsmalloc/internal/telemetry"
 	"wsmalloc/internal/transfercache"
 )
 
@@ -96,6 +97,11 @@ type Config struct {
 	// (seeded mmap failures, mapped-byte budget). The zero value injects
 	// nothing.
 	Faults mem.FaultPlan
+
+	// Telemetry configures the metrics registry, event tracer and
+	// time-series sampler. The zero value disables telemetry entirely:
+	// every instrumentation site then costs a single nil check.
+	Telemetry telemetry.Config
 }
 
 // BaselineConfig returns the pre-redesign TCMalloc: static 3 MiB per-CPU

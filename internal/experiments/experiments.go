@@ -129,6 +129,9 @@ func runProfile(p workload.Profile, cfg core.Config, seed uint64, duration int64
 	if hardening.Audit {
 		cfg.Check = check.DefaultConfig()
 	}
+	if telCfg.Enabled {
+		cfg.Telemetry = telCfg
+	}
 	alloc := core.New(cfg, topo)
 	opts := workload.DefaultOptions(seed)
 	opts.Duration = duration
@@ -138,6 +141,10 @@ func runProfile(p workload.Profile, cfg core.Config, seed uint64, duration int64
 	res := workload.Run(p, alloc, opts)
 	if len(res.Violations) > 0 {
 		auditTrips.Add(1)
+	}
+	if tel := alloc.Telemetry(); tel != nil {
+		tel.FlushGauges()
+		mergeTelemetry(tel.Registry())
 	}
 	return res, alloc
 }

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"sync"
+
+	"wsmalloc/internal/telemetry"
+)
+
+// Experiment-wide telemetry, backing the cmd/experiments -telemetry flag:
+// when enabled, every profile-driven run is instrumented and its registry
+// folded into one aggregate. Profile runs fan out over the worker pool,
+// so the fold happens in completion order — which is fine, because
+// registry merges are commutative (integral counters/gauges, unit-weight
+// histograms): the aggregate is identical at any worker count.
+var (
+	telCfg telemetry.Config
+	telMu  sync.Mutex
+	telAgg *telemetry.Registry
+)
+
+// SetTelemetry installs the instrumentation config for every subsequent
+// profile-driven experiment run and resets the aggregate registry.
+func SetTelemetry(cfg telemetry.Config) {
+	telMu.Lock()
+	defer telMu.Unlock()
+	telCfg = cfg
+	telAgg = nil
+	if cfg.Enabled {
+		telAgg = telemetry.NewRegistry()
+	}
+}
+
+// TelemetryRegistry returns the aggregate registry over every run since
+// SetTelemetry, or nil when telemetry is disabled.
+func TelemetryRegistry() *telemetry.Registry {
+	telMu.Lock()
+	defer telMu.Unlock()
+	return telAgg
+}
+
+// mergeTelemetry folds one run's registry into the experiment aggregate.
+func mergeTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	telMu.Lock()
+	defer telMu.Unlock()
+	if telAgg != nil {
+		telAgg.Merge(reg)
+	}
+}

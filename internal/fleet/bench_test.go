@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"wsmalloc/internal/core"
+	"wsmalloc/internal/telemetry"
 	"wsmalloc/internal/workload"
 )
 
@@ -39,4 +40,32 @@ func BenchmarkFleetAB(b *testing.B) {
 			b.ReportMetric(float64(2*machines*b.N)/b.Elapsed().Seconds(), "machines/s")
 		})
 	}
+}
+
+// benchTelemetry runs the A/B engine with the given telemetry config so
+// the Disabled/Enabled pair below measures the instrumentation overhead:
+// Disabled is the nil-sink path (one branch per event site) and must stay
+// within noise of the pre-telemetry BenchmarkFleetAB.
+func benchTelemetry(b *testing.B, cfg telemetry.Config) {
+	f := New(200, 1)
+	opts := DefaultABOptions()
+	opts.MinMachines = 8
+	opts.DurationNs = 10 * workload.Millisecond
+	opts.Workers = 1
+	opts.Telemetry = cfg
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := f.ABTest(core.BaselineConfig(), core.OptimizedConfig(), opts)
+		if res.Fleet.Machines == 0 {
+			b.Fatal("no machines enrolled")
+		}
+	}
+}
+
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	benchTelemetry(b, telemetry.Config{})
+}
+
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	benchTelemetry(b, telemetry.Config{Enabled: true, TraceCapacity: 4096})
 }

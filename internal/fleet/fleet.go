@@ -19,6 +19,7 @@ import (
 	"wsmalloc/internal/rng"
 	"wsmalloc/internal/sched"
 	"wsmalloc/internal/stats"
+	"wsmalloc/internal/telemetry"
 	"wsmalloc/internal/topology"
 	"wsmalloc/internal/workload"
 )
@@ -145,6 +146,9 @@ type RunMetrics struct {
 	InterDomainShare float64
 	Coverage         float64
 	CacheBytes       int64
+	// Telemetry is the machine's metrics registry with end-of-run gauges
+	// flushed, when the run's config enabled telemetry (nil otherwise).
+	Telemetry *telemetry.Registry
 }
 
 // RunMachine executes one machine's workload under cfg for the given
@@ -178,6 +182,10 @@ func RunMachineOpts(m Machine, cfg core.Config, opts workload.Options) RunMetric
 	st := res.Stats
 
 	rm := RunMetrics{App: m.App.Name, Result: res}
+	if tel := alloc.Telemetry(); tel != nil {
+		tel.FlushGauges()
+		rm.Telemetry = tel.Registry()
+	}
 	if snaps > 0 {
 		rm.AvgHeapBytes = heapSum / snaps
 		rm.CacheBytes = cacheSum / snaps
@@ -235,6 +243,26 @@ type ChaosStats struct {
 	Audits, Violations int64
 }
 
+// ABTelemetry holds the fleet-aggregated metrics registries of the two
+// experiment arms, each the enrolment-order merge of the per-machine
+// registries.
+type ABTelemetry struct {
+	Control    *telemetry.Registry
+	Experiment *telemetry.Registry
+}
+
+// Snapshots renders both arms as labeled, name-sorted snapshots ready for
+// the telemetry exporters.
+func (t *ABTelemetry) Snapshots(nowNs int64) []telemetry.Snapshot {
+	if t == nil {
+		return nil
+	}
+	return []telemetry.Snapshot{
+		t.Control.Snapshot("control", nowNs),
+		t.Experiment.Snapshot("experiment", nowNs),
+	}
+}
+
 // ABResult is a full experiment outcome.
 type ABResult struct {
 	// Fleet is the machine-weighted aggregate row.
@@ -244,6 +272,9 @@ type ABResult struct {
 	// Chaos aggregates fault-injection and audit outcomes (zero unless
 	// ABOptions enabled chaos or auditing).
 	Chaos ChaosStats
+	// Telemetry is the per-arm fleet-merged metrics registry pair, nil
+	// unless ABOptions.Telemetry was enabled.
+	Telemetry *ABTelemetry
 }
 
 // ABOptions tune an experiment.
@@ -277,6 +308,12 @@ type ABOptions struct {
 	// in index-addressed slots, and the reducer merges them in
 	// enrolment order regardless of completion order.
 	Workers int
+	// Telemetry, when Enabled, instruments every enrolled machine run
+	// and aggregates both arms' registries into ABResult.Telemetry. The
+	// merge is deterministic at any worker count: registry values are
+	// integral counters/gauges and unit-weight histograms, and the
+	// reducer folds per-machine registries in enrolment order.
+	Telemetry telemetry.Config
 }
 
 // DefaultABOptions returns the standard experiment setup.
@@ -338,8 +375,9 @@ type pair struct {
 // ABResult. Outcomes are produced in index-addressed slots by the worker
 // pool and merged in enrolment order by mergeOutcomes.
 type machineOutcome struct {
-	pair  pair
-	chaos ChaosStats
+	pair       pair
+	chaos      ChaosStats
+	telC, telE *telemetry.Registry
 }
 
 // runPair executes one machine's paired control/experiment runs and
@@ -359,9 +397,13 @@ func runPair(m Machine, control, experiment core.Config, opts ABOptions) machine
 		plan.Seed ^= m.Seed // per-machine, reproducible failure points
 		cfgC.Faults, cfgE.Faults = plan, plan
 	}
+	if opts.Telemetry.Enabled {
+		cfgC.Telemetry, cfgE.Telemetry = opts.Telemetry, opts.Telemetry
+	}
 	c := runMachineOpts(m, cfgC, wopts)
 	e := runMachineOpts(m, cfgE, wopts)
 	var out machineOutcome
+	out.telC, out.telE = c.Telemetry, e.Telemetry
 	for _, rm := range []RunMetrics{c, e} {
 		st := rm.Result.Stats
 		out.chaos.InjectedFailures += st.Faults.InjectedFailures
@@ -444,8 +486,19 @@ func runPair(m Machine, control, experiment core.Config, opts ABOptions) machine
 func mergeOutcomes(outcomes []machineOutcome) ABResult {
 	pairs := make([]pair, 0, len(outcomes))
 	var chaos ChaosStats
+	var tel *ABTelemetry
 	for _, o := range outcomes {
 		pairs = append(pairs, o.pair)
+		if o.telC != nil || o.telE != nil {
+			if tel == nil {
+				tel = &ABTelemetry{
+					Control:    telemetry.NewRegistry(),
+					Experiment: telemetry.NewRegistry(),
+				}
+			}
+			tel.Control.Merge(o.telC)
+			tel.Experiment.Merge(o.telE)
+		}
 		chaos.InjectedFailures += o.chaos.InjectedFailures
 		chaos.BudgetFailures += o.chaos.BudgetFailures
 		chaos.OOMErrors += o.chaos.OOMErrors
@@ -484,7 +537,7 @@ func mergeOutcomes(outcomes []machineOutcome) ABResult {
 	for _, p := range pairs {
 		byApp[p.app] = append(byApp[p.app], p)
 	}
-	res := ABResult{Fleet: aggregate(pairs, "fleet"), Chaos: chaos}
+	res := ABResult{Fleet: aggregate(pairs, "fleet"), Chaos: chaos, Telemetry: tel}
 	var names []string
 	for name := range byApp {
 		names = append(names, name)

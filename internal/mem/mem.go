@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"wsmalloc/internal/check"
+	"wsmalloc/internal/telemetry"
 )
 
 const (
@@ -101,7 +102,12 @@ type OS struct {
 	releaseCalls   int64
 	subreleaseOps  int64
 	everMappedHuge int64
+
+	tel *telemetry.Sink
 }
+
+// SetTelemetry installs the telemetry sink (nil disables).
+func (o *OS) SetTelemetry(s *telemetry.Sink) { o.tel = s }
 
 // NewOS returns an OS whose address space starts at 4 GiB (keeping zero
 // and low addresses invalid, as on a real system).
@@ -138,6 +144,7 @@ func (o *OS) MapHuge(n int) (HugePageID, error) {
 	o.mappedBytes += int64(n) * HugePageSize
 	o.mmapCalls++
 	o.everMappedHuge += int64(n)
+	o.tel.Event(telemetry.EvMmap, int64(n), int64(start))
 	return start, nil
 }
 
@@ -154,6 +161,7 @@ func (o *OS) ReleaseHuge(h HugePageID) {
 	o.releasedBytes -= int64(st.releasedPages) * PageSize
 	delete(o.mapped, h)
 	o.releaseCalls++
+	o.tel.Event(telemetry.EvMunmap, 1, int64(h))
 }
 
 // Subrelease returns `pages` TCMalloc pages of hugepage h to the OS

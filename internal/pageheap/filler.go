@@ -5,6 +5,7 @@ import (
 
 	"wsmalloc/internal/check"
 	"wsmalloc/internal/mem"
+	"wsmalloc/internal/telemetry"
 )
 
 // Lifetime classifies a span allocation for the lifetime-aware filler.
@@ -108,7 +109,12 @@ type Filler struct {
 	refaults      int64
 	hugesReturned int64 // whole hugepages handed back via onEmpty
 	brokenDrained int64 // broken hugepages fully subreleased on drain
+
+	tel *telemetry.Sink
 }
+
+// SetTelemetry installs the telemetry sink (nil disables).
+func (f *Filler) SetTelemetry(s *telemetry.Sink) { f.tel = s }
 
 // NewFiller creates a filler over os. onEmpty receives hugepages that
 // became completely free while still intact.
@@ -204,6 +210,7 @@ func (f *Filler) allocFrom(t *hpTracker, n int) mem.PageID {
 	t.donated = false
 	f.insert(t)
 	f.usedPages += int64(n)
+	f.tel.Event(telemetry.EvFillerPack, int64(t.id), int64(n))
 	return t.id.FirstPage() + mem.PageID(idx)
 }
 
@@ -233,6 +240,7 @@ func (f *Filler) Free(p mem.PageID, n int) {
 	t.used.clearRange(idx, n)
 	t.usedCount -= n
 	f.usedPages -= int64(n)
+	f.tel.Event(telemetry.EvFillerUnpack, int64(h), int64(n))
 	if t.usedCount == 0 {
 		delete(f.byID, h)
 		if t.releasedCount > 0 {
@@ -288,6 +296,7 @@ func (f *Filler) subreleaseFree(t *hpTracker) int {
 	if n > 0 {
 		f.os.Subrelease(t.id, n)
 		f.releasedTotal += int64(n)
+		f.tel.EventAdd(telemetry.EvSubrelease, int64(n), int64(t.id), int64(n))
 	}
 	if t.releasedCount == mem.PagesPerHugePage {
 		// The whole hugepage was free: the OS has unmapped it; drop the

@@ -7,6 +7,7 @@ import (
 
 	"wsmalloc/internal/check"
 	"wsmalloc/internal/mem"
+	"wsmalloc/internal/telemetry"
 )
 
 // Config controls pageheap behaviour.
@@ -68,6 +69,17 @@ type PageHeap struct {
 	pressureEvents        int64
 	pressureReleasedBytes int64
 	oomFailures           int64
+
+	tel *telemetry.Sink
+}
+
+// SetTelemetry installs the telemetry sink on the heap and its fillers
+// (nil disables).
+func (p *PageHeap) SetTelemetry(s *telemetry.Sink) {
+	p.tel = s
+	for _, f := range p.fillers {
+		f.SetTelemetry(s)
+	}
 }
 
 // New creates a pageheap over the simulated OS.
@@ -192,6 +204,7 @@ func (p *PageHeap) releaseUnderPressure() int64 {
 		released += int64(f.ReleasePages(math.MaxInt32, 1.0)) * mem.PageSize
 	}
 	p.pressureReleasedBytes += released
+	p.tel.Event(telemetry.EvHeapPressure, released, 0)
 	return released
 }
 

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"wsmalloc/internal/check"
+	"wsmalloc/internal/telemetry"
 )
 
 // Backing is the middle tier (the transfer cache layer).
@@ -133,7 +134,13 @@ type Caches struct {
 	lastDecay   int64
 	stealCursor int
 	resizes     int64
+
+	tel *telemetry.Sink
 }
+
+// SetTelemetry installs the telemetry sink (nil disables; every event
+// call site then costs one branch).
+func (c *Caches) SetTelemetry(s *telemetry.Sink) { c.tel = s }
 
 // New creates the front-end. domainOf maps a vCPU to its LLC domain for
 // middle-tier calls.
@@ -191,6 +198,7 @@ func (c *Caches) Alloc(vcpu, class int) (addr uint64, hit bool, err error) {
 	// capacity toward its bound (slow start).
 	cc.allocMisses++
 	cc.missWindow++
+	c.tel.Event(telemetry.EvPerCPUMiss, int64(vcpu), int64(class))
 	c.grow(cc)
 	batch := c.batchSize(class)
 	size := int64(c.objSize(class))
@@ -231,6 +239,7 @@ func (c *Caches) Free(vcpu, class int, addr uint64) (hit bool) {
 		// Per-class cap reached: spill a batch of this class.
 		cc.freeMisses++
 		cc.missWindow++
+		c.tel.Event(telemetry.EvPerCPUMiss, int64(vcpu), int64(class))
 		c.spill(cc, vcpu, class, addr)
 		return false
 	}
@@ -239,6 +248,7 @@ func (c *Caches) Free(vcpu, class int, addr uint64) (hit bool) {
 		// fit, spill a batch of this class (including addr).
 		cc.freeMisses++
 		cc.missWindow++
+		c.tel.Event(telemetry.EvPerCPUMiss, int64(vcpu), int64(class))
 		c.grow(cc)
 		if cc.used+size > cc.capacity {
 			c.spill(cc, vcpu, class, addr)
@@ -307,6 +317,7 @@ func (c *Caches) MaybeDecay(now int64) int {
 			objs := append([]uint64(nil), s[len(s)-drop:]...)
 			cc.slots[class] = s[:len(s)-drop]
 			cc.used -= int64(drop) * int64(c.objSize(class))
+			c.tel.Event(telemetry.EvPerCPUDecay, int64(vcpu), int64(drop))
 			c.backing.Free(class, c.domainOf(vcpu), objs)
 			released += drop
 		}
@@ -391,6 +402,7 @@ func (c *Caches) resizePass() {
 			c.caches[target].bound += step
 			moved += step
 			c.resizes++
+			c.tel.Event(telemetry.EvPerCPUSteal, int64(victim), step)
 		}
 	}
 	for _, p := range pop {

@@ -1,0 +1,45 @@
+package profiler
+
+import (
+	"io"
+
+	"wsmalloc/internal/telemetry"
+)
+
+// Export is the machine-readable form of a profiler's state: the Fig. 7
+// size histograms rendered through the telemetry exporter (buckets plus
+// interpolated p50/p95/p99) and the Fig. 8 lifetime matrix.
+type Export struct {
+	Label   string `json:"label"`
+	Samples int64  `json:"samples"`
+	Seen    int64  `json:"seen"`
+
+	// SizeByCount weights each sampled allocation by interval/size (the
+	// object-count CDF); SizeByBytes by one sampling interval of bytes.
+	SizeByCount telemetry.HistogramValue `json:"size_by_count"`
+	SizeByBytes telemetry.HistogramValue `json:"size_by_bytes"`
+
+	// Lifetime is the per-size-bin lifetime decade distribution.
+	Lifetime []LifetimeRow `json:"lifetime"`
+
+	// EntropyBits is the sample-weighted lifetime decade entropy.
+	EntropyBits float64 `json:"entropy_bits"`
+}
+
+// Export snapshots the profiler under the given label.
+func (p *Profiler) Export(label string) Export {
+	return Export{
+		Label:       label,
+		Samples:     p.samples,
+		Seen:        p.seen,
+		SizeByCount: telemetry.SnapshotLogHistogram("size_by_count", p.sizeByCount),
+		SizeByBytes: telemetry.SnapshotLogHistogram("size_by_bytes", p.sizeByBytes),
+		Lifetime:    p.LifetimeMatrix(),
+		EntropyBits: p.LifetimeEntropyBits(),
+	}
+}
+
+// WriteJSON writes the export as indented JSON.
+func (p *Profiler) WriteJSON(w io.Writer, label string) error {
+	return telemetry.WriteJSON(w, p.Export(label))
+}

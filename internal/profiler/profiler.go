@@ -138,12 +138,12 @@ func (p *Profiler) SizeCDF(xs []float64) (byCount, byBytes []float64) {
 // LifetimeRow describes the lifetime distribution of one size bin.
 type LifetimeRow struct {
 	// SizeLo is the inclusive lower bound of the size bin in bytes.
-	SizeLo float64
+	SizeLo float64 `json:"size_lo"`
 	// Count is the number of samples in the bin.
-	Count float64
+	Count float64 `json:"count"`
 	// Fraction[i] is the share of samples with lifetime in decade
 	// 10^(lifeMinExp+i) ns.
-	Fraction []float64
+	Fraction []float64 `json:"fraction"`
 }
 
 // LifetimeMatrix returns Fig. 8's data: per size bin, the distribution of

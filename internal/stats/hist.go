@@ -57,6 +57,70 @@ func (h *LogHistogram) AddWeighted(v, w float64) {
 // Total returns the accumulated weight.
 func (h *LogHistogram) Total() float64 { return h.total }
 
+// Range returns the exponent range [minExp, maxExp] the histogram covers.
+func (h *LogHistogram) Range() (minExp, maxExp int) { return h.minExp, h.maxExp }
+
+// Merge folds other into h, as if every weighted observation recorded in
+// other had been AddWeighted into h. Both histograms must cover the same
+// exponent range. Merging is commutative and associative (bucket-wise
+// float addition), which is what lets per-worker telemetry fold through
+// the fleet's enrolment-order reducer without the result depending on
+// which worker finished first.
+func (h *LogHistogram) Merge(other *LogHistogram) {
+	if other == nil {
+		return
+	}
+	if h.minExp != other.minExp || h.maxExp != other.maxExp {
+		panic("stats: merging log histograms with different ranges")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+}
+
+// Quantile returns the smallest value v with P(X <= v) >= p, interpolating
+// linearly within the matched bucket. An empty histogram returns 0; p <= 0
+// returns the lower bound of the first occupied bucket and p >= 1 the
+// upper bound of the last. Because only bucket membership survives
+// ingestion the result is an estimate with at most one-bucket (2x) error,
+// the same resolution TCMalloc's statsz quotes for its size-class tables.
+func (h *LogHistogram) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	first, last := -1, -1
+	for i, c := range h.counts {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if p <= 0 {
+		return math.Pow(2, float64(h.minExp+first))
+	}
+	if p >= 1 {
+		return math.Pow(2, float64(h.minExp+last+1))
+	}
+	target := p * h.total
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo := math.Pow(2, float64(h.minExp+i))
+			hi := math.Pow(2, float64(h.minExp+i+1))
+			frac := (target - cum) / c
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return math.Pow(2, float64(h.minExp+last+1))
+}
+
 // Buckets returns (lowerBound, weight) pairs for every bucket.
 func (h *LogHistogram) Buckets() []Bucket {
 	out := make([]Bucket, len(h.counts))

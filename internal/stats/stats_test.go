@@ -64,6 +64,178 @@ func TestSummaryMergeEqualsSequential(t *testing.T) {
 	}
 }
 
+// fillSummary builds a summary over n pseudo-random draws.
+func fillSummary(r *rng.RNG, n int) *Summary {
+	var s Summary
+	for i := 0; i < n; i++ {
+		s.Add(r.NormFloat64()*50 + 10)
+	}
+	return &s
+}
+
+func summariesClose(a, b *Summary) bool {
+	return a.N() == b.N() &&
+		almostEqual(a.Mean(), b.Mean(), 1e-9) &&
+		almostEqual(a.Variance(), b.Variance(), 1e-6) &&
+		a.Min() == b.Min() && a.Max() == b.Max()
+}
+
+func TestSummaryMergeCommutative(t *testing.T) {
+	r := rng.New(11)
+	f := func(na, nb uint8) bool {
+		a1 := fillSummary(r, int(na))
+		b1 := fillSummary(r, int(nb))
+		a2, b2 := *a1, *b1
+		a1.Merge(b1)  // a+b
+		b2.Merge(&a2) // b+a
+		return summariesClose(a1, &b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeAssociative(t *testing.T) {
+	r := rng.New(12)
+	f := func(na, nb, nc uint8) bool {
+		a := fillSummary(r, int(na))
+		b := fillSummary(r, int(nb))
+		c := fillSummary(r, int(nc))
+		// (a+b)+c
+		l1, l2 := *a, *b
+		l1.Merge(&l2)
+		lc := *c
+		l1.Merge(&lc)
+		// a+(b+c)
+		r1, r2, r3 := *a, *b, *c
+		r2.Merge(&r3)
+		r1.Merge(&r2)
+		return summariesClose(&l1, &r1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fillLogHist builds a log histogram over n unit-weight draws, the shape
+// telemetry sinks produce (integer-valued float counts, so merging is
+// exact, not merely approximate).
+func fillLogHist(r *rng.RNG, n int) *LogHistogram {
+	h := NewLogHistogram(3, 20)
+	for i := 0; i < n; i++ {
+		h.Add(float64(8 + r.Intn(1<<20)))
+	}
+	return h
+}
+
+func logHistsEqual(a, b *LogHistogram) bool {
+	if a.Total() != b.Total() {
+		return false
+	}
+	ab, bb := a.Buckets(), b.Buckets()
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneLogHist(h *LogHistogram) *LogHistogram {
+	out := NewLogHistogram(h.Range())
+	out.Merge(h)
+	return out
+}
+
+func TestLogHistogramMergeEqualsSequential(t *testing.T) {
+	r := rng.New(13)
+	a := fillLogHist(r, 500)
+	all := cloneLogHist(a)
+	b := NewLogHistogram(3, 20)
+	for i := 0; i < 300; i++ {
+		v := float64(8 + r.Intn(1<<18))
+		b.Add(v)
+		all.Add(v)
+	}
+	a.Merge(b)
+	if !logHistsEqual(a, all) {
+		t.Fatal("merged histogram differs from sequentially-filled one")
+	}
+}
+
+func TestLogHistogramMergeCommutativeAssociative(t *testing.T) {
+	r := rng.New(14)
+	f := func(na, nb, nc uint8) bool {
+		a := fillLogHist(r, int(na))
+		b := fillLogHist(r, int(nb))
+		c := fillLogHist(r, int(nc))
+		// commutativity: a+b == b+a
+		ab := cloneLogHist(a)
+		ab.Merge(b)
+		ba := cloneLogHist(b)
+		ba.Merge(a)
+		if !logHistsEqual(ab, ba) {
+			return false
+		}
+		// associativity: (a+b)+c == a+(b+c)
+		abc := cloneLogHist(ab)
+		abc.Merge(c)
+		bc := cloneLogHist(b)
+		bc.Merge(c)
+		abc2 := cloneLogHist(a)
+		abc2.Merge(bc)
+		return logHistsEqual(abc, abc2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogHistogramMergeRangeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched ranges should panic")
+		}
+	}()
+	NewLogHistogram(3, 20).Merge(NewLogHistogram(3, 21))
+}
+
+func TestLogHistogramQuantile(t *testing.T) {
+	h := NewLogHistogram(0, 10)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(2) // bucket [2,4)
+	}
+	// All mass in one bucket: quantiles interpolate across [2,4).
+	if got := h.Quantile(0.5); !almostEqual(got, 3, 1e-12) {
+		t.Fatalf("Quantile(0.5) = %v, want 3", got)
+	}
+	if got := h.Quantile(0); got != 2 {
+		t.Fatalf("Quantile(0) = %v, want 2", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("Quantile(1) = %v, want 4", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(512) // bucket [512,1024)
+	}
+	// Half the mass below 4, so p95 sits 90% into the upper bucket.
+	if got := h.Quantile(0.95); !almostEqual(got, 512+0.9*512, 1e-9) {
+		t.Fatalf("Quantile(0.95) = %v", got)
+	}
+	// Quantiles are monotone in p.
+	prev := 0.0
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone at p=%v: %v < %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
 func TestQuantile(t *testing.T) {
 	xs := []float64{10, 20, 30, 40, 50}
 	cases := []struct{ q, want float64 }{

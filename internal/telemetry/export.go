@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricPrefix namespaces every exported Prometheus series.
+const metricPrefix = "wsmalloc_"
+
+// fmtFloat renders histogram counts and bucket bounds compactly; sink
+// weights are integer-valued so this usually prints integers. Integral
+// values are forced through 'f' so power-of-two bounds never degrade to
+// scientific notation (1048576, not 1.048576e+06).
+func fmtFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// armLabel renders the {arm="..."} selector for a labeled snapshot.
+func armLabel(label string) string {
+	if label == "" {
+		return ""
+	}
+	return `{arm="` + label + `"}`
+}
+
+// armPair renders arm="..." for joining with other labels.
+func armPair(label string) string {
+	if label == "" {
+		return ""
+	}
+	return `arm="` + label + `",`
+}
+
+// collectNames returns the sorted union of metric names across
+// snapshots, per section.
+func collectNames(snaps []Snapshot, pick func(Snapshot) []string) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, s := range snaps {
+		for _, n := range pick(s) {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WritePrometheus renders the snapshots in the Prometheus text
+// exposition format. Each snapshot's label becomes an arm="..." label
+// (the fleet A/B exports control and experiment side by side); log2
+// histograms become cumulative le-bucket series. Output is byte-stable
+// for equal snapshots: names are sorted and values are integers.
+func WritePrometheus(w io.Writer, snaps ...Snapshot) error {
+	find := func(ms []MetricValue, name string) (int64, bool) {
+		for _, m := range ms {
+			if m.Name == name {
+				return m.Value, true
+			}
+		}
+		return 0, false
+	}
+	emit := func(names []string, typ string, get func(Snapshot) []MetricValue) error {
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "# TYPE %s%s %s\n", metricPrefix, name, typ); err != nil {
+				return err
+			}
+			for _, s := range snaps {
+				if v, ok := find(get(s), name); ok {
+					if _, err := fmt.Fprintf(w, "%s%s%s %d\n", metricPrefix, name, armLabel(s.Label), v); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	counterNames := collectNames(snaps, func(s Snapshot) []string {
+		out := make([]string, len(s.Counters))
+		for i, m := range s.Counters {
+			out[i] = m.Name
+		}
+		return out
+	})
+	if err := emit(counterNames, "counter", func(s Snapshot) []MetricValue { return s.Counters }); err != nil {
+		return err
+	}
+	gaugeNames := collectNames(snaps, func(s Snapshot) []string {
+		out := make([]string, len(s.Gauges))
+		for i, m := range s.Gauges {
+			out[i] = m.Name
+		}
+		return out
+	})
+	if err := emit(gaugeNames, "gauge", func(s Snapshot) []MetricValue { return s.Gauges }); err != nil {
+		return err
+	}
+
+	histNames := collectNames(snaps, func(s Snapshot) []string {
+		out := make([]string, len(s.Histograms))
+		for i, h := range s.Histograms {
+			out[i] = h.Name
+		}
+		return out
+	})
+	for _, name := range histNames {
+		if _, err := fmt.Fprintf(w, "# TYPE %s%s histogram\n", metricPrefix, name); err != nil {
+			return err
+		}
+		for _, s := range snaps {
+			for _, h := range s.Histograms {
+				if h.Name != name {
+					continue
+				}
+				cum := 0.0
+				for _, b := range h.Buckets {
+					cum += b.Count
+					if _, err := fmt.Fprintf(w, "%s%s_bucket{%sle=%q} %s\n",
+						metricPrefix, name, armPair(s.Label), fmtFloat(b.Hi), fmtFloat(cum)); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s%s_bucket{%sle=\"+Inf\"} %s\n",
+					metricPrefix, name, armPair(s.Label), fmtFloat(h.Total)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s%s_count%s %s\n",
+					metricPrefix, name, armLabel(s.Label), fmtFloat(h.Total)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes v as indented JSON with a trailing newline.
+func WriteJSON(w io.Writer, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteMallocz renders the human-readable dump, modeled on TCMalloc's
+// statsz page: a gauge block, an event-counter block, and per-histogram
+// quantile lines with an ASCII bucket sketch.
+func WriteMallocz(w io.Writer, snaps ...Snapshot) error {
+	rule := strings.Repeat("-", 64)
+	for _, s := range snaps {
+		title := "MALLOC telemetry"
+		if s.Label != "" {
+			title += " (" + s.Label + ")"
+		}
+		if _, err := fmt.Fprintf(w, "%s\n%s @ %d virtual ns\n%s\n", rule, title, s.NowNs, rule); err != nil {
+			return err
+		}
+		for _, g := range s.Gauges {
+			if _, err := fmt.Fprintf(w, "MALLOC: %15d  %s\n", g.Value, g.Name); err != nil {
+				return err
+			}
+		}
+		if len(s.Counters) > 0 {
+			if _, err := fmt.Fprintf(w, "%s\nMALLOC events\n%s\n", rule, rule); err != nil {
+				return err
+			}
+			for _, c := range s.Counters {
+				if _, err := fmt.Fprintf(w, "MALLOC: %15d  %s\n", c.Value, c.Name); err != nil {
+					return err
+				}
+			}
+		}
+		for _, h := range s.Histograms {
+			if _, err := fmt.Fprintf(w, "%s\nMALLOC histogram %s: n=%s p50=%.4g p95=%.4g p99=%.4g\n%s\n",
+				rule, h.Name, fmtFloat(h.Total), h.P50, h.P95, h.P99, rule); err != nil {
+				return err
+			}
+			maxC := 0.0
+			for _, b := range h.Buckets {
+				if b.Count > maxC {
+					maxC = b.Count
+				}
+			}
+			for _, b := range h.Buckets {
+				bar := 0
+				if maxC > 0 {
+					bar = int(40 * b.Count / maxC)
+				}
+				if _, err := fmt.Fprintf(w, "MALLOC: [%12s, %12s) %12s %s\n",
+					fmtFloat(b.Lo), fmtFloat(b.Hi), fmtFloat(b.Count), strings.Repeat("#", bar)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// jsonDoc is the -metrics-out JSON schema shared by the CLIs.
+type jsonDoc struct {
+	Snapshots []Snapshot `json:"snapshots"`
+	Series    []Snapshot `json:"series,omitempty"`
+	Trace     []Event    `json:"trace,omitempty"`
+}
+
+// WriteFiles writes the three export formats next to each other:
+// base.prom (Prometheus text), base.json, and base.mallocz. series and
+// trace, when non-nil, ride along inside the JSON document. It returns
+// the paths written.
+func WriteFiles(base string, snaps []Snapshot, series []Snapshot, trace []Event) ([]string, error) {
+	type export struct {
+		path  string
+		write func(io.Writer) error
+	}
+	exports := []export{
+		{base + ".prom", func(w io.Writer) error { return WritePrometheus(w, snaps...) }},
+		{base + ".json", func(w io.Writer) error {
+			return WriteJSON(w, jsonDoc{Snapshots: snaps, Series: series, Trace: trace})
+		}},
+		{base + ".mallocz", func(w io.Writer) error { return WriteMallocz(w, snaps...) }},
+	}
+	var paths []string
+	for _, e := range exports {
+		f, err := os.Create(e.path)
+		if err != nil {
+			return paths, err
+		}
+		err = e.write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, e.path)
+	}
+	return paths, nil
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSnapshots makes a deterministic control/experiment pair.
+func buildSnapshots() []Snapshot {
+	mk := func(label string, scale int64) Snapshot {
+		r := NewRegistry()
+		r.Counter("percpu_miss_total").Add(10 * scale)
+		r.Counter("transfer_hit_total").Add(100 * scale)
+		r.Gauge("heap_bytes").Set(1 << 20)
+		h := r.Histogram("alloc_size_bytes", 3, 20)
+		for i := int64(0); i < 10*scale; i++ {
+			h.Observe(64)
+		}
+		h.Observe(4096)
+		return r.Snapshot(label, 250_000_000)
+	}
+	return []Snapshot{mk("control", 1), mk("experiment", 2)}
+}
+
+func TestWritePrometheusShape(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, buildSnapshots()...); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE wsmalloc_percpu_miss_total counter",
+		`wsmalloc_percpu_miss_total{arm="control"} 10`,
+		`wsmalloc_percpu_miss_total{arm="experiment"} 20`,
+		"# TYPE wsmalloc_heap_bytes gauge",
+		"# TYPE wsmalloc_alloc_size_bytes histogram",
+		`wsmalloc_alloc_size_bytes_bucket{arm="control",le="128"} 10`,
+		`wsmalloc_alloc_size_bytes_bucket{arm="control",le="+Inf"} 11`,
+		`wsmalloc_alloc_size_bytes_count{arm="control"} 11`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusUnlabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Add(1)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot("", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wsmalloc_x_total 1\n") {
+		t.Fatalf("unlabeled output wrong:\n%s", b.String())
+	}
+}
+
+func TestWriteMalloczShape(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMallocz(&b, buildSnapshots()...); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"MALLOC telemetry (control) @ 250000000 virtual ns",
+		"MALLOC telemetry (experiment)",
+		"heap_bytes",
+		"MALLOC events",
+		"percpu_miss_total",
+		"MALLOC histogram alloc_size_bytes:",
+		"p50=", "p95=", "p99=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mallocz output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportsAreByteStable(t *testing.T) {
+	render := func() (string, string, string) {
+		snaps := buildSnapshots()
+		var p, m, j strings.Builder
+		if err := WritePrometheus(&p, snaps...); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteMallocz(&m, snaps...); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&j, snaps); err != nil {
+			t.Fatal(err)
+		}
+		return p.String(), m.String(), j.String()
+	}
+	p1, m1, j1 := render()
+	p2, m2, j2 := render()
+	if p1 != p2 || m1 != m2 || j1 != j2 {
+		t.Fatal("exports are not byte-stable across renders")
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "metrics")
+	trace := []Event{{NowNs: 1, Kind: EvMmap, KindS: EvMmap.String(), A: 4}}
+	paths, err := WriteFiles(base, buildSnapshots(), nil, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("paths = %v", paths)
+	}
+	data, err := os.ReadFile(base + ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Snapshots []Snapshot `json:"snapshots"`
+		Trace     []Event    `json:"trace"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Snapshots) != 2 || len(doc.Trace) != 1 || doc.Trace[0].KindS != "os_mmap" {
+		t.Fatalf("json doc = %+v", doc)
+	}
+	for _, p := range paths {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("export %s missing or empty", p)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	snaps := buildSnapshots()
+	trace := []Event{{NowNs: 5, Kind: EvSubrelease, KindS: EvSubrelease.String(), A: 1, B: 8}}
+	h := NewHandler(func() []Snapshot { return snaps }, func() []Event { return trace })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	if out := get("/metricsz"); !strings.Contains(out, "# TYPE wsmalloc_percpu_miss_total counter") {
+		t.Fatalf("/metricsz default not prometheus:\n%s", out)
+	}
+	if out := get("/metricsz?format=json"); !strings.Contains(out, `"snapshots"`) {
+		t.Fatalf("/metricsz json wrong:\n%s", out)
+	}
+	if out := get("/metricsz?format=text"); !strings.Contains(out, "MALLOC telemetry") {
+		t.Fatalf("/metricsz text wrong:\n%s", out)
+	}
+	if out := get("/tracez"); !strings.Contains(out, "subrelease") {
+		t.Fatalf("/tracez wrong:\n%s", out)
+	}
+	if out := get("/tracez?format=json"); !strings.Contains(out, `"kind": "subrelease"`) {
+		t.Fatalf("/tracez json wrong:\n%s", out)
+	}
+}

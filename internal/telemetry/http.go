@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// NewHandler serves the live observability endpoints:
+//
+//	/metricsz          Prometheus text (default), ?format=json, ?format=text (mallocz)
+//	/tracez            recent events, plain text (default) or ?format=json
+//
+// snaps and trace are called per request, so the handler always reports
+// the caller's latest state (the CLIs pass closures over the finished
+// run; a long-lived embedder could pass live accessors). Either accessor
+// may be nil, in which case its endpoint serves empty output.
+func NewHandler(snaps func() []Snapshot, trace func() []Event) http.Handler {
+	if snaps == nil {
+		snaps = func() []Snapshot { return nil }
+	}
+	if trace == nil {
+		trace = func() []Event { return nil }
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		ss := snaps()
+		switch r.URL.Query().Get("format") {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteJSON(w, jsonDoc{Snapshots: ss})
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = WriteMallocz(w, ss...)
+		default:
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = WritePrometheus(w, ss...)
+		}
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		events := trace()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteJSON(w, struct {
+				Trace []Event `json:"trace"`
+			}{events})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, e := range events {
+			fmt.Fprintf(w, "%12d ns  %-26s a=%d b=%d\n", e.NowNs, e.Kind.String(), e.A, e.B)
+		}
+	})
+	return mux
+}
+
+// Serve blocks serving the handler on addr; the CLIs call it after a
+// run when -serve is set so the operator can curl /metricsz + /tracez.
+func Serve(addr string, snaps func() []Snapshot, trace func() []Event) error {
+	return http.ListenAndServe(addr, NewHandler(snaps, trace))
+}

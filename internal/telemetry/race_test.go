@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+
+	"wsmalloc/internal/sched"
+)
+
+// TestRegistryConcurrentViaSched hammers one registry from the same
+// worker pool the fleet fans machines out over. Under `go test -race`
+// (scripts/verify.sh) this is the data-race gate for the telemetry hot
+// paths: sharded counter handles, gauge stores, histogram observes,
+// tracer records, get-or-create lookups, and concurrent snapshots.
+func TestRegistryConcurrentViaSched(t *testing.T) {
+	const (
+		tasks   = 64
+		perTask = 1000
+	)
+	r := NewRegistry()
+	tr := NewTracer(256)
+	shared := r.Counter("shared_total")
+	err := sched.Map(context.Background(), tasks, 8, func(i int) error {
+		h := shared.Handle()
+		g := r.Gauge("last_task")
+		hist := r.Histogram("sizes", 3, 20)
+		for k := 0; k < perTask; k++ {
+			h.Inc()
+			g.Set(int64(i))
+			hist.Observe(float64(8 + (i+k)%1024))
+			tr.Record(Event{NowNs: int64(k), Kind: EvPerCPUMiss, A: int64(i)})
+			// Interleave get-or-create against a rotating name set with
+			// snapshotting so map growth races would be caught.
+			r.Counter([]string{"a_total", "b_total", "c_total"}[k%3]).Inc()
+			if k%256 == 0 {
+				_ = r.Snapshot("race", int64(k))
+				_ = tr.Events()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shared.Value(); got != tasks*perTask {
+		t.Fatalf("shared counter = %d, want %d", got, tasks*perTask)
+	}
+	var abc int64
+	for _, name := range []string{"a_total", "b_total", "c_total"} {
+		abc += r.Counter(name).Value()
+	}
+	if abc != tasks*perTask {
+		t.Fatalf("rotating counters sum = %d, want %d", abc, tasks*perTask)
+	}
+	if got := r.Histogram("sizes", 3, 20).snapshotValue().Total; got != tasks*perTask {
+		t.Fatalf("histogram total = %v", got)
+	}
+	if tr.Total() != tasks*perTask {
+		t.Fatalf("tracer total = %d", tr.Total())
+	}
+}
+
+// TestSinkConcurrentEvents drives full sink Event paths (counter +
+// trace + sampler) from parallel workers.
+func TestSinkConcurrentEvents(t *testing.T) {
+	s := NewSink(Config{Enabled: true, TraceCapacity: 128, SampleEveryNs: 10}, func() int64 { return 1 })
+	err := sched.Map(context.Background(), 32, 8, func(i int) error {
+		for k := 0; k < 500; k++ {
+			s.Event(EvTransferHit, int64(i), int64(k))
+			s.EventAdd(EvTransferPlunder, 2, int64(i), 0)
+			s.MaybeSample(int64(k))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Registry().Counter(EvTransferHit.MetricName()).Value(); got != 32*500 {
+		t.Fatalf("hit counter = %d", got)
+	}
+	if got := s.Registry().Counter(EvTransferPlunder.MetricName()).Value(); got != 2*32*500 {
+		t.Fatalf("plunder counter = %d", got)
+	}
+}

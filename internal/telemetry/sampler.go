@@ -1,0 +1,48 @@
+package telemetry
+
+import "sync"
+
+// Sampler snapshots the registry on a fixed virtual-clock cadence. It
+// is driven by Allocator.Tick, so cadence is measured in simulated
+// nanoseconds: the same seed yields the same sample timestamps on every
+// run, which keeps time-series exports deterministic.
+type Sampler struct {
+	everyNs int64
+	snap    func(nowNs int64) Snapshot
+
+	mu      sync.Mutex
+	nextAt  int64
+	samples []Snapshot
+}
+
+func newSampler(everyNs int64, snap func(int64) Snapshot) *Sampler {
+	return &Sampler{everyNs: everyNs, snap: snap, nextAt: everyNs}
+}
+
+// maybeSample takes one snapshot if nowNs reached the next deadline,
+// then advances the deadline past nowNs (a coarse tick that jumps over
+// several periods still records one sample, timestamped with the tick).
+func (s *Sampler) maybeSample(nowNs int64) {
+	s.mu.Lock()
+	if nowNs < s.nextAt {
+		s.mu.Unlock()
+		return
+	}
+	for s.nextAt <= nowNs {
+		s.nextAt += s.everyNs
+	}
+	s.mu.Unlock()
+	// Snapshot outside the sampler lock: snap walks the registry and
+	// may call the gauge-fill callback.
+	snap := s.snap(nowNs)
+	s.mu.Lock()
+	s.samples = append(s.samples, snap)
+	s.mu.Unlock()
+}
+
+// samplesCopy returns the collected series.
+func (s *Sampler) samplesCopy() []Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Snapshot(nil), s.samples...)
+}

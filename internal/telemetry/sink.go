@@ -1,0 +1,163 @@
+package telemetry
+
+// Config selects what the pipeline records. The zero value disables
+// telemetry entirely (NewSink returns nil and every tier call site
+// reduces to one nil check).
+type Config struct {
+	// Enabled turns the pipeline on.
+	Enabled bool
+	// TraceCapacity bounds the event ring buffer; 0 keeps the per-kind
+	// counters but records no trace. Fleet runs use 0 so hundreds of
+	// machines don't each retain an event log.
+	TraceCapacity int
+	// SampleEveryNs snapshots the registry at this virtual-clock
+	// cadence; 0 disables time-series sampling.
+	SampleEveryNs int64
+}
+
+// DefaultConfig enables telemetry with a modest trace ring and no
+// time-series sampling, the single-machine CLI default.
+func DefaultConfig() Config {
+	return Config{Enabled: true, TraceCapacity: 4096}
+}
+
+// Sink is the nil-safe recording facade handed to every tier. Tiers
+// call Event/EventAdd on structural transitions; a nil *Sink makes each
+// call a single branch, which is what keeps the disabled path inside
+// the <2% BenchmarkFleetAB budget.
+//
+// The sink owns the machine's registry, optional tracer, and optional
+// sampler. It reads virtual time through the now closure installed by
+// core (tiers themselves never see the clock).
+type Sink struct {
+	reg     *Registry
+	tracer  *Tracer
+	sampler *Sampler
+	now     func() int64
+	// gaugeFill refreshes gauges from allocator stats immediately
+	// before a snapshot; installed by core.
+	gaugeFill func(*Registry)
+	// counters holds the pre-registered per-kind counter handles so
+	// Event never takes the registry lock.
+	counters [numEventKinds]*CounterHandle
+}
+
+// NewSink builds a sink for one machine, or nil when cfg.Enabled is
+// false. now supplies the virtual clock for trace timestamps and
+// sampling.
+func NewSink(cfg Config, now func() int64) *Sink {
+	if !cfg.Enabled {
+		return nil
+	}
+	if now == nil {
+		now = func() int64 { return 0 }
+	}
+	s := &Sink{
+		reg:    NewRegistry(),
+		tracer: NewTracer(cfg.TraceCapacity),
+		now:    now,
+	}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		s.counters[k] = s.reg.Counter(k.MetricName()).Handle()
+	}
+	if cfg.SampleEveryNs > 0 {
+		s.sampler = newSampler(cfg.SampleEveryNs, s.snapshotAt)
+	}
+	return s
+}
+
+// Event records one occurrence of kind with operands a, b: the kind's
+// counter increments by 1 and, when tracing is on, an event enters the
+// ring.
+func (s *Sink) Event(kind EventKind, a, b int64) {
+	if s == nil {
+		return
+	}
+	s.counters[kind].Inc()
+	if s.tracer != nil {
+		s.tracer.Record(Event{NowNs: s.now(), Kind: kind, A: a, B: b})
+	}
+}
+
+// EventAdd is Event for batched transitions: the kind's counter grows
+// by n (e.g. objects plundered) while the trace still records a single
+// event.
+func (s *Sink) EventAdd(kind EventKind, n, a, b int64) {
+	if s == nil {
+		return
+	}
+	s.counters[kind].Add(n)
+	if s.tracer != nil {
+		s.tracer.Record(Event{NowNs: s.now(), Kind: kind, A: a, B: b})
+	}
+}
+
+// Registry returns the sink's registry (nil for a nil sink).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Tracer returns the sink's tracer (nil for a nil sink or when tracing
+// is off).
+func (s *Sink) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tracer
+}
+
+// SetGaugeFill installs the callback that refreshes gauges from
+// allocator stats before each snapshot.
+func (s *Sink) SetGaugeFill(fn func(*Registry)) {
+	if s == nil {
+		return
+	}
+	s.gaugeFill = fn
+}
+
+// FlushGauges refreshes the gauges now; the fleet calls this once per
+// machine at end-of-run before folding registries.
+func (s *Sink) FlushGauges() {
+	if s == nil || s.gaugeFill == nil {
+		return
+	}
+	s.gaugeFill(s.reg)
+}
+
+// snapshotAt refreshes gauges and snapshots the registry at virtual
+// time nowNs.
+func (s *Sink) snapshotAt(nowNs int64) Snapshot {
+	s.FlushGauges()
+	return s.reg.Snapshot("", nowNs)
+}
+
+// Snapshot refreshes gauges and renders the registry, stamped with
+// label and the given virtual time. A nil sink returns a zero Snapshot.
+func (s *Sink) Snapshot(label string, nowNs int64) Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	s.FlushGauges()
+	return s.reg.Snapshot(label, nowNs)
+}
+
+// MaybeSample lets the time-series sampler fire if the virtual clock
+// crossed its next deadline; core calls this from Allocator.Tick.
+func (s *Sink) MaybeSample(nowNs int64) {
+	if s == nil || s.sampler == nil {
+		return
+	}
+	s.sampler.maybeSample(nowNs)
+}
+
+// Samples returns the time series collected so far (nil when sampling
+// is off).
+func (s *Sink) Samples() []Snapshot {
+	if s == nil || s.sampler == nil {
+		return nil
+	}
+	return s.sampler.samplesCopy()
+}

@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCounterShardsSum(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Add(5)
+	c.Inc()
+	for i := 0; i < 2*counterShards; i++ {
+		c.Handle().Add(10)
+	}
+	if got := c.Value(); got != 6+20*int64(counterShards) {
+		t.Fatalf("counter value = %d", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter not interned")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge not interned")
+	}
+	if r.Histogram("h", 3, 20) != r.Histogram("h", 0, 5) {
+		t.Fatal("histogram not interned")
+	}
+}
+
+func TestRegistryMergeSums(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("c").Add(3)
+	b.Counter("c").Add(4)
+	b.Counter("only_b").Add(7)
+	a.Gauge("g").Set(10)
+	b.Gauge("g").Set(20)
+	a.Histogram("h", 0, 10).Observe(2)
+	b.Histogram("h", 0, 10).Observe(2)
+	b.Histogram("h", 0, 10).Observe(512)
+
+	a.Merge(b)
+	if got := a.Counter("c").Value(); got != 7 {
+		t.Fatalf("merged counter = %d", got)
+	}
+	if got := a.Counter("only_b").Value(); got != 7 {
+		t.Fatalf("merged new counter = %d", got)
+	}
+	if got := a.Gauge("g").Value(); got != 30 {
+		t.Fatalf("merged gauge = %d", got)
+	}
+	hv := a.Histogram("h", 0, 10).snapshotValue()
+	if hv.Total != 3 {
+		t.Fatalf("merged histogram total = %v", hv.Total)
+	}
+	a.Merge(nil) // no-op
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(order []string) Snapshot {
+		r := NewRegistry()
+		for i, name := range order {
+			r.Counter(name).Add(int64(i) + 1)
+			r.Gauge("g_" + name).Set(int64(i))
+		}
+		r.Histogram("hz", 0, 8).Observe(4)
+		r.Histogram("ha", 0, 8).Observe(8)
+		return r.Snapshot("arm", 42)
+	}
+	s1 := build([]string{"b", "a", "c"})
+	s2 := build([]string{"c", "b", "a"})
+	// Same metrics registered in different orders with different values;
+	// normalize values to compare ordering only.
+	if len(s1.Counters) != 3 || s1.Counters[0].Name != "a" || s1.Counters[2].Name != "c" {
+		t.Fatalf("counters not sorted: %+v", s1.Counters)
+	}
+	if s1.Histograms[0].Name != "ha" || s1.Histograms[1].Name != "hz" {
+		t.Fatalf("histograms not sorted: %+v", s1.Histograms)
+	}
+	names := func(s Snapshot) []string {
+		var out []string
+		for _, m := range s.Counters {
+			out = append(out, m.Name)
+		}
+		for _, m := range s.Gauges {
+			out = append(out, m.Name)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(names(s1), names(s2)) {
+		t.Fatalf("snapshot order depends on registration order: %v vs %v", names(s1), names(s2))
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{NowNs: int64(i), Kind: EvMmap})
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events", len(events))
+	}
+	for i, e := range events {
+		if e.NowNs != int64(6+i) {
+			t.Fatalf("event %d has NowNs %d, want oldest-first 6..9", i, e.NowNs)
+		}
+	}
+	if tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("total/dropped = %d/%d", tr.Total(), tr.Dropped())
+	}
+}
+
+func TestTracerDisabled(t *testing.T) {
+	tr := NewTracer(0)
+	if tr != nil {
+		t.Fatal("capacity 0 should disable tracing")
+	}
+	tr.Record(Event{}) // nil-safe
+	if tr.Events() != nil || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer accessors should be zero")
+	}
+}
+
+func TestNilSinkIsSafe(t *testing.T) {
+	var s *Sink
+	s.Event(EvPerCPUMiss, 1, 2)
+	s.EventAdd(EvTransferPlunder, 5, 0, 0)
+	s.SetGaugeFill(nil)
+	s.FlushGauges()
+	s.MaybeSample(100)
+	if s.Registry() != nil || s.Tracer() != nil || s.Samples() != nil {
+		t.Fatal("nil sink accessors should be nil")
+	}
+	if snap := s.Snapshot("x", 1); snap.NowNs != 0 {
+		t.Fatal("nil sink snapshot should be zero")
+	}
+	if NewSink(Config{}, nil) != nil {
+		t.Fatal("disabled config should produce a nil sink")
+	}
+}
+
+func TestSinkEventsFeedCountersAndTrace(t *testing.T) {
+	now := int64(7)
+	s := NewSink(Config{Enabled: true, TraceCapacity: 16}, func() int64 { return now })
+	s.Event(EvPerCPUMiss, 3, 12)
+	s.Event(EvPerCPUMiss, 4, 12)
+	s.EventAdd(EvTransferPlunder, 9, 9, 0)
+	if got := s.Registry().Counter(EvPerCPUMiss.MetricName()).Value(); got != 2 {
+		t.Fatalf("miss counter = %d", got)
+	}
+	if got := s.Registry().Counter(EvTransferPlunder.MetricName()).Value(); got != 9 {
+		t.Fatalf("plunder counter = %d", got)
+	}
+	events := s.Tracer().Events()
+	if len(events) != 3 {
+		t.Fatalf("traced %d events", len(events))
+	}
+	if events[0].NowNs != 7 || events[0].Kind != EvPerCPUMiss || events[0].A != 3 {
+		t.Fatalf("bad first event %+v", events[0])
+	}
+}
+
+func TestSamplerCadence(t *testing.T) {
+	s := NewSink(Config{Enabled: true, SampleEveryNs: 100}, func() int64 { return 0 })
+	c := s.Registry().Counter("work_total")
+	s.MaybeSample(50) // before first deadline
+	c.Add(1)
+	s.MaybeSample(100) // fires
+	c.Add(1)
+	s.MaybeSample(120) // deadline now 200
+	s.MaybeSample(450) // coarse tick jumps several periods: one sample
+	samples := s.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	if samples[0].NowNs != 100 || samples[1].NowNs != 450 {
+		t.Fatalf("sample times = %d, %d", samples[0].NowNs, samples[1].NowNs)
+	}
+	find := func(s Snapshot, name string) int64 {
+		for _, m := range s.Counters {
+			if m.Name == name {
+				return m.Value
+			}
+		}
+		return -1
+	}
+	if find(samples[0], "work_total") != 1 || find(samples[1], "work_total") != 2 {
+		t.Fatalf("sample values = %d, %d", find(samples[0], "work_total"), find(samples[1], "work_total"))
+	}
+}
+
+func TestEventKindNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		name := k.String()
+		if name == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestSnapshotLogHistogramQuantiles(t *testing.T) {
+	s := NewSink(DefaultConfig(), nil)
+	h := s.Registry().Histogram("alloc_size_bytes", 3, 20)
+	for i := 0; i < 100; i++ {
+		h.Observe(64)
+	}
+	snap := s.Snapshot("", 0)
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
+	}
+	hv := snap.Histograms[0]
+	if hv.Total != 100 || hv.P50 < 64 || hv.P50 > 128 {
+		t.Fatalf("histogram snapshot = %+v", hv)
+	}
+	if len(hv.Buckets) != 1 || hv.Buckets[0].Lo != 64 || hv.Buckets[0].Hi != 128 {
+		t.Fatalf("buckets = %+v", hv.Buckets)
+	}
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EventKind identifies a structural allocator event. The taxonomy covers
+// the cross-tier flows the paper's characterization reasons about:
+// per-CPU misses and capacity steals (§3), transfer-cache hits, legacy
+// fallbacks and plunders (§4), central-free-list span list moves (§5),
+// filler pack/unpack and subrelease (§6), and OS mapping traffic.
+type EventKind uint8
+
+const (
+	// EvPerCPUMiss: a per-CPU cache alloc underflow or free overflow
+	// fell through to the transfer cache. A = vcpu, B = size class.
+	EvPerCPUMiss EventKind = iota
+	// EvPerCPUSteal: the resizer stole capacity from a victim vcpu.
+	// A = victim vcpu, B = bytes moved.
+	EvPerCPUSteal
+	// EvPerCPUDecay: idle-class decay reclaimed cached objects.
+	// A = vcpu, B = objects reclaimed.
+	EvPerCPUDecay
+	// EvTransferHit: transfer-cache hit in the requester's NUCA domain.
+	// A = domain, B = size class.
+	EvTransferHit
+	// EvTransferLegacyFallback: NUCA miss satisfied by the legacy
+	// shared array. A = domain, B = size class.
+	EvTransferLegacyFallback
+	// EvTransferMiss: transfer cache empty; batch fetched from the CFL.
+	// A = domain, B = size class.
+	EvTransferMiss
+	// EvTransferPlunder: periodic plunder moved cold objects out.
+	// A = objects moved, B = 0.
+	EvTransferPlunder
+	// EvTransferOverflow: a freed batch overflowed the transfer cache
+	// and spilled to the CFL. A = size class, B = objects spilled.
+	EvTransferOverflow
+	// EvCFLSpanMove: a span moved between nonempty occupancy lists (or
+	// parked full, B = -1). A = size class, B = destination list index.
+	EvCFLSpanMove
+	// EvCFLSpanCreate: the CFL grew a fresh span from the page heap.
+	// A = size class, B = span id.
+	EvCFLSpanCreate
+	// EvCFLSpanRelease: a fully-freed span returned to the page heap.
+	// A = size class, B = span id.
+	EvCFLSpanRelease
+	// EvFillerPack: the filler packed a small span into a hugepage.
+	// A = hugepage index, B = pages.
+	EvFillerPack
+	// EvFillerUnpack: a span freed out of a filler hugepage.
+	// A = hugepage index, B = pages.
+	EvFillerUnpack
+	// EvSubrelease: the filler broke a hugepage and subreleased tail
+	// pages to the OS. A = hugepage index, B = pages returned.
+	EvSubrelease
+	// EvHeapPressure: commit pressure forced an emergency release.
+	// A = bytes released, B = 0.
+	EvHeapPressure
+	// EvMmap: the simulated OS mapped a hugepage run. A = hugepages.
+	EvMmap
+	// EvMunmap: the simulated OS unmapped/released a hugepage. A = 1.
+	EvMunmap
+
+	numEventKinds
+)
+
+// eventKindNames maps kinds to metric-name stems; the per-kind counters
+// are "<stem>_total".
+var eventKindNames = [numEventKinds]string{
+	EvPerCPUMiss:             "percpu_miss",
+	EvPerCPUSteal:            "percpu_capacity_steal",
+	EvPerCPUDecay:            "percpu_decay",
+	EvTransferHit:            "transfer_hit",
+	EvTransferLegacyFallback: "transfer_legacy_fallback",
+	EvTransferMiss:           "transfer_miss",
+	EvTransferPlunder:        "transfer_plunder",
+	EvTransferOverflow:       "transfer_overflow",
+	EvCFLSpanMove:            "cfl_span_move",
+	EvCFLSpanCreate:          "cfl_span_create",
+	EvCFLSpanRelease:         "cfl_span_release",
+	EvFillerPack:             "filler_pack",
+	EvFillerUnpack:           "filler_unpack",
+	EvSubrelease:             "subrelease",
+	EvHeapPressure:           "heap_pressure",
+	EvMmap:                   "os_mmap",
+	EvMunmap:                 "os_munmap",
+}
+
+// String returns the kind's metric-name stem.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) && eventKindNames[k] != "" {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event_%d", int(k))
+}
+
+// MetricName returns the name of the kind's auto-registered counter.
+func (k EventKind) MetricName() string { return k.String() + "_total" }
+
+// Event is one traced allocator event. A and B are kind-specific
+// operands (see the EventKind docs); NowNs is the machine's virtual
+// clock at record time.
+type Event struct {
+	NowNs int64     `json:"now_ns"`
+	Kind  EventKind `json:"-"`
+	KindS string    `json:"kind"`
+	A     int64     `json:"a"`
+	B     int64     `json:"b"`
+}
+
+// Tracer is a bounded ring buffer of Events. When full, new events
+// overwrite the oldest; Dropped counts the overwritten ones so exports
+// can say how much history was lost.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	total   int64
+}
+
+// NewTracer returns a tracer retaining up to capacity events; capacity
+// <= 0 returns nil (tracing disabled — Record on a nil tracer is safe).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends e, overwriting the oldest event when full.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	e.KindS = e.Kind.String()
+	t.mu.Lock()
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+		t.next = (t.next + 1) % cap(t.buf)
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events were overwritten by ring wrap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - int64(len(t.buf))
+}

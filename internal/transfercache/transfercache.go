@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"wsmalloc/internal/check"
+	"wsmalloc/internal/telemetry"
 )
 
 // Backing is the next tier down (the central free lists).
@@ -123,7 +124,12 @@ type TransferCaches struct {
 	domains [][]cache
 
 	stats Stats
+
+	tel *telemetry.Sink
 }
+
+// SetTelemetry installs the telemetry sink (nil disables).
+func (t *TransferCaches) SetTelemetry(s *telemetry.Sink) { t.tel = s }
 
 // New creates the layer. objSize maps a class index to its object size
 // (for byte accounting).
@@ -179,6 +185,7 @@ func (t *TransferCaches) Alloc(class, domain int, out []uint64) (int, error) {
 		if filled > 0 {
 			dc.hits++
 			t.stats.DomainHits++
+			t.tel.Event(telemetry.EvTransferHit, int64(domain), int64(class))
 		}
 	}
 	if filled < len(out) {
@@ -187,12 +194,18 @@ func (t *TransferCaches) Alloc(class, domain int, out []uint64) (int, error) {
 		if n > 0 {
 			lc.hits++
 			t.stats.LegacyHits++
+			if t.cfg.NUCAAware {
+				t.tel.Event(telemetry.EvTransferLegacyFallback, int64(domain), int64(class))
+			} else {
+				t.tel.Event(telemetry.EvTransferHit, int64(domain), int64(class))
+			}
 		}
 		filled += n
 	}
 	if filled < len(out) {
 		// Miss: fetch cold objects from the central free list.
 		t.stats.Misses++
+		t.tel.Event(telemetry.EvTransferMiss, int64(domain), int64(class))
 		n, err := t.backing.AllocBatch(class, out[filled:])
 		t.stats.Cold += int64(n)
 		filled += n
@@ -247,6 +260,7 @@ func (t *TransferCaches) Free(class, domain int, objs []uint64) {
 	}
 	if len(rest) > 0 {
 		t.stats.Overflows += int64(len(rest))
+		t.tel.EventAdd(telemetry.EvTransferOverflow, int64(len(rest)), int64(class), int64(len(rest)))
 		t.backing.FreeBatch(class, rest)
 	}
 }
@@ -297,6 +311,9 @@ func (t *TransferCaches) Plunder() int64 {
 	}
 	if !t.cfg.NUCAAware {
 		t.stats.Plundered += moved
+		if moved > 0 {
+			t.tel.EventAdd(telemetry.EvTransferPlunder, moved, moved, 0)
+		}
 		return moved
 	}
 	for d := range t.domains {
@@ -323,6 +340,9 @@ func (t *TransferCaches) Plunder() int64 {
 		}
 	}
 	t.stats.Plundered += moved
+	if moved > 0 {
+		t.tel.EventAdd(telemetry.EvTransferPlunder, moved, moved, 0)
+	}
 	return moved
 }
 

@@ -31,4 +31,13 @@ go test ./internal/core/ -run '^$' -fuzz FuzzAllocFree -fuzztime "$FUZZTIME"
 echo "==> hardening self-tests under -race (sanitizer detection + parallel fleet chaos)"
 go run -race ./cmd/experiments -scale smoke -j 4 selftest chaos
 
+echo "==> telemetry determinism smoke (-j 1 vs -j 4 exports byte-identical)"
+TELDIR="$(mktemp -d)"
+trap 'rm -rf "$TELDIR"' EXIT
+go run ./cmd/fleet-ab -machines 64 -duration-ms 20 -telemetry -metrics-out "$TELDIR/j1" -j 1 > /dev/null
+go run ./cmd/fleet-ab -machines 64 -duration-ms 20 -telemetry -metrics-out "$TELDIR/j4" -j 4 > /dev/null
+for ext in prom json mallocz; do
+    cmp "$TELDIR/j1.$ext" "$TELDIR/j4.$ext"
+done
+
 echo "verify: OK"

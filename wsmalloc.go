@@ -26,11 +26,14 @@
 package wsmalloc
 
 import (
+	"io"
+
 	"wsmalloc/internal/check"
 	"wsmalloc/internal/core"
 	"wsmalloc/internal/experiments"
 	"wsmalloc/internal/fleet"
 	"wsmalloc/internal/mem"
+	"wsmalloc/internal/telemetry"
 	"wsmalloc/internal/topology"
 	"wsmalloc/internal/workload"
 )
@@ -91,6 +94,62 @@ type (
 	// Hardening selects sanitizer/chaos instrumentation for experiments.
 	Hardening = experiments.Hardening
 )
+
+// Telemetry types (Config.Telemetry, ABOptions.Telemetry).
+type (
+	// TelemetryConfig enables the metrics registry, event tracer and
+	// time-series sampler on an allocator or fleet experiment.
+	TelemetryConfig = telemetry.Config
+	// TelemetryRegistry is a mergeable registry of counters, gauges and
+	// log-histograms.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySink is the nil-safe instrumentation hub the tiers emit
+	// events into.
+	TelemetrySink = telemetry.Sink
+	// TelemetrySnapshot is an export-ready, name-sorted registry snapshot.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TraceEvent is one structural allocator event from the ring tracer.
+	TraceEvent = telemetry.Event
+	// ABTelemetry is the per-arm fleet-merged registry pair.
+	ABTelemetry = fleet.ABTelemetry
+)
+
+// DefaultTelemetryConfig returns telemetry enabled with a 4096-event
+// trace ring and no time-series sampling.
+func DefaultTelemetryConfig() TelemetryConfig { return telemetry.DefaultConfig() }
+
+// WriteTelemetryPrometheus renders snapshots in Prometheus text format.
+func WriteTelemetryPrometheus(w io.Writer, snaps ...TelemetrySnapshot) error {
+	return telemetry.WritePrometheus(w, snaps...)
+}
+
+// WriteTelemetryMallocz renders snapshots as a TCMalloc statsz-style
+// human-readable dump.
+func WriteTelemetryMallocz(w io.Writer, snaps ...TelemetrySnapshot) error {
+	return telemetry.WriteMallocz(w, snaps...)
+}
+
+// WriteTelemetryFiles writes base.prom, base.json and base.mallocz and
+// returns the paths written.
+func WriteTelemetryFiles(base string, snaps []TelemetrySnapshot,
+	series []TelemetrySnapshot, trace []TraceEvent) ([]string, error) {
+	return telemetry.WriteFiles(base, snaps, series, trace)
+}
+
+// ServeTelemetry serves /metricsz and /tracez on addr (blocking).
+func ServeTelemetry(addr string, snaps func() []TelemetrySnapshot,
+	trace func() []TraceEvent) error {
+	return telemetry.Serve(addr, snaps, trace)
+}
+
+// SetExperimentTelemetry instruments every subsequent profile-driven
+// experiment run (the cmd/experiments -telemetry flag) and resets the
+// aggregate registry returned by ExperimentTelemetry.
+func SetExperimentTelemetry(cfg TelemetryConfig) { experiments.SetTelemetry(cfg) }
+
+// ExperimentTelemetry returns the aggregate registry over every
+// experiment run since SetExperimentTelemetry (nil when disabled).
+func ExperimentTelemetry() *TelemetryRegistry { return experiments.TelemetryRegistry() }
 
 // Allocation-failure sentinels: errors.Is(err, ErrNoMemory) identifies an
 // out-of-memory failure from TryMalloc; ErrBadFree an invalid TryFree.
@@ -176,6 +235,13 @@ func RunWorkload(p Profile, cfg Config, seed uint64) RunResult {
 // RunWorkloadOptions drives a profile with explicit options.
 func RunWorkloadOptions(p Profile, cfg Config, opts RunOptions) RunResult {
 	alloc := NewAllocator(cfg, DefaultPlatform())
+	return workload.Run(p, alloc, opts)
+}
+
+// RunWorkloadOn drives a profile against a caller-built allocator, for
+// callers that need the allocator afterwards (telemetry snapshots, trace
+// dumps, white-box stats).
+func RunWorkloadOn(p Profile, alloc *Allocator, opts RunOptions) RunResult {
 	return workload.Run(p, alloc, opts)
 }
 

@@ -22,11 +22,15 @@
 // -telemetry instruments every profile-driven run and folds the metrics
 // registries into one aggregate, dumped mallocz-style after the reports;
 // -metrics-out writes BASE.prom, BASE.json and BASE.mallocz instead.
+// -heapprof additionally attaches the sampled heap profiler to every
+// profile-driven run and dumps the merged heapz/allocz/peakheapz views
+// (BASE.heapz and BASE.heapz.json with -metrics-out).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"wsmalloc"
@@ -39,6 +43,7 @@ func main() {
 	audit := flag.Bool("audit", false, "run profiles under the shadow-heap sanitizer with periodic invariant audits")
 	chaos := flag.Bool("chaos", false, "inject a deterministic mmap failure rate into every profile run")
 	telemetryOn := flag.Bool("telemetry", false, "instrument every profile run and dump the aggregate metrics registry")
+	heapprofOn := flag.Bool("heapprof", false, "attach the sampled heap profiler to every profile run and dump the merged views")
 	metricsOut := flag.String("metrics-out", "", "write aggregated telemetry to BASE.prom, BASE.json and BASE.mallocz (implies -telemetry)")
 	flag.Parse()
 
@@ -51,6 +56,11 @@ func main() {
 		// Registries merge commutatively across the worker pool; traces
 		// do not, so only the mergeable metrics are aggregated.
 		wsmalloc.SetExperimentTelemetry(wsmalloc.TelemetryConfig{Enabled: true})
+	}
+	if *heapprofOn {
+		hcfg := wsmalloc.DefaultHeapProfileConfig()
+		hcfg.Seed = *seed
+		wsmalloc.SetExperimentHeapProfile(hcfg)
 	}
 
 	var scale wsmalloc.Scale
@@ -103,7 +113,7 @@ func main() {
 	if reg := wsmalloc.ExperimentTelemetry(); reg != nil {
 		snaps := []wsmalloc.TelemetrySnapshot{reg.Snapshot("experiments", 0)}
 		if *metricsOut != "" {
-			paths, err := wsmalloc.WriteTelemetryFiles(*metricsOut, snaps, nil, nil)
+			paths, err := wsmalloc.WriteTelemetryFiles(*metricsOut, snaps, nil, wsmalloc.TraceDump{})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "write telemetry: %v\n", err)
 				os.Exit(1)
@@ -113,6 +123,33 @@ func main() {
 			}
 		} else if err := wsmalloc.WriteTelemetryMallocz(os.Stdout, snaps...); err != nil {
 			fmt.Fprintf(os.Stderr, "mallocz: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if profiles := wsmalloc.ExperimentHeapProfiles(); len(profiles) > 0 {
+		if *metricsOut != "" {
+			for _, out := range []struct {
+				path  string
+				write func(w io.Writer) error
+			}{
+				{*metricsOut + ".heapz", func(w io.Writer) error { return wsmalloc.WriteHeapProfiles(w, profiles...) }},
+				{*metricsOut + ".heapz.json", func(w io.Writer) error { return wsmalloc.WriteHeapProfilesJSON(w, profiles...) }},
+			} {
+				fl, err := os.Create(out.path)
+				if err == nil {
+					err = out.write(fl)
+					if cerr := fl.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "write %s: %v\n", out.path, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", out.path)
+			}
+		} else if err := wsmalloc.WriteHeapProfiles(os.Stdout, profiles...); err != nil {
+			fmt.Fprintf(os.Stderr, "heapz: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -7,7 +7,7 @@
 //	fleet-ab [-machines 400] [-feature all|<name>] [-seed 1]
 //	         [-duration-ms 250] [-sample 0.01] [-j N]
 //	         [-chaos-mmap-rate 0] [-chaos-budget-mb 0] [-audit-every-ms 0]
-//	         [-telemetry] [-metrics-out BASE] [-serve :8080]
+//	         [-telemetry] [-heapprof] [-metrics-out BASE] [-serve :8080]
 //	         [-bench-sweep 1,2,4,max] [-bench-out BENCH_fleet.json]
 //
 // -j bounds how many enrolled machines are simulated concurrently
@@ -22,9 +22,13 @@
 //
 // -telemetry instruments every enrolled machine run and merges both
 // arms' metrics registries deterministically (the export is
-// byte-identical at any -j). -metrics-out writes BASE.prom, BASE.json
-// and BASE.mallocz; -serve keeps the process alive serving /metricsz
-// over HTTP.
+// byte-identical at any -j). -heapprof attaches the sampled heap
+// profiler to every enrolled run and merges each arm's heapz / allocz /
+// peakheapz views deterministically, for A/B profile diffing with
+// cmd/profdiff. -metrics-out writes BASE.prom, BASE.json and
+// BASE.mallocz (plus BASE.heapz and BASE.heapz.json with -heapprof);
+// -serve keeps the process alive serving /metricsz and /heapz over
+// HTTP.
 //
 // -bench-sweep benchmarks the execution engine instead of printing
 // tables: it runs the same A/B once per listed -j value ("max" = all
@@ -37,6 +41,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -65,6 +70,27 @@ type benchDoc struct {
 	Seed              uint64       `json:"seed"`
 	NumCPU            int          `json:"num_cpu"`
 	Sweep             []benchEntry `json:"sweep"`
+}
+
+// fingerprint renders an ABResult canonically for the bench
+// divergence check: the value-typed rows and chaos stats via %#v, the
+// telemetry arms via the byte-stable Prometheus export, and the heap
+// profile arms via the pprof text export. Unlike %#v over the whole
+// struct, this stays equal across runs whose results are semantically
+// identical even though the registries and profile slices live at
+// different addresses — so -bench-sweep exercises exactly the
+// instrumentation the real experiment would run with.
+func fingerprint(res wsmalloc.ABResult, nowNs int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%#v\n%#v\n%#v\n", res.Fleet, res.PerApp, res.Chaos)
+	if res.Telemetry != nil {
+		_ = wsmalloc.WriteTelemetryPrometheus(&b, res.Telemetry.Snapshots(nowNs)...)
+	}
+	if res.HeapProfiles != nil {
+		_ = wsmalloc.WriteHeapProfiles(&b, res.HeapProfiles.Control...)
+		_ = wsmalloc.WriteHeapProfiles(&b, res.HeapProfiles.Experiment...)
+	}
+	return b.String()
 }
 
 // runBench sweeps -j over the same experiment, checks bit-identical
@@ -102,11 +128,6 @@ func runBench(f *wsmalloc.Fleet, control, experiment wsmalloc.Config, opts wsmal
 	}
 	js = uniq
 
-	// The bench fingerprint renders every ABResult field with %#v, so the
-	// result must stay pointer-free: telemetry registries would differ by
-	// address across runs and falsely report divergence.
-	opts.Telemetry = wsmalloc.TelemetryConfig{}
-
 	doc := benchDoc{
 		Benchmark:         "fleet-ab",
 		FleetMachines:     len(f.Machines),
@@ -123,7 +144,7 @@ func runBench(f *wsmalloc.Fleet, control, experiment wsmalloc.Config, opts wsmal
 		start := time.Now()
 		res := f.ABTest(control, experiment, opts)
 		wall := time.Since(start)
-		fp := fmt.Sprintf("%#v", res)
+		fp := fingerprint(res, opts.DurationNs)
 		if j == 1 && baseline == "" {
 			baseline = fp
 			baseWall = wall.Seconds()
@@ -167,8 +188,10 @@ func main() {
 	chaosBudgetMB := flag.Int64("chaos-budget-mb", 0, "per-machine committed-byte budget in MiB (0 = unlimited)")
 	auditEveryMs := flag.Int64("audit-every-ms", 0, "virtual cadence of invariant audits (0 disables)")
 	telemetryOn := flag.Bool("telemetry", false, "instrument enrolled runs and aggregate per-arm metrics registries")
+	heapprofOn := flag.Bool("heapprof", false, "attach the sampled heap profiler to enrolled runs and aggregate per-arm profiles")
+	heapprofInterval := flag.Int64("heapprof-interval", 0, "mean sampled-allocation interval in bytes (0 = default 512 KiB)")
 	metricsOut := flag.String("metrics-out", "", "write aggregated telemetry to BASE.prom, BASE.json and BASE.mallocz (implies -telemetry)")
-	serveAddr := flag.String("serve", "", "serve /metricsz on this address after the run (implies -telemetry, blocks)")
+	serveAddr := flag.String("serve", "", "serve /metricsz (and /heapz with -heapprof) on this address after the run (implies -telemetry, blocks)")
 	workers := flag.Int("j", 0, "concurrent machine simulations (0 = all cores, 1 = sequential)")
 	benchSweep := flag.String("bench-sweep", "", "comma-separated -j values to benchmark (e.g. 1,2,4,max); writes JSON and exits")
 	benchOut := flag.String("bench-out", "BENCH_fleet.json", "benchmark JSON output path (with -bench-sweep)")
@@ -211,6 +234,12 @@ func main() {
 		// leave them off and keep only the mergeable registries.
 		opts.Telemetry = wsmalloc.TelemetryConfig{Enabled: true}
 	}
+	if *heapprofOn {
+		hcfg := wsmalloc.DefaultHeapProfileConfig()
+		hcfg.SampleIntervalBytes = *heapprofInterval
+		hcfg.Seed = *seed
+		opts.HeapProfile = hcfg
+	}
 
 	if *benchSweep != "" {
 		if !runBench(f, control, experiment, opts, *benchSweep, *benchOut, *seed) {
@@ -239,10 +268,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var snaps []wsmalloc.TelemetrySnapshot
 	if res.Telemetry != nil {
-		snaps := res.Telemetry.Snapshots(opts.DurationNs)
+		snaps = res.Telemetry.Snapshots(opts.DurationNs)
 		if *metricsOut != "" {
-			paths, err := wsmalloc.WriteTelemetryFiles(*metricsOut, snaps, nil, nil)
+			paths, err := wsmalloc.WriteTelemetryFiles(*metricsOut, snaps, nil, wsmalloc.TraceDump{})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "write telemetry: %v\n", err)
 				os.Exit(1)
@@ -257,13 +287,60 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		if *serveAddr != "" {
-			fmt.Printf("serving /metricsz on %s\n", *serveAddr)
-			if err := wsmalloc.ServeTelemetry(*serveAddr,
-				func() []wsmalloc.TelemetrySnapshot { return snaps }, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+	}
+
+	// Both arms' merged profiles in one export, control first, so
+	// profdiff can split them by label.
+	var profiles []wsmalloc.HeapProfile
+	if res.HeapProfiles != nil {
+		profiles = append(profiles, res.HeapProfiles.Control...)
+		profiles = append(profiles, res.HeapProfiles.Experiment...)
+		if *metricsOut != "" {
+			for _, out := range []struct {
+				path  string
+				write func(w *os.File) error
+			}{
+				{*metricsOut + ".heapz", func(w *os.File) error { return wsmalloc.WriteHeapProfiles(w, profiles...) }},
+				{*metricsOut + ".heapz.json", func(w *os.File) error { return wsmalloc.WriteHeapProfilesJSON(w, profiles...) }},
+			} {
+				fl, err := os.Create(out.path)
+				if err == nil {
+					err = out.write(fl)
+					if cerr := fl.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "write %s: %v\n", out.path, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", out.path)
+			}
+		} else {
+			fmt.Println()
+			if err := wsmalloc.WriteHeapProfiles(os.Stdout, profiles...); err != nil {
+				fmt.Fprintf(os.Stderr, "heapz: %v\n", err)
 				os.Exit(1)
 			}
+		}
+	}
+
+	if *serveAddr != "" {
+		ep := wsmalloc.TelemetryEndpoints{
+			Snapshots: func() []wsmalloc.TelemetrySnapshot { return snaps },
+		}
+		if len(profiles) > 0 {
+			ep.Heapz = func(w io.Writer, format string) error {
+				if format == "json" {
+					return wsmalloc.WriteHeapProfilesJSON(w, profiles...)
+				}
+				return wsmalloc.WriteHeapProfiles(w, profiles...)
+			}
+		}
+		fmt.Printf("serving /metricsz and /heapz on %s\n", *serveAddr)
+		if err := wsmalloc.ServeTelemetry(*serveAddr, ep); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,59 @@
+// Command profdiff diffs two allocator observability exports and exits
+// non-zero when any metric regressed beyond a threshold — the A/B
+// comparison step of the profiling workflow:
+//
+//	fleet-ab -heapprof -metrics-out runA ...   # or wsmalloc-sim / experiments
+//	fleet-ab -heapprof -metrics-out runB ...
+//	profdiff -threshold 0.02 runA.heapz runB.heapz
+//
+// Usage:
+//
+//	profdiff [-threshold 0] [-top 20] A B
+//
+// A and B may be any mix of the export formats: heapz text
+// (BASE.heapz), heapz JSON (BASE.heapz.json), telemetry JSON
+// (BASE.json) or Prometheus text (BASE.prom). Each file is flattened
+// into name → value rows; rows whose relative change exceeds
+// -threshold (a fraction; 0 means any change) are printed largest
+// first. Exit status: 0 when nothing exceeds the threshold, 1 when
+// something does, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsmalloc/internal/profdiff"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "relative-change regression threshold as a fraction (0.02 = 2%; 0 flags any change)")
+	top := flag.Int("top", 20, "max regressed metrics to print (0 = all)")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: profdiff [-threshold F] [-top N] A B")
+		os.Exit(2)
+	}
+	a, err := profdiff.ParseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	b, err := profdiff.ParseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	deltas := profdiff.Diff(a, b)
+	over, err := profdiff.WriteReport(os.Stdout, deltas, *threshold, *top)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if over > 0 {
+		os.Exit(1)
+	}
+}

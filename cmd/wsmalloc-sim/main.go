@@ -13,13 +13,18 @@
 // and event tracer and appends a mallocz-style dump to the report.
 // -metrics-out writes BASE.prom (Prometheus text), BASE.json (snapshot +
 // time series + trace) and BASE.mallocz instead; -sample-every-ms sets
-// the virtual-time cadence of the time-series sampler. -serve keeps the
-// process alive serving /metricsz and /tracez over HTTP.
+// the virtual-time cadence of the time-series sampler. -heapprof
+// attaches the Poisson-sampled heap profiler and dumps the heapz /
+// allocz / peakheapz views (plus BASE.heapz and BASE.heapz.json next to
+// -metrics-out). -pageheapz dumps the hugepage occupancy maps and the
+// fragmentation decomposition. -serve keeps the process alive serving
+// /metricsz, /tracez, /heapz and /pageheapz over HTTP.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -36,7 +41,10 @@ func main() {
 	telemetryOn := flag.Bool("telemetry", false, "instrument the allocator and dump a mallocz-style report")
 	metricsOut := flag.String("metrics-out", "", "write telemetry to BASE.prom, BASE.json and BASE.mallocz (implies -telemetry)")
 	sampleEveryMs := flag.Int64("sample-every-ms", 10, "virtual cadence of the telemetry time-series sampler (0 disables)")
-	serveAddr := flag.String("serve", "", "serve /metricsz and /tracez on this address after the run (implies -telemetry, blocks)")
+	serveAddr := flag.String("serve", "", "serve /metricsz, /tracez, /heapz and /pageheapz on this address after the run (implies -telemetry, blocks)")
+	heapprofOn := flag.Bool("heapprof", false, "attach the sampled heap profiler and dump heapz/allocz/peakheapz")
+	heapprofInterval := flag.Int64("heapprof-interval", 0, "mean sampled-allocation interval in bytes (0 = default 512 KiB)")
+	pageheapzOn := flag.Bool("pageheapz", false, "dump hugepage occupancy maps and the fragmentation decomposition")
 	flag.Parse()
 
 	if *list {
@@ -79,6 +87,12 @@ func main() {
 		tcfg.SampleEveryNs = *sampleEveryMs * 1_000_000
 		cfg.Telemetry = tcfg
 	}
+	if *heapprofOn {
+		hcfg := wsmalloc.DefaultHeapProfileConfig()
+		hcfg.SampleIntervalBytes = *heapprofInterval
+		hcfg.Seed = *seed
+		cfg.HeapProfile = hcfg
+	}
 
 	opts := wsmalloc.DefaultRunOptions(*seed)
 	opts.Duration = *durationMs * 1_000_000
@@ -119,12 +133,13 @@ func main() {
 		fmt.Printf("    %-16s %6.2f%%\n", k, shares[k]*100)
 	}
 
+	var snaps []wsmalloc.TelemetrySnapshot
+	var trace wsmalloc.TraceDump
 	if tel := alloc.Telemetry(); tel != nil {
-		snaps := []wsmalloc.TelemetrySnapshot{tel.Snapshot(*configName, alloc.Now())}
-		series := tel.Samples()
-		trace := tel.Tracer().Events()
+		snaps = []wsmalloc.TelemetrySnapshot{tel.Snapshot(*configName, alloc.Now())}
+		trace = tel.Tracer().Dump()
 		if *metricsOut != "" {
-			paths, err := wsmalloc.WriteTelemetryFiles(*metricsOut, snaps, series, trace)
+			paths, err := wsmalloc.WriteTelemetryFiles(*metricsOut, snaps, tel.Samples(), trace)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "write telemetry: %v\n", err)
 				os.Exit(1)
@@ -139,16 +154,82 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		if *serveAddr != "" {
-			fmt.Printf("serving /metricsz and /tracez on %s\n", *serveAddr)
-			if err := wsmalloc.ServeTelemetry(*serveAddr,
-				func() []wsmalloc.TelemetrySnapshot { return snaps },
-				func() []wsmalloc.TraceEvent { return trace }); err != nil {
-				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+	}
+
+	profiles := alloc.HeapProfiles(*configName)
+	if len(profiles) > 0 {
+		if *metricsOut != "" {
+			writeFile(*metricsOut+".heapz", func(w io.Writer) error {
+				return wsmalloc.WriteHeapProfiles(w, profiles...)
+			})
+			writeFile(*metricsOut+".heapz.json", func(w io.Writer) error {
+				return wsmalloc.WriteHeapProfilesJSON(w, profiles...)
+			})
+		} else {
+			fmt.Println()
+			if err := wsmalloc.WriteHeapProfiles(os.Stdout, profiles...); err != nil {
+				fmt.Fprintf(os.Stderr, "heapz: %v\n", err)
 				os.Exit(1)
 			}
 		}
 	}
+	if *pageheapzOn {
+		z := alloc.PageHeapZ()
+		if *metricsOut != "" {
+			writeFile(*metricsOut+".pageheapz", func(w io.Writer) error {
+				return wsmalloc.WritePageHeapZ(w, z)
+			})
+		} else {
+			fmt.Println()
+			if err := wsmalloc.WritePageHeapZ(os.Stdout, z); err != nil {
+				fmt.Fprintf(os.Stderr, "pageheapz: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *serveAddr != "" {
+		ep := wsmalloc.TelemetryEndpoints{
+			Snapshots: func() []wsmalloc.TelemetrySnapshot { return snaps },
+			Trace:     func() wsmalloc.TraceDump { return trace },
+			PageHeapz: func(w io.Writer, format string) error {
+				z := alloc.PageHeapZ()
+				if format == "json" {
+					return wsmalloc.WritePageHeapZJSON(w, z)
+				}
+				return wsmalloc.WritePageHeapZ(w, z)
+			},
+		}
+		if len(profiles) > 0 {
+			ep.Heapz = func(w io.Writer, format string) error {
+				if format == "json" {
+					return wsmalloc.WriteHeapProfilesJSON(w, profiles...)
+				}
+				return wsmalloc.WriteHeapProfiles(w, profiles...)
+			}
+		}
+		fmt.Printf("serving /metricsz, /tracez, /heapz and /pageheapz on %s\n", *serveAddr)
+		if err := wsmalloc.ServeTelemetry(*serveAddr, ep); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFile writes one render to path, reporting and exiting on failure.
+func writeFile(path string, render func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = render(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func f(b int64) float64 { return float64(b) / (1 << 20) }

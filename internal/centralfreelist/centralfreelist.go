@@ -280,6 +280,24 @@ func (l *List) Stats() Stats {
 	}
 }
 
+// EachFreeSpan visits every span holding mapped-but-free bytes — free
+// object slots plus the span's tail waste (full spans still carry the
+// tail) — with the span's creation time. The pageheapz fragmentation
+// report uses it to age the fragmentation held at this tier
+// (Fig. 11/13); the reported bytes sum exactly to Stats().FreeBytes.
+func (l *List) EachFreeSpan(fn func(freeBytes, bornAtNs int64)) {
+	tail := int64(l.class.TailWaste())
+	visit := func(s *span.Span) {
+		if free := int64(s.FreeSlots())*int64(s.ObjSize) + tail; free > 0 {
+			fn(free, s.BornAt)
+		}
+	}
+	l.full.Each(visit)
+	for i := range l.nonempty {
+		l.nonempty[i].Each(visit)
+	}
+}
+
 // EachSpan visits every owned span; fn must not allocate or free through
 // this list. Used by the span return-rate studies (Fig. 13).
 func (l *List) EachSpan(fn func(*span.Span)) {

@@ -6,6 +6,7 @@ import (
 
 	"wsmalloc/internal/centralfreelist"
 	"wsmalloc/internal/check"
+	"wsmalloc/internal/heapprof"
 	"wsmalloc/internal/mem"
 	"wsmalloc/internal/pageheap"
 	"wsmalloc/internal/percpu"
@@ -59,6 +60,10 @@ type Allocator struct {
 
 	tel           *telemetry.Sink
 	allocSizeHist *telemetry.Histogram
+
+	// hp is the sampled heap profiler; nil when disabled so the hot
+	// paths pay a single nil check.
+	hp *heapprof.Profiler
 }
 
 // costCounters accumulates cost-model time and operation counts.
@@ -131,7 +136,24 @@ func New(cfg Config, topo *topology.Topology) *Allocator {
 		a.heap.SetTelemetry(a.tel)
 		a.os.SetTelemetry(a.tel)
 	}
+	a.hp = heapprof.New(cfg.HeapProfile)
+	// The introspection views (free-span ages, pageheapz) need virtual
+	// time below the core layer; install the clock unconditionally.
+	a.heap.SetClock(func() int64 { return a.now })
 	return a
+}
+
+// HeapProfiler returns the sampled heap profiler (nil when disabled).
+func (a *Allocator) HeapProfiler() *heapprof.Profiler { return a.hp }
+
+// HeapProfiles exports the profiler's three views (heapz, allocz,
+// peakheapz) at the current virtual time under the given arm label.
+// Returns nil when profiling is disabled.
+func (a *Allocator) HeapProfiles(label string) []heapprof.Profile {
+	if a.hp == nil {
+		return nil
+	}
+	return a.hp.Profiles(a.now, label)
 }
 
 // Telemetry returns the allocator's metrics sink (nil when disabled).
@@ -347,6 +369,20 @@ func (a *Allocator) malloc(size, cpu int, largeLT pageheap.Lifetime) (uint64, fl
 	a.t.mallocs++
 	a.t.liveObjects++
 	a.t.liveRequested += int64(size)
+	if a.hp != nil {
+		if small {
+			a.hp.SampleAlloc(addr, size, class.Index, class.Size, a.now)
+		} else {
+			pages := (size + mem.PageSize - 1) / mem.PageSize
+			a.hp.SampleAlloc(addr, size, span.LargeClass, pages*mem.PageSize, a.now)
+		}
+		if a.t.liveRequested > a.t.peakLiveRequested {
+			// Heap-pressure watchpoint: the live heap just reached a new
+			// high-water mark; let the profiler decide whether to
+			// re-capture peakheapz.
+			a.hp.MaybePeak(a.t.liveRequested, a.now)
+		}
+	}
 	if a.t.liveRequested > a.t.peakLiveRequested {
 		a.t.peakLiveRequested = a.t.liveRequested
 	}
@@ -451,6 +487,9 @@ func (a *Allocator) TryFree(addr uint64, size, cpu int) (float64, error) {
 	}
 	a.t.liveObjects--
 	a.t.liveRequested -= int64(size)
+	if a.hp != nil {
+		a.hp.NoteFree(addr, a.now)
+	}
 	return cost, nil
 }
 

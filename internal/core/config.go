@@ -10,6 +10,7 @@ package core
 import (
 	"wsmalloc/internal/centralfreelist"
 	"wsmalloc/internal/check"
+	"wsmalloc/internal/heapprof"
 	"wsmalloc/internal/mem"
 	"wsmalloc/internal/pageheap"
 	"wsmalloc/internal/percpu"
@@ -102,6 +103,11 @@ type Config struct {
 	// time-series sampler. The zero value disables telemetry entirely:
 	// every instrumentation site then costs a single nil check.
 	Telemetry telemetry.Config
+
+	// HeapProfile configures the Poisson-sampled heap profiler behind
+	// the heapz/allocz/peakheapz views. The zero value disables it:
+	// malloc and free then each pay a single nil check.
+	HeapProfile heapprof.Config
 }
 
 // BaselineConfig returns the pre-redesign TCMalloc: static 3 MiB per-CPU

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"wsmalloc/internal/pageheap"
+)
+
+// ClassFragZ is one row of the per-class fragmentation table: where the
+// mapped-but-unrequested bytes of one size class are being held.
+type ClassFragZ struct {
+	Class         int   `json:"class"` // span.LargeClass (-1) never appears here
+	ObjSize       int   `json:"obj_size"`
+	PerCPUBytes   int64 `json:"percpu_bytes"`
+	TransferBytes int64 `json:"transfer_bytes"`
+	CFLFreeBytes  int64 `json:"cfl_free_bytes"`
+	CFLSpans      int   `json:"cfl_spans"`
+}
+
+// FragZ is the allocator-wide fragmentation decomposition, mirroring
+// the paper's Fig. 11: every mapped byte not backing a live requested
+// byte is attributed to exactly one tier.
+type FragZ struct {
+	LiveRequestedBytes int64 `json:"live_requested_bytes"`
+	// InternalSlackBytes is rounding waste inside live objects
+	// (rounded - requested).
+	InternalSlackBytes int64 `json:"internal_slack_bytes"`
+	// PerCPUCachedBytes and TransferCachedBytes are free objects parked
+	// in the front-end and middle tiers.
+	PerCPUCachedBytes   int64 `json:"percpu_cached_bytes"`
+	TransferCachedBytes int64 `json:"transfer_cached_bytes"`
+	// CFLFreeSpanBytes is free object slots inside partially-live spans
+	// — the span fragmentation of Fig. 13.
+	CFLFreeSpanBytes int64 `json:"cfl_free_span_bytes"`
+	// FillerFreeBytes, SlackBytes and CacheFreeBytes are the back-end's
+	// mapped-but-free memory (filler holes, region slack, hugecache).
+	FillerFreeBytes int64 `json:"filler_free_bytes"`
+	SlackBytes      int64 `json:"slack_bytes"`
+	CacheFreeBytes  int64 `json:"cache_free_bytes"`
+	// UnmappedSubreleasedBytes is memory subreleased to the OS but still
+	// inside broken filler hugepages (costs TLB reach, not RAM).
+	UnmappedSubreleasedBytes int64 `json:"unmapped_subreleased_bytes"`
+	// HeapBytes is total mapped memory.
+	HeapBytes int64 `json:"heap_bytes"`
+
+	// PerClass breaks the cache-tier columns down by size class
+	// (classes with no held bytes are omitted).
+	PerClass []ClassFragZ `json:"per_class,omitempty"`
+	// CFLFreeSpanAges histograms CFLFreeSpanBytes by span age (bytes
+	// per decade, age = now - span creation).
+	CFLFreeSpanAges []pageheap.AgeBucket `json:"cfl_free_span_ages,omitempty"`
+}
+
+// PageHeapZ is the full /pageheapz document: the back-end introspection
+// plus the allocator-wide fragmentation decomposition.
+type PageHeapZ struct {
+	NowNs int64                  `json:"now_ns"`
+	Heap  pageheap.Introspection `json:"pageheap"`
+	Frag  FragZ                  `json:"fragmentation"`
+}
+
+// PageHeapZ builds the introspection document at the allocator's
+// current virtual time. Output is deterministic for a given seed.
+func (a *Allocator) PageHeapZ() PageHeapZ {
+	z := PageHeapZ{NowNs: a.now, Heap: a.heap.Introspect(a.now)}
+
+	perCPU := a.front.CachedBytesByClass()
+	transfer := a.transfer.CachedBytesByClass()
+	var cflAges pageheap.AgeHistogram
+
+	f := &z.Frag
+	f.LiveRequestedBytes = a.t.liveRequested
+	f.InternalSlackBytes = a.t.liveRounded - a.t.liveRequested
+	f.FillerFreeBytes = z.Heap.FillerFreeBytes
+	f.SlackBytes = z.Heap.SlackBytes
+	f.CacheFreeBytes = z.Heap.CacheFreeBytes
+	f.UnmappedSubreleasedBytes = z.Heap.FillerReleasedBytes
+	f.HeapBytes = a.os.MappedBytes()
+	for i, l := range a.cfls {
+		ls := l.Stats()
+		row := ClassFragZ{
+			Class:         i,
+			ObjSize:       a.table.Class(i).Size,
+			PerCPUBytes:   perCPU[i],
+			TransferBytes: transfer[i],
+			CFLFreeBytes:  ls.FreeBytes,
+			CFLSpans:      ls.Spans,
+		}
+		f.PerCPUCachedBytes += row.PerCPUBytes
+		f.TransferCachedBytes += row.TransferBytes
+		f.CFLFreeSpanBytes += row.CFLFreeBytes
+		if row.PerCPUBytes != 0 || row.TransferBytes != 0 || row.CFLFreeBytes != 0 {
+			f.PerClass = append(f.PerClass, row)
+		}
+		l.EachFreeSpan(func(freeBytes, bornAt int64) {
+			cflAges.Add(a.now-bornAt, freeBytes)
+		})
+	}
+	f.CFLFreeSpanAges = cflAges.Buckets()
+	return z
+}
+
+// WritePageHeapZ renders the document as the /pageheapz text page: the
+// fragmentation decomposition, the per-class table, then the back-end
+// hugepage maps.
+func WritePageHeapZ(w io.Writer, z PageHeapZ) error {
+	rule := strings.Repeat("-", 72)
+	f := z.Frag
+	if _, err := fmt.Fprintf(w, "%s\nFRAGMENTATION decomposition @ %d virtual ns (Fig. 11 terms)\n%s\n",
+		rule, z.NowNs, rule); err != nil {
+		return err
+	}
+	rows := []struct {
+		name string
+		v    int64
+	}{
+		{"live requested bytes", f.LiveRequestedBytes},
+		{"internal slack bytes (rounding)", f.InternalSlackBytes},
+		{"per-CPU cached bytes", f.PerCPUCachedBytes},
+		{"transfer cached bytes", f.TransferCachedBytes},
+		{"CFL free-span bytes", f.CFLFreeSpanBytes},
+		{"filler free bytes", f.FillerFreeBytes},
+		{"region slack bytes", f.SlackBytes},
+		{"hugecache free bytes", f.CacheFreeBytes},
+		{"subreleased (unmapped) bytes", f.UnmappedSubreleasedBytes},
+		{"mapped heap bytes", f.HeapBytes},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "FRAG: %15d  %s\n", r.v, r.name); err != nil {
+			return err
+		}
+	}
+	if len(f.PerClass) > 0 {
+		if _, err := fmt.Fprintf(w, "%s\nper-class held bytes (class, objsize, percpu, transfer, cfl-free, spans)\n", rule); err != nil {
+			return err
+		}
+		for _, c := range f.PerClass {
+			if _, err := fmt.Fprintf(w, "CLASS %3d %8d %12d %12d %12d %6d\n",
+				c.Class, c.ObjSize, c.PerCPUBytes, c.TransferBytes, c.CFLFreeBytes, c.CFLSpans); err != nil {
+				return err
+			}
+		}
+	}
+	if len(f.CFLFreeSpanAges) > 0 {
+		if _, err := fmt.Fprintf(w, "%s\nCFL free-span ages (bytes by span age)\n", rule); err != nil {
+			return err
+		}
+		for _, b := range f.CFLFreeSpanAges {
+			if _, err := fmt.Fprintf(w, "FRAG: [%12d ns, %12d ns) %12d bytes\n", b.LoNs, b.HiNs, b.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return pageheap.WriteIntrospection(w, z.Heap)
+}
+
+// WritePageHeapZJSON renders the document as indented JSON.
+func WritePageHeapZJSON(w io.Writer, z PageHeapZ) error {
+	data, err := json.MarshalIndent(z, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

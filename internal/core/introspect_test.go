@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wsmalloc/internal/rng"
+	"wsmalloc/internal/sizeclass"
+)
+
+// The Fig. 11 decomposition must conserve bytes: every mapped byte is
+// live, slack, parked in a cache tier, free span, or back-end free —
+// and the tiers must agree with the allocator's own stats.
+func TestPageHeapZConservation(t *testing.T) {
+	a := newAlloc(BaselineConfig())
+	r := rng.New(17)
+
+	type obj struct {
+		addr uint64
+		size int
+	}
+	var live []obj
+	for i := 0; i < 20_000; i++ {
+		a.Tick(int64(i) * 1000)
+		if len(live) > 0 && r.Float64() < 0.4 {
+			j := int(r.Uint64n(uint64(len(live))))
+			a.Free(live[j].addr, live[j].size, int(r.Uint64n(4)))
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := 16 + int(r.Uint64n(8000))
+		if i%500 == 0 {
+			size = sizeclass.MaxSmallSize + int(r.Uint64n(1<<20))
+		}
+		addr, _ := a.Malloc(size, int(r.Uint64n(4)))
+		live = append(live, obj{addr, size})
+	}
+
+	z := a.PageHeapZ()
+	f := z.Frag
+	st := a.Stats()
+
+	if f.LiveRequestedBytes != st.LiveRequestedBytes {
+		t.Fatalf("live requested %d vs stats %d", f.LiveRequestedBytes, st.LiveRequestedBytes)
+	}
+	if f.InternalSlackBytes != st.LiveRoundedBytes-st.LiveRequestedBytes || f.InternalSlackBytes < 0 {
+		t.Fatalf("internal slack %d, rounded-requested %d",
+			f.InternalSlackBytes, st.LiveRoundedBytes-st.LiveRequestedBytes)
+	}
+	if f.HeapBytes != a.OS().MappedBytes() {
+		t.Fatalf("heap bytes %d vs mapped %d", f.HeapBytes, a.OS().MappedBytes())
+	}
+
+	// Mapped memory splits exactly into the back-end used/free terms.
+	h := z.Heap
+	backend := h.FillerUsedBytes + h.FillerFreeBytes + h.RegionUsedBytes +
+		h.SlackBytes + h.LargeUsedBytes + h.CacheFreeBytes
+	if backend != f.HeapBytes {
+		t.Fatalf("back-end terms sum to %d, mapped is %d", backend, f.HeapBytes)
+	}
+
+	// Span-used memory splits into live + cached + free-slot bytes (the
+	// remainder is span-tail waste, which must be non-negative).
+	usedBytes := h.FillerUsedBytes + h.RegionUsedBytes + h.LargeUsedBytes
+	accounted := st.LiveRoundedBytes + f.PerCPUCachedBytes + f.TransferCachedBytes + f.CFLFreeSpanBytes
+	if accounted > usedBytes {
+		t.Fatalf("tiers account for %d bytes inside %d used span bytes", accounted, usedBytes)
+	}
+	if st.LiveRoundedBytes == 0 || f.PerCPUCachedBytes == 0 || f.CFLFreeSpanBytes == 0 {
+		t.Fatalf("degenerate workload: live=%d percpu=%d cfl=%d",
+			st.LiveRoundedBytes, f.PerCPUCachedBytes, f.CFLFreeSpanBytes)
+	}
+
+	// The per-class table must re-sum to the aggregate columns.
+	var perCPU, transfer, cfl int64
+	for _, c := range f.PerClass {
+		if c.PerCPUBytes < 0 || c.TransferBytes < 0 || c.CFLFreeBytes < 0 {
+			t.Fatalf("negative class row: %+v", c)
+		}
+		perCPU += c.PerCPUBytes
+		transfer += c.TransferBytes
+		cfl += c.CFLFreeBytes
+	}
+	if perCPU != f.PerCPUCachedBytes || transfer != f.TransferCachedBytes || cfl != f.CFLFreeSpanBytes {
+		t.Fatalf("per-class sums (%d,%d,%d) vs aggregates (%d,%d,%d)",
+			perCPU, transfer, cfl, f.PerCPUCachedBytes, f.TransferCachedBytes, f.CFLFreeSpanBytes)
+	}
+
+	// CFL free-span bytes are fully age-histogrammed.
+	var aged int64
+	for _, b := range f.CFLFreeSpanAges {
+		aged += b.Count
+	}
+	if aged != f.CFLFreeSpanBytes {
+		t.Fatalf("age histogram covers %d of %d CFL free bytes", aged, f.CFLFreeSpanBytes)
+	}
+}
+
+// Rendering the same snapshot twice must be byte-identical, and the
+// JSON form must carry the same headline numbers as the text form.
+func TestWritePageHeapZStable(t *testing.T) {
+	a := newAlloc(BaselineConfig())
+	for i := 0; i < 500; i++ {
+		a.Malloc(64+i%1000, i%4)
+	}
+	z := a.PageHeapZ()
+	render := func() (string, string) {
+		var txt, js strings.Builder
+		if err := WritePageHeapZ(&txt, z); err != nil {
+			t.Fatal(err)
+		}
+		if err := WritePageHeapZJSON(&js, z); err != nil {
+			t.Fatal(err)
+		}
+		return txt.String(), js.String()
+	}
+	t1, j1 := render()
+	t2, j2 := render()
+	if t1 != t2 || j1 != j2 {
+		t.Fatal("pageheapz render not byte-stable")
+	}
+	for _, want := range []string{"FRAGMENTATION decomposition", "live requested bytes", "CLASS", "PAGEHEAP introspection"} {
+		if !strings.Contains(t1, want) {
+			t.Fatalf("text missing %q", want)
+		}
+	}
+	if !strings.Contains(j1, `"live_requested_bytes"`) || !strings.Contains(j1, `"fragmentation"`) {
+		t.Fatalf("json missing keys:\n%.400s", j1)
+	}
+}

@@ -132,6 +132,9 @@ func runProfile(p workload.Profile, cfg core.Config, seed uint64, duration int64
 	if telCfg.Enabled {
 		cfg.Telemetry = telCfg
 	}
+	if hcfg := heapProfileConfig(seed); hcfg.Enabled {
+		cfg.HeapProfile = hcfg
+	}
 	alloc := core.New(cfg, topo)
 	opts := workload.DefaultOptions(seed)
 	opts.Duration = duration
@@ -146,6 +149,7 @@ func runProfile(p workload.Profile, cfg core.Config, seed uint64, duration int64
 		tel.FlushGauges()
 		mergeTelemetry(tel.Registry())
 	}
+	recordHeapProfiles(p.Name, seed, alloc.HeapProfiles(""))
 	return res, alloc
 }
 

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"sort"
+	"strconv"
 	"sync"
 
+	"wsmalloc/internal/heapprof"
 	"wsmalloc/internal/telemetry"
 )
 
@@ -48,4 +51,69 @@ func mergeTelemetry(reg *telemetry.Registry) {
 	if telAgg != nil {
 		telAgg.Merge(reg)
 	}
+}
+
+// Experiment-wide heap profiling, backing the cmd/experiments -heapprof
+// flag. Unlike registry merges, profile merges sum float sample weights,
+// so folding in completion order would make the aggregate depend on
+// worker scheduling. Per-run profiles are therefore stashed under a
+// (profile, seed) key and merged in sorted key order at export time,
+// keeping the aggregate byte-identical at any -j.
+var (
+	hpCfg  heapprof.Config
+	hpRuns map[string][]heapprof.Profile
+)
+
+// SetHeapProfile installs the heap-profiler config for every subsequent
+// profile-driven experiment run and resets the collected profiles.
+func SetHeapProfile(cfg heapprof.Config) {
+	telMu.Lock()
+	defer telMu.Unlock()
+	hpCfg = cfg
+	hpRuns = nil
+	if cfg.Enabled {
+		hpRuns = map[string][]heapprof.Profile{}
+	}
+}
+
+// heapProfileConfig returns the per-run profiler config, mixing the
+// run's seed into the sampling seed.
+func heapProfileConfig(seed uint64) heapprof.Config {
+	telMu.Lock()
+	defer telMu.Unlock()
+	cfg := hpCfg
+	cfg.Seed ^= seed
+	return cfg
+}
+
+// recordHeapProfiles stashes one run's exported profiles.
+func recordHeapProfiles(profile string, seed uint64, profs []heapprof.Profile) {
+	if profs == nil {
+		return
+	}
+	telMu.Lock()
+	defer telMu.Unlock()
+	if hpRuns != nil {
+		hpRuns[profile+"/"+strconv.FormatUint(seed, 10)] = profs
+	}
+}
+
+// HeapProfiles merges every collected run's profile views in sorted
+// run-key order and returns the aggregate, or nil when disabled.
+func HeapProfiles() []heapprof.Profile {
+	telMu.Lock()
+	defer telMu.Unlock()
+	if hpRuns == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(hpRuns))
+	for k := range hpRuns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var agg []heapprof.Profile
+	for _, k := range keys {
+		agg = heapprof.Merge(agg, hpRuns[k])
+	}
+	return agg
 }

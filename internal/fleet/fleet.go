@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"wsmalloc/internal/core"
+	"wsmalloc/internal/heapprof"
 	"wsmalloc/internal/mem"
 	"wsmalloc/internal/perfmodel"
 	"wsmalloc/internal/rng"
@@ -149,6 +150,9 @@ type RunMetrics struct {
 	// Telemetry is the machine's metrics registry with end-of-run gauges
 	// flushed, when the run's config enabled telemetry (nil otherwise).
 	Telemetry *telemetry.Registry
+	// HeapProfiles holds the machine's end-of-run sampled heap profile
+	// views, when the run's config enabled heap profiling (nil otherwise).
+	HeapProfiles []heapprof.Profile
 }
 
 // RunMachine executes one machine's workload under cfg for the given
@@ -186,6 +190,7 @@ func RunMachineOpts(m Machine, cfg core.Config, opts workload.Options) RunMetric
 		tel.FlushGauges()
 		rm.Telemetry = tel.Registry()
 	}
+	rm.HeapProfiles = alloc.HeapProfiles("")
 	if snaps > 0 {
 		rm.AvgHeapBytes = heapSum / snaps
 		rm.CacheBytes = cacheSum / snaps
@@ -263,6 +268,14 @@ func (t *ABTelemetry) Snapshots(nowNs int64) []telemetry.Snapshot {
 	}
 }
 
+// ABHeapProfiles holds the fleet-aggregated sampled heap profile views
+// of the two experiment arms, each the enrolment-order merge of the
+// per-machine profiles.
+type ABHeapProfiles struct {
+	Control    []heapprof.Profile
+	Experiment []heapprof.Profile
+}
+
 // ABResult is a full experiment outcome.
 type ABResult struct {
 	// Fleet is the machine-weighted aggregate row.
@@ -275,6 +288,9 @@ type ABResult struct {
 	// Telemetry is the per-arm fleet-merged metrics registry pair, nil
 	// unless ABOptions.Telemetry was enabled.
 	Telemetry *ABTelemetry
+	// HeapProfiles is the per-arm fleet-merged sampled heap profile pair,
+	// nil unless ABOptions.HeapProfile was enabled.
+	HeapProfiles *ABHeapProfiles
 }
 
 // ABOptions tune an experiment.
@@ -314,6 +330,14 @@ type ABOptions struct {
 	// integral counters/gauges and unit-weight histograms, and the
 	// reducer folds per-machine registries in enrolment order.
 	Telemetry telemetry.Config
+	// HeapProfile, when Enabled, attaches the sampled heap profiler to
+	// every enrolled machine run (both arms) and aggregates the per-arm
+	// profile views into ABResult.HeapProfiles. The profiler's seed is
+	// mixed with each machine's own seed so sampling decisions differ per
+	// machine but stay reproducible; the reducer folds per-machine
+	// profiles in enrolment order, so the merged profiles are
+	// byte-identical at any worker count.
+	HeapProfile heapprof.Config
 }
 
 // DefaultABOptions returns the standard experiment setup.
@@ -378,6 +402,7 @@ type machineOutcome struct {
 	pair       pair
 	chaos      ChaosStats
 	telC, telE *telemetry.Registry
+	hpC, hpE   []heapprof.Profile
 }
 
 // runPair executes one machine's paired control/experiment runs and
@@ -400,10 +425,16 @@ func runPair(m Machine, control, experiment core.Config, opts ABOptions) machine
 	if opts.Telemetry.Enabled {
 		cfgC.Telemetry, cfgE.Telemetry = opts.Telemetry, opts.Telemetry
 	}
+	if opts.HeapProfile.Enabled {
+		hcfg := opts.HeapProfile
+		hcfg.Seed ^= m.Seed // per-machine, reproducible sampling decisions
+		cfgC.HeapProfile, cfgE.HeapProfile = hcfg, hcfg
+	}
 	c := runMachineOpts(m, cfgC, wopts)
 	e := runMachineOpts(m, cfgE, wopts)
 	var out machineOutcome
 	out.telC, out.telE = c.Telemetry, e.Telemetry
+	out.hpC, out.hpE = c.HeapProfiles, e.HeapProfiles
 	for _, rm := range []RunMetrics{c, e} {
 		st := rm.Result.Stats
 		out.chaos.InjectedFailures += st.Faults.InjectedFailures
@@ -487,6 +518,7 @@ func mergeOutcomes(outcomes []machineOutcome) ABResult {
 	pairs := make([]pair, 0, len(outcomes))
 	var chaos ChaosStats
 	var tel *ABTelemetry
+	var hp *ABHeapProfiles
 	for _, o := range outcomes {
 		pairs = append(pairs, o.pair)
 		if o.telC != nil || o.telE != nil {
@@ -498,6 +530,13 @@ func mergeOutcomes(outcomes []machineOutcome) ABResult {
 			}
 			tel.Control.Merge(o.telC)
 			tel.Experiment.Merge(o.telE)
+		}
+		if o.hpC != nil || o.hpE != nil {
+			if hp == nil {
+				hp = &ABHeapProfiles{}
+			}
+			hp.Control = heapprof.Merge(hp.Control, o.hpC)
+			hp.Experiment = heapprof.Merge(hp.Experiment, o.hpE)
 		}
 		chaos.InjectedFailures += o.chaos.InjectedFailures
 		chaos.BudgetFailures += o.chaos.BudgetFailures
@@ -533,11 +572,21 @@ func mergeOutcomes(outcomes []machineOutcome) ABResult {
 		return row
 	}
 
+	if hp != nil {
+		// Label the merged arms so the exporters can tell them apart.
+		for i := range hp.Control {
+			hp.Control[i].Label = "control"
+		}
+		for i := range hp.Experiment {
+			hp.Experiment[i].Label = "experiment"
+		}
+	}
+
 	byApp := map[string][]pair{}
 	for _, p := range pairs {
 		byApp[p.app] = append(byApp[p.app], p)
 	}
-	res := ABResult{Fleet: aggregate(pairs, "fleet"), Chaos: chaos, Telemetry: tel}
+	res := ABResult{Fleet: aggregate(pairs, "fleet"), Chaos: chaos, Telemetry: tel, HeapProfiles: hp}
 	var names []string
 	for name := range byApp {
 		names = append(names, name)

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/heapprof"
+	"wsmalloc/internal/workload"
+)
+
+// renderHeapProfiles renders both arms' merged profiles in both export
+// formats so the determinism check covers the full surface.
+func renderHeapProfiles(t *testing.T, res ABResult) string {
+	t.Helper()
+	if res.HeapProfiles == nil {
+		t.Fatal("heap profiling enabled but ABResult.HeapProfiles is nil")
+	}
+	var buf bytes.Buffer
+	for _, profs := range [][]heapprof.Profile{res.HeapProfiles.Control, res.HeapProfiles.Experiment} {
+		if err := heapprof.WriteText(&buf, profs...); err != nil {
+			t.Fatalf("text: %v", err)
+		}
+		if err := heapprof.WriteJSON(&buf, profs...); err != nil {
+			t.Fatalf("json: %v", err)
+		}
+	}
+	return buf.String()
+}
+
+// TestABHeapProfileParallelEquivalence extends the PR 2 determinism
+// contract to the heap profiler: merged per-arm profiles must be
+// byte-identical at -j 1 and -j 4. Per-machine profilers are seeded
+// from cfg.Seed ^ machine.Seed (independent of scheduling) and the
+// reducer folds profiles in enrolment order, so the float sums in the
+// merged sites see a fixed association order regardless of worker
+// count.
+func TestABHeapProfileParallelEquivalence(t *testing.T) {
+	f := New(32, 7)
+	opts := DefaultABOptions()
+	opts.MinMachines = 4
+	opts.DurationNs = 6 * workload.Millisecond
+	opts.HeapProfile = heapprof.Config{Enabled: true, SampleIntervalBytes: 64 << 10, Seed: 11}
+
+	opts.Workers = 1
+	seq := f.ABTest(core.BaselineConfig(), core.OptimizedConfig(), opts)
+	seqOut := renderHeapProfiles(t, seq)
+
+	// The profiles must carry real sampled mass with arm labels.
+	for _, want := range []string{"heap profile:", "label=control", "label=experiment", "workload="} {
+		if !strings.Contains(seqOut, want) {
+			t.Fatalf("export missing %q:\n%.1500s", want, seqOut)
+		}
+	}
+	if seq.HeapProfiles.Control[0].Samples == 0 {
+		t.Fatal("control heapz took no samples")
+	}
+
+	for _, j := range []int{2, 4} {
+		opts.Workers = j
+		par := f.ABTest(core.BaselineConfig(), core.OptimizedConfig(), opts)
+		if parOut := renderHeapProfiles(t, par); parOut != seqOut {
+			t.Fatalf("-j %d heap profiles differ from -j 1 (lengths %d vs %d)",
+				j, len(parOut), len(seqOut))
+		}
+	}
+}
+
+// A plain experiment must not attach profiles (and the profiler hook
+// must stay on the nil fast path).
+func TestABHeapProfilesDisabledByDefault(t *testing.T) {
+	f := New(16, 3)
+	opts := DefaultABOptions()
+	opts.MinMachines = 2
+	opts.DurationNs = 4 * workload.Millisecond
+	res := f.ABTest(core.BaselineConfig(), core.OptimizedConfig(), opts)
+	if res.HeapProfiles != nil {
+		t.Fatal("heap profiles attached without opting in")
+	}
+}
+
+// The merged profile must stay an unbiased estimator after the fleet
+// fold: per-arm heapz bytes within a loose band of the exact aggregate
+// live bytes reported by the per-machine run metrics.
+func TestABHeapProfileEstimatesFleetLiveBytes(t *testing.T) {
+	f := New(24, 5)
+	opts := DefaultABOptions()
+	opts.MinMachines = 8
+	opts.DurationNs = 8 * workload.Millisecond
+	opts.HeapProfile = heapprof.Config{Enabled: true, SampleIntervalBytes: 16 << 10, Seed: 2}
+	res := f.ABTest(core.BaselineConfig(), core.OptimizedConfig(), opts)
+	hp := res.HeapProfiles
+	if hp == nil || len(hp.Control) == 0 {
+		t.Fatal("no merged profiles")
+	}
+	heapz := hp.Control[0]
+	if heapz.View != heapprof.ViewHeapz {
+		t.Fatalf("first view = %s", heapz.View)
+	}
+	if heapz.Samples < 100 {
+		t.Fatalf("only %d samples across the fleet", heapz.Samples)
+	}
+	// Sites must aggregate across machines deterministically: totals
+	// equal the site sums.
+	var siteBytes float64
+	for _, s := range heapz.Sites {
+		siteBytes += s.Bytes
+	}
+	rel := (siteBytes - heapz.Bytes) / heapz.Bytes
+	if rel > 1e-6 || rel < -1e-6 {
+		t.Fatalf("site bytes %v vs total %v", siteBytes, heapz.Bytes)
+	}
+}
+
+// benchHeapProf mirrors benchTelemetry for the profiler so the
+// Disabled/Enabled pair isolates the sampling overhead. Disabled is the
+// nil-profiler branch on the malloc path and must stay within noise of
+// BenchmarkFleetAB.
+func benchHeapProf(b *testing.B, cfg heapprof.Config) {
+	f := New(200, 1)
+	opts := DefaultABOptions()
+	opts.MinMachines = 8
+	opts.DurationNs = 10 * workload.Millisecond
+	opts.Workers = 1
+	opts.HeapProfile = cfg
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := f.ABTest(core.BaselineConfig(), core.OptimizedConfig(), opts)
+		if res.Fleet.Machines == 0 {
+			b.Fatal("no machines enrolled")
+		}
+	}
+}
+
+func BenchmarkHeapProfDisabled(b *testing.B) {
+	benchHeapProf(b, heapprof.Config{})
+}
+
+func BenchmarkHeapProfEnabled(b *testing.B) {
+	benchHeapProf(b, heapprof.Config{Enabled: true})
+}

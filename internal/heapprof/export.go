@@ -1,0 +1,241 @@
+package heapprof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// View names for the three profile kinds.
+const (
+	ViewHeapz     = "heapz"
+	ViewAllocz    = "allocz"
+	ViewPeakheapz = "peakheapz"
+)
+
+// lifeMinExp/lifeMaxExp bound the lifetime decades (1 µs .. 10^7 s),
+// matching internal/profiler's Fig 8 bucketing.
+const (
+	lifeMinExp = 3
+	lifeMaxExp = 16
+)
+
+// samplingProbability is the Poisson-process inclusion probability of a
+// size-byte object under mean gap interval: 1 - exp(-size/interval).
+func samplingProbability(size, interval float64) float64 {
+	p := -math.Expm1(-size / interval)
+	if p < 1e-300 { // defensively avoid infinite weights for size ~ 0
+		p = 1e-300
+	}
+	return p
+}
+
+// lifeExp buckets a lifetime (ns) into its decade, clamped to
+// [lifeMinExp, lifeMaxExp].
+func lifeExp(ns int64) int {
+	exp := lifeMinExp
+	for bound := int64(10000); exp < lifeMaxExp && ns >= bound; bound *= 10 {
+		exp++
+	}
+	return exp
+}
+
+// LifeLabel renders a lifetime decade exponent ("1us", "10ms", "100s").
+func LifeLabel(exp int) string {
+	switch {
+	case exp < 6:
+		return strconv.Itoa(pow10(exp-3)) + "us"
+	case exp < 9:
+		return strconv.Itoa(pow10(exp-6)) + "ms"
+	default:
+		return strconv.Itoa(pow10(exp-9)) + "s"
+	}
+}
+
+func pow10(n int) int {
+	v := 1
+	for i := 0; i < n; i++ {
+		v *= 10
+	}
+	return v
+}
+
+// Site is one synthetic call-site row of a profile: estimated live (or
+// cumulative) objects and bytes for a workload × size-class × lifetime
+// bucket, plus the raw sample count behind the estimate.
+type Site struct {
+	Workload   string  `json:"workload"`
+	SizeClass  int     `json:"size_class"` // -1 for large (direct pageheap)
+	ClassBytes int     `json:"class_bytes"`
+	LifeExp    int     `json:"life_exp"`
+	Life       string  `json:"life"`
+	Samples    int64   `json:"samples"`
+	Objects    float64 `json:"objects"`
+	Bytes      float64 `json:"bytes"`
+}
+
+func (s Site) key() siteKey {
+	return siteKey{s.Workload, s.SizeClass, s.ClassBytes, s.LifeExp}
+}
+
+func siteFromKey(k siteKey) Site {
+	return Site{
+		Workload:   k.workload,
+		SizeClass:  k.class,
+		ClassBytes: k.classBytes,
+		LifeExp:    k.lifeExp,
+		Life:       LifeLabel(k.lifeExp),
+	}
+}
+
+func keyLess(a, b siteKey) bool {
+	if a.workload != b.workload {
+		return a.workload < b.workload
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if a.classBytes != b.classBytes {
+		return a.classBytes < b.classBytes
+	}
+	return a.lifeExp < b.lifeExp
+}
+
+// Profile is one exported view. Objects/Bytes are unbiased estimates of
+// the exact totals; Samples is the raw sampled-event count.
+type Profile struct {
+	View                string  `json:"view"`
+	Label               string  `json:"label,omitempty"`
+	NowNs               int64   `json:"now_ns"`
+	PeakNowNs           int64   `json:"peak_now_ns,omitempty"`
+	SampleIntervalBytes int64   `json:"sample_interval_bytes"`
+	Samples             int64   `json:"samples"`
+	Objects             float64 `json:"objects"`
+	Bytes               float64 `json:"bytes"`
+	Sites               []Site  `json:"sites,omitempty"`
+}
+
+// mergeSites merges two site lists already sorted by key, summing
+// matching rows. Both inputs stay unmodified.
+func mergeSites(a, b []Site) []Site {
+	out := make([]Site, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].key() == b[j].key():
+			s := a[i]
+			s.Samples += b[j].Samples
+			s.Objects += b[j].Objects
+			s.Bytes += b[j].Bytes
+			out = append(out, s)
+			i++
+			j++
+		case keyLess(a[i].key(), b[j].key()):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Merge folds src into dst, matching profiles by view, and returns the
+// result (dst may be nil). The fleet reducer calls it once per machine
+// in enrolment order, so the float sums are performed in a fixed order
+// and merged exports are byte-identical at any worker count. The merged
+// peakheapz is the sum of per-machine peaks (machines peak at
+// independent times, so this is an upper envelope, not a simultaneous
+// fleet peak).
+func Merge(dst, src []Profile) []Profile {
+	for _, sp := range src {
+		idx := -1
+		for i := range dst {
+			if dst[i].View == sp.View {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			cp := sp
+			cp.Sites = append([]Site(nil), sp.Sites...)
+			dst = append(dst, cp)
+			continue
+		}
+		d := &dst[idx]
+		if sp.NowNs > d.NowNs {
+			d.NowNs = sp.NowNs
+		}
+		if sp.PeakNowNs > d.PeakNowNs {
+			d.PeakNowNs = sp.PeakNowNs
+		}
+		if d.SampleIntervalBytes == 0 {
+			d.SampleIntervalBytes = sp.SampleIntervalBytes
+		}
+		d.Samples += sp.Samples
+		d.Objects += sp.Objects
+		d.Bytes += sp.Bytes
+		d.Sites = mergeSites(d.Sites, sp.Sites)
+	}
+	return dst
+}
+
+// fmtF renders floats compactly and byte-stably: integral values never
+// degrade to scientific notation (same convention as telemetry exports).
+func fmtF(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders profiles in the legacy pprof heap-profile text
+// shape: a "heap profile:" header per view, then one line per site with
+// the synthetic frame spelled as key=value tokens after the '@'.
+// Estimated counts are unsampled weights, so they may be fractional.
+func WriteText(w io.Writer, profiles ...Profile) error {
+	for _, p := range profiles {
+		label := ""
+		if p.Label != "" {
+			label = " label=" + p.Label
+		}
+		peak := ""
+		if p.View == ViewPeakheapz {
+			peak = fmt.Sprintf(" peak_now_ns=%d", p.PeakNowNs)
+		}
+		if _, err := fmt.Fprintf(w, "heap profile: %s: %s @ %s/%d%s now_ns=%d%s samples=%d\n",
+			fmtF(p.Objects), fmtF(p.Bytes), p.View, p.SampleIntervalBytes,
+			label, p.NowNs, peak, p.Samples); err != nil {
+			return err
+		}
+		for _, s := range p.Sites {
+			if _, err := fmt.Fprintf(w, "  %s: %s @ workload=%s class=%d class_bytes=%d life_exp=%d life=%s samples=%d\n",
+				fmtF(s.Objects), fmtF(s.Bytes), s.Workload, s.SizeClass,
+				s.ClassBytes, s.LifeExp, s.Life, s.Samples); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Doc is the JSON export schema ("-heapprof-out" files, /heapz?format=json).
+type Doc struct {
+	Profiles []Profile `json:"profiles"`
+}
+
+// WriteJSON writes the profiles as an indented JSON Doc.
+func WriteJSON(w io.Writer, profiles ...Profile) error {
+	data, err := json.MarshalIndent(Doc{Profiles: profiles}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

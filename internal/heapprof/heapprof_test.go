@@ -1,0 +1,228 @@
+package heapprof
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// driveAllocs feeds n allocations of cycling sizes into p, returning
+// the exact live byte/object totals. Addresses are unique.
+func driveAllocs(p *Profiler, n int, sizes []int) (liveBytes, liveObjects int64) {
+	for i := 0; i < n; i++ {
+		size := sizes[i%len(sizes)]
+		p.SampleAlloc(uint64(i+1)<<4, size, i%len(sizes), size, int64(i))
+		liveBytes += int64(size)
+		liveObjects++
+	}
+	return liveBytes, liveObjects
+}
+
+// The tentpole acceptance bound: the heapz unbiased estimator must land
+// within 2% of the exact live heap for a dense workload.
+func TestHeapzUnbiased(t *testing.T) {
+	p := New(Config{Enabled: true, SampleIntervalBytes: 8 << 10, Seed: 42})
+	p.SetWorkload("unbias")
+	sizes := []int{32, 64, 128, 512, 2048, 8192, 32768}
+	exactBytes, exactObjects := driveAllocs(p, 200_000, sizes)
+
+	heapz := p.Profiles(1_000_000, "")[0]
+	if heapz.View != ViewHeapz {
+		t.Fatalf("first view = %s", heapz.View)
+	}
+	relB := math.Abs(heapz.Bytes-float64(exactBytes)) / float64(exactBytes)
+	relO := math.Abs(heapz.Objects-float64(exactObjects)) / float64(exactObjects)
+	t.Logf("exact %d bytes / %d objects; estimated %.0f / %.0f (err %.3f%% / %.3f%%, %d samples)",
+		exactBytes, exactObjects, heapz.Bytes, heapz.Objects, relB*100, relO*100, heapz.Samples)
+	if relB > 0.02 {
+		t.Fatalf("heapz bytes estimate off by %.2f%% (> 2%%)", relB*100)
+	}
+	if relO > 0.02 {
+		t.Fatalf("heapz objects estimate off by %.2f%% (> 2%%)", relO*100)
+	}
+	if heapz.Samples == 0 || heapz.Samples >= int64(exactObjects) {
+		t.Fatalf("sampling degenerate: %d samples of %d objects", heapz.Samples, exactObjects)
+	}
+}
+
+// Freeing everything must drain the live view and move the mass to
+// allocz; allocz totals equal heapz-before-free totals exactly (the
+// same weights, folded in the same order).
+func TestFreeMovesLiveToCumulative(t *testing.T) {
+	p := New(Config{Enabled: true, SampleIntervalBytes: 4 << 10, Seed: 7})
+	p.SetWorkload("churn")
+	n := 50_000
+	driveAllocs(p, n, []int{256, 1024, 4096})
+
+	before := p.Profiles(int64(n), "")
+	liveBytes := before[0].Bytes
+	alloczBytes := before[1].Bytes
+	if liveBytes == 0 {
+		t.Fatal("no live mass sampled")
+	}
+	if alloczBytes != liveBytes {
+		t.Fatalf("allocz %v != heapz %v with nothing freed", alloczBytes, liveBytes)
+	}
+
+	for i := 0; i < n; i++ {
+		p.NoteFree(uint64(i+1)<<4, int64(n+i))
+	}
+	after := p.Profiles(int64(2*n), "")
+	if after[0].Samples != 0 || after[0].Bytes != 0 || p.LiveSampleCount() != 0 {
+		t.Fatalf("live view not drained: %+v", after[0])
+	}
+	if math.Abs(after[1].Bytes-liveBytes) > 1e-6*liveBytes {
+		t.Fatalf("allocz lost mass on free: %v -> %v", liveBytes, after[1].Bytes)
+	}
+	// Double free of a sampled address must be a no-op.
+	p.NoteFree(1<<4, int64(2*n))
+	if p.Profiles(int64(2*n), "")[1].Bytes != after[1].Bytes {
+		t.Fatal("double free changed allocz")
+	}
+}
+
+func TestLifeBuckets(t *testing.T) {
+	cases := []struct {
+		ns    int64
+		exp   int
+		label string
+	}{
+		{-5, 3, "1us"}, // clamped
+		{0, 3, "1us"},
+		{9_999, 3, "1us"},
+		{10_000, 4, "10us"},
+		{999_999_999, 8, "100ms"},
+		{1_000_000_000, 9, "1s"},
+		{5_000_000_000, 9, "1s"},
+		{int64(1e16), 16, "10000000s"},
+		{math.MaxInt64, 16, "10000000s"}, // clamped
+	}
+	for _, c := range cases {
+		if got := lifeExp(c.ns); got != c.exp {
+			t.Errorf("lifeExp(%d) = %d, want %d", c.ns, got, c.exp)
+		}
+		if got := LifeLabel(c.exp); got != c.label {
+			t.Errorf("LifeLabel(%d) = %q, want %q", c.exp, got, c.label)
+		}
+	}
+}
+
+// The peak watchpoint must capture O(log growth) times, not once per
+// new high-water mark, and the capture must freeze the live table.
+func TestPeakWatchpoint(t *testing.T) {
+	p := New(Config{Enabled: true, SampleIntervalBytes: 1, Seed: 3})
+	p.SetWorkload("peak")
+
+	captures := 0
+	lastPeakNow := int64(-1)
+	var live int64
+	for i := 0; i < 10_000; i++ {
+		size := 1000
+		p.SampleAlloc(uint64(i+1)<<4, size, 0, size, int64(i))
+		live += int64(size)
+		p.MaybePeak(live, int64(i))
+		if p.peakNowNs != lastPeakNow {
+			captures++
+			lastPeakNow = p.peakNowNs
+		}
+	}
+	// Growth from ~1e3 to 1e7 bytes at 1% steps: log(1e4)/log(1.01) ≈ 926.
+	if captures >= 2000 || captures < 100 {
+		t.Fatalf("peak captures = %d, want O(log growth) in [100, 2000)", captures)
+	}
+
+	peakBytes := p.Profiles(20_000, "")[2].Bytes
+	if math.Abs(peakBytes-float64(live)) > 0.02*float64(live) {
+		t.Fatalf("peak bytes %v vs live %d", peakBytes, live)
+	}
+	// Frees after the peak must not erode the captured snapshot.
+	for i := 0; i < 10_000; i++ {
+		p.NoteFree(uint64(i+1)<<4, 15_000)
+	}
+	if got := p.Profiles(20_000, "")[2].Bytes; got != peakBytes {
+		t.Fatalf("peakheapz changed after frees: %v -> %v", peakBytes, got)
+	}
+}
+
+func TestDisabledProfilerIsNil(t *testing.T) {
+	if New(Config{}) != nil {
+		t.Fatal("disabled config must yield a nil profiler")
+	}
+	if New(Config{SampleIntervalBytes: 4096}) != nil {
+		t.Fatal("Enabled=false must win over other fields")
+	}
+}
+
+// Two identically-seeded profilers fed the same stream must export
+// byte-identical text and JSON (the -j 1 vs -j 4 contract depends on
+// per-profiler determinism as its base case).
+func TestExportDeterminism(t *testing.T) {
+	render := func() (string, string) {
+		p := New(Config{Enabled: true, SampleIntervalBytes: 2 << 10, Seed: 99})
+		p.SetWorkload("det")
+		driveAllocs(p, 30_000, []int{48, 336, 7168})
+		for i := 0; i < 30_000; i += 3 {
+			p.NoteFree(uint64(i+1)<<4, int64(40_000+i))
+		}
+		profs := p.Profiles(100_000, "arm")
+		var text, js strings.Builder
+		if err := WriteText(&text, profs...); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&js, profs...); err != nil {
+			t.Fatal(err)
+		}
+		return text.String(), js.String()
+	}
+	t1, j1 := render()
+	t2, j2 := render()
+	if t1 != t2 || j1 != j2 {
+		t.Fatal("exports differ across identical runs")
+	}
+	if !strings.Contains(t1, "label=arm") || !strings.Contains(t1, "workload=det") {
+		t.Fatalf("text export missing expected tokens:\n%s", t1[:min(400, len(t1))])
+	}
+}
+
+// Merge must be order-preserving on totals: merging the per-machine
+// profiles in a fixed order twice gives byte-identical exports, and
+// merged totals equal the float sum in that same order.
+func TestMergeAccumulates(t *testing.T) {
+	mkProfs := func(seed uint64, n int) []Profile {
+		p := New(Config{Enabled: true, SampleIntervalBytes: 1 << 10, Seed: seed})
+		p.SetWorkload("m")
+		driveAllocs(p, n, []int{128, 640})
+		return p.Profiles(int64(n), "")
+	}
+	a := mkProfs(1, 10_000)
+	b := mkProfs(2, 20_000)
+
+	var merged []Profile
+	merged = Merge(merged, a)
+	merged = Merge(merged, b)
+	if len(merged) != 3 {
+		t.Fatalf("merged views = %d", len(merged))
+	}
+	wantBytes := a[0].Bytes + b[0].Bytes
+	if merged[0].Bytes != wantBytes {
+		t.Fatalf("merged heapz bytes %v != %v", merged[0].Bytes, wantBytes)
+	}
+	if merged[0].Samples != a[0].Samples+b[0].Samples {
+		t.Fatal("merged samples wrong")
+	}
+	// Site lists stay sorted and site totals match profile totals.
+	var siteBytes float64
+	for i, s := range merged[0].Sites {
+		siteBytes += s.Bytes
+		if i > 0 && !keyLess(merged[0].Sites[i-1].key(), s.key()) {
+			t.Fatal("merged sites not sorted")
+		}
+	}
+	if math.Abs(siteBytes-merged[0].Bytes) > 1e-6*siteBytes {
+		t.Fatalf("site bytes %v != total %v", siteBytes, merged[0].Bytes)
+	}
+	// Inputs must be unmodified (the reducer reuses them).
+	if a2 := mkProfs(1, 10_000); a2[0].Bytes != a[0].Bytes || len(a2[0].Sites) != len(a[0].Sites) {
+		t.Fatal("Merge mutated its src argument")
+	}
+}

@@ -42,6 +42,10 @@ type hpTracker struct {
 	// donated is true for tail hugepages donated by large allocations;
 	// the filler avoids them unless nothing else fits.
 	donated bool
+	// lastFreeNs is the virtual time pages last became free on this
+	// hugepage; the free-span age histograms in the pageheapz report
+	// measure how long fragmentation has been sitting here.
+	lastFreeNs int64
 
 	prev, next *hpTracker
 	list       *trackerList
@@ -111,10 +115,22 @@ type Filler struct {
 	brokenDrained int64 // broken hugepages fully subreleased on drain
 
 	tel *telemetry.Sink
+	now func() int64
 }
 
 // SetTelemetry installs the telemetry sink (nil disables).
 func (f *Filler) SetTelemetry(s *telemetry.Sink) { f.tel = s }
+
+// SetClock installs the virtual-time source used to timestamp free
+// spans (nil reads as time zero).
+func (f *Filler) SetClock(fn func() int64) { f.now = fn }
+
+func (f *Filler) nowNs() int64 {
+	if f.now == nil {
+		return 0
+	}
+	return f.now()
+}
 
 // NewFiller creates a filler over os. onEmpty receives hugepages that
 // became completely free while still intact.
@@ -143,7 +159,7 @@ func (f *Filler) AddHugePage(h mem.HugePageID) {
 	if _, ok := f.byID[h]; ok {
 		panic(fmt.Sprintf("pageheap: hugepage %#x already in filler", h.Addr()))
 	}
-	t := &hpTracker{id: h, longestFree: mem.PagesPerHugePage}
+	t := &hpTracker{id: h, longestFree: mem.PagesPerHugePage, lastFreeNs: f.nowNs()}
 	f.byID[h] = t
 	f.insert(t)
 }
@@ -158,7 +174,7 @@ func (f *Filler) AddDonated(h mem.HugePageID, leadingUsed int) {
 	if _, ok := f.byID[h]; ok {
 		panic(fmt.Sprintf("pageheap: hugepage %#x already in filler", h.Addr()))
 	}
-	t := &hpTracker{id: h, donated: true}
+	t := &hpTracker{id: h, donated: true, lastFreeNs: f.nowNs()}
 	t.used.setRange(0, leadingUsed)
 	t.usedCount = leadingUsed
 	t.longestFree = t.used.longestFreeRun()
@@ -239,6 +255,7 @@ func (f *Filler) Free(p mem.PageID, n int) {
 	f.unlink(t)
 	t.used.clearRange(idx, n)
 	t.usedCount -= n
+	t.lastFreeNs = f.nowNs()
 	f.usedPages -= int64(n)
 	f.tel.Event(telemetry.EvFillerUnpack, int64(h), int64(n))
 	if t.usedCount == 0 {

@@ -8,10 +8,13 @@ import (
 	"wsmalloc/internal/mem"
 )
 
-// hugeRange is a run of free, contiguous, intact hugepages.
+// hugeRange is a run of free, contiguous, intact hugepages. freedAt is
+// the virtual time the youngest part of the run entered the cache
+// (coalescing keeps the maximum), feeding the free-span age histogram.
 type hugeRange struct {
-	start mem.HugePageID
-	n     int
+	start   mem.HugePageID
+	n       int
+	freedAt int64
 }
 
 // HugeCache retains free hugepage runs so that large allocations can be
@@ -27,6 +30,19 @@ type HugeCache struct {
 	hits, misses   int64
 	releasedBytes  int64
 	everMappedHere int64
+
+	now func() int64
+}
+
+// SetClock installs the virtual-time source used to timestamp cached
+// ranges (nil reads as time zero).
+func (c *HugeCache) SetClock(fn func() int64) { c.now = fn }
+
+func (c *HugeCache) nowNs() int64 {
+	if c.now == nil {
+		return 0
+	}
+	return c.now()
 }
 
 // NewHugeCache creates a cache bounded at maxBytes (0 means unbounded).
@@ -55,7 +71,7 @@ func (c *HugeCache) Alloc(n int) (mem.HugePageID, error) {
 		if r.n == n {
 			c.ranges = append(c.ranges[:best], c.ranges[best+1:]...)
 		} else {
-			c.ranges[best] = hugeRange{start: r.start + mem.HugePageID(n), n: r.n - n}
+			c.ranges[best] = hugeRange{start: r.start + mem.HugePageID(n), n: r.n - n, freedAt: r.freedAt}
 		}
 		c.bytes -= int64(n) * mem.HugePageSize
 		c.hits++
@@ -86,15 +102,22 @@ func (c *HugeCache) Free(start mem.HugePageID, n int) {
 	}
 	c.ranges = append(c.ranges, hugeRange{})
 	copy(c.ranges[i+1:], c.ranges[i:])
-	c.ranges[i] = hugeRange{start: start, n: n}
+	c.ranges[i] = hugeRange{start: start, n: n, freedAt: c.nowNs()}
 	c.bytes += int64(n) * mem.HugePageSize
-	// Coalesce with successor then predecessor.
+	// Coalesce with successor then predecessor; the merged range keeps
+	// the youngest timestamp so ages never overstate.
 	if i+1 < len(c.ranges) && c.ranges[i].start+mem.HugePageID(c.ranges[i].n) == c.ranges[i+1].start {
 		c.ranges[i].n += c.ranges[i+1].n
+		if c.ranges[i+1].freedAt > c.ranges[i].freedAt {
+			c.ranges[i].freedAt = c.ranges[i+1].freedAt
+		}
 		c.ranges = append(c.ranges[:i+1], c.ranges[i+2:]...)
 	}
 	if i > 0 && c.ranges[i-1].start+mem.HugePageID(c.ranges[i-1].n) == c.ranges[i].start {
 		c.ranges[i-1].n += c.ranges[i].n
+		if c.ranges[i].freedAt > c.ranges[i-1].freedAt {
+			c.ranges[i-1].freedAt = c.ranges[i].freedAt
+		}
 		c.ranges = append(c.ranges[:i], c.ranges[i+1:]...)
 	}
 	c.trim()

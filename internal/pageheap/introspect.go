@@ -1,0 +1,270 @@
+package pageheap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wsmalloc/internal/mem"
+)
+
+// This file implements the "pageheapz" introspection view: per-hugepage
+// occupancy maps, free-span age histograms, and the back-end half of
+// the fragmentation decomposition (the paper's Fig. 11 splits mapped
+// memory into live, slack, CFL free-span, filler-free and unmapped
+// bytes; the CFL and cache tiers are filled in by core).
+
+// HugePageZ describes one filler-owned hugepage: its page-level
+// occupancy as a used/free/released run-length encoding plus the
+// counters behind the filler's packing decisions.
+type HugePageZ struct {
+	Addr     uint64 `json:"addr"`
+	Lifetime string `json:"lifetime"` // "long" or "short" filler set
+	Donated  bool   `json:"donated,omitempty"`
+
+	UsedPages      int `json:"used_pages"`
+	FreePages      int `json:"free_pages"`
+	ReleasedPages  int `json:"released_pages"`
+	LongestFreeRun int `json:"longest_free_run"`
+
+	// Intact reports whether the OS still backs this range with a real
+	// hugepage (false once any page was subreleased).
+	Intact bool `json:"intact"`
+
+	// RLE encodes the 256-page occupancy map as runs of U (used),
+	// F (mapped free) and R (released), e.g. "U24F8R32U192".
+	RLE string `json:"occupancy_rle"`
+
+	// FreeAgeNs is how long ago pages last became free here (0 when the
+	// hugepage is fully used).
+	FreeAgeNs int64 `json:"free_age_ns,omitempty"`
+}
+
+// CacheRangeZ describes one free hugepage run held by the HugeCache.
+type CacheRangeZ struct {
+	Addr      uint64 `json:"addr"`
+	HugePages int    `json:"hugepages"`
+	FreeAgeNs int64  `json:"free_age_ns"`
+}
+
+// AgeBucket is one decade bucket of a free-span age histogram; Count is
+// the weight (pages or bytes, per the histogram's documentation) whose
+// age falls in [LoNs, HiNs).
+type AgeBucket struct {
+	LoNs  int64 `json:"lo_ns"`
+	HiNs  int64 `json:"hi_ns"`
+	Count int64 `json:"count"`
+}
+
+// AgeHistogram accumulates decade buckets 10^3..10^16 ns plus an
+// underflow bucket [0, 10^3). Counts are integral so merged exports
+// stay exact; the zero value is ready to use.
+type AgeHistogram struct {
+	buckets [15]int64
+}
+
+// Add records weight at age ageNs (negative ages clamp to zero).
+func (h *AgeHistogram) Add(ageNs, weight int64) {
+	if ageNs < 0 {
+		ageNs = 0
+	}
+	idx := 0
+	for bound := int64(1000); idx < len(h.buckets)-1 && ageNs >= bound; bound *= 10 {
+		idx++
+	}
+	h.buckets[idx] += weight
+}
+
+// Buckets exports the occupied buckets in age order.
+func (h *AgeHistogram) Buckets() []AgeBucket {
+	var out []AgeBucket
+	lo := int64(0)
+	hi := int64(1000)
+	for i := 0; i < len(h.buckets); i++ {
+		if h.buckets[i] > 0 {
+			out = append(out, AgeBucket{LoNs: lo, HiNs: hi, Count: h.buckets[i]})
+		}
+		lo = hi
+		hi *= 10
+	}
+	return out
+}
+
+// Introspection is the full pageheapz snapshot of the back-end.
+type Introspection struct {
+	NowNs int64 `json:"now_ns"`
+
+	// HugePages lists every filler-owned hugepage, sorted by address.
+	HugePages []HugePageZ `json:"hugepages"`
+	// CacheRanges lists the HugeCache's free runs, sorted by address.
+	CacheRanges []CacheRangeZ `json:"cache_ranges,omitempty"`
+
+	// Back-end byte decomposition (Fig. 11 terms owned by this layer).
+	FillerUsedBytes     int64 `json:"filler_used_bytes"`
+	FillerFreeBytes     int64 `json:"filler_free_bytes"`
+	FillerReleasedBytes int64 `json:"filler_released_bytes"` // unmapped inside broken hugepages
+	RegionUsedBytes     int64 `json:"region_used_bytes"`
+	SlackBytes          int64 `json:"slack_bytes"` // region mapped-but-free
+	LargeUsedBytes      int64 `json:"large_used_bytes"`
+	CacheFreeBytes      int64 `json:"cache_free_bytes"`
+
+	// FreeSpanAges histograms mapped-but-free pages by how long they
+	// have been free: filler free runs plus cached hugepage runs.
+	FreeSpanAges []AgeBucket `json:"free_span_ages,omitempty"`
+}
+
+// rleOccupancy renders the tracker's 256-page map as U/F/R runs.
+func rleOccupancy(t *hpTracker) string {
+	var sb strings.Builder
+	classify := func(i int) byte {
+		switch {
+		case t.used.get(i):
+			return 'U'
+		case t.released.get(i):
+			return 'R'
+		default:
+			return 'F'
+		}
+	}
+	run, start := classify(0), 0
+	for i := 1; i <= mem.PagesPerHugePage; i++ {
+		var c byte
+		if i < mem.PagesPerHugePage {
+			c = classify(i)
+		}
+		if i == mem.PagesPerHugePage || c != run {
+			fmt.Fprintf(&sb, "%c%d", run, i-start)
+			run, start = c, i
+		}
+	}
+	return sb.String()
+}
+
+// Introspect builds the pageheapz snapshot at virtual time now. The
+// output is deterministic: hugepages and cache ranges are sorted by
+// address, and histogram counts are integral.
+func (p *PageHeap) Introspect(now int64) Introspection {
+	z := Introspection{NowNs: now}
+	var ages AgeHistogram
+
+	for lt, f := range p.fillers {
+		ids := make([]mem.HugePageID, 0, len(f.byID))
+		for id := range f.byID {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			t := f.byID[id]
+			free := mem.PagesPerHugePage - t.usedCount - t.releasedCount
+			hp := HugePageZ{
+				Addr:           id.Addr(),
+				Lifetime:       Lifetime(lt).String(),
+				Donated:        t.donated,
+				UsedPages:      t.usedCount,
+				FreePages:      free,
+				ReleasedPages:  t.releasedCount,
+				LongestFreeRun: t.longestFree,
+				Intact:         p.os.IsIntact(id),
+				RLE:            rleOccupancy(t),
+			}
+			if free > 0 {
+				hp.FreeAgeNs = now - t.lastFreeNs
+				ages.Add(hp.FreeAgeNs, int64(free))
+			}
+			z.HugePages = append(z.HugePages, hp)
+		}
+		fs := f.Stats()
+		z.FillerUsedBytes += fs.UsedBytes
+		z.FillerFreeBytes += fs.FreeBytes
+		z.FillerReleasedBytes += fs.ReleasedBytes
+	}
+	// The two filler sets were appended long-then-short; restore global
+	// address order.
+	sort.Slice(z.HugePages, func(i, j int) bool { return z.HugePages[i].Addr < z.HugePages[j].Addr })
+
+	for _, r := range p.cache.ranges {
+		age := now - r.freedAt
+		if age < 0 {
+			age = 0
+		}
+		z.CacheRanges = append(z.CacheRanges, CacheRangeZ{
+			Addr:      r.start.Addr(),
+			HugePages: r.n,
+			FreeAgeNs: age,
+		})
+		ages.Add(age, int64(r.n)*mem.PagesPerHugePage)
+	}
+
+	rs := p.region.Stats()
+	z.RegionUsedBytes = rs.UsedBytes
+	z.SlackBytes = rs.FreeBytes
+	z.LargeUsedBytes = p.largeUsedPages * mem.PageSize
+	z.CacheFreeBytes = p.cache.CachedBytes()
+	z.FreeSpanAges = ages.Buckets()
+	return z
+}
+
+// WriteIntrospection renders the snapshot as the human-readable
+// /pageheapz text page.
+func WriteIntrospection(w io.Writer, z Introspection) error {
+	rule := strings.Repeat("-", 72)
+	if _, err := fmt.Fprintf(w, "%s\nPAGEHEAP introspection @ %d virtual ns\n%s\n", rule, z.NowNs, rule); err != nil {
+		return err
+	}
+	rows := []struct {
+		name string
+		v    int64
+	}{
+		{"filler used bytes", z.FillerUsedBytes},
+		{"filler free bytes", z.FillerFreeBytes},
+		{"filler released (unmapped) bytes", z.FillerReleasedBytes},
+		{"region used bytes", z.RegionUsedBytes},
+		{"region slack bytes", z.SlackBytes},
+		{"large used bytes", z.LargeUsedBytes},
+		{"hugecache free bytes", z.CacheFreeBytes},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "PAGEHEAP: %15d  %s\n", r.v, r.name); err != nil {
+			return err
+		}
+	}
+	if len(z.FreeSpanAges) > 0 {
+		if _, err := fmt.Fprintf(w, "%s\nfree-span ages (mapped-but-free pages by time since freed)\n", rule); err != nil {
+			return err
+		}
+		for _, b := range z.FreeSpanAges {
+			if _, err := fmt.Fprintf(w, "PAGEHEAP: [%12d ns, %12d ns) %10d pages\n", b.LoNs, b.HiNs, b.Count); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\nhugepages (%d tracked by filler)\n", rule, len(z.HugePages)); err != nil {
+		return err
+	}
+	for _, hp := range z.HugePages {
+		flags := ""
+		if hp.Donated {
+			flags += " donated"
+		}
+		if !hp.Intact {
+			flags += " broken"
+		}
+		if _, err := fmt.Fprintf(w, "HP %#014x %-5s used=%3d free=%3d rel=%3d lfr=%3d age=%dns%s %s\n",
+			hp.Addr, hp.Lifetime, hp.UsedPages, hp.FreePages, hp.ReleasedPages,
+			hp.LongestFreeRun, hp.FreeAgeNs, flags, hp.RLE); err != nil {
+			return err
+		}
+	}
+	if len(z.CacheRanges) > 0 {
+		if _, err := fmt.Fprintf(w, "%s\nhugecache ranges (%d)\n", rule, len(z.CacheRanges)); err != nil {
+			return err
+		}
+		for _, r := range z.CacheRanges {
+			if _, err := fmt.Fprintf(w, "HC %#014x hugepages=%d age=%dns\n", r.Addr, r.HugePages, r.FreeAgeNs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package pageheap
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wsmalloc/internal/mem"
+)
+
+// The RLE occupancy map must render exact U/F/R runs for a hugepage
+// with a known hole pattern, including subreleased pages.
+func TestRLEOccupancy(t *testing.T) {
+	o, f, _ := newTestFiller(t)
+	h := mustMap(o, 1)
+	f.AddHugePage(h)
+
+	p, ok := f.Alloc(24)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	tr := f.byID[h]
+	if got := rleOccupancy(tr); got != "U24F232" {
+		t.Fatalf("fresh RLE = %q", got)
+	}
+
+	// Punch a hole in the middle: pages 8..15 free.
+	f.Free(p+8, 8)
+	if got := rleOccupancy(tr); got != "U8F8U8F232" {
+		t.Fatalf("holey RLE = %q", got)
+	}
+
+	// Subrelease every free page (density 16/256 is far below 1.0).
+	if n := f.ReleasePages(mem.PagesPerHugePage, 1.0); n != 240 {
+		t.Fatalf("released %d pages, want 240", n)
+	}
+	if got := rleOccupancy(tr); got != "U8R8U8R232" {
+		t.Fatalf("released RLE = %q", got)
+	}
+	if tr.usedCount != 16 || tr.releasedCount != 240 {
+		t.Fatalf("counts used=%d released=%d", tr.usedCount, tr.releasedCount)
+	}
+	if o.IsIntact(h) {
+		t.Fatal("hugepage still intact after subrelease")
+	}
+}
+
+// AgeHistogram decade bucketing: boundary values land in the right
+// buckets and negative/overflow ages clamp instead of vanishing.
+func TestAgeHistogramBuckets(t *testing.T) {
+	var h AgeHistogram
+	h.Add(-5, 1)  // clamps to 0
+	h.Add(999, 2) // still underflow bucket
+	h.Add(1000, 3)
+	h.Add(9_999, 4)
+	h.Add(10_000, 5)
+	h.Add(int64(1e16), 7)
+	h.Add(math.MaxInt64, 11) // clamps into the top bucket
+
+	got := h.Buckets()
+	want := []AgeBucket{
+		{LoNs: 0, HiNs: 1_000, Count: 3},
+		{LoNs: 1_000, HiNs: 10_000, Count: 7},
+		{LoNs: 10_000, HiNs: 100_000, Count: 5},
+		{LoNs: int64(1e16), HiNs: int64(1e17), Count: 18},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Introspect must agree with Stats() on every byte total, keep its
+// hugepage list address-sorted, and attribute free-span ages from the
+// virtual clock.
+func TestIntrospectMatchesStats(t *testing.T) {
+	o := mem.NewOS()
+	p := New(o, DefaultConfig())
+	now := int64(0)
+	p.SetClock(func() int64 { return now })
+
+	// A few filler spans, a hole, and a multi-hugepage allocation that
+	// lands in the region and later populates the hugecache.
+	spans := make([]mem.PageID, 0, 8)
+	for i := 0; i < 6; i++ {
+		pg, err := p.Alloc(40, LifetimeLong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans = append(spans, pg)
+	}
+	big, err := p.Alloc(3*mem.PagesPerHugePage, LifetimeLong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = 5_000
+	p.Free(spans[1], 40) // filler hole, freed at t=5000
+	now = 20_000
+	p.Free(big, 3*mem.PagesPerHugePage) // hugecache range, freed at t=20000
+	now = 1_000_000
+
+	z := p.Introspect(now)
+	s := p.Stats()
+	if z.NowNs != now {
+		t.Fatalf("NowNs = %d", z.NowNs)
+	}
+	if z.FillerUsedBytes != s.FillerUsed || z.FillerFreeBytes != s.FillerFree ||
+		z.FillerReleasedBytes != s.FillerReleased {
+		t.Fatalf("filler bytes: introspect (%d,%d,%d) vs stats (%d,%d,%d)",
+			z.FillerUsedBytes, z.FillerFreeBytes, z.FillerReleasedBytes,
+			s.FillerUsed, s.FillerFree, s.FillerReleased)
+	}
+	if z.RegionUsedBytes != s.RegionUsed || z.SlackBytes != s.RegionFree ||
+		z.LargeUsedBytes != s.LargeUsed || z.CacheFreeBytes != s.CacheFree {
+		t.Fatal("region/large/cache bytes disagree with Stats")
+	}
+
+	// Per-hugepage page counts must cover every tracked hugepage exactly.
+	var used, free, released int64
+	for i, hp := range z.HugePages {
+		if hp.UsedPages+hp.FreePages+hp.ReleasedPages != mem.PagesPerHugePage {
+			t.Fatalf("hugepage %#x pages don't sum to %d: %+v", hp.Addr, mem.PagesPerHugePage, hp)
+		}
+		if i > 0 && z.HugePages[i-1].Addr >= hp.Addr {
+			t.Fatal("hugepages not address-sorted")
+		}
+		used += int64(hp.UsedPages)
+		free += int64(hp.FreePages)
+		released += int64(hp.ReleasedPages)
+	}
+	if used*mem.PageSize != s.FillerUsed || free*mem.PageSize != s.FillerFree ||
+		released*mem.PageSize != s.FillerReleased {
+		t.Fatal("per-hugepage sums disagree with filler stats")
+	}
+
+	// The freed filler span ages from t=5000: age 995000 ns, bucket
+	// [1e5, 1e6). The cached hugepages age from t=20000: 980000 ns,
+	// same decade. Total mapped-but-free pages must all be histogrammed.
+	var histPages int64
+	for _, b := range z.FreeSpanAges {
+		histPages += b.Count
+	}
+	wantPages := (s.FillerFree + s.CacheFree) / mem.PageSize
+	if histPages != wantPages {
+		t.Fatalf("free-span histogram covers %d pages, want %d", histPages, wantPages)
+	}
+	foundFiller := false
+	for _, hp := range z.HugePages {
+		if hp.FreePages > 0 && hp.FreeAgeNs == now-5_000 {
+			foundFiller = true
+		}
+	}
+	if !foundFiller {
+		t.Fatal("no hugepage carries the t=5000 free age")
+	}
+	if len(z.CacheRanges) == 0 {
+		t.Fatal("hugecache ranges missing")
+	}
+	var cachePages int64
+	for _, r := range z.CacheRanges {
+		if r.FreeAgeNs != now-20_000 {
+			t.Fatalf("cache range age = %d, want %d", r.FreeAgeNs, now-20_000)
+		}
+		cachePages += int64(r.HugePages) * mem.PagesPerHugePage
+	}
+	if cachePages*mem.PageSize != s.CacheFree {
+		t.Fatalf("cache range pages %d vs CacheFree %d", cachePages*mem.PageSize, s.CacheFree)
+	}
+}
+
+// Two introspections of the same heap state must render byte-identical
+// text (the /pageheapz page is part of the deterministic export set).
+func TestWriteIntrospectionDeterministic(t *testing.T) {
+	build := func() string {
+		o := mem.NewOS()
+		p := New(o, DefaultConfig())
+		p.SetClock(func() int64 { return 42 })
+		var pgs []mem.PageID
+		for i := 0; i < 5; i++ {
+			pg, err := p.Alloc(30+i, LifetimeLong)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pgs = append(pgs, pg)
+		}
+		p.Free(pgs[2], 32)
+		var b strings.Builder
+		if err := WriteIntrospection(&b, p.Introspect(10_000)); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	r1, r2 := build(), build()
+	if r1 != r2 {
+		t.Fatal("introspection text not byte-stable")
+	}
+	for _, want := range []string{"PAGEHEAP introspection @ 10000 virtual ns", "HP 0x", "filler used bytes"} {
+		if !strings.Contains(r1, want) {
+			t.Fatalf("introspection text missing %q:\n%s", want, r1)
+		}
+	}
+}

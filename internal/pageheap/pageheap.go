@@ -82,6 +82,15 @@ func (p *PageHeap) SetTelemetry(s *telemetry.Sink) {
 	}
 }
 
+// SetClock installs the virtual-time source on the heap's components so
+// free spans can be timestamped for the pageheapz age histograms.
+func (p *PageHeap) SetClock(fn func() int64) {
+	for _, f := range p.fillers {
+		f.SetClock(fn)
+	}
+	p.cache.SetClock(fn)
+}
+
 // New creates a pageheap over the simulated OS.
 func New(o *mem.OS, cfg Config) *PageHeap {
 	p := &PageHeap{

@@ -468,6 +468,22 @@ func (c *Caches) MissCounts() []int64 {
 	return out
 }
 
+// CachedBytesByClass returns the bytes cached per size class, summed
+// across every populated vCPU cache — the front-end column of the
+// per-class fragmentation table in the pageheapz report.
+func (c *Caches) CachedBytesByClass() []int64 {
+	out := make([]int64, c.numClasses)
+	for _, cc := range c.caches {
+		if cc == nil {
+			continue
+		}
+		for class, s := range cc.slots {
+			out[class] += int64(len(s)) * int64(c.objSize(class))
+		}
+	}
+	return out
+}
+
 // Capacities returns the current capacity of each populated vCPU cache.
 func (c *Caches) Capacities() []int64 {
 	out := make([]int64, len(c.caches))

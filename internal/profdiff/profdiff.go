@@ -1,0 +1,372 @@
+// Package profdiff diffs two allocator observability exports — sampled
+// heap profiles (BASE.heapz / BASE.heapz.json) or telemetry registry
+// exports (BASE.prom / BASE.json) — and reports per-metric deltas with
+// a regression threshold, the A/B workflow behind cmd/profdiff.
+//
+// Every supported format is flattened into the same shape, a
+// name → value map, so a text heapz export diffs cleanly against the
+// JSON export of another run and the threshold logic is format-blind.
+package profdiff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wsmalloc/internal/heapprof"
+	"wsmalloc/internal/telemetry"
+)
+
+// Metrics is one export flattened into name → value rows.
+type Metrics map[string]float64
+
+// maxInputBytes bounds how much of an input Parse will read; real
+// exports are well under this, and the cap keeps hostile inputs from
+// ballooning memory.
+const maxInputBytes = 64 << 20
+
+// ParseFile reads and parses one export file.
+func ParseFile(path string) (Metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Parse sniffs the export format and flattens it:
+//
+//   - JSON with "profiles": a heap-profile document (WriteJSON)
+//   - JSON with "snapshots": a telemetry document (BASE.json)
+//   - text starting "heap profile:": the pprof-style heapz export
+//   - other text: Prometheus exposition lines (BASE.prom)
+//
+// Malformed input returns an error; Parse never panics (FuzzParse
+// enforces this).
+func Parse(r io.Reader) (Metrics, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxInputBytes))
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	switch {
+	case trimmed == "":
+		return nil, fmt.Errorf("profdiff: empty input")
+	case trimmed[0] == '{':
+		return parseJSON([]byte(trimmed))
+	case strings.HasPrefix(trimmed, "heap profile:"):
+		return parseHeapText(trimmed)
+	default:
+		return parseProm(trimmed)
+	}
+}
+
+// jsonDoc is the union of the two JSON export schemas.
+type jsonDoc struct {
+	Profiles  []heapprof.Profile   `json:"profiles"`
+	Snapshots []telemetry.Snapshot `json:"snapshots"`
+}
+
+func parseJSON(data []byte) (Metrics, error) {
+	var doc jsonDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("profdiff: bad JSON: %w", err)
+	}
+	m := Metrics{}
+	switch {
+	case len(doc.Profiles) > 0:
+		for _, p := range doc.Profiles {
+			addProfile(m, p)
+		}
+	case len(doc.Snapshots) > 0:
+		for _, s := range doc.Snapshots {
+			addSnapshot(m, s)
+		}
+	default:
+		return nil, fmt.Errorf("profdiff: JSON has neither \"profiles\" nor \"snapshots\"")
+	}
+	return m, nil
+}
+
+// profilePrefix names a profile's key namespace: the view, plus the arm
+// label when present ("heapz", "allocz[control]").
+func profilePrefix(view, label string) string {
+	if label != "" {
+		return view + "[" + label + "]"
+	}
+	return view
+}
+
+// addProfile flattens one heap-profile view: totals plus one
+// objects/bytes pair per site.
+func addProfile(m Metrics, p heapprof.Profile) {
+	prefix := profilePrefix(p.View, p.Label)
+	m[prefix+"/total.objects"] = p.Objects
+	m[prefix+"/total.bytes"] = p.Bytes
+	m[prefix+"/total.samples"] = float64(p.Samples)
+	for _, s := range p.Sites {
+		site := fmt.Sprintf("%s/workload=%s/class=%d/life=%s", prefix, s.Workload, s.SizeClass, s.Life)
+		m[site+".objects"] += s.Objects
+		m[site+".bytes"] += s.Bytes
+	}
+}
+
+// addSnapshot flattens one telemetry snapshot: counters, gauges, and
+// histogram totals/quantiles.
+func addSnapshot(m Metrics, s telemetry.Snapshot) {
+	prefix := ""
+	if s.Label != "" {
+		prefix = s.Label + "/"
+	}
+	for _, c := range s.Counters {
+		m[prefix+c.Name] = float64(c.Value)
+	}
+	for _, g := range s.Gauges {
+		m[prefix+g.Name] = float64(g.Value)
+	}
+	for _, h := range s.Histograms {
+		m[prefix+h.Name+".total"] = h.Total
+		m[prefix+h.Name+".p50"] = h.P50
+		m[prefix+h.Name+".p95"] = h.P95
+		m[prefix+h.Name+".p99"] = h.P99
+	}
+}
+
+// parseHeapText parses the pprof-style text export: "heap profile:"
+// headers introduce a view, indented lines are its sites.
+func parseHeapText(data string) (Metrics, error) {
+	m := Metrics{}
+	prefix := ""
+	sc := bufio.NewScanner(strings.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		indented := strings.HasPrefix(line, "  ")
+		objects, bytes, tokens, err := parseHeapLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("profdiff: line %d: %w", lineNo, err)
+		}
+		if !indented {
+			view := tokens["view"]
+			if view == "" {
+				return nil, fmt.Errorf("profdiff: line %d: header without view", lineNo)
+			}
+			prefix = profilePrefix(view, tokens["label"])
+			m[prefix+"/total.objects"] = objects
+			m[prefix+"/total.bytes"] = bytes
+			if s, ok := tokens["samples"]; ok {
+				v, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return nil, fmt.Errorf("profdiff: line %d: bad samples %q", lineNo, s)
+				}
+				m[prefix+"/total.samples"] = v
+			}
+			continue
+		}
+		if prefix == "" {
+			return nil, fmt.Errorf("profdiff: line %d: site before any profile header", lineNo)
+		}
+		for _, want := range []string{"workload", "class", "life"} {
+			if _, ok := tokens[want]; !ok {
+				return nil, fmt.Errorf("profdiff: line %d: site missing %s=", lineNo, want)
+			}
+		}
+		site := fmt.Sprintf("%s/workload=%s/class=%s/life=%s",
+			prefix, tokens["workload"], tokens["class"], tokens["life"])
+		m[site+".objects"] += objects
+		m[site+".bytes"] += bytes
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("profdiff: %w", err)
+	}
+	return m, nil
+}
+
+// parseHeapLine splits one text-export line into its leading
+// "objects: bytes" pair and the key=value tokens after the '@'. The
+// header's "view/interval" token is returned as tokens["view"].
+func parseHeapLine(line string) (objects, bytes float64, tokens map[string]string, err error) {
+	head, rest, ok := strings.Cut(line, " @ ")
+	if !ok {
+		return 0, 0, nil, fmt.Errorf("no ' @ ' separator")
+	}
+	head = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(head), "heap profile:"))
+	objS, bytesS, ok := strings.Cut(head, ": ")
+	if !ok {
+		return 0, 0, nil, fmt.Errorf("bad objects/bytes pair %q", head)
+	}
+	if objects, err = strconv.ParseFloat(strings.TrimSpace(objS), 64); err != nil {
+		return 0, 0, nil, fmt.Errorf("bad objects %q", objS)
+	}
+	if bytes, err = strconv.ParseFloat(strings.TrimSpace(bytesS), 64); err != nil {
+		return 0, 0, nil, fmt.Errorf("bad bytes %q", bytesS)
+	}
+	tokens = map[string]string{}
+	for i, tok := range strings.Fields(rest) {
+		if k, v, ok := strings.Cut(tok, "="); ok {
+			tokens[k] = v
+			continue
+		}
+		if i == 0 {
+			// The header's "view/interval" positional token.
+			view, _, _ := strings.Cut(tok, "/")
+			tokens["view"] = view
+			continue
+		}
+		return 0, 0, nil, fmt.Errorf("bad token %q", tok)
+	}
+	return objects, bytes, tokens, nil
+}
+
+// parseProm parses Prometheus exposition text: "name value" and
+// "name{labels} value" lines, with '#' comments skipped. The full
+// series name (including labels) is the metric key.
+func parseProm(data string) (Metrics, error) {
+	m := Metrics{}
+	sc := bufio.NewScanner(strings.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("profdiff: line %d: not a prometheus sample: %q", lineNo, line)
+		}
+		name := strings.TrimSpace(line[:cut])
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("profdiff: line %d: bad value in %q", lineNo, line)
+		}
+		m[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("profdiff: %w", err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("profdiff: no samples found")
+	}
+	return m, nil
+}
+
+// Delta is one metric's before/after pair. InA/InB record presence —
+// a metric missing from one side keeps a zero value but is still
+// reported as a structural difference.
+type Delta struct {
+	Name     string
+	A, B     float64
+	InA, InB bool
+}
+
+// Abs returns the absolute change B - A.
+func (d Delta) Abs() float64 { return d.B - d.A }
+
+// Rel returns the relative change |B-A| / |A| (infinite when a metric
+// appears or disappears, zero when both sides are zero).
+func (d Delta) Rel() float64 {
+	if !d.InA || !d.InB {
+		return math.Inf(1)
+	}
+	if d.A == d.B {
+		return 0
+	}
+	if d.A == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(d.B-d.A) / math.Abs(d.A)
+}
+
+// Diff compares two flattened exports and returns every metric whose
+// value differs (or which is present on only one side), sorted by
+// descending relative change then name. Identical exports yield nil.
+func Diff(a, b Metrics) []Delta {
+	names := map[string]bool{}
+	for n := range a {
+		names[n] = true
+	}
+	for n := range b {
+		names[n] = true
+	}
+	var out []Delta
+	for n := range names {
+		av, inA := a[n]
+		bv, inB := b[n]
+		if inA && inB && av == bv {
+			continue
+		}
+		out = append(out, Delta{Name: n, A: av, B: bv, InA: inA, InB: inB})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].Rel(), out[j].Rel()
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Exceeds returns the deltas whose relative change is strictly above
+// threshold (a fraction: 0.01 = 1%). Structural differences (metric on
+// one side only) always exceed.
+func Exceeds(deltas []Delta, threshold float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Rel() > threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteReport renders the diff outcome: one line per regressed delta
+// (up to top lines, 0 = all), then a summary. It returns the number of
+// deltas above threshold, which is the caller's exit-code signal.
+func WriteReport(w io.Writer, deltas []Delta, threshold float64, top int) (int, error) {
+	over := Exceeds(deltas, threshold)
+	shown := over
+	if top > 0 && len(shown) > top {
+		shown = shown[:top]
+	}
+	for _, d := range shown {
+		rel := "new"
+		switch {
+		case d.InA && d.InB:
+			rel = fmt.Sprintf("%+.2f%%", (d.B-d.A)/math.Abs(d.A)*100)
+		case d.InA:
+			rel = "gone"
+		}
+		if _, err := fmt.Fprintf(w, "%-64s %14g -> %-14g %s\n", d.Name, d.A, d.B, rel); err != nil {
+			return len(over), err
+		}
+	}
+	if len(over) > len(shown) {
+		if _, err := fmt.Fprintf(w, "... and %d more\n", len(over)-len(shown)); err != nil {
+			return len(over), err
+		}
+	}
+	_, err := fmt.Fprintf(w, "profdiff: %d metric(s) changed, %d beyond %.2f%% threshold\n",
+		len(deltas), len(over), threshold*100)
+	return len(over), err
+}

@@ -1,0 +1,178 @@
+package profdiff
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wsmalloc/internal/heapprof"
+	"wsmalloc/internal/telemetry"
+)
+
+func sampleProfiles() []heapprof.Profile {
+	return []heapprof.Profile{
+		{
+			View: heapprof.ViewHeapz, Label: "control", NowNs: 1000,
+			SampleIntervalBytes: 512 << 10, Samples: 3, Objects: 10.5, Bytes: 84000,
+			Sites: []heapprof.Site{
+				{Workload: "fleet", SizeClass: 4, ClassBytes: 64, LifeExp: 5, Life: "100us", Samples: 2, Objects: 8.5, Bytes: 544},
+				{Workload: "fleet", SizeClass: 9, ClassBytes: 1024, LifeExp: 7, Life: "10ms", Samples: 1, Objects: 2, Bytes: 83456},
+			},
+		},
+		{
+			View: heapprof.ViewAllocz, Label: "control", NowNs: 1000,
+			SampleIntervalBytes: 512 << 10, Samples: 5, Objects: 20, Bytes: 160000,
+		},
+	}
+}
+
+// Text and JSON exports of the same profiles must flatten identically.
+func TestParseHeapTextMatchesJSON(t *testing.T) {
+	profs := sampleProfiles()
+	var text, js strings.Builder
+	if err := heapprof.WriteText(&text, profs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := heapprof.WriteJSON(&js, profs...); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := Parse(strings.NewReader(text.String()))
+	if err != nil {
+		t.Fatalf("parse text: %v", err)
+	}
+	fromJSON, err := Parse(strings.NewReader(js.String()))
+	if err != nil {
+		t.Fatalf("parse json: %v", err)
+	}
+	if len(fromText) == 0 {
+		t.Fatal("text parse produced no metrics")
+	}
+	if d := Diff(fromText, fromJSON); d != nil {
+		t.Fatalf("text vs json of same profiles differ: %+v", d)
+	}
+	if v := fromText["heapz[control]/workload=fleet/class=9/life=10ms.bytes"]; v != 83456 {
+		t.Fatalf("site bytes = %v", v)
+	}
+	if v := fromText["allocz[control]/total.samples"]; v != 5 {
+		t.Fatalf("allocz samples = %v", v)
+	}
+}
+
+func TestParsePrometheus(t *testing.T) {
+	prom := `# TYPE wsmalloc_percpu_miss_total counter
+wsmalloc_percpu_miss_total{arm="control"} 10
+wsmalloc_percpu_miss_total{arm="experiment"} 20
+wsmalloc_heap_bytes 1048576
+`
+	m, err := Parse(strings.NewReader(prom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[`wsmalloc_percpu_miss_total{arm="experiment"}`] != 20 || m["wsmalloc_heap_bytes"] != 1048576 {
+		t.Fatalf("prom parse = %v", m)
+	}
+}
+
+func TestParseTelemetryJSON(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("transfer_hit_total").Add(7)
+	r.Gauge("heap_bytes").Set(42)
+	h := r.Histogram("alloc_size_bytes", 3, 20)
+	h.Observe(64)
+	snap := r.Snapshot("control", 99)
+
+	var b strings.Builder
+	if err := telemetry.WriteJSON(&b, struct {
+		Snapshots []telemetry.Snapshot `json:"snapshots"`
+	}{[]telemetry.Snapshot{snap}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["control/transfer_hit_total"] != 7 || m["control/heap_bytes"] != 42 {
+		t.Fatalf("telemetry parse = %v", m)
+	}
+	if m["control/alloc_size_bytes.total"] != 1 {
+		t.Fatalf("histogram total = %v", m["control/alloc_size_bytes.total"])
+	}
+}
+
+func TestDiffAndThreshold(t *testing.T) {
+	a := Metrics{"x": 100, "y": 50, "gone": 1}
+	b := Metrics{"x": 101, "y": 50, "new": 2}
+	deltas := Diff(a, b)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	// Structural differences sort first (infinite relative change).
+	if !math.IsInf(deltas[0].Rel(), 1) || !math.IsInf(deltas[1].Rel(), 1) {
+		t.Fatalf("structural deltas not first: %+v", deltas)
+	}
+	if deltas[2].Name != "x" || deltas[2].Abs() != 1 {
+		t.Fatalf("x delta = %+v", deltas[2])
+	}
+	// x changed by 1% — above a 0.5% threshold, below 2%; the
+	// structural rows exceed any threshold.
+	if got := len(Exceeds(deltas, 0.005)); got != 3 {
+		t.Fatalf("exceeds(0.5%%) = %d", got)
+	}
+	if got := len(Exceeds(deltas, 0.02)); got != 2 {
+		t.Fatalf("exceeds(2%%) = %d", got)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := Metrics{"x": 1, "y": 2.5}
+	if d := Diff(a, Metrics{"x": 1, "y": 2.5}); d != nil {
+		t.Fatalf("identical diff = %+v", d)
+	}
+	var b strings.Builder
+	over, err := WriteReport(&b, nil, 0, 20)
+	if err != nil || over != 0 {
+		t.Fatalf("report on empty diff: over=%d err=%v", over, err)
+	}
+	if !strings.Contains(b.String(), "0 metric(s) changed") {
+		t.Fatalf("report = %q", b.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, input := range map[string]string{
+		"empty":          "",
+		"bad json":       "{not json",
+		"json no keys":   `{"foo": 1}`,
+		"bad prom value": "wsmalloc_x ten\n",
+		"bare word":      "hello\n",
+		"heap bad pair":  "heap profile: nope @ heapz/512 now_ns=1 samples=0\n",
+		"site first":     "  1: 2 @ workload=w class=1 life=1ms\nheap profile: 1: 2 @ heapz/1 now_ns=0 samples=0\n",
+	} {
+		if _, err := Parse(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// FuzzParse asserts the parser returns errors on malformed input
+// rather than panicking (satellite: cmd/profdiff robustness).
+func FuzzParse(f *testing.F) {
+	profs := sampleProfiles()
+	var text, js strings.Builder
+	_ = heapprof.WriteText(&text, profs...)
+	_ = heapprof.WriteJSON(&js, profs...)
+	f.Add(text.String())
+	f.Add(js.String())
+	f.Add("# TYPE wsmalloc_x counter\nwsmalloc_x 1\n")
+	f.Add(`{"snapshots":[{"label":"a","now_ns":1,"counters":[{"name":"n","value":2}],"gauges":[]}]}`)
+	f.Add("heap profile: 1: 2 @ heapz/512 label=x now_ns=3 samples=4\n  1: 2 @ workload=w class=1 class_bytes=8 life_exp=3 life=1us samples=1\n")
+	f.Add("")
+	f.Add("{")
+	f.Add("heap profile: @ @ @")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := Parse(strings.NewReader(input))
+		if err == nil && m == nil {
+			t.Fatal("nil metrics without error")
+		}
+	})
+}

@@ -449,3 +449,73 @@ func TestSpearmanRangeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Satellite coverage for Quantile's edge cases: the empty histogram,
+// out-of-range p, and values clamped into the boundary buckets.
+func TestLogHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every p maps to 0, including the boundaries.
+	h := NewLogHistogram(3, 10)
+	for _, p := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(p); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v", p, got)
+		}
+	}
+
+	// p outside [0,1] clamps to the occupied-range bounds rather than
+	// extrapolating.
+	h.Add(100) // bucket [64,128)
+	if got := h.Quantile(-0.5); got != 64 {
+		t.Fatalf("Quantile(-0.5) = %v, want 64", got)
+	}
+	if got := h.Quantile(1.5); got != 128 {
+		t.Fatalf("Quantile(1.5) = %v, want 128", got)
+	}
+
+	// Below-range and above-range values clamp into the first/last
+	// bucket and the quantile bounds follow the clamped buckets.
+	c := NewLogHistogram(3, 6) // buckets [8,16) .. [64,128)
+	c.Add(1)                   // clamps into [8,16)
+	c.Add(1 << 20)             // clamps into [64,128)
+	if got := c.Quantile(0); got != 8 {
+		t.Fatalf("clamped Quantile(0) = %v, want 8", got)
+	}
+	if got := c.Quantile(1); got != 128 {
+		t.Fatalf("clamped Quantile(1) = %v, want 128", got)
+	}
+	// A single weighted observation behaves like the unweighted case.
+	w := NewLogHistogram(0, 10)
+	w.AddWeighted(32, 7.5) // bucket [32,64)
+	if got := w.Quantile(0.5); !almostEqual(got, 48, 1e-12) {
+		t.Fatalf("weighted single-bucket Quantile(0.5) = %v, want 48", got)
+	}
+}
+
+// Merging per-worker histograms and then taking quantiles must agree
+// exactly with quantiles of one histogram fed the union stream — the
+// fleet reducer's merge-then-export order must not move percentiles.
+func TestLogHistogramMergeThenQuantile(t *testing.T) {
+	r := rng.New(99)
+	union := NewLogHistogram(3, 20)
+	parts := make([]*LogHistogram, 4)
+	for i := range parts {
+		parts[i] = NewLogHistogram(3, 20)
+		for j := 0; j < 200+50*i; j++ {
+			v := float64(8 + r.Intn(1<<16))
+			parts[i].Add(v)
+			union.Add(v)
+		}
+	}
+	merged := NewLogHistogram(3, 20)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Total() != union.Total() {
+		t.Fatalf("merged total %v vs union %v", merged.Total(), union.Total())
+	}
+	for _, p := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		mq, uq := merged.Quantile(p), union.Quantile(p)
+		if !almostEqual(mq, uq, 1e-9*uq) {
+			t.Fatalf("Quantile(%v): merged %v vs union %v", p, mq, uq)
+		}
+	}
+}

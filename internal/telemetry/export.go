@@ -211,18 +211,21 @@ func WriteMallocz(w io.Writer, snaps ...Snapshot) error {
 	return nil
 }
 
-// jsonDoc is the -metrics-out JSON schema shared by the CLIs.
+// jsonDoc is the -metrics-out JSON schema shared by the CLIs. The
+// embedded TraceDump contributes "trace" plus the "trace_total" /
+// "trace_dropped" loss counters, so a JSON consumer can tell whether
+// the ring buffer discarded history.
 type jsonDoc struct {
 	Snapshots []Snapshot `json:"snapshots"`
 	Series    []Snapshot `json:"series,omitempty"`
-	Trace     []Event    `json:"trace,omitempty"`
+	TraceDump
 }
 
 // WriteFiles writes the three export formats next to each other:
 // base.prom (Prometheus text), base.json, and base.mallocz. series and
-// trace, when non-nil, ride along inside the JSON document. It returns
-// the paths written.
-func WriteFiles(base string, snaps []Snapshot, series []Snapshot, trace []Event) ([]string, error) {
+// trace, when populated, ride along inside the JSON document. It
+// returns the paths written.
+func WriteFiles(base string, snaps []Snapshot, series []Snapshot, trace TraceDump) ([]string, error) {
 	type export struct {
 		path  string
 		write func(io.Writer) error
@@ -230,7 +233,7 @@ func WriteFiles(base string, snaps []Snapshot, series []Snapshot, trace []Event)
 	exports := []export{
 		{base + ".prom", func(w io.Writer) error { return WritePrometheus(w, snaps...) }},
 		{base + ".json", func(w io.Writer) error {
-			return WriteJSON(w, jsonDoc{Snapshots: snaps, Series: series, Trace: trace})
+			return WriteJSON(w, jsonDoc{Snapshots: snaps, Series: series, TraceDump: trace})
 		}},
 		{base + ".mallocz", func(w io.Writer) error { return WriteMallocz(w, snaps...) }},
 	}

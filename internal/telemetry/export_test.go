@@ -106,7 +106,11 @@ func TestExportsAreByteStable(t *testing.T) {
 
 func TestWriteFiles(t *testing.T) {
 	base := filepath.Join(t.TempDir(), "metrics")
-	trace := []Event{{NowNs: 1, Kind: EvMmap, KindS: EvMmap.String(), A: 4}}
+	trace := TraceDump{
+		Events:  []Event{{NowNs: 1, Kind: EvMmap, KindS: EvMmap.String(), A: 4}},
+		Total:   7,
+		Dropped: 6,
+	}
 	paths, err := WriteFiles(base, buildSnapshots(), nil, trace)
 	if err != nil {
 		t.Fatal(err)
@@ -121,12 +125,17 @@ func TestWriteFiles(t *testing.T) {
 	var doc struct {
 		Snapshots []Snapshot `json:"snapshots"`
 		Trace     []Event    `json:"trace"`
+		Total     int64      `json:"trace_total"`
+		Dropped   int64      `json:"trace_dropped"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
 	}
 	if len(doc.Snapshots) != 2 || len(doc.Trace) != 1 || doc.Trace[0].KindS != "os_mmap" {
 		t.Fatalf("json doc = %+v", doc)
+	}
+	if doc.Total != 7 || doc.Dropped != 6 {
+		t.Fatalf("trace loss counters = %d/%d", doc.Total, doc.Dropped)
 	}
 	for _, p := range paths {
 		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
@@ -171,5 +180,61 @@ func TestHTTPHandler(t *testing.T) {
 	}
 	if out := get("/tracez?format=json"); !strings.Contains(out, `"kind": "subrelease"`) {
 		t.Fatalf("/tracez json wrong:\n%s", out)
+	}
+}
+
+func TestEndpointsMuxObservabilityPages(t *testing.T) {
+	snaps := buildSnapshots()
+	ep := Endpoints{
+		Snapshots: func() []Snapshot { return snaps },
+		Trace: func() TraceDump {
+			return TraceDump{
+				Events: []Event{{NowNs: 5, Kind: EvSubrelease, KindS: EvSubrelease.String(), A: 1, B: 8}},
+				Total:  9, Dropped: 8,
+			}
+		},
+		Heapz: func(w io.Writer, format string) error {
+			if format == "json" {
+				_, err := io.WriteString(w, `{"profiles":[]}`)
+				return err
+			}
+			_, err := io.WriteString(w, "heap profile: stub\n")
+			return err
+		},
+		// PageHeapz nil: the page must degrade gracefully, not 404.
+	}
+	srv := httptest.NewServer(NewMux(ep))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	if out := get("/heapz"); !strings.Contains(out, "heap profile: stub") {
+		t.Fatalf("/heapz wrong:\n%s", out)
+	}
+	if out := get("/heapz?format=json"); !strings.Contains(out, `"profiles"`) {
+		t.Fatalf("/heapz json wrong:\n%s", out)
+	}
+	if out := get("/pageheapz"); !strings.Contains(out, "not enabled") {
+		t.Fatalf("/pageheapz without renderer should explain itself:\n%s", out)
+	}
+	// The dropped-event counter surfaces in both /tracez forms.
+	if out := get("/tracez"); !strings.Contains(out, "dropped=8") || !strings.Contains(out, "total=9") {
+		t.Fatalf("/tracez missing loss counters:\n%s", out)
+	}
+	if out := get("/tracez?format=json"); !strings.Contains(out, `"trace_dropped": 8`) {
+		t.Fatalf("/tracez json missing trace_dropped:\n%s", out)
 	}
 }

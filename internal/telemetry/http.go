@@ -2,28 +2,43 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 )
 
-// NewHandler serves the live observability endpoints:
+// Endpoints bundles the accessors behind the live observability pages.
+// Every field is optional; a nil accessor serves empty output for its
+// endpoint. Heapz and PageHeapz are render callbacks (rather than data
+// accessors) so this package never imports the profiler or the
+// allocator core — the caller closes over them and writes directly.
+type Endpoints struct {
+	// Snapshots backs /metricsz.
+	Snapshots func() []Snapshot
+	// Trace backs /tracez; the dump carries the ring's loss counters.
+	Trace func() TraceDump
+	// Heapz backs /heapz. format is "" (text) or "json".
+	Heapz func(w io.Writer, format string) error
+	// PageHeapz backs /pageheapz. format is "" (text) or "json".
+	PageHeapz func(w io.Writer, format string) error
+}
+
+// NewMux serves the live observability endpoints:
 //
 //	/metricsz          Prometheus text (default), ?format=json, ?format=text (mallocz)
-//	/tracez            recent events, plain text (default) or ?format=json
+//	/tracez            recent events + drop counters, plain text or ?format=json
+//	/heapz             sampled heap profile views, pprof-style text or ?format=json
+//	/pageheapz         hugepage occupancy + fragmentation, text or ?format=json
 //
-// snaps and trace are called per request, so the handler always reports
-// the caller's latest state (the CLIs pass closures over the finished
-// run; a long-lived embedder could pass live accessors). Either accessor
-// may be nil, in which case its endpoint serves empty output.
-func NewHandler(snaps func() []Snapshot, trace func() []Event) http.Handler {
-	if snaps == nil {
-		snaps = func() []Snapshot { return nil }
-	}
-	if trace == nil {
-		trace = func() []Event { return nil }
-	}
+// Accessors are called per request, so the handler always reports the
+// caller's latest state (the CLIs pass closures over the finished run;
+// a long-lived embedder could pass live accessors).
+func NewMux(ep Endpoints) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
-		ss := snaps()
+		var ss []Snapshot
+		if ep.Snapshots != nil {
+			ss = ep.Snapshots()
+		}
 		switch r.URL.Query().Get("format") {
 		case "json":
 			w.Header().Set("Content-Type", "application/json")
@@ -37,24 +52,67 @@ func NewHandler(snaps func() []Snapshot, trace func() []Event) http.Handler {
 		}
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
-		events := trace()
+		var dump TraceDump
+		if ep.Trace != nil {
+			dump = ep.Trace()
+		}
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
-			_ = WriteJSON(w, struct {
-				Trace []Event `json:"trace"`
-			}{events})
+			_ = WriteJSON(w, dump)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for _, e := range events {
+		fmt.Fprintf(w, "trace: retained=%d total=%d dropped=%d\n",
+			len(dump.Events), dump.Total, dump.Dropped)
+		for _, e := range dump.Events {
 			fmt.Fprintf(w, "%12d ns  %-26s a=%d b=%d\n", e.NowNs, e.Kind.String(), e.A, e.B)
 		}
 	})
+	render := func(path string, fn func(w io.Writer, format string) error) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			if fn == nil {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				fmt.Fprintf(w, "%s: not enabled for this run\n", path)
+				return
+			}
+			format := ""
+			if r.URL.Query().Get("format") == "json" {
+				format = "json"
+				w.Header().Set("Content-Type", "application/json")
+			} else {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			}
+			if err := fn(w, format); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	render("/heapz", ep.Heapz)
+	render("/pageheapz", ep.PageHeapz)
 	return mux
 }
 
-// Serve blocks serving the handler on addr; the CLIs call it after a
-// run when -serve is set so the operator can curl /metricsz + /tracez.
+// NewHandler is the legacy two-accessor constructor, kept for callers
+// that only expose metrics and a bare event list. The trace endpoint it
+// serves reports Total as the retained count (no drop accounting).
+func NewHandler(snaps func() []Snapshot, trace func() []Event) http.Handler {
+	ep := Endpoints{Snapshots: snaps}
+	if trace != nil {
+		ep.Trace = func() TraceDump {
+			ev := trace()
+			return TraceDump{Events: ev, Total: int64(len(ev))}
+		}
+	}
+	return NewMux(ep)
+}
+
+// ServeEndpoints blocks serving the mux on addr; the CLIs call it after
+// a run when -serve is set so the operator can curl the pages.
+func ServeEndpoints(addr string, ep Endpoints) error {
+	return http.ListenAndServe(addr, NewMux(ep))
+}
+
+// Serve is the legacy entry point matching NewHandler's shape.
 func Serve(addr string, snaps func() []Snapshot, trace func() []Event) error {
 	return http.ListenAndServe(addr, NewHandler(snaps, trace))
 }

@@ -114,6 +114,27 @@ func TestTracerRingWrap(t *testing.T) {
 	}
 }
 
+// Dump must capture events, total and dropped in one consistent view
+// (the /tracez and JSON-export loss counters, satellite of the
+// profiling PR).
+func TestTracerDump(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{NowNs: int64(i), Kind: EvMmap})
+	}
+	d := tr.Dump()
+	if d.Total != 10 || d.Dropped != 6 || len(d.Events) != 4 {
+		t.Fatalf("dump = total %d dropped %d retained %d", d.Total, d.Dropped, len(d.Events))
+	}
+	if d.Events[0].NowNs != 6 || d.Events[3].NowNs != 9 {
+		t.Fatalf("dump not oldest-first: %+v", d.Events)
+	}
+	var nilTr *Tracer
+	if d := nilTr.Dump(); d.Total != 0 || d.Dropped != 0 || d.Events != nil {
+		t.Fatalf("nil tracer dump = %+v", d)
+	}
+}
+
 func TestTracerDisabled(t *testing.T) {
 	tr := NewTracer(0)
 	if tr != nil {

@@ -184,3 +184,31 @@ func (t *Tracer) Dropped() int64 {
 	defer t.mu.Unlock()
 	return t.total - int64(len(t.buf))
 }
+
+// TraceDump is the exported view of a tracer: the retained events plus
+// the loss accounting (Total ever recorded, Dropped overwritten by ring
+// wrap), so consumers can tell how much history the ring discarded.
+type TraceDump struct {
+	Events  []Event `json:"trace,omitempty"`
+	Total   int64   `json:"trace_total,omitempty"`
+	Dropped int64   `json:"trace_dropped,omitempty"`
+}
+
+// Dump captures events and loss counters under one lock acquisition so
+// Total/Dropped are consistent with the returned events. A nil tracer
+// dumps the zero value.
+func (t *Tracer) Dump() TraceDump {
+	if t == nil {
+		return TraceDump{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return TraceDump{Events: out, Total: t.total, Dropped: t.total - int64(len(t.buf))}
+}

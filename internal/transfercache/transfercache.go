@@ -414,6 +414,25 @@ func (t *TransferCaches) OverstuffLegacyForTest(class int, addrs []uint64) {
 	}
 }
 
+// CachedBytesByClass returns the bytes cached per size class across the
+// legacy and per-domain caches — the middle-tier column of the
+// per-class fragmentation table in the pageheapz report.
+func (t *TransferCaches) CachedBytesByClass() []int64 {
+	out := make([]int64, t.numClasses)
+	add := func(c *cache, class int) {
+		out[class] += int64(len(c.entries)) * int64(t.objSize(class))
+	}
+	for class := range t.legacy {
+		add(&t.legacy[class], class)
+	}
+	for d := range t.domains {
+		for class := range t.domains[d] {
+			add(&t.domains[d][class], class)
+		}
+	}
+	return out
+}
+
 // Stats returns a snapshot including current occupancy.
 func (t *TransferCaches) Stats() Stats {
 	s := t.stats

@@ -141,6 +141,11 @@ func NewDriver(p Profile, a *core.Allocator, opts Options) *Driver {
 	if opts.ThreadUpdateEveryNs == 0 {
 		opts.ThreadUpdateEveryNs = 2 * Millisecond
 	}
+	// Heap-profile samples are attributed to synthetic call-sites keyed
+	// by the workload name; the driver owns the allocator for the run.
+	if hp := a.HeapProfiler(); hp != nil {
+		hp.SetWorkload(p.Name)
+	}
 	return &Driver{
 		profile: p,
 		alloc:   a,

@@ -2,12 +2,16 @@
 # verify.sh — the repo's full verification gate.
 #
 # Runs vet, build, the unit/property tests under the race detector
-# (which now covers the parallel fleet/experiment execution engine and
-# its determinism-equivalence tests), a short fuzz smoke on both fuzz
-# targets, and the hardening self-tests (sanitizer corruption detection
-# + fleet chaos run) — themselves compiled with -race and fanned out
-# over the worker pool so shared stats aggregation is race-checked under
-# real parallelism. Exits non-zero on the first failure.
+# (which covers the parallel fleet/experiment execution engine, its
+# determinism-equivalence tests, and the heap-profiler tests), a short
+# fuzz smoke on the fuzz targets (size classes, alloc/free, the profdiff
+# parser), the hardening self-tests (sanitizer corruption detection +
+# fleet chaos run) — themselves compiled with -race and fanned out over
+# the worker pool so shared stats aggregation is race-checked under real
+# parallelism — and two cross-process determinism smokes: telemetry +
+# heap-profile exports must be byte-identical at -j 1 vs -j 4, and
+# profdiff over the identical exports must report zero deltas (exit 0).
+# Exits non-zero on the first failure.
 #
 # Usage: ./scripts/verify.sh [fuzztime]   (default fuzz smoke: 5s each)
 set -eu
@@ -27,17 +31,22 @@ go test -race ./...
 echo "==> fuzz smoke (${FUZZTIME} each)"
 go test ./internal/sizeclass/ -run '^$' -fuzz FuzzSizeClassRoundTrip -fuzztime "$FUZZTIME"
 go test ./internal/core/ -run '^$' -fuzz FuzzAllocFree -fuzztime "$FUZZTIME"
+go test ./internal/profdiff/ -run '^$' -fuzz FuzzParse -fuzztime "$FUZZTIME"
 
 echo "==> hardening self-tests under -race (sanitizer detection + parallel fleet chaos)"
 go run -race ./cmd/experiments -scale smoke -j 4 selftest chaos
 
-echo "==> telemetry determinism smoke (-j 1 vs -j 4 exports byte-identical)"
+echo "==> telemetry + heapprof determinism smoke (-j 1 vs -j 4 exports byte-identical)"
 TELDIR="$(mktemp -d)"
 trap 'rm -rf "$TELDIR"' EXIT
-go run ./cmd/fleet-ab -machines 64 -duration-ms 20 -telemetry -metrics-out "$TELDIR/j1" -j 1 > /dev/null
-go run ./cmd/fleet-ab -machines 64 -duration-ms 20 -telemetry -metrics-out "$TELDIR/j4" -j 4 > /dev/null
-for ext in prom json mallocz; do
+go run ./cmd/fleet-ab -machines 64 -duration-ms 20 -telemetry -heapprof -metrics-out "$TELDIR/j1" -j 1 > /dev/null
+go run ./cmd/fleet-ab -machines 64 -duration-ms 20 -telemetry -heapprof -metrics-out "$TELDIR/j4" -j 4 > /dev/null
+for ext in prom json mallocz heapz heapz.json; do
     cmp "$TELDIR/j1.$ext" "$TELDIR/j4.$ext"
 done
+
+echo "==> profdiff smoke (identical runs diff to zero; exit 0)"
+go run ./cmd/profdiff "$TELDIR/j1.heapz" "$TELDIR/j4.heapz"
+go run ./cmd/profdiff -threshold 0.02 "$TELDIR/j1.json" "$TELDIR/j4.json"
 
 echo "verify: OK"

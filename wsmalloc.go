@@ -32,6 +32,7 @@ import (
 	"wsmalloc/internal/core"
 	"wsmalloc/internal/experiments"
 	"wsmalloc/internal/fleet"
+	"wsmalloc/internal/heapprof"
 	"wsmalloc/internal/mem"
 	"wsmalloc/internal/telemetry"
 	"wsmalloc/internal/topology"
@@ -110,9 +111,62 @@ type (
 	TelemetrySnapshot = telemetry.Snapshot
 	// TraceEvent is one structural allocator event from the ring tracer.
 	TraceEvent = telemetry.Event
+	// TraceDump is the tracer's exported view: retained events plus the
+	// total/dropped loss counters.
+	TraceDump = telemetry.TraceDump
+	// TelemetryEndpoints bundles the accessors behind the live HTTP pages
+	// (/metricsz, /tracez, /heapz, /pageheapz).
+	TelemetryEndpoints = telemetry.Endpoints
 	// ABTelemetry is the per-arm fleet-merged registry pair.
 	ABTelemetry = fleet.ABTelemetry
 )
+
+// Sampled heap profiling and fragmentation introspection types
+// (Config.HeapProfile, ABOptions.HeapProfile).
+type (
+	// HeapProfileConfig enables the Poisson-sampled heap profiler on an
+	// allocator or fleet experiment.
+	HeapProfileConfig = heapprof.Config
+	// HeapProfile is one exported profile view (heapz, allocz or
+	// peakheapz).
+	HeapProfile = heapprof.Profile
+	// HeapProfileSite is one attributed call-site row of a profile.
+	HeapProfileSite = heapprof.Site
+	// ABHeapProfiles is the per-arm fleet-merged heap profile pair.
+	ABHeapProfiles = fleet.ABHeapProfiles
+	// PageHeapZ is the /pageheapz document: hugepage occupancy maps plus
+	// the Fig. 11 fragmentation decomposition.
+	PageHeapZ = core.PageHeapZ
+)
+
+// DefaultHeapProfileConfig returns heap profiling enabled at the default
+// 512 KiB mean sampling interval.
+func DefaultHeapProfileConfig() HeapProfileConfig {
+	return heapprof.Config{Enabled: true}
+}
+
+// WriteHeapProfiles renders profiles in the pprof-compatible text format.
+func WriteHeapProfiles(w io.Writer, profiles ...HeapProfile) error {
+	return heapprof.WriteText(w, profiles...)
+}
+
+// WriteHeapProfilesJSON renders profiles as an indented JSON document.
+func WriteHeapProfilesJSON(w io.Writer, profiles ...HeapProfile) error {
+	return heapprof.WriteJSON(w, profiles...)
+}
+
+// MergeHeapProfiles folds src's views into dst (matching by view name)
+// and returns the merged set.
+func MergeHeapProfiles(dst, src []HeapProfile) []HeapProfile {
+	return heapprof.Merge(dst, src)
+}
+
+// WritePageHeapZ renders the introspection document as the /pageheapz
+// text page.
+func WritePageHeapZ(w io.Writer, z PageHeapZ) error { return core.WritePageHeapZ(w, z) }
+
+// WritePageHeapZJSON renders the introspection document as indented JSON.
+func WritePageHeapZJSON(w io.Writer, z PageHeapZ) error { return core.WritePageHeapZJSON(w, z) }
 
 // DefaultTelemetryConfig returns telemetry enabled with a 4096-event
 // trace ring and no time-series sampling.
@@ -130,16 +184,17 @@ func WriteTelemetryMallocz(w io.Writer, snaps ...TelemetrySnapshot) error {
 }
 
 // WriteTelemetryFiles writes base.prom, base.json and base.mallocz and
-// returns the paths written.
+// returns the paths written. The trace dump (events plus total/dropped
+// loss counters) rides along inside the JSON document.
 func WriteTelemetryFiles(base string, snaps []TelemetrySnapshot,
-	series []TelemetrySnapshot, trace []TraceEvent) ([]string, error) {
+	series []TelemetrySnapshot, trace TraceDump) ([]string, error) {
 	return telemetry.WriteFiles(base, snaps, series, trace)
 }
 
-// ServeTelemetry serves /metricsz and /tracez on addr (blocking).
-func ServeTelemetry(addr string, snaps func() []TelemetrySnapshot,
-	trace func() []TraceEvent) error {
-	return telemetry.Serve(addr, snaps, trace)
+// ServeTelemetry serves /metricsz, /tracez, /heapz and /pageheapz on
+// addr (blocking). Nil accessors serve empty pages.
+func ServeTelemetry(addr string, ep TelemetryEndpoints) error {
+	return telemetry.ServeEndpoints(addr, ep)
 }
 
 // SetExperimentTelemetry instruments every subsequent profile-driven
@@ -150,6 +205,16 @@ func SetExperimentTelemetry(cfg TelemetryConfig) { experiments.SetTelemetry(cfg)
 // ExperimentTelemetry returns the aggregate registry over every
 // experiment run since SetExperimentTelemetry (nil when disabled).
 func ExperimentTelemetry() *TelemetryRegistry { return experiments.TelemetryRegistry() }
+
+// SetExperimentHeapProfile attaches the sampled heap profiler to every
+// subsequent profile-driven experiment run (the cmd/experiments
+// -heapprof flag) and resets the collected profiles.
+func SetExperimentHeapProfile(cfg HeapProfileConfig) { experiments.SetHeapProfile(cfg) }
+
+// ExperimentHeapProfiles returns the deterministic merge of every
+// experiment run's profile views since SetExperimentHeapProfile (nil
+// when disabled).
+func ExperimentHeapProfiles() []HeapProfile { return experiments.HeapProfiles() }
 
 // Allocation-failure sentinels: errors.Is(err, ErrNoMemory) identifies an
 // out-of-memory failure from TryMalloc; ErrBadFree an invalid TryFree.

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale smoke|quick|full] [-j N] [-audit] [-chaos]
-//	            [-telemetry] [-metrics-out BASE] [all|<name>...]
+//	            [-telemetry] [-metrics-out BASE]
+//	            [-design POINTS] [-design-out BASE] [all|<name>...]
 //
 // Names are fig3..fig17, table1, table2, combined, ablation-l,
 // ablation-c, ablation-capacity, selftest, chaos. With no arguments it
@@ -25,6 +26,12 @@
 // -heapprof additionally attaches the sampled heap profiler to every
 // profile-driven run and dumps the merged heapz/allocz/peakheapz views
 // (BASE.heapz and BASE.heapz.json with -metrics-out).
+//
+// -design selects the points swept by the "designspace" experiment as a
+// semicolon-separated list of design-point strings
+// ("baseline;optimized;percpu=ewma,cfl=bestfit"); the default is the
+// full registry grid. -design-out writes the ranked leaderboard to
+// BASE.json and BASE.csv.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"wsmalloc"
 )
@@ -45,6 +53,8 @@ func main() {
 	telemetryOn := flag.Bool("telemetry", false, "instrument every profile run and dump the aggregate metrics registry")
 	heapprofOn := flag.Bool("heapprof", false, "attach the sampled heap profiler to every profile run and dump the merged views")
 	metricsOut := flag.String("metrics-out", "", "write aggregated telemetry to BASE.prom, BASE.json and BASE.mallocz (implies -telemetry)")
+	design := flag.String("design", "", "semicolon-separated design points for the designspace sweep (default: full registry grid)")
+	designOut := flag.String("design-out", "", "write the designspace leaderboard to BASE.json and BASE.csv")
 	flag.Parse()
 
 	wsmalloc.SetHardening(wsmalloc.Hardening{Audit: *audit, Chaos: *chaos})
@@ -61,6 +71,20 @@ func main() {
 		hcfg := wsmalloc.DefaultHeapProfileConfig()
 		hcfg.Seed = *seed
 		wsmalloc.SetExperimentHeapProfile(hcfg)
+	}
+	if *design != "" || *designOut != "" {
+		var points []wsmalloc.DesignPoint
+		if *design != "" {
+			for _, s := range strings.Split(*design, ";") {
+				d, err := wsmalloc.ParseDesignPoint(strings.TrimSpace(s))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "-design: %v\n", err)
+					os.Exit(2)
+				}
+				points = append(points, d)
+			}
+		}
+		wsmalloc.SetDesignSpace(points, *designOut)
 	}
 
 	var scale wsmalloc.Scale

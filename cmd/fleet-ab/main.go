@@ -181,6 +181,8 @@ func main() {
 	machines := flag.Int("machines", 400, "fleet size")
 	feature := flag.String("feature", "all",
 		"all (full redesign) or one of: heterogeneous-percpu-cache, nuca-transfer-cache, span-prioritization, lifetime-aware-filler")
+	designFlag := flag.String("design", "",
+		"experiment-arm design point overriding -feature: \"optimized\" or tier=policy pairs, e.g. percpu=ewma,tc=nuca (control stays baseline)")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	durationMs := flag.Int64("duration-ms", 250, "virtual run length per machine")
 	sample := flag.Float64("sample", 0.01, "fraction of machines enrolled (paper: 1%)")
@@ -199,20 +201,45 @@ func main() {
 
 	control := wsmalloc.Baseline()
 	experiment := control
-	switch *feature {
-	case "all":
-		experiment = wsmalloc.Optimized()
-	case "heterogeneous-percpu-cache":
-		experiment = control.WithFeature(wsmalloc.FeatureHeterogeneousPerCPU)
-	case "nuca-transfer-cache":
-		experiment = control.WithFeature(wsmalloc.FeatureNUCATransferCache)
-	case "span-prioritization":
-		experiment = control.WithFeature(wsmalloc.FeatureSpanPrioritization)
-	case "lifetime-aware-filler":
-		experiment = control.WithFeature(wsmalloc.FeatureLifetimeAwareFiller)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown feature %q\n", *feature)
-		os.Exit(2)
+	// Both arms carry their full design-point strings into the merged
+	// telemetry and heap-profile exports, so profdiff and dashboards can
+	// identify an arm without knowing which -feature/-design spawned it.
+	experimentDesign := wsmalloc.BaselineDesign()
+	armDesc := "feature=" + *feature
+	if *designFlag != "" {
+		dp, err := wsmalloc.ParseDesignPoint(*designFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if experiment, err = wsmalloc.ConfigForDesign(dp); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		experimentDesign = dp
+		armDesc = "design=" + dp.String()
+	} else {
+		featureByName := map[string]wsmalloc.Feature{
+			"heterogeneous-percpu-cache": wsmalloc.FeatureHeterogeneousPerCPU,
+			"nuca-transfer-cache":        wsmalloc.FeatureNUCATransferCache,
+			"span-prioritization":        wsmalloc.FeatureSpanPrioritization,
+			"lifetime-aware-filler":      wsmalloc.FeatureLifetimeAwareFiller,
+		}
+		switch ft, ok := featureByName[*feature]; {
+		case *feature == "all":
+			experiment = wsmalloc.Optimized()
+			experimentDesign = wsmalloc.OptimizedDesign()
+		case ok:
+			experiment = control.WithFeature(ft)
+			var err error
+			if experimentDesign, err = wsmalloc.DesignForFeature(ft); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown feature %q\n", *feature)
+			os.Exit(2)
+		}
 	}
 
 	f := wsmalloc.NewFleet(*machines, *seed)
@@ -226,6 +253,8 @@ func main() {
 	}
 	opts.AuditEveryNs = *auditEveryMs * 1_000_000
 	opts.Workers = *workers
+	opts.ControlDesign = wsmalloc.BaselineDesign().String()
+	opts.ExperimentDesign = experimentDesign.String()
 	if *metricsOut != "" || *serveAddr != "" {
 		*telemetryOn = true
 	}
@@ -249,8 +278,9 @@ func main() {
 		return
 	}
 
-	fmt.Printf("fleet A/B: %d machines, feature=%s, %.1f%% sampled, %dms virtual each\n",
-		*machines, *feature, *sample*100, *durationMs)
+	fmt.Printf("fleet A/B: %d machines, %s, %.1f%% sampled, %dms virtual each\n",
+		*machines, armDesc, *sample*100, *durationMs)
+	fmt.Printf("  control    %s\n  experiment %s\n", opts.ControlDesign, opts.ExperimentDesign)
 	res := f.ABTest(control, experiment, opts)
 	fmt.Println(res.Fleet.String())
 	for _, row := range res.PerApp {

@@ -35,6 +35,9 @@ func main() {
 	profileName := flag.String("profile", "fleet", "workload profile (see -list)")
 	configName := flag.String("config", "baseline",
 		"baseline, optimized, or one redesign: heterogeneous-percpu-cache, nuca-transfer-cache, span-prioritization, lifetime-aware-filler")
+	designFlag := flag.String("design", "",
+		"design point overriding -config: \"baseline\", \"optimized\", or tier=policy pairs, e.g. percpu=hetero,tc=nuca,cfl=prio8,filler=capacity (see -list-policies)")
+	listPolicies := flag.Bool("list-policies", false, "list registered per-tier policies and exit")
 	durationMs := flag.Int64("duration-ms", 200, "virtual run length in milliseconds")
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	list := flag.Bool("list", false, "list profiles and exit")
@@ -54,6 +57,16 @@ func main() {
 		}
 		return
 	}
+	if *listPolicies {
+		for _, tier := range wsmalloc.PolicyTiers() {
+			fmt.Printf("%s:\n", tier)
+			for _, name := range wsmalloc.PolicyNames(tier) {
+				p, _ := wsmalloc.LookupPolicy(tier, name)
+				fmt.Printf("  %-10s %s\n", name, p.Desc)
+			}
+		}
+		return
+	}
 
 	profile, ok := wsmalloc.ProfileByName(*profileName)
 	if !ok {
@@ -62,21 +75,39 @@ func main() {
 	}
 
 	cfg := wsmalloc.Baseline()
-	switch *configName {
-	case "baseline":
-	case "optimized":
-		cfg = wsmalloc.Optimized()
-	case "heterogeneous-percpu-cache":
-		cfg = cfg.WithFeature(wsmalloc.FeatureHeterogeneousPerCPU)
-	case "nuca-transfer-cache":
-		cfg = cfg.WithFeature(wsmalloc.FeatureNUCATransferCache)
-	case "span-prioritization":
-		cfg = cfg.WithFeature(wsmalloc.FeatureSpanPrioritization)
-	case "lifetime-aware-filler":
-		cfg = cfg.WithFeature(wsmalloc.FeatureLifetimeAwareFiller)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown config %q\n", *configName)
-		os.Exit(2)
+	// design is the canonical design-point string stamped onto every
+	// export when -design is used; "" keeps the legacy -config labeling.
+	design := ""
+	runLabel := *configName
+	if *designFlag != "" {
+		dp, err := wsmalloc.ParseDesignPoint(*designFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if cfg, err = wsmalloc.ConfigForDesign(dp); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		design = dp.String()
+		runLabel = design
+	} else {
+		switch *configName {
+		case "baseline":
+		case "optimized":
+			cfg = wsmalloc.Optimized()
+		case "heterogeneous-percpu-cache":
+			cfg = cfg.WithFeature(wsmalloc.FeatureHeterogeneousPerCPU)
+		case "nuca-transfer-cache":
+			cfg = cfg.WithFeature(wsmalloc.FeatureNUCATransferCache)
+		case "span-prioritization":
+			cfg = cfg.WithFeature(wsmalloc.FeatureSpanPrioritization)
+		case "lifetime-aware-filler":
+			cfg = cfg.WithFeature(wsmalloc.FeatureLifetimeAwareFiller)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown config %q\n", *configName)
+			os.Exit(2)
+		}
 	}
 
 	if *metricsOut != "" || *serveAddr != "" {
@@ -101,7 +132,7 @@ func main() {
 	st := res.Stats
 
 	fmt.Printf("profile %s under %s for %dms virtual (seed %d)\n",
-		profile.Name, *configName, *durationMs, *seed)
+		profile.Name, runLabel, *durationMs, *seed)
 	fmt.Printf("  ops            %d allocs, %d frees (%.1fM ops/s virtual)\n",
 		res.Ops, res.Frees, res.OpsPerSecond()/1e6)
 	fmt.Printf("  malloc time    %.2f ms modeled (%.2f%% of app CPU)\n",
@@ -136,7 +167,14 @@ func main() {
 	var snaps []wsmalloc.TelemetrySnapshot
 	var trace wsmalloc.TraceDump
 	if tel := alloc.Telemetry(); tel != nil {
-		snaps = []wsmalloc.TelemetrySnapshot{tel.Snapshot(*configName, alloc.Now())}
+		snap := tel.Snapshot(*configName, alloc.Now())
+		if design != "" {
+			// -design identifies the run by its full design string rather
+			// than by the -config name it overrode.
+			snap = tel.Snapshot("", alloc.Now())
+			snap.Design = design
+		}
+		snaps = []wsmalloc.TelemetrySnapshot{snap}
 		trace = tel.Tracer().Dump()
 		if *metricsOut != "" {
 			paths, err := wsmalloc.WriteTelemetryFiles(*metricsOut, snaps, tel.Samples(), trace)
@@ -157,6 +195,12 @@ func main() {
 	}
 
 	profiles := alloc.HeapProfiles(*configName)
+	if design != "" {
+		profiles = alloc.HeapProfiles("")
+		for i := range profiles {
+			profiles[i].Design = design
+		}
+	}
 	if len(profiles) > 0 {
 		if *metricsOut != "" {
 			writeFile(*metricsOut+".heapz", func(w io.Writer) error {

@@ -9,7 +9,6 @@ package centralfreelist
 
 import (
 	"fmt"
-	"math/bits"
 
 	"wsmalloc/internal/check"
 	"wsmalloc/internal/mem"
@@ -22,13 +21,26 @@ import (
 // Config controls central free list behaviour.
 type Config struct {
 	// Prioritize enables span prioritization (§4.3). When false, a
-	// singleton list is used and allocations come from its front.
+	// singleton list is used and allocations come from its front. It is
+	// the legacy selector for Selector: when Selector is nil, true
+	// selects PrioritizedSelector{Lists: NumLists} and false the
+	// singleton LegacySelector.
 	Prioritize bool
 	// NumLists is L, the number of occupancy-indexed lists (paper: 8).
 	NumLists int
+	// Selector is the span-management policy. When nil, the Prioritize
+	// boolean picks the built-in policy (the policy registry sets both
+	// so the two stay in sync).
+	Selector SpanSelector
 	// SpanLifetimeThreshold is C: spans with capacity < C are classified
 	// short-lived for the lifetime-aware hugepage filler (paper: 16).
+	// It parameterizes the default capacity classifier when Classifier
+	// is nil.
 	SpanLifetimeThreshold int
+	// Classifier predicts the lifetime class of this list's spans for
+	// the lifetime-aware filler. When nil, the capacity rule with
+	// SpanLifetimeThreshold is used.
+	Classifier pageheap.LifetimeClassifier
 }
 
 // DefaultConfig returns the redesigned configuration from the paper.
@@ -76,6 +88,10 @@ type List struct {
 	lifetime      pageheap.Lifetime
 	nextSeq       int64
 
+	sel        SpanSelector
+	classifier pageheap.LifetimeClassifier
+	feed       pageheap.LifetimeFeedback
+
 	tel *telemetry.Sink
 }
 
@@ -88,23 +104,33 @@ func New(c sizeclass.Class, cfg Config, ph *pageheap.PageHeap, pm *mem.PageMap[*
 	if cfg.NumLists < 1 {
 		panic(fmt.Sprintf("centralfreelist: NumLists = %d", cfg.NumLists))
 	}
-	n := cfg.NumLists
-	if !cfg.Prioritize {
-		n = 1
+	sel := resolveSelector(cfg)
+	n := sel.Lists()
+	if n < 1 {
+		panic(fmt.Sprintf("centralfreelist: selector %T keeps %d lists", sel, n))
 	}
-	lt := pageheap.LifetimeLong
-	if c.ObjectsPerSpan < cfg.SpanLifetimeThreshold {
-		lt = pageheap.LifetimeShort
+	classifier := cfg.Classifier
+	if classifier == nil {
+		classifier = pageheap.CapacityClassifier{Threshold: cfg.SpanLifetimeThreshold}
 	}
-	return &List{
-		class:    c,
-		cfg:      cfg,
-		ph:       ph,
-		pm:       pm,
-		nonempty: make([]span.List, n),
-		lifetime: lt,
+	l := &List{
+		class:      c,
+		cfg:        cfg,
+		ph:         ph,
+		pm:         pm,
+		nonempty:   make([]span.List, n),
+		sel:        sel,
+		classifier: classifier,
 	}
+	l.lifetime = classifier.Classify(c.Index, c.ObjectsPerSpan, nil)
+	return l
 }
+
+// SetLifetimeFeedback installs the observed-lifetime feed the classifier
+// may consult (the allocator wires the heap profiler's per-class decade
+// accumulator here). Classification happens at span growth, so feedback
+// steers every span created after installation.
+func (l *List) SetLifetimeFeedback(fn pageheap.LifetimeFeedback) { l.feed = fn }
 
 // Class returns the size class served.
 func (l *List) Class() sizeclass.Class { return l.class }
@@ -112,22 +138,11 @@ func (l *List) Class() sizeclass.Class { return l.class }
 // Lifetime returns the lifetime classification passed to the pageheap.
 func (l *List) Lifetime() pageheap.Lifetime { return l.lifetime }
 
-// listIndexFor maps a span's live allocation count to its list, following
-// the paper's max(0, L-log2(A)) rule (clamped into [0, L-1]): more live
-// allocations mean a lower index, and allocations are served from the
-// lowest-indexed nonempty list.
+// listIndexFor maps a span's live allocation count to its list via the
+// selector policy (the paper's max(0, L-log2(A)) rule for the
+// prioritized selectors, the singleton list otherwise).
 func (l *List) listIndexFor(live int) int {
-	if !l.cfg.Prioritize {
-		return 0
-	}
-	if live <= 0 {
-		return len(l.nonempty) - 1
-	}
-	idx := l.cfg.NumLists - 1 - (bits.Len(uint(live)) - 1)
-	if idx < 0 {
-		idx = 0
-	}
-	return idx
+	return l.sel.ListFor(len(l.nonempty), live)
 }
 
 // relink places s in the correct occupancy list (or full parking).
@@ -183,21 +198,21 @@ func (l *List) AllocBatch(out []uint64) (int, error) {
 
 // pickSpan returns a span with free capacity, unlinked from its list,
 // plus the occupancy-list index it came from (-1 for a freshly grown
-// span).
+// span). The selector policy chooses among existing spans; growth is the
+// shared fallback.
 func (l *List) pickSpan() (*span.Span, int, error) {
-	for i := 0; i < len(l.nonempty); i++ {
-		if s := l.nonempty[i].Front(); s != nil {
-			l.nonempty[i].Remove(s)
-			return s, i, nil
-		}
+	if s, i := l.sel.Pick(l); s != nil {
+		return s, i, nil
 	}
 	s, err := l.growSpan()
 	return s, -1, err
 }
 
 // growSpan fetches a fresh span from the pageheap, propagating its
-// allocation failure.
+// allocation failure. The lifetime class is re-predicted per growth so
+// feedback classifiers can change their answer as observations accrue.
 func (l *List) growSpan() (*span.Span, error) {
+	l.lifetime = l.classifier.Classify(l.class.Index, l.class.ObjectsPerSpan, l.feed)
 	start, err := l.ph.Alloc(l.class.Pages, l.lifetime)
 	if err != nil {
 		return nil, err

@@ -110,7 +110,7 @@ func New(cfg Config, topo *topology.Topology) *Allocator {
 		a.cfls[i] = centralfreelist.New(a.table.Class(i), cfg.CFL, a.heap, a.pagemap)
 	}
 	tcfg := cfg.Transfer
-	if tcfg.NUCAAware {
+	if tcfg.ResolvedPlacement().UsesDomains() {
 		tcfg.NumDomains = topo.NumDomains()
 	}
 	a.transfer = transfercache.New(tcfg, n, func(c int) int { return a.table.Class(c).Size },
@@ -137,6 +137,15 @@ func New(cfg Config, topo *topology.Topology) *Allocator {
 		a.os.SetTelemetry(a.tel)
 	}
 	a.hp = heapprof.New(cfg.HeapProfile)
+	if a.hp != nil {
+		// Feed observed per-class lifetime decades to the central free
+		// lists' lifetime classifiers. The built-in capacity classifiers
+		// ignore the feed, so installing it unconditionally changes
+		// nothing unless a feedback classifier is configured.
+		for _, l := range a.cfls {
+			l.SetLifetimeFeedback(a.hp.ClassLifetime)
+		}
+	}
 	// The introspection views (free-span ages, pageheapz) need virtual
 	// time below the core layer; install the clock unconditionally.
 	a.heap.SetClock(func() int64 { return a.now })

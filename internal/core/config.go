@@ -8,12 +8,15 @@
 package core
 
 import (
+	"fmt"
+
 	"wsmalloc/internal/centralfreelist"
 	"wsmalloc/internal/check"
 	"wsmalloc/internal/heapprof"
 	"wsmalloc/internal/mem"
 	"wsmalloc/internal/pageheap"
 	"wsmalloc/internal/percpu"
+	"wsmalloc/internal/policy"
 	"wsmalloc/internal/telemetry"
 	"wsmalloc/internal/transfercache"
 )
@@ -110,34 +113,55 @@ type Config struct {
 	HeapProfile heapprof.Config
 }
 
-// BaselineConfig returns the pre-redesign TCMalloc: static 3 MiB per-CPU
-// caches, a centralized transfer cache, a singleton-list CFL, and the
-// hugepage-aware pageheap of Hunter et al. without lifetime awareness.
-func BaselineConfig() Config {
+// ConfigForDesign builds the config for one point in the allocator
+// design space: the registry applies the named policy of each tier to
+// the baseline tier configurations, and the tier-independent constants
+// (latency model, sampling interval, release cadence) are layered on
+// top. Telemetry, heap profiling, sanitizer and fault injection stay at
+// their zero (disabled) values — callers opt in per run.
+func ConfigForDesign(d policy.DesignPoint) (Config, error) {
+	t, err := d.Tiers()
+	if err != nil {
+		return Config{}, err
+	}
 	return Config{
-		PerCPU:                  percpu.StaticConfig(),
-		Transfer:                transfercache.DefaultConfig(),
-		CFL:                     centralfreelist.LegacyConfig(),
-		PageHeap:                pageheap.DefaultConfig(),
+		PerCPU:                  t.PerCPU,
+		Transfer:                t.Transfer,
+		CFL:                     t.CFL,
+		PageHeap:                t.PageHeap,
 		Latency:                 DefaultTierLatency(),
 		SampleIntervalBytes:     2 << 20,
 		PlunderIntervalNs:       10e6,
 		ReleaseIntervalNs:       5e6,
 		ReleaseBytesPerInterval: 64 << 20,
 		ReleaseSlackFraction:    0.10,
+	}, nil
+}
+
+// mustConfigForDesign builds a config for a design point that is known
+// valid (the canonical Baseline/Optimized points).
+func mustConfigForDesign(d policy.DesignPoint) Config {
+	c, err := ConfigForDesign(d)
+	if err != nil {
+		panic(err)
 	}
+	return c
+}
+
+// BaselineConfig returns the pre-redesign TCMalloc: static 3 MiB per-CPU
+// caches, a centralized transfer cache, a singleton-list CFL, and the
+// hugepage-aware pageheap of Hunter et al. without lifetime awareness.
+// It is the registry's policy.Baseline() design point.
+func BaselineConfig() Config {
+	return mustConfigForDesign(policy.Baseline())
 }
 
 // OptimizedConfig returns the paper's full redesign: heterogeneous
 // per-CPU caches, NUCA-aware transfer caches, span prioritization, and
-// the lifetime-aware hugepage filler (§4.5).
+// the lifetime-aware hugepage filler (§4.5). It is the registry's
+// policy.Optimized() design point.
 func OptimizedConfig() Config {
-	c := BaselineConfig()
-	c.PerCPU = percpu.HeterogeneousConfig()
-	c.Transfer.NUCAAware = true
-	c.CFL = centralfreelist.DefaultConfig()
-	c.PageHeap.LifetimeAware = true
-	return c
+	return mustConfigForDesign(policy.Optimized())
 }
 
 // Feature identifies one of the paper's four redesigns for A/B toggling.
@@ -170,17 +194,49 @@ func (f Feature) String() string {
 	}
 }
 
-// WithFeature returns a copy of c with the given redesign enabled.
-func (c Config) WithFeature(f Feature) Config {
-	switch f {
-	case FeatureHeterogeneousPerCPU:
-		c.PerCPU = percpu.HeterogeneousConfig()
-	case FeatureNUCATransferCache:
-		c.Transfer.NUCAAware = true
-	case FeatureSpanPrioritization:
-		c.CFL = centralfreelist.DefaultConfig()
-	case FeatureLifetimeAwareFiller:
-		c.PageHeap.LifetimeAware = true
+// featurePolicy maps each Feature onto exactly one registered policy;
+// WithFeature and the feature→design translation in the CLIs both go
+// through this table, so a feature toggle and its design-point spelling
+// can never drift apart.
+var featurePolicy = map[Feature]struct{ Tier, Name string }{
+	FeatureHeterogeneousPerCPU: {policy.TierPerCPU, "hetero"},
+	FeatureNUCATransferCache:   {policy.TierTC, "nuca"},
+	FeatureSpanPrioritization:  {policy.TierCFL, "prio8"},
+	FeatureLifetimeAwareFiller: {policy.TierFiller, "capacity"},
+}
+
+// PolicyRef names the (tier, policy) registry entry this feature
+// enables, or ok=false for an unknown feature.
+func (f Feature) PolicyRef() (tier, name string, ok bool) {
+	ref, ok := featurePolicy[f]
+	return ref.Tier, ref.Name, ok
+}
+
+// DesignForFeature is the baseline design point with one feature's
+// policy enabled — how a legacy -feature flag is spelled in the design
+// space.
+func DesignForFeature(f Feature) (policy.DesignPoint, error) {
+	tier, name, ok := f.PolicyRef()
+	if !ok {
+		return policy.DesignPoint{}, fmt.Errorf("core: unknown feature %d", f)
 	}
+	return policy.Baseline().WithPolicy(tier, name)
+}
+
+// WithFeature returns a copy of c with the given redesign enabled, by
+// applying the feature's registered policy to c's tier configurations.
+// Unknown features return c unchanged (matching the legacy switch).
+func (c Config) WithFeature(f Feature) Config {
+	tier, name, ok := f.PolicyRef()
+	if !ok {
+		return c
+	}
+	t := policy.TierConfigs{
+		PerCPU: c.PerCPU, Transfer: c.Transfer, CFL: c.CFL, PageHeap: c.PageHeap,
+	}
+	if err := policy.Apply(tier, name, &t); err != nil {
+		panic(err) // featurePolicy names only registered policies
+	}
+	c.PerCPU, c.Transfer, c.CFL, c.PageHeap = t.PerCPU, t.Transfer, t.CFL, t.PageHeap
 	return c
 }

@@ -1,0 +1,85 @@
+package core_test
+
+// Regression tests for the registry rebase of BaselineConfig /
+// OptimizedConfig / WithFeature: each legacy Feature must map onto
+// exactly one registered policy, and the registry-built configs must
+// equal what the legacy constructors produced.
+
+import (
+	"reflect"
+	"testing"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/policy"
+)
+
+var allFeatures = []core.Feature{
+	core.FeatureHeterogeneousPerCPU,
+	core.FeatureNUCATransferCache,
+	core.FeatureSpanPrioritization,
+	core.FeatureLifetimeAwareFiller,
+}
+
+func TestFeatureMapsToExactlyOneRegistryPolicy(t *testing.T) {
+	wantTier := map[core.Feature]string{
+		core.FeatureHeterogeneousPerCPU: policy.TierPerCPU,
+		core.FeatureNUCATransferCache:   policy.TierTC,
+		core.FeatureSpanPrioritization:  policy.TierCFL,
+		core.FeatureLifetimeAwareFiller: policy.TierFiller,
+	}
+	seen := map[string]core.Feature{}
+	for _, f := range allFeatures {
+		tier, name, ok := f.PolicyRef()
+		if !ok {
+			t.Fatalf("%v: no policy mapping", f)
+		}
+		if tier != wantTier[f] {
+			t.Fatalf("%v: mapped to tier %s, want %s", f, tier, wantTier[f])
+		}
+		if _, registered := policy.Lookup(tier, name); !registered {
+			t.Fatalf("%v: maps to unregistered policy %s=%s", f, tier, name)
+		}
+		key := tier + "=" + name
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("%v and %v map to the same policy %s", prev, f, key)
+		}
+		seen[key] = f
+	}
+	if _, _, ok := core.Feature(99).PolicyRef(); ok {
+		t.Fatal("unknown feature claims a policy mapping")
+	}
+}
+
+func TestWithFeatureMatchesDesignPoint(t *testing.T) {
+	for _, f := range allFeatures {
+		d, err := core.DesignForFeature(f)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		fromDesign, err := core.ConfigForDesign(d)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		fromFeature := core.BaselineConfig().WithFeature(f)
+		if !reflect.DeepEqual(fromDesign, fromFeature) {
+			t.Fatalf("%v: ConfigForDesign(%s) != BaselineConfig().WithFeature: \n%+v\nvs\n%+v",
+				f, d, fromDesign, fromFeature)
+		}
+	}
+}
+
+func TestOptimizedConfigIsAllFeatures(t *testing.T) {
+	stacked := core.BaselineConfig()
+	for _, f := range allFeatures {
+		stacked = stacked.WithFeature(f)
+	}
+	if !reflect.DeepEqual(stacked, core.OptimizedConfig()) {
+		t.Fatal("stacking all four features does not reproduce OptimizedConfig")
+	}
+}
+
+func TestConfigForDesignRejectsUnknown(t *testing.T) {
+	if _, err := core.ConfigForDesign(policy.DesignPoint{PerCPU: "warp"}); err == nil {
+		t.Fatal("want error for unknown policy name")
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/fleet"
+	"wsmalloc/internal/perfmodel"
+	"wsmalloc/internal/policy"
+	"wsmalloc/internal/telemetry"
+	"wsmalloc/internal/topology"
+	"wsmalloc/internal/workload"
+)
+
+// DesignPointResult is one leaderboard row of a design-space sweep:
+// the fleet A/B deltas of one design point against the baseline, plus
+// allocator-internal metrics from a fixed single-machine run.
+type DesignPointResult struct {
+	// Design is the point's canonical string
+	// ("percpu=hetero,tc=nuca,cfl=prio8,filler=capacity").
+	Design string `json:"design"`
+	// ThroughputPct / MemoryPct / CPIPct are the fleet A/B deltas vs
+	// the baseline design (negative memory = savings).
+	ThroughputPct float64 `json:"throughput_pct"`
+	MemoryPct     float64 `json:"memory_pct"`
+	CPIPct        float64 `json:"cpi_pct"`
+	// FragMiB is total fragmentation (external + internal) at the end of
+	// the reference machine run.
+	FragMiB float64 `json:"frag_mib"`
+	// HugepageCoveragePct is the time-averaged hugepage coverage of the
+	// reference run.
+	HugepageCoveragePct float64 `json:"hugepage_coverage_pct"`
+	// AvgMallocNs is the cost-model time per malloc in the reference run
+	// (the "malloc cycles" proxy).
+	AvgMallocNs float64 `json:"avg_malloc_ns"`
+}
+
+// Design-space sweep parameters, backing the cmd/experiments -design /
+// -design-out flags. Guarded by a mutex because runners may execute on
+// pool goroutines.
+var (
+	dsMu     sync.Mutex
+	dsPoints []policy.DesignPoint
+	dsOut    string
+)
+
+// SetDesignSpace installs the points swept by the next "designspace"
+// run (nil selects DefaultDesignGrid) and the output base path for the
+// JSON/CSV leaderboard ("" writes no files).
+func SetDesignSpace(points []policy.DesignPoint, outBase string) {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	dsPoints = points
+	dsOut = outBase
+}
+
+func designSpaceParams() ([]policy.DesignPoint, string) {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	return dsPoints, dsOut
+}
+
+// DefaultDesignGrid is the standard sweep: the paper's full 2^4
+// legacy-vs-redesign cross product, plus one point per post-paper
+// policy layered onto the optimized design — every registered policy
+// appears in at least one point.
+func DefaultDesignGrid() []policy.DesignPoint {
+	var pts []policy.DesignPoint
+	for _, pc := range []string{"static", "hetero"} {
+		for _, tc := range []string{"central", "nuca"} {
+			for _, cfl := range []string{"legacy", "prio8"} {
+				for _, fl := range []string{"none", "capacity"} {
+					pts = append(pts, policy.DesignPoint{PerCPU: pc, TC: tc, CFL: cfl, Filler: fl})
+				}
+			}
+		}
+	}
+	for _, ref := range [][2]string{
+		{policy.TierPerCPU, "ewma"},
+		{policy.TierTC, "pressure"},
+		{policy.TierCFL, "bestfit"},
+		{policy.TierFiller, "heapprof"},
+	} {
+		d, err := policy.Optimized().WithPolicy(ref[0], ref[1])
+		if err != nil {
+			panic(err) // the default grid names only registered policies
+		}
+		pts = append(pts, d)
+	}
+	return pts
+}
+
+// DesignSpace sweeps a grid of design points: each point runs a small
+// paired fleet A/B against the baseline design plus one fixed reference
+// machine run, and the results are ranked into a leaderboard (memory
+// savings first, throughput second). The sweep fans points out over the
+// worker pool; each point's work is self-contained and index-addressed,
+// so the leaderboard — and the exported JSON/CSV — is byte-identical at
+// any -j.
+func DesignSpace(seed uint64, scale Scale) Report {
+	points, outBase := designSpaceParams()
+	if len(points) == 0 {
+		points = DefaultDesignGrid()
+	}
+	r := Report{
+		ID:    "designspace",
+		Title: fmt.Sprintf("design-space sweep over %d points", len(points)),
+		PaperClaim: "the four redesigns compose: the optimized design point dominates " +
+			"the 2^4 grid on memory at neutral-or-better throughput (§4.5)",
+	}
+	dur := scale.duration(100 * workload.Millisecond)
+	f := fleet.New(48, seed)
+	baseline := core.BaselineConfig()
+	baselineDesign := policy.Baseline().String()
+	refMachine := fleet.Machine{
+		ID: 0, Platform: topology.Default(), App: workload.Monarch(), Seed: seed,
+	}
+
+	results := make([]DesignPointResult, len(points))
+	fanOut(len(points), func(i int) error {
+		d := points[i]
+		cfg, err := core.ConfigForDesign(d)
+		if err != nil {
+			panic(err)
+		}
+		opts := fleet.ABOptions{
+			SampleFraction:   0.1,
+			MinMachines:      4,
+			DurationNs:       dur,
+			TimeWarpGamma:    0.15,
+			Params:           perfmodel.DefaultParams(),
+			Workers:          1, // points already fan out; keep each A/B sequential
+			ControlDesign:    baselineDesign,
+			ExperimentDesign: d.String(),
+		}
+		res, err := f.ABTestErr(baseline, cfg, opts)
+		if err != nil {
+			panic(err)
+		}
+		rm := fleet.RunMachine(refMachine, cfg, dur)
+		st := rm.Result.Stats
+		avgMalloc := 0.0
+		if st.Mallocs > 0 {
+			avgMalloc = st.Time.Total() / float64(st.Mallocs)
+		}
+		results[i] = DesignPointResult{
+			Design:              d.String(),
+			ThroughputPct:       res.Fleet.ThroughputPct,
+			MemoryPct:           res.Fleet.MemoryPct,
+			CPIPct:              res.Fleet.CPIPct,
+			FragMiB:             float64(st.Frag.Total()) / (1 << 20),
+			HugepageCoveragePct: rm.Coverage * 100,
+			AvgMallocNs:         avgMalloc,
+		}
+		return nil
+	})
+
+	// Leaderboard order: biggest memory saving first, throughput gain
+	// breaking ties, design string as the total-order backstop.
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].MemoryPct != results[j].MemoryPct {
+			return results[i].MemoryPct < results[j].MemoryPct
+		}
+		if results[i].ThroughputPct != results[j].ThroughputPct {
+			return results[i].ThroughputPct > results[j].ThroughputPct
+		}
+		return results[i].Design < results[j].Design
+	})
+
+	for rank, p := range results {
+		r.addf("#%-2d %-58s mem %+6.2f%%  thr %+6.2f%%  CPI %+6.2f%%  frag %7.2f MiB  hugepage %6.2f%%  malloc %6.1f ns",
+			rank+1, p.Design, p.MemoryPct, p.ThroughputPct, p.CPIPct,
+			p.FragMiB, p.HugepageCoveragePct, p.AvgMallocNs)
+	}
+
+	if outBase != "" {
+		if err := writeDesignSpace(outBase, results); err != nil {
+			r.Failed = true
+			r.addf("export failed: %v", err)
+		} else {
+			r.addf("leaderboard written to %s.json and %s.csv", outBase, outBase)
+		}
+	}
+	return r
+}
+
+// designSpaceDoc is the JSON leaderboard schema.
+type designSpaceDoc struct {
+	Points []DesignPointResult `json:"points"`
+}
+
+// writeDesignSpace exports the ranked leaderboard as BASE.json and
+// BASE.csv. Formatting is fixed-precision so equal results are equal
+// bytes.
+func writeDesignSpace(base string, results []DesignPointResult) error {
+	jf, err := os.Create(base + ".json")
+	if err != nil {
+		return err
+	}
+	err = telemetry.WriteJSON(jf, designSpaceDoc{Points: results})
+	if cerr := jf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	cf, err := os.Create(base + ".csv")
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(cf)
+	err = cw.Write([]string{"design", "throughput_pct", "memory_pct", "cpi_pct",
+		"frag_mib", "hugepage_coverage_pct", "avg_malloc_ns"})
+	for _, p := range results {
+		if err != nil {
+			break
+		}
+		err = cw.Write([]string{
+			p.Design,
+			strconv.FormatFloat(p.ThroughputPct, 'f', 6, 64),
+			strconv.FormatFloat(p.MemoryPct, 'f', 6, 64),
+			strconv.FormatFloat(p.CPIPct, 'f', 6, 64),
+			strconv.FormatFloat(p.FragMiB, 'f', 6, 64),
+			strconv.FormatFloat(p.HugepageCoveragePct, 'f', 6, 64),
+			strconv.FormatFloat(p.AvgMallocNs, 'f', 6, 64),
+		})
+	}
+	if err == nil {
+		cw.Flush()
+		err = cw.Error()
+	}
+	if cerr := cf.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -101,6 +101,7 @@ func Registry() []Runner {
 		{"table2", "lifetime-aware hugepage filler fleet A/B", Table2},
 		{"fig17", "hugepage coverage and dTLB miss improvement", Fig17},
 		{"combined", "combined rollout of all four redesigns", Combined},
+		{"designspace", "design-space sweep: leaderboard over policy grid", DesignSpace},
 		{"ablation-l", "sweep of span-priority list count L", AblationL},
 		{"ablation-c", "sweep of lifetime capacity threshold C", AblationC},
 		{"ablation-capacity", "per-CPU cache capacity and resizing sweep", AblationCapacity},

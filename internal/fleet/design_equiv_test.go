@@ -1,0 +1,114 @@
+package fleet_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/fleet"
+	"wsmalloc/internal/heapprof"
+	"wsmalloc/internal/perfmodel"
+	"wsmalloc/internal/telemetry"
+	"wsmalloc/internal/topology"
+	"wsmalloc/internal/workload"
+)
+
+// equivExports renders every observable export of a fixed-seed fleet run
+// under cfg (experiment arm, against the stock baseline control) into one
+// byte stream: the A/B fleet rows, the merged telemetry registry in both
+// Prometheus and mallocz form, the merged heapz/allocz/peakheapz text
+// views, and a single-machine pageheapz fragmentation report. Any
+// behavioral drift in any tier shows up as a byte diff.
+func equivExports(t *testing.T, cfg core.Config) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+
+	f := fleet.New(32, 0x5eed)
+	opts := fleet.ABOptions{
+		SampleFraction: 0.1,
+		MinMachines:    4,
+		DurationNs:     20 * workload.Millisecond,
+		TimeWarpGamma:  0.15,
+		Params:         perfmodel.DefaultParams(),
+		Workers:        2,
+		Telemetry:      telemetry.DefaultConfig(),
+		HeapProfile:    heapprof.Config{Enabled: true, Seed: 0x5eed},
+	}
+	res, err := f.ABTestErr(core.BaselineConfig(), cfg, opts)
+	if err != nil {
+		t.Fatalf("ABTestErr: %v", err)
+	}
+	fmt.Fprintf(&buf, "fleet row: %s\n", res.Fleet)
+	for _, r := range res.PerApp {
+		fmt.Fprintf(&buf, "app row: %s\n", r)
+	}
+	snaps := res.Telemetry.Snapshots(opts.DurationNs)
+	if err := telemetry.WritePrometheus(&buf, snaps...); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := telemetry.WriteMallocz(&buf, snaps...); err != nil {
+		t.Fatalf("WriteMallocz: %v", err)
+	}
+	profiles := append(append([]heapprof.Profile(nil), res.HeapProfiles.Control...),
+		res.HeapProfiles.Experiment...)
+	if err := heapprof.WriteText(&buf, profiles...); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+
+	// One standalone machine run for the pageheapz view, which the fleet
+	// reducer does not aggregate.
+	m := f.Machines[1]
+	alloc := core.New(cfg, topology.New(m.Platform))
+	wopts := workload.DefaultOptions(m.Seed)
+	wopts.Duration = 20 * workload.Millisecond
+	workload.Run(m.App, alloc, wopts)
+	if err := core.WritePageHeapZ(&buf, alloc.PageHeapZ()); err != nil {
+		t.Fatalf("WritePageHeapZ: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestDesignEquivalenceGolden pins the full export surface of the
+// baseline and optimized configurations to golden files generated with
+// the pre-refactor (hard-wired boolean) constructors. The policy-registry
+// rebase of BaselineConfig/OptimizedConfig must reproduce these bytes
+// exactly on the same seed; regenerate only for an intentional behavior
+// change, with WSMALLOC_UPDATE_GOLDEN=1 go test ./internal/fleet -run
+// TestDesignEquivalenceGolden.
+func TestDesignEquivalenceGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"baseline", core.BaselineConfig()},
+		{"optimized", core.OptimizedConfig()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := equivExports(t, tc.cfg)
+			path := filepath.Join("testdata", "equiv_"+tc.name+".golden")
+			if os.Getenv("WSMALLOC_UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with WSMALLOC_UPDATE_GOLDEN=1): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s exports drifted from the pre-refactor golden (%d vs %d bytes); "+
+					"the policy registry must be byte-identical to the legacy constructors",
+					tc.name, len(got), len(want))
+			}
+		})
+	}
+}

@@ -254,6 +254,12 @@ type ChaosStats struct {
 type ABTelemetry struct {
 	Control    *telemetry.Registry
 	Experiment *telemetry.Registry
+	// ControlDesign and ExperimentDesign carry the arms' design-point
+	// strings (from ABOptions) into the exported snapshots, so sweep
+	// output identifies each arm by its full design rather than only by
+	// the control/experiment role.
+	ControlDesign    string
+	ExperimentDesign string
 }
 
 // Snapshots renders both arms as labeled, name-sorted snapshots ready for
@@ -262,10 +268,11 @@ func (t *ABTelemetry) Snapshots(nowNs int64) []telemetry.Snapshot {
 	if t == nil {
 		return nil
 	}
-	return []telemetry.Snapshot{
-		t.Control.Snapshot("control", nowNs),
-		t.Experiment.Snapshot("experiment", nowNs),
-	}
+	control := t.Control.Snapshot("control", nowNs)
+	control.Design = t.ControlDesign
+	experiment := t.Experiment.Snapshot("experiment", nowNs)
+	experiment.Design = t.ExperimentDesign
+	return []telemetry.Snapshot{control, experiment}
 }
 
 // ABHeapProfiles holds the fleet-aggregated sampled heap profile views
@@ -330,6 +337,13 @@ type ABOptions struct {
 	// integral counters/gauges and unit-weight histograms, and the
 	// reducer folds per-machine registries in enrolment order.
 	Telemetry telemetry.Config
+	// ControlDesign and ExperimentDesign, when non-empty, are the arms'
+	// design-point strings ("percpu=hetero,tc=nuca,..."). They change no
+	// simulation behaviour — the configs do that — but are stamped onto
+	// the merged telemetry snapshots and heap profiles so exports and
+	// profdiff identify each arm unambiguously.
+	ControlDesign    string
+	ExperimentDesign string
 	// HeapProfile, when Enabled, attaches the sampled heap profiler to
 	// every enrolled machine run (both arms) and aggregates the per-arm
 	// profile views into ABResult.HeapProfiles. The profiler's seed is
@@ -514,7 +528,7 @@ func runPair(m Machine, control, experiment core.Config, opts ABOptions) machine
 // The chaos counters are integer sums (commutative exactly); the row
 // aggregation sums floats, whose grouping is fixed by the enrolment
 // order rather than by whichever machine finished first.
-func mergeOutcomes(outcomes []machineOutcome) ABResult {
+func mergeOutcomes(outcomes []machineOutcome, opts ABOptions) ABResult {
 	pairs := make([]pair, 0, len(outcomes))
 	var chaos ChaosStats
 	var tel *ABTelemetry
@@ -524,8 +538,10 @@ func mergeOutcomes(outcomes []machineOutcome) ABResult {
 		if o.telC != nil || o.telE != nil {
 			if tel == nil {
 				tel = &ABTelemetry{
-					Control:    telemetry.NewRegistry(),
-					Experiment: telemetry.NewRegistry(),
+					Control:          telemetry.NewRegistry(),
+					Experiment:       telemetry.NewRegistry(),
+					ControlDesign:    opts.ControlDesign,
+					ExperimentDesign: opts.ExperimentDesign,
 				}
 			}
 			tel.Control.Merge(o.telC)
@@ -573,12 +589,15 @@ func mergeOutcomes(outcomes []machineOutcome) ABResult {
 	}
 
 	if hp != nil {
-		// Label the merged arms so the exporters can tell them apart.
+		// Label the merged arms so the exporters can tell them apart, and
+		// stamp each arm's design string when the caller provided one.
 		for i := range hp.Control {
 			hp.Control[i].Label = "control"
+			hp.Control[i].Design = opts.ControlDesign
 		}
 		for i := range hp.Experiment {
 			hp.Experiment[i].Label = "experiment"
+			hp.Experiment[i].Design = opts.ExperimentDesign
 		}
 	}
 
@@ -619,7 +638,7 @@ func (f *Fleet) ABTestErr(control, experiment core.Config, opts ABOptions) (ABRe
 		}
 		return ABResult{}, err
 	}
-	return mergeOutcomes(outcomes), nil
+	return mergeOutcomes(outcomes, opts), nil
 }
 
 // ABTest runs a paired fleet experiment comparing two configurations.

@@ -108,6 +108,7 @@ func keyLess(a, b siteKey) bool {
 type Profile struct {
 	View                string  `json:"view"`
 	Label               string  `json:"label,omitempty"`
+	Design              string  `json:"design,omitempty"`
 	NowNs               int64   `json:"now_ns"`
 	PeakNowNs           int64   `json:"peak_now_ns,omitempty"`
 	SampleIntervalBytes int64   `json:"sample_interval_bytes"`
@@ -203,6 +204,9 @@ func WriteText(w io.Writer, profiles ...Profile) error {
 		label := ""
 		if p.Label != "" {
 			label = " label=" + p.Label
+		}
+		if p.Design != "" {
+			label += " design=" + p.Design
 		}
 		peak := ""
 		if p.View == ViewPeakheapz {

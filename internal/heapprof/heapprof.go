@@ -101,6 +101,12 @@ type siteAcc struct {
 	bytes   float64
 }
 
+// classLifeAcc sums observed lifetime decades for one size class.
+type classLifeAcc struct {
+	sumDecade int64
+	samples   int64
+}
+
 // Profiler is the per-allocator sampling state.
 type Profiler struct {
 	cfg      Config
@@ -120,6 +126,12 @@ type Profiler struct {
 	// free order (deterministic program order, no map iteration).
 	cum        map[siteKey]siteAcc
 	cumSamples int64
+
+	// classLife accumulates the lifetime decades of freed samples per
+	// size class — the feedback signal behind the pageheap's
+	// heapprof-driven lifetime classifier. Integer sums in free order,
+	// so the derived means are deterministic at any worker count.
+	classLife map[int]classLifeAcc
 
 	// peak is the condensed live table as of the last watchpoint
 	// capture.
@@ -141,8 +153,9 @@ func New(cfg Config) *Profiler {
 		cfg:      cfg,
 		r:        rng.New(cfg.Seed ^ 0x6865617070726f66), // "heapprof"
 		interval: float64(cfg.interval()),
-		live:     make(map[uint64]liveSample),
-		cum:      make(map[siteKey]siteAcc),
+		live:      make(map[uint64]liveSample),
+		cum:       make(map[siteKey]siteAcc),
+		classLife: make(map[int]classLifeAcc),
 	}
 	p.bytesUntil = p.nextGap()
 	return p
@@ -203,6 +216,22 @@ func (p *Profiler) NoteFree(addr uint64, now int64) {
 	acc.bytes += s.byteW
 	p.cum[k] = acc
 	p.cumSamples++
+	cl := p.classLife[s.class]
+	cl.sumDecade += int64(k.lifeExp)
+	cl.samples++
+	p.classLife[s.class] = cl
+}
+
+// ClassLifetime reports the mean observed lifetime decade of freed
+// sampled objects for a size class, plus the sample count behind it —
+// the pageheap.LifetimeFeedback signature, so a method value of this
+// profiler plugs straight into the feedback classifier.
+func (p *Profiler) ClassLifetime(class int) (meanDecade float64, samples int64) {
+	cl := p.classLife[class]
+	if cl.samples == 0 {
+		return 0, 0
+	}
+	return float64(cl.sumDecade) / float64(cl.samples), cl.samples
 }
 
 // MaybePeak is the heap-pressure watchpoint: the allocator calls it

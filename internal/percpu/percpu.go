@@ -9,7 +9,6 @@ package percpu
 
 import (
 	"fmt"
-	"sort"
 
 	"wsmalloc/internal/check"
 	"wsmalloc/internal/telemetry"
@@ -28,7 +27,13 @@ type Backing interface {
 // Config controls the front-end.
 type Config struct {
 	// Heterogeneous enables usage-based dynamic cache sizing (§4.1).
+	// It is the legacy selector for Resizer: when Resizer is nil, true
+	// selects StealingResizer and false leaves the layout static.
 	Heterogeneous bool
+	// Resizer is the capacity policy run every ResizeIntervalNs. When
+	// nil, the Heterogeneous boolean picks the built-in policy (the
+	// policy registry sets both so the two stay in sync).
+	Resizer Resizer
 	// CapacityBytes is the per-vCPU cache bound. The paper uses 3 MiB
 	// for the static design and halves it to 1.5 MiB with dynamic
 	// resizing enabled. Caches start at InitialCapacityBytes and grow
@@ -96,6 +101,9 @@ type cpuCache struct {
 	allocHits, allocMisses int64
 	freeHits, freeMisses   int64
 	missWindow             int64
+	// missEWMA is EWMAResizer's smoothed per-window miss rate; unused by
+	// the other policies.
+	missEWMA float64
 
 	// classOps and classOpsAtDecay drive idle-class reclaim.
 	classOps        []int64
@@ -127,6 +135,7 @@ type Caches struct {
 	batchSize  func(class int) int
 	domainOf   func(vcpu int) int
 	backing    Backing
+	resizer    Resizer
 
 	caches []*cpuCache
 
@@ -156,6 +165,7 @@ func New(cfg Config, numClasses int, objSize, batchSize func(int) int,
 		batchSize:  batchSize,
 		domainOf:   domainOf,
 		backing:    backing,
+		resizer:    resolveResizer(cfg),
 	}
 }
 
@@ -325,89 +335,17 @@ func (c *Caches) MaybeDecay(now int64) int {
 	return released
 }
 
-// MaybeResize runs the heterogeneous resizer if the interval elapsed.
-// now is simulation time in nanoseconds. Returns whether a resize pass
-// ran.
+// MaybeResize runs the configured capacity policy if the interval
+// elapsed. now is simulation time in nanoseconds. Returns whether a
+// resize pass ran; statically-sized front-ends (no resizer) never run
+// one.
 func (c *Caches) MaybeResize(now int64) bool {
-	if !c.cfg.Heterogeneous || now-c.lastResize < c.cfg.ResizeIntervalNs {
+	if c.resizer == nil || now-c.lastResize < c.cfg.ResizeIntervalNs {
 		return false
 	}
 	c.lastResize = now
-	c.resizePass()
+	c.resizer.Resize(c)
 	return true
-}
-
-// resizePass identifies the TopK caches with the most misses in the last
-// window and grows them with capacity stolen round-robin from the rest,
-// shrinking larger size classes first when eviction is needed (§4.1).
-func (c *Caches) resizePass() {
-	type cand struct {
-		idx    int
-		misses int64
-	}
-	var pop []cand
-	for i, cc := range c.caches {
-		if cc != nil {
-			pop = append(pop, cand{i, cc.missWindow})
-		}
-	}
-	if len(pop) < 2 {
-		for _, p := range pop {
-			c.caches[p.idx].missWindow = 0
-		}
-		return
-	}
-	// Top K by window misses; caches with no misses never grow.
-	ranked := append([]cand(nil), pop...)
-	sort.Slice(ranked, func(i, j int) bool { return ranked[i].misses > ranked[j].misses })
-	k := c.cfg.TopK
-	if k > len(ranked) {
-		k = len(ranked)
-	}
-	grow := map[int]bool{}
-	var growList []int
-	for _, p := range ranked[:k] {
-		if p.misses > 0 {
-			grow[p.idx] = true
-			growList = append(growList, p.idx)
-		}
-	}
-	// Steal capacity round-robin from non-growing caches, serving the
-	// highest-miss cache first (deterministic order).
-	for _, target := range growList {
-		moved := int64(0)
-		for scan := 0; scan < len(pop) && moved < c.cfg.StepBytes; scan++ {
-			c.stealCursor = (c.stealCursor + 1) % len(pop)
-			victim := pop[c.stealCursor].idx
-			if grow[victim] {
-				continue
-			}
-			vc := c.caches[victim]
-			avail := vc.capacity - c.cfg.MinCapacityBytes
-			if avail <= 0 {
-				continue
-			}
-			step := c.cfg.StepBytes - moved
-			if step > avail {
-				step = avail
-			}
-			// Move the slow-start bound together with the capacity:
-			// otherwise the victim regrows its loss on later misses
-			// while the target keeps the stolen excess, inflating the
-			// summed capacity past the configured budget.
-			vc.capacity -= step
-			vc.bound -= step
-			c.evictToCapacity(vc, victim)
-			c.caches[target].capacity += step
-			c.caches[target].bound += step
-			moved += step
-			c.resizes++
-			c.tel.Event(telemetry.EvPerCPUSteal, int64(victim), step)
-		}
-	}
-	for _, p := range pop {
-		c.caches[p.idx].missWindow = 0
-	}
 }
 
 // evictToCapacity sheds objects (largest size classes first, since most

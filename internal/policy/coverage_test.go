@@ -1,0 +1,59 @@
+package policy_test
+
+// Registry coverage: every registered policy of every tier is exercised
+// end-to-end through a real allocator run, so registering a policy that
+// crashes, corrupts the heap, or breaks accounting fails CI by name.
+// Lives in the external test package so it can import core (core
+// imports policy; the compile-time cycle only exists for the internal
+// test package).
+
+import (
+	"fmt"
+	"testing"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/policy"
+	"wsmalloc/internal/topology"
+	"wsmalloc/internal/workload"
+)
+
+func TestRegistryCoverage(t *testing.T) {
+	for _, tier := range policy.Tiers() {
+		for _, name := range policy.Names(tier) {
+			tier, name := tier, name
+			t.Run(fmt.Sprintf("%s=%s", tier, name), func(t *testing.T) {
+				t.Parallel()
+				d, err := policy.Baseline().WithPolicy(tier, name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg, err := core.ConfigForDesign(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := workload.AllProfiles()[0]
+				p.PreloadBytes = 32 << 20
+				alloc := core.New(cfg, topology.New(topology.Default()))
+				opts := workload.DefaultOptions(23)
+				opts.Duration = 4 * workload.Millisecond
+				drv := workload.NewDriver(p, alloc, opts)
+				res := drv.Run()
+				st := res.Stats
+				if st.Mallocs == 0 {
+					t.Fatal("no allocations")
+				}
+				if got := st.HeapBytes; got != st.LiveRoundedBytes+st.ExternalFragBytes() {
+					t.Fatalf("conservation: mapped %d != live %d + frag %d",
+						got, st.LiveRoundedBytes, st.ExternalFragBytes())
+				}
+				drv.DrainRemaining()
+				alloc.DrainCaches()
+				end := alloc.Stats()
+				if end.LiveObjects != 0 || end.Heap.UsedBytes != 0 {
+					t.Fatalf("teardown incomplete: live=%d heapUsed=%d",
+						end.LiveObjects, end.Heap.UsedBytes)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// DesignPoint names one policy per tier — a single point in the
+// allocator design space. Its canonical serialization is
+// "percpu=NAME,tc=NAME,cfl=NAME,filler=NAME"; Parse accepts any subset
+// of keys (missing tiers default to the baseline policy) plus the
+// shorthands "baseline" and "optimized".
+type DesignPoint struct {
+	PerCPU string
+	TC     string
+	CFL    string
+	Filler string
+}
+
+// Baseline is the legacy allocator: every tier on its pre-redesign
+// policy.
+func Baseline() DesignPoint {
+	return DesignPoint{PerCPU: "static", TC: "central", CFL: "legacy", Filler: "none"}
+}
+
+// Optimized is the paper's full redesign: all four §4 features on.
+func Optimized() DesignPoint {
+	return DesignPoint{PerCPU: "hetero", TC: "nuca", CFL: "prio8", Filler: "capacity"}
+}
+
+// get returns the policy name of a tier key.
+func (d DesignPoint) get(tier string) string {
+	switch tier {
+	case TierPerCPU:
+		return d.PerCPU
+	case TierTC:
+		return d.TC
+	case TierCFL:
+		return d.CFL
+	case TierFiller:
+		return d.Filler
+	}
+	return ""
+}
+
+// WithPolicy returns a copy with one tier's policy replaced. The name
+// is validated against the registry.
+func (d DesignPoint) WithPolicy(tier, name string) (DesignPoint, error) {
+	if _, ok := Lookup(tier, name); !ok {
+		// Reuse Apply's error wording by applying to a throwaway bundle.
+		t := baseTiers()
+		return d, Apply(tier, name, &t)
+	}
+	switch tier {
+	case TierPerCPU:
+		d.PerCPU = name
+	case TierTC:
+		d.TC = name
+	case TierCFL:
+		d.CFL = name
+	case TierFiller:
+		d.Filler = name
+	}
+	return d, nil
+}
+
+// String renders the canonical full form, all four tiers in apply
+// order: "percpu=static,tc=central,cfl=legacy,filler=none".
+func (d DesignPoint) String() string {
+	parts := make([]string, 0, len(tierOrder))
+	for _, tier := range tierOrder {
+		parts = append(parts, tier+"="+d.get(tier))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Validate checks every tier names a registered policy.
+func (d DesignPoint) Validate() error {
+	t := baseTiers()
+	for _, tier := range tierOrder {
+		if err := Apply(tier, d.get(tier), &t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tiers builds the per-tier configurations for this design point by
+// applying each tier's policy to the baseline bundle, in tier order
+// (filler last, so a filler-installed lifetime classifier survives the
+// CFL policy's whole-struct assignment).
+func (d DesignPoint) Tiers() (TierConfigs, error) {
+	t := baseTiers()
+	for _, tier := range tierOrder {
+		if err := Apply(tier, d.get(tier), &t); err != nil {
+			return TierConfigs{}, err
+		}
+	}
+	return t, nil
+}
+
+// Parse reads a design-point string: "baseline", "optimized", or a
+// comma-separated list of tier=policy pairs where omitted tiers keep
+// their baseline policy. Every name is validated against the registry;
+// errors list what is registered.
+func Parse(s string) (DesignPoint, error) {
+	switch strings.TrimSpace(s) {
+	case "":
+		return DesignPoint{}, fmt.Errorf("policy: empty design point (want e.g. %q)", Optimized().String())
+	case "baseline":
+		return Baseline(), nil
+	case "optimized":
+		return Optimized(), nil
+	}
+	d := Baseline()
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		tier, name, ok := strings.Cut(part, "=")
+		if !ok {
+			return DesignPoint{}, fmt.Errorf("policy: malformed design term %q (want tier=policy)", part)
+		}
+		if seen[tier] {
+			return DesignPoint{}, fmt.Errorf("policy: tier %q set twice", tier)
+		}
+		seen[tier] = true
+		var err error
+		if d, err = d.WithPolicy(tier, name); err != nil {
+			return DesignPoint{}, err
+		}
+	}
+	return d, nil
+}
+
+// MarshalJSON serializes the canonical string form.
+func (d DesignPoint) MarshalJSON() ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(d.String())
+}
+
+// UnmarshalJSON parses the string form (or shorthands) via Parse.
+func (d *DesignPoint) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	p, err := Parse(s)
+	if err != nil {
+		return err
+	}
+	*d = p
+	return nil
+}

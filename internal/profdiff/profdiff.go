@@ -102,18 +102,42 @@ func parseJSON(data []byte) (Metrics, error) {
 }
 
 // profilePrefix names a profile's key namespace: the view, plus the arm
-// label when present ("heapz", "allocz[control]").
-func profilePrefix(view, label string) string {
-	if label != "" {
-		return view + "[" + label + "]"
+// label and design string when present ("heapz", "allocz[control]",
+// "allocz[control design=percpu=hetero,tc=nuca,cfl=prio8,filler=capacity]").
+func profilePrefix(view, label, design string) string {
+	tag := label
+	if design != "" {
+		if tag != "" {
+			tag += " "
+		}
+		tag += "design=" + design
+	}
+	if tag != "" {
+		return view + "[" + tag + "]"
 	}
 	return view
+}
+
+// armPrefix names a telemetry snapshot's key namespace from its arm
+// label and design string ("", "control/", "control design=.../").
+func armPrefix(label, design string) string {
+	tag := label
+	if design != "" {
+		if tag != "" {
+			tag += " "
+		}
+		tag += "design=" + design
+	}
+	if tag == "" {
+		return ""
+	}
+	return tag + "/"
 }
 
 // addProfile flattens one heap-profile view: totals plus one
 // objects/bytes pair per site.
 func addProfile(m Metrics, p heapprof.Profile) {
-	prefix := profilePrefix(p.View, p.Label)
+	prefix := profilePrefix(p.View, p.Label, p.Design)
 	m[prefix+"/total.objects"] = p.Objects
 	m[prefix+"/total.bytes"] = p.Bytes
 	m[prefix+"/total.samples"] = float64(p.Samples)
@@ -127,10 +151,7 @@ func addProfile(m Metrics, p heapprof.Profile) {
 // addSnapshot flattens one telemetry snapshot: counters, gauges, and
 // histogram totals/quantiles.
 func addSnapshot(m Metrics, s telemetry.Snapshot) {
-	prefix := ""
-	if s.Label != "" {
-		prefix = s.Label + "/"
-	}
+	prefix := armPrefix(s.Label, s.Design)
 	for _, c := range s.Counters {
 		m[prefix+c.Name] = float64(c.Value)
 	}
@@ -169,7 +190,7 @@ func parseHeapText(data string) (Metrics, error) {
 			if view == "" {
 				return nil, fmt.Errorf("profdiff: line %d: header without view", lineNo)
 			}
-			prefix = profilePrefix(view, tokens["label"])
+			prefix = profilePrefix(view, tokens["label"], tokens["design"])
 			m[prefix+"/total.objects"] = objects
 			m[prefix+"/total.bytes"] = bytes
 			if s, ok := tokens["samples"]; ok {

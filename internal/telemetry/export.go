@@ -24,20 +24,29 @@ func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// armLabel renders the {arm="..."} selector for a labeled snapshot.
-func armLabel(label string) string {
-	if label == "" {
-		return ""
+// armPairs renders the snapshot's identity labels (arm="...",
+// design="...") with a trailing comma, or "" when the snapshot carries
+// neither. The design string names the full allocator design point
+// ("percpu=hetero,tc=nuca,...") so series from a sweep are unambiguous.
+func armPairs(s Snapshot) string {
+	var b strings.Builder
+	if s.Label != "" {
+		b.WriteString(`arm="` + s.Label + `",`)
 	}
-	return `{arm="` + label + `"}`
+	if s.Design != "" {
+		b.WriteString(`design="` + s.Design + `",`)
+	}
+	return b.String()
 }
 
-// armPair renders arm="..." for joining with other labels.
-func armPair(label string) string {
-	if label == "" {
+// armLabel renders the {arm="...",design="..."} selector for a labeled
+// snapshot.
+func armLabel(s Snapshot) string {
+	pairs := armPairs(s)
+	if pairs == "" {
 		return ""
 	}
-	return `arm="` + label + `",`
+	return "{" + strings.TrimSuffix(pairs, ",") + "}"
 }
 
 // collectNames returns the sorted union of metric names across
@@ -78,7 +87,7 @@ func WritePrometheus(w io.Writer, snaps ...Snapshot) error {
 			}
 			for _, s := range snaps {
 				if v, ok := find(get(s), name); ok {
-					if _, err := fmt.Fprintf(w, "%s%s%s %d\n", metricPrefix, name, armLabel(s.Label), v); err != nil {
+					if _, err := fmt.Fprintf(w, "%s%s%s %d\n", metricPrefix, name, armLabel(s), v); err != nil {
 						return err
 					}
 				}
@@ -128,16 +137,16 @@ func WritePrometheus(w io.Writer, snaps ...Snapshot) error {
 				for _, b := range h.Buckets {
 					cum += b.Count
 					if _, err := fmt.Fprintf(w, "%s%s_bucket{%sle=%q} %s\n",
-						metricPrefix, name, armPair(s.Label), fmtFloat(b.Hi), fmtFloat(cum)); err != nil {
+						metricPrefix, name, armPairs(s), fmtFloat(b.Hi), fmtFloat(cum)); err != nil {
 						return err
 					}
 				}
 				if _, err := fmt.Fprintf(w, "%s%s_bucket{%sle=\"+Inf\"} %s\n",
-					metricPrefix, name, armPair(s.Label), fmtFloat(h.Total)); err != nil {
+					metricPrefix, name, armPairs(s), fmtFloat(h.Total)); err != nil {
 					return err
 				}
 				if _, err := fmt.Fprintf(w, "%s%s_count%s %s\n",
-					metricPrefix, name, armLabel(s.Label), fmtFloat(h.Total)); err != nil {
+					metricPrefix, name, armLabel(s), fmtFloat(h.Total)); err != nil {
 					return err
 				}
 			}
@@ -166,6 +175,9 @@ func WriteMallocz(w io.Writer, snaps ...Snapshot) error {
 		title := "MALLOC telemetry"
 		if s.Label != "" {
 			title += " (" + s.Label + ")"
+		}
+		if s.Design != "" {
+			title += " design=" + s.Design
 		}
 		if _, err := fmt.Fprintf(w, "%s\n%s @ %d virtual ns\n%s\n", rule, title, s.NowNs, rule); err != nil {
 			return err

@@ -288,6 +288,7 @@ type HistogramValue struct {
 // metric name.
 type Snapshot struct {
 	Label      string           `json:"label,omitempty"`
+	Design     string           `json:"design,omitempty"`
 	NowNs      int64            `json:"now_ns"`
 	Counters   []MetricValue    `json:"counters"`
 	Gauges     []MetricValue    `json:"gauges"`

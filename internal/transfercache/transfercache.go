@@ -31,8 +31,14 @@ type Backing interface {
 
 // Config controls the transfer cache layer.
 type Config struct {
-	// NUCAAware enables per-LLC-domain transfer caches (§4.2).
+	// NUCAAware enables per-LLC-domain transfer caches (§4.2). It is the
+	// legacy selector for Placement: when Placement is nil, true selects
+	// NUCAPlacement and false the centralized layout.
 	NUCAAware bool
+	// Placement is the routing policy. When nil, the NUCAAware boolean
+	// picks the built-in policy (the policy registry sets both so the
+	// two stay in sync).
+	Placement Placement
 	// NumDomains is the number of LLC domains with active caches; only
 	// meaningful when NUCAAware is set.
 	NumDomains int
@@ -57,6 +63,11 @@ func DefaultConfig() Config {
 		DomainBytesPerClass:   128 << 10,
 	}
 }
+
+// ResolvedPlacement returns the config's effective routing policy
+// (core.New asks it whether NumDomains must be filled from the machine
+// topology before construction).
+func (c Config) ResolvedPlacement() Placement { return resolvePlacement(c) }
 
 // NUCAConfig returns a NUCA-aware configuration for n domains.
 func NUCAConfig(n int) Config {
@@ -118,6 +129,7 @@ type TransferCaches struct {
 	numClasses int
 	objSize    func(class int) int
 	backing    Backing
+	placement  Placement
 
 	legacy []cache
 	// domains[d][class]
@@ -134,14 +146,16 @@ func (t *TransferCaches) SetTelemetry(s *telemetry.Sink) { t.tel = s }
 // New creates the layer. objSize maps a class index to its object size
 // (for byte accounting).
 func New(cfg Config, numClasses int, objSize func(int) int, backing Backing) *TransferCaches {
-	if cfg.NUCAAware && cfg.NumDomains <= 0 {
-		panic(fmt.Sprintf("transfercache: NUCA-aware with %d domains", cfg.NumDomains))
+	placement := resolvePlacement(cfg)
+	if placement.UsesDomains() && cfg.NumDomains <= 0 {
+		panic(fmt.Sprintf("transfercache: domain-aware placement with %d domains", cfg.NumDomains))
 	}
 	t := &TransferCaches{
 		cfg:        cfg,
 		numClasses: numClasses,
 		objSize:    objSize,
 		backing:    backing,
+		placement:  placement,
 		legacy:     make([]cache, numClasses),
 	}
 	capFor := func(objects int, bytes int64, class int) int {
@@ -159,7 +173,7 @@ func New(cfg Config, numClasses int, objSize func(int) int, backing Backing) *Tr
 	for i := range t.legacy {
 		t.legacy[i].max = capFor(cfg.LegacyObjectsPerClass, cfg.LegacyBytesPerClass, i)
 	}
-	if cfg.NUCAAware {
+	if placement.UsesDomains() {
 		t.domains = make([][]cache, cfg.NumDomains)
 		for d := range t.domains {
 			t.domains[d] = make([]cache, numClasses)
@@ -179,8 +193,8 @@ func New(cfg Config, numClasses int, objSize func(int) int, backing Backing) *Tr
 // objects already in out remain valid.
 func (t *TransferCaches) Alloc(class, domain int, out []uint64) (int, error) {
 	filled := 0
-	if t.cfg.NUCAAware {
-		dc := &t.domains[t.domainIndex(domain)][class]
+	if d := t.placement.AllocFrom(t, class, domain); d >= 0 {
+		dc := &t.domains[t.domainIndex(d)][class]
 		filled += t.take(dc, domain, out[filled:])
 		if filled > 0 {
 			dc.hits++
@@ -194,7 +208,7 @@ func (t *TransferCaches) Alloc(class, domain int, out []uint64) (int, error) {
 		if n > 0 {
 			lc.hits++
 			t.stats.LegacyHits++
-			if t.cfg.NUCAAware {
+			if len(t.domains) > 0 {
 				t.tel.Event(telemetry.EvTransferLegacyFallback, int64(domain), int64(class))
 			} else {
 				t.tel.Event(telemetry.EvTransferHit, int64(domain), int64(class))
@@ -251,9 +265,14 @@ func (t *TransferCaches) take(c *cache, domain int, out []uint64) int {
 // spill to the backing tier when both are full.
 func (t *TransferCaches) Free(class, domain int, objs []uint64) {
 	rest := objs
-	if t.cfg.NUCAAware {
-		dc := &t.domains[t.domainIndex(domain)][class]
+	if d := t.placement.FreeTo(t, class, domain); d >= 0 {
+		dc := &t.domains[t.domainIndex(d)][class]
 		rest = t.put(dc, domain, rest)
+		if len(rest) > 0 {
+			if d2 := t.placement.FreeOverflow(t, class, domain); d2 >= 0 {
+				rest = t.put(&t.domains[t.domainIndex(d2)][class], domain, rest)
+			}
+		}
 	}
 	if len(rest) > 0 {
 		rest = t.put(&t.legacy[class], domain, rest)
@@ -309,7 +328,7 @@ func (t *TransferCaches) Plunder() int64 {
 		t.backing.FreeBatch(class, objs)
 		moved += int64(len(objs))
 	}
-	if !t.cfg.NUCAAware {
+	if len(t.domains) == 0 {
 		t.stats.Plundered += moved
 		if moved > 0 {
 			t.tel.EventAdd(telemetry.EvTransferPlunder, moved, moved, 0)
@@ -384,7 +403,7 @@ func (t *TransferCaches) CheckInvariants() []check.Violation {
 				int64(len(c.entries))*int64(t.objSize(class)), c.max))
 		}
 		for _, e := range c.entries {
-			if e.domain != coldDomain && (int(e.domain) < 0 || (t.cfg.NUCAAware && int(e.domain) >= t.cfg.NumDomains)) {
+			if e.domain != coldDomain && (int(e.domain) < 0 || (len(t.domains) > 0 && int(e.domain) >= len(t.domains))) {
 				vs = append(vs, check.Violationf("transfercache", check.KindStructure,
 					"%s cache class %d entry %#x tagged with invalid domain %d",
 					where, class, e.addr, e.domain))

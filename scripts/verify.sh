@@ -8,9 +8,12 @@
 # parser), the hardening self-tests (sanitizer corruption detection +
 # fleet chaos run) — themselves compiled with -race and fanned out over
 # the worker pool so shared stats aggregation is race-checked under real
-# parallelism — and two cross-process determinism smokes: telemetry +
-# heap-profile exports must be byte-identical at -j 1 vs -j 4, and
-# profdiff over the identical exports must report zero deltas (exit 0).
+# parallelism — and three cross-process determinism smokes: telemetry +
+# heap-profile exports must be byte-identical at -j 1 vs -j 4, profdiff
+# over the identical exports must report zero deltas (exit 0), and a
+# 3-point designspace sweep must export byte-identical leaderboards at
+# any -j. The policy registry gets its own coverage gate: every
+# registered per-tier policy must drive an allocation run cleanly.
 # Exits non-zero on the first failure.
 #
 # Usage: ./scripts/verify.sh [fuzztime]   (default fuzz smoke: 5s each)
@@ -32,6 +35,10 @@ echo "==> fuzz smoke (${FUZZTIME} each)"
 go test ./internal/sizeclass/ -run '^$' -fuzz FuzzSizeClassRoundTrip -fuzztime "$FUZZTIME"
 go test ./internal/core/ -run '^$' -fuzz FuzzAllocFree -fuzztime "$FUZZTIME"
 go test ./internal/profdiff/ -run '^$' -fuzz FuzzParse -fuzztime "$FUZZTIME"
+go test ./internal/policy/ -run '^$' -fuzz FuzzDesignPointParse -fuzztime "$FUZZTIME"
+
+echo "==> policy registry coverage (every registered policy allocates cleanly)"
+go test ./internal/policy/ -run TestRegistryCoverage -count 1
 
 echo "==> hardening self-tests under -race (sanitizer detection + parallel fleet chaos)"
 go run -race ./cmd/experiments -scale smoke -j 4 selftest chaos
@@ -48,5 +55,13 @@ done
 echo "==> profdiff smoke (identical runs diff to zero; exit 0)"
 go run ./cmd/profdiff "$TELDIR/j1.heapz" "$TELDIR/j4.heapz"
 go run ./cmd/profdiff -threshold 0.02 "$TELDIR/j1.json" "$TELDIR/j4.json"
+
+echo "==> designspace smoke (3-point sweep; -j 1 vs -j 4 leaderboard byte-identical)"
+DSPOINTS='baseline;optimized;percpu=ewma,tc=pressure,cfl=bestfit,filler=heapprof'
+go run ./cmd/experiments -scale smoke -design "$DSPOINTS" -design-out "$TELDIR/ds1" -j 1 designspace > /dev/null
+go run ./cmd/experiments -scale smoke -design "$DSPOINTS" -design-out "$TELDIR/ds4" -j 4 designspace > /dev/null
+for ext in json csv; do
+    cmp "$TELDIR/ds1.$ext" "$TELDIR/ds4.$ext"
+done
 
 echo "verify: OK"

@@ -34,6 +34,7 @@ import (
 	"wsmalloc/internal/fleet"
 	"wsmalloc/internal/heapprof"
 	"wsmalloc/internal/mem"
+	"wsmalloc/internal/policy"
 	"wsmalloc/internal/telemetry"
 	"wsmalloc/internal/topology"
 	"wsmalloc/internal/workload"
@@ -255,6 +256,56 @@ func Baseline() Config { return core.BaselineConfig() }
 
 // Optimized returns the paper's full redesign (§4.5).
 func Optimized() Config { return core.OptimizedConfig() }
+
+// Policy architecture types: every tier decision is a named, registered
+// policy, and a DesignPoint selects one per tier.
+type (
+	// DesignPoint names one policy per tier; its canonical string is
+	// "percpu=NAME,tc=NAME,cfl=NAME,filler=NAME".
+	DesignPoint = policy.DesignPoint
+	// TierPolicy is one registered per-tier policy.
+	TierPolicy = policy.Policy
+	// DesignPointResult is one leaderboard row of a design-space sweep.
+	DesignPointResult = experiments.DesignPointResult
+)
+
+// BaselineDesign is the all-legacy design point.
+func BaselineDesign() DesignPoint { return policy.Baseline() }
+
+// OptimizedDesign is the paper's full-redesign design point.
+func OptimizedDesign() DesignPoint { return policy.Optimized() }
+
+// ParseDesignPoint reads a design-point string: "baseline", "optimized",
+// or comma-separated tier=policy pairs (omitted tiers stay baseline).
+func ParseDesignPoint(s string) (DesignPoint, error) { return policy.Parse(s) }
+
+// ConfigForDesign builds the allocator configuration for a design point.
+func ConfigForDesign(d DesignPoint) (Config, error) { return core.ConfigForDesign(d) }
+
+// DesignForFeature spells a legacy feature toggle as a design point:
+// the baseline with that feature's registered policy enabled.
+func DesignForFeature(f Feature) (DesignPoint, error) { return core.DesignForFeature(f) }
+
+// PolicyTiers lists the tier keys in apply order
+// ("percpu", "tc", "cfl", "filler").
+func PolicyTiers() []string { return policy.Tiers() }
+
+// PolicyNames lists the registered policy names of one tier.
+func PolicyNames(tier string) []string { return policy.Names(tier) }
+
+// LookupPolicy finds one registered policy by tier and name.
+func LookupPolicy(tier, name string) (TierPolicy, bool) { return policy.Lookup(tier, name) }
+
+// DefaultDesignGrid is the standard design-space sweep: the paper's 2^4
+// feature cross product plus one point per post-paper policy.
+func DefaultDesignGrid() []DesignPoint { return experiments.DefaultDesignGrid() }
+
+// SetDesignSpace installs the points swept by the next "designspace"
+// experiment run (nil selects DefaultDesignGrid) and the output base
+// path for its JSON/CSV leaderboard ("" writes no files).
+func SetDesignSpace(points []DesignPoint, outBase string) {
+	experiments.SetDesignSpace(points, outBase)
+}
 
 // NewAllocator builds an allocator on the given platform.
 func NewAllocator(cfg Config, p Platform) *Allocator {

@@ -8,6 +8,8 @@
 //	         [-duration-ms 250] [-sample 0.01] [-j N]
 //	         [-chaos-mmap-rate 0] [-chaos-budget-mb 0] [-audit-every-ms 0]
 //	         [-telemetry] [-heapprof] [-metrics-out BASE] [-serve :8080]
+//	         [-checkpoint-dir DIR] [-checkpoint-every-ms N] [-resume]
+//	         [-kill-frac 0.5] [-churn 0.1] [-restart-on-oom] [-retries 3]
 //	         [-bench-sweep 1,2,4,max] [-bench-out BENCH_fleet.json]
 //
 // -j bounds how many enrolled machines are simulated concurrently
@@ -30,6 +32,20 @@
 // -serve keeps the process alive serving /metricsz and /heapz over
 // HTTP.
 //
+// The lifecycle flags make the run crash-tolerant. -checkpoint-dir
+// snapshots every machine's full state (workload cursor, clock, all
+// cache tiers, fault/telemetry accumulators) at the -checkpoint-every-ms
+// virtual cadence; -kill-frac stops the whole run at that fraction of
+// virtual time after a final checkpoint and exits with code 3; a second
+// invocation with -resume finishes the run with exports byte-identical
+// to one that was never interrupted, at any -j. -churn kills a seeded
+// fraction of machines once mid-run and restarts them cold; a restarted
+// machine loses its heap and caches but keeps its workload position.
+// -restart-on-oom does the same when an allocation fails (pair with
+// -chaos-budget-mb for deterministic OOM kills). -retries re-runs a
+// failed machine with capped exponential backoff, resuming from its
+// checkpoint.
+//
 // -bench-sweep benchmarks the execution engine instead of printing
 // tables: it runs the same A/B once per listed -j value ("max" = all
 // cores), verifies each parallel result is bit-identical to -j 1, and
@@ -39,6 +55,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -195,6 +212,13 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write aggregated telemetry to BASE.prom, BASE.json and BASE.mallocz (implies -telemetry)")
 	serveAddr := flag.String("serve", "", "serve /metricsz (and /heapz with -heapprof) on this address after the run (implies -telemetry, blocks)")
 	workers := flag.Int("j", 0, "concurrent machine simulations (0 = all cores, 1 = sequential)")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for per-machine checkpoints (enables crash-tolerant runs)")
+	checkpointEveryMs := flag.Int64("checkpoint-every-ms", 0, "virtual checkpoint cadence in ms (0 = duration/4; needs -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "resume every machine from its checkpoint in -checkpoint-dir")
+	killFrac := flag.Float64("kill-frac", 0, "kill every machine at this fraction of virtual time after checkpointing (exit code 3; needs -checkpoint-dir)")
+	churn := flag.Float64("churn", 0, "probability each machine run is killed once mid-run and restarted cold (machine churn)")
+	restartOnOOM := flag.Bool("restart-on-oom", false, "OOM-kill and restart a machine on allocation failure instead of dropping the op (pair with -chaos-budget-mb)")
+	retries := flag.Int("retries", 1, "max attempts per machine run; retries resume from the machine's checkpoint")
 	benchSweep := flag.String("bench-sweep", "", "comma-separated -j values to benchmark (e.g. 1,2,4,max); writes JSON and exits")
 	benchOut := flag.String("bench-out", "BENCH_fleet.json", "benchmark JSON output path (with -bench-sweep)")
 	flag.Parse()
@@ -253,6 +277,30 @@ func main() {
 	}
 	opts.AuditEveryNs = *auditEveryMs * 1_000_000
 	opts.Workers = *workers
+	if *checkpointDir != "" {
+		everyNs := *checkpointEveryMs * 1_000_000
+		if everyNs == 0 {
+			everyNs = opts.DurationNs / 4
+		}
+		opts.Checkpoint = wsmalloc.CheckpointOptions{
+			Dir:        *checkpointDir,
+			EveryNs:    everyNs,
+			Resume:     *resume,
+			KillAtFrac: *killFrac,
+		}
+	} else if *resume || *killFrac > 0 {
+		fmt.Fprintln(os.Stderr, "-resume and -kill-frac need -checkpoint-dir")
+		os.Exit(2)
+	}
+	opts.Churn = *churn
+	opts.RestartOnOOM = *restartOnOOM
+	if *retries > 1 {
+		opts.Retry = wsmalloc.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseDelay:   250 * time.Millisecond,
+			MaxDelay:    5 * time.Second,
+		}
+	}
 	opts.ControlDesign = wsmalloc.BaselineDesign().String()
 	opts.ExperimentDesign = experimentDesign.String()
 	if *metricsOut != "" || *serveAddr != "" {
@@ -281,12 +329,26 @@ func main() {
 	fmt.Printf("fleet A/B: %d machines, %s, %.1f%% sampled, %dms virtual each\n",
 		*machines, armDesc, *sample*100, *durationMs)
 	fmt.Printf("  control    %s\n  experiment %s\n", opts.ControlDesign, opts.ExperimentDesign)
-	res := f.ABTest(control, experiment, opts)
+	res, err := f.ABTestErr(control, experiment, opts)
+	if err != nil {
+		if errors.Is(err, wsmalloc.ErrHalted) {
+			// Scheduled kill: every machine checkpointed. Exit code 3 so
+			// wrappers can distinguish "resume me" from a real failure.
+			fmt.Println(err)
+			os.Exit(3)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Println(res.Fleet.String())
 	for _, row := range res.PerApp {
 		fmt.Println(row.String())
 	}
 	ch := res.Chaos
+	if lc := ch.Lifecycle; lc.ChurnKills+lc.OOMKills+lc.Restarts > 0 {
+		fmt.Printf("lifecycle: %d churn kills, %d OOM kills, %d restarts\n",
+			lc.ChurnKills, lc.OOMKills, lc.Restarts)
+	}
 	if opts.Chaos.Enabled() {
 		fmt.Printf("chaos: %d mmap failures + %d budget rejections injected; %d OOMs, %d ops dropped, %d pressure releases (%d MiB returned)\n",
 			ch.InjectedFailures, ch.BudgetFailures, ch.OOMErrors, ch.AllocFailures,

@@ -186,6 +186,8 @@ func (a *Allocator) fillGauges(reg *telemetry.Registry) {
 	set("cum_allocated_bytes", s.CumAllocatedBytes)
 	set("oom_errors", s.OOMErrors)
 	set("free_errors", s.FreeErrors)
+	set("fault_injected_mmap_failures", s.Faults.InjectedFailures)
+	set("fault_budget_denials", s.Faults.BudgetFailures)
 	set("shadow_violations", s.ShadowViolations)
 	set("frag_external_bytes", s.ExternalFragBytes())
 	set("frag_internal_bytes", s.InternalFragBytes())

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"wsmalloc/internal/check"
+	"wsmalloc/internal/heapprof"
+	"wsmalloc/internal/mem"
+	"wsmalloc/internal/rng"
+	"wsmalloc/internal/snapshot"
+	"wsmalloc/internal/telemetry"
+	"wsmalloc/internal/topology"
+)
+
+// stateTestConfig enables every optional subsystem so the round trip
+// exercises the full state surface: sanitizer, telemetry (trace ring +
+// time-series sampler), heap profiler, and fault injection.
+func stateTestConfig() Config {
+	cfg := OptimizedConfig()
+	cfg.Check = check.DefaultConfig()
+	cfg.Telemetry = telemetry.Config{Enabled: true, TraceCapacity: 256, SampleEveryNs: 2e6}
+	cfg.HeapProfile = heapprof.Config{Enabled: true, SampleIntervalBytes: 64 << 10, Seed: 7}
+	cfg.Faults = mem.FaultPlan{Seed: 3, MmapFailureRate: 0.002}
+	return cfg
+}
+
+// stateOp is one step of a pre-generated abstract workload: either an
+// allocation (size, cpu) or the free of the live object at index. The
+// stream is generated once so the interrupted and uninterrupted
+// replicas see byte-identical operation sequences.
+type stateOp struct {
+	tick  int64
+	alloc bool
+	size  int
+	cpu   int
+	index int
+}
+
+func genStateOps(seed uint64, n int) []stateOp {
+	r := rng.New(seed)
+	ops := make([]stateOp, 0, n)
+	liveCount := 0
+	for i := 0; i < n; i++ {
+		op := stateOp{tick: int64(i) * 50000}
+		if r.Bool(0.55) || liveCount == 0 {
+			op.alloc = true
+			op.size = 8 + r.Intn(8192)
+			if r.Bool(0.02) {
+				op.size = r.Intn(1 << 20)
+			}
+			op.cpu = r.Intn(32)
+			liveCount++
+		} else {
+			op.index = r.Intn(liveCount)
+			op.cpu = r.Intn(32)
+			liveCount--
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+type stateObj struct {
+	addr uint64
+	size int
+}
+
+func replayStateOps(a *Allocator, live []stateObj, ops []stateOp) []stateObj {
+	for _, op := range ops {
+		a.Tick(op.tick)
+		if op.alloc {
+			addr, _, err := a.TryMalloc(op.size, op.cpu)
+			if err != nil {
+				continue // injected mmap failure: both replicas skip identically
+			}
+			live = append(live, stateObj{addr, op.size})
+		} else {
+			o := live[op.index]
+			live[op.index] = live[len(live)-1]
+			live = live[:len(live)-1]
+			a.Free(o.addr, o.size, op.cpu)
+		}
+	}
+	return live
+}
+
+func mustJSON(t *testing.T, v interface{}) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestAllocatorStateRoundTrip is the core crash-tolerance invariant:
+// snapshotting mid-run and restoring into a freshly constructed
+// allocator, then continuing, must be bit-identical to never having
+// been interrupted — across stats, pageheap introspection, telemetry,
+// and heap profiles.
+func TestAllocatorStateRoundTrip(t *testing.T) {
+	cfg := stateTestConfig()
+	ops := genStateOps(42, 30000)
+	half := len(ops) / 2
+
+	a := New(cfg, topology.New(topology.Default()))
+	live := replayStateOps(a, nil, ops[:half])
+
+	var e snapshot.Encoder
+	a.EncodeState(&e)
+	blob := e.Finish()
+
+	b := New(cfg, topology.New(topology.Default()))
+	d, err := snapshot.NewDecoder(blob)
+	if err != nil {
+		t.Fatalf("decoder: %v", err)
+	}
+	if err := b.DecodeState(d); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	// Restored state must already agree before either replica moves.
+	if as, bs := a.Stats(), b.Stats(); as != bs {
+		t.Fatalf("stats diverge immediately after restore:\n%+v\n%+v", as, bs)
+	}
+
+	liveB := append([]stateObj(nil), live...)
+	live = replayStateOps(a, live, ops[half:])
+	liveB = replayStateOps(b, liveB, ops[half:])
+
+	if as, bs := a.Stats(), b.Stats(); as != bs {
+		t.Fatalf("stats diverge after continuation:\n%+v\n%+v", as, bs)
+	}
+	if av, bv := mustJSON(t, a.PageHeapZ()), mustJSON(t, b.PageHeapZ()); av != bv {
+		t.Fatalf("pageheapz diverges:\n%s\n%s", av, bv)
+	}
+	if av, bv := mustJSON(t, a.HeapProfiles("x")), mustJSON(t, b.HeapProfiles("x")); av != bv {
+		t.Fatalf("heap profiles diverge:\n%s\n%s", av, bv)
+	}
+	a.Telemetry().FlushGauges()
+	b.Telemetry().FlushGauges()
+	av := a.Telemetry().Snapshot("end", a.Now())
+	bv := b.Telemetry().Snapshot("end", b.Now())
+	if !reflect.DeepEqual(av, bv) {
+		t.Fatalf("telemetry diverges:\n%+v\n%+v", av, bv)
+	}
+	if !reflect.DeepEqual(a.Telemetry().Samples(), b.Telemetry().Samples()) {
+		t.Fatal("sampler series diverges")
+	}
+	if !reflect.DeepEqual(a.Telemetry().Tracer().Events(), b.Telemetry().Tracer().Events()) {
+		t.Fatal("trace ring diverges")
+	}
+
+	// Both replicas must still pass a full invariant audit, and draining
+	// must reclaim everything — the restored heap is structurally sound,
+	// not just statistically equal.
+	for _, repl := range []*Allocator{a, b} {
+		if v := repl.CheckInvariants(); len(v) != 0 {
+			t.Fatalf("invariant violations after restore: %+v", v)
+		}
+	}
+	live = replayDrain(a, live)
+	liveB = replayDrain(b, liveB)
+	if as, bs := a.Stats(), b.Stats(); as != bs {
+		t.Fatalf("stats diverge after drain:\n%+v\n%+v", as, bs)
+	}
+	if st := b.Stats(); st.LiveObjects != 0 {
+		t.Fatalf("restored heap not drainable: %d live", st.LiveObjects)
+	}
+}
+
+func replayDrain(a *Allocator, live []stateObj) []stateObj {
+	for _, o := range live {
+		a.Free(o.addr, o.size, 0)
+	}
+	a.DrainCaches()
+	return live[:0]
+}
+
+// TestAllocatorStateEncodingDeterministic: encoding the same state
+// twice must produce identical bytes (map iteration must not leak in).
+func TestAllocatorStateEncodingDeterministic(t *testing.T) {
+	cfg := stateTestConfig()
+	a := New(cfg, topology.New(topology.Default()))
+	replayStateOps(a, nil, genStateOps(7, 8000))
+
+	var e1, e2 snapshot.Encoder
+	a.EncodeState(&e1)
+	a.EncodeState(&e2)
+	b1, b2 := e1.Finish(), e2.Finish()
+	if string(b1) != string(b2) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+// TestAllocatorDecodeConfigMismatch: a snapshot taken with the shadow
+// heap enabled must be rejected (not panic) when restored into an
+// allocator built without it.
+func TestAllocatorDecodeConfigMismatch(t *testing.T) {
+	cfg := stateTestConfig()
+	a := New(cfg, topology.New(topology.Default()))
+	replayStateOps(a, nil, genStateOps(9, 2000))
+	var e snapshot.Encoder
+	a.EncodeState(&e)
+	blob := e.Finish()
+
+	plain := cfg
+	plain.Check = check.Config{}
+	b := New(plain, topology.New(topology.Default()))
+	d, err := snapshot.NewDecoder(blob)
+	if err != nil {
+		t.Fatalf("decoder: %v", err)
+	}
+	if err := b.DecodeState(d); err == nil {
+		t.Fatal("decode into mismatched config should fail")
+	}
+}
+
+// TestAllocatorDecodeCorrupted: flipping payload bytes must surface as
+// a decoder error (usually at the checksum), never a panic.
+func TestAllocatorDecodeCorrupted(t *testing.T) {
+	cfg := stateTestConfig()
+	a := New(cfg, topology.New(topology.Default()))
+	replayStateOps(a, nil, genStateOps(11, 2000))
+	var e snapshot.Encoder
+	a.EncodeState(&e)
+	blob := e.Finish()
+
+	for _, off := range []int{24, len(blob) / 2, len(blob) - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[off] ^= 0x40
+		if _, err := snapshot.NewDecoder(bad); err == nil {
+			t.Fatalf("corruption at %d not detected", off)
+		}
+	}
+}

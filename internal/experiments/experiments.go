@@ -107,6 +107,8 @@ func Registry() []Runner {
 		{"ablation-capacity", "per-CPU cache capacity and resizing sweep", AblationCapacity},
 		{"selftest", "heap-integrity sanitizer corruption self-test", SelfTest},
 		{"chaos", "fleet A/B under deterministic fault injection", ChaosFleet},
+		{"lifecycle", "OOM-kill/restart recovery: cold caches and fragmentation", Lifecycle},
+		{"churn", "fleet A/B under machine churn with cold restarts", ChurnFleet},
 	}
 }
 

@@ -13,6 +13,7 @@ func TestRegistryCoversPaper(t *testing.T) {
 		"fig10", "fig11", "fig12", "table1", "fig13", "fig14",
 		"fig15", "fig16", "table2", "fig17", "combined",
 		"ablation-l", "ablation-c", "ablation-capacity",
+		"selftest", "chaos", "lifecycle", "churn",
 	}
 	got := map[string]bool{}
 	for _, r := range Registry() {

@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+// TestLifecycleExperimentsPass: the lifecycle and churn experiments are
+// self-checking; their explicit expectations (kill fires, cold caches
+// cost, miss rate recovers, churn deterministic) must hold at every
+// scale the test suite exercises.
+func TestLifecycleExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lifecycle experiments skipped in -short mode")
+	}
+	for _, name := range []string{"lifecycle", "churn"} {
+		r, ok := ByName(name)
+		if !ok {
+			t.Fatalf("experiment %s not registered", name)
+		}
+		rep := r.Run(1, ScaleSmoke)
+		if rep.Failed {
+			t.Fatalf("%s expectations failed:\n%s", name, rep)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"wsmalloc/internal/core"
 	"wsmalloc/internal/heapprof"
@@ -164,49 +165,18 @@ func RunMachine(m Machine, cfg core.Config, duration int64) RunMetrics {
 }
 
 // RunMachineOpts executes one machine run with explicit workload options.
+// Time-averaged telemetry comes from periodic snapshots: end-of-run
+// snapshots are dominated by wherever the diurnal phase happens to stop.
 func RunMachineOpts(m Machine, cfg core.Config, opts workload.Options) RunMetrics {
 	topo := topology.New(m.Platform)
 	alloc := core.New(cfg, topo)
-	duration := opts.Duration
 
-	// Time-average the telemetry over snapshots: end-of-run snapshots
-	// are dominated by wherever the diurnal phase happens to stop.
-	var heapSum, cacheSum, snaps int64
-	var covSum float64
-	opts.SnapshotEveryNs = duration / 50
-	opts.Snapshot = func(now int64) {
-		st := alloc.Stats()
-		heapSum += st.HeapBytes
-		cacheSum += st.FrontEnd.CachedBytes + st.Transfer.CachedBytes
-		covSum += st.HugepageCoverage
-		snaps++
-	}
+	var ac runAccum
+	opts.SnapshotEveryNs = opts.Duration / 50
+	opts.Snapshot = func(now int64) { ac.observe(alloc) }
 
 	res := workload.Run(m.App, alloc, opts)
-	st := res.Stats
-
-	rm := RunMetrics{App: m.App.Name, Result: res}
-	if tel := alloc.Telemetry(); tel != nil {
-		tel.FlushGauges()
-		rm.Telemetry = tel.Registry()
-	}
-	rm.HeapProfiles = alloc.HeapProfiles("")
-	if snaps > 0 {
-		rm.AvgHeapBytes = heapSum / snaps
-		rm.CacheBytes = cacheSum / snaps
-		rm.Coverage = covSum / float64(snaps)
-	} else {
-		rm.AvgHeapBytes = st.HeapBytes
-		rm.CacheBytes = st.FrontEnd.CachedBytes + st.Transfer.CachedBytes
-		rm.Coverage = st.HugepageCoverage
-	}
-	// Cross-domain share of *reused* objects: cold objects come from
-	// spans (DRAM) and miss regardless of domain.
-	reuse := st.Transfer.IntraDomain + st.Transfer.InterDomain
-	if reuse > 0 {
-		rm.InterDomainShare = float64(st.Transfer.InterDomain) / float64(reuse)
-	}
-	return rm
+	return finishRunMetrics(m, alloc, res, &ac)
 }
 
 // Row is one table row of an A/B experiment, matching the columns of the
@@ -246,6 +216,10 @@ type ChaosStats struct {
 	// Audits is the total number of invariant audits run; Violations is
 	// the total count of violations those audits reported.
 	Audits, Violations int64
+	// Lifecycle aggregates machine churn kills, OOM kills, and the cold
+	// restarts that followed (zero unless ABOptions enabled churn or
+	// OOM-restart lifecycle modeling).
+	Lifecycle LifecycleStats
 }
 
 // ABTelemetry holds the fleet-aggregated metrics registries of the two
@@ -352,6 +326,28 @@ type ABOptions struct {
 	// profiles in enrolment order, so the merged profiles are
 	// byte-identical at any worker count.
 	HeapProfile heapprof.Config
+	// Checkpoint enables crash tolerance: periodic per-machine
+	// checkpoints, resume, and the kill-and-resume smoke. The blobs
+	// carry full machine state, so a resumed experiment is bit-identical
+	// to an uninterrupted one at any worker count.
+	Checkpoint CheckpointOptions
+	// Churn is the per-machine probability of one scheduled kill (with
+	// cold restart) at a seeded point of the run — machine churn and
+	// repair. Restarted machines lose caches and heap but keep their
+	// workload position.
+	Churn float64
+	// RestartOnOOM turns allocator refusals (the chaos plan's
+	// mapped-byte budget) into OOM-kill/restart cycles instead of
+	// dropped ops.
+	RestartOnOOM bool
+	// Retry re-drives a failed machine run with capped exponential
+	// backoff; when checkpointing is on, retries resume from the
+	// machine's last checkpoint instead of starting over. Scheduled
+	// halts (ErrHalted) are never retried.
+	Retry sched.RetryPolicy
+	// RetrySleep substitutes the backoff sleeper (tests); nil means
+	// real time.Sleep.
+	RetrySleep func(time.Duration)
 }
 
 // DefaultABOptions returns the standard experiment setup.
@@ -365,10 +361,22 @@ func DefaultABOptions() ABOptions {
 	}
 }
 
-// runMachineOpts is the machine-run entry point used by A/B experiments.
-// It is a variable so tests can swap in a failing machine and assert the
-// engine propagates the panic with the machine's seed attached.
-var runMachineOpts = RunMachineOpts
+// runMachineOpts and runMachineLifecycle are the machine-run entry
+// points used by A/B experiments. They are variables so tests can swap
+// in a failing machine and assert the engine propagates the failure
+// with the machine's seed attached.
+var (
+	runMachineOpts      = RunMachineOpts
+	runMachineLifecycle = RunMachineLifecycle
+)
+
+// lifecycleEnabled reports whether the experiment needs the
+// checkpoint/lifecycle machine-run path. When false, runs go through
+// the legacy path — which the lifecycle path reproduces bit-identically
+// when no kill or churn fires, so the two never disagree on results.
+func lifecycleEnabled(opts ABOptions) bool {
+	return opts.Checkpoint.enabled() || opts.Churn > 0 || opts.RestartOnOOM
+}
 
 // sampleIndices picks the enrolled machines for an experiment: n
 // distinct indices strided evenly across the fleet, where n is
@@ -417,13 +425,34 @@ type machineOutcome struct {
 	chaos      ChaosStats
 	telC, telE *telemetry.Registry
 	hpC, hpE   []heapprof.Profile
+	halted     bool
+}
+
+// lifecycleFor builds one arm's lifecycle options from the experiment
+// options. attempt > 0 means a supervisor retry: resume from the
+// machine's last checkpoint rather than starting over.
+func lifecycleFor(opts ABOptions, arm, design string, attempt int) LifecycleOptions {
+	lc := LifecycleOptions{
+		Checkpoint:   opts.Checkpoint,
+		Arm:          arm,
+		Design:       design,
+		Churn:        opts.Churn,
+		ChurnSeed:    0xc0ffee ^ opts.Chaos.Seed,
+		RestartOnOOM: opts.RestartOnOOM,
+	}
+	if attempt > 0 && lc.Checkpoint.enabled() {
+		lc.Checkpoint.Resume = true
+	}
+	return lc
 }
 
 // runPair executes one machine's paired control/experiment runs and
 // derives its deltas. It touches no Fleet state besides the (read-only)
 // machine descriptor, which is what makes the A/B loop embarrassingly
-// parallel.
-func runPair(m Machine, control, experiment core.Config, opts ABOptions) machineOutcome {
+// parallel. With lifecycle options enabled it checkpoints, restarts and
+// resumes each arm; a KillAtFrac halt returns halted=true with both
+// arms checkpointed.
+func runPair(m Machine, control, experiment core.Config, opts ABOptions, attempt int) (machineOutcome, error) {
 	wopts := workload.DefaultOptions(m.Seed)
 	wopts.Duration = opts.DurationNs
 	if opts.TimeWarpGamma > 0 {
@@ -444,9 +473,34 @@ func runPair(m Machine, control, experiment core.Config, opts ABOptions) machine
 		hcfg.Seed ^= m.Seed // per-machine, reproducible sampling decisions
 		cfgC.HeapProfile, cfgE.HeapProfile = hcfg, hcfg
 	}
-	c := runMachineOpts(m, cfgC, wopts)
-	e := runMachineOpts(m, cfgE, wopts)
 	var out machineOutcome
+	var c, e RunMetrics
+	if lifecycleEnabled(opts) {
+		var lsC, lsE LifecycleStats
+		var halted bool
+		var err error
+		c, lsC, halted, err = runMachineLifecycle(m, cfgC, wopts, lifecycleFor(opts, "control", opts.ControlDesign, attempt))
+		if err != nil {
+			return out, err
+		}
+		out.halted = halted
+		e, lsE, halted, err = runMachineLifecycle(m, cfgE, wopts, lifecycleFor(opts, "experiment", opts.ExperimentDesign, attempt))
+		if err != nil {
+			return out, err
+		}
+		out.halted = out.halted || halted
+		out.chaos.Lifecycle.ChurnKills = lsC.ChurnKills + lsE.ChurnKills
+		out.chaos.Lifecycle.OOMKills = lsC.OOMKills + lsE.OOMKills
+		out.chaos.Lifecycle.Restarts = lsC.Restarts + lsE.Restarts
+		if out.halted {
+			// No metrics exist for a half-finished run; the resume pass
+			// produces them.
+			return out, nil
+		}
+	} else {
+		c = runMachineOpts(m, cfgC, wopts)
+		e = runMachineOpts(m, cfgE, wopts)
+	}
 	out.telC, out.telE = c.Telemetry, e.Telemetry
 	out.hpC, out.hpE = c.HeapProfiles, e.HeapProfiles
 	for _, rm := range []RunMetrics{c, e} {
@@ -519,7 +573,7 @@ func runPair(m Machine, control, experiment core.Config, opts ABOptions) machine
 		walkB: walkB,
 		walkA: walkA,
 	}
-	return out
+	return out, nil
 }
 
 // mergeOutcomes is the deterministic reducer: it folds per-machine
@@ -562,6 +616,9 @@ func mergeOutcomes(outcomes []machineOutcome, opts ABOptions) ABResult {
 		chaos.PressureReleasedBytes += o.chaos.PressureReleasedBytes
 		chaos.Audits += o.chaos.Audits
 		chaos.Violations += o.chaos.Violations
+		chaos.Lifecycle.ChurnKills += o.chaos.Lifecycle.ChurnKills
+		chaos.Lifecycle.OOMKills += o.chaos.Lifecycle.OOMKills
+		chaos.Lifecycle.Restarts += o.chaos.Lifecycle.Restarts
 	}
 
 	aggregate := func(ps []pair, name string) Row {
@@ -619,24 +676,58 @@ func mergeOutcomes(outcomes []machineOutcome, opts ABOptions) ABResult {
 
 // ABTestErr runs a paired fleet experiment comparing two configurations,
 // fanning the enrolled machines out over opts.Workers goroutines. A
-// panicking machine run fails the whole experiment with an error naming
-// the machine and its seed (so the failure is reproducible with
-// -j 1) instead of killing the process or deadlocking the pool.
+// panicking machine run fails the whole experiment with a MachineError
+// naming the machine and its seed (so the failure is reproducible with
+// -j 1) instead of killing the process or deadlocking the pool. With
+// opts.Retry set, failed machine runs are re-driven with capped
+// exponential backoff — resuming from their last checkpoint when
+// checkpointing is on — before the experiment is declared failed.
+// When opts.Checkpoint.KillAtFrac halts the enrolled runs, every
+// machine is checkpointed and the experiment returns ErrHalted; re-run
+// with opts.Checkpoint.Resume to finish it bit-identically to a run
+// that was never killed.
 func (f *Fleet) ABTestErr(control, experiment core.Config, opts ABOptions) (ABResult, error) {
 	idx := sampleIndices(len(f.Machines), opts)
 	outcomes := make([]machineOutcome, len(idx))
-	err := sched.Map(context.Background(), len(idx), opts.Workers, func(i int) error {
-		outcomes[i] = runPair(f.Machines[idx[i]], control, experiment, opts)
+	sup := &sched.Supervisor{
+		Policy: opts.Retry,
+		Sleep:  opts.RetrySleep,
+		// An intentional halt is not a failure; a checkpoint that
+		// doesn't decode never will, so retrying it only burns time.
+		Retryable: func(err error) bool { return !errors.Is(err, ErrHalted) },
+	}
+	err := sup.Map(context.Background(), len(idx), opts.Workers, func(i, attempt int) error {
+		o, err := runPair(f.Machines[idx[i]], control, experiment, opts, attempt)
+		if err != nil {
+			return err
+		}
+		outcomes[i] = o
 		return nil
 	})
 	if err != nil {
+		var me *MachineError
+		if errors.As(err, &me) {
+			return ABResult{}, err
+		}
 		var pe *sched.PanicError
 		if errors.As(err, &pe) && pe.Index >= 0 && pe.Index < len(idx) {
 			m := f.Machines[idx[pe.Index]]
-			return ABResult{}, fmt.Errorf("fleet: machine %d (seed %#x, app %s) panicked: %v",
-				m.ID, m.Seed, m.App.Name, pe.Value)
+			return ABResult{}, &MachineError{
+				MachineID: m.ID, Seed: m.Seed, App: m.App.Name, VirtualNs: -1,
+				Err: fmt.Errorf("panicked: %v", pe.Value),
+			}
 		}
 		return ABResult{}, err
+	}
+	halted := 0
+	for _, o := range outcomes {
+		if o.halted {
+			halted++
+		}
+	}
+	if halted > 0 {
+		return ABResult{}, fmt.Errorf("%d of %d machines killed at %.0f%% virtual time: %w",
+			halted, len(idx), opts.Checkpoint.KillAtFrac*100, ErrHalted)
 	}
 	return mergeOutcomes(outcomes, opts), nil
 }

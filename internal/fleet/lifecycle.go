@@ -1,0 +1,374 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/rng"
+	"wsmalloc/internal/snapshot"
+	"wsmalloc/internal/topology"
+	"wsmalloc/internal/workload"
+)
+
+// CheckpointOptions configure crash tolerance for machine runs.
+type CheckpointOptions struct {
+	// Dir is where per-machine checkpoint blobs are written (one file
+	// per machine per arm, atomically via rename). Empty disables
+	// checkpointing entirely.
+	Dir string
+	// EveryNs is the virtual-time checkpoint cadence. 0 with a Dir
+	// still checkpoints once at a scheduled kill.
+	EveryNs int64
+	// Resume loads each machine's checkpoint (when one exists) before
+	// running, continuing bit-identically from where the blob left off.
+	// Machines without a checkpoint start from the beginning.
+	Resume bool
+	// KillAtFrac, in (0, 1), halts every machine run at this fraction
+	// of its virtual duration — after writing a final checkpoint — to
+	// simulate a fleet-wide crash for the kill-and-resume smoke. The
+	// run then returns ErrHalted.
+	KillAtFrac float64
+}
+
+func (c CheckpointOptions) enabled() bool { return c.Dir != "" }
+
+// LifecycleOptions model machine churn and OOM-kill/restart cycles for
+// one machine run, plus the checkpoint plumbing.
+type LifecycleOptions struct {
+	Checkpoint CheckpointOptions
+	// Arm distinguishes the control and experiment blobs of one
+	// machine ("control", "experiment", or "single").
+	Arm string
+	// Design is the arm's design-point string; folded into the
+	// checkpoint fingerprint so a resume under a different design is
+	// rejected instead of silently diverging.
+	Design string
+	// Churn is the probability that this machine suffers one kill at a
+	// seeded, uniformly-placed point of the run; the machine restarts
+	// cold (caches and heap lost, workload position kept).
+	Churn float64
+	// ChurnSeed decorrelates churn schedules between runs; it is mixed
+	// with the machine seed so each machine fails at its own
+	// reproducible point.
+	ChurnSeed uint64
+	// RestartOnOOM turns an allocator refusal (typically the fault
+	// plan's mapped-byte budget) into an OOM-kill/restart cycle
+	// instead of a dropped op.
+	RestartOnOOM bool
+	// MaxRestarts bounds combined churn+OOM restarts per run; beyond
+	// it the machine is declared unhealthy and the run fails with a
+	// MachineError. 0 means DefaultMaxRestarts.
+	MaxRestarts int
+}
+
+// DefaultMaxRestarts bounds per-run restart cycles; a machine that dies
+// more often than this is wedged (e.g. budget below the resident heap),
+// and looping forever would hide it.
+const DefaultMaxRestarts = 16
+
+func (lc LifecycleOptions) enabled() bool {
+	return lc.Checkpoint.enabled() || lc.Churn > 0 || lc.RestartOnOOM
+}
+
+func (lc LifecycleOptions) maxRestarts() int {
+	if lc.MaxRestarts > 0 {
+		return lc.MaxRestarts
+	}
+	return DefaultMaxRestarts
+}
+
+// LifecycleStats count machine-lifecycle events over one or more runs.
+type LifecycleStats struct {
+	// ChurnKills and OOMKills are scheduled-churn and budget-triggered
+	// kills; Restarts counts the cold restarts that followed (every
+	// kill restarts unless the run was out of restart budget).
+	ChurnKills, OOMKills, Restarts int64
+}
+
+// ErrHalted marks a run that stopped at a scheduled kill after writing
+// its checkpoint — the expected outcome of a KillAtFrac run, resumable
+// with CheckpointOptions.Resume.
+var ErrHalted = errors.New("fleet: run halted at checkpoint (re-run with resume to continue)")
+
+// MachineError names the machine and virtual timestamp of a mid-run
+// failure, so any fleet failure is reproducible with -j 1 and the
+// machine's seed. VirtualNs is -1 when the failure point is unknown
+// (e.g. a panic captured outside the driver loop).
+type MachineError struct {
+	MachineID int
+	Seed      uint64
+	App       string
+	VirtualNs int64
+	Err       error
+}
+
+func (e *MachineError) Error() string {
+	when := "t=unknown"
+	if e.VirtualNs >= 0 {
+		when = fmt.Sprintf("t=%dns", e.VirtualNs)
+	}
+	return fmt.Sprintf("fleet: machine %d (seed %#x, app %s, %s): %v",
+		e.MachineID, e.Seed, e.App, when, e.Err)
+}
+
+func (e *MachineError) Unwrap() error { return e.Err }
+
+// runAccum is the time-averaging state RunMachineOpts keeps across
+// snapshot callbacks. It is part of the machine's resumable state: a
+// resumed run must produce the same averages as an uninterrupted one.
+type runAccum struct {
+	heapSum, cacheSum, snaps int64
+	covSum                   float64
+}
+
+func (ac *runAccum) observe(a *core.Allocator) {
+	st := a.Stats()
+	ac.heapSum += st.HeapBytes
+	ac.cacheSum += st.FrontEnd.CachedBytes + st.Transfer.CachedBytes
+	ac.covSum += st.HugepageCoverage
+	ac.snaps++
+}
+
+// checkpointPath is the per-machine-per-arm blob location.
+func checkpointPath(dir string, m Machine, arm string) string {
+	return filepath.Join(dir, fmt.Sprintf("m%04d-%s.ckpt", m.ID, arm))
+}
+
+// fingerprint is the stable identity of one machine-arm run. A resume
+// whose fingerprint disagrees with the blob's is rejected: the blob
+// belongs to a different machine, arm, duration, design, or fault
+// plan, and overlaying it would silently break determinism.
+func runFingerprint(m Machine, cfg core.Config, duration int64, lc LifecycleOptions) string {
+	return fmt.Sprintf("machine=%d seed=%#x platform=%s app=%s duration=%d arm=%s design=%q faults=%d:%g:%d churn=%g:%#x",
+		m.ID, m.Seed, m.Platform.Name, m.App.Name, duration, lc.Arm, lc.Design,
+		cfg.Faults.Seed, cfg.Faults.MmapFailureRate, cfg.Faults.MappedBytesBudget,
+		lc.Churn, lc.ChurnSeed)
+}
+
+// machineCheckpoint bundles everything a machine-arm run needs to
+// resume: the identity fingerprint, the time-averaging accumulators,
+// the lifecycle progress, the full allocator state, and the workload
+// driver position.
+func encodeMachineCheckpoint(fp string, ac *runAccum, pendingChurn int64,
+	ls LifecycleStats, a *core.Allocator, d *workload.Driver) []byte {
+	var e snapshot.Encoder
+	e.Section("fleet.machine")
+	e.String(fp)
+	e.I64(ac.heapSum)
+	e.I64(ac.cacheSum)
+	e.I64(ac.snaps)
+	e.F64(ac.covSum)
+	e.I64(pendingChurn)
+	e.I64(ls.ChurnKills)
+	e.I64(ls.OOMKills)
+	e.I64(ls.Restarts)
+	a.EncodeState(&e)
+	d.EncodeState(&e)
+	return e.Finish()
+}
+
+func decodeMachineCheckpoint(blob []byte, fp string, ac *runAccum, pendingChurn *int64,
+	ls *LifecycleStats, a *core.Allocator, d *workload.Driver) error {
+	dec, err := snapshot.NewDecoder(blob)
+	if err != nil {
+		return err
+	}
+	dec.Section("fleet.machine")
+	if got := dec.String(); dec.Err() == nil && got != fp {
+		return fmt.Errorf("checkpoint belongs to a different run:\n  blob: %s\n  want: %s", got, fp)
+	}
+	ac.heapSum = dec.I64()
+	ac.cacheSum = dec.I64()
+	ac.snaps = dec.I64()
+	ac.covSum = dec.F64()
+	*pendingChurn = dec.I64()
+	ls.ChurnKills = dec.I64()
+	ls.OOMKills = dec.I64()
+	ls.Restarts = dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := a.DecodeState(dec); err != nil {
+		return err
+	}
+	return d.DecodeState(dec)
+}
+
+// writeFileAtomic writes via a temp file + rename so a crash mid-write
+// never leaves a truncated checkpoint where a valid one stood. The
+// parent directory is created on demand.
+func writeFileAtomic(path string, blob []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// churnSchedule decides, from seeds alone, whether and when this
+// machine is churn-killed: one uniformly-placed kill with probability
+// lc.Churn. Deterministic per (machine seed, churn seed).
+func churnSchedule(m Machine, duration int64, lc LifecycleOptions) int64 {
+	if lc.Churn <= 0 {
+		return 0
+	}
+	cr := rng.New(m.Seed ^ lc.ChurnSeed ^ 0x9e3779b97f4a7c15)
+	if !cr.Bool(lc.Churn) {
+		return 0
+	}
+	at := 1 + int64(cr.Float64()*float64(duration-1))
+	return at
+}
+
+// RunMachineLifecycle executes one machine run with checkpointing and
+// machine-lifecycle modeling. It returns halted=true (with no error)
+// when a KillAtFrac kill stopped the run after checkpointing; the same
+// call with Checkpoint.Resume set picks the run back up and finishes
+// it bit-identically to a run that was never killed.
+func RunMachineLifecycle(m Machine, cfg core.Config, opts workload.Options,
+	lc LifecycleOptions) (RunMetrics, LifecycleStats, bool, error) {
+	topo := topology.New(m.Platform)
+	alloc := core.New(cfg, topo)
+	duration := opts.Duration
+	fail := func(at int64, err error) (RunMetrics, LifecycleStats, bool, error) {
+		return RunMetrics{}, LifecycleStats{}, false, &MachineError{
+			MachineID: m.ID, Seed: m.Seed, App: m.App.Name, VirtualNs: at, Err: err,
+		}
+	}
+
+	var ac runAccum
+	var ls LifecycleStats
+	opts.SnapshotEveryNs = duration / 50
+	opts.Snapshot = func(now int64) { ac.observe(alloc) }
+	if lc.RestartOnOOM {
+		opts.HaltOnAllocFailure = true
+	}
+
+	pendingChurn := churnSchedule(m, duration, lc)
+	killAt := int64(0)
+	if f := lc.Checkpoint.KillAtFrac; f > 0 && f < 1 {
+		killAt = int64(f * float64(duration))
+	}
+
+	// The checkpoint callback captures alloc and d through these
+	// variables, which restarts reassign.
+	var d *workload.Driver
+	fp := runFingerprint(m, cfg, duration, lc)
+	ckptPath := ""
+	var ckptErr error
+	if lc.Checkpoint.enabled() {
+		ckptPath = checkpointPath(lc.Checkpoint.Dir, m, lc.Arm)
+		opts.CheckpointEveryNs = lc.Checkpoint.EveryNs
+		opts.Checkpoint = func(now int64) {
+			if ckptErr != nil {
+				return
+			}
+			blob := encodeMachineCheckpoint(fp, &ac, pendingChurn, ls, alloc, d)
+			if err := writeFileAtomic(ckptPath, blob); err != nil {
+				ckptErr = err
+			}
+		}
+	}
+
+	// armHalt points the driver at the earliest pending kill.
+	armHalt := func() {
+		h := pendingChurn
+		if killAt > 0 && (h == 0 || killAt < h) {
+			h = killAt
+		}
+		opts.HaltAtNs = h
+	}
+	armHalt()
+	d = workload.NewDriver(m.App, alloc, opts)
+
+	if lc.Checkpoint.enabled() && lc.Checkpoint.Resume {
+		if blob, err := os.ReadFile(ckptPath); err == nil {
+			if err := decodeMachineCheckpoint(blob, fp, &ac, &pendingChurn, &ls, alloc, d); err != nil {
+				return fail(-1, fmt.Errorf("restoring checkpoint %s: %w", ckptPath, err))
+			}
+			armHaltDriver(d, pendingChurn, killAt)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return fail(-1, fmt.Errorf("reading checkpoint %s: %w", ckptPath, err))
+		}
+	}
+
+	res := d.Run()
+	for d.Halted() {
+		if ckptErr != nil {
+			return fail(d.Now(), fmt.Errorf("writing checkpoint %s: %w", ckptPath, ckptErr))
+		}
+		switch d.HaltReason() {
+		case workload.HaltTimer:
+			if pendingChurn > 0 && d.Now() >= pendingChurn {
+				// Scheduled churn: the machine dies and is repaired.
+				ls.ChurnKills++
+				pendingChurn = 0
+			} else {
+				// KillAtFrac: the whole run stops here, checkpointed.
+				return RunMetrics{}, ls, true, nil
+			}
+		case workload.HaltAllocFailure:
+			ls.OOMKills++
+		default:
+			return fail(d.Now(), fmt.Errorf("halted run with no halt reason"))
+		}
+		if ls.Restarts >= int64(lc.maxRestarts()) {
+			return fail(d.Now(), fmt.Errorf("machine unhealthy: %d restarts (churn=%d, oom=%d) exhausted the restart budget",
+				ls.Restarts, ls.ChurnKills, ls.OOMKills))
+		}
+		ls.Restarts++
+		alloc = core.New(cfg, topo)
+		d.Restart(alloc)
+		armHaltDriver(d, pendingChurn, killAt)
+		res = d.Run()
+	}
+	if ckptErr != nil {
+		return fail(d.Now(), fmt.Errorf("writing checkpoint %s: %w", ckptPath, ckptErr))
+	}
+
+	rm := finishRunMetrics(m, alloc, res, &ac)
+	return rm, ls, false, nil
+}
+
+// armHaltDriver mirrors armHalt for an already-built driver.
+func armHaltDriver(d *workload.Driver, pendingChurn, killAt int64) {
+	h := pendingChurn
+	if killAt > 0 && (h == 0 || killAt < h) {
+		h = killAt
+	}
+	d.SetHaltAt(h)
+}
+
+// finishRunMetrics derives the RunMetrics summary from a completed run,
+// shared by the legacy and lifecycle paths so both report identically.
+func finishRunMetrics(m Machine, alloc *core.Allocator, res workload.Result, ac *runAccum) RunMetrics {
+	st := res.Stats
+	rm := RunMetrics{App: m.App.Name, Result: res}
+	if tel := alloc.Telemetry(); tel != nil {
+		tel.FlushGauges()
+		rm.Telemetry = tel.Registry()
+	}
+	rm.HeapProfiles = alloc.HeapProfiles("")
+	if ac.snaps > 0 {
+		rm.AvgHeapBytes = ac.heapSum / ac.snaps
+		rm.CacheBytes = ac.cacheSum / ac.snaps
+		rm.Coverage = ac.covSum / float64(ac.snaps)
+	} else {
+		rm.AvgHeapBytes = st.HeapBytes
+		rm.CacheBytes = st.FrontEnd.CachedBytes + st.Transfer.CachedBytes
+		rm.Coverage = st.HugepageCoverage
+	}
+	// Cross-domain share of *reused* objects: cold objects come from
+	// spans (DRAM) and miss regardless of domain.
+	reuse := st.Transfer.IntraDomain + st.Transfer.InterDomain
+	if reuse > 0 {
+		rm.InterDomainShare = float64(st.Transfer.InterDomain) / float64(reuse)
+	}
+	return rm
+}

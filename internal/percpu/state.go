@@ -1,0 +1,90 @@
+package percpu
+
+import "wsmalloc/internal/snapshot"
+
+// EncodeState serializes the front-end: every populated vCPU cache's
+// object stacks (in LIFO order), capacity/slow-start state, hit/miss
+// counters, and the resizer cursors. Config and the wiring functions
+// are not serialized — the restored Caches must be built by New with
+// the same Config before DecodeState overlays the mutable state.
+func (c *Caches) EncodeState(e *snapshot.Encoder) {
+	e.Section("percpu")
+	e.I64(c.lastResize)
+	e.I64(c.lastDecay)
+	e.Int(c.stealCursor)
+	e.I64(c.resizes)
+	e.Len(len(c.caches))
+	for _, cc := range c.caches {
+		e.Bool(cc != nil)
+		if cc == nil {
+			continue
+		}
+		e.I64(cc.used)
+		e.I64(cc.capacity)
+		e.I64(cc.bound)
+		e.I64(cc.allocHits)
+		e.I64(cc.allocMisses)
+		e.I64(cc.freeHits)
+		e.I64(cc.freeMisses)
+		e.I64(cc.missWindow)
+		e.F64(cc.missEWMA)
+		for class := 0; class < c.numClasses; class++ {
+			e.Len(len(cc.slots[class]))
+			for _, addr := range cc.slots[class] {
+				e.U64(addr)
+			}
+			e.I64(cc.classOps[class])
+			e.I64(cc.classOpsAtDecay[class])
+		}
+	}
+}
+
+// DecodeState restores state saved by EncodeState into a freshly
+// constructed Caches with the same Config.
+func (c *Caches) DecodeState(d *snapshot.Decoder) {
+	d.Section("percpu")
+	c.lastResize = d.I64()
+	c.lastDecay = d.I64()
+	c.stealCursor = d.Int()
+	c.resizes = d.I64()
+	n := d.Len(1)
+	c.caches = make([]*cpuCache, n)
+	for i := 0; i < n; i++ {
+		if !d.Bool() {
+			continue
+		}
+		cc := &cpuCache{
+			slots:           make([][]uint64, c.numClasses),
+			classOps:        make([]int64, c.numClasses),
+			classOpsAtDecay: make([]int64, c.numClasses),
+		}
+		cc.used = d.I64()
+		cc.capacity = d.I64()
+		cc.bound = d.I64()
+		cc.allocHits = d.I64()
+		cc.allocMisses = d.I64()
+		cc.freeHits = d.I64()
+		cc.freeMisses = d.I64()
+		cc.missWindow = d.I64()
+		cc.missEWMA = d.F64()
+		for class := 0; class < c.numClasses; class++ {
+			m := d.Len(8)
+			if d.Err() != nil {
+				return
+			}
+			if m > 0 {
+				s := make([]uint64, m)
+				for j := range s {
+					s[j] = d.U64()
+				}
+				cc.slots[class] = s
+			}
+			cc.classOps[class] = d.I64()
+			cc.classOpsAtDecay[class] = d.I64()
+		}
+		if d.Err() != nil {
+			return
+		}
+		c.caches[i] = cc
+	}
+}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"context"
+	"runtime/debug"
+	"time"
+)
+
+// RetryPolicy bounds how a Supervisor retries failed tasks: at most
+// MaxAttempts total attempts per task, sleeping BaseDelay before the
+// first retry and doubling up to MaxDelay before each subsequent one
+// (capped exponential backoff). The zero value never retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per task, including
+	// the first. Values <= 1 mean no retries.
+	MaxAttempts int
+	// BaseDelay is the sleep before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth; 0 means uncapped.
+	MaxDelay time.Duration
+}
+
+// Delay returns the backoff before retry number retry (1-based):
+// BaseDelay << (retry-1), capped at MaxDelay.
+func (p RetryPolicy) Delay(retry int) time.Duration {
+	if retry < 1 || p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		return p.MaxDelay
+	}
+	return d
+}
+
+// Supervisor is Map with per-task retry: a task that fails (error or
+// captured panic) is re-run on the same worker after a backoff, up to
+// the policy's attempt budget, before its failure is allowed to fail
+// the whole run. The fleet uses it to re-drive killed machine runs
+// from their last checkpoint, so one flaky machine doesn't abort a
+// long experiment.
+type Supervisor struct {
+	// Policy bounds retries; the zero value makes Map plain Map.
+	Policy RetryPolicy
+	// Retryable, when non-nil, filters which errors are retried.
+	// Non-retryable errors fail the task on the spot (e.g. an
+	// intentional halt-for-checkpoint, or a corrupted checkpoint that
+	// will never decode differently).
+	Retryable func(error) bool
+	// Sleep, when non-nil, replaces time.Sleep for backoff — injected
+	// by tests so retry sequences run instantly.
+	Sleep func(time.Duration)
+	// OnRetry, when non-nil, observes each retry decision: the task
+	// index, the attempt that just failed (1-based), and its error.
+	OnRetry func(task, attempt int, err error)
+}
+
+// Map runs fn(i, attempt) for every i in [0, n) on at most workers
+// goroutines, retrying failed tasks per the policy. fn receives the
+// 0-based attempt number so a retried task can choose to resume from
+// its last checkpoint instead of starting over. The determinism
+// contract of Map is preserved: results stay index-addressed, and a
+// task's retries all happen on the worker that claimed it, in order.
+func (s *Supervisor) Map(ctx context.Context, n, workers int, fn func(i, attempt int) error) error {
+	attempts := s.Policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	sleep := s.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return Map(ctx, n, workers, func(i int) error {
+		var err error
+		for attempt := 0; attempt < attempts; attempt++ {
+			if attempt > 0 {
+				sleep(s.Policy.Delay(attempt))
+			}
+			// Capture panics per attempt so a panicking task is
+			// retryable like any other failure.
+			err = func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+					}
+				}()
+				return fn(i, attempt)
+			}()
+			if err == nil {
+				return nil
+			}
+			if ctx.Err() != nil {
+				return err
+			}
+			if s.Retryable != nil && !s.Retryable(err) {
+				return err
+			}
+			if s.OnRetry != nil && attempt+1 < attempts {
+				s.OnRetry(i, attempt+1, err)
+			}
+		}
+		return err
+	})
+}

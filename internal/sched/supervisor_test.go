@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDelayCappedExponential(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 45 * time.Millisecond}
+	want := []time.Duration{0, 10e6, 20e6, 40e6, 45e6, 45e6}
+	for retry, w := range want {
+		if got := p.Delay(retry); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", retry, got, w)
+		}
+	}
+	if (RetryPolicy{}).Delay(3) != 0 {
+		t.Fatal("zero policy must not sleep")
+	}
+}
+
+func TestSupervisorRetriesUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	s := &Supervisor{
+		Policy: RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		Sleep:  func(d time.Duration) { slept = append(slept, d) },
+	}
+	attemptsSeen := make([]int, 3)
+	err := s.Map(context.Background(), 3, 1, func(i, attempt int) error {
+		attemptsSeen[i] = attempt
+		if i == 1 && attempt < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	if attemptsSeen[0] != 0 || attemptsSeen[1] != 2 || attemptsSeen[2] != 0 {
+		t.Fatalf("attempts = %v", attemptsSeen)
+	}
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("backoff = %v", slept)
+	}
+}
+
+func TestSupervisorExhaustsAttempts(t *testing.T) {
+	calls := 0
+	s := &Supervisor{Policy: RetryPolicy{MaxAttempts: 3}, Sleep: func(time.Duration) {}}
+	err := s.Map(context.Background(), 1, 1, func(i, attempt int) error {
+		calls++
+		return errors.New("permanent")
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestSupervisorRetriesPanics(t *testing.T) {
+	s := &Supervisor{Policy: RetryPolicy{MaxAttempts: 2}, Sleep: func(time.Duration) {}}
+	err := s.Map(context.Background(), 1, 1, func(i, attempt int) error {
+		if attempt == 0 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("panic not retried: %v", err)
+	}
+
+	// Exhausted panics surface as *PanicError like plain Map's.
+	err = s.Map(context.Background(), 1, 1, func(i, attempt int) error { panic("always") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 0 {
+		t.Fatalf("want PanicError, got %v", err)
+	}
+}
+
+func TestSupervisorNonRetryableFailsFast(t *testing.T) {
+	sentinel := errors.New("halted")
+	calls := 0
+	s := &Supervisor{
+		Policy:    RetryPolicy{MaxAttempts: 5},
+		Sleep:     func(time.Duration) {},
+		Retryable: func(err error) bool { return !errors.Is(err, sentinel) },
+	}
+	err := s.Map(context.Background(), 1, 1, func(i, attempt int) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestSupervisorParallelDeterministicResults(t *testing.T) {
+	run := func(workers int) []int {
+		out := make([]int, 64)
+		s := &Supervisor{Policy: RetryPolicy{MaxAttempts: 3}, Sleep: func(time.Duration) {}}
+		err := s.Map(context.Background(), len(out), workers, func(i, attempt int) error {
+			if attempt == 0 && i%7 == 3 {
+				return errors.New("flaky")
+			}
+			out[i] = i*i + attempt
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("map(j=%d): %v", workers, err)
+		}
+		return out
+	}
+	seq := run(1)
+	for _, j := range []int{2, 4, 8} {
+		par := run(j)
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("j=%d diverges at %d", j, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary blobs through the full decoder surface.
+// The invariant under fuzzing is the codec's safety contract: decoding
+// hostile input must never panic and must never allocate beyond the
+// blob's own size, whether the blob fails header validation or decodes
+// partway before tripping the sticky error.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid blob, a truncation, a corruption, and a version
+	// skew so the fuzzer starts on all four rejection paths.
+	e := NewEncoder()
+	e.Section("fuzz")
+	e.U64(42)
+	e.String("seed")
+	e.Bytes([]byte{1, 2, 3})
+	valid := e.Finish()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	skew := append([]byte(nil), valid...)
+	skew[5] ^= 1
+	f.Add(skew)
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	f.Add(corrupt)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		d, err := NewDecoder(blob)
+		if err != nil {
+			return
+		}
+		// Exercise every read primitive; the sticky error must absorb
+		// arbitrary garbage without panicking.
+		d.Section("fuzz")
+		d.U8()
+		d.Bool()
+		d.U32()
+		d.U64()
+		d.I64()
+		d.Int()
+		d.F64()
+		d.Bytes()
+		d.String()
+		for i, n := 0, d.Len(8); i < n; i++ {
+			d.U64()
+		}
+		d.Section("trailer")
+		d.Err()
+	})
+}
+
+// FuzzRoundTrip encodes the fuzzed values and asserts exact recovery —
+// the determinism half of the codec contract.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(1), int64(-5), 3.14, "tag", []byte{9})
+	f.Fuzz(func(t *testing.T, u uint64, i int64, fl float64, s string, b []byte) {
+		e := NewEncoder()
+		e.Section("rt")
+		e.U64(u)
+		e.I64(i)
+		e.F64(fl)
+		e.String(s)
+		e.Bytes(b)
+		d, err := NewDecoder(e.Finish())
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		d.Section("rt")
+		if got := d.U64(); got != u {
+			t.Errorf("U64 = %d, want %d", got, u)
+		}
+		if got := d.I64(); got != i {
+			t.Errorf("I64 = %d, want %d", got, i)
+		}
+		// Compare bit patterns so NaN round-trips count as equal.
+		if got := d.F64(); got != fl && !(got != got && fl != fl) {
+			t.Errorf("F64 = %v, want %v", got, fl)
+		}
+		if got := d.String(); got != s {
+			t.Errorf("String = %q, want %q", got, s)
+		}
+		if got := d.Bytes(); !bytes.Equal(got, b) {
+			t.Errorf("Bytes = %v, want %v", got, b)
+		}
+		if err := d.Err(); err != nil {
+			t.Fatalf("Err: %v", err)
+		}
+	})
+}

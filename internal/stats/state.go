@@ -1,0 +1,35 @@
+package stats
+
+import "wsmalloc/internal/snapshot"
+
+// EncodeState serializes the histogram's bucket weights and total.
+func (h *LogHistogram) EncodeState(e *snapshot.Encoder) {
+	e.Int(h.minExp)
+	e.Int(h.maxExp)
+	e.F64(h.total)
+	e.Len(len(h.counts))
+	for _, c := range h.counts {
+		e.F64(c)
+	}
+}
+
+// DecodeState restores weights saved by EncodeState into a histogram
+// constructed over the same exponent range, failing the decoder on a
+// range mismatch.
+func (h *LogHistogram) DecodeState(d *snapshot.Decoder) {
+	minExp, maxExp := d.Int(), d.Int()
+	if d.Err() == nil && (minExp != h.minExp || maxExp != h.maxExp) {
+		d.Fail("stats: histogram range [%d,%d] in snapshot, [%d,%d] constructed",
+			minExp, maxExp, h.minExp, h.maxExp)
+	}
+	h.total = d.F64()
+	if n := d.Len(8); d.Err() == nil && n != len(h.counts) {
+		d.Fail("stats: histogram has %d buckets in snapshot, %d constructed", n, len(h.counts))
+	}
+	if d.Err() != nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] = d.F64()
+	}
+}

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+
+	"wsmalloc/internal/snapshot"
+)
+
+// EncodeState serializes the registry: counter sums, gauge values, and
+// histogram buckets, each sorted by name. Shard structure is not
+// preserved — a counter's restored value lands on shard 0, which is
+// exact because Value always folds the shards.
+func (r *Registry) EncodeState(e *snapshot.Encoder) {
+	e.Section("telemetry.registry")
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e.Len(len(names))
+	for _, n := range names {
+		e.String(n)
+		e.I64(r.counters[n].Value())
+	}
+
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e.Len(len(names))
+	for _, n := range names {
+		e.String(n)
+		e.I64(r.gauges[n].Value())
+	}
+
+	names = names[:0]
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e.Len(len(names))
+	for _, n := range names {
+		e.String(n)
+		h := r.histograms[n]
+		h.mu.Lock()
+		h.h.EncodeState(e)
+		h.mu.Unlock()
+	}
+}
+
+// DecodeState restores metrics saved by EncodeState. Metrics are
+// get-or-created by name, so pre-registered counters (the per-kind
+// event counters, core's histograms) are overwritten in place and
+// counters unknown to this build are recreated faithfully.
+func (r *Registry) DecodeState(d *snapshot.Decoder) {
+	d.Section("telemetry.registry")
+
+	n := d.Len(4 + 8)
+	for i := 0; i < n; i++ {
+		name := d.String()
+		v := d.I64()
+		if d.Err() != nil {
+			return
+		}
+		c := r.Counter(name)
+		for j := range c.cells {
+			c.cells[j].v = 0
+		}
+		c.cells[0].v = v
+	}
+
+	n = d.Len(4 + 8)
+	for i := 0; i < n; i++ {
+		name := d.String()
+		v := d.I64()
+		if d.Err() != nil {
+			return
+		}
+		r.Gauge(name).Set(v)
+	}
+
+	n = d.Len(8 * 4)
+	for i := 0; i < n; i++ {
+		name := d.String()
+		if d.Err() != nil {
+			return
+		}
+		r.mu.RLock()
+		h := r.histograms[name]
+		r.mu.RUnlock()
+		if h == nil {
+			d.Fail("telemetry: snapshot histogram %q not registered in this sink", name)
+			return
+		}
+		h.mu.Lock()
+		h.h.DecodeState(d)
+		h.mu.Unlock()
+		if d.Err() != nil {
+			return
+		}
+	}
+}
+
+// EncodeState serializes the ring buffer verbatim (raw slot order plus
+// the cursor), so a restored tracer overwrites exactly the slots the
+// uninterrupted run would have.
+func (t *Tracer) EncodeState(e *snapshot.Encoder) {
+	e.Section("telemetry.tracer")
+	e.Bool(t != nil)
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.Int(cap(t.buf))
+	e.Int(t.next)
+	e.Bool(t.wrapped)
+	e.I64(t.total)
+	e.Len(len(t.buf))
+	for _, ev := range t.buf {
+		e.I64(ev.NowNs)
+		e.U8(uint8(ev.Kind))
+		e.I64(ev.A)
+		e.I64(ev.B)
+	}
+}
+
+// DecodeState restores tracer state saved by EncodeState; it returns
+// the restored tracer because a snapshot from a tracing-disabled sink
+// restores to nil.
+func (t *Tracer) DecodeState(d *snapshot.Decoder) *Tracer {
+	d.Section("telemetry.tracer")
+	if !d.Bool() {
+		return nil
+	}
+	capacity := d.Int()
+	next := d.Int()
+	wrapped := d.Bool()
+	total := d.I64()
+	n := d.Len(8 + 1 + 8 + 8)
+	if d.Err() != nil {
+		return t
+	}
+	if capacity <= 0 || n > capacity || next < 0 || next >= capacity {
+		d.Fail("telemetry: tracer ring geometry cap=%d len=%d next=%d", capacity, n, next)
+		return t
+	}
+	if t == nil {
+		t = NewTracer(capacity)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = make([]Event, n, capacity)
+	for i := range t.buf {
+		ev := Event{NowNs: d.I64(), Kind: EventKind(d.U8()), A: d.I64(), B: d.I64()}
+		ev.KindS = ev.Kind.String()
+		t.buf[i] = ev
+	}
+	t.next = next
+	t.wrapped = wrapped
+	t.total = total
+	return t
+}
+
+// EncodeState serializes the sink's mutable state: the registry, the
+// trace ring, and the time-series sampler's deadline and collected
+// samples (as JSON — the sample series is exporter-shaped data, and
+// json round-trips it exactly).
+func (s *Sink) EncodeState(e *snapshot.Encoder) {
+	e.Section("telemetry.sink")
+	e.Bool(s != nil)
+	if s == nil {
+		return
+	}
+	s.reg.EncodeState(e)
+	s.tracer.EncodeState(e)
+	e.Bool(s.sampler != nil)
+	if s.sampler != nil {
+		s.sampler.mu.Lock()
+		e.I64(s.sampler.nextAt)
+		blob, err := json.Marshal(s.sampler.samples)
+		s.sampler.mu.Unlock()
+		if err != nil {
+			panic("telemetry: marshaling sampler series: " + err.Error())
+		}
+		e.Bytes(blob)
+	}
+}
+
+// DecodeState restores sink state saved by EncodeState into a sink
+// freshly built by NewSink with the same Config, failing the decoder
+// when the snapshot's telemetry shape (enabled, sampling) disagrees
+// with the constructed sink.
+func (s *Sink) DecodeState(d *snapshot.Decoder) {
+	d.Section("telemetry.sink")
+	had := d.Bool()
+	if d.Err() != nil {
+		return
+	}
+	if had != (s != nil) {
+		d.Fail("telemetry: snapshot sink enabled=%v, constructed sink enabled=%v", had, s != nil)
+		return
+	}
+	if s == nil {
+		return
+	}
+	s.reg.DecodeState(d)
+	s.tracer = s.tracer.DecodeState(d)
+	hadSampler := d.Bool()
+	if d.Err() != nil {
+		return
+	}
+	if hadSampler != (s.sampler != nil) {
+		d.Fail("telemetry: snapshot sampling=%v, constructed sampling=%v", hadSampler, s.sampler != nil)
+		return
+	}
+	if s.sampler == nil {
+		return
+	}
+	nextAt := d.I64()
+	blob := d.Bytes()
+	if d.Err() != nil {
+		return
+	}
+	var samples []Snapshot
+	if err := json.Unmarshal(blob, &samples); err != nil {
+		d.Fail("telemetry: unmarshaling sampler series: %v", err)
+		return
+	}
+	s.sampler.mu.Lock()
+	s.sampler.nextAt = nextAt
+	s.sampler.samples = samples
+	s.sampler.mu.Unlock()
+}

@@ -1,0 +1,34 @@
+package topology
+
+import "wsmalloc/internal/snapshot"
+
+// EncodeState serializes the vCPU assignment in first-touch order (the
+// toPhys slice fully determines the map).
+func (m *VCPUMap) EncodeState(e *snapshot.Encoder) {
+	e.Section("vcpumap")
+	e.Len(len(m.toPhys))
+	for _, phys := range m.toPhys {
+		e.Int(phys)
+	}
+}
+
+// DecodeState restores the assignment saved by EncodeState.
+func (m *VCPUMap) DecodeState(d *snapshot.Decoder) {
+	d.Section("vcpumap")
+	n := d.Len(8)
+	m.toPhys = make([]int, 0, n)
+	m.toVCPU = make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		phys := d.Int()
+		if d.Err() != nil {
+			return
+		}
+		if phys < 0 || phys >= m.topology.NumCPUs() {
+			d.Fail("topology: vcpu %d maps to physical CPU %d outside [0,%d)",
+				i, phys, m.topology.NumCPUs())
+			return
+		}
+		m.toVCPU[phys] = len(m.toPhys)
+		m.toPhys = append(m.toPhys, phys)
+	}
+}

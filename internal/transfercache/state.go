@@ -1,0 +1,103 @@
+package transfercache
+
+import "wsmalloc/internal/snapshot"
+
+// encodeCache serializes one flat-array cache: its entries in stack
+// order (with the freeing-domain tags) and its activity counters. The
+// max bound is derived from Config at construction and not serialized.
+func encodeCache(e *snapshot.Encoder, c *cache) {
+	e.Len(len(c.entries))
+	for _, ent := range c.entries {
+		e.U64(ent.addr)
+		e.I64(int64(ent.domain))
+	}
+	e.I64(c.hits)
+	e.I64(c.misses)
+	e.I64(c.opsAtLastPlunder)
+	e.I64(c.ops)
+}
+
+func decodeCache(d *snapshot.Decoder, c *cache) {
+	n := d.Len(8 + 8)
+	if d.Err() != nil {
+		return
+	}
+	c.entries = c.entries[:0]
+	for i := 0; i < n; i++ {
+		c.entries = append(c.entries, entry{addr: d.U64(), domain: int16(d.I64())})
+	}
+	c.hits = d.I64()
+	c.misses = d.I64()
+	c.opsAtLastPlunder = d.I64()
+	c.ops = d.I64()
+}
+
+// EncodeState serializes the middle tier: every legacy and per-domain
+// cache plus the aggregate stats. Config, placement, and the backing
+// wiring are reconstructed by New before DecodeState overlays state.
+func (t *TransferCaches) EncodeState(e *snapshot.Encoder) {
+	e.Section("transfercache")
+	e.Len(len(t.legacy))
+	for i := range t.legacy {
+		encodeCache(e, &t.legacy[i])
+	}
+	e.Len(len(t.domains))
+	for d := range t.domains {
+		e.Len(len(t.domains[d]))
+		for i := range t.domains[d] {
+			encodeCache(e, &t.domains[d][i])
+		}
+	}
+	e.I64(t.stats.Hits)
+	e.I64(t.stats.Misses)
+	e.I64(t.stats.DomainHits)
+	e.I64(t.stats.LegacyHits)
+	e.I64(t.stats.IntraDomain)
+	e.I64(t.stats.InterDomain)
+	e.I64(t.stats.Cold)
+	e.I64(t.stats.Overflows)
+	e.I64(t.stats.Plundered)
+}
+
+// DecodeState restores state saved by EncodeState into a layer freshly
+// built by New with the same Config, failing the decoder if the cache
+// geometry does not match.
+func (t *TransferCaches) DecodeState(d *snapshot.Decoder) {
+	d.Section("transfercache")
+	if n := d.Len(8); d.Err() == nil && n != len(t.legacy) {
+		d.Fail("transfercache: %d legacy caches in snapshot, layer has %d", n, len(t.legacy))
+	}
+	if d.Err() != nil {
+		return
+	}
+	for i := range t.legacy {
+		decodeCache(d, &t.legacy[i])
+	}
+	if n := d.Len(8); d.Err() == nil && n != len(t.domains) {
+		d.Fail("transfercache: %d domains in snapshot, layer has %d", n, len(t.domains))
+	}
+	if d.Err() != nil {
+		return
+	}
+	for dom := range t.domains {
+		if n := d.Len(8); d.Err() == nil && n != len(t.domains[dom]) {
+			d.Fail("transfercache: domain %d has %d caches in snapshot, layer has %d",
+				dom, n, len(t.domains[dom]))
+		}
+		if d.Err() != nil {
+			return
+		}
+		for i := range t.domains[dom] {
+			decodeCache(d, &t.domains[dom][i])
+		}
+	}
+	t.stats.Hits = d.I64()
+	t.stats.Misses = d.I64()
+	t.stats.DomainHits = d.I64()
+	t.stats.LegacyHits = d.I64()
+	t.stats.IntraDomain = d.I64()
+	t.stats.InterDomain = d.I64()
+	t.stats.Cold = d.I64()
+	t.stats.Overflows = d.I64()
+	t.stats.Plundered = d.I64()
+}

@@ -35,6 +35,26 @@ type Options struct {
 	// and once more at the end of the run. Violations land in
 	// Result.Violations.
 	AuditEveryNs int64
+	// Checkpoint, when non-nil, is called every CheckpointEveryNs of
+	// virtual time, and once more at HaltAtNs if a halt is requested. It
+	// fires at the top of the event loop — before the next arrival is
+	// drawn — so a driver serialized inside the callback resumes
+	// bit-identically to a run that was never interrupted. The callback
+	// must not touch the driver's RNG or allocator.
+	Checkpoint        func(now int64)
+	CheckpointEveryNs int64
+	// HaltAtNs, when positive, stops Run at the first loop iteration at
+	// or past this virtual time (a simulated kill). A final Checkpoint
+	// fires first, so the run can be resumed from exactly the halt
+	// point. Resuming callers must clear HaltAtNs (or move it later) in
+	// the resumed options, or the run halts again immediately.
+	HaltAtNs int64
+	// HaltOnAllocFailure stops Run at the first allocation the
+	// allocator refuses, instead of dropping the op — the OOM-kill
+	// trigger for machine-lifecycle runs. No checkpoint fires: an
+	// OOM-killed process loses its heap and is restarted cold (see
+	// Driver.Restart).
+	HaltOnAllocFailure bool
 }
 
 // DefaultOptions returns options suitable for experiment runs.
@@ -104,12 +124,16 @@ type object struct {
 // deathBucketNs is the granularity of the death wheel.
 const deathBucketNs = 100 * Microsecond
 
-// Driver runs a profile against an allocator.
+// Driver runs a profile against an allocator. All run-position state
+// lives in fields (not Run locals) so a driver can be serialized at a
+// checkpoint and resumed, or rebound to a fresh allocator after a
+// simulated OOM kill, without losing its place in the workload.
 type Driver struct {
 	profile Profile
 	alloc   *core.Allocator
 	opts    Options
 	r       *rng.RNG
+	dyn     ThreadDynamics
 
 	now       int64
 	threads   int
@@ -117,6 +141,16 @@ type Driver struct {
 	curBucket int64
 	liveCount int64
 	preloaded []object
+
+	started    bool
+	halted     bool
+	haltReason HaltReason
+
+	nextThreadUpdate int64
+	nextTick         int64
+	nextSnapshot     int64
+	nextAudit        int64
+	nextCheckpoint   int64
 
 	res Result
 }
@@ -146,11 +180,14 @@ func NewDriver(p Profile, a *core.Allocator, opts Options) *Driver {
 	if hp := a.HeapProfiler(); hp != nil {
 		hp.SetWorkload(p.Name)
 	}
+	dyn := p.Threads
+	dyn.PeriodNs = opts.DynamicsPeriodNs
 	return &Driver{
 		profile: p,
 		alloc:   a,
 		opts:    opts,
 		r:       rng.New(opts.Seed),
+		dyn:     dyn,
 		wheel:   make(map[int64][]object),
 	}
 }
@@ -220,28 +257,60 @@ func (d *Driver) preload() {
 	}
 }
 
-// Run executes the workload and returns the result.
+// Run executes the workload and returns the result. A driver restored
+// from a checkpoint (or one that halted) continues from where it left
+// off: initialization runs only on the first call.
 func (d *Driver) Run() Result {
 	p := d.profile
-	dyn := p.Threads
-	dyn.PeriodNs = d.opts.DynamicsPeriodNs
+	if !d.started {
+		d.threads = d.dyn.Count(d.r, 0)
+		d.res.ThreadSeries = append(d.res.ThreadSeries, d.threads)
+		d.preload()
 
-	d.threads = dyn.Count(d.r, 0)
-	d.res.ThreadSeries = append(d.res.ThreadSeries, d.threads)
-	d.preload()
-
-	nextThreadUpdate := d.opts.ThreadUpdateEveryNs
-	nextTick := d.opts.TickEveryNs
-	nextSnapshot := int64(math.MaxInt64)
-	if d.opts.Snapshot != nil && d.opts.SnapshotEveryNs > 0 {
-		nextSnapshot = d.opts.SnapshotEveryNs
+		d.nextThreadUpdate = d.opts.ThreadUpdateEveryNs
+		d.nextTick = d.opts.TickEveryNs
+		d.nextSnapshot = math.MaxInt64
+		if d.opts.Snapshot != nil && d.opts.SnapshotEveryNs > 0 {
+			d.nextSnapshot = d.opts.SnapshotEveryNs
+		}
+		d.nextAudit = math.MaxInt64
+		if d.opts.AuditEveryNs > 0 {
+			d.nextAudit = d.opts.AuditEveryNs
+		}
+		d.nextCheckpoint = math.MaxInt64
+		if d.opts.Checkpoint != nil && d.opts.CheckpointEveryNs > 0 {
+			d.nextCheckpoint = d.opts.CheckpointEveryNs
+		}
+		d.started = true
 	}
-	nextAudit := int64(math.MaxInt64)
-	if d.opts.AuditEveryNs > 0 {
-		nextAudit = d.opts.AuditEveryNs
+	d.halted = false
+	d.haltReason = HaltNone
+	// A resumed run may enable checkpointing that the original run did
+	// not have (or drop it — the gate below checks the live options).
+	if d.opts.Checkpoint != nil && d.opts.CheckpointEveryNs > 0 &&
+		d.nextCheckpoint == math.MaxInt64 {
+		d.nextCheckpoint = d.now + d.opts.CheckpointEveryNs
 	}
 
 	for d.now < d.opts.Duration {
+		// The loop top is the resume point: no event is in flight, so a
+		// checkpoint taken here captures the run completely. The cursor
+		// advances before the callback so the serialized driver does not
+		// re-fire this checkpoint on resume.
+		if d.opts.Checkpoint != nil && d.opts.CheckpointEveryNs > 0 &&
+			d.now >= d.nextCheckpoint {
+			d.nextCheckpoint += d.opts.CheckpointEveryNs
+			d.opts.Checkpoint(d.now)
+		}
+		if d.opts.HaltAtNs > 0 && d.now >= d.opts.HaltAtNs {
+			if d.opts.Checkpoint != nil {
+				d.opts.Checkpoint(d.now)
+			}
+			d.halted = true
+			d.haltReason = HaltTimer
+			return d.res
+		}
+
 		// Next allocation arrival: exponential with rate threads/gap.
 		gap := p.MeanAllocGapNs / float64(d.threads)
 		dt := int64(gap * d.r.ExpFloat64())
@@ -252,22 +321,22 @@ func (d *Driver) Run() Result {
 
 		d.processDeaths(d.now)
 
-		if d.now >= nextTick {
+		if d.now >= d.nextTick {
 			d.alloc.Tick(d.now)
-			nextTick += d.opts.TickEveryNs
+			d.nextTick += d.opts.TickEveryNs
 		}
-		if d.now >= nextThreadUpdate {
-			d.threads = dyn.Count(d.r, d.now)
+		if d.now >= d.nextThreadUpdate {
+			d.threads = d.dyn.Count(d.r, d.now)
 			d.res.ThreadSeries = append(d.res.ThreadSeries, d.threads)
-			nextThreadUpdate += d.opts.ThreadUpdateEveryNs
+			d.nextThreadUpdate += d.opts.ThreadUpdateEveryNs
 		}
-		if d.now >= nextSnapshot {
+		if d.now >= d.nextSnapshot {
 			d.opts.Snapshot(d.now)
-			nextSnapshot += d.opts.SnapshotEveryNs
+			d.nextSnapshot += d.opts.SnapshotEveryNs
 		}
-		if d.now >= nextAudit {
+		if d.now >= d.nextAudit {
 			d.audit()
-			nextAudit += d.opts.AuditEveryNs
+			d.nextAudit += d.opts.AuditEveryNs
 		}
 		if d.now >= d.opts.Duration {
 			break
@@ -281,9 +350,16 @@ func (d *Driver) Run() Result {
 		addr, cost, err := d.alloc.TryMalloc(size, cpu)
 		d.res.MallocNs += cost
 		if err != nil {
+			d.res.AllocFailures++
+			if d.opts.HaltOnAllocFailure {
+				// The process is OOM-killed mid-allocation; the caller
+				// restarts it against a fresh allocator (Restart).
+				d.halted = true
+				d.haltReason = HaltAllocFailure
+				return d.res
+			}
 			// Degrade gracefully: the op is dropped and the workload
 			// proceeds. Frees keep running, so memory pressure can clear.
-			d.res.AllocFailures++
 			continue
 		}
 		d.res.Ops++
@@ -305,6 +381,57 @@ func (d *Driver) Run() Result {
 		d.res.TotalCPUNs = d.res.MallocNs / p.MallocFraction
 	}
 	return d.res
+}
+
+// HaltReason says why the last Run call stopped early.
+type HaltReason uint8
+
+const (
+	// HaltNone: the run completed (or has not halted yet).
+	HaltNone HaltReason = iota
+	// HaltTimer: the run reached Options.HaltAtNs (a scheduled kill).
+	HaltTimer
+	// HaltAllocFailure: the allocator refused an allocation with
+	// Options.HaltOnAllocFailure set (a simulated OOM kill).
+	HaltAllocFailure
+)
+
+// Halted reports whether the last Run call stopped early — at HaltAtNs
+// or on a refused allocation — rather than completing the workload.
+func (d *Driver) Halted() bool { return d.halted }
+
+// HaltReason distinguishes a scheduled kill from an OOM kill.
+func (d *Driver) HaltReason() HaltReason { return d.haltReason }
+
+// SetHaltAt reschedules (or, with 0, cancels) the run's halt time —
+// how a lifecycle caller clears a churn kill after restarting the
+// machine, so the resumed Run doesn't halt again immediately.
+func (d *Driver) SetHaltAt(ns int64) { d.opts.HaltAtNs = ns }
+
+// Now returns the driver's virtual-time position.
+func (d *Driver) Now() int64 { return d.now }
+
+// Restart rebinds a halted driver to a freshly constructed allocator,
+// modeling an OOM-kill/re-exec cycle: every live object and every
+// cached span died with the old process, but the workload keeps its
+// position — RNG cursor, virtual clock, thread count, result counters
+// and schedule cursors all survive. Like a real restarted process, it
+// rebuilds its resident heap before serving traffic again; the death
+// wheel is cleared because the objects it tracked no longer exist.
+func (d *Driver) Restart(a *core.Allocator) {
+	d.alloc = a
+	if hp := a.HeapProfiler(); hp != nil {
+		hp.SetWorkload(d.profile.Name)
+	}
+	d.wheel = make(map[int64][]object)
+	d.liveCount = 0
+	d.preloaded = nil
+	d.halted = false
+	d.haltReason = HaltNone
+	a.Tick(d.now)
+	if d.started {
+		d.preload()
+	}
 }
 
 // audit runs the allocator-wide invariant check and records the outcome.

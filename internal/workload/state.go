@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"sort"
+
+	"wsmalloc/internal/check"
+	"wsmalloc/internal/snapshot"
+)
+
+// EncodeState serializes the driver's run position: the workload RNG,
+// virtual clock, thread count, death wheel (sorted by bucket, in-bucket
+// order preserved — frees replay in the exact order the uninterrupted
+// run issues them), preloaded resident heap, schedule cursors, and the
+// accumulated Result counters. The profile and Options are not
+// serialized: the resuming caller reconstructs the driver via NewDriver
+// with the same arguments, then overlays this state.
+func (d *Driver) EncodeState(e *snapshot.Encoder) {
+	e.Section("workload.driver")
+	d.r.EncodeState(e)
+	e.I64(d.now)
+	e.Int(d.threads)
+	e.I64(d.curBucket)
+	e.I64(d.liveCount)
+	e.Bool(d.started)
+	e.I64(d.nextThreadUpdate)
+	e.I64(d.nextTick)
+	e.I64(d.nextSnapshot)
+	e.I64(d.nextAudit)
+	e.I64(d.nextCheckpoint)
+
+	buckets := make([]int64, 0, len(d.wheel))
+	for b := range d.wheel {
+		buckets = append(buckets, b)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i] < buckets[j] })
+	e.Len(len(buckets))
+	for _, b := range buckets {
+		objs := d.wheel[b]
+		e.I64(b)
+		e.Len(len(objs))
+		for _, o := range objs {
+			e.U64(o.addr)
+			e.Int(o.size)
+		}
+	}
+
+	e.Len(len(d.preloaded))
+	for _, o := range d.preloaded {
+		e.U64(o.addr)
+		e.Int(o.size)
+	}
+
+	e.Section("workload.result")
+	e.I64(d.res.Ops)
+	e.I64(d.res.Frees)
+	e.F64(d.res.MallocNs)
+	e.I64(d.res.AllocatedBytes)
+	e.I64(d.res.AllocFailures)
+	e.I64(d.res.Audits)
+	e.Len(len(d.res.ThreadSeries))
+	for _, n := range d.res.ThreadSeries {
+		e.Int(n)
+	}
+	e.Len(len(d.res.Violations))
+	for _, v := range d.res.Violations {
+		e.String(v.Tier)
+		e.String(string(v.Kind))
+		e.String(v.Detail)
+	}
+}
+
+// DecodeState restores driver state saved by EncodeState into a driver
+// freshly built by NewDriver with the same profile, options, and a
+// restored (or fresh) allocator.
+func (d *Driver) DecodeState(dec *snapshot.Decoder) error {
+	dec.Section("workload.driver")
+	d.r.DecodeState(dec)
+	d.now = dec.I64()
+	d.threads = dec.Int()
+	d.curBucket = dec.I64()
+	d.liveCount = dec.I64()
+	d.started = dec.Bool()
+	d.nextThreadUpdate = dec.I64()
+	d.nextTick = dec.I64()
+	d.nextSnapshot = dec.I64()
+	d.nextAudit = dec.I64()
+	d.nextCheckpoint = dec.I64()
+	if dec.Err() == nil && d.threads < 1 {
+		dec.Fail("workload: restored thread count %d", d.threads)
+	}
+
+	nb := dec.Len(8 + 4)
+	d.wheel = make(map[int64][]object, nb)
+	var wheelObjs int64
+	for i := 0; i < nb && dec.Err() == nil; i++ {
+		b := dec.I64()
+		no := dec.Len(8 + 4)
+		objs := make([]object, 0, no)
+		for j := 0; j < no; j++ {
+			objs = append(objs, object{addr: dec.U64(), size: dec.Int()})
+		}
+		if dec.Err() != nil {
+			break
+		}
+		if _, dup := d.wheel[b]; dup {
+			dec.Fail("workload: duplicate death bucket %d", b)
+			break
+		}
+		d.wheel[b] = objs
+		wheelObjs += int64(no)
+	}
+	if dec.Err() == nil && wheelObjs != d.liveCount {
+		dec.Fail("workload: wheel holds %d objects, liveCount says %d", wheelObjs, d.liveCount)
+	}
+
+	np := dec.Len(8 + 4)
+	d.preloaded = make([]object, 0, np)
+	for i := 0; i < np && dec.Err() == nil; i++ {
+		d.preloaded = append(d.preloaded, object{addr: dec.U64(), size: dec.Int()})
+	}
+
+	dec.Section("workload.result")
+	d.res.Ops = dec.I64()
+	d.res.Frees = dec.I64()
+	d.res.MallocNs = dec.F64()
+	d.res.AllocatedBytes = dec.I64()
+	d.res.AllocFailures = dec.I64()
+	d.res.Audits = dec.I64()
+	ns := dec.Len(4)
+	d.res.ThreadSeries = make([]int, 0, ns)
+	for i := 0; i < ns && dec.Err() == nil; i++ {
+		d.res.ThreadSeries = append(d.res.ThreadSeries, dec.Int())
+	}
+	nv := dec.Len(4 * 3)
+	d.res.Violations = nil
+	for i := 0; i < nv && dec.Err() == nil; i++ {
+		d.res.Violations = append(d.res.Violations, check.Violation{
+			Tier:   dec.String(),
+			Kind:   check.Kind(dec.String()),
+			Detail: dec.String(),
+		})
+	}
+	return dec.Err()
+}

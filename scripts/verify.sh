@@ -64,4 +64,21 @@ for ext in json csv; do
     cmp "$TELDIR/ds1.$ext" "$TELDIR/ds4.$ext"
 done
 
+echo "==> crash-tolerance smoke (kill at 50% virtual time, resume; exports byte-identical to uninterrupted, under -race)"
+# go run flattens the child's exit code to 1, so build the race binary
+# to observe the kill run's resume-me exit code (3) directly.
+go build -race -o "$TELDIR/fleet-ab-race" ./cmd/fleet-ab
+for j in 1 4; do
+    CKDIR="$TELDIR/ck$j"
+    status=0
+    "$TELDIR/fleet-ab-race" -machines 64 -duration-ms 20 -telemetry -heapprof \
+        -checkpoint-dir "$CKDIR" -kill-frac 0.5 -j "$j" > /dev/null || status=$?
+    [ "$status" -eq 3 ] # the scheduled kill must exit with the resume-me code
+    "$TELDIR/fleet-ab-race" -machines 64 -duration-ms 20 -telemetry -heapprof \
+        -checkpoint-dir "$CKDIR" -resume -metrics-out "$TELDIR/resumed$j" -j "$j" > /dev/null
+    for ext in prom json mallocz heapz heapz.json; do
+        cmp "$TELDIR/j1.$ext" "$TELDIR/resumed$j.$ext"
+    done
+done
+
 echo "verify: OK"

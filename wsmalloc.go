@@ -35,6 +35,7 @@ import (
 	"wsmalloc/internal/heapprof"
 	"wsmalloc/internal/mem"
 	"wsmalloc/internal/policy"
+	"wsmalloc/internal/sched"
 	"wsmalloc/internal/telemetry"
 	"wsmalloc/internal/topology"
 	"wsmalloc/internal/workload"
@@ -76,6 +77,13 @@ type (
 	ABOptions = fleet.ABOptions
 	// ABResult is a fleet experiment outcome.
 	ABResult = fleet.ABResult
+	// Machine is one synthetic machine of a fleet population.
+	Machine = fleet.Machine
+	// MachineRunMetrics is one machine run's derived metrics.
+	MachineRunMetrics = fleet.RunMetrics
+	// LifecycleOptions select checkpoint/resume, churn and OOM-restart
+	// behaviour for a single machine run.
+	LifecycleOptions = fleet.LifecycleOptions
 	// Report is a printable experiment outcome.
 	Report = experiments.Report
 	// Scale trades experiment fidelity for wall-clock time.
@@ -96,6 +104,28 @@ type (
 	// Hardening selects sanitizer/chaos instrumentation for experiments.
 	Hardening = experiments.Hardening
 )
+
+// Crash-tolerance and machine-lifecycle types (ABOptions.Checkpoint,
+// ABOptions.Churn, ABOptions.Retry).
+type (
+	// CheckpointOptions control deterministic checkpoint/resume of a
+	// fleet experiment (ABOptions.Checkpoint).
+	CheckpointOptions = fleet.CheckpointOptions
+	// MachineError names the machine (seed, app, virtual timestamp)
+	// behind a failed or unresumable machine run.
+	MachineError = fleet.MachineError
+	// RetryPolicy caps the supervisor's per-machine retries with
+	// exponential backoff (ABOptions.Retry).
+	RetryPolicy = sched.RetryPolicy
+	// LifecycleStats counts churn kills, OOM kills and restarts over a
+	// fleet experiment (ChaosStats.Lifecycle).
+	LifecycleStats = fleet.LifecycleStats
+)
+
+// ErrHalted reports a run stopped at a scheduled kill point after
+// checkpointing every machine; re-run with CheckpointOptions.Resume to
+// finish it.
+var ErrHalted = fleet.ErrHalted
 
 // Telemetry types (Config.Telemetry, ABOptions.Telemetry).
 type (
@@ -369,6 +399,16 @@ func NewFleet(n int, seed uint64) *Fleet { return fleet.New(n, seed) }
 
 // DefaultABOptions returns the standard fleet experiment setup.
 func DefaultABOptions() ABOptions { return fleet.DefaultABOptions() }
+
+// RunMachineLifecycle executes one machine run with crash tolerance:
+// periodic deterministic checkpoints, scheduled kills, seeded churn and
+// OOM-kill/restart cycles per LifecycleOptions. It returns halted=true
+// when the run stopped at a scheduled kill point after checkpointing;
+// resuming with LifecycleOptions.Checkpoint.Resume finishes the run
+// bit-identically to one that was never interrupted.
+func RunMachineLifecycle(m Machine, cfg Config, opts RunOptions, lc LifecycleOptions) (MachineRunMetrics, LifecycleStats, bool, error) {
+	return fleet.RunMachineLifecycle(m, cfg, opts, lc)
+}
 
 // Experiment returns the named paper experiment ("fig3".."fig17",
 // "table1", "table2", "combined", "ablation-*").

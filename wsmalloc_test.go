@@ -44,7 +44,7 @@ func TestFacadeRunWorkload(t *testing.T) {
 }
 
 func TestFacadeExperimentsRegistry(t *testing.T) {
-	if len(wsmalloc.Experiments()) != 24 {
+	if len(wsmalloc.Experiments()) != 26 {
 		t.Fatalf("registry size %d", len(wsmalloc.Experiments()))
 	}
 	r, ok := wsmalloc.Experiment("fig11")

@@ -1,0 +1,180 @@
+// Command benchgate is the CI benchmark regression gate. It reads
+// `go test -bench` output on stdin, extracts the headline throughput
+// metric of each gated benchmark (the custom machines/s or ops/s
+// column, not ns/op), compares every metric against the committed
+// baseline in BENCH_fleet.json's bench_smoke block, and fails if any
+// of them regressed by more than -max-regress (default 10%). On a
+// passing run (and with -update, unconditionally) the measured values
+// are recorded back into the baseline file, so an intentional perf
+// change is committed as part of the same PR that caused it — see
+// README "Benchmark baselines" for the update procedure.
+//
+// Throughput metrics are bigger-is-better, so only a drop can fail the
+// gate; a speedup just moves the recorded baseline up.
+//
+// Usage: go test ./internal/fleet/ -run '^$' -bench ... | benchgate [flags]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// gated lists the benchmarks verify.sh runs and the throughput metric
+// each one reports. A gated benchmark missing from stdin is an error:
+// it means the bench invocation in verify.sh drifted out of sync.
+var gated = []struct{ name, metric string }{
+	{"FleetAB/j=1", "machines/s"},
+	{"TelemetryDisabled", "machines/s"},
+	{"HotLoop", "ops/s"},
+}
+
+type smokeEntry struct {
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+type smokeBlock struct {
+	MaxRegressFrac float64               `json:"max_regress_frac"`
+	Benchmarks     map[string]smokeEntry `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_fleet.json", "baseline file holding the bench_smoke block")
+	maxRegress := flag.Float64("max-regress", 0.10, "maximum tolerated fractional throughput drop")
+	update := flag.Bool("update", false, "record measured values without gating (baseline refresh)")
+	flag.Parse()
+
+	measured := parseBench(os.Stdin)
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	// Decode into a generic map so rewriting bench_smoke preserves the
+	// sweep results and any future top-level keys fleet-ab records.
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fatalf("parse %s: %v", *baselinePath, err)
+	}
+	committed := committedSmoke(doc)
+
+	failed := false
+	for _, g := range gated {
+		got, ok := measured[g.name]
+		if !ok {
+			fatalf("benchmark %s missing from input — is the -bench pattern in verify.sh out of sync?", g.name)
+		}
+		if got.Metric != g.metric {
+			fatalf("benchmark %s reported %q, want %q", g.name, got.Metric, g.metric)
+		}
+		prev, has := committed[g.name]
+		switch {
+		case *update || !has:
+			fmt.Printf("benchgate: %-18s %14.2f %-10s (recorded, no gate)\n", g.name, got.Value, got.Metric)
+		case got.Value < prev.Value*(1-*maxRegress):
+			fmt.Printf("benchgate: %-18s %14.2f %-10s REGRESSED %.1f%% vs committed %.2f (limit %.0f%%)\n",
+				g.name, got.Value, got.Metric, 100*(1-got.Value/prev.Value), prev.Value, 100**maxRegress)
+			failed = true
+		default:
+			fmt.Printf("benchgate: %-18s %14.2f %-10s ok vs committed %.2f (%+.1f%%)\n",
+				g.name, got.Value, got.Metric, prev.Value, 100*(got.Value/prev.Value-1))
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: FAIL — if the slowdown is intentional, refresh the baseline (see README, Benchmark baselines)")
+		os.Exit(1)
+	}
+
+	doc["bench_smoke"] = smokeBlock{MaxRegressFrac: *maxRegress, Benchmarks: measured}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatalf("encode baseline: %v", err)
+	}
+	if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+		fatalf("write baseline: %v", err)
+	}
+	fmt.Printf("benchgate: OK — recorded %d benchmarks to %s\n", len(measured), *baselinePath)
+}
+
+// parseBench extracts the custom throughput metrics from `go test
+// -bench` output: for every "Benchmark<Name>[-P]  N  ... <value>
+// <unit>" line whose unit is a gated metric, it records value under
+// Name with the -GOMAXPROCS suffix stripped. Lines are echoed through
+// so the CI log keeps the raw benchmark output.
+func parseBench(f *os.File) map[string]smokeEntry {
+	units := make(map[string]bool)
+	for _, g := range gated {
+		units[g.metric] = true
+	}
+	out := make(map[string]smokeEntry)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -GOMAXPROCS suffix go test appends when procs > 1.
+		if i := strings.LastIndexByte(name, '-'); i >= 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// Metric columns come in (value, unit) pairs after the op count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			if !units[fields[i+1]] {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				fatalf("bad metric value on line %q: %v", line, err)
+			}
+			out[name] = smokeEntry{Metric: fields[i+1], Value: v}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read stdin: %v", err)
+	}
+	return out
+}
+
+// committedSmoke pulls the previously committed bench_smoke block out
+// of the decoded baseline document; absent or malformed blocks yield
+// an empty map, which seeds the baseline instead of gating.
+func committedSmoke(doc map[string]any) map[string]smokeEntry {
+	out := make(map[string]smokeEntry)
+	blk, ok := doc["bench_smoke"].(map[string]any)
+	if !ok {
+		return out
+	}
+	benches, ok := blk["benchmarks"].(map[string]any)
+	if !ok {
+		return out
+	}
+	for name, v := range benches {
+		e, ok := v.(map[string]any)
+		if !ok {
+			continue
+		}
+		metric, _ := e["metric"].(string)
+		value, ok := e["value"].(float64)
+		if !ok {
+			continue
+		}
+		out[name] = smokeEntry{Metric: metric, Value: value}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

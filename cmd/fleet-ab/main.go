@@ -66,6 +66,7 @@ import (
 	"time"
 
 	"wsmalloc"
+	"wsmalloc/internal/profiling"
 )
 
 // benchEntry is one sweep point of the engine benchmark.
@@ -221,7 +222,17 @@ func main() {
 	retries := flag.Int("retries", 1, "max attempts per machine run; retries resume from the machine's checkpoint")
 	benchSweep := flag.String("bench-sweep", "", "comma-separated -j values to benchmark (e.g. 1,2,4,max); writes JSON and exits")
 	benchOut := flag.String("bench-out", "BENCH_fleet.json", "benchmark JSON output path (with -bench-sweep)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	flag.Parse()
+	profiling.TuneGC()
+
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProfiling()
 
 	control := wsmalloc.Baseline()
 	experiment := control

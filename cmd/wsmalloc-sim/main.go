@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"wsmalloc"
+	"wsmalloc/internal/profiling"
 )
 
 func main() {
@@ -54,7 +55,17 @@ func main() {
 	killFrac := flag.Float64("kill-frac", 0, "kill the run at this fraction of virtual time after checkpointing (exit code 3; needs -checkpoint-dir)")
 	churn := flag.Float64("churn", 0, "probability the run is killed once mid-run and restarted cold (machine churn)")
 	restartOnOOM := flag.Bool("restart-on-oom", false, "OOM-kill and restart on allocation failure instead of dropping the op (pair with a Config fault budget)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	flag.Parse()
+	profiling.TuneGC()
+
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProfiling()
 
 	if *list {
 		for _, p := range wsmalloc.AllProfiles() {

@@ -1,0 +1,321 @@
+package wsmalloc_test
+
+// Golden bit-identity regression suite for the hot-path overhaul: the
+// canonical exports (Prometheus metricsz, heapz, pageheapz, designspace
+// CSV) for 3 seeds x 2 design points are captured into testdata/golden/
+// BEFORE any hot-path optimization, and TestHotPathGoldenEquivalence
+// fails if a single byte of any export changes afterwards.
+//
+// TestFastPathMatchesSlowPath is the differential half of the net: it
+// re-runs the same scenarios with every tier policy wrapped in a
+// delegating adapter whose concrete type the monomorphized fast path
+// cannot recognize, forcing the dynamic interface-dispatch path, and
+// requires the exports to stay byte-identical to the fast path's.
+//
+// Regenerate goldens (only when an intentional behaviour change lands):
+//
+//	go test -run TestHotPathGoldenEquivalence -update ./...
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wsmalloc"
+	"wsmalloc/internal/centralfreelist"
+	"wsmalloc/internal/pageheap"
+	"wsmalloc/internal/percpu"
+	"wsmalloc/internal/span"
+	"wsmalloc/internal/transfercache"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files")
+
+var goldenSeeds = []uint64{1, 2, 3}
+
+// goldenDesigns are the two design points the suite pins down: the
+// all-legacy baseline and the paper's full redesign.
+func goldenDesigns(t testing.TB) []struct {
+	name   string
+	point  wsmalloc.DesignPoint
+	config wsmalloc.Config
+} {
+	baseCfg, err := wsmalloc.ConfigForDesign(wsmalloc.BaselineDesign())
+	if err != nil {
+		t.Fatalf("baseline config: %v", err)
+	}
+	optCfg, err := wsmalloc.ConfigForDesign(wsmalloc.OptimizedDesign())
+	if err != nil {
+		t.Fatalf("optimized config: %v", err)
+	}
+	return []struct {
+		name   string
+		point  wsmalloc.DesignPoint
+		config wsmalloc.Config
+	}{
+		{"baseline", wsmalloc.BaselineDesign(), baseCfg},
+		{"optimized", wsmalloc.OptimizedDesign(), optCfg},
+	}
+}
+
+const (
+	goldenFleetMachines   = 48
+	goldenFleetDurationNs = 12_000_000 // 12 ms virtual per machine run
+	goldenMachineDuration = 20_000_000 // 20 ms single-machine run
+)
+
+// fleetExports runs a small telemetry+heapprof-instrumented fleet A/B
+// (control = baseline, experiment = the design under test) and renders
+// the two canonical export documents.
+func fleetExports(t testing.TB, seed uint64, control, experiment wsmalloc.Config,
+	controlDesign, experimentDesign string) (prom, heapz []byte) {
+	t.Helper()
+	f := wsmalloc.NewFleet(goldenFleetMachines, seed)
+	opts := wsmalloc.DefaultABOptions()
+	opts.SampleFraction = 0.08
+	opts.MinMachines = 3
+	opts.DurationNs = goldenFleetDurationNs
+	opts.Workers = 1
+	opts.Telemetry = wsmalloc.DefaultTelemetryConfig()
+	opts.ControlDesign = controlDesign
+	opts.ExperimentDesign = experimentDesign
+	opts.HeapProfile = wsmalloc.DefaultHeapProfileConfig()
+	opts.HeapProfile.Seed = seed
+
+	res := f.ABTest(control, experiment, opts)
+	if res.Telemetry == nil || res.HeapProfiles == nil {
+		t.Fatal("fleet A/B returned no telemetry or heap profiles")
+	}
+
+	var promBuf bytes.Buffer
+	if err := wsmalloc.WriteTelemetryPrometheus(&promBuf, res.Telemetry.Snapshots(opts.DurationNs)...); err != nil {
+		t.Fatalf("prometheus export: %v", err)
+	}
+	var heapBuf bytes.Buffer
+	profiles := append(append([]wsmalloc.HeapProfile{}, res.HeapProfiles.Control...),
+		res.HeapProfiles.Experiment...)
+	if err := wsmalloc.WriteHeapProfiles(&heapBuf, profiles...); err != nil {
+		t.Fatalf("heapz export: %v", err)
+	}
+	return promBuf.Bytes(), heapBuf.Bytes()
+}
+
+// pageheapzExport runs one Monarch machine on the given config and
+// renders the /pageheapz fragmentation document.
+func pageheapzExport(t testing.TB, seed uint64, cfg wsmalloc.Config) []byte {
+	t.Helper()
+	alloc := wsmalloc.NewAllocator(cfg, wsmalloc.DefaultPlatform())
+	opts := wsmalloc.DefaultRunOptions(seed)
+	opts.Duration = goldenMachineDuration
+	res := wsmalloc.RunWorkloadOn(wsmalloc.Monarch(), alloc, opts)
+	if res.Ops == 0 {
+		t.Fatal("workload run produced no operations")
+	}
+	var buf bytes.Buffer
+	if err := wsmalloc.WritePageHeapZ(&buf, alloc.PageHeapZ()); err != nil {
+		t.Fatalf("pageheapz export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// designspaceExport sweeps both golden design points through the
+// designspace experiment at smoke scale and returns the CSV leaderboard.
+func designspaceExport(t testing.TB, seed uint64) []byte {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "ds")
+	wsmalloc.SetDesignSpace([]wsmalloc.DesignPoint{
+		wsmalloc.BaselineDesign(), wsmalloc.OptimizedDesign(),
+	}, base)
+	defer wsmalloc.SetDesignSpace(nil, "")
+	if _, err := wsmalloc.RunExperiments([]string{"designspace"}, seed, wsmalloc.ScaleSmoke); err != nil {
+		t.Fatalf("designspace run: %v", err)
+	}
+	csv, err := os.ReadFile(base + ".csv")
+	if err != nil {
+		t.Fatalf("designspace CSV: %v", err)
+	}
+	return csv
+}
+
+func goldenPath(name string) string { return filepath.Join("testdata", "golden", name) }
+
+// checkGolden compares got against the committed golden (or rewrites it
+// under -update).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := goldenPath(name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to capture): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: export differs from golden (%d bytes got, %d want); first divergence at byte %d",
+			path, len(got), len(want), firstDiff(got, want))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestHotPathGoldenEquivalence is the bit-identity gate: every canonical
+// export must match the pre-optimization goldens byte for byte.
+func TestHotPathGoldenEquivalence(t *testing.T) {
+	designs := goldenDesigns(t)
+	baseline := designs[0]
+	for _, seed := range goldenSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			for _, d := range designs {
+				d := d
+				t.Run(d.name, func(t *testing.T) {
+					prom, heapz := fleetExports(t, seed, baseline.config, d.config,
+						baseline.point.String(), d.point.String())
+					checkGolden(t, fmt.Sprintf("seed%d_%s.prom", seed, d.name), prom)
+					checkGolden(t, fmt.Sprintf("seed%d_%s.heapz", seed, d.name), heapz)
+					checkGolden(t, fmt.Sprintf("seed%d_%s.pageheapz", seed, d.name),
+						pageheapzExport(t, seed, d.config))
+				})
+			}
+			t.Run("designspace", func(t *testing.T) {
+				checkGolden(t, fmt.Sprintf("seed%d_designspace.csv", seed),
+					designspaceExport(t, seed))
+			})
+		})
+	}
+}
+
+// --- differential fast/slow-path test -------------------------------
+//
+// The monomorphized fast path engages only when a tier's resolved policy
+// is one of the built-in concrete types. These adapters delegate to the
+// built-ins but have distinct concrete types, so setting them as explicit
+// policies forces the interface-dispatch slow path with identical
+// behaviour.
+
+type slowResizer struct{ inner percpu.Resizer }
+
+func (s slowResizer) Resize(c *percpu.Caches) { s.inner.Resize(c) }
+
+type slowPlacement struct{ inner transfercache.Placement }
+
+func (s slowPlacement) UsesDomains() bool { return s.inner.UsesDomains() }
+func (s slowPlacement) AllocFrom(t *transfercache.TransferCaches, class, domain int) int {
+	return s.inner.AllocFrom(t, class, domain)
+}
+func (s slowPlacement) FreeTo(t *transfercache.TransferCaches, class, domain int) int {
+	return s.inner.FreeTo(t, class, domain)
+}
+func (s slowPlacement) FreeOverflow(t *transfercache.TransferCaches, class, domain int) int {
+	return s.inner.FreeOverflow(t, class, domain)
+}
+
+type slowSelector struct{ inner centralfreelist.SpanSelector }
+
+func (s slowSelector) Lists() int { return s.inner.Lists() }
+func (s slowSelector) ListFor(numLists, live int) int {
+	return s.inner.ListFor(numLists, live)
+}
+func (s slowSelector) Pick(l *centralfreelist.List) (*span.Span, int) { return s.inner.Pick(l) }
+
+type slowClassifier struct{ inner pageheap.LifetimeClassifier }
+
+func (s slowClassifier) Classify(classIndex, objectsPerSpan int, feed pageheap.LifetimeFeedback) pageheap.Lifetime {
+	return s.inner.Classify(classIndex, objectsPerSpan, feed)
+}
+
+// slowConfig rebuilds cfg with every tier's effective policy wrapped in a
+// delegating adapter, pinning the allocator to dynamic dispatch.
+func slowConfig(cfg wsmalloc.Config) wsmalloc.Config {
+	// percpu: mirror resolveResizer. A static front end resolves to no
+	// resizer at all; there is nothing to wrap (or monomorphize).
+	if cfg.PerCPU.Resizer != nil {
+		cfg.PerCPU.Resizer = slowResizer{cfg.PerCPU.Resizer}
+	} else if cfg.PerCPU.Heterogeneous {
+		cfg.PerCPU.Resizer = slowResizer{percpu.StealingResizer{}}
+	}
+
+	// transfercache: mirror resolvePlacement.
+	if cfg.Transfer.Placement != nil {
+		cfg.Transfer.Placement = slowPlacement{cfg.Transfer.Placement}
+	} else if cfg.Transfer.NUCAAware {
+		cfg.Transfer.Placement = slowPlacement{transfercache.NUCAPlacement{}}
+	} else {
+		cfg.Transfer.Placement = slowPlacement{transfercache.CentralizedPlacement{}}
+	}
+
+	// centralfreelist: mirror resolveSelector.
+	if cfg.CFL.Selector != nil {
+		cfg.CFL.Selector = slowSelector{cfg.CFL.Selector}
+	} else if cfg.CFL.Prioritize {
+		cfg.CFL.Selector = slowSelector{centralfreelist.PrioritizedSelector{NumLists: cfg.CFL.NumLists}}
+	} else {
+		cfg.CFL.Selector = slowSelector{centralfreelist.LegacySelector{}}
+	}
+
+	// classifier: mirror centralfreelist.New's default.
+	if cfg.CFL.Classifier != nil {
+		cfg.CFL.Classifier = slowClassifier{cfg.CFL.Classifier}
+	} else {
+		cfg.CFL.Classifier = slowClassifier{pageheap.CapacityClassifier{Threshold: cfg.CFL.SpanLifetimeThreshold}}
+	}
+	return cfg
+}
+
+// TestFastPathMatchesSlowPath runs the monomorphized default-policy path
+// and the forced interface-dispatch path side by side on identical seeds
+// and requires byte-identical canonical exports.
+func TestFastPathMatchesSlowPath(t *testing.T) {
+	designs := goldenDesigns(t)
+	baseline := designs[0]
+	for _, seed := range goldenSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			for _, d := range designs {
+				d := d
+				t.Run(d.name, func(t *testing.T) {
+					fastProm, fastHeapz := fleetExports(t, seed, baseline.config, d.config,
+						baseline.point.String(), d.point.String())
+					slowProm, slowHeapz := fleetExports(t, seed, slowConfig(baseline.config), slowConfig(d.config),
+						baseline.point.String(), d.point.String())
+					if !bytes.Equal(fastProm, slowProm) {
+						t.Errorf("prometheus export: fast path differs from slow path at byte %d",
+							firstDiff(fastProm, slowProm))
+					}
+					if !bytes.Equal(fastHeapz, slowHeapz) {
+						t.Errorf("heapz export: fast path differs from slow path at byte %d",
+							firstDiff(fastHeapz, slowHeapz))
+					}
+
+					fastZ := pageheapzExport(t, seed, d.config)
+					slowZ := pageheapzExport(t, seed, slowConfig(d.config))
+					if !bytes.Equal(fastZ, slowZ) {
+						t.Errorf("pageheapz export: fast path differs from slow path at byte %d",
+							firstDiff(fastZ, slowZ))
+					}
+				})
+			}
+		})
+	}
+}

@@ -43,6 +43,10 @@ type Config struct {
 	Classifier pageheap.LifetimeClassifier
 }
 
+// maxFreeSpans bounds the released-span structs a List parks for reuse;
+// a span released past the bound is simply left to the GC.
+const maxFreeSpans = 64
+
 // DefaultConfig returns the redesigned configuration from the paper.
 func DefaultConfig() Config {
 	return Config{Prioritize: true, NumLists: 8, SpanLifetimeThreshold: 16}
@@ -88,9 +92,22 @@ type List struct {
 	lifetime      pageheap.Lifetime
 	nextSeq       int64
 
-	sel        SpanSelector
+	sel SpanSelector
+	// selKind lets listIndexFor and pickSpan inline the built-in
+	// selector policies; selCustom falls back to interface dispatch.
+	kind       selKind
 	classifier pageheap.LifetimeClassifier
-	feed       pageheap.LifetimeFeedback
+	// classifierIsCapacity marks the built-in capacity rule so growSpan
+	// can classify without interface dispatch.
+	classifierIsCapacity bool
+	capacityThreshold    int
+	feed                 pageheap.LifetimeFeedback
+
+	// freeSpans holds released span structs for reuse: a span returned
+	// to the pageheap is unreachable from every tier (the pagemap range
+	// is cleared first), so recycling the struct on the next growth is
+	// safe and spares the GC the churn of the span round trip.
+	freeSpans []*span.Span
 
 	tel *telemetry.Sink
 }
@@ -120,7 +137,15 @@ func New(c sizeclass.Class, cfg Config, ph *pageheap.PageHeap, pm *mem.PageMap[*
 		pm:         pm,
 		nonempty:   make([]span.List, n),
 		sel:        sel,
+		kind:       selectorKindOf(sel),
 		classifier: classifier,
+	}
+	if cap, ok := classifier.(pageheap.CapacityClassifier); ok {
+		l.classifierIsCapacity = true
+		l.capacityThreshold = cap.Threshold
+		if l.capacityThreshold <= 0 {
+			l.capacityThreshold = pageheap.DefaultLifetimeThreshold
+		}
 	}
 	l.lifetime = classifier.Classify(c.Index, c.ObjectsPerSpan, nil)
 	return l
@@ -140,9 +165,17 @@ func (l *List) Lifetime() pageheap.Lifetime { return l.lifetime }
 
 // listIndexFor maps a span's live allocation count to its list via the
 // selector policy (the paper's max(0, L-log2(A)) rule for the
-// prioritized selectors, the singleton list otherwise).
+// prioritized selectors, the singleton list otherwise). The built-in
+// policies are inlined; custom selectors pay interface dispatch.
 func (l *List) listIndexFor(live int) int {
-	return l.sel.ListFor(len(l.nonempty), live)
+	switch l.kind {
+	case selLegacy:
+		return 0
+	case selPrioritized, selBestFit:
+		return prioritizedListFor(len(l.nonempty), live)
+	default:
+		return l.sel.ListFor(len(l.nonempty), live)
+	}
 }
 
 // relink places s in the correct occupancy list (or full parking).
@@ -201,23 +234,52 @@ func (l *List) AllocBatch(out []uint64) (int, error) {
 // span). The selector policy chooses among existing spans; growth is the
 // shared fallback.
 func (l *List) pickSpan() (*span.Span, int, error) {
-	if s, i := l.sel.Pick(l); s != nil {
+	var s *span.Span
+	var i int
+	switch l.kind {
+	case selLegacy, selPrioritized:
+		s, i = frontPick(l)
+	case selBestFit:
+		// Pick scans l.nonempty directly; the selector's NumLists only
+		// sizes the lists at construction, so the zero value is fine.
+		s, i = BestFitSelector{}.Pick(l)
+	default:
+		s, i = l.sel.Pick(l)
+	}
+	if s != nil {
 		return s, i, nil
 	}
-	s, err := l.growSpan()
-	return s, -1, err
+	grown, err := l.growSpan()
+	return grown, -1, err
 }
 
 // growSpan fetches a fresh span from the pageheap, propagating its
 // allocation failure. The lifetime class is re-predicted per growth so
 // feedback classifiers can change their answer as observations accrue.
 func (l *List) growSpan() (*span.Span, error) {
-	l.lifetime = l.classifier.Classify(l.class.Index, l.class.ObjectsPerSpan, l.feed)
+	if l.classifierIsCapacity {
+		// Inline the built-in capacity rule (no feedback consultation).
+		if l.class.ObjectsPerSpan < l.capacityThreshold {
+			l.lifetime = pageheap.LifetimeShort
+		} else {
+			l.lifetime = pageheap.LifetimeLong
+		}
+	} else {
+		l.lifetime = l.classifier.Classify(l.class.Index, l.class.ObjectsPerSpan, l.feed)
+	}
 	start, err := l.ph.Alloc(l.class.Pages, l.lifetime)
 	if err != nil {
 		return nil, err
 	}
-	s := span.New(start, l.class.Pages, l.class.Index, l.class.Size, l.class.ObjectsPerSpan)
+	var s *span.Span
+	if n := len(l.freeSpans); n > 0 {
+		s = l.freeSpans[n-1]
+		l.freeSpans[n-1] = nil
+		l.freeSpans = l.freeSpans[:n-1]
+		s.Recycle(start)
+	} else {
+		s = span.New(start, l.class.Pages, l.class.Index, l.class.Size, l.class.ObjectsPerSpan)
+	}
 	l.nextSeq++
 	s.Seq = l.nextSeq
 	l.pm.SetRange(start, l.class.Pages, s)
@@ -230,6 +292,10 @@ func (l *List) growSpan() (*span.Span, error) {
 // are unregistered and returned to the pageheap. Each object must belong
 // to this free list's size class.
 func (l *List) FreeBatch(objs []uint64) {
+	// Hoist the disabled-telemetry check out of the per-object loop: with
+	// no sink the loop body is branch-free with respect to telemetry
+	// (the per-object Event calls below are gated on this one flag).
+	telOn := l.tel != nil
 	for _, addr := range objs {
 		p := mem.PageID(addr >> mem.PageShift)
 		s, ok := l.pm.Get(p)
@@ -254,16 +320,29 @@ func (l *List) FreeBatch(objs []uint64) {
 			l.pm.ClearRange(s.Start, s.Pages)
 			l.ph.Free(s.Start, s.Pages)
 			l.spansReleased++
-			l.tel.Event(telemetry.EvCFLSpanRelease, int64(l.class.Index), s.Seq)
+			if telOn {
+				l.tel.Event(telemetry.EvCFLSpanRelease, int64(l.class.Index), s.Seq)
+			}
+			// The struct is now unreachable from every tier (the pagemap
+			// range was just cleared); park it for the next growth rather
+			// than letting it churn through the GC. The stash is bounded —
+			// spans beyond it stay garbage as before.
+			if len(l.freeSpans) < maxFreeSpans {
+				l.freeSpans = append(l.freeSpans, s)
+			}
 		case wasFull:
 			l.full.Remove(s)
 			l.relink(s)
-			l.tel.Event(telemetry.EvCFLSpanMove, int64(l.class.Index), int64(l.listIndexFor(s.Live())))
+			if telOn {
+				l.tel.Event(telemetry.EvCFLSpanMove, int64(l.class.Index), int64(l.listIndexFor(s.Live())))
+			}
 		default:
 			if newIdx := l.listIndexFor(s.Live()); newIdx != oldIdx {
 				l.nonempty[oldIdx].Remove(s)
 				l.relink(s)
-				l.tel.Event(telemetry.EvCFLSpanMove, int64(l.class.Index), int64(newIdx))
+				if telOn {
+					l.tel.Event(telemetry.EvCFLSpanMove, int64(l.class.Index), int64(newIdx))
+				}
 			}
 		}
 	}

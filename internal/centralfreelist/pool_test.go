@@ -1,0 +1,83 @@
+package centralfreelist
+
+import (
+	"testing"
+
+	"wsmalloc/internal/mem"
+	"wsmalloc/internal/span"
+)
+
+// TestSpanPoolRecyclesReleasedSpans proves the span-struct freelist
+// actually reuses memory: draining a span parks its struct on
+// freeSpans, and the next growth pops that exact struct back with
+// fully reset state instead of allocating a fresh one.
+func TestSpanPoolRecyclesReleasedSpans(t *testing.T) {
+	l, _, c := newEnv(t, DefaultConfig(), 16)
+	out := make([]uint64, c.ObjectsPerSpan)
+	if n, _ := l.AllocBatch(out); n != c.ObjectsPerSpan {
+		t.Fatalf("AllocBatch = %d", n)
+	}
+	l.FreeBatch(out)
+	if len(l.freeSpans) != 1 {
+		t.Fatalf("released span not pooled: pool size %d", len(l.freeSpans))
+	}
+	pooled := l.freeSpans[0]
+	if pooled.Live() != 0 {
+		t.Fatalf("pooled span has %d live objects", pooled.Live())
+	}
+
+	out2 := make([]uint64, c.ObjectsPerSpan)
+	if n, _ := l.AllocBatch(out2); n != c.ObjectsPerSpan {
+		t.Fatalf("second AllocBatch = %d", n)
+	}
+	if len(l.freeSpans) != 0 {
+		t.Fatalf("pool not drained by regrowth: %d left", len(l.freeSpans))
+	}
+	s, ok := l.pm.Get(mem.PageID(out2[0] >> mem.PageShift))
+	if !ok {
+		t.Fatal("recycled span not registered in the pagemap")
+	}
+	if s != pooled {
+		t.Fatal("regrowth allocated a fresh span instead of recycling the pooled one")
+	}
+	if s.Live() != c.ObjectsPerSpan || s.Seq != 2 {
+		t.Fatalf("recycled span state not reset: live=%d seq=%d", s.Live(), s.Seq)
+	}
+	// Recycled-span allocation must hand out the same object sequence
+	// (relative to the span start) a fresh span would — the bit-identity
+	// contract the golden suite enforces end to end.
+	for i := range out2 {
+		if out2[i]-out2[0] != out[i]-out[0] {
+			t.Fatalf("object %d: recycled span offset %#x, fresh span offset %#x",
+				i, out2[i]-out2[0], out[i]-out[0])
+		}
+	}
+}
+
+// TestSpanPoolIsBounded churns more simultaneously-released spans than
+// maxFreeSpans and checks the pool never grows past its bound — the
+// freelist is a cap on GC churn, not an unbounded cache.
+func TestSpanPoolIsBounded(t *testing.T) {
+	l, _, c := newEnv(t, DefaultConfig(), 16)
+	const spans = maxFreeSpans + 8
+	out := make([]uint64, spans*c.ObjectsPerSpan)
+	if n, _ := l.AllocBatch(out); n != len(out) {
+		t.Fatalf("AllocBatch = %d", n)
+	}
+	l.FreeBatch(out)
+	if len(l.freeSpans) != maxFreeSpans {
+		t.Fatalf("pool size %d, want the %d bound", len(l.freeSpans), maxFreeSpans)
+	}
+	// Pooled structs must be distinct — the same released span parked
+	// twice would alias two future spans onto one struct.
+	seen := make(map[*span.Span]bool, len(l.freeSpans))
+	for _, s := range l.freeSpans {
+		if s.Live() != 0 {
+			t.Fatalf("pooled span with %d live objects", s.Live())
+		}
+		if seen[s] {
+			t.Fatal("same span struct pooled twice")
+		}
+		seen[s] = true
+	}
+}

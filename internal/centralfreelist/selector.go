@@ -24,6 +24,45 @@ type SpanSelector interface {
 	Pick(l *List) (*span.Span, int)
 }
 
+// selKind discriminates the built-in selectors so the per-operation
+// paths (listIndexFor on every free, Pick on every batch) can inline
+// their policy instead of paying interface dispatch. Custom selectors
+// fall back to the interface.
+type selKind uint8
+
+const (
+	selCustom selKind = iota
+	selLegacy
+	selPrioritized
+	selBestFit
+)
+
+func selectorKindOf(s SpanSelector) selKind {
+	switch s.(type) {
+	case LegacySelector:
+		return selLegacy
+	case PrioritizedSelector:
+		return selPrioritized
+	case BestFitSelector:
+		return selBestFit
+	default:
+		return selCustom
+	}
+}
+
+// prioritizedListFor is the paper's max(0, L-log2(live)) rule clamped
+// into [0, L-1] — shared by the prioritized and best-fit selectors.
+func prioritizedListFor(numLists, live int) int {
+	if live <= 0 {
+		return numLists - 1
+	}
+	idx := numLists - 1 - (bits.Len(uint(live)) - 1)
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
 // resolveSelector maps a config to its effective policy: an explicit
 // Selector wins, otherwise the legacy Prioritize boolean selects the
 // paper's L-list policy sized by NumLists, otherwise the singleton list.
@@ -83,14 +122,7 @@ func (p PrioritizedSelector) Lists() int { return p.lists() }
 // ListFor implements SpanSelector, following the paper's
 // max(0, L-log2(live)) rule clamped into [0, L-1].
 func (p PrioritizedSelector) ListFor(numLists, live int) int {
-	if live <= 0 {
-		return numLists - 1
-	}
-	idx := numLists - 1 - (bits.Len(uint(live)) - 1)
-	if idx < 0 {
-		idx = 0
-	}
-	return idx
+	return prioritizedListFor(numLists, live)
 }
 
 // Pick implements SpanSelector: the front of the fullest nonempty list.

@@ -217,11 +217,11 @@ type cflBacking struct{ a *Allocator }
 
 func (b cflBacking) AllocBatch(class int, out []uint64) (int, error) {
 	a := b.a
-	heapAllocs := a.heap.Stats().Allocs
+	heapAllocs := a.heap.Allocs()
 	mmaps := a.os.MmapCalls()
 	n, err := a.cfls[class].AllocBatch(out)
 	a.t.timeCFL += a.cfg.Latency.CentralFreeList
-	if d := a.heap.Stats().Allocs - heapAllocs; d > 0 {
+	if d := a.heap.Allocs() - heapAllocs; d > 0 {
 		a.t.timePageHeap += a.cfg.Latency.PageHeap * float64(d)
 	}
 	if d := a.os.MmapCalls() - mmaps; d > 0 {
@@ -479,12 +479,12 @@ func (a *Allocator) TryFree(addr uint64, size, cpu int) (float64, error) {
 		a.t.largeLiveRounded -= s.Bytes()
 		a.t.largeLiveBytes -= int64(size)
 	} else {
-		class := a.table.Class(s.ClassIndex)
-		if size > class.Size {
+		classSize := a.table.ClassSize(s.ClassIndex)
+		if size > classSize {
 			a.t.frees--
 			a.t.freeErrors++
 			return 0, fmt.Errorf("core: free size %d exceeds class size %d at %#x: %w",
-				size, class.Size, addr, ErrBadFree)
+				size, classSize, addr, ErrBadFree)
 		}
 		vcpu := a.vmap.Assign(cpu)
 		start := a.timeSnapshot()
@@ -494,7 +494,7 @@ func (a *Allocator) TryFree(addr uint64, size, cpu int) (float64, error) {
 		if !hit {
 			cost += a.timeSnapshot() - start
 		}
-		a.t.liveRounded -= int64(class.Size)
+		a.t.liveRounded -= int64(classSize)
 	}
 	a.t.liveObjects--
 	a.t.liveRequested -= int64(size)

@@ -7,8 +7,27 @@ import (
 
 	"wsmalloc/internal/core"
 	"wsmalloc/internal/telemetry"
+	"wsmalloc/internal/topology"
 	"wsmalloc/internal/workload"
 )
+
+// BenchmarkHotLoop is the allocator hot path in isolation: a tight
+// malloc/free loop over a few sizes and vCPUs with no workload driver,
+// no telemetry, and no fleet machinery. It is the most sensitive probe
+// of the monomorphized fast path (per-cpu hit -> size table -> cached
+// domain) and the third benchmark scripts/verify.sh gates on.
+func BenchmarkHotLoop(b *testing.B) {
+	a := core.New(core.OptimizedConfig(), topology.New(topology.Default()))
+	sizes := []int{16, 64, 256, 1024}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		size := sizes[i&3]
+		vcpu := i & 7
+		addr, _ := a.Malloc(size, vcpu)
+		a.Free(addr, size, vcpu)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
 
 // BenchmarkFleetAB sweeps the worker count over the fleet A/B engine.
 // The per-iteration work is fixed (same machines, same virtual
@@ -53,13 +72,16 @@ func benchTelemetry(b *testing.B, cfg telemetry.Config) {
 	opts.DurationNs = 10 * workload.Millisecond
 	opts.Workers = 1
 	opts.Telemetry = cfg
+	var machines int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := f.ABTest(core.BaselineConfig(), core.OptimizedConfig(), opts)
 		if res.Fleet.Machines == 0 {
 			b.Fatal("no machines enrolled")
 		}
+		machines = res.Fleet.Machines
 	}
+	b.ReportMetric(float64(2*machines*b.N)/b.Elapsed().Seconds(), "machines/s")
 }
 
 func BenchmarkTelemetryDisabled(b *testing.B) {

@@ -20,15 +20,34 @@ func (b *bitmap256) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
 func (b *bitmap256) clear(i int)    { b[i>>6] &^= 1 << uint(i&63) }
 func (b *bitmap256) get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
 
+// rangeMask returns the bits of word wi covered by [start, start+n).
+func rangeMask(wi, start, n int) uint64 {
+	lo, hi := wi<<6, wi<<6+64
+	if start > lo {
+		lo = start
+	}
+	if start+n < hi {
+		hi = start + n
+	}
+	if lo >= hi {
+		return 0
+	}
+	m := ^uint64(0) << uint(lo&63)
+	if hi&63 != 0 {
+		m &= (1 << uint(hi&63)) - 1
+	}
+	return m
+}
+
 func (b *bitmap256) setRange(start, n int) {
-	for i := start; i < start+n; i++ {
-		b.set(i)
+	for wi := start >> 6; wi <= (start+n-1)>>6; wi++ {
+		b[wi] |= rangeMask(wi, start, n)
 	}
 }
 
 func (b *bitmap256) clearRange(start, n int) {
-	for i := start; i < start+n; i++ {
-		b.clear(i)
+	for wi := start >> 6; wi <= (start+n-1)>>6; wi++ {
+		b[wi] &^= rangeMask(wi, start, n)
 	}
 }
 
@@ -41,43 +60,61 @@ func (b *bitmap256) count() int {
 // countRange returns the set bits within [start, start+n).
 func (b *bitmap256) countRange(start, n int) int {
 	c := 0
-	for i := start; i < start+n; i++ {
-		if b.get(i) {
-			c++
-		}
+	for wi := start >> 6; wi <= (start+n-1)>>6; wi++ {
+		c += bits.OnesCount64(b[wi] & rangeMask(wi, start, n))
 	}
 	return c
 }
 
 // findFreeRun returns the index of the first run of n clear bits, or -1.
+// It walks set bits (gaps between them are the free runs) instead of
+// testing all 256 pages one by one.
 func (b *bitmap256) findFreeRun(n int) int {
-	run, start := 0, 0
-	for i := 0; i < 256; i++ {
-		if b.get(i) {
-			run = 0
-			start = i + 1
-			continue
+	prev := -1 // index of the last set bit seen
+	for wi := 0; wi < 4; wi++ {
+		w := b[wi]
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			if i-prev-1 >= n {
+				return prev + 1
+			}
+			prev = i
+			w &= w - 1
 		}
-		run++
-		if run == n {
-			return start
-		}
+	}
+	if 256-prev-1 >= n {
+		return prev + 1
 	}
 	return -1
 }
 
 // longestFreeRun returns the length of the longest run of clear bits.
+// Per word: zeros at the bottom extend the carried run, interior zero
+// runs are measured with the shift-and trick, zeros at the top seed the
+// next carry. Interior runs include the boundary segments, which is
+// safe under max: those segments are genuine (shorter) zero runs.
 func (b *bitmap256) longestFreeRun() int {
 	best, run := 0, 0
-	for i := 0; i < 256; i++ {
-		if b.get(i) {
-			run = 0
+	for wi := 0; wi < 4; wi++ {
+		w := b[wi]
+		if w == 0 {
+			run += 64
 			continue
 		}
-		run++
-		if run > best {
-			best = run
+		if r := run + bits.TrailingZeros64(w); r > best {
+			best = r
 		}
+		l := 0
+		for z := ^w; z != 0; z &= z << 1 {
+			l++
+		}
+		if l > best {
+			best = l
+		}
+		run = bits.LeadingZeros64(w)
+	}
+	if run > best {
+		best = run
 	}
 	return best
 }

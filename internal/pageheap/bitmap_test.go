@@ -109,7 +109,35 @@ func TestBitmapProperty(t *testing.T) {
 				best = run
 			}
 		}
-		return b.longestFreeRun() == best
+		if b.longestFreeRun() != best {
+			return false
+		}
+		// findFreeRun and countRange must match brute-force scans for a
+		// spread of run lengths and ranges.
+		for _, n := range []int{1, 2, 3, 7, 64, 65, 200, 256} {
+			wantIdx, r, start := -1, 0, 0
+			for i := 0; i < 256 && wantIdx < 0; i++ {
+				if shadow[i] {
+					r, start = 0, i+1
+				} else if r++; r == n {
+					wantIdx = start
+				}
+			}
+			if b.findFreeRun(n) != wantIdx {
+				return false
+			}
+			lo := n - 1
+			cnt := 0
+			for i := lo; i < 256; i++ {
+				if shadow[i] {
+					cnt++
+				}
+			}
+			if b.countRange(lo, 256-lo) != cnt {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package pageheap
 
 import (
 	"fmt"
+	"math/bits"
 
 	"wsmalloc/internal/check"
 	"wsmalloc/internal/mem"
@@ -46,6 +47,12 @@ type hpTracker struct {
 	// hugepage; the free-span age histograms in the pageheapz report
 	// measure how long fragmentation has been sitting here.
 	lastFreeNs int64
+	// intact mirrors os.IsIntact for this hugepage while the filler owns
+	// it. The only transition under filler ownership is intact→broken at
+	// the first subrelease (Remap never runs mid-ownership), so the
+	// mirror lets Stats stay O(1) instead of consulting the OS map per
+	// hugepage.
+	intact bool
 
 	prev, next *hpTracker
 	list       *trackerList
@@ -103,7 +110,13 @@ type Filler struct {
 	os *mem.OS
 	// lists[lfr][chunk]: trackers whose longest free run is lfr.
 	lists [mem.PagesPerHugePage + 1][fillerChunks + 1]trackerList
-	byID  map[mem.HugePageID]*hpTracker
+	// chunkMask[lfr] has bit c set iff lists[lfr][c] is non-empty, and
+	// rowMask has bit lfr set iff any chunk of row lfr is non-empty, so
+	// Alloc finds the tightest adequate free run with a handful of bit
+	// scans instead of probing every (lfr, chunk) list head.
+	chunkMask [mem.PagesPerHugePage + 1]uint16
+	rowMask   [(mem.PagesPerHugePage + 64) / 64]uint64
+	byID      map[mem.HugePageID]*hpTracker
 	// onEmpty is called when a hugepage becomes completely free and
 	// intact; ownership passes back to the caller (the HugeCache).
 	onEmpty func(mem.HugePageID)
@@ -113,9 +126,40 @@ type Filler struct {
 	refaults      int64
 	hugesReturned int64 // whole hugepages handed back via onEmpty
 	brokenDrained int64 // broken hugepages fully subreleased on drain
+	// releasedPages and usedOnIntactPages are maintained incrementally
+	// so Stats never walks the tracker map (the walk dominated fleet
+	// profiles); CheckInvariants audits them against recounts.
+	releasedPages     int64 // subreleased pages inside tracked hugepages
+	usedOnIntactPages int64 // used pages on intact tracked hugepages
+
+	// freeTrackers stashes the structs of dropped trackers for reuse —
+	// a pure allocation cache, never part of serialized or audited state.
+	freeTrackers []*hpTracker
 
 	tel *telemetry.Sink
 	now func() int64
+}
+
+// maxFreeTrackers bounds the tracker structs parked for reuse.
+const maxFreeTrackers = 64
+
+// newTracker returns a zeroed tracker, recycled when possible.
+func (f *Filler) newTracker() *hpTracker {
+	if n := len(f.freeTrackers); n > 0 {
+		t := f.freeTrackers[n-1]
+		f.freeTrackers[n-1] = nil
+		f.freeTrackers = f.freeTrackers[:n-1]
+		*t = hpTracker{}
+		return t
+	}
+	return &hpTracker{}
+}
+
+// recycleTracker parks a dropped (unlinked, unmapped) tracker for reuse.
+func (f *Filler) recycleTracker(t *hpTracker) {
+	if len(f.freeTrackers) < maxFreeTrackers {
+		f.freeTrackers = append(f.freeTrackers, t)
+	}
 }
 
 // SetTelemetry installs the telemetry sink (nil disables).
@@ -147,11 +191,27 @@ func chunkOf(t *hpTracker) int {
 }
 
 func (f *Filler) insert(t *hpTracker) {
-	f.lists[t.longestFree][chunkOf(t)].pushFront(t)
+	lfr, chunk := t.longestFree, chunkOf(t)
+	f.lists[lfr][chunk].pushFront(t)
+	f.chunkMask[lfr] |= 1 << uint(chunk)
+	f.rowMask[lfr>>6] |= 1 << uint(lfr&63)
 }
 
 func (f *Filler) unlink(t *hpTracker) {
+	// longestFree and chunkOf(t) still name the list t sits on: every
+	// caller unlinks before mutating the tracker (trackerList.remove
+	// panics on a mismatched list if that ever regresses).
+	lfr, chunk := t.longestFree, chunkOf(t)
+	if t.list != &f.lists[lfr][chunk] {
+		panic("pageheap: tracker mutated before unlink")
+	}
 	t.list.remove(t)
+	if f.lists[lfr][chunk].size == 0 {
+		f.chunkMask[lfr] &^= 1 << uint(chunk)
+		if f.chunkMask[lfr] == 0 {
+			f.rowMask[lfr>>6] &^= 1 << uint(lfr&63)
+		}
+	}
 }
 
 // AddHugePage introduces a fresh, fully-free hugepage to the filler.
@@ -159,7 +219,9 @@ func (f *Filler) AddHugePage(h mem.HugePageID) {
 	if _, ok := f.byID[h]; ok {
 		panic(fmt.Sprintf("pageheap: hugepage %#x already in filler", h.Addr()))
 	}
-	t := &hpTracker{id: h, longestFree: mem.PagesPerHugePage, lastFreeNs: f.nowNs()}
+	t := f.newTracker()
+	t.id, t.longestFree, t.lastFreeNs = h, mem.PagesPerHugePage, f.nowNs()
+	t.intact = f.os.IsIntact(h)
 	f.byID[h] = t
 	f.insert(t)
 }
@@ -174,13 +236,18 @@ func (f *Filler) AddDonated(h mem.HugePageID, leadingUsed int) {
 	if _, ok := f.byID[h]; ok {
 		panic(fmt.Sprintf("pageheap: hugepage %#x already in filler", h.Addr()))
 	}
-	t := &hpTracker{id: h, donated: true, lastFreeNs: f.nowNs()}
+	t := f.newTracker()
+	t.id, t.donated, t.lastFreeNs = h, true, f.nowNs()
+	t.intact = f.os.IsIntact(h)
 	t.used.setRange(0, leadingUsed)
 	t.usedCount = leadingUsed
 	t.longestFree = t.used.longestFreeRun()
 	f.byID[h] = t
 	f.insert(t)
 	f.usedPages += int64(leadingUsed)
+	if t.intact {
+		f.usedOnIntactPages += int64(leadingUsed)
+	}
 }
 
 // Alloc carves n pages out of an existing filler hugepage. ok is false
@@ -191,14 +258,17 @@ func (f *Filler) Alloc(n int) (mem.PageID, bool) {
 		panic(fmt.Sprintf("pageheap: filler alloc of %d pages", n))
 	}
 	// Tightest adequate free run first (densest hugepages), densest chunk
-	// first, donated last.
-	for lfr := n; lfr <= mem.PagesPerHugePage; lfr++ {
-		for chunk := fillerChunks; chunk >= 0; chunk-- {
-			t := f.lists[lfr][chunk].head
-			if t == nil {
-				continue
-			}
-			return f.allocFrom(t, n), true
+	// first, donated last — found by scanning the occupancy masks rather
+	// than probing every list head.
+	for wi := n >> 6; wi < len(f.rowMask); wi++ {
+		w := f.rowMask[wi]
+		if wi == n>>6 {
+			w &= ^uint64(0) << uint(n&63)
+		}
+		if w != 0 {
+			lfr := wi<<6 + bits.TrailingZeros64(w)
+			chunk := bits.Len16(f.chunkMask[lfr]) - 1
+			return f.allocFrom(f.lists[lfr][chunk].head, n), true
 		}
 	}
 	return 0, false
@@ -216,11 +286,15 @@ func (f *Filler) allocFrom(t *hpTracker, n int) mem.PageID {
 		t.released.clearRange(idx, n)
 		t.releasedCount -= refault
 		f.refaults += int64(refault)
+		f.releasedPages -= int64(refault)
 	}
 	f.unlink(t)
 	t.used.setRange(idx, n)
 	t.usedCount += n
 	t.longestFree = t.used.longestFreeRun()
+	if t.intact {
+		f.usedOnIntactPages += int64(n)
+	}
 	// Once a donated hugepage receives a filler allocation it behaves
 	// like a regular one.
 	t.donated = false
@@ -257,6 +331,9 @@ func (f *Filler) Free(p mem.PageID, n int) {
 	t.usedCount -= n
 	t.lastFreeNs = f.nowNs()
 	f.usedPages -= int64(n)
+	if t.intact {
+		f.usedOnIntactPages -= int64(n)
+	}
 	f.tel.Event(telemetry.EvFillerUnpack, int64(h), int64(n))
 	if t.usedCount == 0 {
 		delete(f.byID, h)
@@ -265,11 +342,13 @@ func (f *Filler) Free(p mem.PageID, n int) {
 			// disappears entirely.
 			f.os.Subrelease(h, mem.PagesPerHugePage-t.releasedCount)
 			f.releasedTotal += int64(mem.PagesPerHugePage - t.releasedCount)
+			f.releasedPages -= int64(t.releasedCount)
 			f.brokenDrained++
 		} else {
 			f.hugesReturned++
 			f.onEmpty(h)
 		}
+		f.recycleTracker(t)
 		return
 	}
 	t.longestFree = t.used.longestFreeRun()
@@ -313,6 +392,13 @@ func (f *Filler) subreleaseFree(t *hpTracker) int {
 	if n > 0 {
 		f.os.Subrelease(t.id, n)
 		f.releasedTotal += int64(n)
+		f.releasedPages += int64(n)
+		if t.intact {
+			// First subrelease breaks the hugepage; its used pages stop
+			// counting toward hugepage coverage.
+			t.intact = false
+			f.usedOnIntactPages -= int64(t.usedCount)
+		}
 		f.tel.EventAdd(telemetry.EvSubrelease, int64(n), int64(t.id), int64(n))
 	}
 	if t.releasedCount == mem.PagesPerHugePage {
@@ -320,7 +406,9 @@ func (f *Filler) subreleaseFree(t *hpTracker) int {
 		// tracker so nothing tries to refault a dead mapping.
 		f.unlink(t)
 		delete(f.byID, t.id)
+		f.releasedPages -= int64(t.releasedCount)
 		f.brokenDrained++
+		f.recycleTracker(t)
 	}
 	return n
 }
@@ -350,25 +438,22 @@ type FillerStats struct {
 	CumulativeReleased int64
 }
 
-// Stats computes current filler statistics.
+// Stats computes current filler statistics in O(1): every field is an
+// incrementally-maintained counter (the former per-hugepage walk
+// dominated fleet CPU profiles via the per-refill heap stats reads).
 func (f *Filler) Stats() FillerStats {
-	s := FillerStats{
+	freePages := int64(len(f.byID))*mem.PagesPerHugePage - f.usedPages - f.releasedPages
+	return FillerStats{
 		HugePages:          len(f.byID),
 		UsedBytes:          f.usedPages * mem.PageSize,
+		FreeBytes:          freePages * mem.PageSize,
+		ReleasedBytes:      f.releasedPages * mem.PageSize,
+		UsedOnIntact:       f.usedOnIntactPages * mem.PageSize,
 		Refaults:           f.refaults,
 		HugesReturned:      f.hugesReturned,
 		BrokenDrained:      f.brokenDrained,
 		CumulativeReleased: f.releasedTotal,
 	}
-	for _, t := range f.byID {
-		free := mem.PagesPerHugePage - t.usedCount - t.releasedCount
-		s.FreeBytes += int64(free) * mem.PageSize
-		s.ReleasedBytes += int64(t.releasedCount) * mem.PageSize
-		if f.os.IsIntact(t.id) {
-			s.UsedOnIntact += int64(t.usedCount) * mem.PageSize
-		}
-	}
-	return s
 }
 
 // CheckInvariants audits the filler: per-tracker counters against bitmap
@@ -377,8 +462,17 @@ func (f *Filler) Stats() FillerStats {
 // counter.
 func (f *Filler) CheckInvariants() []check.Violation {
 	var vs []check.Violation
-	var usedTotal int64
+	var usedTotal, releasedTotal, usedOnIntactTotal int64
 	for h, t := range f.byID {
+		if t.intact != f.os.IsIntact(t.id) {
+			vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+				"filler hugepage %#x cached intact=%v, OS says %v",
+				h.Addr(), t.intact, f.os.IsIntact(t.id)))
+		}
+		if t.intact {
+			usedOnIntactTotal += int64(t.usedCount)
+		}
+		releasedTotal += int64(t.releasedCount)
 		if t.id != h {
 			vs = append(vs, check.Violationf("pageheap", check.KindStructure,
 				"filler tracker filed under %#x claims hugepage %#x", h.Addr(), t.id.Addr()))
@@ -424,7 +518,11 @@ func (f *Filler) CheckInvariants() []check.Violation {
 	}
 	listed := 0
 	for lfr := 0; lfr <= mem.PagesPerHugePage; lfr++ {
+		var wantChunks uint16
 		for chunk := 0; chunk <= fillerChunks; chunk++ {
+			if f.lists[lfr][chunk].size > 0 {
+				wantChunks |= 1 << uint(chunk)
+			}
 			for t := f.lists[lfr][chunk].head; t != nil; t = t.next {
 				listed++
 				if f.byID[t.id] != t {
@@ -432,6 +530,16 @@ func (f *Filler) CheckInvariants() []check.Violation {
 						"filler list holds tracker for %#x unknown to the index", t.id.Addr()))
 				}
 			}
+		}
+		if f.chunkMask[lfr] != wantChunks {
+			vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+				"filler chunk mask for run %d is %#x, lists say %#x",
+				lfr, f.chunkMask[lfr], wantChunks))
+		}
+		if got := f.rowMask[lfr>>6]&(1<<uint(lfr&63)) != 0; got != (wantChunks != 0) {
+			vs = append(vs, check.Violationf("pageheap", check.KindStructure,
+				"filler row mask bit for run %d is %v, lists say %v",
+				lfr, got, wantChunks != 0))
 		}
 	}
 	if listed != len(f.byID) {
@@ -442,6 +550,16 @@ func (f *Filler) CheckInvariants() []check.Violation {
 		vs = append(vs, check.Violationf("pageheap", check.KindAccounting,
 			"filler used-page counter %d disagrees with per-hugepage total %d",
 			f.usedPages, usedTotal))
+	}
+	if releasedTotal != f.releasedPages {
+		vs = append(vs, check.Violationf("pageheap", check.KindAccounting,
+			"filler released-page counter %d disagrees with per-hugepage total %d",
+			f.releasedPages, releasedTotal))
+	}
+	if usedOnIntactTotal != f.usedOnIntactPages {
+		vs = append(vs, check.Violationf("pageheap", check.KindAccounting,
+			"filler used-on-intact counter %d disagrees with per-hugepage total %d",
+			f.usedOnIntactPages, usedOnIntactTotal))
 	}
 	return vs
 }

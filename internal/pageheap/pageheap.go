@@ -96,7 +96,10 @@ func New(o *mem.OS, cfg Config) *PageHeap {
 	p := &PageHeap{
 		os:   o,
 		cfg:  cfg,
-		live: make(map[mem.PageID]placement),
+		// Sized for the thousands of concurrently-live placements a
+		// steady-state machine holds, so the hot Alloc path is not
+		// repeatedly growing (and rehashing) the table from scratch.
+		live: make(map[mem.PageID]placement, 4096),
 	}
 	p.cache = NewHugeCache(o, cfg.MaxHugeCacheBytes)
 	p.region = NewHugeRegion(o, func(start mem.HugePageID, n int) { p.cache.Free(start, n) })
@@ -334,6 +337,11 @@ func (p *PageHeap) Stats() Stats {
 	}
 	return s
 }
+
+// Allocs returns the cumulative pageheap allocation count in O(1). It
+// always equals Stats().Allocs; the hot CFL-refill accounting reads it
+// per batch, so it must not touch any per-component state.
+func (p *PageHeap) Allocs() int64 { return p.allocs }
 
 // Fillers exposes the filler set for white-box telemetry (tests and the
 // experiment harness).

@@ -132,11 +132,21 @@ func (f *Filler) DecodeState(d *snapshot.Decoder) {
 				d.Fail("pageheap: filler tracker %#x appears twice", t.id.Addr())
 				return
 			}
+			// The O(1)-stats counters and the intact mirror are derived
+			// state: rebuild them from the decoded trackers and the
+			// already-restored OS rather than widening the codec.
+			t.intact = f.os.IsIntact(t.id)
+			f.releasedPages += int64(t.releasedCount)
+			if t.intact {
+				f.usedOnIntactPages += int64(t.usedCount)
+			}
 			ts[i] = t
 			f.byID[t.id] = t
 		}
 		for i := n - 1; i >= 0; i-- {
-			f.lists[lfr][chunk].pushFront(ts[i])
+			// insert (not a raw pushFront) keeps the occupancy masks in
+			// sync with the rebuilt lists.
+			f.insert(ts[i])
 		}
 	}
 }

@@ -97,6 +97,9 @@ type cpuCache struct {
 	capacity int64
 	// bound is the maximum capacity slow-start growth may reach.
 	bound int64
+	// domain caches domainOf(vcpu): the vCPU→physical mapping is fixed
+	// once the vCPU is assigned, so the hot paths skip the closure call.
+	domain int
 
 	allocHits, allocMisses int64
 	freeHits, freeMisses   int64
@@ -131,13 +134,22 @@ type Stats struct {
 type Caches struct {
 	cfg        Config
 	numClasses int
-	objSize    func(class int) int
-	batchSize  func(class int) int
 	domainOf   func(vcpu int) int
 	backing    Backing
 	resizer    Resizer
 
+	// sizes and batches are the per-class tables precomputed from the
+	// wiring functions at construction, so the per-operation paths cost
+	// an index load instead of a closure call.
+	sizes   []int
+	batches []int
+
 	caches []*cpuCache
+
+	// xferBuf is the scratch buffer for refills and spills. The backing
+	// tiers copy object addresses out of (or into) the slice during the
+	// call and retain nothing, so one buffer serves every miss.
+	xferBuf []uint64
 
 	lastResize  int64
 	lastDecay   int64
@@ -158,11 +170,17 @@ func New(cfg Config, numClasses int, objSize, batchSize func(int) int,
 	if cfg.CapacityBytes <= 0 {
 		panic("percpu: non-positive capacity")
 	}
+	sizes := make([]int, numClasses)
+	batches := make([]int, numClasses)
+	for i := 0; i < numClasses; i++ {
+		sizes[i] = objSize(i)
+		batches[i] = batchSize(i)
+	}
 	return &Caches{
 		cfg:        cfg,
 		numClasses: numClasses,
-		objSize:    objSize,
-		batchSize:  batchSize,
+		sizes:      sizes,
+		batches:    batches,
 		domainOf:   domainOf,
 		backing:    backing,
 		resizer:    resolveResizer(cfg),
@@ -170,6 +188,15 @@ func New(cfg Config, numClasses int, objSize, batchSize func(int) int,
 }
 
 func (c *Caches) cache(vcpu int) *cpuCache {
+	if vcpu < len(c.caches) {
+		if cc := c.caches[vcpu]; cc != nil {
+			return cc
+		}
+	}
+	return c.cacheSlow(vcpu)
+}
+
+func (c *Caches) cacheSlow(vcpu int) *cpuCache {
 	for vcpu >= len(c.caches) {
 		c.caches = append(c.caches, nil)
 	}
@@ -182,6 +209,7 @@ func (c *Caches) cache(vcpu int) *cpuCache {
 			slots:           make([][]uint64, c.numClasses),
 			capacity:        initial,
 			bound:           c.cfg.CapacityBytes,
+			domain:          c.domainOf(vcpu),
 			classOps:        make([]int64, c.numClasses),
 			classOpsAtDecay: make([]int64, c.numClasses),
 		}
@@ -200,7 +228,7 @@ func (c *Caches) Alloc(vcpu, class int) (addr uint64, hit bool, err error) {
 	if s := cc.slots[class]; len(s) > 0 {
 		addr = s[len(s)-1]
 		cc.slots[class] = s[:len(s)-1]
-		cc.used -= int64(c.objSize(class))
+		cc.used -= int64(c.sizes[class])
 		cc.allocHits++
 		return addr, true, nil
 	}
@@ -210,8 +238,8 @@ func (c *Caches) Alloc(vcpu, class int) (addr uint64, hit bool, err error) {
 	cc.missWindow++
 	c.tel.Event(telemetry.EvPerCPUMiss, int64(vcpu), int64(class))
 	c.grow(cc)
-	batch := c.batchSize(class)
-	size := int64(c.objSize(class))
+	batch := c.batches[class]
+	size := int64(c.sizes[class])
 	// Keep the refill within the capacity budget and the per-class cap
 	// (always at least one object).
 	if room := (cc.capacity - cc.used) / size; room < int64(batch) {
@@ -225,8 +253,8 @@ func (c *Caches) Alloc(vcpu, class int) (addr uint64, hit bool, err error) {
 	if batch < 1 {
 		batch = 1
 	}
-	buf := make([]uint64, batch)
-	n, err := c.backing.Alloc(class, c.domainOf(vcpu), buf)
+	buf := c.scratch(batch)
+	n, err := c.backing.Alloc(class, cc.domain, buf)
 	if n == 0 {
 		return 0, false, err
 	}
@@ -243,7 +271,7 @@ func (c *Caches) Alloc(vcpu, class int) (addr uint64, hit bool, err error) {
 func (c *Caches) Free(vcpu, class int, addr uint64) (hit bool) {
 	cc := c.cache(vcpu)
 	cc.classOps[class]++
-	size := int64(c.objSize(class))
+	size := int64(c.sizes[class])
 	if cap := c.cfg.PerClassBytesCap; cap > 0 &&
 		(int64(len(cc.slots[class]))+1)*size > cap {
 		// Per-class cap reached: spill a batch of this class.
@@ -274,21 +302,31 @@ func (c *Caches) Free(vcpu, class int, addr uint64) (hit bool) {
 	return true
 }
 
+// scratch returns the shared transfer buffer grown to n slots. Callers
+// must finish with the slice before the next scratch call; the backing
+// tiers never retain it.
+func (c *Caches) scratch(n int) []uint64 {
+	if cap(c.xferBuf) < n {
+		c.xferBuf = make([]uint64, n)
+	}
+	return c.xferBuf[:n]
+}
+
 // spill pushes addr plus up to batch-1 cached objects of class to the
 // middle tier.
 func (c *Caches) spill(cc *cpuCache, vcpu, class int, addr uint64) {
-	batch := c.batchSize(class)
+	batch := c.batches[class]
 	s := cc.slots[class]
 	take := batch - 1
 	if take > len(s) {
 		take = len(s)
 	}
-	objs := make([]uint64, 0, take+1)
-	objs = append(objs, addr)
-	objs = append(objs, s[len(s)-take:]...)
+	objs := c.scratch(take + 1)
+	objs[0] = addr
+	copy(objs[1:], s[len(s)-take:])
 	cc.slots[class] = s[:len(s)-take]
-	cc.used -= int64(take) * int64(c.objSize(class))
-	c.backing.Free(class, c.domainOf(vcpu), objs)
+	cc.used -= int64(take) * int64(c.sizes[class])
+	c.backing.Free(class, cc.domain, objs)
 }
 
 // grow raises a cache's capacity by one slow-start step, capped at the
@@ -324,11 +362,12 @@ func (c *Caches) MaybeDecay(now int64) int {
 			}
 			s := cc.slots[class]
 			drop := (len(s) + 1) / 2
-			objs := append([]uint64(nil), s[len(s)-drop:]...)
+			objs := c.scratch(drop)
+			copy(objs, s[len(s)-drop:])
 			cc.slots[class] = s[:len(s)-drop]
-			cc.used -= int64(drop) * int64(c.objSize(class))
+			cc.used -= int64(drop) * int64(c.sizes[class])
 			c.tel.Event(telemetry.EvPerCPUDecay, int64(vcpu), int64(drop))
-			c.backing.Free(class, c.domainOf(vcpu), objs)
+			c.backing.Free(class, cc.domain, objs)
 			released += drop
 		}
 	}
@@ -352,17 +391,18 @@ func (c *Caches) MaybeResize(now int64) bool {
 // allocations are small, §4.1) until the cache fits its capacity.
 func (c *Caches) evictToCapacity(cc *cpuCache, vcpu int) {
 	for class := c.numClasses - 1; class >= 0 && cc.used > cc.capacity; class-- {
-		size := int64(c.objSize(class))
+		size := int64(c.sizes[class])
 		for len(cc.slots[class]) > 0 && cc.used > cc.capacity {
-			batch := c.batchSize(class)
+			batch := c.batches[class]
 			s := cc.slots[class]
 			if batch > len(s) {
 				batch = len(s)
 			}
-			objs := append([]uint64(nil), s[len(s)-batch:]...)
+			objs := c.scratch(batch)
+			copy(objs, s[len(s)-batch:])
 			cc.slots[class] = s[:len(s)-batch]
 			cc.used -= int64(batch) * size
-			c.backing.Free(class, c.domainOf(vcpu), objs)
+			c.backing.Free(class, cc.domain, objs)
 		}
 	}
 }
@@ -378,8 +418,8 @@ func (c *Caches) Drain(vcpu int) {
 		if len(cc.slots[class]) == 0 {
 			continue
 		}
-		c.backing.Free(class, c.domainOf(vcpu), cc.slots[class])
-		cc.used -= int64(len(cc.slots[class])) * int64(c.objSize(class))
+		c.backing.Free(class, cc.domain, cc.slots[class])
+		cc.used -= int64(len(cc.slots[class])) * int64(c.sizes[class])
 		cc.slots[class] = nil
 	}
 	if cc.used != 0 {
@@ -416,7 +456,7 @@ func (c *Caches) CachedBytesByClass() []int64 {
 			continue
 		}
 		for class, s := range cc.slots {
-			out[class] += int64(len(s)) * int64(c.objSize(class))
+			out[class] += int64(len(s)) * int64(c.sizes[class])
 		}
 	}
 	return out
@@ -449,7 +489,7 @@ func (c *Caches) CheckInvariants() []check.Violation {
 		}
 		var recount int64
 		for class := 0; class < c.numClasses; class++ {
-			recount += int64(len(cc.slots[class])) * int64(c.objSize(class))
+			recount += int64(len(cc.slots[class])) * int64(c.sizes[class])
 		}
 		if recount != cc.used {
 			vs = append(vs, check.Violationf("percpu", check.KindAccounting,

@@ -54,7 +54,10 @@ func (c *Caches) DecodeState(d *snapshot.Decoder) {
 			continue
 		}
 		cc := &cpuCache{
-			slots:           make([][]uint64, c.numClasses),
+			slots: make([][]uint64, c.numClasses),
+			// The cached domain is derived state: recompute it from the
+			// wiring function rather than widening the codec.
+			domain:          c.domainOf(i),
 			classOps:        make([]int64, c.numClasses),
 			classOpsAtDecay: make([]int64, c.numClasses),
 		}

@@ -1,0 +1,68 @@
+// Package profiling wires Go's runtime profilers into the CLIs: the
+// -cpuprofile/-memprofile flag pair brackets a whole run so the hot
+// path can be inspected with `go tool pprof` (see PROFILING.md).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+)
+
+// TuneGC relaxes the collector for simulation runs. The sim's live
+// heap is tiny (tens of MB) while its allocation rate is high, so the
+// default GOGC=100 target runs a mark cycle every few tens of MB of
+// churn — roughly ten cycles per simulated second, a double-digit
+// share of fleet CPU profiles. A larger target trades bounded heap
+// headroom (the goal scales off the small live set) for most of that
+// time back. A GOGC value set in the environment always wins; results
+// are GC-schedule-independent by construction (no sync.Pool, no
+// finalizer-dependent state), so this is a pure wall-clock knob.
+func TuneGC() {
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(800)
+	}
+}
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and writes the allocation
+// profile to memPath (when non-empty). Either path may be empty; call
+// stop exactly once on the normal exit path. Profiles are not written
+// when the process leaves through os.Exit before stop runs.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "close cpu profile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create mem profile: %v\n", err)
+				return
+			}
+			runtime.GC() // flush recently-freed objects out of the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "write mem profile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "close mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -36,7 +36,7 @@ func NewZipf(r *RNG, n int, s float64) *Zipf {
 // Draw returns the next rank.
 func (z *Zipf) Draw() int {
 	u := z.rng.Float64()
-	return sort.SearchFloat64s(z.cdf, u)
+	return searchCDF(z.cdf, u)
 }
 
 // Weights returns the probability mass of each rank.
@@ -152,11 +152,27 @@ func NewMixture(components ...Component) *Mixture {
 // Sample implements Dist.
 func (m *Mixture) Sample(r *RNG) float64 {
 	u := r.Float64()
-	i := sort.SearchFloat64s(m.cdf, u)
+	i := searchCDF(m.cdf, u)
 	if i >= len(m.components) {
 		i = len(m.components) - 1
 	}
 	return m.components[i].Dist.Sample(r)
+}
+
+// searchCDF returns the smallest index i with cdf[i] >= u, exactly as
+// sort.SearchFloat64s does. Mixture and Discrete CDFs are a handful of
+// entries, where a forward scan beats the binary search's unpredictable
+// branches; long CDFs (Zipf ranks) still take the binary path.
+func searchCDF(cdf []float64, u float64) int {
+	if len(cdf) <= 8 {
+		for i, c := range cdf {
+			if c >= u {
+				return i
+			}
+		}
+		return len(cdf)
+	}
+	return sort.SearchFloat64s(cdf, u)
 }
 
 // Components returns the mixture branches (normalized weights).
@@ -205,7 +221,7 @@ func NewDiscrete(values, weights []float64) *Discrete {
 // Sample implements Dist.
 func (d *Discrete) Sample(r *RNG) float64 {
 	u := r.Float64()
-	i := sort.SearchFloat64s(d.cdf, u)
+	i := searchCDF(d.cdf, u)
 	if i >= len(d.values) {
 		i = len(d.values) - 1
 	}

@@ -24,10 +24,15 @@ import (
 )
 
 // DefaultWorkers resolves a worker-count request, the CLIs' -j flag:
-// values <= 0 select GOMAXPROCS; anything else is returned unchanged.
+// values <= 0 select GOMAXPROCS, and positive requests are clamped to
+// GOMAXPROCS. Oversubscribing a CPU-bound pool only adds scheduler
+// contention — -j 4 on a single-CPU machine used to run measurably
+// slower than -j 1 — and the determinism contract makes the worker
+// count a pure wall-clock knob, so the clamp never changes results.
 func DefaultWorkers(n int) int {
-	if n <= 0 {
-		return runtime.GOMAXPROCS(0)
+	max := runtime.GOMAXPROCS(0)
+	if n <= 0 || n > max {
+		return max
 	}
 	return n
 }

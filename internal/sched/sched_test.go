@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -153,7 +154,66 @@ func TestMapEmptyAndDefaultWorkers(t *testing.T) {
 	if got := DefaultWorkers(-3); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("DefaultWorkers(-3) = %d, want GOMAXPROCS", got)
 	}
-	if got := DefaultWorkers(5); got != 5 {
-		t.Fatalf("DefaultWorkers(5) = %d", got)
+	if want := min(5, runtime.GOMAXPROCS(0)); DefaultWorkers(5) != want {
+		t.Fatalf("DefaultWorkers(5) = %d, want %d", DefaultWorkers(5), want)
+	}
+}
+
+// TestDefaultWorkersClampsToGOMAXPROCS pins GOMAXPROCS to 1 and checks
+// that an oversubscribed -j request collapses to the sequential path:
+// extra workers on a single CPU only add scheduler contention.
+func TestDefaultWorkersClampsToGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	if got := DefaultWorkers(4); got != 1 {
+		t.Fatalf("DefaultWorkers(4) with GOMAXPROCS=1 = %d, want 1", got)
+	}
+	if got := DefaultWorkers(1); got != 1 {
+		t.Fatalf("DefaultWorkers(1) = %d, want 1", got)
+	}
+}
+
+// TestOversubscribedJMatchesSequentialThroughput runs the same CPU-bound
+// task set at -j 1 and -j 4 with GOMAXPROCS pinned to 1 and requires the
+// oversubscribed run to stay within 5% of the sequential one — the
+// regression the DefaultWorkers clamp fixes (without it, -j 4 on one CPU
+// was measurably slower than -j 1).
+func TestOversubscribedJMatchesSequentialThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	const tasks = 64
+	work := func(i int) error {
+		// Deterministic CPU-bound spin, no allocation.
+		x := uint64(i + 1)
+		for k := 0; k < 400_000; k++ {
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+		if x == 0 {
+			return errors.New("unreachable")
+		}
+		return nil
+	}
+	measure := func(j int) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		// Best-of-3 absorbs scheduler noise on a loaded box.
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			if err := Map(context.Background(), tasks, j, work); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	seq := measure(1)
+	over := measure(4)
+	if limit := seq + seq/20; over > limit {
+		t.Fatalf("-j 4 on GOMAXPROCS=1 took %v, over 5%% above -j 1's %v", over, seq)
 	}
 }

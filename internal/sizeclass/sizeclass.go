@@ -197,17 +197,22 @@ func (t *Table) Classes() []Class { return t.classes }
 // ClassFor maps a requested size to its size class. ok is false when the
 // request exceeds MaxSmallSize and must be served by the pageheap
 // directly. Zero-byte requests round up to the smallest class, as malloc
-// must return a unique pointer.
+// must return a unique pointer. The unsigned compare keeps the dominant
+// small-size lookup inlinable; negative sizes fall through to the slow
+// path, which panics as before.
 func (t *Table) ClassFor(size int) (Class, bool) {
+	if uint(size) <= uint(smallCut) {
+		return t.classes[t.lookup8[(size+7)/8]], true
+	}
+	return t.classForSlow(size)
+}
+
+func (t *Table) classForSlow(size int) (Class, bool) {
 	if size < 0 {
 		panic(fmt.Sprintf("sizeclass: negative size %d", size))
 	}
 	if size > MaxSmallSize {
 		return Class{}, false
-	}
-	if size <= smallCut {
-		idx := (size + 7) / 8
-		return t.classes[t.lookup8[idx]], true
 	}
 	k := (size - smallCut + 127) / 128
 	ci := t.lookup128[k]
@@ -218,6 +223,10 @@ func (t *Table) ClassFor(size int) (Class, bool) {
 	}
 	return t.classes[ci], true
 }
+
+// ClassSize returns the object size of class i without copying the whole
+// Class record — the free fast path only needs the size.
+func (t *Table) ClassSize(i int) int { return t.classes[i].Size }
 
 // InternalFragmentation returns the slack bytes for a request of the given
 // size: the difference between the allocated class size and the request.

@@ -45,7 +45,7 @@ func FuzzDecode(f *testing.F) {
 		d.Int()
 		d.F64()
 		d.Bytes()
-		d.String()
+		_ = d.String()
 		for i, n := 0, d.Len(8); i < n; i++ {
 			d.U64()
 		}

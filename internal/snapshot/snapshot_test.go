@@ -113,7 +113,7 @@ func TestRejectTruncated(t *testing.T) {
 		}
 		d.Section("s")
 		d.U64()
-		d.String()
+		_ = d.String()
 		if d.Err() == nil {
 			t.Fatalf("truncation to %d/%d bytes decoded cleanly", n, len(blob))
 		}

@@ -68,6 +68,26 @@ func New(start mem.PageID, pages, classIndex, objSize, capacity int) *Span {
 	}
 }
 
+// Recycle re-initializes a drained, unlinked span for a fresh placement
+// at start, retaining its geometry (pages, class, object size,
+// capacity). The central free list recycles released span structs this
+// way to spare the GC their round-trip churn; the reset must leave the
+// struct bit-identical in behaviour to one returned by New — in
+// particular the allocation hint — so recycled and fresh spans produce
+// the same address sequences.
+func (s *Span) Recycle(start mem.PageID) {
+	if s.live != 0 || s.list != nil {
+		panic("span: Recycle of live or linked span")
+	}
+	for i := range s.bitmap {
+		s.bitmap[i] = 0
+	}
+	s.Start = start
+	s.hint = 0
+	s.BornAt = 0
+	s.Seq = 0
+}
+
 // Capacity returns the total object slots — the paper's span-capacity
 // lifetime proxy (Fig. 16).
 func (s *Span) Capacity() int { return s.capacity }

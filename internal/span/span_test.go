@@ -274,3 +274,55 @@ func BenchmarkAllocateFree(b *testing.B) {
 		}
 	}
 }
+
+// TestRecycleMatchesFreshSpan drains a span, recycles it at a new
+// placement, and checks the recycled struct reproduces a fresh span's
+// exact allocation sequence — the property that lets the central free
+// list pool span structs without breaking bit-identical goldens.
+func TestRecycleMatchesFreshSpan(t *testing.T) {
+	s := newTestSpan(64)
+	var first []uint64
+	for i := 0; i < 64; i++ {
+		a, ok := s.Allocate()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		first = append(first, a)
+	}
+	// Free in a scrambled order so the hint and bitmap end up dirty.
+	for i := range first {
+		s.FreeAddr(first[(i*13+5)%64])
+	}
+	oldStart := s.Start
+	start2 := s.Start + mem.PageID(128)
+	s.Recycle(start2)
+	if s.Live() != 0 || s.Seq != 0 || s.BornAt != 0 || s.Start != start2 {
+		t.Fatalf("recycle left dirty state: %+v", s)
+	}
+	for i := 0; i < 64; i++ {
+		a, ok := s.Allocate()
+		if !ok {
+			t.Fatalf("post-recycle alloc %d failed", i)
+		}
+		if a-start2.Addr() != first[i]-oldStart.Addr() {
+			t.Fatalf("alloc %d: recycled offset %#x, fresh offset %#x",
+				i, a-start2.Addr(), first[i]-oldStart.Addr())
+		}
+	}
+}
+
+// TestRecycleRejectsLiveSpan checks the safety interlock: recycling a
+// span that still has live objects (or sits on a list) must panic
+// rather than silently alias live memory.
+func TestRecycleRejectsLiveSpan(t *testing.T) {
+	s := newTestSpan(8)
+	if _, ok := s.Allocate(); !ok {
+		t.Fatal("alloc failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Recycle of a live span did not panic")
+		}
+	}()
+	s.Recycle(s.Start)
+}

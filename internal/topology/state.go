@@ -17,7 +17,10 @@ func (m *VCPUMap) DecodeState(d *snapshot.Decoder) {
 	d.Section("vcpumap")
 	n := d.Len(8)
 	m.toPhys = make([]int, 0, n)
-	m.toVCPU = make(map[int]int, n)
+	m.toVCPU = make([]int, m.topology.NumCPUs())
+	for i := range m.toVCPU {
+		m.toVCPU[i] = -1
+	}
 	for i := 0; i < n; i++ {
 		phys := d.Int()
 		if d.Err() != nil {

@@ -222,14 +222,21 @@ func (t *Topology) InterIntraRatio() float64 {
 // CPU ID space (rseq vcpu_id). Dense IDs keep the allocator from
 // populating per-CPU caches for every CPU on ever-larger platforms.
 type VCPUMap struct {
-	toVCPU   map[int]int
+	// toVCPU is indexed by physical CPU (-1 = unassigned); a dense
+	// slice, not a map — Assign sits on the per-op hot path and the
+	// physical ID space is small and bounded by the topology.
+	toVCPU   []int
 	toPhys   []int
 	topology *Topology
 }
 
 // NewVCPUMap creates an empty map over t.
 func NewVCPUMap(t *Topology) *VCPUMap {
-	return &VCPUMap{toVCPU: make(map[int]int), topology: t}
+	m := &VCPUMap{toVCPU: make([]int, t.NumCPUs()), topology: t}
+	for i := range m.toVCPU {
+		m.toVCPU[i] = -1
+	}
+	return m
 }
 
 // Assign returns the dense vCPU ID for physical CPU phys, allocating the
@@ -237,7 +244,7 @@ func NewVCPUMap(t *Topology) *VCPUMap {
 // biases low-indexed vCPUs toward the application's steady-state threads —
 // the effect behind the per-vCPU miss disparity of Fig. 9b.
 func (m *VCPUMap) Assign(phys int) int {
-	if v, ok := m.toVCPU[phys]; ok {
+	if v := m.toVCPU[phys]; v >= 0 {
 		return v
 	}
 	v := len(m.toPhys)
@@ -248,8 +255,10 @@ func (m *VCPUMap) Assign(phys int) int {
 
 // Lookup returns the vCPU for phys without allocating.
 func (m *VCPUMap) Lookup(phys int) (int, bool) {
-	v, ok := m.toVCPU[phys]
-	return v, ok
+	if phys < 0 || phys >= len(m.toVCPU) || m.toVCPU[phys] < 0 {
+		return 0, false
+	}
+	return m.toVCPU[phys], true
 }
 
 // Physical returns the physical CPU backing vcpu.

@@ -123,13 +123,44 @@ type Stats struct {
 	Plundered int64
 }
 
+// placeKind discriminates the built-in placement policies so the hot
+// paths can inline their (trivial) routing decisions instead of paying
+// interface dispatch per operation. Custom policies fall back to the
+// interface.
+type placeKind uint8
+
+const (
+	placeCustom placeKind = iota
+	placeCentralized
+	placeNUCA
+	placePressure
+)
+
+func placementKindOf(p Placement) placeKind {
+	switch p.(type) {
+	case CentralizedPlacement:
+		return placeCentralized
+	case NUCAPlacement:
+		return placeNUCA
+	case PressurePlacement:
+		return placePressure
+	default:
+		return placeCustom
+	}
+}
+
 // TransferCaches is the full middle-tier cache layer for all size classes.
 type TransferCaches struct {
 	cfg        Config
 	numClasses int
-	objSize    func(class int) int
 	backing    Backing
 	placement  Placement
+	kind       placeKind
+
+	// sizes is the per-class object size table precomputed from the
+	// wiring function at construction (byte accounting without closure
+	// calls).
+	sizes []int
 
 	legacy []cache
 	// domains[d][class]
@@ -150,12 +181,17 @@ func New(cfg Config, numClasses int, objSize func(int) int, backing Backing) *Tr
 	if placement.UsesDomains() && cfg.NumDomains <= 0 {
 		panic(fmt.Sprintf("transfercache: domain-aware placement with %d domains", cfg.NumDomains))
 	}
+	sizes := make([]int, numClasses)
+	for i := 0; i < numClasses; i++ {
+		sizes[i] = objSize(i)
+	}
 	t := &TransferCaches{
 		cfg:        cfg,
 		numClasses: numClasses,
-		objSize:    objSize,
+		sizes:      sizes,
 		backing:    backing,
 		placement:  placement,
+		kind:       placementKindOf(placement),
 		legacy:     make([]cache, numClasses),
 	}
 	capFor := func(objects int, bytes int64, class int) int {
@@ -191,9 +227,45 @@ func New(cfg Config, numClasses int, objSize func(int) int, backing Backing) *Tr
 // of every object handed out. It returns the count filled; a short fill
 // is always accompanied by the backing tier's allocation error, and the
 // objects already in out remain valid.
+// allocFrom, freeTo and freeOverflow inline the built-in placement
+// policies (their routing decisions are trivial) and fall back to
+// interface dispatch for custom ones.
+func (t *TransferCaches) allocFrom(class, domain int) int {
+	switch t.kind {
+	case placeCentralized:
+		return -1
+	case placeNUCA, placePressure:
+		return domain
+	default:
+		return t.placement.AllocFrom(t, class, domain)
+	}
+}
+
+func (t *TransferCaches) freeTo(class, domain int) int {
+	switch t.kind {
+	case placeCentralized:
+		return -1
+	case placeNUCA, placePressure:
+		return domain
+	default:
+		return t.placement.FreeTo(t, class, domain)
+	}
+}
+
+func (t *TransferCaches) freeOverflow(class, domain int) int {
+	switch t.kind {
+	case placeCentralized, placeNUCA:
+		return -1
+	case placePressure:
+		return PressurePlacement{}.FreeOverflow(t, class, domain)
+	default:
+		return t.placement.FreeOverflow(t, class, domain)
+	}
+}
+
 func (t *TransferCaches) Alloc(class, domain int, out []uint64) (int, error) {
 	filled := 0
-	if d := t.placement.AllocFrom(t, class, domain); d >= 0 {
+	if d := t.allocFrom(class, domain); d >= 0 {
 		dc := &t.domains[t.domainIndex(d)][class]
 		filled += t.take(dc, domain, out[filled:])
 		if filled > 0 {
@@ -265,11 +337,11 @@ func (t *TransferCaches) take(c *cache, domain int, out []uint64) int {
 // spill to the backing tier when both are full.
 func (t *TransferCaches) Free(class, domain int, objs []uint64) {
 	rest := objs
-	if d := t.placement.FreeTo(t, class, domain); d >= 0 {
+	if d := t.freeTo(class, domain); d >= 0 {
 		dc := &t.domains[t.domainIndex(d)][class]
 		rest = t.put(dc, domain, rest)
 		if len(rest) > 0 {
-			if d2 := t.placement.FreeOverflow(t, class, domain); d2 >= 0 {
+			if d2 := t.freeOverflow(class, domain); d2 >= 0 {
 				rest = t.put(&t.domains[t.domainIndex(d2)][class], domain, rest)
 			}
 		}
@@ -400,7 +472,7 @@ func (t *TransferCaches) CheckInvariants() []check.Violation {
 			vs = append(vs, check.Violationf("transfercache", check.KindStructure,
 				"%s cache class %d holds %d objects (%d bytes) above its bound of %d",
 				where, class, len(c.entries),
-				int64(len(c.entries))*int64(t.objSize(class)), c.max))
+				int64(len(c.entries))*int64(t.sizes[class]), c.max))
 		}
 		for _, e := range c.entries {
 			if e.domain != coldDomain && (int(e.domain) < 0 || (len(t.domains) > 0 && int(e.domain) >= len(t.domains))) {
@@ -439,7 +511,7 @@ func (t *TransferCaches) OverstuffLegacyForTest(class int, addrs []uint64) {
 func (t *TransferCaches) CachedBytesByClass() []int64 {
 	out := make([]int64, t.numClasses)
 	add := func(c *cache, class int) {
-		out[class] += int64(len(c.entries)) * int64(t.objSize(class))
+		out[class] += int64(len(c.entries)) * int64(t.sizes[class])
 	}
 	for class := range t.legacy {
 		add(&t.legacy[class], class)
@@ -457,7 +529,7 @@ func (t *TransferCaches) Stats() Stats {
 	s := t.stats
 	count := func(c *cache, class int) {
 		s.CachedObjects += int64(len(c.entries))
-		s.CachedBytes += int64(len(c.entries)) * int64(t.objSize(class))
+		s.CachedBytes += int64(len(c.entries)) * int64(t.sizes[class])
 	}
 	for class := range t.legacy {
 		count(&t.legacy[class], class)

@@ -124,6 +124,17 @@ type object struct {
 // deathBucketNs is the granularity of the death wheel.
 const deathBucketNs = 100 * Microsecond
 
+// wheelRingSize is the number of near-future death buckets kept in a
+// flat ring — ~410 ms of virtual time, past the warped lifetime of
+// almost every object, so the per-op schedule/drain path is two slice
+// ops instead of map traffic (the map was a top entry in fleet CPU
+// profiles). Deaths beyond the window overflow into wheelFar. Power of
+// two so the slot index is a mask.
+const (
+	wheelRingSize = 4096
+	wheelMask     = wheelRingSize - 1
+)
+
 // Driver runs a profile against an allocator. All run-position state
 // lives in fields (not Run locals) so a driver can be serialized at a
 // checkpoint and resumed, or rebound to a fresh allocator after a
@@ -135,12 +146,31 @@ type Driver struct {
 	r       *rng.RNG
 	dyn     ThreadDynamics
 
-	now       int64
-	threads   int
-	wheel     map[int64][]object
+	now     int64
+	threads int
+	// Hot-loop caches, derived (never serialized): gapNs is
+	// MeanAllocGapNs/threads, refreshed by setThreads; cpuSet is the
+	// clamped CPU-set width, refreshed when the allocator binds.
+	gapNs  float64
+	cpuSet int
+	// The death wheel: slot b&wheelMask of wheelRing holds bucket b's
+	// objects while b is inside [curBucket, curBucket+wheelRingSize);
+	// later buckets live in wheelFar until the window reaches them.
+	// In-bucket insertion order — which free replay depends on — is
+	// far entries first, then ring entries: every far insert for a
+	// bucket happens strictly before the window (which only moves
+	// forward) admits that bucket's ring inserts.
+	wheelRing [][]object
+	wheelFar  map[int64][]object
 	curBucket int64
 	liveCount int64
 	preloaded []object
+
+	// bucketPool stashes the storage of consumed far-wheel buckets for
+	// reuse (ring slots keep their storage in place). Purely an
+	// allocation cache: it never holds live objects and is not part of
+	// the serialized driver state.
+	bucketPool [][]object
 
 	started    bool
 	halted     bool
@@ -182,14 +212,37 @@ func NewDriver(p Profile, a *core.Allocator, opts Options) *Driver {
 	}
 	dyn := p.Threads
 	dyn.PeriodNs = opts.DynamicsPeriodNs
-	return &Driver{
-		profile: p,
-		alloc:   a,
-		opts:    opts,
-		r:       rng.New(opts.Seed),
-		dyn:     dyn,
-		wheel:   make(map[int64][]object),
+	d := &Driver{
+		profile:   p,
+		alloc:     a,
+		opts:      opts,
+		r:         rng.New(opts.Seed),
+		dyn:       dyn,
+		wheelRing: make([][]object, wheelRingSize),
+		wheelFar:  make(map[int64][]object),
 	}
+	d.refreshCPUSet()
+	return d
+}
+
+// setThreads updates the active thread count and the derived per-thread
+// arrival gap (the same division the event loop used to repeat per op).
+func (d *Driver) setThreads(n int) {
+	d.threads = n
+	d.gapNs = d.profile.MeanAllocGapNs / float64(n)
+}
+
+// refreshCPUSet recomputes the clamped CPU-set width; call whenever the
+// allocator binding changes (construction, Restart).
+func (d *Driver) refreshCPUSet() {
+	set := d.profile.CPUSet
+	if max := d.alloc.Topology().NumCPUs(); set > max {
+		set = max
+	}
+	if set < 1 {
+		set = 1
+	}
+	d.cpuSet = set
 }
 
 // warp compresses a lifetime per the options.
@@ -213,16 +266,13 @@ func (d *Driver) pickThread() int {
 }
 
 // cpuForThread maps a worker thread to a physical CPU within the
-// application's CPU set.
+// application's CPU set (cached by refreshCPUSet; the modulo is skipped
+// when the thread index already fits).
 func (d *Driver) cpuForThread(thread int) int {
-	set := d.profile.CPUSet
-	if max := d.alloc.Topology().NumCPUs(); set > max {
-		set = max
+	if thread < d.cpuSet {
+		return thread
 	}
-	if set < 1 {
-		set = 1
-	}
-	return thread % set
+	return thread % d.cpuSet
 }
 
 // preload builds the profile's resident heap before the measured window.
@@ -263,7 +313,7 @@ func (d *Driver) preload() {
 func (d *Driver) Run() Result {
 	p := d.profile
 	if !d.started {
-		d.threads = d.dyn.Count(d.r, 0)
+		d.setThreads(d.dyn.Count(d.r, 0))
 		d.res.ThreadSeries = append(d.res.ThreadSeries, d.threads)
 		d.preload()
 
@@ -312,8 +362,7 @@ func (d *Driver) Run() Result {
 		}
 
 		// Next allocation arrival: exponential with rate threads/gap.
-		gap := p.MeanAllocGapNs / float64(d.threads)
-		dt := int64(gap * d.r.ExpFloat64())
+		dt := int64(d.gapNs * d.r.ExpFloat64())
 		if dt < 1 {
 			dt = 1
 		}
@@ -326,7 +375,7 @@ func (d *Driver) Run() Result {
 			d.nextTick += d.opts.TickEveryNs
 		}
 		if d.now >= d.nextThreadUpdate {
-			d.threads = d.dyn.Count(d.r, d.now)
+			d.setThreads(d.dyn.Count(d.r, d.now))
 			d.res.ThreadSeries = append(d.res.ThreadSeries, d.threads)
 			d.nextThreadUpdate += d.opts.ThreadUpdateEveryNs
 		}
@@ -369,7 +418,12 @@ func (d *Driver) Run() Result {
 		life := d.warp(p.Lifetime.Sample(d.r, size))
 		die := d.now + life
 		bucket := die / deathBucketNs
-		d.wheel[bucket] = append(d.wheel[bucket], object{addr, size})
+		if bucket-d.curBucket < wheelRingSize {
+			slot := bucket & wheelMask
+			d.wheelRing[slot] = append(d.wheelRing[slot], object{addr, size})
+		} else {
+			d.scheduleFar(bucket, object{addr, size})
+		}
 	}
 
 	if d.opts.AuditEveryNs > 0 {
@@ -420,10 +474,16 @@ func (d *Driver) Now() int64 { return d.now }
 // wheel is cleared because the objects it tracked no longer exist.
 func (d *Driver) Restart(a *core.Allocator) {
 	d.alloc = a
+	d.refreshCPUSet()
 	if hp := a.HeapProfiler(); hp != nil {
 		hp.SetWorkload(d.profile.Name)
 	}
-	d.wheel = make(map[int64][]object)
+	for i := range d.wheelRing {
+		if d.wheelRing[i] != nil {
+			d.wheelRing[i] = d.wheelRing[i][:0]
+		}
+	}
+	d.wheelFar = make(map[int64][]object)
 	d.liveCount = 0
 	d.preloaded = nil
 	d.halted = false
@@ -448,33 +508,85 @@ func (d *Driver) audit() {
 // regularly die on a different CPU (and LLC domain) than they were
 // allocated on — the cross-CPU flow the transfer cache exists for.
 func (d *Driver) processDeaths(now int64) {
-	for b := d.curBucket; b <= now/deathBucketNs; b++ {
-		objs := d.wheel[b]
-		if objs == nil {
-			d.curBucket = b
-			continue
+	nowBucket := now / deathBucketNs
+	for b := d.curBucket; b <= nowBucket; b++ {
+		// Far entries precede ring entries in insertion order (see the
+		// wheel fields) — free them first so replay order matches the
+		// single-map wheel bit for bit.
+		if len(d.wheelFar) > 0 {
+			if objs, ok := d.wheelFar[b]; ok {
+				delete(d.wheelFar, b)
+				d.freeBucket(objs)
+				if len(d.bucketPool) < 64 {
+					d.bucketPool = append(d.bucketPool, objs[:0])
+				}
+			}
 		}
-		delete(d.wheel, b)
-		for _, o := range objs {
-			cpu := d.cpuForThread(d.pickThread())
-			cost := d.alloc.Free(o.addr, o.size, cpu)
-			d.res.Frees++
-			d.res.MallocNs += cost
-			d.liveCount--
+		slot := b & wheelMask
+		if objs := d.wheelRing[slot]; len(objs) > 0 {
+			d.freeBucket(objs)
+			// Ring slots keep their storage in place for bucket b+ring.
+			d.wheelRing[slot] = objs[:0]
 		}
 		d.curBucket = b
 	}
 }
 
+// freeBucket frees one death bucket's objects on randomly chosen
+// currently-active threads (one RNG draw per object — draw order is
+// part of the determinism contract).
+func (d *Driver) freeBucket(objs []object) {
+	for _, o := range objs {
+		cpu := d.cpuForThread(d.pickThread())
+		cost := d.alloc.Free(o.addr, o.size, cpu)
+		d.res.Frees++
+		d.res.MallocNs += cost
+		d.liveCount--
+	}
+}
+
+// ringBucketOf recovers the bucket number a populated ring slot holds:
+// the unique b ≡ slot (mod wheelRingSize) inside the current window
+// [curBucket, curBucket+wheelRingSize).
+func (d *Driver) ringBucketOf(slot int64) int64 {
+	off := (slot - (d.curBucket & wheelMask) + wheelRingSize) & wheelMask
+	return d.curBucket + off
+}
+
+// scheduleFar parks an object whose death bucket is beyond the ring
+// window, recycling consumed far-bucket storage when available.
+func (d *Driver) scheduleFar(bucket int64, o object) {
+	objs, ok := d.wheelFar[bucket]
+	if !ok {
+		if n := len(d.bucketPool); n > 0 {
+			objs = d.bucketPool[n-1]
+			d.bucketPool[n-1] = nil
+			d.bucketPool = d.bucketPool[:n-1]
+		} else {
+			objs = make([]object, 0, 32)
+		}
+	}
+	d.wheelFar[bucket] = append(objs, o)
+}
+
 // DrainRemaining frees every object still scheduled in the wheel plus
 // the preloaded resident heap (used for teardown accounting in tests).
 func (d *Driver) DrainRemaining() {
-	for b, objs := range d.wheel {
+	for i, objs := range d.wheelRing {
 		for _, o := range objs {
 			d.alloc.Free(o.addr, o.size, 0)
 			d.liveCount--
 		}
-		delete(d.wheel, b)
+		if objs != nil {
+			d.wheelRing[i] = objs[:0]
+		}
+	}
+	for b, objs := range d.wheelFar {
+		for _, o := range objs {
+			d.alloc.Free(o.addr, o.size, 0)
+			d.liveCount--
+		}
+		delete(d.wheelFar, b)
 	}
 	for _, o := range d.preloaded {
 		d.alloc.Free(o.addr, o.size, 0)

@@ -28,14 +28,32 @@ func (d *Driver) EncodeState(e *snapshot.Encoder) {
 	e.I64(d.nextAudit)
 	e.I64(d.nextCheckpoint)
 
-	buckets := make([]int64, 0, len(d.wheel))
-	for b := range d.wheel {
+	// Emit one entry per populated bucket in ascending bucket order,
+	// each bucket's objects in insertion order (far entries precede
+	// ring entries — see the wheel fields) so the encoding is identical
+	// to the old single-map wheel's.
+	ringBuckets := make(map[int64]int, wheelRingSize)
+	buckets := make([]int64, 0, len(d.wheelFar)+wheelRingSize)
+	for slot, objs := range d.wheelRing {
+		if len(objs) == 0 {
+			continue
+		}
+		b := d.ringBucketOf(int64(slot))
+		ringBuckets[b] = slot
 		buckets = append(buckets, b)
+	}
+	for b := range d.wheelFar {
+		if _, dup := ringBuckets[b]; !dup {
+			buckets = append(buckets, b)
+		}
 	}
 	sort.Slice(buckets, func(i, j int) bool { return buckets[i] < buckets[j] })
 	e.Len(len(buckets))
 	for _, b := range buckets {
-		objs := d.wheel[b]
+		objs := d.wheelFar[b]
+		if slot, ok := ringBuckets[b]; ok {
+			objs = append(objs[:len(objs):len(objs)], d.wheelRing[slot]...)
+		}
 		e.I64(b)
 		e.Len(len(objs))
 		for _, o := range objs {
@@ -76,7 +94,7 @@ func (d *Driver) DecodeState(dec *snapshot.Decoder) error {
 	dec.Section("workload.driver")
 	d.r.DecodeState(dec)
 	d.now = dec.I64()
-	d.threads = dec.Int()
+	d.setThreads(dec.Int())
 	d.curBucket = dec.I64()
 	d.liveCount = dec.I64()
 	d.started = dec.Bool()
@@ -90,7 +108,8 @@ func (d *Driver) DecodeState(dec *snapshot.Decoder) error {
 	}
 
 	nb := dec.Len(8 + 4)
-	d.wheel = make(map[int64][]object, nb)
+	d.wheelRing = make([][]object, wheelRingSize)
+	d.wheelFar = make(map[int64][]object, nb)
 	var wheelObjs int64
 	for i := 0; i < nb && dec.Err() == nil; i++ {
 		b := dec.I64()
@@ -102,11 +121,24 @@ func (d *Driver) DecodeState(dec *snapshot.Decoder) error {
 		if dec.Err() != nil {
 			break
 		}
-		if _, dup := d.wheel[b]; dup {
-			dec.Fail("workload: duplicate death bucket %d", b)
-			break
+		// Route each restored bucket the same way the insert path
+		// would: in-window buckets to the ring, the rest to the far
+		// map. A merged far+ring bucket collapses into one ring slice;
+		// its replay order is unchanged.
+		if b >= d.curBucket && b-d.curBucket < wheelRingSize {
+			slot := b & wheelMask
+			if len(d.wheelRing[slot]) > 0 {
+				dec.Fail("workload: duplicate death bucket %d", b)
+				break
+			}
+			d.wheelRing[slot] = objs
+		} else {
+			if _, dup := d.wheelFar[b]; dup {
+				dec.Fail("workload: duplicate death bucket %d", b)
+				break
+			}
+			d.wheelFar[b] = objs
 		}
-		d.wheel[b] = objs
 		wheelObjs += int64(no)
 	}
 	if dec.Err() == nil && wheelObjs != d.liveCount {

@@ -5,7 +5,10 @@
 # (which covers the parallel fleet/experiment execution engine, its
 # determinism-equivalence tests, and the heap-profiler tests), a short
 # fuzz smoke on the fuzz targets (size classes, alloc/free, the profdiff
-# parser), the hardening self-tests (sanitizer corruption detection +
+# parser), a benchmark regression smoke (cmd/benchgate gates the fleet
+# A/B, nil-sink telemetry, and hot-loop throughput against the
+# committed bench_smoke baseline in BENCH_fleet.json, failing on a >10%
+# drop), the hardening self-tests (sanitizer corruption detection +
 # fleet chaos run) — themselves compiled with -race and fanned out over
 # the worker pool so shared stats aggregation is race-checked under real
 # parallelism — and three cross-process determinism smokes: telemetry +
@@ -34,18 +37,31 @@ go test -race ./...
 echo "==> fuzz smoke (${FUZZTIME} each)"
 go test ./internal/sizeclass/ -run '^$' -fuzz FuzzSizeClassRoundTrip -fuzztime "$FUZZTIME"
 go test ./internal/core/ -run '^$' -fuzz FuzzAllocFree -fuzztime "$FUZZTIME"
+go test ./internal/core/ -run '^$' -fuzz FuzzPooledNodeReuse -fuzztime "$FUZZTIME"
 go test ./internal/profdiff/ -run '^$' -fuzz FuzzParse -fuzztime "$FUZZTIME"
 go test ./internal/policy/ -run '^$' -fuzz FuzzDesignPointParse -fuzztime "$FUZZTIME"
 
 echo "==> policy registry coverage (every registered policy allocates cleanly)"
 go test ./internal/policy/ -run TestRegistryCoverage -count 1
 
+TELDIR="$(mktemp -d)"
+trap 'rm -rf "$TELDIR"' EXIT
+
+echo "==> bench regression smoke (throughput vs committed BENCH_fleet.json bench_smoke baseline)"
+# Fixed iteration counts for the two A/B benches (each iteration is the
+# same fixed fleet run), wall-clock benchtime for the nanosecond-scale
+# hot loop. benchgate gates machines/s and ops/s against the committed
+# bench_smoke block and fails on a >10% drop; see README, "Benchmark
+# baselines" for the refresh procedure.
+BENCHOUT="$TELDIR/bench.txt"
+go test ./internal/fleet/ -run '^$' -bench '^(BenchmarkFleetAB|BenchmarkTelemetryDisabled)$' -benchtime 3x > "$BENCHOUT"
+go test ./internal/fleet/ -run '^$' -bench '^BenchmarkHotLoop$' -benchtime 0.3s >> "$BENCHOUT"
+go run ./cmd/benchgate < "$BENCHOUT"
+
 echo "==> hardening self-tests under -race (sanitizer detection + parallel fleet chaos)"
 go run -race ./cmd/experiments -scale smoke -j 4 selftest chaos
 
 echo "==> telemetry + heapprof determinism smoke (-j 1 vs -j 4 exports byte-identical)"
-TELDIR="$(mktemp -d)"
-trap 'rm -rf "$TELDIR"' EXIT
 go run ./cmd/fleet-ab -machines 64 -duration-ms 20 -telemetry -heapprof -metrics-out "$TELDIR/j1" -j 1 > /dev/null
 go run ./cmd/fleet-ab -machines 64 -duration-ms 20 -telemetry -heapprof -metrics-out "$TELDIR/j4" -j 4 > /dev/null
 for ext in prom json mallocz heapz heapz.json; do

@@ -3,7 +3,9 @@
 // metric of each gated benchmark (the custom machines/s or ops/s
 // column, not ns/op), compares every metric against the committed
 // baseline in BENCH_fleet.json's bench_smoke block, and fails if any
-// of them regressed by more than -max-regress (default 10%). On a
+// of them regressed by more than -max-regress (default 10%). Ratio
+// metrics (floorGated) are instead held to a fixed floor — e.g. the
+// daemon's observed-vs-bare tick ratio must stay at or above 0.95. On a
 // passing run (and with -update, unconditionally) the measured values
 // are recorded back into the baseline file, so an intentional perf
 // change is committed as part of the same PR that caused it — see
@@ -32,6 +34,27 @@ var gated = []struct{ name, metric string }{
 	{"FleetAB/j=1", "machines/s"},
 	{"TelemetryDisabled", "machines/s"},
 	{"HotLoop", "ops/s"},
+	{"DaemonTick", "ticks/s"},
+}
+
+// floorGated pins benchmark-reported ratio metrics against a fixed
+// floor, immune to machine-speed drift (both sides of the ratio are
+// measured by the benchmark itself, interleaved in one process — see
+// BenchmarkDaemonObserveOverhead). Like the throughput gates, the gate
+// takes the best of -count repetitions: sustained neighbor load on a
+// shared machine only ever depresses the ratio (the observed arm has
+// the larger cache footprint, so contention hits it harder), so the
+// best repetition is the estimate closest to the intrinsic overhead. A
+// real regression drags every repetition down and still trips the
+// floor. The daemon entry is the observability-overhead ceiling: a
+// fully observed fleet tick (streaming sketches, series ring,
+// watchdog, live pages) must run within 5% of the telemetry-off tick.
+var floorGated = []struct {
+	name, metric string
+	min          float64
+	desc         string
+}{
+	{"DaemonObserveOverhead", "off/on", 0.95, "daemon observability overhead <5%"},
 }
 
 type smokeEntry struct {
@@ -86,6 +109,24 @@ func main() {
 				g.name, got.Value, got.Metric, prev.Value, 100*(got.Value/prev.Value-1))
 		}
 	}
+	for _, fg := range floorGated {
+		got, ok := measured[fg.name]
+		if !ok {
+			fatalf("benchmark %s missing from input — is the -bench pattern in verify.sh out of sync?", fg.name)
+		}
+		if got.Metric != fg.metric {
+			fatalf("benchmark %s reported %q, want %q", fg.name, got.Metric, fg.metric)
+		}
+		v := got.Value
+		if v < fg.min {
+			fmt.Printf("benchgate: %-18s %14.3f %-10s BELOW floor %.2f (%s)\n",
+				fg.name, v, fg.metric, fg.min, fg.desc)
+			failed = true
+		} else {
+			fmt.Printf("benchgate: %-18s %14.3f %-10s ok vs floor %.2f (%s)\n",
+				fg.name, v, fg.metric, fg.min, fg.desc)
+		}
+	}
 	if failed {
 		fmt.Println("benchgate: FAIL — if the slowdown is intentional, refresh the baseline (see README, Benchmark baselines)")
 		os.Exit(1)
@@ -106,11 +147,15 @@ func main() {
 // -bench` output: for every "Benchmark<Name>[-P]  N  ... <value>
 // <unit>" line whose unit is a gated metric, it records value under
 // Name with the -GOMAXPROCS suffix stripped. Lines are echoed through
-// so the CI log keeps the raw benchmark output.
+// so the CI log keeps the raw benchmark output. It returns the best
+// value per benchmark across -count repetitions.
 func parseBench(f *os.File) map[string]smokeEntry {
 	units := make(map[string]bool)
 	for _, g := range gated {
 		units[g.metric] = true
+	}
+	for _, fg := range floorGated {
+		units[fg.metric] = true
 	}
 	out := make(map[string]smokeEntry)
 	sc := bufio.NewScanner(f)
@@ -137,7 +182,12 @@ func parseBench(f *os.File) map[string]smokeEntry {
 			if err != nil {
 				fatalf("bad metric value on line %q: %v", line, err)
 			}
-			out[name] = smokeEntry{Metric: fields[i+1], Value: v}
+			// With -count > 1, keep the best repetition: throughput is
+			// bigger-is-better, and the max is the estimate least biased
+			// by background interference on a shared CI machine.
+			if prev, ok := out[name]; !ok || v > prev.Value {
+				out[name] = smokeEntry{Metric: fields[i+1], Value: v}
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

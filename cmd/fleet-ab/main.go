@@ -429,8 +429,25 @@ func main() {
 	}
 
 	if *serveAddr != "" {
+		serveStart := time.Now()
 		ep := wsmalloc.TelemetryEndpoints{
 			Snapshots: func() []wsmalloc.TelemetrySnapshot { return snaps },
+			// /statusz identifies the finished A/B run this one-shot server
+			// is exposing; /healthz reports "ok" for as long as it serves.
+			Status: func() any {
+				return map[string]any{
+					"service":       "fleet-ab",
+					"uptime_sec":    time.Since(serveStart).Seconds(),
+					"arm":           armDesc,
+					"machines":      *machines,
+					"sample":        *sample,
+					"seed":          *seed,
+					"duration_ms":   *durationMs,
+					"arms":          len(snaps),
+					"heap_profiles": len(profiles),
+				}
+			},
+			Health: func() error { return nil },
 		}
 		if len(profiles) > 0 {
 			ep.Heapz = func(w io.Writer, format string) error {
@@ -440,7 +457,7 @@ func main() {
 				return wsmalloc.WriteHeapProfiles(w, profiles...)
 			}
 		}
-		fmt.Printf("serving /metricsz and /heapz on %s\n", *serveAddr)
+		fmt.Printf("serving /metricsz, /heapz, /statusz and /healthz on %s\n", *serveAddr)
 		if err := wsmalloc.ServeTelemetry(*serveAddr, ep); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			os.Exit(1)

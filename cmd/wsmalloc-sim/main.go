@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"wsmalloc"
 	"wsmalloc/internal/profiling"
@@ -338,6 +339,7 @@ func main() {
 	}
 
 	if *serveAddr != "" {
+		serveStart := time.Now()
 		ep := wsmalloc.TelemetryEndpoints{
 			Snapshots: func() []wsmalloc.TelemetrySnapshot { return snaps },
 			Trace:     func() wsmalloc.TraceDump { return trace },
@@ -348,6 +350,22 @@ func main() {
 				}
 				return wsmalloc.WritePageHeapZ(w, z)
 			},
+			// /statusz identifies the finished run this one-shot server is
+			// exposing; /healthz reports "ok" for as long as it serves.
+			Status: func() any {
+				return map[string]any{
+					"service":       "wsmalloc-sim",
+					"uptime_sec":    time.Since(serveStart).Seconds(),
+					"profile":       profile.Name,
+					"config":        runLabel,
+					"seed":          *seed,
+					"duration_ms":   *durationMs,
+					"ops":           res.Ops,
+					"frees":         res.Frees,
+					"heap_profiles": len(profiles),
+				}
+			},
+			Health: func() error { return nil },
 		}
 		if len(profiles) > 0 {
 			ep.Heapz = func(w io.Writer, format string) error {
@@ -357,7 +375,7 @@ func main() {
 				return wsmalloc.WriteHeapProfiles(w, profiles...)
 			}
 		}
-		fmt.Printf("serving /metricsz, /tracez, /heapz and /pageheapz on %s\n", *serveAddr)
+		fmt.Printf("serving /metricsz, /tracez, /heapz, /pageheapz, /statusz and /healthz on %s\n", *serveAddr)
 		if err := wsmalloc.ServeTelemetry(*serveAddr, ep); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			os.Exit(1)

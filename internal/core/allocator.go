@@ -12,6 +12,7 @@ import (
 	"wsmalloc/internal/percpu"
 	"wsmalloc/internal/sizeclass"
 	"wsmalloc/internal/span"
+	"wsmalloc/internal/stats"
 	"wsmalloc/internal/telemetry"
 	"wsmalloc/internal/topology"
 	"wsmalloc/internal/transfercache"
@@ -60,6 +61,11 @@ type Allocator struct {
 
 	tel           *telemetry.Sink
 	allocSizeHist *telemetry.Histogram
+	// allocSizeBuf buffers per-malloc size observations without
+	// synchronization (the allocator is single-threaded); fillGauges
+	// folds it into allocSizeHist at snapshot boundaries so the malloc
+	// hot path never takes the histogram mutex.
+	allocSizeBuf *stats.LogHistogram
 
 	// hp is the sampled heap profiler; nil when disabled so the hot
 	// paths pay a single nil check.
@@ -128,6 +134,7 @@ func New(cfg Config, topo *topology.Topology) *Allocator {
 		a.tel.SetGaugeFill(a.fillGauges)
 		// Requested sizes span 8 B .. 2 GiB.
 		a.allocSizeHist = a.tel.Registry().Histogram("alloc_size_bytes", 3, 31)
+		a.allocSizeBuf = stats.NewLogHistogram(3, 31)
 		a.front.SetTelemetry(a.tel)
 		a.transfer.SetTelemetry(a.tel)
 		for _, l := range a.cfls {
@@ -172,7 +179,19 @@ func (a *Allocator) Telemetry() *telemetry.Sink { return a.tel }
 // carry the characterization metrics alongside the event counters. All
 // values are integral (ppm for ratios, whole ns for cost-model time) so
 // fleet-level merges stay exact.
+// flushSizeHist folds the buffered per-malloc size observations into
+// the registry histogram. Called from fillGauges (which every snapshot
+// and merge path runs first) and before state encoding, so the registry
+// is always current when it becomes externally visible.
+func (a *Allocator) flushSizeHist() {
+	if a.allocSizeBuf != nil && a.allocSizeBuf.Total() > 0 {
+		a.allocSizeHist.MergeLog(a.allocSizeBuf)
+		a.allocSizeBuf.Reset()
+	}
+}
+
 func (a *Allocator) fillGauges(reg *telemetry.Registry) {
+	a.flushSizeHist()
 	s := a.Stats()
 	set := func(name string, v int64) { reg.Gauge(name).Set(v) }
 	set("heap_bytes", s.HeapBytes)
@@ -402,8 +421,8 @@ func (a *Allocator) malloc(size, cpu int, largeLT pageheap.Lifetime) (uint64, fl
 	}
 	a.t.cumAllocatedBytes += int64(size)
 	a.t.cumAllocatedObjs++
-	if a.allocSizeHist != nil {
-		a.allocSizeHist.Observe(float64(size))
+	if a.allocSizeBuf != nil {
+		a.allocSizeBuf.Add(float64(size))
 	}
 
 	if a.cfg.SampleIntervalBytes > 0 {

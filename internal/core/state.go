@@ -82,6 +82,9 @@ func (a *Allocator) EncodeState(e *snapshot.Encoder) {
 		a.shadow.EncodeState(e)
 	}
 
+	// Flush buffered observations so the encoded registry is complete;
+	// a restored allocator starts with an empty buffer.
+	a.flushSizeHist()
 	a.tel.EncodeState(e)
 	a.hp.EncodeState(e)
 }

@@ -1,0 +1,223 @@
+// Checkpoint/restore for the daemon: a manifest blob (tick position,
+// sketches, series ring, watchdog and alert state) plus one blob per
+// machine (allocator, driver, churn cursor, carry registry, lifecycle
+// counters). A daemon restored from these continues bit-identically to
+// one that was never stopped — the same contract the fleet runner's
+// per-machine checkpoints honour, lifted to the whole control plane.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wsmalloc/internal/snapshot"
+)
+
+// manifestName is the daemon-level blob; machine blobs sit next to it.
+const manifestName = "daemon.ckpt"
+
+// fingerprint canonically names the run a checkpoint belongs to; a
+// mismatch means the checkpoint directory holds a different run and
+// must not be restored into this one.
+func (d *Daemon) fingerprint() string {
+	return fmt.Sprintf("machines=%d sample=%g min=%d seed=%#x tick=%d diurnal=%d churn=%g oom=%v design=%q observe=%v",
+		d.cfg.Machines, d.cfg.SampleFraction, d.cfg.MinMachines, d.cfg.Seed,
+		d.cfg.TickNs, d.cfg.DiurnalPeriodNs, d.cfg.ChurnPerTick,
+		d.cfg.RestartOnOOM, d.cfg.Design, d.cfg.Observe)
+}
+
+// wdState is the watchdog's serialized form (JSON: it is small,
+// map-shaped state that json round-trips exactly — float64 bit patterns
+// survive because every value is exported/imported via the same
+// encoding path both ways).
+type wdState struct {
+	Prev     map[string]float64   `json:"prev"`
+	Hist     map[string][]float64 `json:"hist"`
+	Alerting map[string]int       `json:"alerting"`
+}
+
+// Checkpoint atomically persists the manifest and every machine blob.
+// Safe to call between ticks only (the run loop and tests do).
+func (d *Daemon) Checkpoint() error {
+	if d.cfg.CheckpointDir == "" {
+		return fmt.Errorf("daemon: no checkpoint directory configured")
+	}
+	for i, ms := range d.machines {
+		if err := writeFileAtomic(d.machinePath(i), d.encodeMachine(ms)); err != nil {
+			return fmt.Errorf("daemon: checkpoint machine %d: %w", ms.m.ID, err)
+		}
+	}
+	blob, err := d.encodeManifest()
+	if err != nil {
+		return err
+	}
+	// The manifest is written last: its presence implies a complete,
+	// consistent machine-blob set.
+	if err := writeFileAtomic(filepath.Join(d.cfg.CheckpointDir, manifestName), blob); err != nil {
+		return fmt.Errorf("daemon: checkpoint manifest: %w", err)
+	}
+	d.lastCheckpointTick = d.tick
+	return nil
+}
+
+func (d *Daemon) machinePath(ord int) string {
+	return filepath.Join(d.cfg.CheckpointDir, fmt.Sprintf("m%04d.ckpt", ord))
+}
+
+func (d *Daemon) encodeManifest() ([]byte, error) {
+	var e snapshot.Encoder
+	e.Section("daemon.manifest")
+	e.String(d.fingerprint())
+	e.I64(d.tick)
+	e.I64(d.virtualNs)
+	e.I64(d.alertSeq)
+	e.Int(d.burstTicks)
+	e.F64(d.burstFrac)
+	e.Int(len(d.machines))
+	e.Len(len(d.sketches))
+	for _, sk := range d.sketches {
+		sk.EncodeState(&e)
+	}
+	d.ring.EncodeState(&e)
+	wb, err := json.Marshal(wdState{Prev: d.wd.prev, Hist: d.wd.hist, Alerting: d.wd.alerting})
+	if err != nil {
+		return nil, fmt.Errorf("daemon: marshal watchdog: %w", err)
+	}
+	e.Bytes(wb)
+	ab, err := json.Marshal(d.alerts.dump())
+	if err != nil {
+		return nil, fmt.Errorf("daemon: marshal alerts: %w", err)
+	}
+	e.Bytes(ab)
+	return e.Finish(), nil
+}
+
+func (ms *machine) fingerprint() string {
+	return fmt.Sprintf("machine=%d seed=%#x platform=%s app=%s", ms.m.ID, ms.m.Seed, ms.m.Platform.Name, ms.m.App.Name)
+}
+
+func (d *Daemon) encodeMachine(ms *machine) []byte {
+	var e snapshot.Encoder
+	e.Section("daemon.machine")
+	e.String(ms.fingerprint())
+	e.Bool(ms.started)
+	e.I64(ms.restarts)
+	e.I64(ms.churnKills)
+	e.I64(ms.oomKills)
+	e.I64(ms.burstKills)
+	e.I64(ms.prevOps)
+	e.F64(ms.prevMallocNs)
+	ms.churn.EncodeState(&e)
+	ms.carry.EncodeState(&e)
+	ms.alloc.EncodeState(&e)
+	ms.drv.EncodeState(&e)
+	return e.Finish()
+}
+
+func (d *Daemon) decodeMachine(blob []byte, ms *machine) error {
+	dec, err := snapshot.NewDecoder(blob)
+	if err != nil {
+		return err
+	}
+	dec.Section("daemon.machine")
+	if got := dec.String(); dec.Err() == nil && got != ms.fingerprint() {
+		return fmt.Errorf("machine checkpoint belongs to a different machine:\n  blob: %s\n  want: %s", got, ms.fingerprint())
+	}
+	ms.started = dec.Bool()
+	ms.restarts = dec.I64()
+	ms.churnKills = dec.I64()
+	ms.oomKills = dec.I64()
+	ms.burstKills = dec.I64()
+	ms.prevOps = dec.I64()
+	ms.prevMallocNs = dec.F64()
+	ms.churn.DecodeState(dec)
+	ms.carry.DecodeState(dec)
+	if err := ms.alloc.DecodeState(dec); err != nil {
+		return err
+	}
+	if err := ms.drv.DecodeState(dec); err != nil {
+		return err
+	}
+	return dec.Err()
+}
+
+// restore loads the manifest and every machine blob written by
+// Checkpoint into the freshly constructed daemon.
+func (d *Daemon) restore() error {
+	path := filepath.Join(d.cfg.CheckpointDir, manifestName)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("daemon: resume: %w", err)
+	}
+	dec, err := snapshot.NewDecoder(blob)
+	if err != nil {
+		return err
+	}
+	dec.Section("daemon.manifest")
+	if got := dec.String(); dec.Err() == nil && got != d.fingerprint() {
+		return fmt.Errorf("daemon: checkpoint belongs to a different run:\n  blob: %s\n  want: %s", got, d.fingerprint())
+	}
+	d.tick = dec.I64()
+	d.virtualNs = dec.I64()
+	d.alertSeq = dec.I64()
+	d.burstTicks = dec.Int()
+	d.burstFrac = dec.F64()
+	if n := dec.Int(); dec.Err() == nil && n != len(d.machines) {
+		return fmt.Errorf("daemon: checkpoint has %d machines, this run enrols %d", n, len(d.machines))
+	}
+	if n := dec.Len(8); dec.Err() == nil && n != len(d.sketches) {
+		return fmt.Errorf("daemon: checkpoint has %d sketches, this build expects %d", n, len(d.sketches))
+	}
+	for _, sk := range d.sketches {
+		sk.DecodeState(dec)
+	}
+	d.ring.DecodeState(dec)
+	wb := dec.Bytes()
+	ab := dec.Bytes()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	var ws wdState
+	if err := json.Unmarshal(wb, &ws); err != nil {
+		return fmt.Errorf("daemon: unmarshal watchdog: %w", err)
+	}
+	d.wd.prev = ws.Prev
+	if ws.Hist != nil {
+		d.wd.hist = ws.Hist
+	}
+	if ws.Alerting != nil {
+		d.wd.alerting = ws.Alerting
+	}
+	var ad AlertDump
+	if err := json.Unmarshal(ab, &ad); err != nil {
+		return fmt.Errorf("daemon: unmarshal alerts: %w", err)
+	}
+	d.alerts.restore(ad)
+
+	for i, ms := range d.machines {
+		mb, err := os.ReadFile(d.machinePath(i))
+		if err != nil {
+			return fmt.Errorf("daemon: resume machine %d: %w", ms.m.ID, err)
+		}
+		if err := d.decodeMachine(mb, ms); err != nil {
+			return fmt.Errorf("daemon: resume machine %d: %w", ms.m.ID, err)
+		}
+	}
+	d.lastCheckpointTick = d.tick
+	return nil
+}
+
+// writeFileAtomic writes blob to path via a temp file and rename, so a
+// crash mid-write never leaves a torn checkpoint.
+func writeFileAtomic(path string, blob []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,147 @@
+// The daemon's HTTP surface: the shared telemetry mux (read-only
+// observability pages fed from the published tick state) plus /alertz
+// and the POST-only /admin API. Handlers never touch live simulation
+// state — every page renders from the snapshot the last tick published,
+// so scrape-during-tick is race-free by construction.
+package daemon
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/heapprof"
+	"wsmalloc/internal/telemetry"
+)
+
+// Handler serves the full control-plane surface:
+//
+//	/metricsz /tracez /heapz /pageheapz /healthz /statusz   (read-only)
+//	/alertz                                                 (read-only)
+//	/admin/pause /admin/resume /admin/checkpoint            (POST)
+//	/admin/inject?ticks=N&frac=F /admin/quit                (POST)
+func (d *Daemon) Handler() http.Handler {
+	base := telemetry.NewMux(telemetry.Endpoints{
+		Snapshots: func() []telemetry.Snapshot {
+			d.mu.RLock()
+			defer d.mu.RUnlock()
+			return []telemetry.Snapshot{d.pub.snap}
+		},
+		Series: func() []telemetry.Snapshot { return d.ring.Snapshots() },
+		Trace: func() telemetry.TraceDump {
+			d.introspectWanted.Store(true)
+			d.mu.RLock()
+			defer d.mu.RUnlock()
+			return d.pub.trace
+		},
+		Heapz: func(w io.Writer, format string) error {
+			d.introspectWanted.Store(true)
+			d.mu.RLock()
+			profiles := d.pub.heapz
+			d.mu.RUnlock()
+			if format == "json" {
+				return heapprof.WriteJSON(w, profiles...)
+			}
+			return heapprof.WriteText(w, profiles...)
+		},
+		PageHeapz: func(w io.Writer, format string) error {
+			d.introspectWanted.Store(true)
+			d.mu.RLock()
+			z, ok := d.pub.pageheap, d.pub.hasPageheap
+			d.mu.RUnlock()
+			if !ok {
+				_, err := io.WriteString(w, "pageheapz: no tick published yet\n")
+				return err
+			}
+			if format == "json" {
+				return core.WritePageHeapZJSON(w, z)
+			}
+			return core.WritePageHeapZ(w, z)
+		},
+		Status: func() any { return d.Status() },
+		Health: func() error { return nil },
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", base)
+	mux.HandleFunc("/alertz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		dump := d.Alerts()
+		if r.URL.Query().Get("format") != "json" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "alerts: retained=%d total=%d dropped=%d active=%d\n",
+				len(dump.Alerts), dump.Total, dump.Dropped, dump.Active)
+			for _, a := range dump.Alerts {
+				fmt.Fprintf(w, "#%04d tick %6d  %-10s %-6s %-28s baseline=%.1f current=%.1f (%+.0f%% > %.0f%%)\n",
+					a.Seq, a.Tick, a.Kind, a.Mode, a.Metric,
+					a.Baseline, a.Current, a.RelChange*100, a.Threshold*100)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = telemetry.WriteJSON(w, dump)
+	})
+
+	admin := func(path string, fn func(r *http.Request) (string, error)) {
+		mux.HandleFunc("/admin/"+path, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				w.Header().Set("Allow", "POST")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			msg, err := fn(r)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, msg)
+		})
+	}
+	admin("pause", func(*http.Request) (string, error) {
+		d.Pause()
+		return "paused", nil
+	})
+	admin("resume", func(*http.Request) (string, error) {
+		d.Resume()
+		return "resumed", nil
+	})
+	admin("checkpoint", func(*http.Request) (string, error) {
+		if d.cfg.CheckpointDir == "" {
+			return "", fmt.Errorf("no -checkpoint-dir configured")
+		}
+		d.RequestCheckpoint()
+		return "checkpoint scheduled", nil
+	})
+	admin("inject", func(r *http.Request) (string, error) {
+		ticks := 4
+		frac := 1.0
+		if s := r.URL.Query().Get("ticks"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				return "", fmt.Errorf("bad ticks %q", s)
+			}
+			ticks = v
+		}
+		if s := r.URL.Query().Get("frac"); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil || v <= 0 || v > 1 {
+				return "", fmt.Errorf("bad frac %q", s)
+			}
+			frac = v
+		}
+		d.Inject(ticks, frac)
+		return fmt.Sprintf("fault burst scheduled: %d ticks, %.0f%% of machines", ticks, frac*100), nil
+	})
+	admin("quit", func(*http.Request) (string, error) {
+		d.Quit()
+		return "shutting down", nil
+	})
+	return mux
+}

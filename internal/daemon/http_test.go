@@ -1,0 +1,205 @@
+package daemon
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func post(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+// TestHandlerPages: every read-only page serves from the published
+// state, including before and after ticks.
+func TestHandlerPages(t *testing.T) {
+	d, err := New(testConfig(t, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	h := d.Handler()
+
+	// Before any tick: pages must still respond (empty doc published by New).
+	if code, _ := get(t, h, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz pre-tick = %d", code)
+	}
+	if code, body := get(t, h, "/pageheapz"); code != http.StatusOK || !strings.Contains(body, "PAGEHEAP") {
+		t.Fatalf("/pageheapz pre-tick = %d %q", code, body)
+	}
+
+	runTicks(t, d, 3)
+
+	code, body := get(t, h, "/metricsz")
+	if code != http.StatusOK {
+		t.Fatalf("/metricsz = %d", code)
+	}
+	for _, want := range []string{"# HELP", "# TYPE", "daemon_tick", `arm="fleet"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metricsz missing %q", want)
+		}
+	}
+
+	code, body = get(t, h, "/metricsz?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metricsz?format=json = %d", code)
+	}
+	var doc struct {
+		Snapshots []json.RawMessage `json:"snapshots"`
+		Series    []json.RawMessage `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("metricsz json: %v", err)
+	}
+	if len(doc.Snapshots) != 1 || len(doc.Series) != 3 {
+		t.Errorf("metricsz json: %d snapshots, %d series, want 1 and 3", len(doc.Snapshots), len(doc.Series))
+	}
+
+	code, body = get(t, h, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statusz json: %v", err)
+	}
+	if st.Service != "fleet-daemon" || st.Tick != 3 || st.Machines != 8 || st.Design != "baseline" {
+		t.Errorf("statusz = %+v", st)
+	}
+
+	for _, path := range []string{"/heapz", "/pageheapz", "/tracez"} {
+		if code, _ := get(t, h, path); code != http.StatusOK {
+			t.Errorf("%s = %d", path, code)
+		}
+	}
+
+	code, body = get(t, h, "/alertz")
+	if code != http.StatusOK || !strings.Contains(body, "alerts:") {
+		t.Errorf("/alertz = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/alertz?format=json"); code != http.StatusOK || !strings.Contains(body, `"alerts"`) {
+		t.Errorf("/alertz?format=json = %d %q", code, body)
+	}
+}
+
+// TestAdminAPI: admin endpoints are POST-only, validate input, and act
+// on the daemon.
+func TestAdminAPI(t *testing.T) {
+	cfg := testConfig(t, 33)
+	cfg.CheckpointDir = t.TempDir()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	h := d.Handler()
+
+	for _, path := range []string{"/admin/pause", "/admin/resume", "/admin/inject", "/admin/quit", "/admin/checkpoint"} {
+		if code, _ := get(t, h, path); code != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s = %d, want 405", path, code)
+		}
+	}
+
+	if code, _ := post(t, h, "/admin/pause"); code != http.StatusOK || !d.paused.Load() {
+		t.Errorf("pause: code %d, paused %v", code, d.paused.Load())
+	}
+	if code, _ := post(t, h, "/admin/resume"); code != http.StatusOK || d.paused.Load() {
+		t.Errorf("resume: code %d, paused %v", code, d.paused.Load())
+	}
+
+	for _, q := range []string{"?ticks=0", "?ticks=x", "?frac=0", "?frac=1.5", "?frac=x"} {
+		if code, _ := post(t, h, "/admin/inject"+q); code != http.StatusBadRequest {
+			t.Errorf("inject%s = %d, want 400", q, code)
+		}
+	}
+	runTicks(t, d, 1) // bursts only restart machines that have started
+	if code, body := post(t, h, "/admin/inject?ticks=2&frac=0.5"); code != http.StatusOK || !strings.Contains(body, "2 ticks, 50%") {
+		t.Errorf("inject = %d %q", code, body)
+	}
+	runTicks(t, d, 1)
+	if st := d.Status(); st.BurstTicksLeft != 1 || st.BurstKills == 0 {
+		t.Errorf("after inject tick: burst left %d, kills %d", st.BurstTicksLeft, st.BurstKills)
+	}
+
+	if code, _ := post(t, h, "/admin/checkpoint"); code != http.StatusOK {
+		t.Errorf("checkpoint schedule failed")
+	}
+	if !d.forceCkpt.Load() {
+		t.Errorf("checkpoint not scheduled")
+	}
+
+	if code, _ := post(t, h, "/admin/quit"); code != http.StatusOK {
+		t.Errorf("quit failed")
+	}
+	select {
+	case <-d.quitCh:
+	default:
+		t.Errorf("quit did not close quitCh")
+	}
+}
+
+// TestAdminCheckpointWithoutDir: scheduling a checkpoint with no
+// directory configured is a client error, not a crash.
+func TestAdminCheckpointWithoutDir(t *testing.T) {
+	d, err := New(testConfig(t, 35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if code, body := post(t, d.Handler(), "/admin/checkpoint"); code != http.StatusBadRequest || !strings.Contains(body, "checkpoint-dir") {
+		t.Errorf("checkpoint without dir = %d %q", code, body)
+	}
+}
+
+// TestScrapeDuringTicks: hammer every read-only page from several
+// goroutines while the tick loop advances. Run with -race; the
+// published-state pattern makes this safe by construction.
+func TestScrapeDuringTicks(t *testing.T) {
+	d, err := New(testConfig(t, 37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	h := d.Handler()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/metricsz", "/metricsz?format=json", "/statusz", "/heapz", "/pageheapz", "/tracez", "/alertz"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("%s = %d", path, rec.Code)
+					return
+				}
+			}
+		}(path)
+	}
+	runTicks(t, d, 10)
+	close(stop)
+	wg.Wait()
+}

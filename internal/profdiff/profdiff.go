@@ -148,6 +148,18 @@ func addProfile(m Metrics, p heapprof.Profile) {
 	}
 }
 
+// FlattenSnapshots flattens live telemetry snapshots into the same
+// name → value map Parse produces for serialized exports, so an
+// in-process consumer (the fleet daemon's regression watchdog) can diff
+// its own state with the same threshold logic the CLI applies to files.
+func FlattenSnapshots(snaps ...telemetry.Snapshot) Metrics {
+	m := Metrics{}
+	for _, s := range snaps {
+		addSnapshot(m, s)
+	}
+	return m
+}
+
 // addSnapshot flattens one telemetry snapshot: counters, gauges, and
 // histogram totals/quantiles.
 func addSnapshot(m Metrics, s telemetry.Snapshot) {

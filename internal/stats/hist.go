@@ -31,11 +31,17 @@ func NewLogHistogram(minExp, maxExp int) *LogHistogram {
 }
 
 // BucketIndex returns the bucket index for value v.
+//
+// Ilogb extracts the binary exponent directly from the float
+// representation, equal to floor(log2(v)) everywhere except within one
+// ulp of a power of two — unreachable for the integer-valued sizes,
+// counts and nanosecond durations these histograms observe — and keeps
+// a transcendental call off the per-operation telemetry hot path.
 func (h *LogHistogram) BucketIndex(v float64) int {
 	if v <= 0 {
 		return 0
 	}
-	e := int(math.Floor(math.Log2(v)))
+	e := math.Ilogb(v)
 	if e < h.minExp {
 		e = h.minExp
 	}
@@ -47,6 +53,14 @@ func (h *LogHistogram) BucketIndex(v float64) int {
 
 // Add records v with weight 1.
 func (h *LogHistogram) Add(v float64) { h.AddWeighted(v, 1) }
+
+// Reset zeroes every bucket and the total, keeping the exponent range.
+func (h *LogHistogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
 
 // AddWeighted records v with weight w.
 func (h *LogHistogram) AddWeighted(v, w float64) {

@@ -1,0 +1,288 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sketch is a mergeable quantile sketch with bounded relative error and
+// bounded memory, in the DDSketch family: values are counted into
+// geometrically-spaced buckets (bucket i covers (gamma^(i-1), gamma^i]
+// with gamma = (1+alpha)/(1-alpha)), so any quantile estimate is within
+// a factor (1 ± alpha) of the true value while the whole sketch is a
+// flat count array. This is the constant-memory replacement for
+// keep-everything merges that fleet-scale aggregation needs (ROADMAP
+// item 2): hours of virtual time fold into one fixed-size array.
+//
+// Merging is bucket-wise addition, so it is commutative and associative
+// over the multiset of observations; with integer weights (the
+// telemetry contract: every recorded value is integral, so float sums
+// are exact below 2^53) the encoded state is byte-identical under any
+// partitioning and merge order, which is what keeps -j N output
+// bit-identical to -j 1. When the bucket span would exceed maxBuckets the lowest
+// buckets collapse into the lowest retained one (quantile error then
+// grows only at the extreme low tail, which fleet metrics do not
+// watch). The collapsed state depends only on the multiset of recorded
+// values, never on arrival order, because the collapse threshold is a
+// function of the highest index ever seen.
+type Sketch struct {
+	alpha      float64
+	gamma      float64
+	lgGamma    float64
+	maxBuckets int
+
+	offset int // bucket index of counts[0]
+	counts []float64
+	zero   float64 // weight of values <= 0
+	total  float64
+	min    float64
+	max    float64
+}
+
+// DefaultSketchAlpha is the relative accuracy used by fleet aggregation:
+// 1% error on any quantile, which with DefaultSketchBuckets covers a
+// ~6e17 dynamic range (sub-ns to years, bytes to exabytes).
+const DefaultSketchAlpha = 0.01
+
+// DefaultSketchBuckets bounds a fleet sketch to 2048 buckets (~16 KiB).
+const DefaultSketchBuckets = 2048
+
+// NewSketch returns an empty sketch with the given relative accuracy
+// alpha (0 < alpha < 1) holding at most maxBuckets buckets.
+func NewSketch(alpha float64, maxBuckets int) *Sketch {
+	if alpha <= 0 || alpha >= 1 {
+		panic("stats: sketch alpha must be in (0, 1)")
+	}
+	if maxBuckets < 2 {
+		panic("stats: sketch needs at least 2 buckets")
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		alpha:      alpha,
+		gamma:      gamma,
+		lgGamma:    math.Log(gamma),
+		maxBuckets: maxBuckets,
+		min:        math.Inf(1),
+		max:        math.Inf(-1),
+	}
+}
+
+// NewDefaultSketch returns a sketch with the fleet-default accuracy and
+// memory bound.
+func NewDefaultSketch() *Sketch {
+	return NewSketch(DefaultSketchAlpha, DefaultSketchBuckets)
+}
+
+// RelativeAccuracy returns the alpha the sketch was built with.
+func (s *Sketch) RelativeAccuracy() float64 { return s.alpha }
+
+// bucketIndex maps a positive value to its bucket index.
+func (s *Sketch) bucketIndex(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.lgGamma))
+}
+
+// bucketValue returns the representative value of bucket idx: the
+// midpoint 2*gamma^idx/(gamma+1), which bounds relative error by alpha
+// anywhere inside the bucket.
+func (s *Sketch) bucketValue(idx int) float64 {
+	return 2 * math.Exp(float64(idx)*s.lgGamma) / (s.gamma + 1)
+}
+
+// Add records v with weight 1.
+func (s *Sketch) Add(v float64) { s.AddWeighted(v, 1) }
+
+// AddWeighted records v with weight w (w must be >= 0; zero weight is a
+// no-op so callers can pass through computed weights unguarded).
+func (s *Sketch) AddWeighted(v, w float64) {
+	if w < 0 {
+		panic("stats: negative sketch weight")
+	}
+	if w == 0 {
+		return
+	}
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.total += w
+	if v <= 0 {
+		s.zero += w
+		return
+	}
+	s.bump(s.bucketIndex(v), w)
+}
+
+// bump adds weight w to bucket idx, growing or collapsing the bucket
+// array as needed.
+func (s *Sketch) bump(idx int, w float64) {
+	if len(s.counts) == 0 {
+		s.offset = idx
+		s.counts = append(s.counts, w)
+		return
+	}
+	lo, hi := s.offset, s.offset+len(s.counts)-1
+	if idx > hi {
+		hi = idx
+	}
+	if idx < lo {
+		lo = idx
+	}
+	if hi-lo+1 > s.maxBuckets {
+		lo = hi - s.maxBuckets + 1 // collapse everything below lo into lo
+	}
+	s.reshape(lo, hi)
+	if idx < lo {
+		idx = lo
+	}
+	s.counts[idx-s.offset] += w
+}
+
+// reshape regrows counts to cover exactly [lo, hi], folding any buckets
+// below lo into lo.
+func (s *Sketch) reshape(lo, hi int) {
+	if lo == s.offset && hi == s.offset+len(s.counts)-1 {
+		return
+	}
+	fresh := make([]float64, hi-lo+1)
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		idx := s.offset + i
+		if idx < lo {
+			idx = lo
+		}
+		fresh[idx-lo] += c
+	}
+	s.offset = lo
+	s.counts = fresh
+}
+
+// Merge folds other into s, as if every observation recorded in other
+// had been recorded in s. Both sketches must share alpha and
+// maxBuckets. The result depends only on the combined multiset of
+// observations, so folding per-machine sketches in enrolment order
+// yields byte-identical state at any worker count.
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if s.alpha != other.alpha || s.maxBuckets != other.maxBuckets {
+		panic("stats: merging sketches with different geometry")
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.total += other.total
+	s.zero += other.zero
+	if len(other.counts) == 0 {
+		return
+	}
+	oLo, oHi := other.offset, other.offset+len(other.counts)-1
+	lo, hi := oLo, oHi
+	if len(s.counts) > 0 {
+		if s.offset < lo {
+			lo = s.offset
+		}
+		if sHi := s.offset + len(s.counts) - 1; sHi > hi {
+			hi = sHi
+		}
+	} else {
+		s.offset = lo
+	}
+	if hi-lo+1 > s.maxBuckets {
+		lo = hi - s.maxBuckets + 1
+	}
+	if len(s.counts) == 0 {
+		s.counts = make([]float64, 1)
+		s.offset = lo
+	}
+	s.reshape(lo, hi)
+	for i, c := range other.counts {
+		if c == 0 {
+			continue
+		}
+		idx := oLo + i
+		if idx < lo {
+			idx = lo
+		}
+		s.counts[idx-s.offset] += c
+	}
+}
+
+// Count returns the total recorded weight.
+func (s *Sketch) Count() float64 { return s.total }
+
+// Min returns the smallest recorded value (exact); 0 if empty.
+func (s *Sketch) Min() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest recorded value (exact); 0 if empty.
+func (s *Sketch) Max() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// BucketCount returns the number of buckets currently held, for
+// asserting the memory bound.
+func (s *Sketch) BucketCount() int { return len(s.counts) }
+
+// Quantile returns an estimate of the p-quantile with relative error at
+// most alpha (exact at the extremes, which report the tracked min/max).
+// An empty sketch returns 0.
+func (s *Sketch) Quantile(p float64) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.min
+	}
+	if p >= 1 {
+		return s.max
+	}
+	rank := p * s.total
+	cum := s.zero
+	if rank <= cum {
+		// The p-quantile is one of the non-positive observations;
+		// their bucket collapses them all to the recorded minimum.
+		return math.Min(s.min, 0)
+	}
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			v := s.bucketValue(s.offset + i)
+			// Clamp into the exact observed range: bucket midpoints
+			// can overshoot when a bucket holds the global extreme.
+			return math.Min(math.Max(v, s.min), s.max)
+		}
+	}
+	return s.max
+}
+
+// Reset empties the sketch in place, keeping its geometry and capacity.
+func (s *Sketch) Reset() {
+	s.counts = s.counts[:0]
+	s.offset = 0
+	s.zero, s.total = 0, 0
+	s.min, s.max = math.Inf(1), math.Inf(-1)
+}
+
+// String renders a one-line summary, handy in logs and examples.
+func (s *Sketch) String() string {
+	return fmt.Sprintf("sketch{n=%g p50=%g p99=%g max=%g buckets=%d}",
+		s.total, s.Quantile(0.5), s.Quantile(0.99), s.Max(), len(s.counts))
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"wsmalloc/internal/snapshot"
+)
+
+func exactQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func TestSketchRelativeError(t *testing.T) {
+	const alpha = 0.01
+	s := NewSketch(alpha, DefaultSketchBuckets)
+	r := rand.New(rand.NewSource(42))
+	var vals []float64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~9 decades, the shape of allocator
+		// latency/size distributions.
+		v := math.Exp(r.Float64()*20 - 1)
+		vals = append(vals, v)
+		s.Add(v)
+	}
+	sort.Float64s(vals)
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999} {
+		got := s.Quantile(p)
+		want := exactQuantile(vals, p)
+		if rel := math.Abs(got-want) / want; rel > alpha*1.01 {
+			t.Errorf("p%g: got %g want %g (rel err %.4f > alpha %g)", p*100, got, want, rel, alpha)
+		}
+	}
+	if got := s.Quantile(0); got != vals[0] {
+		t.Errorf("p0 = %g, want exact min %g", got, vals[0])
+	}
+	if got := s.Quantile(1); got != vals[len(vals)-1] {
+		t.Errorf("p100 = %g, want exact max %g", got, vals[len(vals)-1])
+	}
+	if got, want := s.Count(), float64(len(vals)); got != want {
+		t.Errorf("Count = %g, want %g", got, want)
+	}
+}
+
+func encodeSketch(s *Sketch) []byte {
+	e := snapshot.NewEncoder()
+	s.EncodeState(e)
+	return e.Finish()
+}
+
+// TestSketchMergeDeterministic pins the -j contract: partitioning the
+// same observations across any number of per-worker sketches and
+// merging must produce byte-identical encoded state.
+func TestSketchMergeDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var vals []float64
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, math.Exp(r.Float64()*25-2))
+	}
+	ref := NewDefaultSketch()
+	for _, v := range vals {
+		ref.Add(v)
+	}
+	want := encodeSketch(ref)
+
+	for _, parts := range []int{2, 3, 7, 16} {
+		shards := make([]*Sketch, parts)
+		for i := range shards {
+			shards[i] = NewDefaultSketch()
+		}
+		for i, v := range vals {
+			shards[i%parts].Add(v)
+		}
+		merged := NewDefaultSketch()
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+		if got := encodeSketch(merged); !bytes.Equal(got, want) {
+			t.Errorf("merge of %d shards is not byte-identical to sequential sketch", parts)
+		}
+		if got, want := merged.Count(), ref.Count(); got != want {
+			t.Errorf("%d shards: Count = %g, want %g", parts, got, want)
+		}
+	}
+}
+
+// TestSketchCollapse checks the memory bound holds and that collapsing
+// is arrival-order independent.
+func TestSketchCollapse(t *testing.T) {
+	const maxB = 32
+	up := NewSketch(0.05, maxB)
+	down := NewSketch(0.05, maxB)
+	var vals []float64
+	for i := 0; i < 200; i++ {
+		vals = append(vals, math.Pow(1.3, float64(i))) // spans far more than 32 buckets
+	}
+	for i := 0; i < len(vals); i++ {
+		up.Add(vals[i])
+		down.Add(vals[len(vals)-1-i])
+	}
+	if up.BucketCount() > maxB || down.BucketCount() > maxB {
+		t.Fatalf("bucket counts %d/%d exceed cap %d", up.BucketCount(), down.BucketCount(), maxB)
+	}
+	if a, b := encodeSketch(up), encodeSketch(down); !bytes.Equal(a, b) {
+		t.Errorf("collapsed sketch state depends on arrival order")
+	}
+	// The high quantiles must survive collapsing unharmed.
+	if got, want := up.Quantile(0.99), exactQuantile(vals, 0.99); math.Abs(got-want)/want > 0.051 {
+		t.Errorf("p99 after collapse: got %g want %g", got, want)
+	}
+	if up.Quantile(1) != vals[len(vals)-1] {
+		t.Errorf("max lost in collapse")
+	}
+}
+
+func TestSketchZeroAndNegative(t *testing.T) {
+	s := NewDefaultSketch()
+	s.Add(0)
+	s.Add(-3)
+	s.Add(10)
+	if got := s.Quantile(0.25); got != -3 {
+		t.Errorf("low quantile over non-positive values = %g, want -3", got)
+	}
+	if got := s.Min(); got != -3 {
+		t.Errorf("Min = %g, want -3", got)
+	}
+	if got := s.Max(); got != 10 {
+		t.Errorf("Max = %g, want 10", got)
+	}
+	if got := s.Count(); got != 3 {
+		t.Errorf("Count = %g, want 3", got)
+	}
+}
+
+func TestSketchCodecRoundTrip(t *testing.T) {
+	s := NewDefaultSketch()
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		s.Add(math.Exp(r.Float64() * 18))
+	}
+	blob := encodeSketch(s)
+	restored := NewDefaultSketch()
+	d, err := snapshot.NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.DecodeState(d)
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := encodeSketch(restored); !bytes.Equal(got, blob) {
+		t.Fatalf("decode/encode round trip not byte-identical")
+	}
+	if got, want := restored.Quantile(0.5), s.Quantile(0.5); got != want {
+		t.Errorf("restored p50 = %g, want %g", got, want)
+	}
+
+	// Geometry mismatch must fail the decoder, not corrupt the sketch.
+	other := NewSketch(0.05, 64)
+	d2, err := snapshot.NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.DecodeState(d2)
+	if d2.Err() == nil {
+		t.Fatal("decoding into mismatched geometry succeeded, want error")
+	}
+}
+
+func TestSketchReset(t *testing.T) {
+	s := NewDefaultSketch()
+	s.Add(5)
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("Reset left residual state: %v", s)
+	}
+	s.Add(2)
+	if got := s.Quantile(1); got != 2 {
+		t.Errorf("post-reset add broken: %g", got)
+	}
+}

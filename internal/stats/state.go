@@ -13,6 +13,50 @@ func (h *LogHistogram) EncodeState(e *snapshot.Encoder) {
 	}
 }
 
+// EncodeState serializes the sketch: geometry, accumulators, and the
+// bucket array. Encoding the exact float bit patterns is what makes
+// "merge is byte-deterministic at any -j" a testable statement.
+func (s *Sketch) EncodeState(e *snapshot.Encoder) {
+	e.Section("sketch")
+	e.F64(s.alpha)
+	e.Int(s.maxBuckets)
+	e.Int(s.offset)
+	e.F64(s.zero)
+	e.F64(s.total)
+	e.F64(s.min)
+	e.F64(s.max)
+	e.Len(len(s.counts))
+	for _, c := range s.counts {
+		e.F64(c)
+	}
+}
+
+// DecodeState restores a sketch saved by EncodeState into a sketch
+// constructed with the same geometry, failing the decoder on mismatch.
+func (s *Sketch) DecodeState(d *snapshot.Decoder) {
+	d.Section("sketch")
+	alpha := d.F64()
+	maxBuckets := d.Int()
+	if d.Err() == nil && (alpha != s.alpha || maxBuckets != s.maxBuckets) {
+		d.Fail("stats: sketch geometry (%g,%d) in snapshot, (%g,%d) constructed",
+			alpha, maxBuckets, s.alpha, s.maxBuckets)
+	}
+	offset := d.Int()
+	zero, total := d.F64(), d.F64()
+	min, max := d.F64(), d.F64()
+	n := d.Len(8)
+	if d.Err() != nil {
+		return
+	}
+	s.offset = offset
+	s.zero, s.total = zero, total
+	s.min, s.max = min, max
+	s.counts = make([]float64, n)
+	for i := range s.counts {
+		s.counts[i] = d.F64()
+	}
+}
+
 // DecodeState restores weights saved by EncodeState into a histogram
 // constructed over the same exponent range, failing the decoder on a
 // range mismatch.

@@ -24,6 +24,29 @@ func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// escapeLabel escapes a Prometheus label value per the text exposition
+// format: backslash, double quote, and newline must be escaped, in that
+// order of substitution so an injected `\n` survives as `\\n`.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // armPairs renders the snapshot's identity labels (arm="...",
 // design="...") with a trailing comma, or "" when the snapshot carries
 // neither. The design string names the full allocator design point
@@ -31,12 +54,86 @@ func fmtFloat(v float64) string {
 func armPairs(s Snapshot) string {
 	var b strings.Builder
 	if s.Label != "" {
-		b.WriteString(`arm="` + s.Label + `",`)
+		b.WriteString(`arm="` + escapeLabel(s.Label) + `",`)
 	}
 	if s.Design != "" {
-		b.WriteString(`design="` + s.Design + `",`)
+		b.WriteString(`design="` + escapeLabel(s.Design) + `",`)
 	}
 	return b.String()
+}
+
+// metricHelp is the curated # HELP text for the exporter's well-known
+// families; helpFor synthesizes a sensible line for anything else so
+// every family always carries HELP (the conformance test enforces it).
+var metricHelp = map[string]string{
+	"percpu_miss_total":              "Per-CPU cache misses that fell through to the transfer cache.",
+	"percpu_capacity_steal_total":    "Per-CPU cache capacity steals by the resizer.",
+	"percpu_decay_total":             "Idle size-class decay reclaims in the per-CPU caches.",
+	"transfer_hit_total":             "Transfer-cache hits in the requester's NUCA domain.",
+	"transfer_legacy_fallback_total": "Transfer-cache NUCA misses satisfied by the legacy shared array.",
+	"transfer_miss_total":            "Transfer-cache misses that fetched a batch from the central free list.",
+	"transfer_plunder_total":         "Cold-object plunder passes over the transfer cache.",
+	"transfer_overflow_total":        "Freed batches that overflowed the transfer cache into the central free list.",
+	"cfl_span_move_total":            "Central-free-list span moves between occupancy lists.",
+	"cfl_span_create_total":          "Spans grown from the page heap by the central free lists.",
+	"cfl_span_release_total":         "Fully-freed spans returned to the page heap.",
+	"filler_pack_total":              "Small spans packed into hugepages by the filler.",
+	"filler_unpack_total":            "Spans freed out of filler hugepages.",
+	"subrelease_total":               "Broken hugepages with tail pages subreleased to the OS.",
+	"heap_pressure_total":            "Emergency releases forced by commit pressure.",
+	"os_mmap_total":                  "Simulated OS hugepage-run mappings.",
+	"os_munmap_total":                "Simulated OS hugepage unmappings.",
+	"heap_bytes":                     "Committed heap bytes backing the allocator.",
+	"live_objects":                   "Live (allocated, not yet freed) objects.",
+	"live_requested_bytes":           "Bytes currently live as requested by callers.",
+	"live_rounded_bytes":             "Bytes currently live after size-class rounding.",
+	"peak_live_requested_bytes":      "High-water mark of live requested bytes.",
+	"mallocs":                        "Cumulative allocations served.",
+	"frees":                          "Cumulative frees served.",
+	"sampled_allocs":                 "Allocations picked by the Poisson heap-profile sampler.",
+	"cum_allocated_bytes":            "Cumulative bytes allocated over the run.",
+	"oom_errors":                     "Allocation failures surfaced to callers.",
+	"free_errors":                    "Invalid frees detected.",
+	"fault_injected_mmap_failures":   "Injected mmap failures from the fault plan.",
+	"fault_budget_denials":           "Mappings denied by the committed-byte budget.",
+	"shadow_violations":              "Shadow-heap sanitizer violations.",
+	"frag_external_bytes":            "External fragmentation: committed but unallocatable bytes.",
+	"frag_internal_bytes":            "Internal fragmentation: size-class rounding waste.",
+	"frag_percpu_bytes":              "Bytes idle in per-CPU caches.",
+	"frag_transfer_bytes":            "Bytes idle in the transfer cache.",
+	"frag_cfl_bytes":                 "Bytes idle on central-free-list spans.",
+	"frag_pageheap_bytes":            "Bytes idle in the page heap.",
+	"fragmentation_ratio_ppm":        "Fragmentation ratio in parts per million.",
+	"hugepage_coverage_ppm":          "Fraction of heap backed by intact hugepages, in parts per million.",
+	"cfl_spans":                      "Spans currently owned by the central free lists.",
+	"cfl_spans_created":              "Cumulative spans created by the central free lists.",
+	"cfl_spans_released":             "Cumulative spans released back to the page heap.",
+	"alloc_size_bytes":               "Requested allocation sizes in bytes.",
+	"time_cpucache_ns":               "Modeled virtual nanoseconds spent in the per-CPU cache tier.",
+	"time_transfer_ns":               "Modeled virtual nanoseconds spent in the transfer-cache tier.",
+	"time_cfl_ns":                    "Modeled virtual nanoseconds spent in the central free lists.",
+	"time_pageheap_ns":               "Modeled virtual nanoseconds spent in the page heap.",
+	"time_mmap_ns":                   "Modeled virtual nanoseconds spent in simulated mmap calls.",
+	"time_prefetch_ns":               "Modeled virtual nanoseconds spent prefetching.",
+	"time_sampled_ns":                "Modeled virtual nanoseconds spent in sampling slow paths.",
+	"time_other_ns":                  "Modeled virtual nanoseconds not attributed to a tier.",
+}
+
+// helpFor returns the HELP text for a family, synthesizing one from the
+// name's shape when it is not curated.
+func helpFor(name, typ string) string {
+	if h, ok := metricHelp[name]; ok {
+		return h
+	}
+	stem := strings.ReplaceAll(strings.TrimSuffix(name, "_total"), "_", " ")
+	switch {
+	case typ == "counter":
+		return "Cumulative count of " + stem + " events."
+	case typ == "histogram":
+		return "Distribution of " + stem + "."
+	default:
+		return "Point-in-time value of " + stem + "."
+	}
 }
 
 // armLabel renders the {arm="...",design="..."} selector for a labeled
@@ -82,7 +179,8 @@ func WritePrometheus(w io.Writer, snaps ...Snapshot) error {
 	}
 	emit := func(names []string, typ string, get func(Snapshot) []MetricValue) error {
 		for _, name := range names {
-			if _, err := fmt.Fprintf(w, "# TYPE %s%s %s\n", metricPrefix, name, typ); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s%s %s\n# TYPE %s%s %s\n",
+				metricPrefix, name, helpFor(name, typ), metricPrefix, name, typ); err != nil {
 				return err
 			}
 			for _, s := range snaps {
@@ -125,7 +223,8 @@ func WritePrometheus(w io.Writer, snaps ...Snapshot) error {
 		return out
 	})
 	for _, name := range histNames {
-		if _, err := fmt.Fprintf(w, "# TYPE %s%s histogram\n", metricPrefix, name); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s%s %s\n# TYPE %s%s histogram\n",
+			metricPrefix, name, helpFor(name, "histogram"), metricPrefix, name); err != nil {
 			return err
 		}
 		for _, s := range snaps {

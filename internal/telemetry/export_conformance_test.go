@@ -1,0 +1,312 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// conformanceSnapshots builds two labeled snapshots covering every
+// exported family shape: all auto-registered event counters, the full
+// gauge surface the allocator fills, a histogram, an uncurated name
+// (fallback HELP), and label values that need escaping.
+func conformanceSnapshots() []Snapshot {
+	build := func(label, design string, scale int64) Snapshot {
+		r := NewRegistry()
+		for k := EventKind(0); k < numEventKinds; k++ {
+			r.Counter(k.MetricName()).Add(scale * int64(k+1))
+		}
+		r.Counter("uncurated_thing_total").Add(scale)
+		for _, g := range []string{
+			"heap_bytes", "live_objects", "hugepage_coverage_ppm",
+			"fragmentation_ratio_ppm", "mallocs", "frees", "oom_errors",
+			"frag_external_bytes", "time_cfl_ns", "uncurated_gauge",
+		} {
+			r.Gauge(g).Set(scale * 7)
+		}
+		h := r.Histogram("alloc_size_bytes", 3, 20)
+		for i := 0; i < 50; i++ {
+			h.Observe(float64(uint64(8) << (i % 10)))
+		}
+		s := r.Snapshot(label, 12345)
+		s.Design = design
+		return s
+	}
+	return []Snapshot{
+		build("control", `percpu=fixed,tc="legacy"`, 3),
+		build(`exp\riment"quoted`+"\n", `design\with"everything`+"\n", 5),
+	}
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// parsePromLine splits a sample line into name, label pairs, and value,
+// validating escape sequences in label values.
+func parsePromLine(t *testing.T, line string) (name string, labels map[string]string, value float64) {
+	t.Helper()
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("unparseable sample line %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for !strings.HasPrefix(rest, "}") {
+			eq := strings.Index(rest, "=")
+			if eq < 0 || !strings.HasPrefix(rest[eq+1:], `"`) {
+				t.Fatalf("bad label syntax in %q", line)
+			}
+			key := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			closed := false
+			for i := 0; i < len(rest); i++ {
+				c := rest[i]
+				if c == '\\' {
+					if i+1 >= len(rest) {
+						t.Fatalf("dangling backslash in %q", line)
+					}
+					next := rest[i+1]
+					switch next {
+					case '\\', '"':
+						val.WriteByte(next)
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						t.Fatalf("invalid escape \\%c in %q", next, line)
+					}
+					i++
+					continue
+				}
+				if c == '"' {
+					rest = rest[i+1:]
+					closed = true
+					break
+				}
+				if c == '\n' {
+					t.Fatalf("raw newline inside label value in %q", line)
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				t.Fatalf("unterminated label value in %q", line)
+			}
+			if !promLabelRe.MatchString(key) {
+				t.Errorf("invalid label name %q in %q", key, line)
+			}
+			labels[key] = val.String()
+			rest = strings.TrimPrefix(rest, ",")
+		}
+		rest = strings.TrimPrefix(rest, "}")
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		t.Fatalf("unparseable value %q in %q", rest, line)
+	}
+	return name, labels, v
+}
+
+// TestPrometheusConformance is a lint pass over every family the text
+// exporter emits: HELP/TYPE presence and order, name syntax, label
+// escaping, and cumulative histogram buckets.
+func TestPrometheusConformance(t *testing.T) {
+	snaps := conformanceSnapshots()
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, snaps...); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	type family struct {
+		help, typ  string
+		helpBefore bool
+		samples    int
+	}
+	families := map[string]*family{}
+	current := "" // family owning subsequent sample lines
+	baseOf := func(sample string) string {
+		for _, suf := range []string{"_bucket", "_count", "_sum"} {
+			base := strings.TrimSuffix(sample, suf)
+			if base != sample {
+				if f, ok := families[base]; ok && f.typ == "histogram" {
+					return base
+				}
+			}
+		}
+		return sample
+	}
+
+	type histKey struct{ name, arm string }
+	histCum := map[histKey]float64{}
+	histLastLe := map[histKey]float64{}
+	histInf := map[histKey]float64{}
+	histCount := map[histKey]float64{}
+
+	for ln, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			name := parts[2]
+			if !promNameRe.MatchString(name) {
+				t.Errorf("line %d: invalid metric name %q", ln+1, name)
+			}
+			if !strings.HasPrefix(name, metricPrefix) {
+				t.Errorf("line %d: family %q missing %q prefix", ln+1, name, metricPrefix)
+			}
+			f := families[name]
+			if f == nil {
+				f = &family{}
+				families[name] = f
+			}
+			switch parts[1] {
+			case "HELP":
+				if f.help != "" {
+					t.Errorf("line %d: duplicate HELP for %q", ln+1, name)
+				}
+				if f.typ == "" {
+					f.helpBefore = true
+				}
+				f.help = parts[3]
+			case "TYPE":
+				if f.typ != "" {
+					t.Errorf("line %d: duplicate TYPE for %q", ln+1, name)
+				}
+				switch parts[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					t.Errorf("line %d: invalid TYPE %q", ln+1, parts[3])
+				}
+				f.typ = parts[3]
+				current = name
+			}
+			continue
+		}
+
+		name, labels, value := parsePromLine(t, line)
+		base := baseOf(name)
+		f := families[base]
+		if f == nil || f.typ == "" {
+			t.Fatalf("line %d: sample %q precedes its TYPE declaration", ln+1, name)
+		}
+		if base != current {
+			t.Errorf("line %d: sample %q outside its family's block (current %q)", ln+1, name, current)
+		}
+		f.samples++
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			found := false
+			for _, s := range snaps {
+				if (k == "arm" && v == s.Label) || (k == "design" && v == s.Design) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("line %d: label %s=%q does not round-trip to any snapshot identity", ln+1, k, v)
+			}
+		}
+		if f.typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			key := histKey{base, labels["arm"] + "\x00" + labels["design"]}
+			le := labels["le"]
+			var leV float64
+			if le == "+Inf" {
+				leV = math.Inf(1)
+				histInf[key] = value
+			} else {
+				var err error
+				leV, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("line %d: unparseable le %q", ln+1, le)
+				}
+			}
+			if last, ok := histLastLe[key]; ok && leV <= last {
+				t.Errorf("line %d: le %q not increasing for %q", ln+1, le, base)
+			}
+			histLastLe[key] = leV
+			if value < histCum[key] {
+				t.Errorf("line %d: bucket counts not cumulative for %q", ln+1, base)
+			}
+			histCum[key] = value
+		}
+		if f.typ == "histogram" && strings.HasSuffix(name, "_count") {
+			histCount[histKey{base, labels["arm"] + "\x00" + labels["design"]}] = value
+		}
+	}
+
+	for name, f := range families {
+		if f.help == "" {
+			t.Errorf("family %q has no HELP line", name)
+		}
+		if f.typ == "" {
+			t.Errorf("family %q has no TYPE line", name)
+		}
+		if !f.helpBefore {
+			t.Errorf("family %q: HELP does not precede TYPE", name)
+		}
+		if f.samples == 0 {
+			t.Errorf("family %q declared but has no samples", name)
+		}
+	}
+	if len(families) < 20 {
+		t.Errorf("conformance corpus too small: %d families", len(families))
+	}
+	for key, inf := range histInf {
+		if c, ok := histCount[key]; !ok || c != inf {
+			t.Errorf("histogram %q: +Inf bucket %g != count %g", key.name, inf, c)
+		}
+	}
+}
+
+// TestEscapeLabel pins the escaping rules on their own.
+func TestEscapeLabel(t *testing.T) {
+	cases := map[string]string{
+		`plain`:        `plain`,
+		`a\b`:          `a\\b`,
+		`say "hi"`:     `say \"hi\"`,
+		"line\nbreak":  `line\nbreak`,
+		"\\\"\n":       `\\\"\n`,
+		`design=a,b=c`: `design=a,b=c`,
+	}
+	for in, want := range cases {
+		if got := escapeLabel(in); got != want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSeriesRing covers the bounded ring: retention order, loss
+// accounting, and codec round-trip.
+func TestSeriesRing(t *testing.T) {
+	r := NewSeriesRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Append(Snapshot{NowNs: int64(i)})
+	}
+	got := r.Snapshots()
+	if len(got) != 3 || got[0].NowNs != 3 || got[2].NowNs != 5 {
+		t.Fatalf("ring retained %v, want ticks 3..5", got)
+	}
+	if r.Total() != 5 || r.Dropped() != 2 {
+		t.Errorf("Total/Dropped = %d/%d, want 5/2", r.Total(), r.Dropped())
+	}
+	if last, ok := r.Latest(); !ok || last.NowNs != 5 {
+		t.Errorf("Latest = %v, %v", last, ok)
+	}
+	if fmt.Sprint(r.Len()) != "3" {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testEndpoints(reg *Registry) Endpoints {
+	tr := NewTracer(16)
+	tr.Record(Event{NowNs: 1, Kind: EvPerCPUMiss, A: 1, B: 2})
+	return Endpoints{
+		Snapshots: func() []Snapshot { return []Snapshot{reg.Snapshot("live", 42)} },
+		Trace:     func() TraceDump { return tr.Dump() },
+		Heapz: func(w io.Writer, format string) error {
+			_, err := io.WriteString(w, "heapz body\n")
+			return err
+		},
+		PageHeapz: func(w io.Writer, format string) error {
+			_, err := io.WriteString(w, "pageheapz body\n")
+			return err
+		},
+		Status: func() any {
+			return map[string]any{"service": "test", "tick": 7}
+		},
+	}
+}
+
+func TestMuxContentTypesAndBodies(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("percpu_miss_total").Add(5)
+	reg.Gauge("heap_bytes").Set(1 << 20)
+	srv := httptest.NewServer(NewMux(testEndpoints(reg)))
+	defer srv.Close()
+
+	cases := []struct {
+		path        string
+		contentType string
+		contains    string
+	}{
+		{"/metricsz", "text/plain; version=0.0.4; charset=utf-8", "# HELP wsmalloc_percpu_miss_total"},
+		{"/metricsz?format=json", "application/json", `"counters"`},
+		{"/metricsz?format=text", "text/plain; charset=utf-8", "MALLOC telemetry"},
+		{"/tracez", "text/plain; charset=utf-8", "percpu_miss"},
+		{"/tracez?format=json", "application/json", `"kind"`},
+		{"/heapz", "text/plain; charset=utf-8", "heapz body"},
+		{"/pageheapz", "text/plain; charset=utf-8", "pageheapz body"},
+		{"/healthz", "text/plain; charset=utf-8", "ok"},
+		{"/statusz", "application/json", `"service": "test"`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", tc.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Type"); got != tc.contentType {
+			t.Errorf("%s: Content-Type %q, want %q", tc.path, got, tc.contentType)
+		}
+		if !strings.Contains(string(body), tc.contains) {
+			t.Errorf("%s: body missing %q:\n%s", tc.path, tc.contains, body)
+		}
+	}
+}
+
+func TestMuxMethodRejection(t *testing.T) {
+	srv := httptest.NewServer(NewMux(testEndpoints(NewRegistry())))
+	defer srv.Close()
+	for _, path := range []string{"/metricsz", "/tracez", "/heapz", "/pageheapz", "/healthz", "/statusz"} {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			req, _ := http.NewRequest(method, srv.URL+path, strings.NewReader("x"))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d, want 405", method, path, resp.StatusCode)
+			}
+			if got := resp.Header.Get("Allow"); got != "GET, HEAD" {
+				t.Errorf("%s %s: Allow %q", method, path, got)
+			}
+		}
+		// HEAD must still be accepted.
+		resp, err := http.Head(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("HEAD %s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHealthzUnhealthy(t *testing.T) {
+	ep := testEndpoints(NewRegistry())
+	ep.Health = func() error { return io.ErrClosedPipe }
+	srv := httptest.NewServer(NewMux(ep))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "unhealthy") {
+		t.Errorf("body %q", body)
+	}
+}
+
+// TestConcurrentScrapeDuringRun hammers every page while writers mutate
+// the live registry and tracer — the scrape-during-tick scenario the
+// daemon serves. Run under -race (verify.sh does) this pins that the
+// handlers never read unsynchronized state.
+func TestConcurrentScrapeDuringRun(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(64)
+	ep := testEndpoints(reg)
+	ep.Trace = func() TraceDump { return tr.Dump() }
+	srv := httptest.NewServer(NewMux(ep))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			c := reg.Counter("percpu_miss_total").Handle()
+			g := reg.Gauge("heap_bytes")
+			h := reg.Histogram("alloc_size_bytes", 3, 20)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(float64(int64(8) << (i % 8)))
+				tr.Record(Event{NowNs: int64(i), Kind: EvPerCPUMiss})
+			}
+		}(w)
+	}
+
+	var readers sync.WaitGroup
+	for _, path := range []string{"/metricsz", "/metricsz?format=json", "/tracez", "/healthz", "/statusz"} {
+		readers.Add(1)
+		go func(path string) {
+			defer readers.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

@@ -120,6 +120,18 @@ func (h *Histogram) ObserveWeighted(v, w float64) {
 	h.mu.Unlock()
 }
 
+// MergeLog folds a caller-owned raw histogram into h under its lock.
+// This is the buffered-observation flush path: a single-threaded
+// producer (the simulated allocator) accumulates per-operation
+// observations into an unsynchronized stats.LogHistogram and folds
+// them in bulk at snapshot boundaries, keeping the mutex off the
+// per-operation hot path. The caller must not mutate src concurrently.
+func (h *Histogram) MergeLog(src *stats.LogHistogram) {
+	h.mu.Lock()
+	h.h.Merge(src)
+	h.mu.Unlock()
+}
+
 // merge folds other's buckets into h.
 func (h *Histogram) merge(other *Histogram) {
 	other.mu.Lock()
@@ -229,6 +241,27 @@ func (r *Registry) Merge(other *Registry) {
 	}
 	for name, g := range other.gauges {
 		r.Gauge(name).Add(g.Value())
+	}
+	for name, h := range other.histograms {
+		minExp, maxExp := h.h.Range()
+		r.Histogram(name, minExp, maxExp).merge(h)
+	}
+}
+
+// MergeCumulative folds other's counters and histograms into r, leaving
+// gauges alone. This is the carry-over merge for a restarted machine:
+// its cumulative event history survives the process that died, but its
+// point-in-time gauges (heap bytes, live objects, ...) die with the
+// heap, so folding them forward would double-count state that no longer
+// exists.
+func (r *Registry) MergeCumulative(other *Registry) {
+	if other == nil {
+		return
+	}
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	for name, c := range other.counters {
+		r.Counter(name).Add(c.Value())
 	}
 	for name, h := range other.histograms {
 		minExp, maxExp := h.h.Range()

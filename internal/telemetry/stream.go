@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+
+	"wsmalloc/internal/snapshot"
+	"wsmalloc/internal/stats"
+)
+
+// SeriesRing is a bounded ring of per-tick registry snapshots — the
+// streaming replacement for the Sampler's keep-everything slice. A
+// long-lived fleet daemon appends one fleet-level snapshot per tick;
+// the ring retains the most recent capacity ticks in constant memory
+// and counts what it discarded, mirroring the Tracer's loss
+// accounting. All methods are safe for concurrent use, so HTTP
+// handlers can read the series while the tick loop appends.
+type SeriesRing struct {
+	mu      sync.Mutex
+	buf     []Snapshot
+	next    int
+	full    bool
+	total   int64
+	dropped int64
+}
+
+// NewSeriesRing returns a ring retaining the last capacity snapshots
+// (minimum 1).
+func NewSeriesRing(capacity int) *SeriesRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SeriesRing{buf: make([]Snapshot, 0, capacity)}
+}
+
+// Append records one snapshot, overwriting the oldest when full.
+func (r *SeriesRing) Append(s Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if !r.full && len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+		if len(r.buf) == cap(r.buf) {
+			r.full = true
+			r.next = 0
+		}
+		return
+	}
+	r.dropped++
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Snapshots returns the retained snapshots oldest-first (a copy).
+func (r *SeriesRing) Snapshots() []Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Snapshot, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Latest returns the most recent snapshot, if any.
+func (r *SeriesRing) Latest() (Snapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return Snapshot{}, false
+	}
+	if r.full {
+		return r.buf[(r.next+len(r.buf)-1)%len(r.buf)], true
+	}
+	return r.buf[len(r.buf)-1], true
+}
+
+// Len returns the number of retained snapshots.
+func (r *SeriesRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total returns how many snapshots were ever appended.
+func (r *SeriesRing) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many snapshots the ring discarded.
+func (r *SeriesRing) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// EncodeState serializes the ring so a daemon checkpoint restores the
+// same retained series. Snapshots are stored as one JSON blob (like
+// the Sampler's samples): they are export-shaped data, and Go's JSON
+// float round-trip is exact, so resume stays bit-identical.
+func (r *SeriesRing) EncodeState(e *snapshot.Encoder) {
+	r.mu.Lock()
+	snaps := make([]Snapshot, 0, len(r.buf))
+	if r.full {
+		snaps = append(snaps, r.buf[r.next:]...)
+		snaps = append(snaps, r.buf[:r.next]...)
+	} else {
+		snaps = append(snaps, r.buf...)
+	}
+	total, dropped, capacity := r.total, r.dropped, cap(r.buf)
+	r.mu.Unlock()
+
+	e.Section("seriesring")
+	e.Int(capacity)
+	e.I64(total)
+	e.I64(dropped)
+	blob, err := json.Marshal(snaps)
+	if err != nil {
+		blob = []byte("[]")
+	}
+	e.Bytes(blob)
+}
+
+// DecodeState restores a ring saved by EncodeState. The constructed
+// capacity must match the snapshot's.
+func (r *SeriesRing) DecodeState(d *snapshot.Decoder) {
+	d.Section("seriesring")
+	capacity := d.Int()
+	total, dropped := d.I64(), d.I64()
+	blob := d.Bytes()
+	if d.Err() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if capacity != cap(r.buf) {
+		d.Fail("telemetry: series ring capacity %d in snapshot, %d constructed", capacity, cap(r.buf))
+		return
+	}
+	var snaps []Snapshot
+	if err := json.Unmarshal(blob, &snaps); err != nil {
+		d.Fail("telemetry: series ring payload: %v", err)
+		return
+	}
+	if len(snaps) > capacity {
+		d.Fail("telemetry: series ring holds %d snapshots, capacity %d", len(snaps), capacity)
+		return
+	}
+	r.buf = append(r.buf[:0], snaps...)
+	r.full = len(r.buf) == capacity
+	r.next = 0
+	r.total, r.dropped = total, dropped
+}
+
+// SketchValue is one exported quantile sketch: streamed fleet-level
+// distribution quantiles with exact count/min/max, the constant-memory
+// counterpart of HistogramValue.
+type SketchValue struct {
+	Name  string  `json:"name"`
+	Count float64 `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// SnapshotSketch renders a stats.Sketch in exporter form.
+func SnapshotSketch(name string, sk *stats.Sketch) SketchValue {
+	return SketchValue{
+		Name:  name,
+		Count: sk.Count(),
+		Min:   sk.Min(),
+		Max:   sk.Max(),
+		P50:   sk.Quantile(0.50),
+		P90:   sk.Quantile(0.90),
+		P99:   sk.Quantile(0.99),
+	}
+}

@@ -35,6 +35,16 @@ var gated = []struct{ name, metric string }{
 	{"TelemetryDisabled", "machines/s"},
 	{"HotLoop", "ops/s"},
 	{"DaemonTick", "ticks/s"},
+	{"DaemonTick+gwp", "ticks/s"},
+}
+
+// aliases renames parsed benchmark names to their recorded bench_smoke
+// keys. Go benchmark identifiers can't contain '+', so the
+// profiling-on tick benchmark is BenchmarkDaemonTickGwp in code but is
+// committed as DaemonTick+gwp, keeping the baseline key aligned with
+// the DaemonTick entry it varies.
+var aliases = map[string]string{
+	"DaemonTickGwp": "DaemonTick+gwp",
 }
 
 // floorGated pins benchmark-reported ratio metrics against a fixed
@@ -55,6 +65,7 @@ var floorGated = []struct {
 	desc         string
 }{
 	{"DaemonObserveOverhead", "off/on", 0.95, "daemon observability overhead <5%"},
+	{"DaemonGwpOverhead", "on/gwp", 0.95, "continuous profiling overhead <5%"},
 }
 
 type smokeEntry struct {
@@ -172,6 +183,9 @@ func parseBench(f *os.File) map[string]smokeEntry {
 			if _, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
 			}
+		}
+		if canonical, ok := aliases[name]; ok {
+			name = canonical
 		}
 		// Metric columns come in (value, unit) pairs after the op count.
 		for i := 2; i+1 < len(fields); i += 2 {

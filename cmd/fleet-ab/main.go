@@ -66,6 +66,7 @@ import (
 	"time"
 
 	"wsmalloc"
+	"wsmalloc/internal/gwp"
 	"wsmalloc/internal/profiling"
 )
 
@@ -210,6 +211,7 @@ func main() {
 	telemetryOn := flag.Bool("telemetry", false, "instrument enrolled runs and aggregate per-arm metrics registries")
 	heapprofOn := flag.Bool("heapprof", false, "attach the sampled heap profiler to enrolled runs and aggregate per-arm profiles")
 	heapprofInterval := flag.Int64("heapprof-interval", 0, "mean sampled-allocation interval in bytes (0 = default 512 KiB)")
+	gwpDir := flag.String("gwp-dir", "", "write both arms into a gwp profile warehouse at this directory (raw-00000000=control, raw-00000001=experiment; needs -heapprof)")
 	metricsOut := flag.String("metrics-out", "", "write aggregated telemetry to BASE.prom, BASE.json and BASE.mallocz (implies -telemetry)")
 	serveAddr := flag.String("serve", "", "serve /metricsz (and /heapz with -heapprof) on this address after the run (implies -telemetry, blocks)")
 	workers := flag.Int("j", 0, "concurrent machine simulations (0 = all cores, 1 = sequential)")
@@ -328,6 +330,10 @@ func main() {
 		hcfg.Seed = *seed
 		opts.HeapProfile = hcfg
 	}
+	if *gwpDir != "" && !*heapprofOn {
+		fmt.Fprintln(os.Stderr, "-gwp-dir needs -heapprof")
+		os.Exit(2)
+	}
 
 	if *benchSweep != "" {
 		if !runBench(f, control, experiment, opts, *benchSweep, *benchOut, *seed) {
@@ -426,6 +432,43 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	// One warehouse window per arm: gwpquery then answers CDF, frag and
+	// window-vs-window profdiff queries over a standalone fleet run with
+	// the same tooling the daemon's continuous collection feeds.
+	if *gwpDir != "" && res.HeapProfiles != nil {
+		fp := fmt.Sprintf("fleet-ab seed=%#x machines=%d sample=%g duration=%d control=%q experiment=%q",
+			*seed, *machines, *sample, opts.DurationNs, opts.ControlDesign, opts.ExperimentDesign)
+		wh, err := gwp.Open(*gwpDir, fp, gwp.DefaultRetention(), false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, arm := range []struct {
+			idx    int64
+			design string
+			prof   []wsmalloc.HeapProfile
+			frag   wsmalloc.FragZ
+		}{
+			{0, opts.ControlDesign, res.HeapProfiles.Control, res.Frag.Control},
+			{1, opts.ExperimentDesign, res.HeapProfiles.Experiment, res.Frag.Experiment},
+		} {
+			win := &gwp.Window{
+				Meta: gwp.WindowMeta{
+					ID: gwp.WindowID(gwp.TierRaw, arm.idx), Tier: gwp.TierRaw, Index: arm.idx,
+					EndNs: opts.DurationNs, Design: arm.design,
+					Machines: res.Fleet.Machines, Sources: 1,
+				},
+				Frag:     arm.frag,
+				Profiles: arm.prof,
+			}
+			if err := wh.Append(win); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote gwp warehouse %s (raw-00000000=control, raw-00000001=experiment)\n", *gwpDir)
 	}
 
 	if *serveAddr != "" {

@@ -14,6 +14,8 @@
 //	             [-wd-window 16] [-wd-rate-threshold 1.0] [-wd-min-rate 1]
 //	             [-alert-log alerts.jsonl] [-webhook URL]
 //	             [-checkpoint-dir DIR] [-checkpoint-every-ticks 64] [-resume]
+//	             [-gwp-dir DIR] [-gwp-every-ticks 16] [-gwp-sample 0.01]
+//	             [-gwp-min 1]
 //
 // Endpoints: /metricsz (Prometheus; ?format=json includes the series
 // ring), /tracez, /heapz, /pageheapz, /healthz, /statusz, /alertz, and
@@ -25,6 +27,12 @@
 // -tick-wall-ms paces ticks in wall time. On SIGINT/SIGTERM the daemon
 // checkpoints (when -checkpoint-dir is set) and exits cleanly; -resume
 // continues a checkpointed run bit-identically.
+//
+// -gwp-dir enables continuous fleet profiling: every -gwp-every-ticks
+// ticks a rotating -gwp-sample fraction of the enrolled machines is
+// profiled into one window of the on-disk profile warehouse, queried
+// offline with gwpquery. The warehouse honours the same kill/resume
+// bit-identity contract as the checkpoints.
 package main
 
 import (
@@ -65,6 +73,10 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for daemon checkpoints")
 	checkpointEvery := flag.Int("checkpoint-every-ticks", 64, "automatic checkpoint cadence in ticks (needs -checkpoint-dir)")
 	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
+	gwpDir := flag.String("gwp-dir", "", "profile warehouse directory (enables continuous fleet profiling)")
+	gwpEvery := flag.Int("gwp-every-ticks", 16, "ticks per profile window (needs -gwp-dir)")
+	gwpSample := flag.Float64("gwp-sample", 0.01, "fraction of enrolled machines profiled per window")
+	gwpMin := flag.Int("gwp-min", 1, "minimum machines profiled per window")
 	flag.Parse()
 
 	dp, err := wsmalloc.ParseDesignPoint(*designFlag)
@@ -105,6 +117,13 @@ func main() {
 	cfg.Resume = *resume
 	cfg.TickWall = time.Duration(*tickWallMs) * time.Millisecond
 	cfg.MaxTicks = *ticks
+	if *gwpDir != "" {
+		cfg.GWP.Enabled = true
+		cfg.GWP.Dir = *gwpDir
+		cfg.GWP.CollectEveryTicks = *gwpEvery
+		cfg.GWP.SampleFraction = *gwpSample
+		cfg.GWP.MinPerWindow = *gwpMin
+	}
 
 	d, err := daemon.New(cfg)
 	if err != nil {

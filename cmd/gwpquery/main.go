@@ -1,0 +1,180 @@
+// Command gwpquery answers longitudinal questions from a profile
+// warehouse written by fleet-daemon's continuous profiling (or by
+// fleet-ab's per-arm export) — the offline reproduction of the paper's
+// characterization figures, computed from warehouse data alone:
+//
+//	gwpquery -dir WH list                         # windows on disk
+//	gwpquery -dir WH -windows all cdf             # Fig. 3/7 size CDF (CSV)
+//	gwpquery -dir WH -windows day lifetime        # Fig. 8 lifetime matrix
+//	gwpquery -dir WH -windows raw frag            # Fig. 11 decomposition trend
+//	gwpquery -dir WH -windows last:8 breakdown -by workload
+//	gwpquery -dir WH -windows raw trend -metric machine_frag_ppm
+//	gwpquery -dir WH profdiff -a raw-00000000 -b raw-00000007
+//
+// -windows selects which windows feed a query: "all", a tier ("raw",
+// "hr", "day"), "last:N" (most recent N raw windows) or explicit
+// comma-separated IDs; selected windows merge with the same
+// deterministic fold the retention tiers use. All output is
+// byte-deterministic for a given warehouse, and the warehouse itself is
+// bit-identical across -j settings and kill/resume boundaries — so
+// query output diffs cleanly across runs. Exit status: 0 on success
+// (for profdiff: no delta beyond -threshold), 1 when profdiff finds
+// regressions, 2 on usage or data errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsmalloc/internal/gwp"
+	"wsmalloc/internal/profdiff"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gwpquery -dir WAREHOUSE [-windows SPEC] [-view VIEW] COMMAND [args]
+
+commands:
+  list                         window metadata, tier by tier
+  cdf                          size CDF by objects and bytes (CSV)
+  lifetime                     size x lifetime-decade matrix (CSV)
+  frag                         Fig. 11 fragmentation trend, one row per window (CSV)
+  breakdown -by AXIS           aggregate by workload | class | life (CSV)
+  trend -metric NAME           per-window quantiles of a machine scalar (CSV)
+  profdiff -a ID -b ID [-threshold F] [-top N]
+                               site-by-site window diff`)
+	os.Exit(2)
+}
+
+func main() {
+	dir := flag.String("dir", "", "profile warehouse directory (required)")
+	windows := flag.String("windows", "all", "window selection: all, raw, hr, day, last:N, or comma-separated IDs")
+	view := flag.String("view", "allocz", "profile view for cdf/lifetime/breakdown: heapz, allocz or peakheapz")
+	flag.Usage = usage
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		usage()
+	}
+	wh, err := gwp.OpenRead(*dir)
+	if err != nil {
+		fail(err)
+	}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	merged := func() *gwp.Window {
+		ids, err := gwp.SelectIDs(wh, *windows)
+		if err != nil {
+			fail(err)
+		}
+		win, err := wh.LoadMerged(ids)
+		if err != nil {
+			fail(err)
+		}
+		return win
+	}
+	loaded := func() []*gwp.Window {
+		ids, err := gwp.SelectIDs(wh, *windows)
+		if err != nil {
+			fail(err)
+		}
+		wins, err := wh.LoadAll(ids)
+		if err != nil {
+			fail(err)
+		}
+		return wins
+	}
+
+	switch cmd {
+	case "list":
+		metas, err := wh.List()
+		if err != nil {
+			fail(err)
+		}
+		if err := gwp.WriteMetaList(os.Stdout, metas); err != nil {
+			fail(err)
+		}
+
+	case "cdf":
+		rows, err := gwp.SizeCDF(merged(), *view)
+		if err != nil {
+			fail(err)
+		}
+		if err := gwp.WriteSizeCDF(os.Stdout, rows); err != nil {
+			fail(err)
+		}
+
+	case "lifetime":
+		prof, err := gwp.SiteProfiler(merged(), *view)
+		if err != nil {
+			fail(err)
+		}
+		if err := gwp.WriteLifetime(os.Stdout, prof.LifetimeMatrix()); err != nil {
+			fail(err)
+		}
+
+	case "frag":
+		if err := gwp.WriteFragTrend(os.Stdout, gwp.FragTrend(loaded())); err != nil {
+			fail(err)
+		}
+
+	case "breakdown":
+		fs := flag.NewFlagSet("breakdown", flag.ExitOnError)
+		by := fs.String("by", "workload", "aggregation axis: workload, class or life")
+		_ = fs.Parse(args)
+		rows, err := gwp.Breakdown(merged(), *view, *by)
+		if err != nil {
+			fail(err)
+		}
+		if err := gwp.WriteBreakdown(os.Stdout, rows); err != nil {
+			fail(err)
+		}
+
+	case "trend":
+		fs := flag.NewFlagSet("trend", flag.ExitOnError)
+		metric := fs.String("metric", "machine_frag_ppm", "scalar distribution to summarize")
+		_ = fs.Parse(args)
+		rows, err := gwp.Trend(loaded(), *metric)
+		if err != nil {
+			fail(err)
+		}
+		if err := gwp.WriteTrend(os.Stdout, rows); err != nil {
+			fail(err)
+		}
+
+	case "profdiff":
+		fs := flag.NewFlagSet("profdiff", flag.ExitOnError)
+		aID := fs.String("a", "", "baseline window ID")
+		bID := fs.String("b", "", "comparison window ID")
+		threshold := fs.Float64("threshold", 0, "relative-change threshold as a fraction (0 flags any change)")
+		top := fs.Int("top", 20, "max changed metrics to print (0 = all)")
+		_ = fs.Parse(args)
+		if *aID == "" || *bID == "" {
+			usage()
+		}
+		wa, err := wh.Load(*aID)
+		if err != nil {
+			fail(err)
+		}
+		wb, err := wh.Load(*bID)
+		if err != nil {
+			fail(err)
+		}
+		deltas := profdiff.Diff(gwp.FlattenWindow(wa), gwp.FlattenWindow(wb))
+		over, err := profdiff.WriteReport(os.Stdout, deltas, *threshold, *top)
+		if err != nil {
+			fail(err)
+		}
+		if over > 0 {
+			os.Exit(1)
+		}
+
+	default:
+		usage()
+	}
+}

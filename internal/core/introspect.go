@@ -54,6 +54,73 @@ type FragZ struct {
 	CFLFreeSpanAges []pageheap.AgeBucket `json:"cfl_free_span_ages,omitempty"`
 }
 
+// Accumulate folds another decomposition into f, term by term: the
+// per-class rows merge keyed by size class and the age histogram keyed
+// by decade (both inputs are produced in ascending order, so the merge
+// is a deterministic two-pointer walk). The fleet profiler sums one
+// FragZ per (machine, window) capture this way, making every warehouse
+// window's decomposition the exact fleet-wide Fig. 11 terms of its
+// sampled population.
+func (f *FragZ) Accumulate(o FragZ) {
+	f.LiveRequestedBytes += o.LiveRequestedBytes
+	f.InternalSlackBytes += o.InternalSlackBytes
+	f.PerCPUCachedBytes += o.PerCPUCachedBytes
+	f.TransferCachedBytes += o.TransferCachedBytes
+	f.CFLFreeSpanBytes += o.CFLFreeSpanBytes
+	f.FillerFreeBytes += o.FillerFreeBytes
+	f.SlackBytes += o.SlackBytes
+	f.CacheFreeBytes += o.CacheFreeBytes
+	f.UnmappedSubreleasedBytes += o.UnmappedSubreleasedBytes
+	f.HeapBytes += o.HeapBytes
+
+	merged := make([]ClassFragZ, 0, len(f.PerClass)+len(o.PerClass))
+	i, j := 0, 0
+	for i < len(f.PerClass) && j < len(o.PerClass) {
+		a, b := f.PerClass[i], o.PerClass[j]
+		switch {
+		case a.Class == b.Class:
+			a.PerCPUBytes += b.PerCPUBytes
+			a.TransferBytes += b.TransferBytes
+			a.CFLFreeBytes += b.CFLFreeBytes
+			a.CFLSpans += b.CFLSpans
+			merged = append(merged, a)
+			i++
+			j++
+		case a.Class < b.Class:
+			merged = append(merged, a)
+			i++
+		default:
+			merged = append(merged, b)
+			j++
+		}
+	}
+	merged = append(merged, f.PerClass[i:]...)
+	merged = append(merged, o.PerClass[j:]...)
+	f.PerClass = merged
+
+	ages := make([]pageheap.AgeBucket, 0, len(f.CFLFreeSpanAges)+len(o.CFLFreeSpanAges))
+	i, j = 0, 0
+	for i < len(f.CFLFreeSpanAges) && j < len(o.CFLFreeSpanAges) {
+		a, b := f.CFLFreeSpanAges[i], o.CFLFreeSpanAges[j]
+		switch {
+		case a.LoNs == b.LoNs:
+			a.Count += b.Count
+			ages = append(ages, a)
+			i++
+			j++
+		case a.LoNs < b.LoNs:
+			ages = append(ages, a)
+			i++
+		default:
+			ages = append(ages, b)
+			j++
+		}
+	}
+	ages = append(ages, f.CFLFreeSpanAges[i:]...)
+	ages = append(ages, o.CFLFreeSpanAges[j:]...)
+	f.CFLFreeSpanAges = ages
+}
+
 // PageHeapZ is the full /pageheapz document: the back-end introspection
 // plus the allocator-wide fragmentation decomposition.
 type PageHeapZ struct {
@@ -101,6 +168,47 @@ func (a *Allocator) PageHeapZ() PageHeapZ {
 	}
 	f.CFLFreeSpanAges = cflAges.Buckets()
 	return z
+}
+
+// FragZ builds just the fragmentation decomposition, skipping the
+// per-hugepage occupancy maps PageHeapZ renders. The terms are
+// identical to PageHeapZ().Frag — the back-end scalars come from
+// pageheap.FragIntrospect, everything else from the same sources — but
+// the cost is O(classes + fillers) instead of O(hugepages), which is
+// what lets the continuous-profiling collection tick capture every
+// sampled machine without a visible per-tick spike.
+func (a *Allocator) FragZ() FragZ {
+	perCPU := a.front.CachedBytesByClass()
+	transfer := a.transfer.CachedBytesByClass()
+	var cflAges pageheap.AgeHistogram
+
+	var f FragZ
+	f.LiveRequestedBytes = a.t.liveRequested
+	f.InternalSlackBytes = a.t.liveRounded - a.t.liveRequested
+	f.FillerFreeBytes, f.UnmappedSubreleasedBytes, f.SlackBytes, f.CacheFreeBytes = a.heap.FragIntrospect()
+	f.HeapBytes = a.os.MappedBytes()
+	for i, l := range a.cfls {
+		ls := l.Stats()
+		row := ClassFragZ{
+			Class:         i,
+			ObjSize:       a.table.Class(i).Size,
+			PerCPUBytes:   perCPU[i],
+			TransferBytes: transfer[i],
+			CFLFreeBytes:  ls.FreeBytes,
+			CFLSpans:      ls.Spans,
+		}
+		f.PerCPUCachedBytes += row.PerCPUBytes
+		f.TransferCachedBytes += row.TransferBytes
+		f.CFLFreeSpanBytes += row.CFLFreeBytes
+		if row.PerCPUBytes != 0 || row.TransferBytes != 0 || row.CFLFreeBytes != 0 {
+			f.PerClass = append(f.PerClass, row)
+		}
+		l.EachFreeSpan(func(freeBytes, bornAt int64) {
+			cflAges.Add(a.now-bornAt, freeBytes)
+		})
+	}
+	f.CFLFreeSpanAges = cflAges.Buckets()
+	return f
 }
 
 // WritePageHeapZ renders the document as the /pageheapz text page: the

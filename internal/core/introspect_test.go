@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -94,6 +95,49 @@ func TestPageHeapZConservation(t *testing.T) {
 	}
 	if aged != f.CFLFreeSpanBytes {
 		t.Fatalf("age histogram covers %d of %d CFL free bytes", aged, f.CFLFreeSpanBytes)
+	}
+}
+
+// The cheap FragZ accessor is a contract: it must produce exactly the
+// decomposition PageHeapZ embeds, term for term, per-class row for
+// per-class row — the continuous profiler records FragZ() while the
+// /pageheapz page renders PageHeapZ(), and warehouse queries over one
+// must agree with scrapes of the other.
+func TestFragZMatchesPageHeapZ(t *testing.T) {
+	a := newAlloc(OptimizedConfig())
+	r := rng.New(29)
+
+	type obj struct {
+		addr uint64
+		size int
+	}
+	var live []obj
+	for i := 0; i < 30_000; i++ {
+		a.Tick(int64(i) * 1000)
+		if len(live) > 0 && r.Float64() < 0.45 {
+			j := int(r.Uint64n(uint64(len(live))))
+			a.Free(live[j].addr, live[j].size, int(r.Uint64n(4)))
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := 16 + int(r.Uint64n(8000))
+		if i%700 == 0 {
+			size = sizeclass.MaxSmallSize + int(r.Uint64n(1<<20))
+		}
+		addr, _ := a.Malloc(size, int(r.Uint64n(4)))
+		live = append(live, obj{addr, size})
+
+		if i%5000 == 4999 {
+			fast := a.FragZ()
+			full := a.PageHeapZ().Frag
+			if !reflect.DeepEqual(fast, full) {
+				t.Fatalf("step %d: FragZ diverged from PageHeapZ().Frag:\nfast: %+v\nfull: %+v", i, fast, full)
+			}
+			if fast.CFLFreeSpanBytes == 0 && fast.FillerFreeBytes == 0 {
+				t.Fatalf("step %d: degenerate decomposition, nothing to compare", i)
+			}
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wsmalloc/internal/core"
+	"wsmalloc/internal/gwp"
 )
 
 func benchConfig(seed uint64, observe bool) Config {
@@ -74,6 +75,105 @@ func BenchmarkDaemonTickBare(b *testing.B) { benchTicks(b, false) }
 // steady-state observability must cost under 5% per tick. Deep-view
 // renders are demand-driven (see Config.IntrospectEveryTicks) and
 // attributed to scraping, not to the ambient per-tick budget.
+// gwpBenchConfig is the observed daemon with continuous profiling on:
+// the production cadence (16-tick windows, ~1% sample floored at one
+// machine) against a throwaway warehouse.
+func gwpBenchConfig(b *testing.B, seed uint64) Config {
+	cfg := benchConfig(seed, true)
+	cfg.GWP.Enabled = true
+	cfg.GWP.Dir = b.TempDir()
+	cfg.GWP.Retention = gwp.Retention{RawRetain: 16, RawPerHourly: 4, HourlyRetain: 8, HourlyPerDaily: 4, DailyRetain: 8}
+	return cfg
+}
+
+// BenchmarkDaemonTickGwp measures a full observed tick with continuous
+// fleet profiling on: every machine carries the sparse heap profiler,
+// and every 16th tick captures, encodes and appends a warehouse window.
+func BenchmarkDaemonTickGwp(b *testing.B) {
+	d, err := New(gwpBenchConfig(b, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 16; i++ {
+		if err := d.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ticks/s")
+}
+
+// BenchmarkDaemonGwpOverhead measures the continuous-profiling overhead
+// the way BenchmarkDaemonObserveOverhead measures the observability
+// overhead: an observed daemon and an observed+gwp daemon advance
+// alternately within the same timed loop (shared load windows, drift
+// cancels), blocks of 16 tick pairs with the arm order swapped pair by
+// pair, trimmed-mean quotient over blocks. Blocks are exactly one
+// collection cadence (GWP.CollectEveryTicks) wide so every block
+// carries one capture+append: uniform blocks keep the trim ejecting
+// genuine noise (GC cycles, preemptions) instead of systematically
+// ejecting the blocks the collection tick landed in.
+// scripts/verify.sh gates the on/gwp metric at >= 0.95: continuous
+// profiling must cost under 5% per observed tick.
+func BenchmarkDaemonGwpOverhead(b *testing.B) {
+	withGwp, err := New(gwpBenchConfig(b, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer withGwp.Close()
+	on, err := New(benchConfig(1, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer on.Close()
+	for i := 0; i < 16; i++ {
+		if err := withGwp.Tick(); err != nil {
+			b.Fatal(err)
+		}
+		if err := on.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tickTimed := func(d *Daemon) time.Duration {
+		t0 := time.Now()
+		if err := d.Tick(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	ratios := make([]float64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tGwp, tOn time.Duration
+		for k := 0; k < 16; k++ {
+			if k%2 == 0 {
+				tGwp += tickTimed(withGwp)
+				tOn += tickTimed(on)
+			} else {
+				tOn += tickTimed(on)
+				tGwp += tickTimed(withGwp)
+			}
+		}
+		ratios = append(ratios, tOn.Seconds()/tGwp.Seconds())
+	}
+	b.StopTimer()
+	sort.Float64s(ratios)
+	trim := len(ratios) / 6
+	var sum float64
+	kept := ratios[trim : len(ratios)-trim]
+	for _, r := range kept {
+		sum += r
+	}
+	b.ReportMetric(sum/float64(len(kept)), "on/gwp")
+}
+
 func BenchmarkDaemonObserveOverhead(b *testing.B) {
 	on, err := New(benchConfig(1, true))
 	if err != nil {

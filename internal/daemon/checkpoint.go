@@ -22,10 +22,17 @@ const manifestName = "daemon.ckpt"
 // mismatch means the checkpoint directory holds a different run and
 // must not be restored into this one.
 func (d *Daemon) fingerprint() string {
-	return fmt.Sprintf("machines=%d sample=%g min=%d seed=%#x tick=%d diurnal=%d churn=%g oom=%v design=%q observe=%v",
+	fp := fmt.Sprintf("machines=%d sample=%g min=%d seed=%#x tick=%d diurnal=%d churn=%g oom=%v design=%q observe=%v",
 		d.cfg.Machines, d.cfg.SampleFraction, d.cfg.MinMachines, d.cfg.Seed,
 		d.cfg.TickNs, d.cfg.DiurnalPeriodNs, d.cfg.ChurnPerTick,
 		d.cfg.RestartOnOOM, d.cfg.Design, d.cfg.Observe)
+	if d.cfg.GWP.Enabled {
+		// Collection geometry changes what every machine simulates (the
+		// attached profiler) and what the warehouse holds, so it is part
+		// of the run's identity. Disabled runs keep the old fingerprint.
+		fp += " " + d.cfg.GWP.Fingerprint()
+	}
+	return fp
 }
 
 // wdState is the watchdog's serialized form (JSON: it is small,

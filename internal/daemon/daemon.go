@@ -29,6 +29,7 @@ import (
 
 	"wsmalloc/internal/core"
 	"wsmalloc/internal/fleet"
+	"wsmalloc/internal/gwp"
 	"wsmalloc/internal/heapprof"
 	"wsmalloc/internal/rng"
 	"wsmalloc/internal/sched"
@@ -103,6 +104,10 @@ type Config struct {
 	WebhookURL string
 	// AlertRingCapacity bounds /alertz retention.
 	AlertRingCapacity int
+	// GWP configures continuous fleet profiling: every
+	// GWP.CollectEveryTicks ticks a rotating ~1% sample of the enrolled
+	// machines is profiled into one warehouse window. Requires Observe.
+	GWP gwp.Config
 	// CheckpointDir enables checkpointing; CheckpointEveryTicks is the
 	// automatic cadence (0 = only on admin request); Resume restores
 	// from an existing checkpoint in CheckpointDir at New.
@@ -192,6 +197,12 @@ type Daemon struct {
 	tick      int64
 	virtualNs int64
 
+	// gw is the open profile warehouse (nil when GWP is disabled);
+	// lastWindow is the ID of the most recently collected window — the
+	// exemplar stamped on gauges, alerts and /statusz.
+	gw         *gwp.Warehouse
+	lastWindow string
+
 	sketches []*stats.Sketch
 	ring     *telemetry.SeriesRing
 	wd       *watchdog
@@ -263,6 +274,9 @@ type Status struct {
 	SeriesRetained     int                     `json:"series_retained"`
 	SeriesTotal        int64                   `json:"series_total"`
 	SeriesDropped      int64                   `json:"series_dropped"`
+	GWPEnabled         bool                    `json:"gwp_enabled,omitempty"`
+	GWPWindowsTotal    int64                   `json:"gwp_windows_total,omitempty"`
+	GWPLastWindow      string                  `json:"gwp_last_window,omitempty"`
 	Sketches           []telemetry.SketchValue `json:"sketches,omitempty"`
 }
 
@@ -290,6 +304,15 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.DiurnalPeriodNs <= 0 {
 		cfg.DiurnalPeriodNs = 8 * cfg.TickNs
 	}
+	if cfg.GWP.Enabled {
+		if !cfg.Observe {
+			return nil, fmt.Errorf("daemon: GWP collection requires Observe")
+		}
+		if cfg.GWP.Dir == "" {
+			return nil, fmt.Errorf("daemon: GWP collection needs a warehouse directory")
+		}
+		cfg.GWP = cfg.GWP.WithDefaults()
+	}
 
 	cat := fleet.New(cfg.Machines, cfg.Seed)
 	idx := enroll(len(cat.Machines), cfg.SampleFraction, cfg.MinMachines)
@@ -310,9 +333,19 @@ func New(cfg Config) (*Daemon, error) {
 		acfg := cfg.AllocConfig
 		if cfg.Observe {
 			acfg.Telemetry = telemetry.Config{Enabled: true}
+			if cfg.GWP.Enabled {
+				// Continuous profiling samples a rotating subset of
+				// machines, so every machine carries the sparse profiler
+				// (the per-op cost when not sampled is one countdown).
+				acfg.HeapProfile = heapprof.Config{
+					Enabled:             true,
+					Seed:                m.Seed,
+					SampleIntervalBytes: cfg.GWP.SampleIntervalBytes,
+				}
+			}
 			if ord == 0 {
 				acfg.Telemetry.TraceCapacity = cfg.TraceCapacity
-				if cfg.HeapProfile {
+				if cfg.HeapProfile && !acfg.HeapProfile.Enabled {
 					// Sample sparsely: one daemon tick compresses minutes
 					// of machine traffic, so the production 512 KiB mean
 					// interval would sample a large share of operations
@@ -350,6 +383,13 @@ func New(cfg Config) (*Daemon, error) {
 
 	if cfg.Resume && cfg.CheckpointDir != "" {
 		if err := d.restore(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.GWP.Enabled {
+		// After any restore: the warehouse resume check and the derived
+		// last-window exemplar both depend on the restored tick.
+		if err := d.openWarehouse(); err != nil {
 			return nil, err
 		}
 	}
@@ -425,6 +465,13 @@ func (d *Daemon) Tick() error {
 	d.tick++
 	d.virtualNs = tickEnd
 
+	// Collect before the reduce so this tick's gauges and alerts carry
+	// the window they were produced alongside.
+	if d.gw != nil && d.tick%int64(d.cfg.GWP.CollectEveryTicks) == 0 {
+		if err := d.collectWindow(); err != nil {
+			return err
+		}
+	}
 	if d.cfg.Observe {
 		d.reduce()
 	}
@@ -562,6 +609,13 @@ func (d *Daemon) reduce() {
 	g("daemon_oom_kills", oomKills)
 	g("daemon_burst_kills", burstKills)
 	g("daemon_burst_ticks_left", int64(d.burstTicks))
+	if d.gw != nil {
+		// Exemplar gauges: the warehouse window behind this scrape. The
+		// full ID is reconstructible as raw-%08d from the index (gauges
+		// are numeric); /statusz and alerts carry the ID string itself.
+		g("gwp_windows_total", d.gw.WindowsTotal())
+		g("gwp_last_window_index", d.gw.WindowsTotal()-1)
+	}
 	for _, sv := range skVals {
 		g("sketch_"+sv.Name+"_count", int64(sv.Count))
 		g("sketch_"+sv.Name+"_p50", int64(math.Round(sv.P50)))
@@ -579,6 +633,9 @@ func (d *Daemon) reduce() {
 	for i := range alerts {
 		d.alertSeq++
 		alerts[i].Seq = d.alertSeq
+		// The exemplar: an alert links to the profile window that covers
+		// the regressing ticks, so the evidence is one gwpquery away.
+		alerts[i].WindowID = d.lastWindow
 		d.emitAlert(alerts[i])
 	}
 
@@ -638,6 +695,11 @@ func (d *Daemon) publishTick(snap telemetry.Snapshot, skVals []telemetry.SketchV
 		SeriesTotal:        d.ring.Total(),
 		SeriesDropped:      d.ring.Dropped(),
 		Sketches:           skVals,
+	}
+	if d.gw != nil {
+		pub.status.GWPEnabled = true
+		pub.status.GWPWindowsTotal = d.gw.WindowsTotal()
+		pub.status.GWPLastWindow = d.lastWindow
 	}
 
 	d.mu.Lock()

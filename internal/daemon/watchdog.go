@@ -76,6 +76,9 @@ type Alert struct {
 	Current   float64 `json:"current"`
 	RelChange float64 `json:"rel_change"`
 	Threshold float64 `json:"threshold"`
+	// WindowID is the exemplar: the warehouse profile window covering
+	// the ticks that produced this alert (empty when gwp is off).
+	WindowID string `json:"window_id,omitempty"`
 }
 
 // watchdog holds the per-metric sliding windows and alerting states.

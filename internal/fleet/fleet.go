@@ -154,6 +154,8 @@ type RunMetrics struct {
 	// HeapProfiles holds the machine's end-of-run sampled heap profile
 	// views, when the run's config enabled heap profiling (nil otherwise).
 	HeapProfiles []heapprof.Profile
+	// Frag is the end-of-run Fig. 11 fragmentation decomposition.
+	Frag core.FragZ
 }
 
 // RunMachine executes one machine's workload under cfg for the given
@@ -257,6 +259,14 @@ type ABHeapProfiles struct {
 	Experiment []heapprof.Profile
 }
 
+// ABFrag holds the per-arm fleet-summed Fig. 11 fragmentation
+// decomposition: every machine's end-of-run decomposition accumulated
+// in enrolment order.
+type ABFrag struct {
+	Control    core.FragZ
+	Experiment core.FragZ
+}
+
 // ABResult is a full experiment outcome.
 type ABResult struct {
 	// Fleet is the machine-weighted aggregate row.
@@ -272,6 +282,10 @@ type ABResult struct {
 	// HeapProfiles is the per-arm fleet-merged sampled heap profile pair,
 	// nil unless ABOptions.HeapProfile was enabled.
 	HeapProfiles *ABHeapProfiles
+	// Frag is the per-arm fleet-summed fragmentation decomposition
+	// (always populated — the decomposition is a pure read of each
+	// machine's end state).
+	Frag ABFrag
 }
 
 // ABOptions tune an experiment.
@@ -421,11 +435,12 @@ type pair struct {
 // ABResult. Outcomes are produced in index-addressed slots by the worker
 // pool and merged in enrolment order by mergeOutcomes.
 type machineOutcome struct {
-	pair       pair
-	chaos      ChaosStats
-	telC, telE *telemetry.Registry
-	hpC, hpE   []heapprof.Profile
-	halted     bool
+	pair         pair
+	chaos        ChaosStats
+	telC, telE   *telemetry.Registry
+	hpC, hpE     []heapprof.Profile
+	fragC, fragE core.FragZ
+	halted       bool
 }
 
 // lifecycleFor builds one arm's lifecycle options from the experiment
@@ -503,6 +518,7 @@ func runPair(m Machine, control, experiment core.Config, opts ABOptions, attempt
 	}
 	out.telC, out.telE = c.Telemetry, e.Telemetry
 	out.hpC, out.hpE = c.HeapProfiles, e.HeapProfiles
+	out.fragC, out.fragE = c.Frag, e.Frag
 	for _, rm := range []RunMetrics{c, e} {
 		st := rm.Result.Stats
 		out.chaos.InjectedFailures += st.Faults.InjectedFailures
@@ -587,8 +603,11 @@ func mergeOutcomes(outcomes []machineOutcome, opts ABOptions) ABResult {
 	var chaos ChaosStats
 	var tel *ABTelemetry
 	var hp *ABHeapProfiles
+	var frag ABFrag
 	for _, o := range outcomes {
 		pairs = append(pairs, o.pair)
+		frag.Control.Accumulate(o.fragC)
+		frag.Experiment.Accumulate(o.fragE)
 		if o.telC != nil || o.telE != nil {
 			if tel == nil {
 				tel = &ABTelemetry{
@@ -662,7 +681,7 @@ func mergeOutcomes(outcomes []machineOutcome, opts ABOptions) ABResult {
 	for _, p := range pairs {
 		byApp[p.app] = append(byApp[p.app], p)
 	}
-	res := ABResult{Fleet: aggregate(pairs, "fleet"), Chaos: chaos, Telemetry: tel, HeapProfiles: hp}
+	res := ABResult{Fleet: aggregate(pairs, "fleet"), Chaos: chaos, Telemetry: tel, HeapProfiles: hp, Frag: frag}
 	var names []string
 	for name := range byApp {
 		names = append(names, name)

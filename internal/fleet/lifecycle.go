@@ -355,6 +355,7 @@ func finishRunMetrics(m Machine, alloc *core.Allocator, res workload.Result, ac 
 		rm.Telemetry = tel.Registry()
 	}
 	rm.HeapProfiles = alloc.HeapProfiles("")
+	rm.Frag = alloc.FragZ()
 	if ac.snaps > 0 {
 		rm.AvgHeapBytes = ac.heapSum / ac.snaps
 		rm.CacheBytes = ac.cacheSum / ac.snaps

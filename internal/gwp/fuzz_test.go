@@ -1,0 +1,64 @@
+package gwp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWindowDecode enforces the warehouse codec's hostile-input
+// contract: DecodeWindow on arbitrary bytes — truncations, checksum
+// flips, version skew, garbage — returns an error or a valid window,
+// and never panics. Windows that survive must re-encode, and the
+// re-encoding must be a fixed point of decode→encode (the
+// replay-idempotency property, allowing one normalization pass for
+// blobs whose JSON was valid but non-canonical).
+func FuzzWindowDecode(f *testing.F) {
+	seed := func(w *Window) []byte {
+		blob, err := EncodeWindow(w)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return blob
+	}
+	empty := BuildWindow(WindowMeta{Index: 0, Design: "baseline"}, nil)
+	full := testWindow(5, 3)
+	sketchless := testWindow(2, 1)
+	sketchless.Sketches = nil
+	f.Add(seed(empty))
+	f.Add(seed(full))
+	f.Add(seed(sketchless))
+	// Structured mutations of a valid blob: truncation, bit flip,
+	// version byte skew, zero-fill.
+	base := seed(full)
+	f.Add(base[:len(base)/2])
+	flip := append([]byte(nil), base...)
+	flip[len(flip)/3] ^= 0x80
+	f.Add(flip)
+	skew := append([]byte(nil), base...)
+	skew[4] ^= 0xFF // inside the envelope header
+	f.Add(skew)
+	f.Add(make([]byte, 64))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		win, err := DecodeWindow(blob) // must not panic
+		if err != nil {
+			return
+		}
+		re, err := EncodeWindow(win)
+		if err != nil {
+			t.Fatalf("decoded window does not re-encode: %v", err)
+		}
+		win2, err := DecodeWindow(re)
+		if err != nil {
+			t.Fatalf("re-encoded window does not decode: %v", err)
+		}
+		re2, err := EncodeWindow(win2)
+		if err != nil {
+			t.Fatalf("twice-decoded window does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("decode→encode is not a fixed point")
+		}
+	})
+}

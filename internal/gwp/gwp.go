@@ -1,0 +1,374 @@
+// Package gwp is the continuous fleet-profiling pipeline — the
+// reproduction of the warehouse-scale profiling system (GWP) that
+// produced every characterization figure in the source paper. Where
+// internal/heapprof and internal/profiler answer "what is this one run
+// doing", gwp answers the fleet-and-time questions: each collection
+// cycle deterministically samples a small rotating fraction of the
+// enrolled machines (the paper's ~1% discipline), captures their
+// heapz/allocz/peakheapz profiles, pageheapz fragmentation
+// decomposition, and per-machine telemetry scalars as one versioned,
+// checksummed *profile window*, and appends the window to a bounded
+// on-disk warehouse.
+//
+// The warehouse keeps memory and disk constant with retention tiers:
+// raw windows fold into hourly windows, hourly into daily, using the
+// deterministic enrolment-order merge (heapprof.Merge for site tables,
+// stats.Sketch.Merge for the scalar distributions, field-wise sums for
+// the Fig. 11 fragmentation terms). Every append is idempotent and a
+// pure function of the window index, so a daemon resumed from a
+// checkpoint rewrites byte-identical windows and the warehouse ends up
+// bit-identical to the uninterrupted run's — the same PR 2/PR 6
+// contract, extended to profile retention.
+//
+// The query layer (query.go, cmd/gwpquery) reproduces the paper's
+// characterization offline from warehouse data alone: size/lifetime
+// CDFs (Figs. 3/7/8), fragmentation decomposition trends (Fig. 11),
+// per-workload and per-size-class breakdowns, scalar quantile trends,
+// and window-vs-window profdiff.
+package gwp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/heapprof"
+	"wsmalloc/internal/stats"
+)
+
+// Retention tiers. Tier names are part of window IDs and of the on-disk
+// layout, so they are fixed.
+const (
+	TierRaw = iota
+	TierHourly
+	TierDaily
+	tierCount
+)
+
+// tierPrefixes maps a tier to its window-ID prefix. "hourly" and
+// "daily" are virtual-time idioms: with the default 16-tick window a
+// raw window is minutes of condensed machine traffic, an "hour" is
+// RawPerHourly of those, a "day" is HourlyPerDaily hours.
+var tierPrefixes = [tierCount]string{"raw", "hr", "day"}
+
+// TierName returns the window-ID prefix of a tier.
+func TierName(tier int) string {
+	if tier < 0 || tier >= tierCount {
+		return "bad"
+	}
+	return tierPrefixes[tier]
+}
+
+// WindowID renders the canonical window identifier ("raw-00000012").
+// The fixed-width index keeps lexical order equal to numeric order
+// within a tier, so directory listings read in collection order.
+func WindowID(tier int, index int64) string {
+	return fmt.Sprintf("%s-%08d", TierName(tier), index)
+}
+
+// ParseWindowID inverts WindowID.
+func ParseWindowID(id string) (tier int, index int64, err error) {
+	pre, idxS, ok := strings.Cut(id, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("gwp: bad window id %q", id)
+	}
+	tier = -1
+	for t, p := range tierPrefixes {
+		if p == pre {
+			tier = t
+		}
+	}
+	if tier < 0 {
+		return 0, 0, fmt.Errorf("gwp: bad window tier in %q", id)
+	}
+	index, err = strconv.ParseInt(idxS, 10, 64)
+	if err != nil || index < 0 {
+		return 0, 0, fmt.Errorf("gwp: bad window index in %q", id)
+	}
+	return tier, index, nil
+}
+
+// Retention bounds the warehouse: how many windows each tier keeps and
+// how many of one tier fold into one window of the next.
+type Retention struct {
+	// RawRetain is how many raw windows stay on disk; RawPerHourly raw
+	// windows merge into one hourly window when the last of them lands.
+	RawRetain    int
+	RawPerHourly int
+	// HourlyRetain / HourlyPerDaily likewise for the hourly tier.
+	HourlyRetain   int
+	HourlyPerDaily int
+	// DailyRetain bounds the top tier; beyond it the oldest daily
+	// windows are deleted (the warehouse is bounded, not infinite).
+	DailyRetain int
+}
+
+// DefaultRetention holds 64 windows per tier with 8-way folds: with
+// 16-tick raw windows that is three orders of magnitude of virtual-time
+// history in constant disk.
+func DefaultRetention() Retention {
+	return Retention{RawRetain: 64, RawPerHourly: 8, HourlyRetain: 64, HourlyPerDaily: 8, DailyRetain: 64}
+}
+
+// withDefaults fills zero fields and clamps the geometry so merge
+// sources always outlive the merge that needs them (RawRetain must
+// cover at least one full hourly fold, ditto hourly).
+func (r Retention) withDefaults() Retention {
+	def := DefaultRetention()
+	if r.RawRetain <= 0 {
+		r.RawRetain = def.RawRetain
+	}
+	if r.RawPerHourly < 2 {
+		r.RawPerHourly = def.RawPerHourly
+	}
+	if r.HourlyRetain <= 0 {
+		r.HourlyRetain = def.HourlyRetain
+	}
+	if r.HourlyPerDaily < 2 {
+		r.HourlyPerDaily = def.HourlyPerDaily
+	}
+	if r.DailyRetain <= 0 {
+		r.DailyRetain = def.DailyRetain
+	}
+	if r.RawRetain < r.RawPerHourly {
+		r.RawRetain = r.RawPerHourly
+	}
+	if r.HourlyRetain < r.HourlyPerDaily {
+		r.HourlyRetain = r.HourlyPerDaily
+	}
+	return r
+}
+
+// Config parameterizes continuous collection (the daemon embeds one).
+type Config struct {
+	// Enabled turns collection on; Dir is the warehouse directory.
+	Enabled bool
+	Dir     string
+	// CollectEveryTicks is the window length: every N daemon ticks one
+	// raw window is captured (default 16).
+	CollectEveryTicks int
+	// SampleFraction of the enrolled machines is profiled per window
+	// (the paper's ~1% discipline; default 0.01), floored at
+	// MinPerWindow (default 1). The sampled set rotates deterministically
+	// with the window index so successive windows cover the fleet.
+	SampleFraction float64
+	MinPerWindow   int
+	// SampleIntervalBytes is the heap-profile sampling gap installed on
+	// enrolled machines (default 8 MiB — the daemon's sparse default).
+	SampleIntervalBytes int64
+	// Retention bounds the warehouse.
+	Retention Retention
+}
+
+// WithDefaults fills zero fields with the collection defaults.
+func (c Config) WithDefaults() Config {
+	if c.CollectEveryTicks <= 0 {
+		c.CollectEveryTicks = 16
+	}
+	if c.SampleFraction <= 0 || c.SampleFraction > 1 {
+		c.SampleFraction = 0.01
+	}
+	if c.MinPerWindow <= 0 {
+		c.MinPerWindow = 1
+	}
+	if c.SampleIntervalBytes <= 0 {
+		c.SampleIntervalBytes = 8 << 20
+	}
+	c.Retention = c.Retention.withDefaults()
+	return c
+}
+
+// Fingerprint names the collection geometry; it joins the owning run's
+// fingerprint so a warehouse is never resumed into a run that would
+// collect differently.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("gwp=every%d/frac%g/min%d/interval%d/ret%d.%d.%d.%d.%d",
+		c.CollectEveryTicks, c.SampleFraction, c.MinPerWindow, c.SampleIntervalBytes,
+		c.Retention.RawRetain, c.Retention.RawPerHourly,
+		c.Retention.HourlyRetain, c.Retention.HourlyPerDaily, c.Retention.DailyRetain)
+}
+
+// SampleOrds returns the enrolment ordinals profiled in the given
+// window: a strided selection whose offset rotates with the window
+// index (salted by the run seed), so the ~1% sample sweeps the whole
+// fleet over successive windows. Pure function of its arguments — the
+// property that makes collection resume bit-identically.
+func SampleOrds(seed uint64, window int64, machines int, frac float64, minPer int) []int {
+	if machines <= 0 {
+		return nil
+	}
+	n := int(float64(machines) * frac)
+	if n < minPer {
+		n = minPer
+	}
+	if n > machines {
+		n = machines
+	}
+	if n < 1 {
+		n = 1
+	}
+	stride := machines / n
+	if stride < 1 {
+		stride = 1
+	}
+	// Rotate the stride offset with the window index; the multiplier
+	// decorrelates the rotation from any periodicity in the workload.
+	offset := int((seed*0x9E3779B97F4A7C15 + uint64(window)) % uint64(stride))
+	ords := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		ords = append(ords, (offset+i*stride)%machines)
+	}
+	return ords
+}
+
+// SketchNames fixes the per-window scalar distributions and their
+// order — the same set the daemon streams fleet-wide, here restricted
+// to the machines sampled in one window. Order is part of the window
+// codec.
+var SketchNames = []string{
+	"machine_tick_ops",         // ops completed in the collection tick
+	"machine_malloc_ns_per_op", // mean malloc cost over the collection tick
+	"machine_heap_bytes",       // mapped heap at capture
+	"machine_frag_ppm",         // fragmentation ratio, ppm
+	"machine_hugepage_ppm",     // hugepage coverage, ppm
+}
+
+// NewSketchSet returns the fixed per-window sketch set, empty.
+func NewSketchSet() []*stats.Sketch {
+	set := make([]*stats.Sketch, len(SketchNames))
+	for i := range set {
+		set[i] = stats.NewDefaultSketch()
+	}
+	return set
+}
+
+// MachineRecord is the per-machine scalar row of a raw window: identity
+// plus the telemetry scalars captured at the collection tick. Merged
+// tiers drop the rows (only their sketch/profile aggregates survive),
+// which is what keeps warehouse disk constant.
+type MachineRecord struct {
+	MachineID int    `json:"machine_id"`
+	Ord       int    `json:"ord"` // enrolment ordinal
+	Seed      uint64 `json:"seed"`
+	App       string `json:"app"`
+	Platform  string `json:"platform"`
+
+	TickOps            int64   `json:"tick_ops"`
+	MallocNsPerOp      float64 `json:"malloc_ns_per_op"`
+	HeapBytes          int64   `json:"heap_bytes"`
+	LiveRequestedBytes int64   `json:"live_requested_bytes"`
+	LiveRoundedBytes   int64   `json:"live_rounded_bytes"`
+	FragRatioPPM       float64 `json:"frag_ratio_ppm"`
+	HugepagePPM        float64 `json:"hugepage_ppm"`
+	Restarts           int64   `json:"restarts"`
+}
+
+// WindowMeta identifies one profile window and its coverage.
+type WindowMeta struct {
+	ID        string `json:"id"`
+	Tier      int    `json:"tier"`
+	Index     int64  `json:"index"`
+	StartTick int64  `json:"start_tick"`
+	EndTick   int64  `json:"end_tick"`
+	StartNs   int64  `json:"start_ns"`
+	EndNs     int64  `json:"end_ns"`
+	Design    string `json:"design"`
+	// Machines counts the machine captures folded into this window
+	// (transitively, for merged tiers); Sources counts the raw windows.
+	Machines int `json:"machines"`
+	Sources  int `json:"sources"`
+}
+
+// Window is one versioned profile record: the unit of warehouse storage
+// and of every longitudinal query.
+type Window struct {
+	Meta WindowMeta
+	// Records holds the per-machine scalar rows (raw tier only).
+	Records []MachineRecord
+	// Frag is the Fig. 11 fragmentation decomposition summed over every
+	// (machine, window) capture folded in.
+	Frag core.FragZ
+	// Profiles are the merged heapz/allocz/peakheapz site tables.
+	Profiles []heapprof.Profile
+	// Sketches are the scalar distributions, in SketchNames order (may
+	// be empty for externally built windows, e.g. fleet-ab arms).
+	Sketches []*stats.Sketch
+}
+
+// Capture is one machine's contribution to a raw window.
+type Capture struct {
+	Record   MachineRecord
+	Frag     core.FragZ
+	Profiles []heapprof.Profile
+}
+
+// BuildWindow assembles a raw window from per-machine captures, folding
+// profiles and fragmentation in capture (enrolment) order — the
+// determinism contract. The meta's ID, Machines and Sources fields are
+// filled in.
+func BuildWindow(meta WindowMeta, caps []Capture) *Window {
+	meta.Tier = TierRaw
+	meta.ID = WindowID(TierRaw, meta.Index)
+	meta.Machines = len(caps)
+	meta.Sources = 1
+	w := &Window{Meta: meta, Sketches: NewSketchSet()}
+	for _, c := range caps {
+		r := c.Record
+		w.Records = append(w.Records, r)
+		w.Frag.Accumulate(c.Frag)
+		w.Profiles = heapprof.Merge(w.Profiles, c.Profiles)
+		w.Sketches[0].Add(float64(r.TickOps))
+		w.Sketches[1].Add(r.MallocNsPerOp)
+		w.Sketches[2].Add(float64(r.HeapBytes))
+		w.Sketches[3].Add(r.FragRatioPPM)
+		w.Sketches[4].Add(r.HugepagePPM)
+	}
+	for i := range w.Profiles {
+		w.Profiles[i].Design = meta.Design
+	}
+	return w
+}
+
+// MergeWindows folds source windows (ascending index order) into one
+// window of the given tier: profile tables merge site-wise, sketches
+// bucket-wise, fragmentation terms sum, and the per-machine rows are
+// dropped. Deterministic for a given source order.
+func MergeWindows(tier int, index int64, src []*Window) (*Window, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("gwp: merging zero windows")
+	}
+	meta := WindowMeta{
+		ID: WindowID(tier, index), Tier: tier, Index: index,
+		StartTick: src[0].Meta.StartTick, EndTick: src[0].Meta.EndTick,
+		StartNs: src[0].Meta.StartNs, EndNs: src[0].Meta.EndNs,
+		Design: src[0].Meta.Design,
+	}
+	out := &Window{Sketches: NewSketchSet()}
+	for _, w := range src {
+		if w.Meta.StartTick < meta.StartTick {
+			meta.StartTick = w.Meta.StartTick
+		}
+		if w.Meta.EndTick > meta.EndTick {
+			meta.EndTick = w.Meta.EndTick
+		}
+		if w.Meta.StartNs < meta.StartNs {
+			meta.StartNs = w.Meta.StartNs
+		}
+		if w.Meta.EndNs > meta.EndNs {
+			meta.EndNs = w.Meta.EndNs
+		}
+		meta.Machines += w.Meta.Machines
+		meta.Sources += w.Meta.Sources
+		out.Frag.Accumulate(w.Frag)
+		out.Profiles = heapprof.Merge(out.Profiles, w.Profiles)
+		if len(w.Sketches) != len(out.Sketches) {
+			continue // sketch-less window (externally built): nothing to fold
+		}
+		for i, sk := range w.Sketches {
+			out.Sketches[i].Merge(sk)
+		}
+	}
+	out.Meta = meta
+	return out, nil
+}

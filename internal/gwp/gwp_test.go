@@ -1,0 +1,339 @@
+package gwp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/heapprof"
+	"wsmalloc/internal/pageheap"
+)
+
+// testCapture builds a deterministic synthetic machine capture. ord
+// also perturbs every scalar so folds of different captures are
+// distinguishable from folds of the same capture twice.
+func testCapture(ord int) Capture {
+	o := int64(ord)
+	rec := MachineRecord{
+		MachineID: 100 + ord, Ord: ord, Seed: uint64(ord + 1),
+		App: "search", Platform: "small",
+		TickOps: 1000 + o, MallocNsPerOp: 12.5 + float64(ord),
+		HeapBytes: (o + 1) << 20, LiveRequestedBytes: (o + 1) << 19,
+		LiveRoundedBytes: (o+1)<<19 + 512,
+		FragRatioPPM:     1e5 + float64(ord)*100, HugepagePPM: 9e5 - float64(ord)*50,
+		Restarts: o % 2,
+	}
+	frag := core.FragZ{
+		LiveRequestedBytes: (o + 1) << 19, InternalSlackBytes: 512,
+		PerCPUCachedBytes: 4096, TransferCachedBytes: 2048,
+		CFLFreeSpanBytes: 1 << 12, FillerFreeBytes: 1 << 13,
+		SlackBytes: 256, CacheFreeBytes: 1 << 14,
+		UnmappedSubreleasedBytes: 128, HeapBytes: (o + 1) << 20,
+		PerClass: []core.ClassFragZ{
+			{Class: ord % 3, ObjSize: 32 << (ord % 3), PerCPUBytes: 1024, TransferBytes: 512, CFLFreeBytes: 256, CFLSpans: 2},
+		},
+		CFLFreeSpanAges: []pageheap.AgeBucket{
+			{LoNs: 1000, HiNs: 10000, Count: 3 + o},
+		},
+	}
+	mkProfile := func(view string) heapprof.Profile {
+		return heapprof.Profile{
+			View: view, SampleIntervalBytes: 8 << 20,
+			NowNs:   1e6,
+			Samples: 10 + o, Objects: 100 + float64(ord), Bytes: float64((o + 1) << 16),
+			Sites: []heapprof.Site{
+				{Workload: "search", SizeClass: 1, ClassBytes: 16, LifeExp: 4, Life: heapprof.LifeLabel(4),
+					Samples: 6, Objects: 60 + float64(ord), Bytes: float64((o + 1) << 15)},
+				{Workload: "ads", SizeClass: 3 + ord%2, ClassBytes: 64 << (ord % 2), LifeExp: 7, Life: heapprof.LifeLabel(7),
+					Samples: 4 + o, Objects: 40, Bytes: float64((o + 1) << 15)},
+			},
+		}
+	}
+	return Capture{
+		Record: rec, Frag: frag,
+		Profiles: []heapprof.Profile{mkProfile(heapprof.ViewHeapz), mkProfile(heapprof.ViewAllocz), mkProfile(heapprof.ViewPeakheapz)},
+	}
+}
+
+// testWindow builds a raw window at the given index from nCaps captures.
+func testWindow(index int64, nCaps int) *Window {
+	caps := make([]Capture, nCaps)
+	for i := range caps {
+		caps[i] = testCapture(i + int(index)) // rotate identity with the index
+	}
+	k := int64(16)
+	meta := WindowMeta{
+		Index: index, StartTick: index*k + 1, EndTick: (index + 1) * k,
+		StartNs: index * k * 2e6, EndNs: (index + 1) * k * 2e6,
+		Design: "optimized",
+	}
+	return BuildWindow(meta, caps)
+}
+
+func TestWindowIDRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		tier  int
+		index int64
+		want  string
+	}{
+		{TierRaw, 0, "raw-00000000"},
+		{TierHourly, 12, "hr-00000012"},
+		{TierDaily, 99999999, "day-99999999"},
+	} {
+		id := WindowID(tc.tier, tc.index)
+		if id != tc.want {
+			t.Errorf("WindowID(%d, %d) = %q, want %q", tc.tier, tc.index, id, tc.want)
+		}
+		tier, index, err := ParseWindowID(id)
+		if err != nil || tier != tc.tier || index != tc.index {
+			t.Errorf("ParseWindowID(%q) = %d, %d, %v", id, tier, index, err)
+		}
+	}
+	for _, bad := range []string{"", "raw", "raw-", "raw-x", "weekly-00000001", "raw--1", "raw-minus1"} {
+		if _, _, err := ParseWindowID(bad); err == nil {
+			t.Errorf("ParseWindowID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSampleOrdsContract(t *testing.T) {
+	// Pure function: identical args give identical slices.
+	a := SampleOrds(7, 3, 200, 0.01, 1)
+	b := SampleOrds(7, 3, 200, 0.01, 1)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("SampleOrds not stable: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SampleOrds not pure: %v vs %v", a, b)
+		}
+	}
+	// Bounds and uniqueness at every fleet size and window.
+	for _, machines := range []int{1, 2, 7, 64, 1000} {
+		for win := int64(0); win < 20; win++ {
+			ords := SampleOrds(1, win, machines, 0.01, 1)
+			if len(ords) == 0 {
+				t.Fatalf("machines=%d window=%d: empty sample", machines, win)
+			}
+			seen := map[int]bool{}
+			for _, o := range ords {
+				if o < 0 || o >= machines {
+					t.Fatalf("machines=%d window=%d: ord %d out of range", machines, win, o)
+				}
+				if seen[o] {
+					t.Fatalf("machines=%d window=%d: ord %d repeated", machines, win, o)
+				}
+				seen[o] = true
+			}
+		}
+	}
+	// Rotation: successive windows sweep the fleet (union over enough
+	// windows covers every machine).
+	covered := map[int]bool{}
+	for win := int64(0); win < 400; win++ {
+		for _, o := range SampleOrds(1, win, 100, 0.01, 1) {
+			covered[o] = true
+		}
+	}
+	if len(covered) != 100 {
+		t.Errorf("rotating sample covered %d/100 machines", len(covered))
+	}
+	// minPer floors the count; frac caps it at the fleet.
+	if got := len(SampleOrds(1, 0, 50, 0.01, 4)); got != 4 {
+		t.Errorf("minPer floor: got %d machines, want 4", got)
+	}
+	if got := len(SampleOrds(1, 0, 3, 1.0, 10)); got != 3 {
+		t.Errorf("frac cap: got %d machines, want 3", got)
+	}
+}
+
+func TestBuildWindowFolds(t *testing.T) {
+	win := testWindow(0, 3)
+	if win.Meta.ID != "raw-00000000" || win.Meta.Machines != 3 || win.Meta.Sources != 1 {
+		t.Fatalf("meta = %+v", win.Meta)
+	}
+	if len(win.Records) != 3 {
+		t.Fatalf("records = %d, want 3", len(win.Records))
+	}
+	// Fragmentation terms sum across captures.
+	var wantLive int64
+	for i := 0; i < 3; i++ {
+		wantLive += testCapture(i).Frag.LiveRequestedBytes
+	}
+	if win.Frag.LiveRequestedBytes != wantLive {
+		t.Errorf("frag live = %d, want %d", win.Frag.LiveRequestedBytes, wantLive)
+	}
+	// All three views survive with the design stamped.
+	views := map[string]bool{}
+	for _, p := range win.Profiles {
+		views[p.View] = true
+		if p.Design != "optimized" {
+			t.Errorf("profile %s design %q", p.View, p.Design)
+		}
+	}
+	for _, v := range []string{heapprof.ViewHeapz, heapprof.ViewAllocz, heapprof.ViewPeakheapz} {
+		if !views[v] {
+			t.Errorf("view %s missing", v)
+		}
+	}
+	// Sketches carry one sample per capture.
+	for i, sk := range win.Sketches {
+		if sk.Count() != 3 {
+			t.Errorf("sketch %s count %g, want 3", SketchNames[i], sk.Count())
+		}
+	}
+}
+
+func TestMergeWindowsDeterministic(t *testing.T) {
+	src := []*Window{testWindow(0, 2), testWindow(1, 2), testWindow(2, 2)}
+	m1, err := MergeWindows(TierHourly, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MergeWindows(TierHourly, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := EncodeWindow(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodeWindow(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("MergeWindows is not deterministic")
+	}
+	if m1.Meta.ID != "hr-00000000" || m1.Meta.Machines != 6 || m1.Meta.Sources != 3 {
+		t.Errorf("merged meta = %+v", m1.Meta)
+	}
+	if len(m1.Records) != 0 {
+		t.Errorf("merged window kept %d machine records", len(m1.Records))
+	}
+	if m1.Meta.StartTick != src[0].Meta.StartTick || m1.Meta.EndTick != src[2].Meta.EndTick {
+		t.Errorf("merged span [%d,%d]", m1.Meta.StartTick, m1.Meta.EndTick)
+	}
+	if _, err := MergeWindows(TierHourly, 0, nil); err == nil {
+		t.Error("merging zero windows accepted")
+	}
+}
+
+func TestMergeWindowsSkipsSketchless(t *testing.T) {
+	// Externally built windows (fleet-ab arms) carry no sketches; the
+	// merge folds their profiles and frag but leaves sketches untouched.
+	a := testWindow(0, 2)
+	b := testWindow(1, 2)
+	b.Sketches = nil
+	m, err := MergeWindows(TierHourly, 0, []*Window{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sketches[0].Count() != a.Sketches[0].Count() {
+		t.Errorf("sketch count %g, want %g (sketch-less source folded)", m.Sketches[0].Count(), a.Sketches[0].Count())
+	}
+	if m.Frag.LiveRequestedBytes != a.Frag.LiveRequestedBytes+b.Frag.LiveRequestedBytes {
+		t.Error("sketch-less source's frag not folded")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	win := testWindow(5, 4)
+	blob, err := EncodeWindow(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic encoding.
+	blob2, err := EncodeWindow(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("EncodeWindow is not deterministic")
+	}
+	got, err := DecodeWindow(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != win.Meta {
+		t.Errorf("meta round trip: %+v != %+v", got.Meta, win.Meta)
+	}
+	if len(got.Records) != len(win.Records) || got.Records[0] != win.Records[0] {
+		t.Error("records round trip mismatch")
+	}
+	if got.Frag.HeapBytes != win.Frag.HeapBytes || len(got.Frag.PerClass) != len(win.Frag.PerClass) {
+		t.Error("frag round trip mismatch")
+	}
+	if len(got.Profiles) != len(win.Profiles) {
+		t.Fatalf("profiles round trip: %d != %d", len(got.Profiles), len(win.Profiles))
+	}
+	for i := range got.Profiles {
+		if got.Profiles[i].View != win.Profiles[i].View || got.Profiles[i].Samples != win.Profiles[i].Samples {
+			t.Errorf("profile %d mismatch", i)
+		}
+	}
+	for i := range got.Sketches {
+		if got.Sketches[i].Count() != win.Sketches[i].Count() ||
+			got.Sketches[i].Quantile(0.5) != win.Sketches[i].Quantile(0.5) {
+			t.Errorf("sketch %s round trip mismatch", SketchNames[i])
+		}
+	}
+	// Re-encoding the decoded window reproduces the same bytes — the
+	// property warehouse replay idempotency rests on.
+	blob3, err := EncodeWindow(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob3) {
+		t.Fatal("decode→encode is not byte-identical")
+	}
+}
+
+func TestCodecSketchlessRoundTrip(t *testing.T) {
+	win := testWindow(0, 2)
+	win.Sketches = nil
+	blob, err := EncodeWindow(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWindow(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sketches != nil {
+		t.Errorf("sketch-less window decoded with %d sketches", len(got.Sketches))
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	blob, err := EncodeWindow(testWindow(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation at every length must error, never panic.
+	for n := 0; n < len(blob); n += 7 {
+		if _, err := DecodeWindow(blob[:n]); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+	// Single-bit flips must error (checksum) or at worst decode to an
+	// error; silent acceptance of changed bytes is the failure mode.
+	for off := 0; off < len(blob); off += 13 {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0x20
+		if _, err := DecodeWindow(mut); err == nil {
+			t.Fatalf("bit flip at %d accepted", off)
+		}
+	}
+	// A window whose meta ID disagrees with its tier/index is rejected.
+	win := testWindow(3, 1)
+	win.Meta.ID = "raw-00000099"
+	blob, err = EncodeWindow(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeWindow(blob); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Errorf("mismatched id decoded: %v", err)
+	}
+}

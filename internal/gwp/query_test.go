@@ -1,0 +1,275 @@
+package gwp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wsmalloc/internal/heapprof"
+)
+
+// queryWarehouse builds a small populated warehouse for query tests:
+// 8 raw windows → 2 hourly → 1 daily under testRetention.
+func queryWarehouse(t *testing.T) *Warehouse {
+	t.Helper()
+	w, err := Open(t.TempDir(), "fp", testRetention(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		if err := w.Append(testWindow(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func TestSelectIDs(t *testing.T) {
+	w := queryWarehouse(t)
+	for _, tc := range []struct {
+		spec string
+		want int
+	}{
+		{"all", 11}, {"", 11}, {"raw", 8}, {"hr", 2}, {"day", 1}, {"last:3", 3},
+		{"raw-00000002,hr-00000000", 2},
+	} {
+		ids, err := SelectIDs(w, tc.spec)
+		if err != nil {
+			t.Fatalf("spec %q: %v", tc.spec, err)
+		}
+		if len(ids) != tc.want {
+			t.Errorf("spec %q → %d windows (%v), want %d", tc.spec, len(ids), ids, tc.want)
+		}
+	}
+	ids, _ := SelectIDs(w, "last:3")
+	if ids[len(ids)-1] != "raw-00000007" {
+		t.Errorf("last:3 = %v", ids)
+	}
+	for _, bad := range []string{"last:0", "last:x", "weekly-00000001", "raw-00000001,bogus"} {
+		if _, err := SelectIDs(w, bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestLoadMergedEqualsTierFold(t *testing.T) {
+	// Querying the four raw sources of an hourly window must equal
+	// querying the hourly window itself (same deterministic fold) —
+	// modulo the synthetic merge ID.
+	w := queryWarehouse(t)
+	var ids []string
+	for i := int64(4); i < 8; i++ {
+		ids = append(ids, WindowID(TierRaw, i))
+	}
+	merged, err := w.LoadMerged(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Meta.ID != "merge[raw-00000004..raw-00000007]" {
+		t.Errorf("merge id = %q", merged.Meta.ID)
+	}
+	hr, err := w.Load("hr-00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mergedCDF, hrCDF bytes.Buffer
+	rows, err := SizeCDF(merged, heapprof.ViewAllocz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSizeCDF(&mergedCDF, rows); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = SizeCDF(hr, heapprof.ViewAllocz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSizeCDF(&hrCDF, rows); err != nil {
+		t.Fatal(err)
+	}
+	if mergedCDF.String() != hrCDF.String() {
+		t.Error("CDF over raw sources differs from CDF over their hourly fold")
+	}
+	// Single-window selection returns the window as-is.
+	one, err := w.LoadMerged([]string{"raw-00000004"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Meta.ID != "raw-00000004" || len(one.Records) != 2 {
+		t.Errorf("single-window load = %+v", one.Meta)
+	}
+	if _, err := w.LoadMerged(nil); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+func TestSizeCDFShape(t *testing.T) {
+	w := queryWarehouse(t)
+	win, err := w.Load("raw-00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := SizeCDF(win, heapprof.ViewAllocz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty CDF")
+	}
+	prevO, prevB := 0.0, 0.0
+	for _, r := range rows {
+		if r.ByObjects < prevO || r.ByBytes < prevB {
+			t.Fatalf("CDF not monotone at %g", r.SizeBytes)
+		}
+		prevO, prevB = r.ByObjects, r.ByBytes
+	}
+	last := rows[len(rows)-1]
+	if last.ByObjects < 0.999 || last.ByBytes < 0.999 {
+		t.Errorf("CDF tail = %g/%g, want ~1", last.ByObjects, last.ByBytes)
+	}
+	if _, err := SizeCDF(win, "bogus"); err == nil {
+		t.Error("unknown view accepted")
+	}
+}
+
+func TestFragTrendAndBreakdown(t *testing.T) {
+	w := queryWarehouse(t)
+	ids, _ := SelectIDs(w, "raw")
+	wins, err := w.LoadAll(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := FragTrend(wins)
+	if len(rows) != 8 {
+		t.Fatalf("trend rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	if err := WriteFragTrend(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(head, "cfl_free_span") || !strings.Contains(head, "subreleased") {
+		t.Errorf("trend header = %q", head)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 9 {
+		t.Errorf("trend CSV lines = %d", got)
+	}
+
+	win := wins[0]
+	for _, by := range []string{"workload", "class", "life"} {
+		rows, err := Breakdown(win, heapprof.ViewAllocz, by)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 0 {
+			t.Fatalf("empty %s breakdown", by)
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Key == rows[i-1].Key {
+				t.Fatalf("%s breakdown repeats key %q", by, rows[i].Key)
+			}
+		}
+	}
+	bd, _ := Breakdown(win, heapprof.ViewAllocz, "workload")
+	keys := make([]string, len(bd))
+	for i, r := range bd {
+		keys[i] = r.Key
+	}
+	if strings.Join(keys, ",") != "ads,search" {
+		t.Errorf("workload breakdown keys = %v", keys)
+	}
+	if _, err := Breakdown(win, heapprof.ViewAllocz, "bogus"); err == nil {
+		t.Error("unknown axis accepted")
+	}
+}
+
+func TestScalarTrend(t *testing.T) {
+	w := queryWarehouse(t)
+	ids, _ := SelectIDs(w, "raw")
+	wins, err := w.LoadAll(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Trend(wins, "machine_frag_ppm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("trend rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Count != 2 {
+			t.Errorf("window %s count = %g, want 2", r.ID, r.Count)
+		}
+		if r.P25 > r.P50 || r.P50 > r.P90 || r.P90 > r.P99 || r.P99 > r.Max {
+			t.Errorf("window %s quantiles not monotone: %+v", r.ID, r)
+		}
+	}
+	// Sketch-less windows are skipped, not zero-filled.
+	nosk := testWindow(99, 1)
+	nosk.Sketches = nil
+	rows, err = Trend([]*Window{nosk}, "machine_frag_ppm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("sketch-less window produced %d trend rows", len(rows))
+	}
+	if _, err := Trend(wins, "bogus"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestFlattenWindowForProfdiff(t *testing.T) {
+	win := testWindow(0, 2)
+	m := FlattenWindow(win)
+	if len(m) == 0 {
+		t.Fatal("empty metrics")
+	}
+	if m["meta/machines"] != 2 {
+		t.Errorf("meta/machines = %g", m["meta/machines"])
+	}
+	if m["frag/heap.bytes"] != float64(win.Frag.HeapBytes) {
+		t.Errorf("frag/heap.bytes = %g, want %d", m["frag/heap.bytes"], win.Frag.HeapBytes)
+	}
+	sawSite := false
+	for k := range m {
+		if strings.HasPrefix(k, "allocz/") {
+			sawSite = true
+		}
+	}
+	if !sawSite {
+		t.Error("no allocz site metrics in flattened window")
+	}
+	// Identical windows flatten identically (diff = no change) even when
+	// their labels differ — labels are stripped.
+	other := testWindow(0, 2)
+	for i := range other.Profiles {
+		other.Profiles[i].Label = "arm-b"
+	}
+	m2 := FlattenWindow(other)
+	if len(m) != len(m2) {
+		t.Fatalf("flatten size differs: %d vs %d", len(m), len(m2))
+	}
+	for k, v := range m {
+		if m2[k] != v {
+			t.Errorf("metric %s differs: %g vs %g", k, v, m2[k])
+		}
+	}
+}
+
+func TestWriteMetaList(t *testing.T) {
+	w := queryWarehouse(t)
+	metas, err := w.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMetaList(&buf, metas); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "raw-00000007") || !strings.Contains(out, "hr-00000001") {
+		t.Errorf("meta list:\n%s", out)
+	}
+}

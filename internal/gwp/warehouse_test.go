@@ -1,0 +1,237 @@
+package gwp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testRetention() Retention {
+	return Retention{RawRetain: 8, RawPerHourly: 4, HourlyRetain: 4, HourlyPerDaily: 2, DailyRetain: 4}
+}
+
+// dirBytes reads every file of a directory into a name→content map.
+func dirBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string][]byte{}
+	for _, ent := range ents {
+		blob, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m[ent.Name()] = blob
+	}
+	return m
+}
+
+func sameDir(t *testing.T, a, b map[string][]byte) {
+	t.Helper()
+	for name, blob := range a {
+		other, ok := b[name]
+		if !ok {
+			t.Errorf("file %s missing from second warehouse", name)
+			continue
+		}
+		if !bytes.Equal(blob, other) {
+			t.Errorf("file %s differs between warehouses", name)
+		}
+	}
+	for name := range b {
+		if _, ok := a[name]; !ok {
+			t.Errorf("extra file %s in second warehouse", name)
+		}
+	}
+}
+
+func TestWarehouseAppendMergePrune(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, "test fp", testRetention(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 raw windows with RawPerHourly=4 → 4 hourly; HourlyPerDaily=2
+	// → 2 daily.
+	for i := int64(0); i < 16; i++ {
+		if err := w.Append(testWindow(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.WindowsTotal() != 16 {
+		t.Fatalf("WindowsTotal = %d, want 16", w.WindowsTotal())
+	}
+	ids, err := w.ListIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[int]int{}
+	for _, id := range ids {
+		tier, _, _ := ParseWindowID(id)
+		count[tier]++
+	}
+	if count[TierRaw] != 8 { // RawRetain=8 keeps indices 8..15; each append pruned maxRaw-8
+		t.Errorf("raw windows on disk = %d: %v", count[TierRaw], ids)
+	}
+	if count[TierHourly] != 4 || count[TierDaily] != 2 {
+		t.Errorf("hourly/daily = %d/%d: %v", count[TierHourly], count[TierDaily], ids)
+	}
+
+	// Hourly content equals merging its raw sources explicitly.
+	hr, err := w.Load("hr-00000003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src []*Window
+	for i := int64(12); i < 16; i++ {
+		win, err := w.Load(WindowID(TierRaw, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src = append(src, win)
+	}
+	want, err := MergeWindows(TierHourly, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := EncodeWindow(hr)
+	wb, _ := EncodeWindow(want)
+	if !bytes.Equal(hb, wb) {
+		t.Error("hourly window differs from explicit merge of its sources")
+	}
+	if hr.Meta.Machines != 8 || hr.Meta.Sources != 4 {
+		t.Errorf("hourly meta = %+v", hr.Meta)
+	}
+}
+
+func TestWarehouseGapRejected(t *testing.T) {
+	w, err := Open(t.TempDir(), "fp", testRetention(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testWindow(1, 1)); err == nil {
+		t.Fatal("append with a gap accepted")
+	}
+	if err := w.Append(testWindow(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	hr := testWindow(1, 1)
+	hr.Meta.Tier = TierHourly
+	hr.Meta.ID = WindowID(TierHourly, 1)
+	if err := w.Append(hr); err == nil {
+		t.Fatal("append of a non-raw window accepted")
+	}
+}
+
+func TestWarehouseReplayIdempotent(t *testing.T) {
+	// Uninterrupted run: 10 windows straight through.
+	dirA := t.TempDir()
+	wa, err := Open(dirA, "fp", testRetention(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := wa.Append(testWindow(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crashed run: 6 windows, reopen with resume, replay 4..9 (a resumed
+	// daemon re-collects from its checkpoint tick, which may predate the
+	// last window the dead process appended).
+	dirB := t.TempDir()
+	wb, err := Open(dirB, "fp", testRetention(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 6; i++ {
+		if err := wb.Append(testWindow(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wb2, err := Open(dirB, "fp", testRetention(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb2.WindowsTotal() != 6 {
+		t.Fatalf("resumed WindowsTotal = %d, want 6", wb2.WindowsTotal())
+	}
+	for i := int64(4); i < 10; i++ {
+		if err := wb2.Append(testWindow(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameDir(t, dirBytes(t, dirA), dirBytes(t, dirB))
+}
+
+func TestWarehouseResumeFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, "fp one", testRetention(), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "fp two", testRetention(), true); err == nil {
+		t.Fatal("resume with a different fingerprint accepted")
+	}
+	other := testRetention()
+	other.RawRetain = 16
+	if _, err := Open(dir, "fp one", other, true); err == nil {
+		t.Fatal("resume with different retention accepted")
+	}
+	if _, err := Open(dir, "fp one", testRetention(), true); err != nil {
+		t.Fatal(err)
+	}
+	// Resume of a missing warehouse fails; a fresh open wipes stale state.
+	if _, err := Open(t.TempDir(), "fp", testRetention(), true); err == nil {
+		t.Fatal("resume of an empty dir accepted")
+	}
+	w2, err := Open(dir, "fresh fp", testRetention(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.WindowsTotal() != 0 {
+		t.Errorf("fresh open kept NextRaw = %d", w2.WindowsTotal())
+	}
+}
+
+func TestWarehouseOpenRead(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, "fp", testRetention(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testWindow(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fingerprint() != "fp" || r.WindowsTotal() != 1 {
+		t.Errorf("read-only warehouse: fp %q total %d", r.Fingerprint(), r.WindowsTotal())
+	}
+	if err := r.Append(testWindow(1, 1)); err == nil {
+		t.Fatal("append on a read-only warehouse accepted")
+	}
+	win, err := r.Load("raw-00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Meta.Machines != 2 {
+		t.Errorf("loaded window machines = %d", win.Meta.Machines)
+	}
+	// Load of a tampered file errors.
+	path := filepath.Join(dir, "raw-00000000.gwp")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 1
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("raw-00000000"); err == nil {
+		t.Fatal("tampered window loaded")
+	}
+}

@@ -129,6 +129,12 @@ func (p *Profiler) DecodeState(d *snapshot.Decoder) *Profiler {
 		p.live[a] = s
 	}
 	p.liveSamples = d.I64()
+	// The counting filter is derived state: rebuild it from the live
+	// table (bucket counts are order-independent).
+	p.liveFilter = [liveFilterSize]uint32{}
+	for a := range p.live {
+		p.liveFilter[liveFilterIdx(a)]++
+	}
 
 	n = d.Len(4 + 8*6)
 	p.cum = make(map[siteKey]siteAcc, n)

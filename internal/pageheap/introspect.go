@@ -205,6 +205,22 @@ func (p *PageHeap) Introspect(now int64) Introspection {
 	return z
 }
 
+// FragIntrospect computes just the back-end scalars of the Fig. 11
+// fragmentation decomposition — filler free and released bytes, region
+// slack, hugecache free — without the per-hugepage enumeration, RLE
+// occupancy maps and address sort Introspect pays for the /pageheapz
+// document. The continuous-profiling collection tick calls this once
+// per sampled machine, so it must stay O(fillers + regions), not
+// O(hugepages).
+func (p *PageHeap) FragIntrospect() (fillerFree, fillerReleased, slack, cacheFree int64) {
+	for _, f := range p.fillers {
+		fs := f.Stats()
+		fillerFree += fs.FreeBytes
+		fillerReleased += fs.ReleasedBytes
+	}
+	return fillerFree, fillerReleased, p.region.Stats().FreeBytes, p.cache.CachedBytes()
+}
+
 // WriteIntrospection renders the snapshot as the human-readable
 // /pageheapz text page.
 func WriteIntrospection(w io.Writer, z Introspection) error {

@@ -134,6 +134,18 @@ func armPrefix(label, design string) string {
 	return tag + "/"
 }
 
+// FlattenProfiles flattens in-memory heap profiles into the same
+// name → value map Parse produces for serialized exports. The gwp query
+// layer diffs warehouse windows with it, so a window compares cleanly
+// against any other window or exported file.
+func FlattenProfiles(profiles ...heapprof.Profile) Metrics {
+	m := Metrics{}
+	for _, p := range profiles {
+		addProfile(m, p)
+	}
+	return m
+}
+
 // addProfile flattens one heap-profile view: totals plus one
 // objects/bytes pair per site.
 func addProfile(m Metrics, p heapprof.Profile) {

@@ -180,6 +180,73 @@ func TestSketchCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// Merge's degenerate operands: an empty sketch must be a merge
+// identity on either side, and one-sample sketches must fold exactly —
+// these are the boundary cases the fleet reducer hits on every window
+// whose sampled machines saw no events (empty per-machine sketch) or a
+// single event.
+func TestSketchMergeEmptyAndSingleSample(t *testing.T) {
+	const alpha = 0.01
+	fresh := func() *Sketch { return NewSketch(alpha, DefaultSketchBuckets) }
+
+	// empty.Merge(empty) stays empty.
+	a, b := fresh(), fresh()
+	a.Merge(b)
+	if a.Count() != 0 || a.BucketCount() != 0 {
+		t.Fatalf("empty+empty: count=%g buckets=%d", a.Count(), a.BucketCount())
+	}
+
+	// Merging an empty operand into a populated sketch must not perturb
+	// its state at the byte level.
+	p := fresh()
+	for i := 1; i <= 100; i++ {
+		p.Add(float64(i))
+	}
+	before := encodeSketch(p)
+	p.Merge(fresh())
+	p.Merge(nil)
+	if !bytes.Equal(before, encodeSketch(p)) {
+		t.Fatal("merging an empty/nil operand changed the receiver's state")
+	}
+
+	// Merging a populated sketch into an empty receiver reproduces the
+	// operand's state exactly.
+	q := fresh()
+	q.Merge(p)
+	if !bytes.Equal(encodeSketch(q), encodeSketch(p)) {
+		t.Fatal("empty.Merge(populated) did not reproduce the operand's state")
+	}
+
+	// One-sample operands: each value lands in its own bucket and the
+	// scalar summaries are exact.
+	s1, s2 := fresh(), fresh()
+	s1.Add(3)
+	s2.Add(7000)
+	s1.Merge(s2)
+	if s1.Count() != 2 {
+		t.Fatalf("single+single count = %g, want 2", s1.Count())
+	}
+	if s1.Min() != 3 || s1.Max() != 7000 {
+		t.Fatalf("single+single min/max = %g/%g, want 3/7000", s1.Min(), s1.Max())
+	}
+	for _, c := range []struct{ p, want float64 }{{0, 3}, {0.5, 3}, {1, 7000}} {
+		got := s1.Quantile(c.p)
+		if math.Abs(got-c.want)/c.want > alpha {
+			t.Fatalf("single+single q%.1f = %g, want %g within %.0f%%", c.p, got, c.want, alpha*100)
+		}
+	}
+
+	// Single sample into empty, both orders, agree with each other.
+	m1, m2 := fresh(), fresh()
+	one := fresh()
+	one.Add(42)
+	m1.Merge(one)
+	m2.Add(42)
+	if !bytes.Equal(encodeSketch(m1), encodeSketch(m2)) {
+		t.Fatal("empty.Merge(one-sample) differs from adding the sample directly")
+	}
+}
+
 func TestSketchReset(t *testing.T) {
 	s := NewDefaultSketch()
 	s.Add(5)

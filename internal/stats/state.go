@@ -13,6 +13,34 @@ func (h *LogHistogram) EncodeState(e *snapshot.Encoder) {
 	}
 }
 
+// DecodeLogHistogram reads a histogram state written by EncodeState and
+// constructs the histogram it describes — the self-describing
+// counterpart of DecodeState for callers restoring histograms they did
+// not pre-register (a machine's carry registry holds whatever its dead
+// processes observed). Returns nil with the decoder failed on bad input.
+func DecodeLogHistogram(d *snapshot.Decoder) *LogHistogram {
+	minExp, maxExp := d.Int(), d.Int()
+	if d.Err() != nil {
+		return nil
+	}
+	if maxExp <= minExp || maxExp-minExp > 1024 {
+		d.Fail("stats: histogram range [%d,%d] in snapshot", minExp, maxExp)
+		return nil
+	}
+	h := NewLogHistogram(minExp, maxExp)
+	h.total = d.F64()
+	if n := d.Len(8); d.Err() == nil && n != len(h.counts) {
+		d.Fail("stats: histogram has %d buckets in snapshot, %d constructed", n, len(h.counts))
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	for i := range h.counts {
+		h.counts[i] = d.F64()
+	}
+	return h
+}
+
 // EncodeState serializes the sketch: geometry, accumulators, and the
 // bucket array. Encoding the exact float bit patterns is what makes
 // "merge is byte-deterministic at any -j" a testable statement.

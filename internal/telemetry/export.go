@@ -117,6 +117,8 @@ var metricHelp = map[string]string{
 	"time_prefetch_ns":               "Modeled virtual nanoseconds spent prefetching.",
 	"time_sampled_ns":                "Modeled virtual nanoseconds spent in sampling slow paths.",
 	"time_other_ns":                  "Modeled virtual nanoseconds not attributed to a tier.",
+	"gwp_windows_total":              "Profile windows appended to the continuous-profiling warehouse.",
+	"gwp_last_window_index":          "Raw-tier index of the newest warehouse window behind this scrape (window ID raw-<index>).",
 }
 
 // helpFor returns the HELP text for a family, synthesizing one from the

@@ -310,3 +310,44 @@ func TestSeriesRing(t *testing.T) {
 		t.Errorf("Len = %d", r.Len())
 	}
 }
+
+// The append that lands exactly at capacity is the wrap boundary: the
+// ring flips to full with the cursor at slot 0, nothing is dropped
+// yet, and the very next append must overwrite the oldest snapshot —
+// an off-by-one here would either drop the capacity-th snapshot or
+// overwrite the newest instead of the oldest.
+func TestSeriesRingWrapAtExactCapacity(t *testing.T) {
+	const capacity = 4
+	r := NewSeriesRing(capacity)
+	for i := 1; i <= capacity; i++ {
+		r.Append(Snapshot{NowNs: int64(i)})
+	}
+	got := r.Snapshots()
+	if len(got) != capacity {
+		t.Fatalf("at exact capacity Len = %d, want %d", len(got), capacity)
+	}
+	for i, s := range got {
+		if s.NowNs != int64(i+1) {
+			t.Fatalf("at exact capacity snapshot %d has tick %d, want %d", i, s.NowNs, i+1)
+		}
+	}
+	if r.Total() != capacity || r.Dropped() != 0 {
+		t.Fatalf("at exact capacity Total/Dropped = %d/%d, want %d/0", r.Total(), r.Dropped(), capacity)
+	}
+	if last, ok := r.Latest(); !ok || last.NowNs != capacity {
+		t.Fatalf("at exact capacity Latest = %v, %v", last, ok)
+	}
+
+	// The first post-capacity append must evict snapshot 1 and only it.
+	r.Append(Snapshot{NowNs: capacity + 1})
+	got = r.Snapshots()
+	if len(got) != capacity || got[0].NowNs != 2 || got[capacity-1].NowNs != capacity+1 {
+		t.Fatalf("after wrap Snapshots = %v, want ticks 2..%d", got, capacity+1)
+	}
+	if r.Total() != capacity+1 || r.Dropped() != 1 {
+		t.Fatalf("after wrap Total/Dropped = %d/%d, want %d/1", r.Total(), r.Dropped(), capacity+1)
+	}
+	if last, ok := r.Latest(); !ok || last.NowNs != capacity+1 {
+		t.Fatalf("after wrap Latest = %v, %v", last, ok)
+	}
+}

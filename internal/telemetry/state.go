@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"wsmalloc/internal/snapshot"
+	"wsmalloc/internal/stats"
 )
 
 // EncodeState serializes the registry: counter sums, gauge values, and
@@ -54,9 +55,12 @@ func (r *Registry) EncodeState(e *snapshot.Encoder) {
 }
 
 // DecodeState restores metrics saved by EncodeState. Metrics are
-// get-or-created by name, so pre-registered counters (the per-kind
+// get-or-created by name, so pre-registered metrics (the per-kind
 // event counters, core's histograms) are overwritten in place and
-// counters unknown to this build are recreated faithfully.
+// metrics unknown to this registry — including histograms, whose state
+// is self-describing — are recreated faithfully. Histogram recreation
+// is what lets a bare carry registry restore the merged histograms of
+// a machine's pre-checkpoint process deaths.
 func (r *Registry) DecodeState(d *snapshot.Decoder) {
 	d.Section("telemetry.registry")
 
@@ -94,8 +98,16 @@ func (r *Registry) DecodeState(d *snapshot.Decoder) {
 		h := r.histograms[name]
 		r.mu.RUnlock()
 		if h == nil {
-			d.Fail("telemetry: snapshot histogram %q not registered in this sink", name)
-			return
+			nh := stats.DecodeLogHistogram(d)
+			if d.Err() != nil {
+				return
+			}
+			r.mu.Lock()
+			if r.histograms[name] == nil {
+				r.histograms[name] = &Histogram{name: name, h: nh}
+			}
+			r.mu.Unlock()
+			continue
 		}
 		h.mu.Lock()
 		h.h.DecodeState(d)

@@ -5,11 +5,16 @@
 # (which covers the parallel fleet/experiment execution engine, its
 # determinism-equivalence tests, and the heap-profiler tests), a short
 # fuzz smoke on the fuzz targets (size classes, alloc/free, the profdiff
-# parser), a benchmark regression smoke (cmd/benchgate gates the fleet
+# parser, the profile-warehouse codec), a benchmark regression smoke (cmd/benchgate gates the fleet
 # A/B, nil-sink telemetry, hot-loop, and daemon-tick throughput against
 # the committed bench_smoke baseline in BENCH_fleet.json, failing on a
 # >10% drop, and pins the daemon's observability overhead — observed vs
-# telemetry-off tick — under 5%), a fleet-daemon smoke (start the
+# telemetry-off tick — under 5%, and the continuous-profiling overhead
+# — observed vs observed+gwp tick — under 5%), a continuous-profiling
+# smoke (three fleet-daemon runs — -j 1, -j 4, and kill/resume across a
+# mid-cycle checkpoint — must write bit-identical profile warehouses,
+# and gwpquery must reproduce identical size-CDF/fragmentation/profdiff
+# output from each), a fleet-daemon smoke (start the
 # control plane, scrape the live pages, inject a fault burst through the
 # admin API, require the watchdog to alert, quit cleanly), the
 # hardening self-tests (sanitizer corruption detection +
@@ -44,6 +49,7 @@ go test ./internal/core/ -run '^$' -fuzz FuzzAllocFree -fuzztime "$FUZZTIME"
 go test ./internal/core/ -run '^$' -fuzz FuzzPooledNodeReuse -fuzztime "$FUZZTIME"
 go test ./internal/profdiff/ -run '^$' -fuzz FuzzParse -fuzztime "$FUZZTIME"
 go test ./internal/policy/ -run '^$' -fuzz FuzzDesignPointParse -fuzztime "$FUZZTIME"
+go test ./internal/gwp/ -run '^$' -fuzz FuzzWindowDecode -fuzztime "$FUZZTIME"
 
 echo "==> policy registry coverage (every registered policy allocates cleanly)"
 go test ./internal/policy/ -run TestRegistryCoverage -count 1
@@ -67,6 +73,15 @@ go test ./internal/fleet/ -run '^$' -bench '^BenchmarkHotLoop$' -benchtime 0.3s 
 # of 8 tick pairs, so 12x is ~100 measured pairs per repetition.
 go test ./internal/daemon/ -run '^$' -bench '^BenchmarkDaemonTick$' -benchtime 40x >> "$BENCHOUT"
 go test ./internal/daemon/ -run '^$' -bench '^BenchmarkDaemonObserveOverhead$' -benchtime 12x -count 3 >> "$BENCHOUT"
+# Continuous-profiling benches: DaemonTickGwp tracks absolute tick
+# throughput with the warehouse pipeline on (recorded as DaemonTick+gwp
+# in bench_smoke); DaemonGwpOverhead interleaves observed and
+# observed+gwp ticks and reports their ratio, which benchgate holds to
+# >= 0.95 (continuous profiling must cost under 5% per observed tick).
+# One iteration is a 16-pair block — exactly one collection cadence —
+# so 8x is ~128 measured pairs per repetition.
+go test ./internal/daemon/ -run '^$' -bench '^BenchmarkDaemonTickGwp$' -benchtime 40x >> "$BENCHOUT"
+go test ./internal/daemon/ -run '^$' -bench '^BenchmarkDaemonGwpOverhead$' -benchtime 8x -count 3 >> "$BENCHOUT"
 go run ./cmd/benchgate < "$BENCHOUT"
 
 echo "==> hardening self-tests under -race (sanitizer detection + parallel fleet chaos)"
@@ -105,6 +120,37 @@ for j in 1 4; do
         -checkpoint-dir "$CKDIR" -resume -metrics-out "$TELDIR/resumed$j" -j "$j" > /dev/null
     for ext in prom json mallocz heapz heapz.json; do
         cmp "$TELDIR/j1.$ext" "$TELDIR/resumed$j.$ext"
+    done
+done
+
+echo "==> continuous-profiling smoke (warehouse bit-identical across -j and kill/resume; gwpquery offline)"
+# Three fleet-daemon runs to the same 96-tick horizon with 8-tick
+# profile windows: -j 1, -j 4, and a run killed at tick 52 (52 % 8 = 4,
+# half-way through a collection cycle — the final checkpoint lands
+# mid-window) then resumed. All three warehouses must be bit-identical
+# on disk, and gwpquery must reproduce the same size CDF, Fig. 11
+# fragmentation trend and window profdiff from each.
+go build -o "$TELDIR/fleet-daemon" ./cmd/fleet-daemon
+go build -o "$TELDIR/gwpquery" ./cmd/gwpquery
+GWPFLAGS="-listen 127.0.0.1:0 -machines 16 -sample 0.5 -seed 7 -tick-ms 1 -diurnal-ms 8 -churn 0.01 -gwp-every-ticks 8 -gwp-sample 0.25 -gwp-min 2"
+"$TELDIR/fleet-daemon" $GWPFLAGS -ticks 96 -gwp-dir "$TELDIR/whA" -j 1 > /dev/null
+"$TELDIR/fleet-daemon" $GWPFLAGS -ticks 96 -gwp-dir "$TELDIR/whJ4" -j 4 > /dev/null
+diff -r "$TELDIR/whA" "$TELDIR/whJ4"
+"$TELDIR/fleet-daemon" $GWPFLAGS -ticks 52 -checkpoint-dir "$TELDIR/gwpck" -gwp-dir "$TELDIR/whB" > /dev/null
+"$TELDIR/fleet-daemon" $GWPFLAGS -ticks 96 -checkpoint-dir "$TELDIR/gwpck" -resume -gwp-dir "$TELDIR/whB" > /dev/null
+diff -r "$TELDIR/whA" "$TELDIR/whB"
+for wh in whA whJ4 whB; do
+    "$TELDIR/gwpquery" -dir "$TELDIR/$wh" -windows all cdf > "$TELDIR/$wh.cdf"
+    "$TELDIR/gwpquery" -dir "$TELDIR/$wh" -windows raw frag > "$TELDIR/$wh.frag"
+    # profdiff exits 1 when windows genuinely differ; only 2+ is an error.
+    status=0
+    "$TELDIR/gwpquery" -dir "$TELDIR/$wh" profdiff -a raw-00000000 -b raw-00000011 > "$TELDIR/$wh.profdiff" || status=$?
+    [ "$status" -le 1 ]
+done
+grep -q '^size_bytes,cdf_objects,cdf_bytes$' "$TELDIR/whA.cdf"
+for wh in whJ4 whB; do
+    for ext in cdf frag profdiff; do
+        cmp "$TELDIR/whA.$ext" "$TELDIR/$wh.$ext"
     done
 done
 

@@ -168,6 +168,10 @@ type (
 	// PageHeapZ is the /pageheapz document: hugepage occupancy maps plus
 	// the Fig. 11 fragmentation decomposition.
 	PageHeapZ = core.PageHeapZ
+	// FragZ is the allocator-wide Fig. 11 fragmentation decomposition.
+	FragZ = core.FragZ
+	// ABFrag is the per-arm fleet-summed fragmentation decomposition pair.
+	ABFrag = fleet.ABFrag
 )
 
 // DefaultHeapProfileConfig returns heap profiling enabled at the default

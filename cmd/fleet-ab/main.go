@@ -222,6 +222,8 @@ func main() {
 	churn := flag.Float64("churn", 0, "probability each machine run is killed once mid-run and restarted cold (machine churn)")
 	restartOnOOM := flag.Bool("restart-on-oom", false, "OOM-kill and restart a machine on allocation failure instead of dropping the op (pair with -chaos-budget-mb)")
 	retries := flag.Int("retries", 1, "max attempts per machine run; retries resume from the machine's checkpoint")
+	retuneAtMs := flag.Int64("retune-at-ms", 0, "live-swap every experiment-arm machine to -retune-design at this virtual time (0 disables)")
+	retuneDesign := flag.String("retune-design", "", "design point the experiment arm retunes to at -retune-at-ms (control arm never retunes)")
 	benchSweep := flag.String("bench-sweep", "", "comma-separated -j values to benchmark (e.g. 1,2,4,max); writes JSON and exits")
 	benchOut := flag.String("bench-out", "BENCH_fleet.json", "benchmark JSON output path (with -bench-sweep)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
@@ -246,11 +248,11 @@ func main() {
 	if *designFlag != "" {
 		dp, err := wsmalloc.ParseDesignPoint(*designFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "-design: %v\n", err)
 			os.Exit(2)
 		}
 		if experiment, err = wsmalloc.ConfigForDesign(dp); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "-design: %v\n", err)
 			os.Exit(2)
 		}
 		experimentDesign = dp
@@ -316,6 +318,19 @@ func main() {
 	}
 	opts.ControlDesign = wsmalloc.BaselineDesign().String()
 	opts.ExperimentDesign = experimentDesign.String()
+	if (*retuneDesign != "") != (*retuneAtMs > 0) {
+		fmt.Fprintln(os.Stderr, "-retune-design and -retune-at-ms must be used together")
+		os.Exit(2)
+	}
+	if *retuneDesign != "" {
+		rdp, err := wsmalloc.ParseDesignPoint(*retuneDesign)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-retune-design: %v\n", err)
+			os.Exit(2)
+		}
+		opts.RetuneAtNs = *retuneAtMs * 1_000_000
+		opts.RetuneDesign = rdp.String()
+	}
 	if *metricsOut != "" || *serveAddr != "" {
 		*telemetryOn = true
 	}

@@ -12,6 +12,8 @@
 //	             [-churn 0.002] [-restart-on-oom] [-ring 256]
 //	             [-ticks 0] [-tick-wall-ms 0]
 //	             [-wd-window 16] [-wd-rate-threshold 1.0] [-wd-min-rate 1]
+//	             [-rollout-stage-ticks 8] [-rollout-settle-ticks 2]
+//	             [-rollout-threshold 0.5]
 //	             [-alert-log alerts.jsonl] [-webhook URL]
 //	             [-checkpoint-dir DIR] [-checkpoint-every-ticks 64] [-resume]
 //	             [-gwp-dir DIR] [-gwp-every-ticks 16] [-gwp-sample 0.01]
@@ -19,9 +21,12 @@
 //
 // Endpoints: /metricsz (Prometheus; ?format=json includes the series
 // ring), /tracez, /heapz, /pageheapz, /healthz, /statusz, /alertz, and
-// the POST-only admin API /admin/{pause,resume,checkpoint,inject,quit}
-// (/admin/inject?ticks=N&frac=F cold-restarts a machine fraction for N
-// ticks — the watchdog demo's fault burst).
+// the POST-only admin API /admin/{pause,resume,checkpoint,inject,quit,
+// rollout} (/admin/inject?ticks=N&frac=F cold-restarts a machine
+// fraction for N ticks — the watchdog demo's fault burst;
+// /admin/rollout?design=DESIGN stages a live design-point rollout
+// through 1% → 10% → 100% of the fleet with automatic rollback, the
+// paper's 1%-experiment methodology as a control-plane operation).
 //
 // -ticks bounds the run (0 = run until /admin/quit or SIGINT/SIGTERM);
 // -tick-wall-ms paces ticks in wall time. On SIGINT/SIGTERM the daemon
@@ -68,6 +73,9 @@ func main() {
 	wdWindow := flag.Int("wd-window", 16, "watchdog baseline window in ticks")
 	wdRate := flag.Float64("wd-rate-threshold", 1.0, "watchdog relative rate-change threshold (1.0 = 2x baseline)")
 	wdMinRate := flag.Float64("wd-min-rate", 1, "minimum baseline events/tick for a rate alert")
+	rolloutStageTicks := flag.Int("rollout-stage-ticks", 8, "baked ticks per rollout stage before the promotion gate")
+	rolloutSettleTicks := flag.Int("rollout-settle-ticks", 2, "gate-free ticks after each rollout stage swap (cold-cache settle)")
+	rolloutThreshold := flag.Float64("rollout-threshold", 0.5, "max relative worsening of a watched rate (candidate vs control) the promotion gate tolerates")
 	alertLog := flag.String("alert-log", "", "append one JSON alert per line to this file")
 	webhook := flag.String("webhook", "", "POST each alert to this URL (best-effort)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for daemon checkpoints")
@@ -81,12 +89,12 @@ func main() {
 
 	dp, err := wsmalloc.ParseDesignPoint(*designFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "-design: %v\n", err)
 		os.Exit(2)
 	}
 	acfg, err := wsmalloc.ConfigForDesign(dp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "-design: %v\n", err)
 		os.Exit(2)
 	}
 	if *resume && *checkpointDir == "" {
@@ -108,6 +116,9 @@ func main() {
 	cfg.Watchdog.Window = *wdWindow
 	cfg.Watchdog.RateThreshold = *wdRate
 	cfg.Watchdog.MinRate = *wdMinRate
+	cfg.Rollout.StageTicks = *rolloutStageTicks
+	cfg.Rollout.SettleTicks = *rolloutSettleTicks
+	cfg.Rollout.PromoteThreshold = *rolloutThreshold
 	cfg.AlertLog = *alertLog
 	cfg.WebhookURL = *webhook
 	cfg.CheckpointDir = *checkpointDir

@@ -56,6 +56,8 @@ func main() {
 	killFrac := flag.Float64("kill-frac", 0, "kill the run at this fraction of virtual time after checkpointing (exit code 3; needs -checkpoint-dir)")
 	churn := flag.Float64("churn", 0, "probability the run is killed once mid-run and restarted cold (machine churn)")
 	restartOnOOM := flag.Bool("restart-on-oom", false, "OOM-kill and restart on allocation failure instead of dropping the op (pair with a Config fault budget)")
+	retuneAtMs := flag.Int64("retune-at-ms", 0, "live-swap the allocator to -retune-design at this virtual time (0 disables)")
+	retuneDesign := flag.String("retune-design", "", "design point applied live at -retune-at-ms (e.g. \"optimized\" or \"percpu=hetero,tc=nuca,cfl=prio8,filler=capacity\")")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	flag.Parse()
@@ -100,11 +102,11 @@ func main() {
 	if *designFlag != "" {
 		dp, err := wsmalloc.ParseDesignPoint(*designFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "-design: %v\n", err)
 			os.Exit(2)
 		}
 		if cfg, err = wsmalloc.ConfigForDesign(dp); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "-design: %v\n", err)
 			os.Exit(2)
 		}
 		design = dp.String()
@@ -145,6 +147,19 @@ func main() {
 
 	opts := wsmalloc.DefaultRunOptions(*seed)
 	opts.Duration = *durationMs * 1_000_000
+	if (*retuneDesign != "") != (*retuneAtMs > 0) {
+		fmt.Fprintln(os.Stderr, "-retune-design and -retune-at-ms must be used together")
+		os.Exit(2)
+	}
+	if *retuneDesign != "" {
+		rdp, err := wsmalloc.ParseDesignPoint(*retuneDesign)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-retune-design: %v\n", err)
+			os.Exit(2)
+		}
+		opts.RetuneAtNs = *retuneAtMs * 1_000_000
+		opts.RetuneDesign = rdp.String()
+	}
 
 	// Lifecycle mode runs the profile through the crash-tolerant machine
 	// runner: periodic checkpoints, scheduled/churn kills, OOM restarts.

@@ -140,6 +140,17 @@ func New(c sizeclass.Class, cfg Config, ph *pageheap.PageHeap, pm *mem.PageMap[*
 		kind:       selectorKindOf(sel),
 		classifier: classifier,
 	}
+	l.installClassifier(classifier)
+	l.lifetime = classifier.Classify(c.Index, c.ObjectsPerSpan, nil)
+	return l
+}
+
+// installClassifier records the classifier plus its monomorphized
+// capacity-rule fast path (shared by New and Swap).
+func (l *List) installClassifier(classifier pageheap.LifetimeClassifier) {
+	l.classifier = classifier
+	l.classifierIsCapacity = false
+	l.capacityThreshold = 0
 	if cap, ok := classifier.(pageheap.CapacityClassifier); ok {
 		l.classifierIsCapacity = true
 		l.capacityThreshold = cap.Threshold
@@ -147,8 +158,45 @@ func New(c sizeclass.Class, cfg Config, ph *pageheap.PageHeap, pm *mem.PageMap[*
 			l.capacityThreshold = pageheap.DefaultLifetimeThreshold
 		}
 	}
-	l.lifetime = classifier.Classify(c.Index, c.ObjectsPerSpan, nil)
-	return l
+}
+
+// Swap retunes the free list to a new configuration mid-run: the
+// selector, its monomorphized dispatch kind, and the lifetime
+// classifier are re-resolved, and every partially-filled span is
+// deterministically refiled into the new occupancy-list geometry
+// (walking the old lists in index order, front to back). Full spans
+// stay parked, the recycled-span stash survives, and the cumulative
+// counters carry over. A Swap on a freshly constructed list is
+// indistinguishable from construction with cfg.
+func (l *List) Swap(cfg Config) {
+	if cfg.NumLists < 1 {
+		panic(fmt.Sprintf("centralfreelist: NumLists = %d", cfg.NumLists))
+	}
+	sel := resolveSelector(cfg)
+	n := sel.Lists()
+	if n < 1 {
+		panic(fmt.Sprintf("centralfreelist: selector %T keeps %d lists", sel, n))
+	}
+	classifier := cfg.Classifier
+	if classifier == nil {
+		classifier = pageheap.CapacityClassifier{Threshold: cfg.SpanLifetimeThreshold}
+	}
+	var spans []*span.Span
+	for i := range l.nonempty {
+		for s := l.nonempty[i].Front(); s != nil; s = l.nonempty[i].Front() {
+			l.nonempty[i].Remove(s)
+			spans = append(spans, s)
+		}
+	}
+	l.cfg = cfg
+	l.sel = sel
+	l.kind = selectorKindOf(sel)
+	l.installClassifier(classifier)
+	l.lifetime = classifier.Classify(l.class.Index, l.class.ObjectsPerSpan, l.feed)
+	l.nonempty = make([]span.List, n)
+	for _, s := range spans {
+		l.relink(s)
+	}
 }
 
 // SetLifetimeFeedback installs the observed-lifetime feed the classifier

@@ -42,6 +42,12 @@ type Allocator struct {
 	vmap  *topology.VCPUMap
 	table *sizeclass.Table
 
+	// design is the canonical design-point string of the most recent
+	// ApplyDesignPoint, or "" while the construction-time configuration
+	// is still in force. The snapshot codec records it so a mid-run swap
+	// checkpoints and resumes transparently.
+	design string
+
 	os       *mem.OS
 	pagemap  *mem.PageMap[*span.Span]
 	heap     *pageheap.PageHeap

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"wsmalloc/internal/policy"
+	"wsmalloc/internal/snapshot"
+	"wsmalloc/internal/topology"
+)
+
+// swapCases covers every tier's hot swap at least once in each
+// direction: each single-tier flip away from baseline, the full
+// baseline→optimized jump, and the reverse jump back (the rollback
+// path).
+func swapCases(t *testing.T) []struct{ name, from, to string } {
+	t.Helper()
+	base := policy.Baseline()
+	cases := []struct{ name, from, to string }{
+		{"baseline-to-optimized", base.String(), policy.Optimized().String()},
+		{"optimized-to-baseline", policy.Optimized().String(), base.String()},
+	}
+	for _, tier := range policy.Tiers() {
+		for _, name := range policy.Names(tier) {
+			d, err := base.WithPolicy(tier, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d == base {
+				continue
+			}
+			cases = append(cases, struct{ name, from, to string }{
+				tier + "-to-" + name, base.String(), d.String(),
+			})
+		}
+	}
+	return cases
+}
+
+func newForDesign(t *testing.T, design string) (*Allocator, Config) {
+	t.Helper()
+	dp, err := policy.Parse(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ConfigForDesign(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cfg, topology.New(topology.Default())), cfg
+}
+
+// TestApplyDesignSwapRoundTrip is the tentpole invariant at the
+// allocator level, for every tier's swap: run a workload, live-swap
+// the design mid-heap, and require that (a) the swapped allocator
+// passes a full invariant audit, (b) its snapshot restores into a
+// freshly constructed allocator byte-identically (DecodeState replays
+// the swap), and (c) both replicas continue and drain identically —
+// a swap is a checkpointable state transition, not a special mode.
+func TestApplyDesignSwapRoundTrip(t *testing.T) {
+	for _, tc := range swapCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			ops := genStateOps(77, 12000)
+			half := len(ops) / 2
+
+			a, cfg := newForDesign(t, tc.from)
+			live := replayStateOps(a, nil, ops[:half])
+			if err := a.ApplyDesign(tc.to); err != nil {
+				t.Fatalf("ApplyDesign(%q): %v", tc.to, err)
+			}
+			if got := a.Design(); got != tc.to {
+				t.Fatalf("Design() = %q, want %q", got, tc.to)
+			}
+			if v := a.CheckInvariants(); len(v) != 0 {
+				t.Fatalf("invariant violations after swap: %+v", v)
+			}
+
+			var e1 snapshot.Encoder
+			a.EncodeState(&e1)
+			blob := e1.Finish()
+
+			// Restore into a fresh allocator built with the PRE-swap
+			// config: the snapshot itself must carry the swap.
+			b := New(cfg, topology.New(topology.Default()))
+			dec, err := snapshot.NewDecoder(blob)
+			if err != nil {
+				t.Fatalf("decoder: %v", err)
+			}
+			if err := b.DecodeState(dec); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got := b.Design(); got != tc.to {
+				t.Fatalf("restored Design() = %q, want %q", got, tc.to)
+			}
+			var e2 snapshot.Encoder
+			b.EncodeState(&e2)
+			if string(blob) != string(e2.Finish()) {
+				t.Fatal("restored swapped state re-encodes differently")
+			}
+
+			liveB := append([]stateObj(nil), live...)
+			live = replayStateOps(a, live, ops[half:])
+			liveB = replayStateOps(b, liveB, ops[half:])
+			if as, bs := a.Stats(), b.Stats(); as != bs {
+				t.Fatalf("replicas diverge after swap+restore:\n%+v\n%+v", as, bs)
+			}
+			replayDrain(a, live)
+			replayDrain(b, liveB)
+			if as, bs := a.Stats(), b.Stats(); as != bs {
+				t.Fatalf("replicas diverge after drain:\n%+v\n%+v", as, bs)
+			}
+			if st := a.Stats(); st.LiveObjects != 0 {
+				t.Fatalf("swapped heap not drainable: %d live", st.LiveObjects)
+			}
+		})
+	}
+}
+
+// TestApplyDesignIsDeterministic: the same workload with the same
+// mid-run swap produces bit-identical state — the swap must not
+// introduce iteration-order or allocation-order nondeterminism.
+func TestApplyDesignIsDeterministic(t *testing.T) {
+	run := func() []byte {
+		ops := genStateOps(13, 10000)
+		a, _ := newForDesign(t, policy.Baseline().String())
+		live := replayStateOps(a, nil, ops[:len(ops)/2])
+		if err := a.ApplyDesign(policy.Optimized().String()); err != nil {
+			t.Fatal(err)
+		}
+		replayStateOps(a, live, ops[len(ops)/2:])
+		var e snapshot.Encoder
+		a.EncodeState(&e)
+		return e.Finish()
+	}
+	if string(run()) != string(run()) {
+		t.Fatal("mid-run swap is not deterministic")
+	}
+}
+
+// TestApplyDesignRejectsUnknown: unknown policies are rejected without
+// touching the heap — the allocator keeps working under its old design.
+func TestApplyDesignRejectsUnknown(t *testing.T) {
+	a, _ := newForDesign(t, policy.Baseline().String())
+	live := replayStateOps(a, nil, genStateOps(5, 2000))
+	if err := a.ApplyDesign("percpu=warp"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := a.ApplyDesign("not-a-design"); err == nil {
+		t.Fatal("malformed design accepted")
+	}
+	if v := a.CheckInvariants(); len(v) != 0 {
+		t.Fatalf("rejected swap damaged the heap: %+v", v)
+	}
+	replayDrain(a, live)
+	if st := a.Stats(); st.LiveObjects != 0 {
+		t.Fatalf("heap not drainable after rejected swap: %d live", st.LiveObjects)
+	}
+}
+
+// TestApplyDesignNoOpSwapKeepsWorking: re-applying the current design
+// (the rollback edge case where prior == candidate) drains and
+// re-derives but must remain fully functional and deterministic.
+func TestApplyDesignNoOpSwapKeepsWorking(t *testing.T) {
+	ops := genStateOps(17, 6000)
+	a, _ := newForDesign(t, policy.Optimized().String())
+	live := replayStateOps(a, nil, ops[:len(ops)/2])
+	if err := a.ApplyDesign(policy.Optimized().String()); err != nil {
+		t.Fatal(err)
+	}
+	if v := a.CheckInvariants(); len(v) != 0 {
+		t.Fatalf("self-swap violations: %+v", v)
+	}
+	live = replayStateOps(a, live, ops[len(ops)/2:])
+	replayDrain(a, live)
+	if st := a.Stats(); st.LiveObjects != 0 {
+		t.Fatalf("heap not drainable after self-swap: %d live", st.LiveObjects)
+	}
+}

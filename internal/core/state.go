@@ -21,6 +21,10 @@ import (
 // rebuilt exactly.
 func (a *Allocator) EncodeState(e *snapshot.Encoder) {
 	e.Section("core")
+	// The active design string comes first: a decoder must re-apply the
+	// swap to the fresh allocator before any tier state is overlaid, so
+	// the tier geometry the blob was written under is back in force.
+	e.String(a.design)
 	e.I64(a.now)
 	e.I64(a.lastPlunder)
 	e.I64(a.lastRelease)
@@ -95,6 +99,17 @@ func (a *Allocator) EncodeState(e *snapshot.Encoder) {
 // partially overwritten.
 func (a *Allocator) DecodeState(d *snapshot.Decoder) error {
 	d.Section("core")
+	if design := d.String(); design != "" && d.Err() == nil {
+		// The snapshot was taken after a mid-run design swap: replay the
+		// swap on this fresh allocator so every tier's geometry matches
+		// the blob before its state decodes. Swapping an empty freshly
+		// constructed allocator is equivalent to construction under the
+		// swapped design, so the overlay below proceeds exactly as if the
+		// allocator had been built with it.
+		if err := a.ApplyDesign(design); err != nil {
+			d.Fail("core: snapshot design point %q: %v", design, err)
+		}
+	}
 	a.now = d.I64()
 	a.lastPlunder = d.I64()
 	a.lastRelease = d.I64()

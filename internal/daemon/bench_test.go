@@ -120,8 +120,13 @@ func BenchmarkDaemonTickGwp(b *testing.B) {
 // carries one capture+append: uniform blocks keep the trim ejecting
 // genuine noise (GC cycles, preemptions) instead of systematically
 // ejecting the blocks the collection tick landed in.
-// scripts/verify.sh gates the on/gwp metric at >= 0.95: continuous
-// profiling must cost under 5% per observed tick.
+// scripts/verify.sh gates the on/gwp metric at >= 0.90: continuous
+// profiling must cost under 10% per observed tick. (The floor is
+// looser than DaemonObserveOverhead's 0.95 because the collection-tick
+// marginal is concentrated in one tick per 16-pair block, so the
+// quotient inherits several points of run-to-run swing from
+// process-level state — heap layout, CPU placement — that the
+// within-run trim cannot eject.)
 func BenchmarkDaemonGwpOverhead(b *testing.B) {
 	withGwp, err := New(gwpBenchConfig(b, 1))
 	if err != nil {

@@ -26,6 +26,12 @@ func (d *Daemon) fingerprint() string {
 		d.cfg.Machines, d.cfg.SampleFraction, d.cfg.MinMachines, d.cfg.Seed,
 		d.cfg.TickNs, d.cfg.DiurnalPeriodNs, d.cfg.ChurnPerTick,
 		d.cfg.RestartOnOOM, d.cfg.Design, d.cfg.Observe)
+	// Rollout staging geometry is part of the run's identity: a resumed
+	// daemon with different stage fractions or bake lengths would steer
+	// an in-flight (or future) rollout differently.
+	fp += fmt.Sprintf(" rollout=fracs:%v,ticks:%d,settle:%d,th:%g,min:%g",
+		d.cfg.Rollout.StageFracs, d.cfg.Rollout.StageTicks, d.cfg.Rollout.SettleTicks,
+		d.cfg.Rollout.PromoteThreshold, d.cfg.Rollout.MinRate)
 	if d.cfg.GWP.Enabled {
 		// Collection geometry changes what every machine simulates (the
 		// attached profiler) and what the warehouse holds, so it is part
@@ -82,6 +88,14 @@ func (d *Daemon) encodeManifest() ([]byte, error) {
 	e.I64(d.alertSeq)
 	e.Int(d.burstTicks)
 	e.F64(d.burstFrac)
+	e.String(d.activeDesign)
+	e.I64(d.rolloutsPromoted)
+	e.I64(d.rolloutsRolledBack)
+	rb, err := json.Marshal(d.ro.state())
+	if err != nil {
+		return nil, fmt.Errorf("daemon: marshal rollout: %w", err)
+	}
+	e.Bytes(rb)
 	e.Int(len(d.machines))
 	e.Len(len(d.sketches))
 	for _, sk := range d.sketches {
@@ -109,6 +123,7 @@ func (d *Daemon) encodeMachine(ms *machine) []byte {
 	var e snapshot.Encoder
 	e.Section("daemon.machine")
 	e.String(ms.fingerprint())
+	e.String(ms.design)
 	e.Bool(ms.started)
 	e.I64(ms.restarts)
 	e.I64(ms.churnKills)
@@ -132,6 +147,7 @@ func (d *Daemon) decodeMachine(blob []byte, ms *machine) error {
 	if got := dec.String(); dec.Err() == nil && got != ms.fingerprint() {
 		return fmt.Errorf("machine checkpoint belongs to a different machine:\n  blob: %s\n  want: %s", got, ms.fingerprint())
 	}
+	ms.design = dec.String()
 	ms.started = dec.Bool()
 	ms.restarts = dec.I64()
 	ms.churnKills = dec.I64()
@@ -171,6 +187,18 @@ func (d *Daemon) restore() error {
 	d.alertSeq = dec.I64()
 	d.burstTicks = dec.Int()
 	d.burstFrac = dec.F64()
+	d.activeDesign = dec.String()
+	d.rolloutsPromoted = dec.I64()
+	d.rolloutsRolledBack = dec.I64()
+	rb := dec.Bytes()
+	if dec.Err() == nil {
+		var rs *roState
+		if err := json.Unmarshal(rb, &rs); err != nil {
+			return fmt.Errorf("daemon: unmarshal rollout: %w", err)
+		}
+		d.ro = rs.rollout()
+		d.rolloutBusy.Store(d.ro != nil)
+	}
 	if n := dec.Int(); dec.Err() == nil && n != len(d.machines) {
 		return fmt.Errorf("daemon: checkpoint has %d machines, this run enrols %d", n, len(d.machines))
 	}

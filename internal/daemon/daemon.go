@@ -102,6 +102,10 @@ type Config struct {
 	Watchdog   WatchdogConfig
 	AlertLog   string
 	WebhookURL string
+	// Rollout configures the staged design-point rollout controller
+	// behind POST /admin/rollout (see rollout.go). Zero fields take
+	// DefaultRolloutConfig values.
+	Rollout RolloutConfig
 	// AlertRingCapacity bounds /alertz retention.
 	AlertRingCapacity int
 	// GWP configures continuous fleet profiling: every
@@ -142,6 +146,7 @@ func DefaultConfig(seed uint64) Config {
 		IntrospectEveryTicks:  8,
 		Watchdog:              DefaultWatchdogConfig(),
 		AlertRingCapacity:     256,
+		Rollout:               DefaultRolloutConfig(),
 	}
 }
 
@@ -166,6 +171,10 @@ type machine struct {
 	alloc *core.Allocator
 	drv   *workload.Driver
 	churn *rng.RNG
+	// design pins the design point the rollout controller put this
+	// machine on ("" = the construction config): live swaps apply it
+	// immediately and cold restarts re-apply it to the fresh allocator.
+	design string
 	// carry accumulates the counters and histograms of every process
 	// that died on this machine, so the fleet fold stays monotone.
 	carry *telemetry.Registry
@@ -213,6 +222,15 @@ type Daemon struct {
 	burstTicks int
 	burstFrac  float64
 
+	// Staged rollout controller state (rollout.go): ro is the in-flight
+	// rollout (nil = none), activeDesign the last promoted candidate,
+	// rolloutBusy the synchronous overlap rejection for the admin API.
+	ro                 *rollout
+	activeDesign       string
+	rolloutsPromoted   int64
+	rolloutsRolledBack int64
+	rolloutBusy        atomic.Bool
+
 	lastCheckpointTick int64
 
 	started time.Time
@@ -234,6 +252,7 @@ type Daemon struct {
 		ticks int
 		frac  float64
 	}
+	pendingRollout string
 
 	mu  sync.RWMutex
 	pub published
@@ -277,7 +296,20 @@ type Status struct {
 	GWPEnabled         bool                    `json:"gwp_enabled,omitempty"`
 	GWPWindowsTotal    int64                   `json:"gwp_windows_total,omitempty"`
 	GWPLastWindow      string                  `json:"gwp_last_window,omitempty"`
-	Sketches           []telemetry.SketchValue `json:"sketches,omitempty"`
+	// ActiveDesign is the design point in force fleet-wide (the last
+	// promoted rollout candidate, or Design before any promotion); the
+	// Rollout* fields mirror the in-flight staged rollout, if any.
+	ActiveDesign       string  `json:"active_design"`
+	RolloutActive      bool    `json:"rollout_active"`
+	RolloutDesign      string  `json:"rollout_design,omitempty"`
+	RolloutPrior       string  `json:"rollout_prior,omitempty"`
+	RolloutStage       string  `json:"rollout_stage,omitempty"`
+	RolloutStageFrac   float64 `json:"rollout_stage_frac,omitempty"`
+	RolloutMachines    int     `json:"rollout_machines,omitempty"`
+	RolloutsPromoted   int64   `json:"rollouts_promoted"`
+	RolloutsRolledBack int64   `json:"rollouts_rolled_back"`
+
+	Sketches []telemetry.SketchValue `json:"sketches,omitempty"`
 }
 
 // New builds a daemon: the fleet catalog from the seed, the enrolled
@@ -304,6 +336,7 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.DiurnalPeriodNs <= 0 {
 		cfg.DiurnalPeriodNs = 8 * cfg.TickNs
 	}
+	cfg.Rollout = cfg.Rollout.withDefaults()
 	if cfg.GWP.Enabled {
 		if !cfg.Observe {
 			return nil, fmt.Errorf("daemon: GWP collection requires Observe")
@@ -534,6 +567,13 @@ func (ms *machine) restartCold() {
 		ms.carry.MergeCumulative(tel.Registry())
 	}
 	ms.alloc = core.New(ms.cfg, topology.New(ms.m.Platform))
+	if ms.design != "" {
+		// A rolled-out machine comes back up under the design the
+		// rollout controller put it on, not the construction config.
+		if err := ms.alloc.ApplyDesign(ms.design); err != nil {
+			panic(fmt.Sprintf("daemon: restart machine %d under design %q: %v", ms.m.ID, ms.design, err))
+		}
+	}
 	ms.drv.Restart(ms.alloc)
 	ms.restarts++
 }
@@ -609,6 +649,15 @@ func (d *Daemon) reduce() {
 	g("daemon_oom_kills", oomKills)
 	g("daemon_burst_kills", burstKills)
 	g("daemon_burst_ticks_left", int64(d.burstTicks))
+	g("rollouts_promoted", d.rolloutsPromoted)
+	g("rollouts_rolled_back", d.rolloutsRolledBack)
+	if d.ro != nil {
+		g("rollout_active", 1)
+		g("rollout_stage", int64(d.ro.stage+1))
+		g("rollout_machines", int64(d.ro.members))
+	} else {
+		g("rollout_active", 0)
+	}
 	if d.gw != nil {
 		// Exemplar gauges: the warehouse window behind this scrape. The
 		// full ID is reconstructible as raw-%08d from the index (gauges
@@ -624,7 +673,7 @@ func (d *Daemon) reduce() {
 	}
 
 	snap := fleetReg.Snapshot("fleet", d.virtualNs)
-	snap.Design = d.cfg.Design
+	snap.Design = d.effectiveDesign()
 	d.ring.Append(snap)
 
 	bare := snap
@@ -639,6 +688,14 @@ func (d *Daemon) reduce() {
 		d.emitAlert(alerts[i])
 	}
 
+	// The rollout controller observes after the watchdog: a regression
+	// raised this very tick triggers the rollback immediately, and any
+	// stage swap it performs lands before the next tick's advance.
+	d.rolloutStep(alerts)
+
+	// A promotion or rollback this tick changed the fleet-wide design;
+	// re-stamp the snapshot so /metricsz and /statusz agree.
+	snap.Design = d.effectiveDesign()
 	d.publishTick(snap, skVals, stalled, restarts, churnKills, oomKills, burstKills)
 }
 
@@ -701,6 +758,17 @@ func (d *Daemon) publishTick(snap telemetry.Snapshot, skVals []telemetry.SketchV
 		pub.status.GWPWindowsTotal = d.gw.WindowsTotal()
 		pub.status.GWPLastWindow = d.lastWindow
 	}
+	pub.status.ActiveDesign = d.effectiveDesign()
+	pub.status.RolloutsPromoted = d.rolloutsPromoted
+	pub.status.RolloutsRolledBack = d.rolloutsRolledBack
+	if ro := d.ro; ro != nil {
+		pub.status.RolloutActive = true
+		pub.status.RolloutDesign = ro.design
+		pub.status.RolloutPrior = ro.prior
+		pub.status.RolloutStage = d.stageLabel(ro)
+		pub.status.RolloutStageFrac = d.cfg.Rollout.StageFracs[ro.stage]
+		pub.status.RolloutMachines = ro.members
+	}
 
 	d.mu.Lock()
 	d.pub = pub
@@ -721,7 +789,14 @@ func (d *Daemon) drainAdmin() {
 		d.burstFrac = d.pendingInject.frac
 		d.pendingInject.ticks = 0
 	}
+	pendingRollout := d.pendingRollout
+	d.pendingRollout = ""
 	d.adminMu.Unlock()
+	if pendingRollout != "" {
+		// Installed outside adminMu: beginRollout swaps machines and
+		// emits an alert, neither of which needs the admin lock.
+		d.beginRollout(pendingRollout)
+	}
 }
 
 // Inject schedules a fault burst: for the next ticks ticks, frac of the

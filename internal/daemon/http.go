@@ -22,6 +22,7 @@ import (
 //	/alertz                                                 (read-only)
 //	/admin/pause /admin/resume /admin/checkpoint            (POST)
 //	/admin/inject?ticks=N&frac=F /admin/quit                (POST)
+//	/admin/rollout?design=DESIGN                            (POST)
 func (d *Daemon) Handler() http.Handler {
 	base := telemetry.NewMux(telemetry.Endpoints{
 		Snapshots: func() []telemetry.Snapshot {
@@ -138,6 +139,13 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		d.Inject(ticks, frac)
 		return fmt.Sprintf("fault burst scheduled: %d ticks, %.0f%% of machines", ticks, frac*100), nil
+	})
+	admin("rollout", func(r *http.Request) (string, error) {
+		design := r.URL.Query().Get("design")
+		if design == "" {
+			return "", fmt.Errorf("missing design parameter (e.g. /admin/rollout?design=percpu=hetero,tc=nuca,cfl=prio8,filler=capacity)")
+		}
+		return d.StartRollout(design)
 	})
 	admin("quit", func(*http.Request) (string, error) {
 		d.Quit()

@@ -69,7 +69,7 @@ type Alert struct {
 	Seq       int64   `json:"seq"`
 	Tick      int64   `json:"tick"`
 	NowNs     int64   `json:"now_ns"`
-	Kind      string  `json:"kind"` // "regression" or "recovery"
+	Kind      string  `json:"kind"` // "regression", "recovery", "rollout-stage", "promotion", "rollback"
 	Metric    string  `json:"metric"`
 	Mode      string  `json:"mode"` // "rate" or "value"
 	Baseline  float64 `json:"baseline"`
@@ -79,6 +79,11 @@ type Alert struct {
 	// WindowID is the exemplar: the warehouse profile window covering
 	// the ticks that produced this alert (empty when gwp is off).
 	WindowID string `json:"window_id,omitempty"`
+	// Design and Stage are set on rollout lifecycle alerts
+	// ("rollout-stage", "promotion", "rollback"): the candidate design
+	// point and the stage the event happened in.
+	Design string `json:"design,omitempty"`
+	Stage  string `json:"stage,omitempty"`
 }
 
 // watchdog holds the per-metric sliding windows and alerting states.

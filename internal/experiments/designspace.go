@@ -95,25 +95,46 @@ func DefaultDesignGrid() []policy.DesignPoint {
 	return pts
 }
 
-// DesignSpace sweeps a grid of design points: each point runs a small
-// paired fleet A/B against the baseline design plus one fixed reference
-// machine run, and the results are ranked into a leaderboard (memory
-// savings first, throughput second). The sweep fans points out over the
-// worker pool; each point's work is self-contained and index-addressed,
-// so the leaderboard — and the exported JSON/CSV — is byte-identical at
-// any -j.
-func DesignSpace(seed uint64, scale Scale) Report {
-	points, outBase := designSpaceParams()
-	if len(points) == 0 {
-		points = DefaultDesignGrid()
+// RegistryGrid is the exhaustive cross-product of every registered
+// policy per tier (3^4 = 81 points with the stock registry) — the
+// search space of the guided default sweep. Registration order per
+// tier makes the enumeration deterministic.
+func RegistryGrid() []policy.DesignPoint {
+	var pts []policy.DesignPoint
+	for _, pc := range policy.Names(policy.TierPerCPU) {
+		for _, tc := range policy.Names(policy.TierTC) {
+			for _, cfl := range policy.Names(policy.TierCFL) {
+				for _, fl := range policy.Names(policy.TierFiller) {
+					pts = append(pts, policy.DesignPoint{PerCPU: pc, TC: tc, CFL: cfl, Filler: fl})
+				}
+			}
+		}
 	}
-	r := Report{
-		ID:    "designspace",
-		Title: fmt.Sprintf("design-space sweep over %d points", len(points)),
-		PaperClaim: "the four redesigns compose: the optimized design point dominates " +
-			"the 2^4 grid on memory at neutral-or-better throughput (§4.5)",
-	}
-	dur := scale.duration(100 * workload.Millisecond)
+	return pts
+}
+
+// rankResults orders a leaderboard: biggest memory saving first,
+// throughput gain breaking ties, design string as the total-order
+// backstop.
+func rankResults(results []DesignPointResult) {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].MemoryPct != results[j].MemoryPct {
+			return results[i].MemoryPct < results[j].MemoryPct
+		}
+		if results[i].ThroughputPct != results[j].ThroughputPct {
+			return results[i].ThroughputPct > results[j].ThroughputPct
+		}
+		return results[i].Design < results[j].Design
+	})
+}
+
+// measureRung runs one budget rung: every point's small paired fleet
+// A/B against the baseline design at the given duration, plus (when
+// withRef — the final full-budget rung) one fixed reference machine run
+// for the allocator-internal leaderboard columns. Points fan out over
+// the worker pool with index-addressed results, so each rung — and the
+// ranked leaderboard built from it — is byte-identical at any -j.
+func measureRung(points []policy.DesignPoint, seed uint64, dur int64, withRef bool) []DesignPointResult {
 	f := fleet.New(48, seed)
 	baseline := core.BaselineConfig()
 	baselineDesign := policy.Baseline().String()
@@ -142,35 +163,85 @@ func DesignSpace(seed uint64, scale Scale) Report {
 		if err != nil {
 			panic(err)
 		}
-		rm := fleet.RunMachine(refMachine, cfg, dur)
-		st := rm.Result.Stats
-		avgMalloc := 0.0
-		if st.Mallocs > 0 {
-			avgMalloc = st.Time.Total() / float64(st.Mallocs)
-		}
 		results[i] = DesignPointResult{
-			Design:              d.String(),
-			ThroughputPct:       res.Fleet.ThroughputPct,
-			MemoryPct:           res.Fleet.MemoryPct,
-			CPIPct:              res.Fleet.CPIPct,
-			FragMiB:             float64(st.Frag.Total()) / (1 << 20),
-			HugepageCoveragePct: rm.Coverage * 100,
-			AvgMallocNs:         avgMalloc,
+			Design:        d.String(),
+			ThroughputPct: res.Fleet.ThroughputPct,
+			MemoryPct:     res.Fleet.MemoryPct,
+			CPIPct:        res.Fleet.CPIPct,
+		}
+		if withRef {
+			rm := fleet.RunMachine(refMachine, cfg, dur)
+			st := rm.Result.Stats
+			avgMalloc := 0.0
+			if st.Mallocs > 0 {
+				avgMalloc = st.Time.Total() / float64(st.Mallocs)
+			}
+			results[i].FragMiB = float64(st.Frag.Total()) / (1 << 20)
+			results[i].HugepageCoveragePct = rm.Coverage * 100
+			results[i].AvgMallocNs = avgMalloc
 		}
 		return nil
 	})
+	rankResults(results)
+	return results
+}
 
-	// Leaderboard order: biggest memory saving first, throughput gain
-	// breaking ties, design string as the total-order backstop.
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].MemoryPct != results[j].MemoryPct {
-			return results[i].MemoryPct < results[j].MemoryPct
+// DesignSpace explores the allocator design space. With explicit
+// points (SetDesignSpace / the -design flag) every point runs at full
+// budget — the direct sweep. With no explicit points it runs a
+// successive-halving guided search over the full registry grid: all
+// 3^4 points race at 1/8 budget, the memory-first leaderboard keeps
+// the top half, the budget doubles, and the surviving points repeat
+// until the final rung runs at full budget and emits the leaderboard.
+// Both modes fan points out over the worker pool with index-addressed
+// results, so the exported JSON/CSV is byte-identical at any -j.
+func DesignSpace(seed uint64, scale Scale) Report {
+	points, outBase := designSpaceParams()
+	dur := scale.duration(100 * workload.Millisecond)
+	var r Report
+	var results []DesignPointResult
+	if len(points) > 0 {
+		r = Report{
+			ID:    "designspace",
+			Title: fmt.Sprintf("design-space sweep over %d points", len(points)),
+			PaperClaim: "the four redesigns compose: the optimized design point dominates " +
+				"the 2^4 grid on memory at neutral-or-better throughput (§4.5)",
 		}
-		if results[i].ThroughputPct != results[j].ThroughputPct {
-			return results[i].ThroughputPct > results[j].ThroughputPct
+		results = measureRung(points, seed, dur, true)
+	} else {
+		points = RegistryGrid()
+		r = Report{
+			ID:    "designspace",
+			Title: fmt.Sprintf("successive-halving design search over the %d-point registry grid", len(points)),
+			PaperClaim: "the four redesigns compose: the optimized design point dominates " +
+				"the 2^4 grid on memory at neutral-or-better throughput (§4.5)",
 		}
-		return results[i].Design < results[j].Design
-	})
+		// Successive halving: the rung budget starts at 1/8 of the full
+		// duration and doubles as the field halves, so the search spends
+		// most of its time on the most promising half of the space.
+		budget := dur / 8
+		if budget < workload.Millisecond {
+			budget = workload.Millisecond
+		}
+		for rung := 1; budget < dur && len(points) > 2; rung++ {
+			ranked := measureRung(points, seed, budget, false)
+			keep := (len(ranked) + 1) / 2
+			r.addf("rung %d: %d points at %.1fms budget, keeping top %d",
+				rung, len(points), float64(budget)/1e6, keep)
+			next := make([]policy.DesignPoint, 0, keep)
+			for _, res := range ranked[:keep] {
+				d, err := policy.Parse(res.Design)
+				if err != nil {
+					panic(err) // canonical strings always re-parse
+				}
+				next = append(next, d)
+			}
+			points = next
+			budget *= 2
+		}
+		r.addf("final rung: %d points at full %.1fms budget", len(points), float64(dur)/1e6)
+		results = measureRung(points, seed, dur, true)
+	}
 
 	for rank, p := range results {
 		r.addf("#%-2d %-58s mem %+6.2f%%  thr %+6.2f%%  CPI %+6.2f%%  frag %7.2f MiB  hugepage %6.2f%%  malloc %6.1f ns",

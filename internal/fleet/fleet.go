@@ -332,6 +332,16 @@ type ABOptions struct {
 	// profdiff identify each arm unambiguously.
 	ControlDesign    string
 	ExperimentDesign string
+	// RetuneAtNs and RetuneDesign schedule a live design-point swap on
+	// the experiment arm: every enrolled experiment run starts under the
+	// experiment config and retunes to RetuneDesign at virtual time
+	// RetuneAtNs (see workload.Options). The control arm never retunes.
+	// This is the paper's live-retuning experiment shape — measure the
+	// fleet before and after a policy change lands mid-run — and it
+	// composes with Checkpoint/Churn: a machine killed at or after the
+	// swap resumes with the swap in force.
+	RetuneAtNs   int64
+	RetuneDesign string
 	// HeapProfile, when Enabled, attaches the sampled heap profiler to
 	// every enrolled machine run (both arms) and aggregates the per-arm
 	// profile views into ABResult.HeapProfiles. The profiler's seed is
@@ -474,6 +484,13 @@ func runPair(m Machine, control, experiment core.Config, opts ABOptions, attempt
 		wopts.TimeWarpGamma = opts.TimeWarpGamma
 	}
 	wopts.AuditEveryNs = opts.AuditEveryNs
+	// Only the experiment arm retunes; the control arm is the fixed
+	// reference the deltas are measured against.
+	woptsE := wopts
+	if opts.RetuneDesign != "" && opts.RetuneAtNs > 0 {
+		woptsE.RetuneAtNs = opts.RetuneAtNs
+		woptsE.RetuneDesign = opts.RetuneDesign
+	}
 	cfgC, cfgE := control, experiment
 	if opts.Chaos.Enabled() {
 		plan := opts.Chaos
@@ -499,7 +516,7 @@ func runPair(m Machine, control, experiment core.Config, opts ABOptions, attempt
 			return out, err
 		}
 		out.halted = halted
-		e, lsE, halted, err = runMachineLifecycle(m, cfgE, wopts, lifecycleFor(opts, "experiment", opts.ExperimentDesign, attempt))
+		e, lsE, halted, err = runMachineLifecycle(m, cfgE, woptsE, lifecycleFor(opts, "experiment", opts.ExperimentDesign, attempt))
 		if err != nil {
 			return out, err
 		}
@@ -514,7 +531,7 @@ func runPair(m Machine, control, experiment core.Config, opts ABOptions, attempt
 		}
 	} else {
 		c = runMachineOpts(m, cfgC, wopts)
-		e = runMachineOpts(m, cfgE, wopts)
+		e = runMachineOpts(m, cfgE, woptsE)
 	}
 	out.telC, out.telE = c.Telemetry, e.Telemetry
 	out.hpC, out.hpE = c.HeapProfiles, e.HeapProfiles

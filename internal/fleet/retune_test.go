@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/policy"
+	"wsmalloc/internal/workload"
+)
+
+// retuneABOptions schedules a live design swap on the experiment arm at
+// 6ms of the 15ms run — chosen to coincide with a 3ms-cadence
+// checkpoint, so the kill/resume path exercises a blob captured at the
+// exact swap tick.
+func retuneABOptions(workers int) ABOptions {
+	opts := lifecycleABOptions(workers)
+	opts.RetuneAtNs = 6 * workload.Millisecond
+	opts.RetuneDesign = policy.Optimized().String()
+	return opts
+}
+
+// TestFleetRetuneKillResumeBitIdentical is the tentpole acceptance
+// criterion: an experiment whose arm retunes mid-run, killed at 50%
+// virtual time and resumed, must finish byte-identical to the
+// uninterrupted retuned run — at -j 1 and -j 4. The swap must also
+// actually matter: the retuned experiment differs from a swap-free one.
+func TestFleetRetuneKillResumeBitIdentical(t *testing.T) {
+	f := New(32, 0x5eed)
+	// Both arms start baseline; only the experiment arm retunes, so the
+	// A/B delta isolates the live swap.
+	control, experiment := core.BaselineConfig(), core.BaselineConfig()
+
+	want := func() []byte {
+		res, err := f.ABTestErr(control, experiment, retuneABOptions(1))
+		if err != nil {
+			t.Fatalf("uninterrupted: %v", err)
+		}
+		return renderAB(t, res)
+	}()
+
+	plain, err := f.ABTestErr(control, experiment, lifecycleABOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(want, renderAB(t, plain)) {
+		t.Fatal("retuned experiment identical to swap-free experiment")
+	}
+
+	for _, workers := range []int{1, 4} {
+		dir := t.TempDir()
+
+		killOpts := retuneABOptions(workers)
+		killOpts.Checkpoint = CheckpointOptions{Dir: dir, EveryNs: 3 * workload.Millisecond, KillAtFrac: 0.5}
+		if _, err := f.ABTestErr(control, experiment, killOpts); !errors.Is(err, ErrHalted) {
+			t.Fatalf("j=%d: want ErrHalted, got %v", workers, err)
+		}
+
+		resumeOpts := retuneABOptions(workers)
+		resumeOpts.Checkpoint = CheckpointOptions{Dir: dir, EveryNs: 3 * workload.Millisecond, Resume: true}
+		res, err := f.ABTestErr(control, experiment, resumeOpts)
+		if err != nil {
+			t.Fatalf("j=%d resume: %v", workers, err)
+		}
+		if got := renderAB(t, res); !bytes.Equal(got, want) {
+			t.Fatalf("j=%d: resumed retuned experiment differs from uninterrupted (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestFleetRetuneWithChurnDeterministic: churn restarts interleaved
+// with the swap must stay deterministic — a machine killed after the
+// swap tick restarts under the retuned design (Driver.Restart replays
+// it), and the whole run is identical at any worker count.
+func TestFleetRetuneWithChurnDeterministic(t *testing.T) {
+	f := New(32, 0x5eed)
+	control, experiment := core.BaselineConfig(), core.BaselineConfig()
+	run := func(workers int) []byte {
+		opts := retuneABOptions(workers)
+		opts.Churn = 0.6
+		res, err := f.ABTestErr(control, experiment, opts)
+		if err != nil {
+			t.Fatalf("j=%d: %v", workers, err)
+		}
+		if res.Chaos.Lifecycle.ChurnKills == 0 {
+			t.Fatal("churn never killed a machine")
+		}
+		return renderAB(t, res)
+	}
+	if !bytes.Equal(run(1), run(4)) {
+		t.Fatal("retune+churn run differs between -j 1 and -j 4")
+	}
+}

@@ -50,6 +50,13 @@ func NewHugeCache(o *mem.OS, maxBytes int64) *HugeCache {
 	return &HugeCache{os: o, maxBytes: maxBytes}
 }
 
+// setBound rebounds the cache mid-run (a pageheap Swap), releasing any
+// overflow above the new bound immediately.
+func (c *HugeCache) setBound(maxBytes int64) {
+	c.maxBytes = maxBytes
+	c.trim()
+}
+
 // Alloc returns n contiguous hugepages, reusing cached ranges best-fit
 // first and mapping fresh memory from the OS on a miss. A cache hit never
 // fails; a miss propagates the OS's allocation error (injected fault or

@@ -117,6 +117,17 @@ func (p *PageHeap) fillerFor(lt Lifetime) *Filler {
 	return p.fillers[lt]
 }
 
+// Swap retunes the heap to a new configuration mid-run. Live placements
+// are unaffected — each one recorded the filler that actually owns its
+// pages — so only future allocations see the new lifetime policy, while
+// the hugepage cache re-trims immediately to the new bound. A Swap on a
+// freshly constructed heap is indistinguishable from construction with
+// cfg.
+func (p *PageHeap) Swap(cfg Config) {
+	p.cfg = cfg
+	p.cache.setBound(cfg.MaxHugeCacheBytes)
+}
+
 // Alloc obtains pages contiguous TCMalloc pages. lt classifies the
 // expected span lifetime (ignored unless the lifetime-aware filler is
 // enabled). The returned range is tracked until freed with Free.
@@ -153,6 +164,12 @@ func (p *PageHeap) Alloc(pages int, lt Lifetime) (mem.PageID, error) {
 func (p *PageHeap) place(pages int, lt Lifetime) (mem.PageID, placement, error) {
 	if pages < mem.PagesPerHugePage {
 		start, err := p.allocFiller(pages, lt)
+		if !p.cfg.LifetimeAware {
+			// Record the filler the span actually lives in, not the raw
+			// classification: Free must route back to the same filler even
+			// if a mid-run Swap toggles lifetime awareness later.
+			lt = LifetimeLong
+		}
 		return start, placement{kind: placeFiller, pages: pages, lifetime: lt}, err
 	}
 	huges := (pages + mem.PagesPerHugePage - 1) / mem.PagesPerHugePage
@@ -233,7 +250,11 @@ func (p *PageHeap) Free(start mem.PageID, pages int) {
 	p.frees++
 	switch pl.kind {
 	case placeFiller:
-		p.fillerFor(pl.lifetime).Free(start, pages)
+		// The placement carries the effective lifetime (collapsed to
+		// LifetimeLong when the span was placed without lifetime
+		// awareness), so this routes to the filler that owns the pages
+		// regardless of the configuration now in force.
+		p.fillers[pl.lifetime].Free(start, pages)
 	case placeRegion:
 		p.region.Free(start, pages)
 	case placeCache:

@@ -187,6 +187,39 @@ func New(cfg Config, numClasses int, objSize, batchSize func(int) int,
 	}
 }
 
+// Swap retunes the front-end to a new configuration mid-run: every
+// populated cache is drained to the middle tier, the resizer policy and
+// the construction-time-derived capacity state (slow-start bound,
+// initial capacity, miss window) are re-derived from cfg, and the
+// cumulative hit/miss counters carry over. The per-class size and batch
+// tables derive from the wiring functions, not the config, so they
+// survive unchanged. A Swap on a freshly constructed front-end is
+// indistinguishable from construction with cfg.
+func (c *Caches) Swap(cfg Config) {
+	if cfg.CapacityBytes <= 0 {
+		panic("percpu: non-positive capacity")
+	}
+	c.DrainAll()
+	c.cfg = cfg
+	c.resizer = resolveResizer(cfg)
+	initial := cfg.InitialCapacityBytes
+	if initial <= 0 || initial > cfg.CapacityBytes {
+		initial = cfg.CapacityBytes
+	}
+	for _, cc := range c.caches {
+		if cc == nil {
+			continue
+		}
+		// Restart slow start under the new budget. Resetting bound (not
+		// just capacity) restores the conservation invariant the resizer
+		// relies on: summed bound == populated caches × CapacityBytes.
+		cc.capacity = initial
+		cc.bound = cfg.CapacityBytes
+		cc.missWindow = 0
+		cc.missEWMA = 0
+	}
+}
+
 func (c *Caches) cache(vcpu int) *cpuCache {
 	if vcpu < len(c.caches) {
 		if cc := c.caches[vcpu]; cc != nil {

@@ -119,7 +119,8 @@ func Parse(s string) (DesignPoint, error) {
 		part = strings.TrimSpace(part)
 		tier, name, ok := strings.Cut(part, "=")
 		if !ok {
-			return DesignPoint{}, fmt.Errorf("policy: malformed design term %q (want tier=policy)", part)
+			return DesignPoint{}, fmt.Errorf("policy: malformed design term %q: want tier=policy with tier one of %s, or the shorthands \"baseline\"/\"optimized\" (e.g. %q)",
+				part, strings.Join(Tiers(), ", "), Optimized().String())
 		}
 		if seen[tier] {
 			return DesignPoint{}, fmt.Errorf("policy: tier %q set twice", tier)

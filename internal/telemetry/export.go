@@ -196,6 +196,32 @@ func WritePrometheus(w io.Writer, snaps ...Snapshot) error {
 		return nil
 	}
 
+	// The design-point info gauge: one always-1 series per arm whose
+	// labels carry the arm's full design string, so dashboards and
+	// profdiff can join any metric to the design that produced it
+	// without parsing free text. Emitted first, before the sorted
+	// metric families.
+	hasDesign := false
+	for _, s := range snaps {
+		if s.Design != "" {
+			hasDesign = true
+		}
+	}
+	if hasDesign {
+		if _, err := fmt.Fprintf(w, "# HELP %sdesign_point active allocator design point (info gauge: value is always 1, labels carry the design)\n# TYPE %sdesign_point gauge\n",
+			metricPrefix, metricPrefix); err != nil {
+			return err
+		}
+		for _, s := range snaps {
+			if s.Design == "" {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%sdesign_point%s 1\n", metricPrefix, armLabel(s)); err != nil {
+				return err
+			}
+		}
+	}
+
 	counterNames := collectNames(snaps, func(s Snapshot) []string {
 		out := make([]string, len(s.Counters))
 		for i, m := range s.Counters {

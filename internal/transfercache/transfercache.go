@@ -194,31 +194,66 @@ func New(cfg Config, numClasses int, objSize func(int) int, backing Backing) *Tr
 		kind:       placementKindOf(placement),
 		legacy:     make([]cache, numClasses),
 	}
-	capFor := func(objects int, bytes int64, class int) int {
-		max := objects
-		if bytes > 0 {
-			if byObj := int(bytes / int64(objSize(class))); byObj < max {
-				max = byObj
-			}
-		}
-		if max < 1 {
-			max = 1
-		}
-		return max
-	}
 	for i := range t.legacy {
-		t.legacy[i].max = capFor(cfg.LegacyObjectsPerClass, cfg.LegacyBytesPerClass, i)
+		t.legacy[i].max = t.capFor(cfg.LegacyObjectsPerClass, cfg.LegacyBytesPerClass, i)
 	}
 	if placement.UsesDomains() {
-		t.domains = make([][]cache, cfg.NumDomains)
-		for d := range t.domains {
-			t.domains[d] = make([]cache, numClasses)
-			for i := range t.domains[d] {
-				t.domains[d][i].max = capFor(cfg.DomainObjectsPerClass, cfg.DomainBytesPerClass, i)
-			}
-		}
+		t.domains = buildDomains(t, cfg)
 	}
 	return t
+}
+
+// capFor folds a class's object and byte caps into one entry bound.
+func (t *TransferCaches) capFor(objects int, bytes int64, class int) int {
+	max := objects
+	if bytes > 0 {
+		if byObj := int(bytes / int64(t.sizes[class])); byObj < max {
+			max = byObj
+		}
+	}
+	if max < 1 {
+		max = 1
+	}
+	return max
+}
+
+// buildDomains constructs the per-domain cache matrix for cfg.
+func buildDomains(t *TransferCaches, cfg Config) [][]cache {
+	domains := make([][]cache, cfg.NumDomains)
+	for d := range domains {
+		domains[d] = make([]cache, t.numClasses)
+		for i := range domains[d] {
+			domains[d][i].max = t.capFor(cfg.DomainObjectsPerClass, cfg.DomainBytesPerClass, i)
+		}
+	}
+	return domains
+}
+
+// Swap retunes the middle tier to a new configuration mid-run: every
+// cached object is drained to the backing tier, the placement policy
+// and its monomorphized dispatch kind are re-resolved, the per-class
+// entry bounds are recomputed, and the domain cache matrix is rebuilt
+// for the new policy's geometry (or torn down when the new placement is
+// centralized). The aggregate stats and the legacy caches' per-class
+// counters carry over. A Swap on a freshly constructed layer is
+// indistinguishable from construction with cfg.
+func (t *TransferCaches) Swap(cfg Config) {
+	placement := resolvePlacement(cfg)
+	if placement.UsesDomains() && cfg.NumDomains <= 0 {
+		panic(fmt.Sprintf("transfercache: domain-aware placement with %d domains", cfg.NumDomains))
+	}
+	t.Drain()
+	t.cfg = cfg
+	t.placement = placement
+	t.kind = placementKindOf(placement)
+	for i := range t.legacy {
+		t.legacy[i].max = t.capFor(cfg.LegacyObjectsPerClass, cfg.LegacyBytesPerClass, i)
+	}
+	if placement.UsesDomains() {
+		t.domains = buildDomains(t, cfg)
+	} else {
+		t.domains = nil
+	}
 }
 
 // Alloc fills out with objects of the given class for a request issued

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 
 	"wsmalloc/internal/check"
@@ -55,6 +56,16 @@ type Options struct {
 	// OOM-killed process loses its heap and is restarted cold (see
 	// Driver.Restart).
 	HaltOnAllocFailure bool
+	// RetuneAtNs and RetuneDesign schedule a live design-point swap: at
+	// the first loop iteration at or past RetuneAtNs the allocator is
+	// retuned to RetuneDesign via core.ApplyDesign, exactly once per
+	// run. The swap fires at the loop top, before the checkpoint and
+	// halt checks, so a checkpoint taken at the same virtual tick
+	// already contains the swapped state and a kill/resume at the swap
+	// point is bit-identical to an uninterrupted swapped run. Zero
+	// RetuneAtNs or empty RetuneDesign disables.
+	RetuneAtNs   int64
+	RetuneDesign string
 }
 
 // DefaultOptions returns options suitable for experiment runs.
@@ -175,6 +186,9 @@ type Driver struct {
 	started    bool
 	halted     bool
 	haltReason HaltReason
+	// retuned records that the scheduled design swap fired; serialized,
+	// so a resumed run neither re-fires nor misses it.
+	retuned bool
 
 	nextThreadUpdate int64
 	nextTick         int64
@@ -343,6 +357,16 @@ func (d *Driver) Run() Result {
 	}
 
 	for d.now < d.opts.Duration {
+		// A scheduled design swap fires first: the checkpoint (and the
+		// halt checkpoint) taken at this same iteration must capture the
+		// swapped allocator, so resume lands after the swap.
+		if !d.retuned && d.opts.RetuneDesign != "" && d.opts.RetuneAtNs > 0 &&
+			d.now >= d.opts.RetuneAtNs {
+			d.retuned = true
+			if err := d.alloc.ApplyDesign(d.opts.RetuneDesign); err != nil {
+				panic(fmt.Sprintf("workload: retune to %q: %v", d.opts.RetuneDesign, err))
+			}
+		}
 		// The loop top is the resume point: no event is in flight, so a
 		// checkpoint taken here captures the run completely. The cursor
 		// advances before the callback so the serialized driver does not
@@ -488,6 +512,14 @@ func (d *Driver) Restart(a *core.Allocator) {
 	d.preloaded = nil
 	d.halted = false
 	d.haltReason = HaltNone
+	if d.retuned && d.opts.RetuneDesign != "" {
+		// The design swap already happened fleet-side; a restarted
+		// process comes back up under the design in force, not the
+		// construction-time one.
+		if err := a.ApplyDesign(d.opts.RetuneDesign); err != nil {
+			panic(fmt.Sprintf("workload: retune to %q on restart: %v", d.opts.RetuneDesign, err))
+		}
+	}
 	a.Tick(d.now)
 	if d.started {
 		d.preload()

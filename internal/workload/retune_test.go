@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+
+	"wsmalloc/internal/core"
+	"wsmalloc/internal/policy"
+	"wsmalloc/internal/topology"
+)
+
+// retuneOptions schedules a mid-run live swap at 10ms of a 20ms run:
+// the machine starts under the baseline design and retunes to the
+// optimized design point at virtual-time 10ms.
+func retuneOptions(seed uint64) Options {
+	opts := DefaultOptions(seed)
+	opts.Duration = 20 * Millisecond
+	opts.RetuneAtNs = 10 * Millisecond
+	opts.RetuneDesign = policy.Optimized().String()
+	return opts
+}
+
+// TestDriverRetuneChangesOutcome: the swap must actually retune — a run
+// with the mid-run swap differs from a run that stays on baseline, and
+// from one constructed optimized (the swapped half ran baseline first).
+func TestDriverRetuneChangesOutcome(t *testing.T) {
+	cfg := core.BaselineConfig()
+	prof := Monarch()
+	run := func(opts Options) Result {
+		a := core.New(cfg, topology.New(topology.Default()))
+		return Run(prof, a, opts)
+	}
+	plain := DefaultOptions(3)
+	plain.Duration = 20 * Millisecond
+	base := run(plain)
+	swapped := run(retuneOptions(3))
+	if base.Stats == swapped.Stats {
+		t.Fatal("mid-run retune left the run identical to baseline")
+	}
+	if base.Ops != swapped.Ops {
+		t.Fatalf("retune changed the workload itself: %d vs %d ops", base.Ops, swapped.Ops)
+	}
+}
+
+// TestDriverRetuneKillResumeBitIdentical pins the tentpole determinism
+// contract at the machine level: halting (and checkpointing) before the
+// swap, exactly at the swap tick, and after the swap must each resume
+// into a run bit-identical to the uninterrupted swapped run. The
+// at-the-tick case is the sharp edge: the swap fires before the
+// checkpoint, so the blob carries post-swap state and the resumed run
+// must not re-fire it.
+func TestDriverRetuneKillResumeBitIdentical(t *testing.T) {
+	const seed = 27
+	cfg := core.BaselineConfig()
+	prof := Monarch()
+	base := retuneOptions(seed)
+
+	want := func() Result {
+		a := core.New(cfg, topology.New(topology.Default()))
+		return Run(prof, a, base)
+	}()
+
+	for _, haltAt := range []int64{5 * Millisecond, 10 * Millisecond, 15 * Millisecond} {
+		a1 := core.New(cfg, topology.New(topology.Default()))
+		var blob []byte
+		opts := base
+		opts.HaltAtNs = haltAt
+		var d1 *Driver
+		opts.Checkpoint = func(now int64) { blob = encodeMachine(a1, d1) }
+		d1 = NewDriver(prof, a1, opts)
+		d1.Run()
+		if !d1.Halted() {
+			t.Fatalf("halt at %d: run did not halt", haltAt)
+		}
+		if blob == nil {
+			t.Fatalf("halt at %d: no checkpoint taken", haltAt)
+		}
+		if wantDesign := haltAt >= base.RetuneAtNs; wantDesign != (a1.Design() == base.RetuneDesign) {
+			t.Fatalf("halt at %d: design %q, swap fired=%v", haltAt, a1.Design(), wantDesign)
+		}
+
+		// Resume into a fresh process image: allocator built with the
+		// PRE-swap config — the snapshot replays the swap if it happened.
+		a2 := core.New(cfg, topology.New(topology.Default()))
+		d2 := NewDriver(prof, a2, base)
+		decodeMachine(t, blob, a2, d2)
+		got := d2.Run()
+
+		if got.Ops != want.Ops || got.Frees != want.Frees ||
+			got.MallocNs != want.MallocNs || got.AllocatedBytes != want.AllocatedBytes {
+			t.Fatalf("halt at %d: resumed result diverges:\ngot  %+v\nwant %+v", haltAt, got, want)
+		}
+		if got.Stats != want.Stats {
+			t.Fatalf("halt at %d: resumed stats diverge:\ngot  %+v\nwant %+v", haltAt, got.Stats, want.Stats)
+		}
+		if a2.Design() != base.RetuneDesign {
+			t.Fatalf("halt at %d: finished run under %q, want %q", haltAt, a2.Design(), base.RetuneDesign)
+		}
+	}
+}
+
+// TestDriverRetuneRestartReapplies: a machine cold-restarted after the
+// swap tick must come back up under the design in force, not the
+// construction design — Restart replays the retune onto the fresh
+// allocator.
+func TestDriverRetuneRestartReapplies(t *testing.T) {
+	cfg := core.BaselineConfig()
+	opts := retuneOptions(9)
+	opts.HaltAtNs = 15 * Millisecond // "kill" the machine after the swap
+
+	a := core.New(cfg, topology.New(topology.Default()))
+	d := NewDriver(Monarch(), a, opts)
+	d.Run()
+	if !d.Halted() || d.HaltReason() != HaltTimer {
+		t.Fatalf("halt=%v reason=%v", d.Halted(), d.HaltReason())
+	}
+
+	fresh := core.New(cfg, topology.New(topology.Default()))
+	d.Restart(fresh)
+	if got := fresh.Design(); got != opts.RetuneDesign {
+		t.Fatalf("restarted allocator under %q, want %q", got, opts.RetuneDesign)
+	}
+	d.SetHaltAt(0)
+	res := d.Run()
+	if d.Halted() {
+		t.Fatal("run did not finish after restart")
+	}
+	if res.Duration != opts.Duration {
+		t.Fatalf("duration %d, want %d", res.Duration, opts.Duration)
+	}
+
+	// A restart BEFORE the swap tick must not pre-apply the design.
+	early := retuneOptions(9)
+	early.HaltAtNs = 5 * Millisecond
+	a = core.New(cfg, topology.New(topology.Default()))
+	d = NewDriver(Monarch(), a, early)
+	d.Run()
+	fresh = core.New(cfg, topology.New(topology.Default()))
+	d.Restart(fresh)
+	if got := fresh.Design(); got == early.RetuneDesign {
+		t.Fatalf("restart before the swap tick pre-applied the design %q", got)
+	}
+}

@@ -22,6 +22,7 @@ func (d *Driver) EncodeState(e *snapshot.Encoder) {
 	e.I64(d.curBucket)
 	e.I64(d.liveCount)
 	e.Bool(d.started)
+	e.Bool(d.retuned)
 	e.I64(d.nextThreadUpdate)
 	e.I64(d.nextTick)
 	e.I64(d.nextSnapshot)
@@ -98,6 +99,7 @@ func (d *Driver) DecodeState(dec *snapshot.Decoder) error {
 	d.curBucket = dec.I64()
 	d.liveCount = dec.I64()
 	d.started = dec.Bool()
+	d.retuned = dec.Bool()
 	d.nextThreadUpdate = dec.I64()
 	d.nextTick = dec.I64()
 	d.nextSnapshot = dec.I64()
